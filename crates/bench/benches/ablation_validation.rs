@@ -1,0 +1,63 @@
+//! A1 — validation-pass ablation: what the "sound translation" checks cost
+//! as dataflows grow, and how quickly invalid flows are rejected.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sl_bench::{bench_schema, linear_dataflow};
+use sl_dataflow::{validate, DataflowBuilder};
+use sl_dsn::SinkKind;
+use sl_pubsub::SubscriptionFilter;
+
+fn bench_validate_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1/validate");
+    for ops in [2usize, 8, 32, 64] {
+        let df = linear_dataflow("a1", ops);
+        group.bench_function(BenchmarkId::new("valid_linear", ops), |b| {
+            b.iter(|| validate(&df).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reject_fast(c: &mut Criterion) {
+    // Rejection cost: the bad node sits at the END of a long pipeline, the
+    // worst case for schema propagation.
+    let mut group = c.benchmark_group("a1/reject");
+    for ops in [2usize, 32] {
+        let mut b = DataflowBuilder::new("bad").source("src", SubscriptionFilter::any(), bench_schema());
+        let mut prev = "src".to_string();
+        for i in 0..ops {
+            let name = format!("f{i}");
+            b = b.filter(&name, &prev, "temperature > 0");
+            prev = name;
+        }
+        let df = b
+            .filter("broken", &prev, "no_such_attribute > 1")
+            .sink("out", SinkKind::Console, &["broken"])
+            .build()
+            .unwrap();
+        group.bench_function(BenchmarkId::new("invalid_at_depth", ops), |bch| {
+            bch.iter(|| validate(&df).unwrap_err())
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    // Optimiser cost on a rewrite-rich pipeline.
+    let schema = bench_schema();
+    let df = DataflowBuilder::new("opt")
+        .source("s", SubscriptionFilter::any(), schema)
+        .virtual_property("v", "s", "d", "temperature + humidity")
+        .filter("f1", "v", "temperature > 20")
+        .filter("f2", "f1", "humidity > 40")
+        .filter("f3", "f2", "seq > 10")
+        .sink("out", SinkKind::Console, &["f3"])
+        .build()
+        .unwrap();
+    c.bench_function("a1/optimize_pipeline", |b| {
+        b.iter(|| sl_dataflow::optimize(&df).unwrap().1.len())
+    });
+}
+
+criterion_group!(benches, bench_validate_scaling, bench_reject_fast, bench_optimizer);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! A3 — blocking-operator cache ablation: ring-buffer vs rescan eviction in
+//! sliding windows, across window spans and tuple rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sl_bench::make_tuples;
+use sl_ops::window::{EvictionStrategy, SlidingWindow, TumblingCache};
+use sl_stt::{Duration, Timestamp};
+
+fn bench_sliding(c: &mut Criterion) {
+    let n = 20_000;
+    let tuples = make_tuples(n, 42); // stamped 1/sec
+    let mut group = c.benchmark_group("a3/sliding_window");
+    group.throughput(Throughput::Elements(n as u64));
+    for span_s in [10u64, 120, 1_800] {
+        for strategy in [EvictionStrategy::RingBuffer, EvictionStrategy::Rescan] {
+            let label = match strategy {
+                EvictionStrategy::RingBuffer => "ring",
+                EvictionStrategy::Rescan => "rescan",
+            };
+            group.bench_function(BenchmarkId::new(format!("span{span_s}s"), label), |b| {
+                b.iter_batched(
+                    || SlidingWindow::new(Duration::from_secs(span_s), strategy),
+                    |mut w| {
+                        for t in &tuples {
+                            let now = t.meta.timestamp;
+                            w.push(t.clone(), now);
+                        }
+                        w.len()
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_tumbling(c: &mut Criterion) {
+    let n = 20_000;
+    let tuples = make_tuples(n, 42);
+    let mut group = c.benchmark_group("a3/tumbling_cache");
+    group.throughput(Throughput::Elements(n as u64));
+    for drain_every in [100usize, 1_000, 10_000] {
+        group.bench_function(BenchmarkId::new("drain_every", drain_every), |b| {
+            b.iter_batched(
+                TumblingCache::new,
+                |mut cache| {
+                    let mut drained = 0usize;
+                    for (i, t) in tuples.iter().enumerate() {
+                        cache.push(t.clone());
+                        if i % drain_every == drain_every - 1 {
+                            drained += cache.drain().len();
+                        }
+                    }
+                    drained + cache.len()
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_eviction_only(c: &mut Criterion) {
+    // Pure eviction pressure: a full window asked to evict everything.
+    let n = 10_000;
+    let tuples = make_tuples(n, 7);
+    let mut group = c.benchmark_group("a3/bulk_evict");
+    for strategy in [EvictionStrategy::RingBuffer, EvictionStrategy::Rescan] {
+        let label = match strategy {
+            EvictionStrategy::RingBuffer => "ring",
+            EvictionStrategy::Rescan => "rescan",
+        };
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut w = SlidingWindow::new(Duration::from_secs(n as u64), strategy);
+                    for t in &tuples {
+                        w.push(t.clone(), t.meta.timestamp);
+                    }
+                    w
+                },
+                |mut w| {
+                    w.evict(Timestamp::from_secs(10 * n as i64));
+                    w.len()
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sliding, bench_tumbling, bench_eviction_only);
+criterion_main!(benches);

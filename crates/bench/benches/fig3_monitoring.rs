@@ -1,0 +1,73 @@
+//! E4 — monitoring cost: virtual-time execution throughput as a function
+//! of the monitor sampling period (Figure 3's refresh rate) and migration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sl_bench::passthrough_dataflow;
+use sl_engine::{Engine, EngineConfig};
+use sl_netsim::Topology;
+use sl_sensors::physical::TemperatureSensor;
+use sl_stt::{Duration, GeoPoint, SensorId, Timestamp};
+
+fn start() -> Timestamp {
+    Timestamp::from_civil(2016, 7, 1, 8, 0, 0)
+}
+
+fn engine_with_fleet(monitor_ms: u64, migration: bool) -> Engine {
+    let topo = Topology::nict_testbed();
+    let config = EngineConfig {
+        monitor_period: Duration::from_millis(monitor_ms),
+        migration_enabled: migration,
+        ..Default::default()
+    };
+    let mut engine = Engine::new(topo.clone(), config, start());
+    for i in 0..6u64 {
+        let node = topo.edge_nodes()[i as usize % 9];
+        engine
+            .add_sensor(Box::new(TemperatureSensor::new(
+                SensorId(i),
+                &format!("t{i}"),
+                GeoPoint::new_unchecked(34.7, 135.5),
+                node,
+                Duration::from_millis(500),
+                false,
+                false,
+                i,
+            )))
+            .unwrap();
+    }
+    engine.deploy(passthrough_dataflow("mon", 4)).unwrap();
+    engine
+}
+
+fn bench_monitor_period(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/virtual_minute");
+    group.sample_size(10);
+    for period_ms in [100u64, 1_000, 10_000] {
+        group.bench_function(BenchmarkId::new("monitor_period_ms", period_ms), |b| {
+            b.iter_batched(
+                || engine_with_fleet(period_ms, true),
+                |mut e| e.run_for(Duration::from_mins(1)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.bench_function("migration_disabled", |b| {
+        b.iter_batched(
+            || engine_with_fleet(1_000, false),
+            |mut e| e.run_for(Duration::from_mins(1)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_report_render(c: &mut Criterion) {
+    let mut engine = engine_with_fleet(1_000, true);
+    engine.run_for(Duration::from_mins(2));
+    c.bench_function("fig3/report_render", |b| {
+        b.iter(|| engine.monitor().report(engine.now()))
+    });
+}
+
+criterion_group!(benches, bench_monitor_period, bench_report_render);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! E5 — pub/sub benchmarks: discovery against fleet size, broker matching,
+//! and overlay routing with/without covering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sl_bench::make_ads;
+use sl_pubsub::{Broker, BrokerId, BrokerOverlay, SensorRegistry, SubscriptionFilter};
+use sl_stt::Theme;
+
+fn bench_discover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1/discover");
+    let weather = SubscriptionFilter::any().with_theme(Theme::new("weather").unwrap());
+    for fleet in [100usize, 1_000, 10_000] {
+        let mut registry = SensorRegistry::new();
+        for ad in make_ads(fleet, 5) {
+            registry.publish(ad).unwrap();
+        }
+        group.throughput(Throughput::Elements(fleet as u64));
+        group.bench_function(BenchmarkId::new("theme_filter", fleet), |b| {
+            b.iter(|| registry.discover(&weather).count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_broker_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1/broker_publish");
+    for subs in [10usize, 100, 1_000] {
+        group.bench_function(BenchmarkId::new("subscriptions", subs), |b| {
+            b.iter_batched(
+                || {
+                    let mut broker = Broker::new();
+                    let themes = ["weather", "weather/rain", "social", "traffic", "water"];
+                    for i in 0..subs {
+                        broker.subscribe(
+                            SubscriptionFilter::any()
+                                .with_theme(Theme::new(themes[i % themes.len()]).unwrap()),
+                        );
+                    }
+                    (broker, make_ads(100, 9))
+                },
+                |(mut broker, ads)| {
+                    let mut notified = 0usize;
+                    for ad in ads {
+                        notified += broker.publish(ad).unwrap().len();
+                    }
+                    notified
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_overlay_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1/overlay");
+    for covering in [true, false] {
+        let label = if covering { "with_covering" } else { "no_covering" };
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    // A 16-broker line with many overlapping subscriptions at
+                    // one end.
+                    let mut o = BrokerOverlay::new(16);
+                    o.set_covering(covering);
+                    for i in 0..15u32 {
+                        o.link(BrokerId(i), BrokerId(i + 1)).unwrap();
+                    }
+                    for _ in 0..8 {
+                        o.subscribe(
+                            BrokerId(15),
+                            SubscriptionFilter::any().with_theme(Theme::new("weather").unwrap()),
+                        )
+                        .unwrap();
+                        o.subscribe(
+                            BrokerId(15),
+                            SubscriptionFilter::any()
+                                .with_theme(Theme::new("weather/rain").unwrap()),
+                        )
+                        .unwrap();
+                    }
+                    (o, make_ads(64, 3))
+                },
+                |(o, ads)| {
+                    let mut delivered = 0usize;
+                    for ad in &ads {
+                        delivered += o.publish(BrokerId(0), ad).unwrap().0.len();
+                    }
+                    delivered
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discover, bench_broker_publish, bench_overlay_routing);
+criterion_main!(benches);

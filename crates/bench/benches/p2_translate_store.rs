@@ -1,0 +1,67 @@
+//! E6 — DSN translation round-trip and Event Data Warehouse throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sl_bench::{linear_dataflow, make_tuples};
+use sl_dsn::{compile, parse_document, print_document};
+use sl_stt::{SpatialGranularity, TemporalGranularity, Theme, TimeInterval, Timestamp};
+use sl_warehouse::{EventQuery, EventWarehouse};
+
+fn bench_dsn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2/dsn");
+    for ops in [3usize, 20] {
+        let df = linear_dataflow("p2", ops);
+        let doc = sl_dataflow::to_dsn(&df);
+        let text = print_document(&doc);
+        group.bench_function(BenchmarkId::new("print", ops), |b| b.iter(|| print_document(&doc)));
+        group.bench_function(BenchmarkId::new("parse", ops), |b| {
+            b.iter(|| parse_document(&text).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("compile", ops), |b| b.iter(|| compile(&doc).unwrap()));
+    }
+    group.finish();
+}
+
+fn bench_warehouse_ingest(c: &mut Criterion) {
+    let tuples = make_tuples(5_000, 11);
+    let mut group = c.benchmark_group("p2/warehouse_ingest");
+    group.throughput(Throughput::Elements(tuples.len() as u64));
+    group.bench_function("ingest_5k_tuples", |b| {
+        b.iter_batched(
+            EventWarehouse::with_defaults,
+            |mut w| {
+                for t in &tuples {
+                    w.ingest_tuple(t, TemporalGranularity::Minute, SpatialGranularity::grid(8));
+                }
+                w.len()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_warehouse_query(c: &mut Criterion) {
+    let tuples = make_tuples(50_000, 11);
+    let mut w = EventWarehouse::with_defaults();
+    for t in &tuples {
+        w.ingest_tuple(t, TemporalGranularity::Minute, SpatialGranularity::grid(8));
+    }
+    let range = TimeInterval::new(Timestamp::from_secs(20_000), Timestamp::from_secs(21_000));
+    let mut group = c.benchmark_group("p2/warehouse_query");
+    group.bench_function("time_slice_indexed", |b| {
+        b.iter(|| w.query(&EventQuery::all().in_time(range)).len())
+    });
+    group.bench_function("time_slice_scan", |b| {
+        b.iter(|| w.query_scan(&EventQuery::all().in_time(range)).len())
+    });
+    let theme = Theme::new("weather/temperature/temperature").unwrap();
+    group.bench_function("theme_and_time", |b| {
+        b.iter(|| {
+            w.query(&EventQuery::all().in_time(range).with_theme(theme.clone())).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsn, bench_warehouse_ingest, bench_warehouse_query);
+criterion_main!(benches);

@@ -1,0 +1,178 @@
+//! E1 — Criterion microbenchmarks for every Table-1 operation, with
+//! parameter sweeps: filter selectivity, aggregation fan-out, join strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sl_bench::{bench_schema, make_tuples};
+use sl_ops::{AggFunc, JoinOp, OpContext, OpSpec, Operator};
+use sl_stt::{BoundingBox, Duration, GeoPoint, TimeInterval, Timestamp};
+
+const BATCH: usize = 10_000;
+
+fn drive_batch(op: &mut dyn Operator, tuples: &[sl_stt::Tuple]) -> usize {
+    let mut ctx = OpContext::new(Timestamp::from_secs(0));
+    for t in tuples {
+        op.on_tuple(0, t.clone(), &mut ctx).expect("valid tuple");
+    }
+    if op.is_blocking() {
+        op.on_timer(Timestamp::from_secs(1_000_000), &mut ctx).expect("tick");
+    }
+    ctx.emitted().len()
+}
+
+fn bench_non_blocking(c: &mut Criterion) {
+    let tuples = make_tuples(BATCH, 42);
+    let schema = bench_schema();
+    let mut group = c.benchmark_group("table1/non_blocking");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    // Filter across selectivities (temperature uniform in [10, 35)).
+    for (label, threshold) in [("sel~0.9", 12.5), ("sel~0.5", 22.5), ("sel~0.1", 32.5)] {
+        let spec = OpSpec::Filter { condition: format!("temperature > {threshold}") };
+        group.bench_function(BenchmarkId::new("filter", label), |b| {
+            b.iter_batched(
+                || spec.instantiate(std::slice::from_ref(&schema)).unwrap(),
+                |mut op| drive_batch(op.as_mut(), &tuples),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+
+    let transform = OpSpec::Transform {
+        assignments: vec![(
+            "temperature".into(),
+            "convert_unit(temperature, 'celsius', 'fahrenheit')".into(),
+        )],
+    };
+    group.bench_function("transform/unit_conversion", |b| {
+        b.iter_batched(
+            || transform.instantiate(std::slice::from_ref(&schema)).unwrap(),
+            |mut op| drive_batch(op.as_mut(), &tuples),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let vprop = OpSpec::VirtualProperty {
+        property: "apparent".into(),
+        spec: "apparent_temperature(temperature, humidity)".into(),
+    };
+    group.bench_function("virtual_property/apparent_temperature", |b| {
+        b.iter_batched(
+            || vprop.instantiate(std::slice::from_ref(&schema)).unwrap(),
+            |mut op| drive_batch(op.as_mut(), &tuples),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let cull_t = OpSpec::CullTime {
+        interval: TimeInterval::new(Timestamp::from_secs(0), Timestamp::from_secs(BATCH as i64)),
+        rate: 3,
+    };
+    group.bench_function("cull_time/rate3", |b| {
+        b.iter_batched(
+            || cull_t.instantiate(std::slice::from_ref(&schema)).unwrap(),
+            |mut op| drive_batch(op.as_mut(), &tuples),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let cull_s = OpSpec::CullSpace {
+        area: BoundingBox::from_corners(
+            GeoPoint::new_unchecked(34.5, 135.3),
+            GeoPoint::new_unchecked(34.9, 135.7),
+        ),
+        rate: 3,
+    };
+    group.bench_function("cull_space/rate3", |b| {
+        b.iter_batched(
+            || cull_s.instantiate(std::slice::from_ref(&schema)).unwrap(),
+            |mut op| drive_batch(op.as_mut(), &tuples),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_blocking(c: &mut Criterion) {
+    let tuples = make_tuples(BATCH, 42);
+    let schema = bench_schema();
+    let window = Duration::from_hours(100);
+    let mut group = c.benchmark_group("table1/blocking");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    for func in [AggFunc::Count, AggFunc::Avg, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+        let attr = if func == AggFunc::Count { None } else { Some("temperature".to_string()) };
+        let spec = OpSpec::Aggregate {
+            period: window,
+            group_by: vec!["station".into()],
+            func,
+            attr,
+            sliding: None,
+        };
+        group.bench_function(BenchmarkId::new("aggregate", func.name()), |b| {
+            b.iter_batched(
+                || spec.instantiate(std::slice::from_ref(&schema)).unwrap(),
+                |mut op| drive_batch(op.as_mut(), &tuples),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+
+    let trig = OpSpec::TriggerOn {
+        period: window,
+        condition: "temperature > 30".into(),
+        targets: vec!["rain".into()],
+    };
+    group.bench_function("trigger_on", |b| {
+        b.iter_batched(
+            || trig.instantiate(std::slice::from_ref(&schema)).unwrap(),
+            |mut op| drive_batch(op.as_mut(), &tuples),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_join_strategies(c: &mut Criterion) {
+    let schema = bench_schema();
+    let window = Duration::from_hours(100);
+    let mut group = c.benchmark_group("table1/join");
+    for n in [200usize, 800, 2_000] {
+        let left = make_tuples(n, 1);
+        let right = make_tuples(n, 2);
+        group.throughput(Throughput::Elements(2 * n as u64));
+        for nested in [false, true] {
+            let label = if nested { "nested_loop" } else { "hash" };
+            group.bench_function(BenchmarkId::new(label, n), |b| {
+                b.iter_batched(
+                    || {
+                        let mut op = JoinOp::new(
+                            window,
+                            "station = right_station and seq < right_seq",
+                            &schema,
+                            &schema,
+                        )
+                        .unwrap();
+                        op.set_force_nested_loop(nested);
+                        op
+                    },
+                    |mut op| {
+                        let mut ctx = OpContext::new(Timestamp::from_secs(0));
+                        for t in &left {
+                            op.on_tuple(0, t.clone(), &mut ctx).unwrap();
+                        }
+                        for t in &right {
+                            op.on_tuple(1, t.clone(), &mut ctx).unwrap();
+                        }
+                        op.on_timer(Timestamp::from_secs(1_000_000), &mut ctx).unwrap();
+                        ctx.emitted().len()
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_non_blocking, bench_blocking, bench_join_strategies);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! A2 — placement-policy ablation: SourceLocal vs LeastLoaded vs Random,
+//! with migration on and off, under a hotspot workload. Reports end-to-end
+//! delivery, network load, peak node utilisation and migration count.
+//!
+//! ```sh
+//! cargo run --release -p sl-bench --bin exp_ablation_placement
+//! ```
+
+use sl_bench::{passthrough_dataflow, print_table};
+use sl_engine::{Engine, EngineConfig, PlacementPolicy};
+use sl_netsim::{NodeSpec, Topology};
+use sl_sensors::physical::TemperatureSensor;
+use sl_stt::{Duration, GeoPoint, SensorId, Timestamp};
+
+/// A small asymmetric network: two weak edges, one mid, one strong core.
+fn topology() -> Topology {
+    let mut t = Topology::new();
+    let e0 = t.add_node(NodeSpec::edge("edge0", 150.0));
+    let e1 = t.add_node(NodeSpec::edge("edge1", 150.0));
+    let mid = t.add_node(NodeSpec::edge("mid", 2_000.0));
+    let core = t.add_node(NodeSpec::core("core", 50_000.0));
+    t.add_link(e0, core, Duration::from_millis(2), 50_000_000).unwrap();
+    t.add_link(e1, core, Duration::from_millis(2), 50_000_000).unwrap();
+    t.add_link(mid, core, Duration::from_millis(1), 100_000_000).unwrap();
+    t
+}
+
+fn run(policy: PlacementPolicy, migration: bool) -> Vec<String> {
+    let config = EngineConfig { placement: policy, migration_enabled: migration, ..Default::default() };
+    let topo = topology();
+    let mut engine = Engine::new(topo, config, Timestamp::from_civil(2016, 7, 1, 8, 0, 0));
+    // All sensors crowd edge0: the adversarial case for SourceLocal.
+    for i in 0..12u64 {
+        engine
+            .add_sensor(Box::new(TemperatureSensor::new(
+                SensorId(i),
+                &format!("t{i}"),
+                GeoPoint::new_unchecked(34.7, 135.5),
+                sl_netsim::NodeId(0),
+                Duration::from_millis(250),
+                false,
+                false,
+                i,
+            )))
+            .unwrap();
+    }
+    engine.deploy(passthrough_dataflow("abl", 4)).unwrap();
+    engine.run_for(Duration::from_mins(5));
+
+    let delivered = engine.monitor().sink_count("abl", "out");
+    let migrations = engine
+        .monitor()
+        .placements
+        .iter()
+        .filter(|p| p.reason.contains("migration"))
+        .count();
+    let peak_util = engine
+        .topology()
+        .node_ids()
+        .map(|n| engine.loads().utilization(engine.topology(), n).unwrap_or(0.0))
+        .fold(0.0f64, f64::max);
+    vec![
+        format!("{policy:?}"),
+        if migration { "on".into() } else { "off".into() },
+        delivered.to_string(),
+        engine.net_stats().total_msgs().to_string(),
+        format!("{peak_util:.2}"),
+        migrations.to_string(),
+    ]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for policy in [PlacementPolicy::SourceLocal, PlacementPolicy::LeastLoaded, PlacementPolicy::Random] {
+        for migration in [false, true] {
+            rows.push(run(policy, migration));
+        }
+    }
+    print_table(
+        "A2 — placement policy ablation (hotspot fleet on edge0, 5 min virtual)",
+        &["policy", "migration", "delivered", "net msgs", "peak util", "migrations"],
+        &rows,
+    );
+    println!("\nExpected shape: SourceLocal without migration pins work on the weak edge");
+    println!("(peak utilisation far above 1.0); enabling migration sheds the overload;");
+    println!("LeastLoaded avoids the hotspot from the start at the cost of more network");
+    println!("messages (tuples travel to the placed nodes).");
+}

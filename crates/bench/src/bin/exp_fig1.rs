@@ -1,0 +1,154 @@
+//! E2 — Figure 1 reproduction: the architecture pipeline. Measures the
+//! full dataflow → DSN → SCN → network-configuration path (deployment
+//! latency) across topology and dataflow sizes, plus reconfiguration cost
+//! when sensors churn.
+//!
+//! ```sh
+//! cargo run --release -p sl-bench --bin exp_fig1
+//! ```
+
+use sl_bench::{linear_dataflow, print_table};
+use sl_engine::{Engine, EngineConfig};
+use sl_netsim::Topology;
+use sl_pubsub::SensorKind;
+use sl_sensors::physical::TemperatureSensor;
+use sl_stt::{Duration, GeoPoint, SensorId, Timestamp};
+use std::time::Instant;
+
+fn start() -> Timestamp {
+    Timestamp::from_civil(2016, 7, 1, 8, 0, 0)
+}
+
+fn main() {
+    // --- deployment latency vs topology size -----------------------------
+    let mut rows = Vec::new();
+    for nodes in [8usize, 16, 32, 64, 128] {
+        let topo = Topology::random(nodes, nodes / 2, 7);
+        for ops in [3usize, 10, 20] {
+            let mut engine = Engine::new(topo.clone(), EngineConfig::default(), start());
+            // A modest fleet so source binding has work to do.
+            for i in 0..10u64 {
+                let node = topo.edge_nodes()[i as usize % topo.edge_nodes().len()];
+                engine
+                    .add_sensor(Box::new(TemperatureSensor::new(
+                        SensorId(i),
+                        &format!("t{i}"),
+                        GeoPoint::new_unchecked(34.7, 135.5),
+                        node,
+                        Duration::from_secs(10),
+                        false,
+                        false,
+                        i,
+                    )))
+                    .unwrap();
+            }
+            let df = linear_dataflow("bench", ops);
+            let t0 = Instant::now();
+            engine.deploy(df).unwrap();
+            let deploy = t0.elapsed();
+            // Reconfiguration: one sensor joins, one leaves.
+            let t1 = Instant::now();
+            engine
+                .add_sensor(Box::new(TemperatureSensor::new(
+                    SensorId(999),
+                    "late",
+                    GeoPoint::new_unchecked(34.7, 135.5),
+                    topo.edge_nodes()[0],
+                    Duration::from_secs(10),
+                    false,
+                    false,
+                    99,
+                )))
+                .unwrap();
+            engine.remove_sensor(SensorId(0)).unwrap();
+            let churn = t1.elapsed();
+            rows.push(vec![
+                nodes.to_string(),
+                ops.to_string(),
+                format!("{:.2}", deploy.as_secs_f64() * 1000.0),
+                format!("{:.3}", churn.as_secs_f64() * 1000.0),
+            ]);
+        }
+    }
+    print_table(
+        "E2 / Figure 1 — deployment & reconfiguration latency",
+        &["topology nodes", "operators", "deploy [ms]", "sensor churn [ms]"],
+        &rows,
+    );
+
+    // --- SCN command census vs dataflow size ------------------------------
+    let mut rows = Vec::new();
+    for ops in [1usize, 5, 10, 20, 40] {
+        let df = linear_dataflow("bench", ops);
+        let doc = sl_dataflow::to_dsn(&df);
+        let program = sl_dsn::compile(&doc).unwrap();
+        let (binds, spawns, flows, sinks) = program.census();
+        rows.push(vec![
+            ops.to_string(),
+            binds.to_string(),
+            spawns.to_string(),
+            flows.to_string(),
+            sinks.to_string(),
+        ]);
+    }
+    print_table(
+        "E2 / Figure 1 — SCN program size vs dataflow size",
+        &["operators", "binds", "spawns", "flows", "sinks"],
+        &rows,
+    );
+
+    // --- steady-state execution over the testbed --------------------------
+    let topo = Topology::nict_testbed();
+    let mut engine = Engine::new(topo.clone(), EngineConfig::default(), start());
+    for i in 0..9u64 {
+        let node = topo.edge_nodes()[i as usize % 9];
+        engine
+            .add_sensor(Box::new(TemperatureSensor::new(
+                SensorId(i),
+                &format!("t{i}"),
+                GeoPoint::new_unchecked(34.7, 135.5),
+                node,
+                Duration::from_secs(1),
+                false,
+                false,
+                i,
+            )))
+            .unwrap();
+    }
+    // The steady-state flow declares only the attributes the temperature
+    // sensors actually advertise (bindings are schema-checked).
+    let steady_schema = sl_stt::Schema::new(vec![
+        sl_stt::Field::new("temperature", sl_stt::AttrType::Float),
+        sl_stt::Field::new("station", sl_stt::AttrType::Str),
+    ])
+    .unwrap()
+    .into_ref();
+    let steady = sl_dataflow::DataflowBuilder::new("steady")
+        .source(
+            "src",
+            sl_pubsub::SubscriptionFilter::any()
+                .with_theme(sl_stt::Theme::new("weather").unwrap()),
+            steady_schema,
+        )
+        .filter("f0", "src", "temperature > 0")
+        .transform("f1", "f0", &[("temperature", "temperature * 1.0")])
+        .filter("f2", "f1", "temperature < 100")
+        .sink("out", sl_dsn::SinkKind::Visualization, &["f2"])
+        .build()
+        .unwrap();
+    engine.deploy(steady).unwrap();
+    let wall = Instant::now();
+    engine.run_for(Duration::from_mins(10));
+    let elapsed = wall.elapsed();
+    let stats = engine.net_stats();
+    let (physical, social) = sl_pubsub::registry::census(engine.broker().registry());
+    let _ = (physical, social, SensorKind::Physical);
+    println!("\nsteady state on the NICT-like testbed (10 min virtual in {:.2} s wall):", elapsed.as_secs_f64());
+    println!("  network messages: {}", stats.total_msgs());
+    println!("  network bytes:    {}", stats.total_bytes());
+    println!("  mean hop delay:   {:?}", stats.mean_hop_delay().map(|d| d.to_string()));
+    println!(
+        "  virtual-to-wall speedup: {:.0}x",
+        600.0 / elapsed.as_secs_f64().max(1e-9)
+    );
+}

@@ -1,0 +1,154 @@
+//! E3 — Figure 2 reproduction: the Osaka scenario end to end, with a
+//! trigger-threshold sweep showing the event-driven acquisition behaviour.
+//!
+//! ```sh
+//! cargo run --release -p sl-bench --bin exp_fig2_scenario
+//! ```
+
+use sl_bench::print_table;
+use sl_dataflow::DataflowBuilder;
+use sl_dsn::SinkKind;
+use sl_engine::{Engine, EngineConfig};
+use sl_ops::AggFunc;
+use sl_pubsub::SubscriptionFilter;
+use sl_sensors::scenario::{osaka_area, osaka_fleet};
+use sl_sensors::ScenarioConfig;
+use sl_stt::{AttrType, Duration, Field, Schema, SchemaRef, Theme, Timestamp, Unit};
+
+fn schema(fields: &[(&str, AttrType)]) -> SchemaRef {
+    Schema::new(fields.iter().map(|(n, t)| Field::new(n, *t)).collect())
+        .unwrap()
+        .into_ref()
+}
+
+fn scenario_dataflow(threshold: f64) -> sl_dataflow::Dataflow {
+    let theme = |t: &str| Theme::new(t).unwrap();
+    DataflowBuilder::new("osaka-hot-weather")
+        .source(
+            "temperature",
+            SubscriptionFilter::any()
+                .with_theme(theme("weather/temperature"))
+                .with_area(osaka_area())
+                .require_unit("temperature", Unit::Celsius),
+            schema(&[("temperature", AttrType::Float), ("station", AttrType::Str)]),
+        )
+        .gated_source(
+            "rain",
+            SubscriptionFilter::any().with_theme(theme("weather/rain")),
+            schema(&[
+                ("rain", AttrType::Float),
+                ("torrential", AttrType::Bool),
+                ("station", AttrType::Str),
+            ]),
+        )
+        .gated_source(
+            "tweets",
+            SubscriptionFilter::any().with_theme(theme("social/tweet")),
+            schema(&[("text", AttrType::Str), ("storm_related", AttrType::Bool)]),
+        )
+        .gated_source(
+            "traffic",
+            SubscriptionFilter::any().with_theme(theme("traffic")),
+            schema(&[("congestion", AttrType::Float), ("road", AttrType::Str)]),
+        )
+        .aggregate(
+            "hourly_avg",
+            "temperature",
+            Duration::from_hours(1),
+            &[],
+            AggFunc::Avg,
+            Some("temperature"),
+        )
+        .trigger_on(
+            "hot_hour",
+            "hourly_avg",
+            Duration::from_hours(1),
+            &format!("avg_temperature > {threshold}"),
+            &["rain", "tweets", "traffic"],
+        )
+        // Symmetric stand-down: cool hours deactivate acquisition again, so
+        // the threshold genuinely modulates how much data is acquired.
+        .trigger_off(
+            "cool_hour",
+            "hourly_avg",
+            Duration::from_hours(1),
+            &format!("avg_temperature <= {threshold}"),
+            &["rain", "tweets", "traffic"],
+        )
+        .filter("torrential", "rain", "torrential = true")
+        .filter("storm_tweets", "tweets", "storm_related = true")
+        .filter("congested", "traffic", "congestion > 0.6")
+        .sink("edw", SinkKind::Warehouse, &["torrential", "storm_tweets", "congested"])
+        .build()
+        .unwrap()
+}
+
+fn run(threshold: f64, hours: u64) -> (usize, usize, u64, usize) {
+    let fleet = osaka_fleet(&ScenarioConfig::default());
+    let mut engine = Engine::new(fleet.topology, EngineConfig::default(), Timestamp::from_civil(2016, 7, 1, 8, 0, 0));
+    for s in fleet.sensors {
+        engine.add_sensor(s).unwrap();
+    }
+    engine.deploy(scenario_dataflow(threshold)).unwrap();
+    let mut first_activation_hour = None;
+    for h in 0..hours {
+        engine.run_for(Duration::from_hours(1));
+        if first_activation_hour.is_none()
+            && engine.source_active("osaka-hot-weather", "rain") == Some(true)
+        {
+            first_activation_hour = Some(h + 1);
+        }
+    }
+    let activations = engine
+        .monitor()
+        .controls
+        .iter()
+        .filter(|c| c.action.is_activate())
+        .count();
+    (
+        activations,
+        first_activation_hour.map(|h| h as usize).unwrap_or(0),
+        engine.monitor().sink_count("osaka-hot-weather", "edw"),
+        engine.warehouse().len(),
+    )
+}
+
+fn main() {
+    // Threshold sweep (each point is an independent 24 h simulation, so run
+    // them in parallel with scoped threads).
+    let thresholds = [20.0, 23.0, 25.0, 28.0, 31.0, 35.0];
+    let mut results: Vec<Option<(usize, usize, u64, usize)>> = vec![None; thresholds.len()];
+    crossbeam::thread::scope(|scope| {
+        for (slot, threshold) in results.iter_mut().zip(thresholds) {
+            scope.spawn(move |_| {
+                *slot = Some(run(threshold, 24));
+            });
+        }
+    })
+    .expect("sweep threads join");
+    let mut rows = Vec::new();
+    for (threshold, result) in thresholds.iter().zip(results) {
+        let (activations, first_hour, sink_tuples, events) = result.expect("thread ran");
+        rows.push(vec![
+            format!("{threshold}"),
+            activations.to_string(),
+            if first_hour == 0 { "never".into() } else { format!("{first_hour}") },
+            sink_tuples.to_string(),
+            events.to_string(),
+        ]);
+    }
+    print_table(
+        "E3 / Figure 2 — Osaka scenario, 24 h, trigger threshold sweep",
+        &[
+            "threshold [°C]",
+            "trigger fires",
+            "first activation [h]",
+            "tuples to EDW",
+            "EDW events",
+        ],
+        &rows,
+    );
+    println!("\nExpected shape: lower thresholds fire earlier and more often, and load");
+    println!("monotonically more data into the warehouse; extreme thresholds never fire");
+    println!("and the warehouse stays empty — acquisition is genuinely event-driven.");
+}

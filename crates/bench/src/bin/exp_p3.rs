@@ -1,0 +1,88 @@
+//! E7 — Demo P3 reproduction: plug-and-play churn against a running
+//! dataflow, with the system's reactions on a timeline.
+//!
+//! ```sh
+//! cargo run --release -p sl-bench --bin exp_p3
+//! ```
+
+use sl_bench::{passthrough_dataflow, print_table};
+use sl_engine::{Engine, EngineConfig};
+use sl_netsim::Topology;
+use sl_sensors::physical::TemperatureSensor;
+use sl_stt::{Duration, GeoPoint, SensorId, Timestamp};
+
+fn sensor(id: u64, node_idx: usize, topo: &Topology, period_ms: u64) -> Box<TemperatureSensor> {
+    let edges = topo.edge_nodes();
+    Box::new(TemperatureSensor::new(
+        SensorId(id),
+        &format!("churn-{id}"),
+        GeoPoint::new_unchecked(34.7, 135.5),
+        edges[node_idx % edges.len()],
+        Duration::from_millis(period_ms),
+        false,
+        false,
+        id,
+    ))
+}
+
+fn main() {
+    let topo = Topology::nict_testbed();
+    let mut engine = Engine::new(
+        topo.clone(),
+        EngineConfig::default(),
+        Timestamp::from_civil(2016, 7, 1, 8, 0, 0),
+    );
+    engine.deploy(passthrough_dataflow("p3", 3)).unwrap();
+
+    // Churn schedule: every 10 s one sensor joins; every 25 s the oldest
+    // leaves. Observe binding counts and delivered tuples.
+    let mut live: Vec<SensorId> = Vec::new();
+    let mut next_id = 0u64;
+    let mut rows = Vec::new();
+    for step in 0..24 {
+        let t = step * 10;
+        if t % 10 == 0 {
+            let id = engine.add_sensor(sensor(next_id, next_id as usize, &topo, 1000)).unwrap();
+            live.push(id);
+            next_id += 1;
+        }
+        if t % 25 == 0 && live.len() > 1 {
+            let id = live.remove(0);
+            engine.remove_sensor(id).unwrap();
+        }
+        engine.run_for(Duration::from_secs(10));
+        let bound = engine.bound_sensors("p3", "src").len();
+        let c = engine.monitor().op("p3", "f0");
+        rows.push(vec![
+            format!("{}", t + 10),
+            live.len().to_string(),
+            bound.to_string(),
+            c.map_or(0, |c| c.tuples_in).to_string(),
+        ]);
+        assert_eq!(bound, live.len(), "binding must track membership");
+    }
+    print_table(
+        "E7 / P3 — plug-and-play churn timeline",
+        &["t [s]", "live sensors", "bound to src", "tuples into f0 (cum.)"],
+        &rows,
+    );
+
+    println!("\nmembership log (first 10 entries):");
+    for line in engine.monitor().membership.iter().take(10) {
+        println!("  {line}");
+    }
+    println!("\nnetwork after churn: {} messages, {} bytes", engine.net_stats().total_msgs(), engine.net_stats().total_bytes());
+
+    // --- network failure injection ("performances of the network") -------
+    let before = engine.monitor().op("p3", "f0").map_or(0, |c| c.tuples_in);
+    // Fail one of the core-ring links: traffic detours around the ring.
+    engine.set_link_up(sl_netsim::LinkId(0), false).unwrap();
+    engine.run_for(Duration::from_secs(60));
+    let during = engine.monitor().op("p3", "f0").map_or(0, |c| c.tuples_in);
+    engine.set_link_up(sl_netsim::LinkId(0), true).unwrap();
+    engine.run_for(Duration::from_secs(60));
+    let after = engine.monitor().op("p3", "f0").map_or(0, |c| c.tuples_in);
+    println!("\nlink failure drill on the core ring (link#0):");
+    println!("  tuples before: {before}; +60s with the link down: {during}; +60s restored: {after}");
+    println!("  (the ring provides a detour, so the flow survives the failure)");
+}

@@ -1,0 +1,359 @@
+//! Logical dataflow optimisation.
+//!
+//! Requirement §1 asks the tool to "optimize the schedule for the execution
+//! of the dataflow". Before placement (a network-level concern handled by
+//! the engine), two classic stream-ETL rewrites apply at the conceptual
+//! level:
+//!
+//! 1. **Filter pull-ahead** — a Filter that directly follows a Transform or
+//!    Virtual-Property node, and whose condition only references attributes
+//!    the upstream operator does not produce or modify, is swapped with it,
+//!    so fewer tuples pay the transformation cost.
+//! 2. **Filter fusion** — two adjacent Filters merge into one with the
+//!    conjoined condition, halving per-tuple operator overhead.
+//!
+//! Rewrites only fire on *linear* segments (single consumer) and the result
+//! is re-validated; if re-validation fails the rewrite is rolled back, so
+//! `optimize` never turns a valid dataflow invalid. Ablation A1/A2 measures
+//! the effect.
+
+use crate::error::DataflowError;
+use crate::graph::{Dataflow, NodeKind};
+use crate::validate::validate;
+use sl_expr::parse;
+use sl_ops::OpSpec;
+
+/// A rewrite the optimiser applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rewrite {
+    /// `filter` was moved before `producer`.
+    FilterPulledAhead {
+        /// The filter node.
+        filter: String,
+        /// The transform/virtual-property it now precedes.
+        producer: String,
+    },
+    /// `second` was merged into `first` (and removed).
+    FiltersFused {
+        /// Surviving filter.
+        first: String,
+        /// Removed filter.
+        second: String,
+    },
+}
+
+/// Optimise a dataflow, returning the rewritten flow and the rewrites
+/// applied. The input must be valid.
+pub fn optimize(df: &Dataflow) -> Result<(Dataflow, Vec<Rewrite>), DataflowError> {
+    validate(df)?;
+    let mut current = df.clone();
+    let mut rewrites = Vec::new();
+    // Iterate to a fixpoint; each pass applies at most one rewrite so that
+    // re-validation stays simple.
+    while let Some((next, rw)) = try_one_rewrite(&current)? {
+        rewrites.push(rw);
+        current = next;
+    }
+    Ok((current, rewrites))
+}
+
+fn try_one_rewrite(df: &Dataflow) -> Result<Option<(Dataflow, Rewrite)>, DataflowError> {
+    // Collect candidate pairs (producer -> filter) first to sidestep borrow
+    // issues while mutating.
+    for node in df.nodes() {
+        let NodeKind::Operator { spec: OpSpec::Filter { condition } } = &node.kind else {
+            continue;
+        };
+        debug_assert_eq!(node.inputs.len(), 1);
+        let upstream_name = &node.inputs[0];
+        let Some(upstream) = df.node(upstream_name) else { continue };
+        // Only rewrite across linear edges: upstream feeds just this filter.
+        if df.consumers(upstream_name).len() != 1 {
+            continue;
+        }
+        match &upstream.kind {
+            // Fusion: filter over filter.
+            NodeKind::Operator { spec: OpSpec::Filter { condition: up_cond } } => {
+                let mut next = df.clone();
+                let fused = format!("({up_cond}) and ({condition})");
+                next.replace_spec(upstream_name, OpSpec::Filter { condition: fused })?;
+                // Splice this filter out: its consumers read from upstream.
+                let filter_name = node.name.clone();
+                rewire_consumers(&mut next, &filter_name, upstream_name);
+                next.remove_node(&filter_name)?;
+                if validate(&next).is_ok() {
+                    return Ok(Some((
+                        next,
+                        Rewrite::FiltersFused {
+                            first: upstream_name.clone(),
+                            second: filter_name,
+                        },
+                    )));
+                }
+            }
+            // Pull-ahead across Transform / VirtualProperty.
+            NodeKind::Operator {
+                spec: spec @ (OpSpec::Transform { .. } | OpSpec::VirtualProperty { .. }),
+            } => {
+                if !filter_independent(condition, spec) {
+                    continue;
+                }
+                let mut next = df.clone();
+                let filter_name = node.name.clone();
+                let producer_name = upstream_name.clone();
+                let grand_input = upstream.inputs[0].clone();
+                // filter now reads from the grand input; producer reads from
+                // filter; producer's old consumers (this filter's consumers)
+                // read from producer.
+                rewire_consumers(&mut next, &filter_name, &producer_name);
+                set_inputs(&mut next, &filter_name, vec![grand_input]);
+                set_inputs(&mut next, &producer_name, vec![filter_name.clone()]);
+                if validate(&next).is_ok() {
+                    return Ok(Some((
+                        next,
+                        Rewrite::FilterPulledAhead { filter: filter_name, producer: producer_name },
+                    )));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(None)
+}
+
+/// True if `condition` references no attribute that `spec` creates or
+/// overwrites (so evaluating it before `spec` is equivalent).
+fn filter_independent(condition: &str, spec: &OpSpec) -> bool {
+    let Ok(expr) = parse(condition) else { return false };
+    let refs = expr.referenced_attrs();
+    match spec {
+        OpSpec::Transform { assignments } => {
+            assignments.iter().all(|(attr, _)| !refs.contains(&attr.as_str()))
+        }
+        OpSpec::VirtualProperty { property, .. } => !refs.contains(&property.as_str()),
+        _ => false,
+    }
+}
+
+/// Point every consumer of `of` at `to` instead.
+fn rewire_consumers(df: &mut Dataflow, of: &str, to: &str) {
+    let consumer_names: Vec<(String, usize)> = df
+        .consumers(of)
+        .into_iter()
+        .map(|(n, port)| (n.name.clone(), port))
+        .collect();
+    for (name, port) in consumer_names {
+        let mut inputs = df.node(&name).expect("consumer exists").inputs.clone();
+        inputs[port] = to.to_string();
+        set_inputs(df, &name, inputs);
+    }
+}
+
+/// Overwrite a node's inputs (rebuilds the node in place).
+fn set_inputs(df: &mut Dataflow, name: &str, inputs: Vec<String>) {
+    // Dataflow has no public input mutator by design (the builder API owns
+    // construction); the optimiser rebuilds the graph instead.
+    let mut rebuilt = Dataflow::new(&df.name);
+    // Preserve insertion order but with the updated wiring; insertion-order
+    // validity is restored by add order being original order with edges only
+    // to earlier nodes not guaranteed — so we bypass checks by two passes:
+    // first nodes without inputs validation via direct reconstruction.
+    let nodes: Vec<_> = df
+        .nodes()
+        .iter()
+        .map(|n| {
+            let mut n = n.clone();
+            if n.name == name {
+                n.inputs = inputs.clone();
+            }
+            n
+        })
+        .collect();
+    let qos: Vec<_> = df.qos_entries().map(|(k, v)| (k.clone(), *v)).collect();
+    // Insert in an order where inputs precede consumers (simple repeated
+    // passes; graphs are small).
+    let mut pending = nodes;
+    let mut guard = 0;
+    while !pending.is_empty() {
+        let mut progressed = false;
+        let mut rest = Vec::new();
+        for n in pending {
+            let ready = n.inputs.iter().all(|i| rebuilt.node(i).is_some());
+            if ready && rebuilt.add_node(n.clone()).is_ok() {
+                progressed = true;
+            } else {
+                rest.push(n);
+            }
+        }
+        pending = rest;
+        guard += 1;
+        if !progressed || guard > 1000 {
+            // Cyclic after rewiring; keep whatever was built — validation
+            // downstream will reject it.
+            for n in pending {
+                let _ = rebuilt.add_node(n);
+            }
+            break;
+        }
+    }
+    for ((from, to), q) in qos {
+        let _ = rebuilt.set_qos(&from, &to, q);
+    }
+    *df = rebuilt;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DataflowBuilder;
+    use crate::debug::debug_run;
+    use sl_dsn::SinkKind;
+    use sl_pubsub::SubscriptionFilter;
+    use sl_stt::{
+        AttrType, Field, GeoPoint, Schema, SchemaRef, SensorId, SttMeta, Theme, Timestamp, Tuple,
+        Value,
+    };
+    use std::collections::HashMap;
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("temperature", AttrType::Float),
+            Field::new("humidity", AttrType::Float),
+        ])
+        .unwrap()
+        .into_ref()
+    }
+
+    fn sample(t: f64, h: f64, sec: i64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![Value::Float(t), Value::Float(h)],
+            SttMeta::new(
+                Timestamp::from_secs(sec),
+                GeoPoint::new_unchecked(34.7, 135.5),
+                Theme::new("weather").unwrap(),
+                SensorId(0),
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_pulled_ahead_of_virtual_property() {
+        let df = DataflowBuilder::new("t")
+            .source("s", SubscriptionFilter::any(), schema())
+            .virtual_property("vp", "s", "at", "apparent_temperature(temperature, humidity)")
+            .filter("f", "vp", "temperature > 25") // independent of `at`
+            .sink("out", SinkKind::Console, &["f"])
+            .build()
+            .unwrap();
+        let (opt, rewrites) = optimize(&df).unwrap();
+        assert_eq!(
+            rewrites,
+            vec![Rewrite::FilterPulledAhead { filter: "f".into(), producer: "vp".into() }]
+        );
+        // New wiring: s -> f -> vp -> out.
+        assert_eq!(opt.node("f").unwrap().inputs, vec!["s".to_string()]);
+        assert_eq!(opt.node("vp").unwrap().inputs, vec!["f".to_string()]);
+        assert_eq!(opt.node("out").unwrap().inputs, vec!["vp".to_string()]);
+        assert!(validate(&opt).is_ok());
+    }
+
+    #[test]
+    fn dependent_filter_not_moved() {
+        let df = DataflowBuilder::new("t")
+            .source("s", SubscriptionFilter::any(), schema())
+            .virtual_property("vp", "s", "at", "apparent_temperature(temperature, humidity)")
+            .filter("f", "vp", "at > 27") // depends on the virtual property
+            .sink("out", SinkKind::Console, &["f"])
+            .build()
+            .unwrap();
+        let (_, rewrites) = optimize(&df).unwrap();
+        assert!(rewrites.is_empty());
+    }
+
+    #[test]
+    fn adjacent_filters_fuse() {
+        let df = DataflowBuilder::new("t")
+            .source("s", SubscriptionFilter::any(), schema())
+            .filter("f1", "s", "temperature > 20")
+            .filter("f2", "f1", "humidity > 50")
+            .sink("out", SinkKind::Console, &["f2"])
+            .build()
+            .unwrap();
+        let (opt, rewrites) = optimize(&df).unwrap();
+        assert_eq!(rewrites.len(), 1);
+        assert!(matches!(&rewrites[0], Rewrite::FiltersFused { first, second }
+            if first == "f1" && second == "f2"));
+        assert!(opt.node("f2").is_none());
+        match opt.node("f1").unwrap().spec().unwrap() {
+            OpSpec::Filter { condition } => {
+                assert_eq!(condition, "(temperature > 20) and (humidity > 50)");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn optimized_flow_is_behaviour_preserving() {
+        let df = DataflowBuilder::new("t")
+            .source("s", SubscriptionFilter::any(), schema())
+            .virtual_property("vp", "s", "at", "apparent_temperature(temperature, humidity)")
+            .filter("f", "vp", "temperature > 25")
+            .filter("g", "f", "humidity > 40")
+            .sink("out", SinkKind::Console, &["g"])
+            .build()
+            .unwrap();
+        let (opt, rewrites) = optimize(&df).unwrap();
+        assert!(!rewrites.is_empty());
+        let mut samples = HashMap::new();
+        samples.insert(
+            "s".to_string(),
+            vec![sample(30.0, 60.0, 0), sample(20.0, 60.0, 1), sample(30.0, 30.0, 2), sample(26.0, 45.0, 3)],
+        );
+        let before = debug_run(&df, &samples).unwrap();
+        let after = debug_run(&opt, &samples).unwrap();
+        // The tuples reaching the sink's producer are identical.
+        let sink_in_before: Vec<String> =
+            before.output_of(&df.node("out").unwrap().inputs[0]).iter().map(|t| t.to_string()).collect();
+        let sink_in_after: Vec<String> =
+            after.output_of(&opt.node("out").unwrap().inputs[0]).iter().map(|t| t.to_string()).collect();
+        // Pull-ahead reorders operators but not tuples; fused filters keep order.
+        assert_eq!(sink_in_before.len(), sink_in_after.len());
+        for t in &sink_in_before {
+            // Attribute order may differ after reordering (vp appends `at`
+            // after the filter), but the same tuples survive.
+            assert!(
+                sink_in_after.iter().any(|u| u.contains(&t[..t.find('}').unwrap_or(0)])) || sink_in_after.contains(t),
+                "missing {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn branching_edges_block_rewrites() {
+        // vp feeds both the filter and a second sink: pulling the filter
+        // ahead would change what the other consumer sees.
+        let df = DataflowBuilder::new("t")
+            .source("s", SubscriptionFilter::any(), schema())
+            .virtual_property("vp", "s", "at", "apparent_temperature(temperature, humidity)")
+            .filter("f", "vp", "temperature > 25")
+            .sink("out", SinkKind::Console, &["f"])
+            .sink("tap", SinkKind::Console, &["vp"])
+            .build()
+            .unwrap();
+        let (_, rewrites) = optimize(&df).unwrap();
+        assert!(rewrites.is_empty());
+    }
+
+    #[test]
+    fn invalid_input_rejected() {
+        let df = DataflowBuilder::new("t")
+            .source("s", SubscriptionFilter::any(), schema())
+            .filter("f", "s", "ghost > 1")
+            .sink("out", SinkKind::Console, &["f"])
+            .build()
+            .unwrap();
+        assert!(optimize(&df).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! ASCII rendering of dataflows — the textual stand-in for the Figure 2
+//! canvas and its "live" annotations.
+
+use crate::graph::{Dataflow, NodeKind};
+use crate::validate::validate;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Render a dataflow as indented text: nodes grouped by layer (sources,
+/// operators in topological order, sinks), each with its wiring, and — when
+/// the flow validates — the schema every node produces (the bottom-panel
+/// information of Figure 2). `annotations` lets the caller attach live
+/// execution notes per node (tuples/sec, hosting node), turning the listing
+/// into the monitoring view of Figure 3.
+pub fn render_ascii(df: &Dataflow, annotations: &HashMap<String, String>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "dataflow \"{}\"", df.name);
+    let schemas = validate(df).ok().map(|r| r.schemas);
+    let order: Vec<String> = match validate(df) {
+        Ok(r) => r.topo_order,
+        Err(_) => df.operators().map(|n| n.name.clone()).collect(),
+    };
+
+    let _ = writeln!(out, "  sources:");
+    for node in df.sources() {
+        let NodeKind::Source { filter, mode, schema } = &node.kind else { unreachable!() };
+        let _ = write!(out, "    ◉ {} [{}] filter: {}", node.name, mode, filter);
+        let _ = writeln!(out, "\n        schema {schema}");
+        if let Some(a) = annotations.get(&node.name) {
+            let _ = writeln!(out, "        ⚡ {a}");
+        }
+    }
+    let _ = writeln!(out, "  operators:");
+    for name in &order {
+        let Some(node) = df.node(name) else { continue };
+        let NodeKind::Operator { spec } = &node.kind else { continue };
+        let _ = writeln!(out, "    ▢ {} := {}  ⟵ {}", node.name, spec, node.inputs.join(", "));
+        if let Some(schemas) = &schemas {
+            if let Some(s) = schemas.get(name) {
+                let _ = writeln!(out, "        schema {s}");
+            }
+        }
+        if let Some(a) = annotations.get(name) {
+            let _ = writeln!(out, "        ⚡ {a}");
+        }
+    }
+    let _ = writeln!(out, "  sinks:");
+    for node in df.sinks() {
+        let NodeKind::Sink { kind } = &node.kind else { unreachable!() };
+        let _ = writeln!(out, "    ▣ {} ({kind}) ⟵ {}", node.name, node.inputs.join(", "));
+        if let Some(a) = annotations.get(&node.name) {
+            let _ = writeln!(out, "        ⚡ {a}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DataflowBuilder;
+    use sl_dsn::SinkKind;
+    use sl_pubsub::SubscriptionFilter;
+    use sl_stt::{AttrType, Field, Schema};
+
+    #[test]
+    fn renders_all_sections() {
+        let schema = Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref();
+        let df = DataflowBuilder::new("demo")
+            .source("s", SubscriptionFilter::any(), schema)
+            .filter("f", "s", "v > 1")
+            .sink("out", SinkKind::Warehouse, &["f"])
+            .build()
+            .unwrap();
+        let mut ann = HashMap::new();
+        ann.insert("f".to_string(), "142 tuples/s on node#3".to_string());
+        let text = render_ascii(&df, &ann);
+        assert!(text.contains("dataflow \"demo\""));
+        assert!(text.contains("◉ s"));
+        assert!(text.contains("▢ f := σ(s, v > 1)"));
+        assert!(text.contains("142 tuples/s"));
+        assert!(text.contains("▣ out (warehouse)"));
+        assert!(text.contains("schema (v: float)"));
+    }
+
+    #[test]
+    fn renders_invalid_flow_without_schemas() {
+        let schema = Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref();
+        let df = DataflowBuilder::new("bad")
+            .source("s", SubscriptionFilter::any(), schema)
+            .filter("f", "s", "ghost > 1")
+            .sink("out", SinkKind::Console, &["f"])
+            .build()
+            .unwrap();
+        let text = render_ascii(&df, &HashMap::new());
+        assert!(text.contains("▢ f"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Dataflow validation: structural checks plus schema propagation.
+//!
+//! This is the gate before translation: "Once the dataflow is consistent
+//! (i.e. it can be soundly activated at network level), the translation is
+//! automatically invoked" (paper §1). Validation computes the schema at
+//! every node — the information the Figure 2 bottom panel shows per
+//! operation — and fails with a node-attributed error on the first
+//! inconsistency.
+
+use crate::error::DataflowError;
+use crate::graph::{Dataflow, NodeKind};
+use crate::translate::to_dsn;
+use sl_stt::SchemaRef;
+use std::collections::HashMap;
+
+/// Result of a successful validation.
+#[derive(Debug, Clone)]
+pub struct ValidationReport {
+    /// Output schema of every producer node (what each downstream operation
+    /// will observe).
+    pub schemas: HashMap<String, SchemaRef>,
+    /// Operator names in a valid execution order.
+    pub topo_order: Vec<String>,
+}
+
+impl ValidationReport {
+    /// The schema a given node produces.
+    pub fn schema_of(&self, node: &str) -> Option<&SchemaRef> {
+        self.schemas.get(node)
+    }
+}
+
+/// Validate a dataflow. All DSN structural checks run first (via the
+/// translation path, which guarantees the conceptual graph and its DSN image
+/// are checked identically), then schemas are propagated source→sink.
+pub fn validate(df: &Dataflow) -> Result<ValidationReport, DataflowError> {
+    // Structural pass (unique names, arity, cycles, trigger targets, gated
+    // sources, channels).
+    let doc = to_dsn(df);
+    let topo_order = sl_dsn::validate(&doc)?;
+
+    // Schema propagation in topological order.
+    let mut schemas: HashMap<String, SchemaRef> = HashMap::new();
+    for node in df.sources() {
+        if let NodeKind::Source { schema, .. } = &node.kind {
+            schemas.insert(node.name.clone(), schema.clone());
+        }
+    }
+    for name in &topo_order {
+        let node = df.node(name).expect("topo names exist");
+        let NodeKind::Operator { spec } = &node.kind else {
+            continue;
+        };
+        let mut inputs = Vec::with_capacity(node.inputs.len());
+        for i in &node.inputs {
+            inputs.push(
+                schemas
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| DataflowError::UnknownNode(i.clone()))?,
+            );
+        }
+        let out = spec
+            .output_schema(&inputs)
+            .map_err(|error| DataflowError::AtNode { node: name.clone(), error })?;
+        schemas.insert(name.clone(), out);
+    }
+    Ok(ValidationReport { schemas, topo_order })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DataflowBuilder;
+    use sl_dsn::SinkKind;
+    use sl_ops::AggFunc;
+    use sl_pubsub::SubscriptionFilter;
+    use sl_stt::{AttrType, Duration, Field, Schema};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("temperature", AttrType::Float),
+            Field::new("humidity", AttrType::Float),
+            Field::new("station", AttrType::Str),
+        ])
+        .unwrap()
+        .into_ref()
+    }
+
+    #[test]
+    fn schemas_propagate_through_pipeline() {
+        let df = DataflowBuilder::new("demo")
+            .source("temp", SubscriptionFilter::any(), schema())
+            .virtual_property("at", "temp", "apparent", "apparent_temperature(temperature, humidity)")
+            .filter("hot", "at", "apparent > 27")
+            .aggregate("hourly", "hot", Duration::from_hours(1), &["station"], AggFunc::Avg, Some("apparent"))
+            .sink("out", SinkKind::Warehouse, &["hourly"])
+            .build()
+            .unwrap();
+        let report = validate(&df).unwrap();
+        assert_eq!(report.topo_order, vec!["at", "hot", "hourly"]);
+        // The virtual property appears downstream.
+        assert!(report.schema_of("at").unwrap().contains("apparent"));
+        assert!(report.schema_of("hot").unwrap().contains("apparent"));
+        // The aggregate narrows the schema to keys + result.
+        let agg = report.schema_of("hourly").unwrap();
+        assert_eq!(agg.len(), 2);
+        assert!(agg.contains("station"));
+        assert!(agg.contains("avg_apparent"));
+    }
+
+    #[test]
+    fn condition_on_missing_attribute_fails_at_node() {
+        let df = DataflowBuilder::new("demo")
+            .source("temp", SubscriptionFilter::any(), schema())
+            .filter("bad", "temp", "wind_speed > 5")
+            .sink("out", SinkKind::Console, &["bad"])
+            .build()
+            .unwrap();
+        match validate(&df) {
+            Err(DataflowError::AtNode { node, .. }) => assert_eq!(node, "bad"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribute_consumed_by_aggregate_unavailable_downstream() {
+        // After aggregation only group keys + result remain; referencing the
+        // raw attribute downstream must fail — exactly the consistency
+        // mistake the GUI prevents.
+        let df = DataflowBuilder::new("demo")
+            .source("temp", SubscriptionFilter::any(), schema())
+            .aggregate("agg", "temp", Duration::from_secs(60), &[], AggFunc::Avg, Some("temperature"))
+            .filter("bad", "agg", "temperature > 25") // gone: only avg_temperature
+            .sink("out", SinkKind::Console, &["bad"])
+            .build()
+            .unwrap();
+        assert!(matches!(validate(&df), Err(DataflowError::AtNode { node, .. }) if node == "bad"));
+    }
+
+    #[test]
+    fn join_schema_visible_to_predicate() {
+        let left = Schema::new(vec![
+            Field::new("station", AttrType::Str),
+            Field::new("temperature", AttrType::Float),
+        ])
+        .unwrap()
+        .into_ref();
+        let right = Schema::new(vec![
+            Field::new("station", AttrType::Str),
+            Field::new("rain", AttrType::Float),
+        ])
+        .unwrap()
+        .into_ref();
+        let df = DataflowBuilder::new("j")
+            .source("t", SubscriptionFilter::any(), left)
+            .source("r", SubscriptionFilter::any(), right)
+            .join("joined", "t", "r", Duration::from_secs(10), "station = right_station")
+            .sink("out", SinkKind::Console, &["joined"])
+            .build()
+            .unwrap();
+        let report = validate(&df).unwrap();
+        let js = report.schema_of("joined").unwrap();
+        assert!(js.contains("station") && js.contains("right_station") && js.contains("rain"));
+    }
+
+    #[test]
+    fn structural_errors_surface_from_dsn_layer() {
+        // Gated source never activated.
+        let df = DataflowBuilder::new("g")
+            .source("a", SubscriptionFilter::any(), schema())
+            .gated_source("b", SubscriptionFilter::any(), schema())
+            .sink("out", SinkKind::Console, &["a"])
+            .build()
+            .unwrap();
+        assert!(matches!(validate(&df), Err(DataflowError::Dsn(_))));
+    }
+
+    #[test]
+    fn type_error_in_transform_fails() {
+        let df = DataflowBuilder::new("t")
+            .source("a", SubscriptionFilter::any(), schema())
+            .transform("bad", "a", &[("station", "station + 1")]) // str + int
+            .sink("out", SinkKind::Console, &["bad"])
+            .build()
+            .unwrap();
+        assert!(matches!(validate(&df), Err(DataflowError::AtNode { .. })));
+    }
+}

@@ -1,0 +1,76 @@
+//! Engine configuration: placement policy, migration thresholds, monitoring
+//! cadence.
+
+use sl_stt::{Duration, SpatialGranularity, TemporalGranularity};
+
+/// Where operator processes are initially placed (ablation A2 compares
+/// these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// On the node of the process's first upstream producer (minimal first
+    /// hop; concentrates load at the edge).
+    SourceLocal,
+    /// On the node with the lowest CPU utilisation that fits the estimated
+    /// demand (the default greedy load-aware policy).
+    LeastLoaded,
+    /// Uniformly random among nodes that fit (seeded; the baseline).
+    Random,
+}
+
+/// Engine knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Initial placement policy.
+    pub placement: PlacementPolicy,
+    /// Utilisation above which a node sheds processes.
+    pub migration_threshold: f64,
+    /// Enable runtime migration at all.
+    pub migration_enabled: bool,
+    /// Monitor sampling period (the Figure 3 refresh).
+    pub monitor_period: Duration,
+    /// Per-tuple processing latency added at each operator hop.
+    pub processing_delay: Duration,
+    /// Estimated demand (ops/sec) assumed for a fresh process before real
+    /// rates are observed.
+    pub initial_demand: f64,
+    /// Temporal granularity used when loading tuples into the warehouse.
+    pub warehouse_tgran: TemporalGranularity,
+    /// Spatial granularity used when loading tuples into the warehouse.
+    pub warehouse_sgran: SpatialGranularity,
+    /// RNG seed (placement randomisation and nothing else — sensors own
+    /// their seeds).
+    pub seed: u64,
+    /// Cap on retained console-sink lines.
+    pub console_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            placement: PlacementPolicy::LeastLoaded,
+            migration_threshold: 0.9,
+            migration_enabled: true,
+            monitor_period: Duration::from_secs(1),
+            processing_delay: Duration::from_millis(1),
+            initial_demand: 50.0,
+            warehouse_tgran: TemporalGranularity::Minute,
+            warehouse_sgran: SpatialGranularity::grid(8),
+            seed: 7,
+            console_capacity: 1000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineConfig::default();
+        assert_eq!(c.placement, PlacementPolicy::LeastLoaded);
+        assert!(c.migration_enabled);
+        assert!(c.migration_threshold > 0.5 && c.migration_threshold <= 1.0);
+        assert!(!c.monitor_period.is_zero());
+    }
+}

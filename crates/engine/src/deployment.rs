@@ -1,0 +1,96 @@
+//! Runtime state of a deployed dataflow.
+
+use sl_dataflow::Dataflow;
+use sl_dsn::SinkKind;
+use sl_netsim::{FlowId, NodeId, ProcessId};
+use sl_ops::Operator;
+use sl_pubsub::{SubscriptionFilter, SubscriptionId};
+use sl_stt::{SchemaRef, SensorId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runtime state of one dataflow source.
+pub struct SourceRuntime {
+    /// The sensor filter.
+    pub filter: SubscriptionFilter,
+    /// The broker subscription backing it.
+    pub subscription: SubscriptionId,
+    /// Declared tuple schema (tuples are projected onto it).
+    pub schema: SchemaRef,
+    /// Whether acquisition is currently active (triggers flip this).
+    pub active: bool,
+    /// Sensors currently bound.
+    pub sensors: BTreeSet<SensorId>,
+}
+
+/// Runtime state of one operator process.
+pub struct ServiceRuntime {
+    /// The process id in the load tracker.
+    pub process: ProcessId,
+    /// The live operator.
+    pub op: Box<dyn Operator>,
+    /// Node currently hosting the process.
+    pub node: NodeId,
+    /// Producer names in port order.
+    pub inputs: Vec<String>,
+    /// Whether a periodic tick is scheduled (blocking operators).
+    pub blocking: bool,
+}
+
+/// Runtime state of one sink.
+pub struct SinkRuntime {
+    /// Destination kind.
+    pub kind: SinkKind,
+    /// Node hosting the sink endpoint.
+    pub node: NodeId,
+}
+
+/// One dataflow edge with its installed flow (service/sink edges only;
+/// sensor→source edges route dynamically).
+#[derive(Debug, Clone)]
+pub struct EdgeRuntime {
+    /// Producer name.
+    pub from: String,
+    /// Consumer name.
+    pub to: String,
+    /// Consumer port.
+    pub port: usize,
+    /// Installed flow, when both endpoints are placed.
+    pub flow: Option<FlowId>,
+}
+
+/// A deployed dataflow.
+pub struct Deployment {
+    /// The validated conceptual dataflow.
+    pub dataflow: Dataflow,
+    /// Its DSN text (shown in demo P2).
+    pub dsn_text: String,
+    /// Source runtimes by name.
+    pub sources: BTreeMap<String, SourceRuntime>,
+    /// Service runtimes by name.
+    pub services: BTreeMap<String, ServiceRuntime>,
+    /// Sink runtimes by name.
+    pub sinks: BTreeMap<String, SinkRuntime>,
+    /// Edges with flows.
+    pub edges: Vec<EdgeRuntime>,
+    /// `consumers[name]` = (consumer, port) pairs reading from `name`.
+    pub consumers: BTreeMap<String, Vec<(String, usize)>>,
+}
+
+impl Deployment {
+    /// The node hosting a named endpoint (service or sink).
+    pub fn node_of(&self, name: &str) -> Option<NodeId> {
+        self.services
+            .get(name)
+            .map(|s| s.node)
+            .or_else(|| self.sinks.get(name).map(|s| s.node))
+    }
+
+    /// Names of services placed on `node`.
+    pub fn services_on(&self, node: NodeId) -> Vec<&str> {
+        self.services
+            .iter()
+            .filter(|(_, s)| s.node == node)
+            .map(|(n, _)| n.as_str())
+            .collect()
+    }
+}

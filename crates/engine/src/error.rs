@@ -1,0 +1,95 @@
+//! Engine-layer errors.
+
+use sl_dataflow::DataflowError;
+use sl_netsim::NetError;
+use sl_ops::OpError;
+use sl_pubsub::PubSubError;
+use std::fmt;
+
+/// Errors raised while deploying or running dataflows.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The dataflow failed validation.
+    Dataflow(DataflowError),
+    /// A network operation failed (routing, QoS admission, placement).
+    Net(NetError),
+    /// A pub/sub operation failed.
+    PubSub(PubSubError),
+    /// A runtime operator error (a tuple could not be processed).
+    Op {
+        /// The deployment.
+        deployment: String,
+        /// The operator.
+        operator: String,
+        /// Underlying error.
+        error: OpError,
+    },
+    /// A deployment with this name already exists.
+    DuplicateDeployment(String),
+    /// No deployment with this name.
+    UnknownDeployment(String),
+    /// A sensor id is unknown to the engine.
+    UnknownSensor(u64),
+    /// At deployment, a source matched a sensor whose schema cannot provide
+    /// the declared attributes.
+    SchemaMismatch {
+        /// The source.
+        source: String,
+        /// The offending sensor.
+        sensor: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Dataflow(e) => write!(f, "{e}"),
+            EngineError::Net(e) => write!(f, "{e}"),
+            EngineError::PubSub(e) => write!(f, "{e}"),
+            EngineError::Op { deployment, operator, error } => {
+                write!(f, "in `{deployment}`/`{operator}`: {error}")
+            }
+            EngineError::DuplicateDeployment(n) => write!(f, "deployment `{n}` already exists"),
+            EngineError::UnknownDeployment(n) => write!(f, "unknown deployment `{n}`"),
+            EngineError::UnknownSensor(id) => write!(f, "unknown sensor #{id}"),
+            EngineError::SchemaMismatch { source, sensor } => {
+                write!(f, "sensor `{sensor}` cannot serve source `{source}`: schema mismatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DataflowError> for EngineError {
+    fn from(e: DataflowError) -> Self {
+        EngineError::Dataflow(e)
+    }
+}
+impl From<NetError> for EngineError {
+    fn from(e: NetError) -> Self {
+        EngineError::Net(e)
+    }
+}
+impl From<PubSubError> for EngineError {
+    fn from(e: PubSubError) -> Self {
+        EngineError::PubSub(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_paths() {
+        let e = EngineError::Op {
+            deployment: "d".into(),
+            operator: "f".into(),
+            error: OpError::BadSpec("x".into()),
+        };
+        assert!(e.to_string().contains('d') && e.to_string().contains('f'));
+        let e: EngineError = NetError::UnknownNode(sl_netsim::NodeId(3)).into();
+        assert!(e.to_string().contains("node#3"));
+    }
+}

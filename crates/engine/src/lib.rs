@@ -1,0 +1,43 @@
+//! # sl-engine — the StreamLoader executor and monitor
+//!
+//! The runtime half of Figure 1: "Processes are generated for each operation
+//! of the dataflow and executed on a network. The executor module
+//! coordinates their execution. For the execution, the sources are bound to
+//! specific sensors handled by the network nodes, and operations located on
+//! the machines that, depending on workload, apply the logic specified in
+//! the conceptual dataflow. Logs of the activities are then collected by the
+//! monitor module" (paper §3).
+//!
+//! The [`Engine`] owns:
+//!
+//! * the simulated **network** (`sl-netsim` topology + flow table + load
+//!   tracker) and the **virtual clock** (a discrete-event queue),
+//! * the **pub/sub broker** through which sensors join/leave and dataflow
+//!   sources discover them,
+//! * the **sensor fleet** (any [`SensorSim`]), sampled on their advertised
+//!   periods; payloads travel in their wire formats and are decoded +
+//!   spatio-temporally enriched on arrival,
+//! * zero or more **deployments** — validated dataflows translated to
+//!   DSN/SCN and actuated: operator processes placed on nodes, flows
+//!   installed with QoS, blocking operators ticked every `t`,
+//! * the **reactive layer**: Trigger operators' control actions activate and
+//!   deactivate source acquisition at run time,
+//! * the **monitor** ([`monitor::Monitor`]): per-operator tuples/sec, node
+//!   workload, placement changes, and the migration engine that moves
+//!   processes off overloaded nodes.
+//!
+//! Everything advances only through [`Engine::run_until`] /
+//! [`Engine::run_for`]; runs are deterministic per seed.
+//!
+//! [`SensorSim`]: sl_sensors::SensorSim
+
+pub mod config;
+pub mod deployment;
+pub mod engine;
+pub mod error;
+pub mod monitor;
+
+pub use config::{EngineConfig, PlacementPolicy};
+pub use engine::Engine;
+pub use error::EngineError;
+pub use monitor::{Monitor, OpCounters, PlacementChange};

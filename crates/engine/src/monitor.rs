@@ -1,0 +1,272 @@
+//! The monitor module.
+//!
+//! "We are able to report on the Web Interface the number of tuples that
+//! each operation handle per second, the node that suffers because of high
+//! workload, which node is in charge of executing an operation and when the
+//! assignment changes" (paper §3, Figure 3). [`Monitor`] is the collection
+//! point for all of it.
+
+use sl_netsim::{NodeId, TimeSeries};
+use sl_ops::ControlAction;
+use sl_stt::Timestamp;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-operator counters.
+#[derive(Debug, Default, Clone)]
+pub struct OpCounters {
+    /// Tuples received.
+    pub tuples_in: u64,
+    /// Tuples emitted.
+    pub tuples_out: u64,
+    /// Tuples consciously dropped (filtered/culled).
+    pub dropped: u64,
+    /// Input count at the previous monitor sample (rate computation).
+    pub in_at_last_sample: u64,
+    /// Sampled input rate in tuples/sec.
+    pub rate_series: TimeSeries,
+}
+
+/// One operator (or source/sink) re-assignment event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementChange {
+    /// When it happened.
+    pub at: Timestamp,
+    /// Deployment name.
+    pub deployment: String,
+    /// Operator name.
+    pub operator: String,
+    /// Node it left (None at initial placement).
+    pub from: Option<NodeId>,
+    /// Node it moved to.
+    pub to: NodeId,
+    /// Why ("initial placement", "migration: node overloaded", ...).
+    pub reason: String,
+}
+
+/// A fired control action, logged.
+#[derive(Debug, Clone)]
+pub struct ControlRecord {
+    /// When it fired.
+    pub at: Timestamp,
+    /// Deployment name.
+    pub deployment: String,
+    /// The trigger operator.
+    pub operator: String,
+    /// What it did.
+    pub action: ControlAction,
+}
+
+/// The monitor: counters, series and logs for every deployment.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    /// (deployment, operator) -> counters.
+    ops: BTreeMap<(String, String), OpCounters>,
+    /// Placement history, oldest first.
+    pub placements: Vec<PlacementChange>,
+    /// Control-action history.
+    pub controls: Vec<ControlRecord>,
+    /// Console-sink output (capped by the engine).
+    pub console: Vec<String>,
+    /// Tuples delivered to each sink.
+    sink_counts: BTreeMap<(String, String), u64>,
+    /// Sensor join/leave log lines.
+    pub membership: Vec<String>,
+}
+
+impl Monitor {
+    /// Fresh monitor.
+    pub fn new() -> Monitor {
+        Monitor::default()
+    }
+
+    /// Counters for one operator (created on first touch).
+    pub fn op_mut(&mut self, deployment: &str, operator: &str) -> &mut OpCounters {
+        self.ops
+            .entry((deployment.to_string(), operator.to_string()))
+            .or_insert_with(|| OpCounters { rate_series: TimeSeries::new(512), ..Default::default() })
+    }
+
+    /// Read-only counters, if the operator has been touched.
+    pub fn op(&self, deployment: &str, operator: &str) -> Option<&OpCounters> {
+        self.ops.get(&(deployment.to_string(), operator.to_string()))
+    }
+
+    /// All per-operator counters.
+    pub fn all_ops(&self) -> impl Iterator<Item = (&(String, String), &OpCounters)> {
+        self.ops.iter()
+    }
+
+    /// Record a tuple delivered to a sink.
+    pub fn count_sink(&mut self, deployment: &str, sink: &str) {
+        *self
+            .sink_counts
+            .entry((deployment.to_string(), sink.to_string()))
+            .or_insert(0) += 1;
+    }
+
+    /// Tuples delivered to a sink so far.
+    pub fn sink_count(&self, deployment: &str, sink: &str) -> u64 {
+        self.sink_counts
+            .get(&(deployment.to_string(), sink.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sample all operator rates at `now` given the elapsed seconds since
+    /// the last sample.
+    pub fn sample_rates(&mut self, now: Timestamp, elapsed_secs: f64) {
+        if elapsed_secs <= 0.0 {
+            return;
+        }
+        for counters in self.ops.values_mut() {
+            let delta = counters.tuples_in - counters.in_at_last_sample;
+            counters.in_at_last_sample = counters.tuples_in;
+            counters.rate_series.push(now, delta as f64 / elapsed_secs);
+        }
+    }
+
+    /// Conservation check: for every operator, `in = out + dropped + cached`
+    /// cannot be verified without cache sizes, but `out + dropped <= in` must
+    /// hold for non-generating unary operators. Returns violating operators.
+    /// (Join and Aggregation legitimately emit ≠ input counts; the engine
+    /// passes only pass-through operators here.)
+    pub fn conservation_violations(&self, passthrough_ops: &[(String, String)]) -> Vec<String> {
+        let mut bad = Vec::new();
+        for key in passthrough_ops {
+            if let Some(c) = self.ops.get(key) {
+                if c.tuples_out + c.dropped > c.tuples_in {
+                    bad.push(format!(
+                        "{}/{}: out {} + dropped {} > in {}",
+                        key.0, key.1, c.tuples_out, c.dropped, c.tuples_in
+                    ));
+                }
+            }
+        }
+        bad
+    }
+
+    /// Render the Figure 3 style report: per-operator rates, sink totals,
+    /// recent placement changes and control actions.
+    pub fn report(&self, now: Timestamp) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "monitor @ {now}");
+        let _ = writeln!(out, "  operators:");
+        for ((dep, op), c) in &self.ops {
+            let rate = c.rate_series.last().map_or(0.0, |(_, r)| r);
+            let _ = writeln!(
+                out,
+                "    {dep}/{op}: in={} out={} dropped={} rate={rate:.1} tuples/s",
+                c.tuples_in, c.tuples_out, c.dropped
+            );
+        }
+        let _ = writeln!(out, "  sinks:");
+        for ((dep, sink), n) in &self.sink_counts {
+            let _ = writeln!(out, "    {dep}/{sink}: {n} tuples");
+        }
+        if !self.placements.is_empty() {
+            let _ = writeln!(out, "  placements (last 10):");
+            for p in self.placements.iter().rev().take(10).rev() {
+                let from = p.from.map_or("-".to_string(), |n| n.to_string());
+                let _ = writeln!(
+                    out,
+                    "    [{}] {}/{}: {} -> {} ({})",
+                    p.at, p.deployment, p.operator, from, p.to, p.reason
+                );
+            }
+        }
+        if !self.controls.is_empty() {
+            let _ = writeln!(out, "  control actions (last 10):");
+            for c in self.controls.iter().rev().take(10).rev() {
+                let verb = if c.action.is_activate() { "ACTIVATE" } else { "DEACTIVATE" };
+                let _ = writeln!(
+                    out,
+                    "    [{}] {}/{} {} {:?}",
+                    c.at, c.deployment, c.operator, verb, c.action.targets()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_rates() {
+        let mut m = Monitor::new();
+        {
+            let c = m.op_mut("d", "f");
+            c.tuples_in = 100;
+            c.tuples_out = 70;
+            c.dropped = 30;
+        }
+        m.sample_rates(Timestamp::from_secs(1), 1.0);
+        let c = m.op("d", "f").unwrap();
+        assert_eq!(c.rate_series.last().unwrap().1, 100.0);
+        // Second window with 50 more tuples.
+        m.op_mut("d", "f").tuples_in = 150;
+        m.sample_rates(Timestamp::from_secs(2), 1.0);
+        assert_eq!(m.op("d", "f").unwrap().rate_series.last().unwrap().1, 50.0);
+        // Zero elapsed: no sample.
+        m.sample_rates(Timestamp::from_secs(2), 0.0);
+        assert_eq!(m.op("d", "f").unwrap().rate_series.len(), 2);
+    }
+
+    #[test]
+    fn conservation_detects_violations() {
+        let mut m = Monitor::new();
+        {
+            let c = m.op_mut("d", "ok");
+            c.tuples_in = 10;
+            c.tuples_out = 7;
+            c.dropped = 3;
+        }
+        {
+            let c = m.op_mut("d", "bad");
+            c.tuples_in = 5;
+            c.tuples_out = 9;
+        }
+        let keys = vec![("d".to_string(), "ok".to_string()), ("d".to_string(), "bad".to_string())];
+        let violations = m.conservation_violations(&keys);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("bad"));
+    }
+
+    #[test]
+    fn sink_counts_accumulate() {
+        let mut m = Monitor::new();
+        m.count_sink("d", "edw");
+        m.count_sink("d", "edw");
+        assert_eq!(m.sink_count("d", "edw"), 2);
+        assert_eq!(m.sink_count("d", "other"), 0);
+    }
+
+    #[test]
+    fn report_mentions_everything() {
+        let mut m = Monitor::new();
+        m.op_mut("d", "f").tuples_in = 5;
+        m.count_sink("d", "edw");
+        m.placements.push(PlacementChange {
+            at: Timestamp::from_secs(1),
+            deployment: "d".into(),
+            operator: "f".into(),
+            from: None,
+            to: NodeId(2),
+            reason: "initial placement".into(),
+        });
+        m.controls.push(ControlRecord {
+            at: Timestamp::from_secs(2),
+            deployment: "d".into(),
+            operator: "trig".into(),
+            action: ControlAction::Activate { targets: vec!["rain".into()] },
+        });
+        let r = m.report(Timestamp::from_secs(3));
+        assert!(r.contains("d/f: in=5"));
+        assert!(r.contains("d/edw: 1 tuples"));
+        assert!(r.contains("node#2"));
+        assert!(r.contains("ACTIVATE"));
+    }
+}

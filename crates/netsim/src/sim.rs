@@ -1,0 +1,242 @@
+//! The discrete-event simulation core.
+//!
+//! [`EventQueue`] is a priority queue of timestamped messages with a virtual
+//! clock. The execution engine (`sl-engine`) drives the loop: pop the next
+//! message, dispatch it, possibly schedule more. Ties in time break by
+//! insertion order (FIFO), which — together with seeded randomness
+//! everywhere else — makes every run deterministic.
+
+use sl_stt::{Duration, Timestamp};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Entry<M> {
+    time: Timestamp,
+    seq: u64,
+    msg: M,
+    cancelled_id: u64,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event queue over message type `M` with a virtual clock.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Entry<M>>,
+    now: Timestamp,
+    seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+    processed: u64,
+}
+
+impl<M> EventQueue<M> {
+    /// A queue whose clock starts at `start`.
+    pub fn new(start: Timestamp) -> EventQueue<M> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: start,
+            seq: 0,
+            cancelled: std::collections::HashSet::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still scheduled (including cancelled ones not yet
+    /// drained).
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_idle(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Schedule `msg` at absolute time `at`. Scheduling in the past is
+    /// clamped to `now` (the message fires immediately, preserving order).
+    pub fn schedule_at(&mut self, at: Timestamp, msg: M) -> EventHandle {
+        let t = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time: t, seq, msg, cancelled_id: seq });
+        EventHandle(seq)
+    }
+
+    /// Schedule `msg` after `delay` of virtual time.
+    pub fn schedule_in(&mut self, delay: Duration, msg: M) -> EventHandle {
+        self.schedule_at(self.now + delay, msg)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a no-op.
+    pub fn cancel(&mut self, handle: EventHandle) {
+        self.cancelled.insert(handle.0);
+    }
+
+    /// Pop the next live event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(Timestamp, M)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.cancelled_id) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now, "time went backwards");
+            self.now = entry.time;
+            self.processed += 1;
+            return Some((entry.time, entry.msg));
+        }
+        None
+    }
+
+    /// Time of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<Timestamp> {
+        // Drain cancelled entries from the top first.
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.cancelled_id) {
+                let e = self.heap.pop().expect("peeked");
+                self.cancelled.remove(&e.cancelled_id);
+            } else {
+                return Some(top.time);
+            }
+        }
+        None
+    }
+
+    /// Pop only if the next event fires at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: Timestamp) -> Option<(Timestamp, M)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for EventQueue<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.pending())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new(Timestamp::EPOCH);
+        q.schedule_at(Timestamp::from_secs(3), "c");
+        q.schedule_at(Timestamp::from_secs(1), "a");
+        q.schedule_at(Timestamp::from_secs(2), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, m)| m).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), Timestamp::from_secs(3));
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new(Timestamp::EPOCH);
+        let t = Timestamp::from_secs(5);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, m)| m).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new(Timestamp::from_secs(100));
+        q.schedule_in(Duration::from_secs(10), ());
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Timestamp::from_secs(110));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new(Timestamp::from_secs(100));
+        q.schedule_at(Timestamp::from_secs(1), "late");
+        let (t, m) = q.pop().unwrap();
+        assert_eq!(t, Timestamp::from_secs(100));
+        assert_eq!(m, "late");
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new(Timestamp::EPOCH);
+        let h1 = q.schedule_at(Timestamp::from_secs(1), "a");
+        q.schedule_at(Timestamp::from_secs(2), "b");
+        q.cancel(h1);
+        assert_eq!(q.pending(), 1);
+        let (_, m) = q.pop().unwrap();
+        assert_eq!(m, "b");
+        assert!(q.pop().is_none());
+        // Cancelling again (or after firing) is harmless.
+        q.cancel(h1);
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new(Timestamp::EPOCH);
+        let h = q.schedule_at(Timestamp::from_secs(1), "a");
+        q.schedule_at(Timestamp::from_secs(2), "b");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(Timestamp::from_secs(2)));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut q = EventQueue::new(Timestamp::EPOCH);
+        q.schedule_at(Timestamp::from_secs(1), "a");
+        q.schedule_at(Timestamp::from_secs(5), "b");
+        assert_eq!(q.pop_until(Timestamp::from_secs(3)).map(|x| x.1), Some("a"));
+        assert_eq!(q.pop_until(Timestamp::from_secs(3)), None);
+        // Clock does not advance past the deadline when nothing popped.
+        assert_eq!(q.now(), Timestamp::from_secs(1));
+    }
+
+    #[test]
+    fn is_idle() {
+        let mut q: EventQueue<()> = EventQueue::new(Timestamp::EPOCH);
+        assert!(q.is_idle());
+        let h = q.schedule_in(Duration::from_secs(1), ());
+        assert!(!q.is_idle());
+        q.cancel(h);
+        assert!(q.is_idle());
+    }
+}

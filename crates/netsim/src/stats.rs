@@ -1,0 +1,243 @@
+//! Network statistics: counters and time series backing the monitoring view.
+//!
+//! Figure 3 of the paper shows "the flows of data that are monitored for this
+//! and other dataflows": per-operation tuples/sec, node workload, message
+//! counts. [`NetStats`] aggregates raw counters; [`TimeSeries`] records
+//! sampled values for plotting.
+
+use crate::topology::{LinkId, NodeId};
+use sl_stt::{Duration, Timestamp};
+use std::collections::HashMap;
+
+/// A sampled time series with a bounded memory footprint.
+///
+/// Keeps up to `capacity` most-recent samples (ring semantics).
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    samples: std::collections::VecDeque<(Timestamp, f64)>,
+    capacity: usize,
+}
+
+impl Default for TimeSeries {
+    /// A series with a 512-sample window.
+    fn default() -> TimeSeries {
+        TimeSeries::new(512)
+    }
+}
+
+impl TimeSeries {
+    /// A series retaining at most `capacity` samples.
+    pub fn new(capacity: usize) -> TimeSeries {
+        TimeSeries { samples: std::collections::VecDeque::with_capacity(capacity.min(1024)), capacity }
+    }
+
+    /// Append a sample, evicting the oldest when full. Samples must arrive
+    /// in non-decreasing time order (debug-asserted).
+    pub fn push(&mut self, at: Timestamp, value: f64) {
+        debug_assert!(
+            self.samples.back().is_none_or(|(t, _)| *t <= at),
+            "samples out of order"
+        );
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((at, value));
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Latest sample.
+    pub fn last(&self) -> Option<(Timestamp, f64)> {
+        self.samples.back().copied()
+    }
+
+    /// Iterate samples oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (Timestamp, f64)> + '_ {
+        self.samples.iter().copied()
+    }
+
+    /// Mean of samples inside `[from, to)`.
+    pub fn mean_in(&self, from: Timestamp, to: Timestamp) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (t, v) in &self.samples {
+            if *t >= from && *t < to {
+                sum += v;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Maximum sample value over the whole retained window.
+    pub fn max(&self) -> Option<f64> {
+        self.samples.iter().map(|(_, v)| *v).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.max(v),
+            })
+        })
+    }
+}
+
+/// Raw counters per node and link.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    node_msgs: HashMap<NodeId, u64>,
+    node_bytes: HashMap<NodeId, u64>,
+    link_msgs: HashMap<LinkId, u64>,
+    link_bytes: HashMap<LinkId, u64>,
+    total_msgs: u64,
+    total_bytes: u64,
+    total_delay: Duration,
+}
+
+impl NetStats {
+    /// Empty statistics.
+    pub fn new() -> NetStats {
+        NetStats::default()
+    }
+
+    /// Record a message of `bytes` delivered to `node`.
+    pub fn record_node_rx(&mut self, node: NodeId, bytes: usize) {
+        *self.node_msgs.entry(node).or_insert(0) += 1;
+        *self.node_bytes.entry(node).or_insert(0) += bytes as u64;
+    }
+
+    /// Record a message of `bytes` crossing `link` with the given one-hop
+    /// delay.
+    pub fn record_link(&mut self, link: LinkId, bytes: usize, delay: Duration) {
+        *self.link_msgs.entry(link).or_insert(0) += 1;
+        *self.link_bytes.entry(link).or_insert(0) += bytes as u64;
+        self.total_msgs += 1;
+        self.total_bytes += bytes as u64;
+        self.total_delay = self.total_delay + delay;
+    }
+
+    /// Messages delivered to a node.
+    pub fn node_msgs(&self, node: NodeId) -> u64 {
+        self.node_msgs.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Bytes delivered to a node.
+    pub fn node_bytes(&self, node: NodeId) -> u64 {
+        self.node_bytes.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Messages that crossed a link.
+    pub fn link_msgs(&self, link: LinkId) -> u64 {
+        self.link_msgs.get(&link).copied().unwrap_or(0)
+    }
+
+    /// Bytes that crossed a link.
+    pub fn link_bytes(&self, link: LinkId) -> u64 {
+        self.link_bytes.get(&link).copied().unwrap_or(0)
+    }
+
+    /// Total link crossings.
+    pub fn total_msgs(&self) -> u64 {
+        self.total_msgs
+    }
+
+    /// Total bytes across all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Mean per-hop delay.
+    pub fn mean_hop_delay(&self) -> Option<Duration> {
+        self.total_delay
+            .as_millis()
+            .checked_div(self.total_msgs)
+            .map(Duration::from_millis)
+    }
+
+    /// The busiest link by message count.
+    pub fn busiest_link(&self) -> Option<(LinkId, u64)> {
+        self.link_msgs
+            .iter()
+            .max_by_key(|(l, c)| (**c, std::cmp::Reverse(l.0)))
+            .map(|(l, c)| (*l, *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn time_series_ring() {
+        let mut s = TimeSeries::new(3);
+        for i in 0..5 {
+            s.push(ts(i), i as f64);
+        }
+        assert_eq!(s.len(), 3);
+        let vals: Vec<f64> = s.iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![2.0, 3.0, 4.0]);
+        assert_eq!(s.last(), Some((ts(4), 4.0)));
+        assert_eq!(s.max(), Some(4.0));
+    }
+
+    #[test]
+    fn time_series_mean_in_window() {
+        let mut s = TimeSeries::new(100);
+        for i in 0..10 {
+            s.push(ts(i), i as f64);
+        }
+        assert_eq!(s.mean_in(ts(2), ts(5)), Some(3.0)); // samples 2,3,4
+        assert_eq!(s.mean_in(ts(50), ts(60)), None);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new(4);
+        assert!(s.is_empty());
+        assert_eq!(s.last(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut st = NetStats::new();
+        let n = NodeId(1);
+        let l = LinkId(2);
+        st.record_node_rx(n, 100);
+        st.record_node_rx(n, 50);
+        st.record_link(l, 100, Duration::from_millis(4));
+        st.record_link(l, 100, Duration::from_millis(6));
+        assert_eq!(st.node_msgs(n), 2);
+        assert_eq!(st.node_bytes(n), 150);
+        assert_eq!(st.link_msgs(l), 2);
+        assert_eq!(st.link_bytes(l), 200);
+        assert_eq!(st.total_msgs(), 2);
+        assert_eq!(st.total_bytes(), 200);
+        assert_eq!(st.mean_hop_delay(), Some(Duration::from_millis(5)));
+        assert_eq!(st.busiest_link(), Some((l, 2)));
+        // Unknown ids read as zero.
+        assert_eq!(st.node_msgs(NodeId(9)), 0);
+        assert_eq!(st.link_bytes(LinkId(9)), 0);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let st = NetStats::new();
+        assert_eq!(st.mean_hop_delay(), None);
+        assert_eq!(st.busiest_link(), None);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the network substrate: event-queue ordering,
+//! routing optimality, and flow-table conservation.
+
+use proptest::prelude::*;
+use sl_netsim::{EventQueue, NodeId, NodeSpec, QosSpec, RoutingTable, Topology};
+use sl_stt::{Duration, Timestamp};
+
+proptest! {
+    /// The event queue is a stable priority queue: pops come out in
+    /// non-decreasing time order, and equal-time events keep insertion order.
+    #[test]
+    fn event_queue_ordering(times in proptest::collection::vec(0i64..1000, 1..200)) {
+        let mut q = EventQueue::new(Timestamp::EPOCH);
+        for (i, t) in times.iter().enumerate() {
+            q.schedule_at(Timestamp::from_secs(*t), (*t, i));
+        }
+        let mut last: Option<(Timestamp, usize)> = None;
+        let mut popped = 0;
+        while let Some((at, (t, i))) = q.pop() {
+            popped += 1;
+            prop_assert_eq!(at, Timestamp::from_secs(t));
+            if let Some((lt, li)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    prop_assert!(i > li, "FIFO violated for equal times");
+                }
+            }
+            last = Some((at, i));
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelling a random subset removes exactly those events.
+    #[test]
+    fn event_queue_cancellation(
+        times in proptest::collection::vec(0i64..100, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new(Timestamp::EPOCH);
+        let mut expect = Vec::new();
+        for (i, t) in times.iter().enumerate() {
+            let h = q.schedule_at(Timestamp::from_secs(*t), i);
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                q.cancel(h);
+            } else {
+                expect.push(i);
+            }
+        }
+        let mut got: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            got.push(i);
+        }
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Dijkstra routes are genuinely shortest: for every destination the
+    /// reported latency never exceeds any single-link relaxation.
+    #[test]
+    fn routing_satisfies_triangle_inequality(n in 3usize..24, extra in 0usize..20, seed in 0u64..50) {
+        let topo = Topology::random(n, extra, seed);
+        let rt = RoutingTable::compute(&topo, NodeId(0)).unwrap();
+        for dest in topo.node_ids() {
+            let Some(d) = rt.distance_to(dest) else { continue };
+            // Relaxed edges cannot improve the distance.
+            for (link, nb) in topo.neighbours(dest) {
+                if let Some(dn) = rt.distance_to(nb) {
+                    let lat = topo.link(link).unwrap().latency;
+                    prop_assert!(
+                        d.as_millis() <= dn.as_millis() + lat.as_millis(),
+                        "dest {dest}: {d} > {dn} + {lat}"
+                    );
+                }
+            }
+            // Route reconstruction agrees with the distance.
+            let route = rt.route_to(dest).unwrap();
+            prop_assert_eq!(route.latency, d);
+            // And the route's links sum to its latency.
+            let sum: u64 = route.links.iter().map(|l| topo.link(*l).unwrap().latency.as_millis()).sum();
+            prop_assert_eq!(sum, d.as_millis());
+        }
+    }
+
+    /// Flow install/uninstall conserves reservations: after removing every
+    /// installed flow, all links are back to zero.
+    #[test]
+    fn flow_reservations_conserved(installs in proptest::collection::vec((0u32..6, 0u32..6, 1u64..500_000), 0..30)) {
+        let mut topo = Topology::new();
+        let nodes: Vec<NodeId> = (0..6).map(|i| topo.add_node(NodeSpec::edge(&format!("n{i}"), 1.0))).collect();
+        // Ring topology.
+        for i in 0..6 {
+            topo.add_link(nodes[i], nodes[(i + 1) % 6], Duration::from_millis(1), 1_000_000).unwrap();
+        }
+        let mut ft = sl_netsim::FlowTable::new();
+        let mut ids = Vec::new();
+        for (a, b, bw) in installs {
+            if a == b {
+                continue;
+            }
+            let qos = QosSpec::best_effort().with_min_bandwidth(bw);
+            if let Ok(id) = ft.install(&topo, NodeId(a), NodeId(b), &qos) {
+                ids.push(id);
+            }
+        }
+        for id in ids {
+            ft.uninstall(id).unwrap();
+        }
+        prop_assert!(ft.is_empty());
+        for l in 0..topo.link_count() {
+            prop_assert_eq!(ft.reserved_on(sl_netsim::LinkId(l as u32)), 0);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Operator-layer errors.
+
+use sl_expr::ExprError;
+use sl_stt::SttError;
+use std::fmt;
+
+/// Errors raised while constructing or running operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpError {
+    /// An embedded expression failed to compile or evaluate.
+    Expr(ExprError),
+    /// A data-model error (schema mismatch, unknown attribute, ...).
+    Stt(SttError),
+    /// A tuple arrived on a port the operator does not have.
+    BadPort {
+        /// Operator kind.
+        kind: &'static str,
+        /// The offending port.
+        port: usize,
+    },
+    /// An operator specification was internally inconsistent.
+    BadSpec(String),
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::Expr(e) => write!(f, "expression error: {e}"),
+            OpError::Stt(e) => write!(f, "data model error: {e}"),
+            OpError::BadPort { kind, port } => {
+                write!(f, "operator `{kind}` has no input port {port}")
+            }
+            OpError::BadSpec(msg) => write!(f, "bad operator spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+impl From<ExprError> for OpError {
+    fn from(e: ExprError) -> Self {
+        OpError::Expr(e)
+    }
+}
+
+impl From<SttError> for OpError {
+    fn from(e: SttError) -> Self {
+        OpError::Stt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: OpError = ExprError::DivisionByZero.into();
+        assert!(e.to_string().contains("division"));
+        let e: OpError = SttError::UnknownAttribute("x".into()).into();
+        assert!(e.to_string().contains('x'));
+        let e = OpError::BadPort { kind: "filter", port: 3 };
+        assert!(e.to_string().contains("filter") && e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,99 @@
+//! # sl-ops — the Table-1 stream processing operations
+//!
+//! Implements every operation of the paper's Table 1, split exactly as the
+//! paper splits them (§3):
+//!
+//! | Operation        | Symbol                              | Kind         | Module |
+//! |------------------|-------------------------------------|--------------|--------|
+//! | Aggregation      | `@t,{a1..an} op (s)`                | blocking     | [`aggregate`] |
+//! | Cull Time        | `γr(s, <t1, t2>)`                   | non-blocking | [`cull`] |
+//! | Cull Space       | `γr(s, <coord1, coord2>)`           | non-blocking | [`cull`] |
+//! | Filter           | `σ(s, cond)`                        | non-blocking | [`filter`] |
+//! | Join             | `s1 ⋈t_pred s2`                     | blocking     | [`join`] |
+//! | Transform        | `▷trans s`                          | non-blocking | [`transform`] |
+//! | Trigger On       | `⊕ON,t(s, {s1..sn}, cond)`          | blocking     | [`trigger`] |
+//! | Trigger Off      | `⊕OFF,t(s, {s1..sn}, cond)`         | blocking     | [`trigger`] |
+//! | Virtual property | `⊎s⟨p, spec⟩`                       | non-blocking | [`virtual_prop`] |
+//!
+//! Non-blocking operations "are directly applied on each tuple when they are
+//! processed, whereas the others require the maintenance of a cache of
+//! tuples that are processed every t time intervals" — concretely:
+//! non-blocking operators implement only [`Operator::on_tuple`]; blocking
+//! operators buffer in [`window`] caches and do their work in
+//! [`Operator::on_timer`], which the engine invokes every
+//! [`Operator::timer_period`].
+//!
+//! [`spec::OpSpec`] is the *data* description of an operator instance (what
+//! the visual editor produces, what DSN documents carry); it can report its
+//! output schema for validation and instantiate the runtime operator.
+
+pub mod aggregate;
+pub mod context;
+pub mod cull;
+pub mod error;
+pub mod filter;
+pub mod join;
+pub mod spec;
+pub mod transform;
+pub mod trigger;
+pub mod virtual_prop;
+pub mod window;
+
+pub use aggregate::{AggFunc, AggregateOp};
+pub use context::{ControlAction, OpContext};
+pub use cull::{CullSpaceOp, CullTimeOp};
+pub use error::OpError;
+pub use filter::FilterOp;
+pub use join::JoinOp;
+pub use spec::OpSpec;
+pub use transform::TransformOp;
+pub use trigger::{TriggerMode, TriggerOp};
+pub use virtual_prop::VirtualPropertyOp;
+
+use sl_stt::{Duration, SchemaRef, Timestamp, Tuple};
+
+/// A runtime stream operator.
+///
+/// The engine pushes tuples in via [`on_tuple`] (with the input port index:
+/// only Join has two ports) and, for blocking operators, calls [`on_timer`]
+/// every [`timer_period`] of virtual time. Both emit output tuples and
+/// control actions through the [`OpContext`].
+///
+/// [`on_tuple`]: Operator::on_tuple
+/// [`on_timer`]: Operator::on_timer
+/// [`timer_period`]: Operator::timer_period
+pub trait Operator: Send {
+    /// Short kind name for logs and monitoring (e.g. `"filter"`).
+    fn kind(&self) -> &'static str;
+
+    /// Schema of the emitted stream.
+    fn output_schema(&self) -> SchemaRef;
+
+    /// Process one input tuple arriving on `port`.
+    fn on_tuple(&mut self, port: usize, tuple: Tuple, ctx: &mut OpContext) -> Result<(), OpError>;
+
+    /// Periodic processing tick (blocking operators only).
+    fn on_timer(&mut self, _now: Timestamp, _ctx: &mut OpContext) -> Result<(), OpError> {
+        Ok(())
+    }
+
+    /// Tick period; `Some` marks the operator as blocking.
+    fn timer_period(&self) -> Option<Duration> {
+        None
+    }
+
+    /// True if the operator buffers tuples and works on a timer.
+    fn is_blocking(&self) -> bool {
+        self.timer_period().is_some()
+    }
+
+    /// Number of input ports (1, or 2 for Join).
+    fn input_ports(&self) -> usize {
+        1
+    }
+
+    /// Approximate CPU cost per tuple in abstract ops, used by placement.
+    fn cost_per_tuple(&self) -> f64 {
+        1.0
+    }
+}

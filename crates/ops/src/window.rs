@@ -1,0 +1,237 @@
+//! Tuple caches for blocking operators.
+//!
+//! Blocking operations "require the maintenance of a cache of tuples that
+//! are processed every t time intervals (e.g. 1 second, 2 minutes)"
+//! (paper §3). Two cache disciplines are provided:
+//!
+//! * [`TumblingCache`] — collect everything since the last tick, drain on
+//!   tick (Aggregation, Join, Trigger),
+//! * [`SlidingWindow`] — retain the last `d` of virtual time, with either a
+//!   ring-buffer eviction or a naive rescan (the A3 ablation compares them).
+
+use sl_stt::{Duration, Timestamp, Tuple};
+use std::collections::VecDeque;
+
+/// Everything-since-last-tick cache.
+#[derive(Debug, Default)]
+pub struct TumblingCache {
+    tuples: Vec<Tuple>,
+    /// Total tuples ever inserted (monitoring).
+    inserted: u64,
+}
+
+impl TumblingCache {
+    /// Empty cache.
+    pub fn new() -> TumblingCache {
+        TumblingCache::default()
+    }
+
+    /// Buffer a tuple.
+    pub fn push(&mut self, tuple: Tuple) {
+        self.tuples.push(tuple);
+        self.inserted += 1;
+    }
+
+    /// Tuples currently cached.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Read-only view of the cached tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Drain the cache for processing (the tick).
+    pub fn drain(&mut self) -> Vec<Tuple> {
+        std::mem::take(&mut self.tuples)
+    }
+
+    /// Lifetime insert count.
+    pub fn inserted(&self) -> u64 {
+        self.inserted
+    }
+}
+
+/// Eviction strategy for [`SlidingWindow`] (ablation A3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionStrategy {
+    /// Tuples kept in arrival order in a deque; eviction pops from the
+    /// front until in-window. O(evicted) per call.
+    RingBuffer,
+    /// Rebuild the buffer by scanning and retaining. O(n) per call —
+    /// the naive baseline.
+    Rescan,
+}
+
+/// Time-based sliding window over tuple *timestamps*.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    span: Duration,
+    strategy: EvictionStrategy,
+    tuples: VecDeque<Tuple>,
+    evicted: u64,
+}
+
+impl SlidingWindow {
+    /// A window retaining tuples stamped within the last `span`.
+    pub fn new(span: Duration, strategy: EvictionStrategy) -> SlidingWindow {
+        SlidingWindow { span, strategy, tuples: VecDeque::new(), evicted: 0 }
+    }
+
+    /// The window span.
+    pub fn span(&self) -> Duration {
+        self.span
+    }
+
+    /// Insert a tuple. Tuples are expected roughly in timestamp order; the
+    /// window tolerates disorder (eviction is by timestamp, not position) as
+    /// long as the front-most tuples are oldest *approximately* — with the
+    /// ring strategy badly out-of-order tuples may survive slightly long.
+    pub fn push(&mut self, tuple: Tuple, now: Timestamp) {
+        self.tuples.push_back(tuple);
+        self.evict(now);
+    }
+
+    /// Evict tuples older than `now - span`.
+    pub fn evict(&mut self, now: Timestamp) {
+        let horizon = now.saturating_sub(self.span);
+        match self.strategy {
+            EvictionStrategy::RingBuffer => {
+                while let Some(front) = self.tuples.front() {
+                    if front.meta.timestamp < horizon {
+                        self.tuples.pop_front();
+                        self.evicted += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            EvictionStrategy::Rescan => {
+                let before = self.tuples.len();
+                self.tuples.retain(|t| t.meta.timestamp >= horizon);
+                self.evicted += (before - self.tuples.len()) as u64;
+            }
+        }
+    }
+
+    /// Tuples currently in the window.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterate over in-window tuples, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Lifetime eviction count.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_stt::{AttrType, Field, Schema, SchemaRef, SensorId, SttMeta, Theme, Value};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![Field::new("v", AttrType::Int)]).unwrap().into_ref()
+    }
+
+    fn tuple_at(sec: i64, v: i64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![Value::Int(v)],
+            SttMeta::without_location(Timestamp::from_secs(sec), Theme::unclassified(), SensorId(0)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tumbling_drain_resets() {
+        let mut c = TumblingCache::new();
+        c.push(tuple_at(1, 1));
+        c.push(tuple_at(2, 2));
+        assert_eq!(c.len(), 2);
+        let drained = c.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(c.is_empty());
+        assert_eq!(c.inserted(), 2);
+        c.push(tuple_at(3, 3));
+        assert_eq!(c.inserted(), 3);
+        assert_eq!(c.tuples().len(), 1);
+    }
+
+    #[test]
+    fn sliding_evicts_old_ring() {
+        let mut w = SlidingWindow::new(Duration::from_secs(10), EvictionStrategy::RingBuffer);
+        for s in 0..20 {
+            w.push(tuple_at(s, s), Timestamp::from_secs(s));
+        }
+        // At t=19 the horizon is 9: tuples 9..=19 remain.
+        assert_eq!(w.len(), 11);
+        assert_eq!(w.evicted(), 9);
+        let oldest = w.iter().next().unwrap();
+        assert_eq!(oldest.meta.timestamp, Timestamp::from_secs(9));
+    }
+
+    #[test]
+    fn sliding_evicts_old_rescan() {
+        let mut w = SlidingWindow::new(Duration::from_secs(10), EvictionStrategy::Rescan);
+        for s in 0..20 {
+            w.push(tuple_at(s, s), Timestamp::from_secs(s));
+        }
+        assert_eq!(w.len(), 11);
+        assert_eq!(w.evicted(), 9);
+    }
+
+    #[test]
+    fn strategies_agree_on_ordered_input() {
+        let mut ring = SlidingWindow::new(Duration::from_secs(5), EvictionStrategy::RingBuffer);
+        let mut scan = SlidingWindow::new(Duration::from_secs(5), EvictionStrategy::Rescan);
+        for s in 0..100 {
+            ring.push(tuple_at(s, s), Timestamp::from_secs(s));
+            scan.push(tuple_at(s, s), Timestamp::from_secs(s));
+            assert_eq!(ring.len(), scan.len(), "at t={s}");
+        }
+    }
+
+    #[test]
+    fn rescan_handles_disorder() {
+        let mut w = SlidingWindow::new(Duration::from_secs(5), EvictionStrategy::Rescan);
+        // Out-of-order: a very old tuple arrives late.
+        w.push(tuple_at(100, 1), Timestamp::from_secs(100));
+        w.push(tuple_at(50, 2), Timestamp::from_secs(100));
+        // Rescan evicts it by timestamp regardless of position.
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn evict_without_push() {
+        let mut w = SlidingWindow::new(Duration::from_secs(5), EvictionStrategy::RingBuffer);
+        w.push(tuple_at(0, 0), Timestamp::from_secs(0));
+        w.evict(Timestamp::from_secs(100));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn empty_window_is_fine() {
+        let mut w = SlidingWindow::new(Duration::from_secs(5), EvictionStrategy::RingBuffer);
+        w.evict(Timestamp::from_secs(10));
+        assert!(w.is_empty());
+        assert_eq!(w.iter().count(), 0);
+        assert_eq!(w.span(), Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,221 @@
+//! A single publish/subscribe broker: subscriptions, matching, and
+//! join/leave notification events.
+//!
+//! The dataflow engine subscribes with a [`SubscriptionFilter`] per dataflow
+//! source; when sensors join or leave (demo P3 "plug-and-play new sensors"),
+//! the broker emits [`BrokerEvent`]s to every affected subscriber.
+
+use crate::filter::SubscriptionFilter;
+use crate::message::SensorAdvertisement;
+use crate::registry::SensorRegistry;
+use crate::PubSubError;
+use sl_stt::SensorId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of an active subscription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriptionId(pub u64);
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub#{}", self.0)
+    }
+}
+
+/// Notification delivered to a subscriber.
+#[derive(Debug, Clone)]
+pub enum BrokerEvent {
+    /// A sensor matching the subscription joined.
+    SensorJoined {
+        /// The affected subscription.
+        subscription: SubscriptionId,
+        /// The new sensor's advertisement.
+        ad: SensorAdvertisement,
+    },
+    /// A sensor matching the subscription left.
+    SensorLeft {
+        /// The affected subscription.
+        subscription: SubscriptionId,
+        /// The departed sensor.
+        sensor: SensorId,
+    },
+}
+
+/// A broker: a registry plus active subscriptions.
+#[derive(Debug, Default)]
+pub struct Broker {
+    registry: SensorRegistry,
+    subscriptions: BTreeMap<u64, SubscriptionFilter>,
+    next_sub: u64,
+}
+
+impl Broker {
+    /// A broker with an empty registry.
+    pub fn new() -> Broker {
+        Broker::default()
+    }
+
+    /// Immutable access to the directory.
+    pub fn registry(&self) -> &SensorRegistry {
+        &self.registry
+    }
+
+    /// Register a subscription; the returned id tags future events.
+    pub fn subscribe(&mut self, filter: SubscriptionFilter) -> SubscriptionId {
+        let id = self.next_sub;
+        self.next_sub += 1;
+        self.subscriptions.insert(id, filter);
+        SubscriptionId(id)
+    }
+
+    /// Drop a subscription.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), PubSubError> {
+        self.subscriptions
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or(PubSubError::UnknownSubscription(id.0))
+    }
+
+    /// The filter of an active subscription.
+    pub fn filter_of(&self, id: SubscriptionId) -> Result<&SubscriptionFilter, PubSubError> {
+        self.subscriptions.get(&id.0).ok_or(PubSubError::UnknownSubscription(id.0))
+    }
+
+    /// Number of active subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Publish a sensor, returning the notifications to deliver (one per
+    /// matching subscription, in subscription order).
+    pub fn publish(&mut self, ad: SensorAdvertisement) -> Result<Vec<BrokerEvent>, PubSubError> {
+        self.registry.publish(ad.clone())?;
+        Ok(self
+            .subscriptions
+            .iter()
+            .filter(|(_, f)| f.matches(&ad))
+            .map(|(id, _)| BrokerEvent::SensorJoined {
+                subscription: SubscriptionId(*id),
+                ad: ad.clone(),
+            })
+            .collect())
+    }
+
+    /// Unpublish a sensor, returning leave notifications for subscriptions
+    /// that were matching it.
+    pub fn unpublish(&mut self, id: SensorId) -> Result<Vec<BrokerEvent>, PubSubError> {
+        let ad = self.registry.unpublish(id)?;
+        Ok(self
+            .subscriptions
+            .iter()
+            .filter(|(_, f)| f.matches(&ad))
+            .map(|(sub, _)| BrokerEvent::SensorLeft {
+                subscription: SubscriptionId(*sub),
+                sensor: id,
+            })
+            .collect())
+    }
+
+    /// Sensors currently matching a subscription (the initial binding set
+    /// for a dataflow source).
+    pub fn matching(&self, id: SubscriptionId) -> Result<Vec<&SensorAdvertisement>, PubSubError> {
+        let f = self.filter_of(id)?;
+        Ok(self.registry.discover(f).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::SensorKind;
+    use sl_netsim::NodeId;
+    use sl_stt::{AttrType, Duration, Field, GeoPoint, Schema, Theme};
+
+    fn ad(id: u64, theme: &str) -> SensorAdvertisement {
+        SensorAdvertisement {
+            id: SensorId(id),
+            name: format!("s{id}"),
+            kind: SensorKind::Physical,
+            schema: Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref(),
+            theme: Theme::new(theme).unwrap(),
+            period: Duration::from_secs(1),
+            location: Some(GeoPoint::new_unchecked(34.7, 135.5)),
+            node: NodeId(0),
+        }
+    }
+
+    #[test]
+    fn subscribe_then_publish_notifies() {
+        let mut b = Broker::new();
+        let sub = b.subscribe(SubscriptionFilter::any().with_theme(Theme::new("weather").unwrap()));
+        let events = b.publish(ad(1, "weather/rain")).unwrap();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            BrokerEvent::SensorJoined { subscription, ad } => {
+                assert_eq!(*subscription, sub);
+                assert_eq!(ad.id, SensorId(1));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Non-matching publication notifies nobody.
+        let events = b.publish(ad(2, "social/tweet")).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn unpublish_notifies_matching_subs() {
+        let mut b = Broker::new();
+        let s1 = b.subscribe(SubscriptionFilter::any());
+        let _s2 = b.subscribe(SubscriptionFilter::any().with_theme(Theme::new("social").unwrap()));
+        b.publish(ad(1, "weather/rain")).unwrap();
+        let events = b.unpublish(SensorId(1)).unwrap();
+        assert_eq!(events.len(), 1); // only the match-all sub
+        match &events[0] {
+            BrokerEvent::SensorLeft { subscription, sensor } => {
+                assert_eq!(*subscription, s1);
+                assert_eq!(*sensor, SensorId(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn matching_lists_current_sensors() {
+        let mut b = Broker::new();
+        b.publish(ad(1, "weather/rain")).unwrap();
+        b.publish(ad(2, "weather/temperature")).unwrap();
+        b.publish(ad(3, "social/tweet")).unwrap();
+        let sub = b.subscribe(SubscriptionFilter::any().with_theme(Theme::new("weather").unwrap()));
+        let m = b.matching(sub).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn unsubscribe_stops_notifications() {
+        let mut b = Broker::new();
+        let sub = b.subscribe(SubscriptionFilter::any());
+        b.unsubscribe(sub).unwrap();
+        assert!(b.unsubscribe(sub).is_err());
+        assert!(b.filter_of(sub).is_err());
+        let events = b.publish(ad(1, "weather")).unwrap();
+        assert!(events.is_empty());
+        assert_eq!(b.subscription_count(), 0);
+    }
+
+    #[test]
+    fn multiple_subscriptions_all_notified_in_order() {
+        let mut b = Broker::new();
+        let s1 = b.subscribe(SubscriptionFilter::any());
+        let s2 = b.subscribe(SubscriptionFilter::any());
+        let events = b.publish(ad(1, "weather")).unwrap();
+        let subs: Vec<_> = events
+            .iter()
+            .map(|e| match e {
+                BrokerEvent::SensorJoined { subscription, .. } => *subscription,
+                BrokerEvent::SensorLeft { subscription, .. } => *subscription,
+            })
+            .collect();
+        assert_eq!(subs, vec![s1, s2]);
+    }
+}

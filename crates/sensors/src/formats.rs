@@ -1,0 +1,410 @@
+//! Heterogeneous wire formats and the Extract step.
+//!
+//! Real fleets never agree on encodings: this module provides CSV, JSON and
+//! `key=value` payload encodings plus the extraction parser that turns any
+//! of them back into a [`Tuple`] given the advertised schema. Decoding is
+//! deliberately forgiving — missing attributes become null, malformed values
+//! become null — because sensors send garbage and the dataflow must keep
+//! running (validation rules downstream decide what to drop).
+
+use bytes::Bytes;
+use sl_stt::{AttrType, SchemaRef, SttError, SttMeta, Tuple, Value};
+
+/// The payload encoding a sensor uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireFormat {
+    /// Header-less CSV in schema order.
+    Csv,
+    /// Flat JSON object.
+    Json,
+    /// `key=value` pairs separated by `;`.
+    KeyValue,
+}
+
+impl WireFormat {
+    /// All formats.
+    pub const ALL: [WireFormat; 3] = [WireFormat::Csv, WireFormat::Json, WireFormat::KeyValue];
+
+    /// Encode a tuple's values (metadata travels out of band in the
+    /// simulated transport).
+    pub fn encode(self, tuple: &Tuple) -> Bytes {
+        let schema = tuple.schema();
+        match self {
+            WireFormat::Csv => {
+                let mut out = String::new();
+                for (i, v) in tuple.values().iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&csv_cell(v));
+                }
+                Bytes::from(out)
+            }
+            WireFormat::Json => {
+                let mut out = String::from("{");
+                for (i, (f, v)) in schema.fields().iter().zip(tuple.values()).enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\":{}", f.name, json_cell(v)));
+                }
+                out.push('}');
+                Bytes::from(out)
+            }
+            WireFormat::KeyValue => {
+                let mut out = String::new();
+                for (i, (f, v)) in schema.fields().iter().zip(tuple.values()).enumerate() {
+                    if i > 0 {
+                        out.push(';');
+                    }
+                    out.push_str(&format!("{}={}", f.name, kv_cell(v)));
+                }
+                Bytes::from(out)
+            }
+        }
+    }
+}
+
+fn csv_cell(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Str(s) => {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        }
+        Value::Geo(g) => format!("\"{},{}\"", g.lat, g.lon),
+        Value::Time(t) => t.as_millis().to_string(),
+        other => other.to_string(),
+    }
+}
+
+fn json_cell(v: &Value) -> String {
+    match v {
+        Value::Null => "null".into(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            if f.is_finite() {
+                f.to_string()
+            } else {
+                "null".into()
+            }
+        }
+        Value::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Value::Time(t) => t.as_millis().to_string(),
+        Value::Geo(g) => format!("[{},{}]", g.lat, g.lon),
+    }
+}
+
+fn kv_cell(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Str(s) => s.replace([';', '='], " "),
+        Value::Geo(g) => format!("{},{}", g.lat, g.lon),
+        Value::Time(t) => t.as_millis().to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Extract a tuple from a payload: parse per the format, then coerce each
+/// attribute to the schema's type. Unparseable or missing attributes become
+/// null; extra attributes are ignored.
+pub fn decode_payload(
+    payload: &Bytes,
+    format: WireFormat,
+    schema: &SchemaRef,
+    meta: SttMeta,
+) -> Result<Tuple, SttError> {
+    let text = std::str::from_utf8(payload).map_err(|_| SttError::Parse("payload is not UTF-8".into()))?;
+    let mut values = vec![Value::Null; schema.len()];
+    match format {
+        WireFormat::Csv => {
+            for (i, cell) in split_csv(text).into_iter().enumerate() {
+                if i >= schema.len() {
+                    break;
+                }
+                values[i] = coerce(&cell, schema.fields()[i].ty);
+            }
+        }
+        WireFormat::Json => {
+            for (key, raw) in parse_flat_json(text)? {
+                if let Ok(idx) = schema.index_of(&key) {
+                    values[idx] = coerce(&raw, schema.fields()[idx].ty);
+                }
+            }
+        }
+        WireFormat::KeyValue => {
+            for pair in text.split(';') {
+                if let Some((k, v)) = pair.split_once('=') {
+                    if let Ok(idx) = schema.index_of(k.trim()) {
+                        values[idx] = coerce(v.trim(), schema.fields()[idx].ty);
+                    }
+                }
+            }
+        }
+    }
+    Tuple::new(schema.clone(), values, meta)
+}
+
+/// Coerce a textual cell into the target type; failures yield null.
+fn coerce(cell: &str, ty: AttrType) -> Value {
+    let cell = cell.trim();
+    if cell.is_empty() || cell == "null" {
+        return Value::Null;
+    }
+    // JSON arrays as geo pairs.
+    if ty == AttrType::Geo {
+        let stripped = cell
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .unwrap_or(cell);
+        return Value::parse_as(stripped, ty).unwrap_or(Value::Null);
+    }
+    // Strip JSON string quotes for Str cells.
+    if ty == AttrType::Str {
+        let inner = cell
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .map(|s| s.replace("\\\"", "\"").replace("\\\\", "\\"));
+        return Value::Str(inner.unwrap_or_else(|| cell.to_string()));
+    }
+    Value::parse_as(cell, ty).unwrap_or(Value::Null)
+}
+
+/// Minimal CSV splitter handling quoted cells.
+fn split_csv(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut in_q = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                if in_q && chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_q = !in_q;
+                }
+            }
+            ',' if !in_q => {
+                cells.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    cells.push(cur);
+    cells
+}
+
+/// Minimal flat-JSON-object parser: `{"k": scalar, ...}` with string, number,
+/// bool, null and `[a,b]` array values. Returns raw value text per key.
+fn parse_flat_json(text: &str) -> Result<Vec<(String, String)>, SttError> {
+    let t = text.trim();
+    let inner = t
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| SttError::Parse("not a JSON object".into()))?;
+    let mut out = Vec::new();
+    let bytes = inner.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Skip whitespace and commas.
+        while i < bytes.len() && (bytes[i].is_ascii_whitespace() || bytes[i] == b',') {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        if bytes[i] != b'"' {
+            return Err(SttError::Parse("expected a JSON key".into()));
+        }
+        i += 1;
+        let kstart = i;
+        while i < bytes.len() && bytes[i] != b'"' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(SttError::Parse("unterminated JSON key".into()));
+        }
+        let key = inner[kstart..i].to_string();
+        i += 1;
+        while i < bytes.len() && (bytes[i].is_ascii_whitespace()) {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b':' {
+            return Err(SttError::Parse("expected `:` in JSON object".into()));
+        }
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let vstart = i;
+        if i < bytes.len() && bytes[i] == b'"' {
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == b'"' {
+                    break;
+                }
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(SttError::Parse("unterminated JSON string".into()));
+            }
+            i += 1;
+        } else if i < bytes.len() && bytes[i] == b'[' {
+            while i < bytes.len() && bytes[i] != b']' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(SttError::Parse("unterminated JSON array".into()));
+            }
+            i += 1;
+        } else {
+            while i < bytes.len() && bytes[i] != b',' {
+                i += 1;
+            }
+        }
+        out.push((key, inner[vstart..i].trim().to_string()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_stt::{Field, GeoPoint, Schema, SensorId, Theme, Timestamp};
+
+    fn schema() -> SchemaRef {
+        Schema::new(vec![
+            Field::new("temperature", AttrType::Float),
+            Field::new("station", AttrType::Str),
+            Field::new("hits", AttrType::Int),
+            Field::new("pos", AttrType::Geo),
+        ])
+        .unwrap()
+        .into_ref()
+    }
+
+    fn meta() -> SttMeta {
+        SttMeta::new(
+            Timestamp::from_secs(1),
+            GeoPoint::new_unchecked(34.7, 135.5),
+            Theme::new("weather").unwrap(),
+            SensorId(5),
+        )
+    }
+
+    fn tuple() -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![
+                Value::Float(25.5),
+                Value::Str("osaka,main".into()),
+                Value::Int(7),
+                Value::Geo(GeoPoint::new_unchecked(34.7, 135.5)),
+            ],
+            meta(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_formats() {
+        for fmt in WireFormat::ALL {
+            let t = tuple();
+            let payload = fmt.encode(&t);
+            let back = decode_payload(&payload, fmt, &schema(), meta()).unwrap();
+            assert_eq!(back.get("temperature").unwrap(), &Value::Float(25.5), "{fmt:?}");
+            assert_eq!(back.get("hits").unwrap(), &Value::Int(7), "{fmt:?}");
+            let g = back.get("pos").unwrap().as_geo().unwrap();
+            assert!((g.lat - 34.7).abs() < 1e-9, "{fmt:?}");
+            // Key-value flattens the comma-containing string; CSV/JSON keep it.
+            if fmt != WireFormat::KeyValue {
+                assert_eq!(back.get("station").unwrap(), &Value::Str("osaka,main".into()), "{fmt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn csv_quoted_cells() {
+        let cells = split_csv("a,\"b,c\",\"say \"\"hi\"\"\",d");
+        assert_eq!(cells, vec!["a", "b,c", "say \"hi\"", "d"]);
+    }
+
+    #[test]
+    fn missing_attributes_become_null() {
+        let payload = Bytes::from("{\"temperature\": 20.5}");
+        let t = decode_payload(&payload, WireFormat::Json, &schema(), meta()).unwrap();
+        assert_eq!(t.get("temperature").unwrap(), &Value::Float(20.5));
+        assert_eq!(t.get("station").unwrap(), &Value::Null);
+        assert_eq!(t.get("hits").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn malformed_values_become_null_not_errors() {
+        let payload = Bytes::from("not_a_number,osaka,many,nowhere");
+        let t = decode_payload(&payload, WireFormat::Csv, &schema(), meta()).unwrap();
+        assert_eq!(t.get("temperature").unwrap(), &Value::Null);
+        assert_eq!(t.get("station").unwrap(), &Value::Str("osaka".into()));
+        assert_eq!(t.get("hits").unwrap(), &Value::Null);
+        assert_eq!(t.get("pos").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn extra_attributes_ignored() {
+        let payload = Bytes::from("temperature=20;wind=99;station=osaka");
+        let t = decode_payload(&payload, WireFormat::KeyValue, &schema(), meta()).unwrap();
+        assert_eq!(t.get("temperature").unwrap(), &Value::Float(20.0));
+        assert_eq!(t.get("station").unwrap(), &Value::Str("osaka".into()));
+    }
+
+    #[test]
+    fn non_utf8_payload_is_an_error() {
+        let payload = Bytes::from(vec![0xFF, 0xFE, 0x00]);
+        assert!(decode_payload(&payload, WireFormat::Csv, &schema(), meta()).is_err());
+    }
+
+    #[test]
+    fn broken_json_is_an_error() {
+        for bad in ["not json", "{\"k\" 1}", "{\"k\": \"unterminated}", "{k: 1}"] {
+            let payload = Bytes::from(bad.to_string());
+            assert!(
+                decode_payload(&payload, WireFormat::Json, &schema(), meta()).is_err(),
+                "`{bad}` should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn json_escapes_round_trip() {
+        let s = Schema::new(vec![Field::new("msg", AttrType::Str)]).unwrap().into_ref();
+        let t = Tuple::new(s.clone(), vec![Value::Str("say \"hi\" \\ ok".into())], meta()).unwrap();
+        let payload = WireFormat::Json.encode(&t);
+        let back = decode_payload(&payload, WireFormat::Json, &s, meta()).unwrap();
+        assert_eq!(back.get("msg").unwrap(), &Value::Str("say \"hi\" \\ ok".into()));
+    }
+
+    #[test]
+    fn null_cells_encode_and_decode() {
+        let s = Schema::new(vec![
+            Field::new("a", AttrType::Float),
+            Field::new("b", AttrType::Str),
+        ])
+        .unwrap()
+        .into_ref();
+        let t = Tuple::new(s.clone(), vec![Value::Null, Value::Str("x".into())], meta()).unwrap();
+        for fmt in WireFormat::ALL {
+            let back = decode_payload(&fmt.encode(&t), fmt, &s, meta()).unwrap();
+            assert_eq!(back.get("a").unwrap(), &Value::Null, "{fmt:?}");
+            assert_eq!(back.get("b").unwrap(), &Value::Str("x".into()), "{fmt:?}");
+        }
+    }
+}

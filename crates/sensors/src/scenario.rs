@@ -1,0 +1,268 @@
+//! The Osaka scenario fleet (paper §3, Scenario; Figure 2).
+//!
+//! "There are different sensors in the area of Osaka that produce data about
+//! the temperatures and levels of rains [...] Moreover, tweets and traffic
+//! information from the same area." This module builds that fleet against a
+//! network topology, assigning sensors to edge nodes round-robin.
+
+use crate::driver::SensorSim;
+use crate::gen::DiurnalWave;
+use crate::physical::{RainSensor, TemperatureSensor, WaterLevelSensor, WindPressureSensor};
+use crate::social::{TrafficSensor, TweetSensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sl_netsim::{NodeId, Topology};
+use sl_stt::{BoundingBox, Duration, GeoPoint, SensorId};
+
+/// Osaka city centre.
+pub fn osaka_center() -> GeoPoint {
+    GeoPoint::new_unchecked(34.6937, 135.5023)
+}
+
+/// The Osaka metropolitan bounding box used by scenario dataflows.
+pub fn osaka_area() -> BoundingBox {
+    BoundingBox::from_corners(
+        GeoPoint::new_unchecked(34.45, 135.25),
+        GeoPoint::new_unchecked(34.90, 135.75),
+    )
+}
+
+/// Fleet-size and behaviour knobs.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Temperature stations (half report humidity too; a quarter report
+    /// Fahrenheit).
+    pub temperature_sensors: usize,
+    /// Rain gauges.
+    pub rain_sensors: usize,
+    /// Tweet feeds.
+    pub tweet_feeds: usize,
+    /// Traffic probes.
+    pub traffic_probes: usize,
+    /// Wind/pressure stations.
+    pub wind_sensors: usize,
+    /// Water-level gauges.
+    pub water_sensors: usize,
+    /// Base RNG seed; every sensor derives its own from it.
+    pub seed: u64,
+    /// Make it a heat wave: push the temperature profile up so the
+    /// scenario's 25 °C trigger actually fires.
+    pub heat_wave: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            temperature_sensors: 6,
+            rain_sensors: 4,
+            tweet_feeds: 2,
+            traffic_probes: 4,
+            wind_sensors: 2,
+            water_sensors: 2,
+            seed: 2016,
+            heat_wave: true,
+        }
+    }
+}
+
+/// The built scenario: sensors ready to drive, plus the hosting topology.
+pub struct OsakaScenario {
+    /// The sensor fleet.
+    pub sensors: Vec<Box<dyn SensorSim>>,
+    /// The network they attach to.
+    pub topology: Topology,
+}
+
+/// Scatter a point around the centre within ~`spread_deg` degrees.
+fn scatter(rng: &mut StdRng, spread_deg: f64) -> GeoPoint {
+    let c = osaka_center();
+    GeoPoint::new_unchecked(
+        c.lat + (rng.gen::<f64>() - 0.5) * spread_deg,
+        c.lon + (rng.gen::<f64>() - 0.5) * spread_deg,
+    )
+}
+
+/// Build the Osaka fleet on the NICT-like testbed topology.
+pub fn osaka_fleet(config: &ScenarioConfig) -> OsakaScenario {
+    let topology = Topology::nict_testbed();
+    let edges: Vec<NodeId> = topology.edge_nodes();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut sensors: Vec<Box<dyn SensorSim>> = Vec::new();
+    let mut next_id = 0u64;
+    let mut next_edge = 0usize;
+    let mut alloc = |sensors: &mut Vec<Box<dyn SensorSim>>| -> (SensorId, NodeId) {
+        let id = SensorId(next_id);
+        next_id += 1;
+        let node = edges[next_edge % edges.len()];
+        next_edge += 1;
+        let _ = sensors; // placement only
+        (id, node)
+    };
+
+    for i in 0..config.temperature_sensors {
+        let (id, node) = alloc(&mut sensors);
+        let fahrenheit = i % 4 == 3;
+        let with_humidity = i % 2 == 0;
+        let mut s = TemperatureSensor::new(
+            id,
+            &format!("osaka-temp-{i}"),
+            scatter(&mut rng, 0.3),
+            node,
+            Duration::from_secs(10),
+            fahrenheit,
+            with_humidity,
+            config.seed.wrapping_add(id.0),
+        );
+        if config.heat_wave {
+            s.set_wave(DiurnalWave { base: 28.0, amplitude: 6.0, peak_hour: 14.0, noise_std: 0.8 });
+        }
+        sensors.push(Box::new(s));
+    }
+    for i in 0..config.rain_sensors {
+        let (id, node) = alloc(&mut sensors);
+        sensors.push(Box::new(RainSensor::new(
+            id,
+            &format!("osaka-rain-{i}"),
+            scatter(&mut rng, 0.3),
+            node,
+            Duration::from_secs(60),
+            config.seed.wrapping_add(id.0),
+        )));
+    }
+    for i in 0..config.tweet_feeds {
+        let (id, node) = alloc(&mut sensors);
+        sensors.push(Box::new(TweetSensor::new(
+            id,
+            &format!("osaka-tweets-{i}"),
+            "osaka",
+            osaka_center(),
+            node,
+            Duration::from_secs(2),
+            config.seed.wrapping_add(id.0),
+        )));
+    }
+    for i in 0..config.traffic_probes {
+        let (id, node) = alloc(&mut sensors);
+        sensors.push(Box::new(TrafficSensor::new(
+            id,
+            &format!("osaka-traffic-{i}"),
+            &format!("route-{}", 1 + i),
+            scatter(&mut rng, 0.2),
+            node,
+            Duration::from_secs(5),
+            config.seed.wrapping_add(id.0),
+        )));
+    }
+    for i in 0..config.wind_sensors {
+        let (id, node) = alloc(&mut sensors);
+        sensors.push(Box::new(WindPressureSensor::new(
+            id,
+            &format!("osaka-wind-{i}"),
+            scatter(&mut rng, 0.3),
+            node,
+            Duration::from_secs(30),
+            config.seed.wrapping_add(id.0),
+        )));
+    }
+    for i in 0..config.water_sensors {
+        let (id, node) = alloc(&mut sensors);
+        sensors.push(Box::new(WaterLevelSensor::new(
+            id,
+            &format!("osaka-river-{i}"),
+            scatter(&mut rng, 0.3),
+            node,
+            Duration::from_mins(5),
+            config.seed.wrapping_add(id.0),
+        )));
+    }
+    OsakaScenario { sensors, topology }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_pubsub::SensorKind;
+    use sl_stt::Timestamp;
+    use std::collections::HashSet;
+
+    #[test]
+    fn default_fleet_shape() {
+        let sc = osaka_fleet(&ScenarioConfig::default());
+        assert_eq!(sc.sensors.len(), 6 + 4 + 2 + 4 + 2 + 2);
+        // Unique ids and names.
+        let ids: HashSet<_> = sc.sensors.iter().map(|s| s.advertisement().id).collect();
+        assert_eq!(ids.len(), sc.sensors.len());
+        let names: HashSet<_> = sc.sensors.iter().map(|s| s.advertisement().name).collect();
+        assert_eq!(names.len(), sc.sensors.len());
+        // Both kinds present.
+        let kinds: HashSet<_> = sc.sensors.iter().map(|s| s.advertisement().kind).collect();
+        assert!(kinds.contains(&SensorKind::Physical) && kinds.contains(&SensorKind::Social));
+        // Every hosting node is an edge node of the topology.
+        let edges: HashSet<_> = sc.topology.edge_nodes().into_iter().collect();
+        for s in &sc.sensors {
+            assert!(edges.contains(&s.advertisement().node));
+        }
+    }
+
+    #[test]
+    fn located_sensors_sit_in_the_osaka_box() {
+        let sc = osaka_fleet(&ScenarioConfig::default());
+        let area = osaka_area();
+        for s in &sc.sensors {
+            if let Some(p) = s.advertisement().location {
+                assert!(area.contains(&p), "{} at {p}", s.advertisement().name);
+            }
+        }
+    }
+
+    #[test]
+    fn heat_wave_pushes_midday_above_trigger() {
+        let mut sc = osaka_fleet(&ScenarioConfig { heat_wave: true, ..Default::default() });
+        let noon = Timestamp::from_civil(2016, 7, 1, 13, 0, 0);
+        // Average the Celsius sensors' midday readings.
+        let mut sum = 0.0;
+        let mut n = 0;
+        for s in sc.sensors.iter_mut() {
+            let ad = s.advertisement();
+            if ad.theme.as_str() == "weather/temperature"
+                && ad.schema.field("temperature").unwrap().unit == Some(sl_stt::Unit::Celsius)
+            {
+                sum += s.sample(noon).get("temperature").unwrap().as_f64().unwrap();
+                n += 1;
+            }
+        }
+        assert!(n >= 3);
+        let avg = sum / f64::from(n);
+        assert!(avg > 25.0, "midday heat-wave average {avg} should trip the 25°C trigger");
+    }
+
+    #[test]
+    fn fleet_is_deterministic() {
+        let t = Timestamp::from_civil(2016, 7, 1, 10, 0, 0);
+        let mut a = osaka_fleet(&ScenarioConfig::default());
+        let mut b = osaka_fleet(&ScenarioConfig::default());
+        for (x, y) in a.sensors.iter_mut().zip(b.sensors.iter_mut()) {
+            assert_eq!(x.sample(t), y.sample(t));
+        }
+        // Different seed differs somewhere.
+        let mut c = osaka_fleet(&ScenarioConfig { seed: 999, ..Default::default() });
+        let differs = a
+            .sensors
+            .iter_mut()
+            .zip(c.sensors.iter_mut())
+            .any(|(x, y)| x.sample(t) != y.sample(t));
+        assert!(differs);
+    }
+
+    #[test]
+    fn heterogeneous_units_present() {
+        let sc = osaka_fleet(&ScenarioConfig::default());
+        let units: HashSet<_> = sc
+            .sensors
+            .iter()
+            .filter_map(|s| s.advertisement().schema.field("temperature").ok().and_then(|f| f.unit))
+            .collect();
+        assert!(units.contains(&sl_stt::Unit::Celsius));
+        assert!(units.contains(&sl_stt::Unit::Fahrenheit));
+    }
+}

@@ -1,0 +1,364 @@
+//! Per-sensor schemas.
+//!
+//! "We remark that data schema are not fixed but depend on the sensors"
+//! (paper §3): every sensor advertises its own schema through the
+//! publish/subscribe layer, and the dataflow validator propagates schemas
+//! through operators. A [`Schema`] is an ordered list of named, typed
+//! [`Field`]s, optionally annotated with a unit of measure.
+
+use crate::error::SttError;
+use crate::units::Unit;
+use std::fmt;
+use std::sync::Arc;
+
+/// The static type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// Boolean flag.
+    Bool,
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 text.
+    Str,
+    /// Point in time.
+    Time,
+    /// Geographic position.
+    Geo,
+}
+
+impl AttrType {
+    /// All attribute types.
+    pub const ALL: [AttrType; 6] = [
+        AttrType::Bool,
+        AttrType::Int,
+        AttrType::Float,
+        AttrType::Str,
+        AttrType::Time,
+        AttrType::Geo,
+    ];
+
+    /// True if a value of type `self` may appear where `target` is expected
+    /// (identity, or the `Int` → `Float` widening).
+    pub fn coercible_to(self, target: AttrType) -> bool {
+        self == target || (self == AttrType::Int && target == AttrType::Float)
+    }
+
+    /// True if this type supports arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, AttrType::Int | AttrType::Float)
+    }
+
+    /// Parse from the identifiers used in DSN documents and advertisements.
+    pub fn parse(s: &str) -> Result<AttrType, SttError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "bool" => Ok(AttrType::Bool),
+            "int" => Ok(AttrType::Int),
+            "float" => Ok(AttrType::Float),
+            "str" | "string" | "text" => Ok(AttrType::Str),
+            "time" | "timestamp" => Ok(AttrType::Time),
+            "geo" | "point" => Ok(AttrType::Geo),
+            other => Err(SttError::Parse(format!("unknown attribute type `{other}`"))),
+        }
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Bool => "bool",
+            AttrType::Int => "int",
+            AttrType::Float => "float",
+            AttrType::Str => "str",
+            AttrType::Time => "time",
+            AttrType::Geo => "geo",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One named attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Attribute name, unique within the schema.
+    pub name: String,
+    /// Static type.
+    pub ty: AttrType,
+    /// Unit of measure, when the attribute is a physical quantity.
+    pub unit: Option<Unit>,
+}
+
+impl Field {
+    /// A field with no unit annotation.
+    pub fn new(name: &str, ty: AttrType) -> Field {
+        Field { name: name.to_string(), ty, unit: None }
+    }
+
+    /// A field carrying a physical quantity in `unit`.
+    pub fn with_unit(name: &str, ty: AttrType, unit: Unit) -> Field {
+        Field { name: name.to_string(), ty, unit: Some(unit) }
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.ty)?;
+        if let Some(u) = self.unit {
+            write!(f, " [{u}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Shared, immutable schema handle. Tuples reference their schema through
+/// this to avoid copying field metadata per tuple.
+pub type SchemaRef = Arc<Schema>;
+
+/// An ordered collection of uniquely-named fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate attribute names.
+    pub fn new(fields: Vec<Field>) -> Result<Schema, SttError> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(SttError::DuplicateAttribute(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// The empty schema.
+    pub fn empty() -> Schema {
+        Schema { fields: Vec::new() }
+    }
+
+    /// Wrap into a [`SchemaRef`].
+    pub fn into_ref(self) -> SchemaRef {
+        Arc::new(self)
+    }
+
+    /// The fields, in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Positional index of the attribute `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize, SttError> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| SttError::UnknownAttribute(name.to_string()))
+    }
+
+    /// The field named `name`.
+    pub fn field(&self, name: &str) -> Result<&Field, SttError> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// True if the schema has an attribute named `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.fields.iter().any(|f| f.name == name)
+    }
+
+    /// A new schema with `field` appended (used by Virtual Property:
+    /// "a new attribute p is added to the schema of s", Table 1).
+    pub fn with_field(&self, field: Field) -> Result<Schema, SttError> {
+        if self.contains(&field.name) {
+            return Err(SttError::DuplicateAttribute(field.name));
+        }
+        let mut fields = self.fields.clone();
+        fields.push(field);
+        Ok(Schema { fields })
+    }
+
+    /// A new schema keeping only the named attributes, in the given order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema, SttError> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            fields.push(self.field(n)?.clone());
+        }
+        Schema::new(fields)
+    }
+
+    /// Schema of the join of two streams: fields of `self` then fields of
+    /// `other`, with colliding names from `other` prefixed `right_`.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &other.fields {
+            let mut f = f.clone();
+            if self.contains(&f.name) {
+                f.name = format!("right_{}", f.name);
+                // Extremely defensive: disambiguate repeatedly if needed.
+                while fields.iter().any(|g| g.name == f.name) {
+                    f.name.insert_str(0, "right_");
+                }
+            }
+            fields.push(f);
+        }
+        Schema { fields }
+    }
+
+    /// True if every field of `self` appears in `other` with a coercible
+    /// type. Used to check that a replacement sensor can substitute for a
+    /// failed one (demo P3).
+    pub fn subsumed_by(&self, other: &Schema) -> bool {
+        self.fields.iter().all(|f| {
+            other
+                .field(&f.name)
+                .is_ok_and(|g| g.ty.coercible_to(f.ty) || f.ty.coercible_to(g.ty))
+        })
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weather_schema() -> Schema {
+        Schema::new(vec![
+            Field::with_unit("temperature", AttrType::Float, Unit::Celsius),
+            Field::with_unit("humidity", AttrType::Float, Unit::Percent),
+            Field::new("station", AttrType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("a", AttrType::Int),
+            Field::new("a", AttrType::Float),
+        ])
+        .unwrap_err();
+        assert_eq!(err, SttError::DuplicateAttribute("a".into()));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = weather_schema();
+        assert_eq!(s.index_of("humidity").unwrap(), 1);
+        assert_eq!(s.field("temperature").unwrap().unit, Some(Unit::Celsius));
+        assert!(s.contains("station"));
+        assert!(matches!(s.index_of("wind"), Err(SttError::UnknownAttribute(_))));
+    }
+
+    #[test]
+    fn with_field_appends() {
+        let s = weather_schema();
+        let s2 = s
+            .with_field(Field::with_unit("apparent_temperature", AttrType::Float, Unit::Celsius))
+            .unwrap();
+        assert_eq!(s2.len(), 4);
+        assert_eq!(s2.fields()[3].name, "apparent_temperature");
+        // Original untouched.
+        assert_eq!(s.len(), 3);
+        // Duplicate rejected.
+        assert!(s2.with_field(Field::new("humidity", AttrType::Int)).is_err());
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let s = weather_schema();
+        let p = s.project(&["station", "temperature"]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.fields()[0].name, "station");
+        assert_eq!(p.fields()[1].name, "temperature");
+        assert!(s.project(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn join_prefixes_collisions() {
+        let left = weather_schema();
+        let right = Schema::new(vec![
+            Field::new("station", AttrType::Str),
+            Field::with_unit("rain", AttrType::Float, Unit::MillimeterRain),
+        ])
+        .unwrap();
+        let j = left.join(&right);
+        assert_eq!(j.len(), 5);
+        assert!(j.contains("station"));
+        assert!(j.contains("right_station"));
+        assert!(j.contains("rain"));
+    }
+
+    #[test]
+    fn join_handles_pathological_collisions() {
+        let left = Schema::new(vec![
+            Field::new("x", AttrType::Int),
+            Field::new("right_x", AttrType::Int),
+        ])
+        .unwrap();
+        let right = Schema::new(vec![Field::new("x", AttrType::Int)]).unwrap();
+        let j = left.join(&right);
+        // x collides -> right_x collides too -> right_right_x.
+        assert!(j.contains("right_right_x"));
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn coercibility() {
+        assert!(AttrType::Int.coercible_to(AttrType::Float));
+        assert!(!AttrType::Float.coercible_to(AttrType::Int));
+        assert!(AttrType::Str.coercible_to(AttrType::Str));
+        assert!(AttrType::Int.is_numeric());
+        assert!(!AttrType::Geo.is_numeric());
+    }
+
+    #[test]
+    fn subsumption() {
+        let small = Schema::new(vec![Field::new("temperature", AttrType::Float)]).unwrap();
+        let big = weather_schema();
+        assert!(small.subsumed_by(&big));
+        assert!(!big.subsumed_by(&small));
+        // Int field satisfied by Float provider (and vice versa via coercion).
+        let int_temp = Schema::new(vec![Field::new("temperature", AttrType::Int)]).unwrap();
+        assert!(int_temp.subsumed_by(&big));
+    }
+
+    #[test]
+    fn attr_type_parse_display_round_trip() {
+        for ty in AttrType::ALL {
+            assert_eq!(AttrType::parse(&ty.to_string()).unwrap(), ty);
+        }
+        assert_eq!(AttrType::parse("String").unwrap(), AttrType::Str);
+        assert!(AttrType::parse("blob").is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        let s = Schema::new(vec![
+            Field::with_unit("t", AttrType::Float, Unit::Celsius),
+            Field::new("msg", AttrType::Str),
+        ])
+        .unwrap();
+        assert_eq!(s.to_string(), "(t: float [celsius], msg: str)");
+    }
+}

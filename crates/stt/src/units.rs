@@ -1,0 +1,333 @@
+//! Units of measure and their conversions.
+//!
+//! The Transform operation's first job (requirement §2) is "changing the unit
+//! of measure (e.g. from yards to meters)". Heterogeneous sensors report the
+//! same physical quantity in different units — a US-sourced feed in
+//! Fahrenheit, a Japanese one in Celsius — and streams must be normalised
+//! before they can be joined or aggregated.
+//!
+//! Every [`Unit`] belongs to exactly one [`Quantity`]; conversion goes through
+//! the quantity's base unit via an affine map `base = scale * value + offset`.
+
+use crate::error::SttError;
+use std::fmt;
+
+/// A physical quantity (dimension). Units convert only within a quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantity {
+    /// Thermodynamic temperature (base: Celsius).
+    Temperature,
+    /// Length / distance (base: metre).
+    Length,
+    /// Speed (base: metres per second).
+    Speed,
+    /// Pressure (base: hectopascal).
+    Pressure,
+    /// Precipitation depth (base: millimetre).
+    Rainfall,
+    /// Relative quantity in percent (base: percent).
+    Ratio,
+    /// Mass (base: kilogram).
+    Mass,
+}
+
+/// A unit of measure attached to a schema field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    // Temperature
+    /// Degrees Celsius.
+    Celsius,
+    /// Degrees Fahrenheit.
+    Fahrenheit,
+    /// Kelvin.
+    Kelvin,
+    // Length
+    /// Metres.
+    Meter,
+    /// Kilometres.
+    Kilometer,
+    /// International yards.
+    Yard,
+    /// International feet.
+    Foot,
+    /// Statute miles.
+    Mile,
+    /// Millimetres (as a length).
+    Millimeter,
+    // Speed
+    /// Metres per second.
+    MeterPerSecond,
+    /// Kilometres per hour.
+    KilometerPerHour,
+    /// Miles per hour.
+    MilePerHour,
+    /// Knots.
+    Knot,
+    // Pressure
+    /// Hectopascal (= millibar).
+    Hectopascal,
+    /// Kilopascal.
+    Kilopascal,
+    /// Millimetres of mercury.
+    MillimeterOfMercury,
+    // Rainfall
+    /// Millimetres of precipitation.
+    MillimeterRain,
+    /// Inches of precipitation.
+    InchRain,
+    // Ratio
+    /// Percent.
+    Percent,
+    /// Dimensionless fraction in `[0, 1]`.
+    Fraction,
+    // Mass
+    /// Kilograms.
+    Kilogram,
+    /// Pounds (avoirdupois).
+    Pound,
+}
+
+impl Unit {
+    /// All supported units.
+    pub const ALL: [Unit; 22] = [
+        Unit::Celsius,
+        Unit::Fahrenheit,
+        Unit::Kelvin,
+        Unit::Meter,
+        Unit::Kilometer,
+        Unit::Yard,
+        Unit::Foot,
+        Unit::Mile,
+        Unit::Millimeter,
+        Unit::MeterPerSecond,
+        Unit::KilometerPerHour,
+        Unit::MilePerHour,
+        Unit::Knot,
+        Unit::Hectopascal,
+        Unit::Kilopascal,
+        Unit::MillimeterOfMercury,
+        Unit::MillimeterRain,
+        Unit::InchRain,
+        Unit::Percent,
+        Unit::Fraction,
+        Unit::Kilogram,
+        Unit::Pound,
+    ];
+
+    /// The physical quantity this unit measures.
+    pub fn quantity(self) -> Quantity {
+        match self {
+            Unit::Celsius | Unit::Fahrenheit | Unit::Kelvin => Quantity::Temperature,
+            Unit::Meter | Unit::Kilometer | Unit::Yard | Unit::Foot | Unit::Mile | Unit::Millimeter => {
+                Quantity::Length
+            }
+            Unit::MeterPerSecond | Unit::KilometerPerHour | Unit::MilePerHour | Unit::Knot => Quantity::Speed,
+            Unit::Hectopascal | Unit::Kilopascal | Unit::MillimeterOfMercury => Quantity::Pressure,
+            Unit::MillimeterRain | Unit::InchRain => Quantity::Rainfall,
+            Unit::Percent | Unit::Fraction => Quantity::Ratio,
+            Unit::Kilogram | Unit::Pound => Quantity::Mass,
+        }
+    }
+
+    /// Affine map to the quantity's base unit: `base = scale * v + offset`.
+    fn to_base(self) -> (f64, f64) {
+        match self {
+            // Temperature (base Celsius)
+            Unit::Celsius => (1.0, 0.0),
+            Unit::Fahrenheit => (5.0 / 9.0, -160.0 / 9.0),
+            Unit::Kelvin => (1.0, -273.15),
+            // Length (base metre)
+            Unit::Meter => (1.0, 0.0),
+            Unit::Kilometer => (1000.0, 0.0),
+            Unit::Yard => (0.9144, 0.0),
+            Unit::Foot => (0.3048, 0.0),
+            Unit::Mile => (1609.344, 0.0),
+            Unit::Millimeter => (0.001, 0.0),
+            // Speed (base m/s)
+            Unit::MeterPerSecond => (1.0, 0.0),
+            Unit::KilometerPerHour => (1.0 / 3.6, 0.0),
+            Unit::MilePerHour => (0.44704, 0.0),
+            Unit::Knot => (0.514444, 0.0),
+            // Pressure (base hPa)
+            Unit::Hectopascal => (1.0, 0.0),
+            Unit::Kilopascal => (10.0, 0.0),
+            Unit::MillimeterOfMercury => (1.333_223_7, 0.0),
+            // Rainfall (base mm)
+            Unit::MillimeterRain => (1.0, 0.0),
+            Unit::InchRain => (25.4, 0.0),
+            // Ratio (base percent)
+            Unit::Percent => (1.0, 0.0),
+            Unit::Fraction => (100.0, 0.0),
+            // Mass (base kg)
+            Unit::Kilogram => (1.0, 0.0),
+            Unit::Pound => (0.453_592_37, 0.0),
+        }
+    }
+
+    /// Convert `v` expressed in `self` into `target`.
+    ///
+    /// Errors with [`SttError::IncompatibleUnits`] when the quantities differ.
+    pub fn convert(self, v: f64, target: Unit) -> Result<f64, SttError> {
+        if self == target {
+            return Ok(v);
+        }
+        if self.quantity() != target.quantity() {
+            return Err(SttError::IncompatibleUnits {
+                from: self.to_string(),
+                to: target.to_string(),
+            });
+        }
+        let (sa, oa) = self.to_base();
+        let (sb, ob) = target.to_base();
+        // base = sa*v + oa ; target solves base = sb*t + ob.
+        Ok((sa * v + oa - ob) / sb)
+    }
+
+    /// Canonical identifier used in schemas, expressions and DSN documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Celsius => "celsius",
+            Unit::Fahrenheit => "fahrenheit",
+            Unit::Kelvin => "kelvin",
+            Unit::Meter => "m",
+            Unit::Kilometer => "km",
+            Unit::Yard => "yd",
+            Unit::Foot => "ft",
+            Unit::Mile => "mi",
+            Unit::Millimeter => "mm",
+            Unit::MeterPerSecond => "mps",
+            Unit::KilometerPerHour => "kmph",
+            Unit::MilePerHour => "mph",
+            Unit::Knot => "knot",
+            Unit::Hectopascal => "hpa",
+            Unit::Kilopascal => "kpa",
+            Unit::MillimeterOfMercury => "mmhg",
+            Unit::MillimeterRain => "mm_rain",
+            Unit::InchRain => "in_rain",
+            Unit::Percent => "percent",
+            Unit::Fraction => "fraction",
+            Unit::Kilogram => "kg",
+            Unit::Pound => "lb",
+        }
+    }
+
+    /// Parse a unit identifier (the inverse of [`Unit::name`], plus common
+    /// aliases like `C`, `F`, `yard`).
+    pub fn parse(s: &str) -> Result<Unit, SttError> {
+        let lower = s.trim().to_ascii_lowercase();
+        // Exact canonical names first.
+        if let Some(u) = Unit::ALL.iter().find(|u| u.name() == lower) {
+            return Ok(*u);
+        }
+        match lower.as_str() {
+            "c" | "°c" | "deg_c" => Ok(Unit::Celsius),
+            "f" | "°f" | "deg_f" => Ok(Unit::Fahrenheit),
+            "k" => Ok(Unit::Kelvin),
+            "meter" | "meters" | "metre" | "metres" => Ok(Unit::Meter),
+            "yard" | "yards" => Ok(Unit::Yard),
+            "feet" | "foot" => Ok(Unit::Foot),
+            "mile" | "miles" => Ok(Unit::Mile),
+            "m/s" => Ok(Unit::MeterPerSecond),
+            "km/h" | "kph" => Ok(Unit::KilometerPerHour),
+            "knots" | "kt" => Ok(Unit::Knot),
+            "mbar" | "millibar" => Ok(Unit::Hectopascal),
+            "%" | "pct" => Ok(Unit::Percent),
+            other => Err(SttError::Parse(format!("unknown unit `{other}`"))),
+        }
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn temperature_known_points() {
+        assert!(close(Unit::Celsius.convert(0.0, Unit::Fahrenheit).unwrap(), 32.0));
+        assert!(close(Unit::Celsius.convert(100.0, Unit::Fahrenheit).unwrap(), 212.0));
+        assert!(close(Unit::Fahrenheit.convert(32.0, Unit::Celsius).unwrap(), 0.0));
+        assert!(close(Unit::Celsius.convert(25.0, Unit::Kelvin).unwrap(), 298.15));
+        assert!(close(Unit::Kelvin.convert(273.15, Unit::Celsius).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn yards_to_meters_paper_example() {
+        // The paper's own example: "from yards to meters".
+        assert!(close(Unit::Yard.convert(100.0, Unit::Meter).unwrap(), 91.44));
+        assert!(close(Unit::Meter.convert(91.44, Unit::Yard).unwrap(), 100.0));
+    }
+
+    #[test]
+    fn speed_conversions() {
+        assert!(close(Unit::KilometerPerHour.convert(36.0, Unit::MeterPerSecond).unwrap(), 10.0));
+        assert!(close(Unit::MilePerHour.convert(60.0, Unit::KilometerPerHour).unwrap(), 96.56064));
+    }
+
+    #[test]
+    fn rainfall_and_pressure() {
+        assert!(close(Unit::InchRain.convert(1.0, Unit::MillimeterRain).unwrap(), 25.4));
+        assert!(close(Unit::Kilopascal.convert(101.325, Unit::Hectopascal).unwrap(), 1013.25));
+    }
+
+    #[test]
+    fn ratio_and_mass() {
+        assert!(close(Unit::Fraction.convert(0.75, Unit::Percent).unwrap(), 75.0));
+        assert!(close(Unit::Pound.convert(1.0, Unit::Kilogram).unwrap(), 0.45359237));
+    }
+
+    #[test]
+    fn identity_conversion() {
+        for u in Unit::ALL {
+            assert!(close(u.convert(42.5, u).unwrap(), 42.5), "{u}");
+        }
+    }
+
+    #[test]
+    fn round_trip_all_pairs_within_quantity() {
+        for a in Unit::ALL {
+            for b in Unit::ALL {
+                if a.quantity() == b.quantity() {
+                    let out = a.convert(123.456, b).unwrap();
+                    let back = b.convert(out, a).unwrap();
+                    assert!((back - 123.456).abs() < 1e-6, "{a} -> {b} -> {a}: {back}");
+                } else {
+                    assert!(a.convert(1.0, b).is_err(), "{a} -> {b} should fail");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_names_and_aliases() {
+        for u in Unit::ALL {
+            assert_eq!(Unit::parse(u.name()).unwrap(), u);
+        }
+        assert_eq!(Unit::parse("C").unwrap(), Unit::Celsius);
+        assert_eq!(Unit::parse("yards").unwrap(), Unit::Yard);
+        assert_eq!(Unit::parse("km/h").unwrap(), Unit::KilometerPerHour);
+        assert_eq!(Unit::parse("%").unwrap(), Unit::Percent);
+        assert!(Unit::parse("furlong").is_err());
+    }
+
+    #[test]
+    fn quantities_partition_units() {
+        // Every unit maps to exactly one quantity, and each quantity has at
+        // least two units (otherwise conversion would be pointless).
+        use std::collections::HashMap;
+        let mut count: HashMap<_, usize> = HashMap::new();
+        for u in Unit::ALL {
+            *count.entry(u.quantity()).or_default() += 1;
+        }
+        assert!(count.values().all(|c| *c >= 2));
+    }
+}

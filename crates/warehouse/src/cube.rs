@@ -1,0 +1,253 @@
+//! Multigranular STT roll-ups.
+//!
+//! The STT model's payoff: events stored at fine granularities can be
+//! re-expressed at any coarser space–time granularity and aggregated per
+//! theme — the warehouse-side counterpart of the stream Aggregation
+//! operator, feeding "further analysis" and visualisation (paper §3).
+
+use crate::query::EventQuery;
+use crate::store::EventWarehouse;
+use sl_stt::{SpatialGranularity, SpatialGranule, TemporalGranularity, Theme, Value};
+use std::collections::BTreeMap;
+
+/// A roll-up request.
+#[derive(Debug, Clone)]
+pub struct CubeQuery {
+    /// Pre-selection of events.
+    pub select: EventQuery,
+    /// Target temporal granularity (coarser than the stored events').
+    pub tgran: TemporalGranularity,
+    /// Target spatial granularity.
+    pub sgran: SpatialGranularity,
+    /// Theme depth to group at (1 = root segment). Events deeper in the
+    /// hierarchy roll up to their ancestor at this depth.
+    pub theme_depth: usize,
+}
+
+/// One cell of the roll-up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubeCell {
+    /// Temporal granule index (under the query's `tgran`).
+    pub tgranule: i64,
+    /// Spatial granule.
+    pub sgranule: SpatialGranule,
+    /// Theme prefix at the requested depth.
+    pub theme: Theme,
+    /// Events aggregated into this cell.
+    pub count: u64,
+    /// Mean of numeric event values (None if no numeric values).
+    pub avg: Option<f64>,
+    /// Sum of numeric event values.
+    pub sum: f64,
+    /// Minimum numeric value.
+    pub min: Option<f64>,
+    /// Maximum numeric value.
+    pub max: Option<f64>,
+}
+
+impl EventWarehouse {
+    /// Compute the roll-up. Events whose granularity cannot be coarsened to
+    /// the requested one (already coarser, or incomparable) are skipped.
+    pub fn rollup(&mut self, q: &CubeQuery) -> Vec<CubeCell> {
+        #[derive(Default)]
+        struct Acc {
+            count: u64,
+            sum: f64,
+            nnum: u64,
+            min: Option<f64>,
+            max: Option<f64>,
+        }
+        let mut cells: BTreeMap<(i64, String, String), (SpatialGranule, Theme, Acc)> =
+            BTreeMap::new();
+        let events: Vec<sl_stt::Event> = self.query(&q.select).into_iter().cloned().collect();
+        for event in events {
+            let Ok(coarse) = event.coarsened(q.tgran, q.sgran) else {
+                continue;
+            };
+            let theme_prefix = theme_at_depth(&event.theme, q.theme_depth);
+            let key = (coarse.tgranule, coarse.sgranule.to_string(), theme_prefix.to_string());
+            let entry = cells
+                .entry(key)
+                .or_insert_with(|| (coarse.sgranule, theme_prefix.clone(), Acc::default()));
+            let acc = &mut entry.2;
+            acc.count += 1;
+            if let Ok(v) = numeric(&event.value) {
+                acc.sum += v;
+                acc.nnum += 1;
+                acc.min = Some(acc.min.map_or(v, |m| m.min(v)));
+                acc.max = Some(acc.max.map_or(v, |m| m.max(v)));
+            }
+        }
+        cells
+            .into_iter()
+            .map(|((tgranule, _, _), (sgranule, theme, acc))| CubeCell {
+                tgranule,
+                sgranule,
+                theme,
+                count: acc.count,
+                avg: (acc.nnum > 0).then(|| acc.sum / acc.nnum as f64),
+                sum: acc.sum,
+                min: acc.min,
+                max: acc.max,
+            })
+            .collect()
+    }
+}
+
+fn numeric(v: &Value) -> Result<f64, ()> {
+    match v {
+        Value::Int(_) | Value::Float(_) | Value::Bool(_) => v.as_f64().map_err(|_| ()),
+        _ => Err(()),
+    }
+}
+
+/// The ancestor of `theme` at the given depth (or the theme itself when
+/// shallower).
+fn theme_at_depth(theme: &Theme, depth: usize) -> Theme {
+    let segs: Vec<&str> = theme.segments().collect();
+    if depth == 0 || segs.len() <= depth {
+        return theme.clone();
+    }
+    Theme::new(&segs[..depth].join("/")).expect("prefix of a valid theme")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_stt::{Event, GeoPoint, TimeInterval, Timestamp};
+
+    fn event(min: i64, theme: &str, v: f64, lat: f64) -> Event {
+        Event::new(
+            Value::Float(v),
+            TemporalGranularity::Minute,
+            TemporalGranularity::Minute.granule_of(Timestamp::from_secs(min * 60)),
+            SpatialGranularity::grid(8).granule_of(&GeoPoint::new_unchecked(lat, 135.5)),
+            Theme::new(theme).unwrap(),
+        )
+    }
+
+    fn populated() -> EventWarehouse {
+        let mut w = EventWarehouse::with_defaults();
+        // Two hours of minute-level temperatures, plus tweets.
+        for m in 0..120 {
+            w.insert(event(m, "weather/temperature/t1", 20.0 + (m % 10) as f64, 34.7));
+        }
+        for m in 0..60 {
+            w.insert(event(m * 2, "social/tweet/text", 1.0, 34.7));
+        }
+        w
+    }
+
+    #[test]
+    fn hourly_rollup_by_theme_root() {
+        let mut w = populated();
+        let cells = w.rollup(&CubeQuery {
+            select: EventQuery::all(),
+            tgran: TemporalGranularity::Hour,
+            sgran: SpatialGranularity::grid(2),
+            theme_depth: 1,
+        });
+        // 2 hours x 2 theme roots = 4 cells.
+        assert_eq!(cells.len(), 4);
+        let weather: Vec<&CubeCell> =
+            cells.iter().filter(|c| c.theme.as_str() == "weather").collect();
+        assert_eq!(weather.len(), 2);
+        for c in &weather {
+            assert_eq!(c.count, 60);
+            let avg = c.avg.unwrap();
+            assert!((24.0..25.0).contains(&avg), "avg {avg}"); // mean of 20..29
+            assert_eq!(c.min, Some(20.0));
+            assert_eq!(c.max, Some(29.0));
+        }
+        let social: Vec<&CubeCell> = cells.iter().filter(|c| c.theme.as_str() == "social").collect();
+        assert_eq!(social[0].count + social.get(1).map_or(0, |c| c.count), 60);
+    }
+
+    #[test]
+    fn counts_are_conserved() {
+        let mut w = populated();
+        let cells = w.rollup(&CubeQuery {
+            select: EventQuery::all(),
+            tgran: TemporalGranularity::Day,
+            sgran: SpatialGranularity::World,
+            theme_depth: 1,
+        });
+        let total: u64 = cells.iter().map(|c| c.count).sum();
+        assert_eq!(total as usize, w.len());
+    }
+
+    #[test]
+    fn selection_narrows_rollup() {
+        let mut w = populated();
+        let cells = w.rollup(&CubeQuery {
+            select: EventQuery::all()
+                .with_theme(Theme::new("weather").unwrap())
+                .in_time(TimeInterval::new(Timestamp::from_secs(0), Timestamp::from_secs(3600))),
+            tgran: TemporalGranularity::Hour,
+            sgran: SpatialGranularity::World,
+            theme_depth: 1,
+        });
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].count, 60);
+        assert_eq!(cells[0].theme.as_str(), "weather");
+    }
+
+    #[test]
+    fn theme_depth_two_keeps_subthemes_apart() {
+        let mut w = EventWarehouse::with_defaults();
+        w.insert(event(0, "weather/temperature/a", 1.0, 34.7));
+        w.insert(event(0, "weather/rain/b", 2.0, 34.7));
+        let cells = w.rollup(&CubeQuery {
+            select: EventQuery::all(),
+            tgran: TemporalGranularity::Hour,
+            sgran: SpatialGranularity::World,
+            theme_depth: 2,
+        });
+        assert_eq!(cells.len(), 2);
+        let themes: Vec<&str> = cells.iter().map(|c| c.theme.as_str()).collect();
+        assert!(themes.contains(&"weather/temperature"));
+        assert!(themes.contains(&"weather/rain"));
+    }
+
+    #[test]
+    fn incoarsenable_events_skipped() {
+        let mut w = EventWarehouse::with_defaults();
+        // Hour-granule event cannot be rolled up to minutes.
+        w.insert(Event::new(
+            Value::Float(1.0),
+            TemporalGranularity::Hour,
+            0,
+            SpatialGranule::World,
+            Theme::new("weather").unwrap(),
+        ));
+        let cells = w.rollup(&CubeQuery {
+            select: EventQuery::all(),
+            tgran: TemporalGranularity::Minute,
+            sgran: SpatialGranularity::World,
+            theme_depth: 1,
+        });
+        assert!(cells.is_empty());
+    }
+
+    #[test]
+    fn non_numeric_values_counted_but_not_averaged() {
+        let mut w = EventWarehouse::with_defaults();
+        w.insert(Event::new(
+            Value::Str("heavy rain!".into()),
+            TemporalGranularity::Minute,
+            0,
+            SpatialGranule::World,
+            Theme::new("social/tweet").unwrap(),
+        ));
+        let cells = w.rollup(&CubeQuery {
+            select: EventQuery::all(),
+            tgran: TemporalGranularity::Hour,
+            sgran: SpatialGranularity::World,
+            theme_depth: 1,
+        });
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].count, 1);
+        assert_eq!(cells[0].avg, None);
+        assert_eq!(cells[0].min, None);
+    }
+}

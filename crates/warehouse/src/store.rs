@@ -1,0 +1,367 @@
+//! The append-only event store and its indexes.
+
+use sl_stt::{
+    Event, SpatialGranularity, SpatialGranule, TemporalGranularity, Theme, Timestamp, Tuple,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// Store configuration.
+#[derive(Debug, Clone)]
+pub struct WarehouseConfig {
+    /// Temporal granularity of the time index (coarser than most queries).
+    pub time_index_gran: TemporalGranularity,
+    /// Spatial granularity of the grid index.
+    pub space_index_gran: SpatialGranularity,
+    /// Events per segment (bounds per-segment scan cost).
+    pub segment_capacity: usize,
+}
+
+impl Default for WarehouseConfig {
+    fn default() -> Self {
+        WarehouseConfig {
+            time_index_gran: TemporalGranularity::Hour,
+            space_index_gran: SpatialGranularity::grid(5),
+            segment_capacity: 4096,
+        }
+    }
+}
+
+/// Ingest/usage counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarehouseStats {
+    /// Events stored.
+    pub events: u64,
+    /// Tuples ingested via [`EventWarehouse::ingest_tuple`].
+    pub tuples: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Sealed segments.
+    pub segments: u64,
+}
+
+/// Position of an event: (segment, offset).
+pub(crate) type Pos = (u32, u32);
+
+/// The Event Data Warehouse.
+pub struct EventWarehouse {
+    config: WarehouseConfig,
+    pub(crate) segments: Vec<Vec<Event>>,
+    /// time-index granule -> positions.
+    pub(crate) time_index: BTreeMap<i64, Vec<Pos>>,
+    /// grid cell -> positions (only for events with sub-world granules).
+    pub(crate) space_index: HashMap<SpatialGranule, Vec<Pos>>,
+    /// theme -> positions.
+    pub(crate) theme_index: BTreeMap<Theme, Vec<Pos>>,
+    stats: WarehouseStats,
+}
+
+impl EventWarehouse {
+    /// An empty warehouse.
+    pub fn new(config: WarehouseConfig) -> EventWarehouse {
+        EventWarehouse {
+            config,
+            segments: vec![Vec::new()],
+            time_index: BTreeMap::new(),
+            space_index: HashMap::new(),
+            theme_index: BTreeMap::new(),
+            stats: WarehouseStats::default(),
+        }
+    }
+
+    /// A warehouse with default configuration.
+    pub fn with_defaults() -> EventWarehouse {
+        EventWarehouse::new(WarehouseConfig::default())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WarehouseConfig {
+        &self.config
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> WarehouseStats {
+        self.stats
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.stats.events as usize
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.stats.events == 0
+    }
+
+    /// Append one event.
+    pub fn insert(&mut self, event: Event) {
+        if self.segments.last().map_or(0, Vec::len) >= self.config.segment_capacity {
+            self.segments.push(Vec::new());
+            self.stats.segments += 1;
+        }
+        let seg = (self.segments.len() - 1) as u32;
+        let off = self.segments.last().expect("segment exists").len() as u32;
+        let pos = (seg, off);
+
+        // Index by the *start* of the event's interval at the index
+        // granularity.
+        let t_idx = self.config.time_index_gran.granule_of(event.time_interval().start);
+        self.time_index.entry(t_idx).or_default().push(pos);
+
+        if event.sgranule != SpatialGranule::World {
+            let cell = self
+                .config
+                .space_index_gran
+                .granule_of(&event.sgranule.center());
+            self.space_index.entry(cell).or_default().push(pos);
+        }
+        self.theme_index.entry(event.theme.clone()).or_default().push(pos);
+
+        self.segments.last_mut().expect("segment exists").push(event);
+        self.stats.events += 1;
+    }
+
+    /// Ingest a dataflow tuple: every non-null, non-string attribute becomes
+    /// one event pinned at the configured granularities. Returns how many
+    /// events were stored.
+    ///
+    /// This is the LOAD step of the ETL pipeline: the warehouse's model is
+    /// events, not rows, following the STT definition (paper §3).
+    pub fn ingest_tuple(
+        &mut self,
+        tuple: &Tuple,
+        tgran: TemporalGranularity,
+        sgran: SpatialGranularity,
+    ) -> usize {
+        self.stats.tuples += 1;
+        let mut stored = 0;
+        for field in tuple.schema().clone().fields() {
+            let value = tuple.get(&field.name).expect("field exists");
+            if value.is_null() {
+                continue;
+            }
+            // Strings carry through too (tweet text is data), but geo
+            // duplicates the location; skip it.
+            if matches!(value, sl_stt::Value::Geo(_)) {
+                continue;
+            }
+            let effective_sgran = if tuple.meta.location.is_some() {
+                sgran
+            } else {
+                SpatialGranularity::World
+            };
+            if let Ok(event) = Event::from_tuple(tuple, &field.name, tgran, effective_sgran) {
+                // Qualify the theme with the attribute so events from one
+                // tuple stay distinguishable.
+                let mut event = event;
+                if let Ok(theme) = event.theme.child(&field.name) {
+                    event.theme = theme;
+                }
+                self.insert(event);
+                stored += 1;
+            }
+        }
+        stored
+    }
+
+    /// Look up an event by position.
+    pub(crate) fn at(&self, pos: Pos) -> &Event {
+        &self.segments[pos.0 as usize][pos.1 as usize]
+    }
+
+    /// Iterate every stored event (oldest first within segments).
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.segments.iter().flatten()
+    }
+
+    /// Time range `(min, max)` of stored events' interval starts.
+    pub fn time_range(&self) -> Option<(Timestamp, Timestamp)> {
+        let mut min = None;
+        let mut max = None;
+        for e in self.iter() {
+            let s = e.time_interval().start;
+            min = Some(min.map_or(s, |m: Timestamp| m.min(s)));
+            max = Some(max.map_or(s, |m: Timestamp| m.max(s)));
+        }
+        min.zip(max)
+    }
+
+    pub(crate) fn note_query(&mut self) {
+        self.stats.queries += 1;
+    }
+
+    /// Retention: drop every event whose interval ends at or before
+    /// `horizon`, rebuilding segments and indexes. Returns how many events
+    /// were evicted. O(live events); meant for periodic housekeeping, not
+    /// the per-tuple path.
+    pub fn evict_before(&mut self, horizon: Timestamp) -> usize {
+        let retained: Vec<Event> = self
+            .iter()
+            .filter(|e| e.time_interval().end > horizon)
+            .cloned()
+            .collect();
+        let evicted = self.stats.events as usize - retained.len();
+        let stats = self.stats;
+        self.segments = vec![Vec::new()];
+        self.time_index.clear();
+        self.space_index.clear();
+        self.theme_index.clear();
+        self.stats = WarehouseStats { events: 0, segments: 0, ..stats };
+        for e in retained {
+            self.insert(e);
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sl_stt::{
+        AttrType, Field, GeoPoint, Schema, SensorId, SttMeta, Value,
+    };
+
+    fn event(sec: i64, theme: &str, lat: f64, v: f64) -> Event {
+        let g = SpatialGranularity::grid(8).granule_of(&GeoPoint::new_unchecked(lat, 135.5));
+        Event::new(
+            Value::Float(v),
+            TemporalGranularity::Minute,
+            TemporalGranularity::Minute.granule_of(Timestamp::from_secs(sec)),
+            g,
+            Theme::new(theme).unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_and_iterate() {
+        let mut w = EventWarehouse::with_defaults();
+        for i in 0..10 {
+            w.insert(event(i * 60, "weather/temperature", 34.7, i as f64));
+        }
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.iter().count(), 10);
+        assert!(!w.is_empty());
+        let (min, max) = w.time_range().unwrap();
+        assert!(min < max);
+    }
+
+    #[test]
+    fn segments_roll_over() {
+        let mut w = EventWarehouse::new(WarehouseConfig {
+            segment_capacity: 16,
+            ..Default::default()
+        });
+        for i in 0..100 {
+            w.insert(event(i, "weather", 34.7, 0.0));
+        }
+        assert!(w.segments.len() >= 6);
+        assert_eq!(w.iter().count(), 100);
+        assert!(w.stats().segments >= 5);
+    }
+
+    #[test]
+    fn ingest_tuple_expands_attributes() {
+        let schema = Schema::new(vec![
+            Field::new("temperature", AttrType::Float),
+            Field::new("humidity", AttrType::Float),
+            Field::new("station", AttrType::Str),
+            Field::new("missing", AttrType::Float),
+        ])
+        .unwrap()
+        .into_ref();
+        let t = Tuple::new(
+            schema,
+            vec![
+                Value::Float(26.0),
+                Value::Float(60.0),
+                Value::Str("osaka".into()),
+                Value::Null,
+            ],
+            SttMeta::new(
+                Timestamp::from_secs(0),
+                GeoPoint::new_unchecked(34.7, 135.5),
+                Theme::new("weather/temperature").unwrap(),
+                SensorId(1),
+            ),
+        )
+        .unwrap();
+        let mut w = EventWarehouse::with_defaults();
+        let stored =
+            w.ingest_tuple(&t, TemporalGranularity::Minute, SpatialGranularity::grid(8));
+        // temperature + humidity + station (null skipped).
+        assert_eq!(stored, 3);
+        assert_eq!(w.stats().tuples, 1);
+        // Attribute-qualified themes.
+        let themes: Vec<String> = w.iter().map(|e| e.theme.to_string()).collect();
+        assert!(themes.contains(&"weather/temperature/temperature".to_string()));
+        assert!(themes.contains(&"weather/temperature/humidity".to_string()));
+    }
+
+    #[test]
+    fn unlocated_tuple_stored_at_world() {
+        let schema = Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref();
+        let t = Tuple::new(
+            schema,
+            vec![Value::Float(1.0)],
+            SttMeta::without_location(Timestamp::from_secs(0), Theme::new("social/tweet").unwrap(), SensorId(0)),
+        )
+        .unwrap();
+        let mut w = EventWarehouse::with_defaults();
+        assert_eq!(w.ingest_tuple(&t, TemporalGranularity::Minute, SpatialGranularity::grid(8)), 1);
+        assert_eq!(w.iter().next().unwrap().sgranule, SpatialGranule::World);
+        // World events are not in the spatial index but remain queryable.
+        assert!(w.space_index.is_empty());
+    }
+
+    #[test]
+    fn retention_evicts_old_events_and_keeps_queries_correct() {
+        let mut w = EventWarehouse::with_defaults();
+        for i in 0..100 {
+            w.insert(event(i * 60, "weather/temperature", 34.7, i as f64));
+        }
+        // Evict the first half (events at minutes 0..49).
+        let horizon = Timestamp::from_secs(50 * 60);
+        let evicted = w.evict_before(horizon);
+        assert_eq!(evicted, 50);
+        assert_eq!(w.len(), 50);
+        // All remaining events end after the horizon.
+        for e in w.iter() {
+            assert!(e.time_interval().end > horizon);
+        }
+        // Indexes were rebuilt consistently: query equals scan.
+        let q = crate::query::EventQuery::all().with_theme(
+            crate::store::tests::theme_of("weather"),
+        );
+        let scan = w.query_scan(&q).len();
+        let fast = w.query(&q).len();
+        assert_eq!(scan, fast);
+        assert_eq!(scan, 50);
+        // Evicting everything empties the store but keeps it usable.
+        assert_eq!(w.evict_before(Timestamp::from_secs(1_000_000)), 50);
+        assert!(w.is_empty());
+        w.insert(event(0, "weather", 34.7, 1.0));
+        assert_eq!(w.len(), 1);
+    }
+
+    pub(crate) fn theme_of(s: &str) -> Theme {
+        Theme::new(s).unwrap()
+    }
+
+    #[test]
+    fn indexes_cover_all_events() {
+        let mut w = EventWarehouse::with_defaults();
+        for i in 0..50 {
+            w.insert(event(i * 3600, "weather/temperature", 34.7, 0.0));
+        }
+        let time_total: usize = w.time_index.values().map(Vec::len).sum();
+        let theme_total: usize = w.theme_index.values().map(Vec::len).sum();
+        let space_total: usize = w.space_index.values().map(Vec::len).sum();
+        assert_eq!(time_total, 50);
+        assert_eq!(theme_total, 50);
+        assert_eq!(space_total, 50);
+        // 50 distinct hours -> 50 time-index entries.
+        assert_eq!(w.time_index.len(), 50);
+        // One theme.
+        assert_eq!(w.theme_index.len(), 1);
+    }
+}

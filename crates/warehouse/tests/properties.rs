@@ -1,0 +1,125 @@
+//! Property-based tests: the indexed query path always agrees with the
+//! brute-force scan, and roll-ups conserve event counts.
+
+use proptest::prelude::*;
+use sl_stt::{
+    BoundingBox, Event, GeoPoint, SpatialGranularity, TemporalGranularity, Theme, TimeInterval,
+    Timestamp, Value,
+};
+use sl_warehouse::{CubeQuery, EventQuery, EventWarehouse, WarehouseConfig};
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    let themes = prop_oneof![
+        Just("weather/temperature"),
+        Just("weather/rain"),
+        Just("social/tweet"),
+        Just("traffic"),
+    ];
+    (
+        0i64..2_000_000, // seconds
+        themes,
+        30.0f64..40.0,
+        130.0f64..140.0,
+        -50.0f64..50.0,
+        any::<bool>(), // world granule?
+    )
+        .prop_map(|(sec, theme, lat, lon, v, world)| {
+            let sg = if world {
+                sl_stt::SpatialGranule::World
+            } else {
+                SpatialGranularity::grid(9).granule_of(&GeoPoint::new_unchecked(lat, lon))
+            };
+            Event::new(
+                Value::Float(v),
+                TemporalGranularity::Minute,
+                TemporalGranularity::Minute.granule_of(Timestamp::from_secs(sec)),
+                sg,
+                Theme::new(theme).unwrap(),
+            )
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = EventQuery> {
+    (
+        proptest::option::of((0i64..2_000_000, 1i64..500_000)),
+        proptest::option::of((30.0f64..40.0, 130.0f64..140.0, 0.1f64..5.0)),
+        proptest::option::of(prop_oneof![
+            Just("weather"),
+            Just("weather/rain"),
+            Just("social"),
+            Just("traffic"),
+        ]),
+    )
+        .prop_map(|(time, area, theme)| {
+            let mut q = EventQuery::all();
+            if let Some((start, len)) = time {
+                q = q.in_time(TimeInterval::new(
+                    Timestamp::from_secs(start),
+                    Timestamp::from_secs(start + len),
+                ));
+            }
+            if let Some((lat, lon, d)) = area {
+                q = q.in_area(BoundingBox::from_corners(
+                    GeoPoint::new_unchecked(lat, lon),
+                    GeoPoint::new_unchecked((lat + d).min(90.0), (lon + d).min(180.0)),
+                ));
+            }
+            if let Some(t) = theme {
+                q = q.with_theme(Theme::new(t).unwrap());
+            }
+            q
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Indexed queries return exactly the scan result, for arbitrary data
+    /// and arbitrary conjunctive queries.
+    #[test]
+    fn query_equals_scan(
+        events in proptest::collection::vec(arb_event(), 0..300),
+        queries in proptest::collection::vec(arb_query(), 1..6),
+        segment_capacity in 1usize..64,
+    ) {
+        let mut w = EventWarehouse::new(WarehouseConfig {
+            segment_capacity,
+            ..Default::default()
+        });
+        for e in events {
+            w.insert(e);
+        }
+        for q in &queries {
+            let scan: Vec<String> = w.query_scan(q).iter().map(|e| e.to_string()).collect();
+            let fast: Vec<String> = w.query(q).iter().map(|e| e.to_string()).collect();
+            prop_assert_eq!(&fast, &scan, "query {:?}", q);
+        }
+    }
+
+    /// Roll-ups conserve counts over the selected population, and every
+    /// cell's min <= avg <= max.
+    #[test]
+    fn rollup_conserves_and_orders(events in proptest::collection::vec(arb_event(), 0..200)) {
+        let mut w = EventWarehouse::with_defaults();
+        for e in events {
+            w.insert(e);
+        }
+        // Roll up to World so every stored granularity can coarsen (events
+        // already at World cannot refine to a grid and would be skipped).
+        let q = CubeQuery {
+            select: EventQuery::all(),
+            tgran: TemporalGranularity::Day,
+            sgran: SpatialGranularity::World,
+            theme_depth: 1,
+        };
+        let selected = w.query_scan(&q.select).len();
+        let cells = w.rollup(&q);
+        let total: u64 = cells.iter().map(|c| c.count).sum();
+        prop_assert_eq!(total as usize, selected);
+        for c in &cells {
+            if let (Some(min), Some(avg), Some(max)) = (c.min, c.avg, c.max) {
+                prop_assert!(min <= avg + 1e-9 && avg <= max + 1e-9, "{c:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # StreamLoader
+//!
+//! A from-scratch Rust reproduction of *StreamLoader: An Event-Driven ETL
+//! System for the On-line Processing of Heterogeneous Sensor Data*
+//! (Mesiti et al., EDBT 2016).
+//!
+//! This facade crate re-exports the component crates. The high-level session
+//! API lives in [`session`].
+//!
+//! ```
+//! use streamloader::{StreamLoader, dataflow::DataflowBuilder};
+//! use streamloader::engine::EngineConfig;
+//! use streamloader::sensors::ScenarioConfig;
+//! use streamloader::pubsub::SubscriptionFilter;
+//! use streamloader::dsn::SinkKind;
+//! use streamloader::stt::{AttrType, Duration, Field, Schema, Theme};
+//!
+//! // The paper's demo setup: Osaka fleet on the NICT-like testbed.
+//! let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(),
+//!                                            EngineConfig::default());
+//!
+//! let schema = Schema::new(vec![
+//!     Field::new("temperature", AttrType::Float),
+//!     Field::new("station", AttrType::Str),
+//! ]).unwrap().into_ref();
+//!
+//! let flow = DataflowBuilder::new("hot")
+//!     .source("temp",
+//!         SubscriptionFilter::any()
+//!             .with_theme(Theme::new("weather/temperature").unwrap()),
+//!         schema)
+//!     .filter("warm", "temp", "temperature > 25")
+//!     .sink("out", SinkKind::Console, &["warm"])
+//!     .build().unwrap();
+//!
+//! session.deploy(flow).unwrap();          // validate → DSN/SCN → actuate
+//! session.run_for(Duration::from_mins(5));
+//! let seen = session.engine().monitor().op("hot", "warm").unwrap().tuples_in;
+//! assert!(seen > 0);
+//! ```
+
+pub mod session;
+
+pub use session::StreamLoader;
+
+pub use sl_dataflow as dataflow;
+pub use sl_dsn as dsn;
+pub use sl_engine as engine;
+pub use sl_expr as expr;
+pub use sl_netsim as netsim;
+pub use sl_ops as ops;
+pub use sl_pubsub as pubsub;
+pub use sl_sensors as sensors;
+pub use sl_stt as stt;
+pub use sl_warehouse as warehouse;

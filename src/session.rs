@@ -1,0 +1,154 @@
+//! The high-level StreamLoader session: discover sensors, design a
+//! dataflow, debug it on samples, deploy it, watch it run, query the
+//! warehouse — the full demo walkthrough (paper §4) as one API.
+
+use sl_dataflow::{debug_run, render_ascii, validate, Dataflow, SampleRun, ValidationReport};
+use sl_engine::{Engine, EngineConfig, EngineError};
+use sl_netsim::Topology;
+use sl_pubsub::{SensorAdvertisement, SubscriptionFilter};
+use sl_sensors::{osaka_fleet, ScenarioConfig, SensorSim};
+use sl_stt::{Duration, SensorId, Timestamp, Tuple};
+use sl_warehouse::{CubeCell, CubeQuery, EventQuery};
+use std::collections::HashMap;
+
+/// A StreamLoader session: one engine plus the designer-facing helpers.
+pub struct StreamLoader {
+    engine: Engine,
+}
+
+impl StreamLoader {
+    /// A session on an arbitrary network.
+    pub fn new(topology: Topology, config: EngineConfig, start: Timestamp) -> StreamLoader {
+        StreamLoader { engine: Engine::new(topology, config, start) }
+    }
+
+    /// The paper's demo setup: the NICT-like testbed with the Osaka sensor
+    /// fleet plugged in, clock at 2016-07-01 08:00 UTC.
+    pub fn osaka_demo(scenario: &ScenarioConfig, engine: EngineConfig) -> StreamLoader {
+        let fleet = osaka_fleet(scenario);
+        let start = Timestamp::from_civil(2016, 7, 1, 8, 0, 0);
+        let mut session = StreamLoader::new(fleet.topology, engine, start);
+        for sensor in fleet.sensors {
+            session.engine.add_sensor(sensor).expect("fresh fleet has unique ids");
+        }
+        session
+    }
+
+    /// Discovery (demo P1): sensors currently matching a filter.
+    pub fn discover(&self, filter: &SubscriptionFilter) -> Vec<SensorAdvertisement> {
+        self.engine.broker().registry().discover(filter).cloned().collect()
+    }
+
+    /// Validate a dataflow without deploying — the canvas's live checks.
+    pub fn check(&self, dataflow: &Dataflow) -> Result<ValidationReport, sl_dataflow::DataflowError> {
+        validate(dataflow)
+    }
+
+    /// Step-debug a dataflow on sample tuples (demo P1).
+    pub fn debug(
+        &self,
+        dataflow: &Dataflow,
+        samples: &HashMap<String, Vec<Tuple>>,
+    ) -> Result<SampleRun, sl_dataflow::DataflowError> {
+        debug_run(dataflow, samples)
+    }
+
+    /// Deploy a dataflow (demo P2: translate → DSN/SCN → network).
+    pub fn deploy(&mut self, dataflow: Dataflow) -> Result<(), EngineError> {
+        self.engine.deploy(dataflow)
+    }
+
+    /// Deploy directly from DSN text: parse the document, infer each
+    /// source's schema from the sensors its filter currently matches, and
+    /// deploy the rebuilt conceptual dataflow.
+    ///
+    /// Fails if any source matches no sensors (no schema to infer) — supply
+    /// explicit schemas via [`sl_dataflow::from_dsn`] for cold deployments.
+    pub fn deploy_dsn(&mut self, text: &str) -> Result<(), Box<dyn std::error::Error>> {
+        let doc = sl_dsn::parse_document(text)?;
+        let registry = self.engine.broker().registry();
+        let mut schemas = HashMap::new();
+        for src in &doc.sources {
+            let schema = sl_dataflow::infer_source_schema(&src.filter, registry)
+                .ok_or_else(|| format!("source `{}`: no matching sensors to infer a schema from", src.name))?;
+            schemas.insert(src.name.clone(), schema);
+        }
+        let df = sl_dataflow::from_dsn(&doc, &schemas)?;
+        self.engine.deploy(df)?;
+        Ok(())
+    }
+
+    /// Render a density heat-map of warehouse events inside `area` — the
+    /// stand-in for the Sticker visualisation sink (demo P2).
+    pub fn heatmap(
+        &mut self,
+        query: &EventQuery,
+        area: sl_stt::BoundingBox,
+        cols: usize,
+        rows: usize,
+    ) -> String {
+        sl_warehouse::render_heatmap(self.engine.warehouse_mut(), query, area, cols, rows)
+    }
+
+    /// Advance virtual time.
+    pub fn run_for(&mut self, d: Duration) {
+        self.engine.run_for(d);
+    }
+
+    /// The "live" dataflow view (Figure 2 + Figure 3 annotations): the
+    /// canvas rendering annotated with current rates and hosting nodes.
+    pub fn render_live(&self, deployment: &str) -> Result<String, EngineError> {
+        let df = self.engine.dataflow(deployment)?;
+        let mut annotations = HashMap::new();
+        for ((dep, op), counters) in self.engine.monitor().all_ops() {
+            if dep != deployment {
+                continue;
+            }
+            let rate = counters.rate_series.last().map_or(0.0, |(_, r)| r);
+            let node = self
+                .engine
+                .node_of(deployment, op)
+                .map_or(String::from("-"), |n| n.to_string());
+            annotations.insert(
+                op.clone(),
+                format!("{rate:.1} tuples/s on {node} (in={} out={})", counters.tuples_in, counters.tuples_out),
+            );
+        }
+        Ok(render_ascii(df, &annotations))
+    }
+
+    /// The monitor report (Figure 3 text panel).
+    pub fn monitor_report(&self) -> String {
+        self.engine.monitor().report(self.engine.now())
+    }
+
+    /// Query the Event Data Warehouse.
+    pub fn query_warehouse(&mut self, q: &EventQuery) -> Vec<sl_stt::Event> {
+        self.engine.warehouse_mut().query(q).into_iter().cloned().collect()
+    }
+
+    /// Roll up the warehouse.
+    pub fn rollup(&mut self, q: &CubeQuery) -> Vec<CubeCell> {
+        self.engine.warehouse_mut().rollup(q)
+    }
+
+    /// Plug a sensor in at run time (demo P3).
+    pub fn add_sensor(&mut self, sensor: Box<dyn SensorSim>) -> Result<SensorId, EngineError> {
+        self.engine.add_sensor(sensor)
+    }
+
+    /// Unplug a sensor (demo P3).
+    pub fn remove_sensor(&mut self, id: SensorId) -> Result<(), EngineError> {
+        self.engine.remove_sensor(id)
+    }
+
+    /// Direct engine access for everything else.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+}
