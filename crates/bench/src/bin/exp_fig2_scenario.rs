@@ -118,14 +118,13 @@ fn main() {
     // them in parallel with scoped threads).
     let thresholds = [20.0, 23.0, 25.0, 28.0, 31.0, 35.0];
     let mut results: Vec<Option<(usize, usize, u64, usize)>> = vec![None; thresholds.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, threshold) in results.iter_mut().zip(thresholds) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(run(threshold, 24));
             });
         }
-    })
-    .expect("sweep threads join");
+    });
     let mut rows = Vec::new();
     for (threshold, result) in thresholds.iter().zip(results) {
         let (activations, first_hour, sink_tuples, events) = result.expect("thread ran");

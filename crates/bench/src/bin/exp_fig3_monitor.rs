@@ -124,6 +124,40 @@ fn main() {
         println!("  [{}] {}/{}: {} -> {} ({})", p.at, p.deployment, p.operator, from, p.to, p.reason);
     }
 
+    // --- observability dashboard ------------------------------------------
+    // The sl-obs snapshot: per-operator processing-latency percentiles,
+    // end-to-end latency, and the event-queue depth gauge.
+    let snap = engine.metrics_snapshot();
+    let rows: Vec<Vec<String>> = snap
+        .hists
+        .iter()
+        .filter(|(name, _)| name.starts_with("op/") && name.ends_with("/proc_us"))
+        .map(|(name, h)| {
+            vec![
+                name.trim_start_matches("op/").trim_end_matches("/proc_us").to_string(),
+                h.count.to_string(),
+                h.p50.to_string(),
+                h.p95.to_string(),
+                h.p99.to_string(),
+                h.max.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "E4 — per-operator processing latency (host wall-clock, sl-obs histograms)",
+        &["operator", "tuples", "p50 [us]", "p95 [us]", "p99 [us]", "max [us]"],
+        &rows,
+    );
+    println!(
+        "\nevent queue depth (last monitor sample): {}",
+        snap.gauges.get("engine/event_queue_depth").copied().unwrap_or(0)
+    );
+    println!(
+        "spans completed: {} (per-tuple traces across {} operator keys)",
+        snap.counters.get("engine/spans_completed").copied().unwrap_or(0),
+        snap.hists.keys().filter(|k| k.starts_with("engine/span/")).count()
+    );
+
     // --- monitoring overhead ----------------------------------------------
     let mut rows = Vec::new();
     for period_ms in [100u64, 1000, 10_000, 60_000] {

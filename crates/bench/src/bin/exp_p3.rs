@@ -57,7 +57,7 @@ fn main() {
             format!("{}", t + 10),
             live.len().to_string(),
             bound.to_string(),
-            c.map_or(0, |c| c.tuples_in).to_string(),
+            c.map_or(0, |c| c.tuples_in()).to_string(),
         ]);
         assert_eq!(bound, live.len(), "binding must track membership");
     }
@@ -74,14 +74,14 @@ fn main() {
     println!("\nnetwork after churn: {} messages, {} bytes", engine.net_stats().total_msgs(), engine.net_stats().total_bytes());
 
     // --- network failure injection ("performances of the network") -------
-    let before = engine.monitor().op("p3", "f0").map_or(0, |c| c.tuples_in);
+    let before = engine.monitor().op("p3", "f0").map_or(0, |c| c.tuples_in());
     // Fail one of the core-ring links: traffic detours around the ring.
     engine.set_link_up(sl_netsim::LinkId(0), false).unwrap();
     engine.run_for(Duration::from_secs(60));
-    let during = engine.monitor().op("p3", "f0").map_or(0, |c| c.tuples_in);
+    let during = engine.monitor().op("p3", "f0").map_or(0, |c| c.tuples_in());
     engine.set_link_up(sl_netsim::LinkId(0), true).unwrap();
     engine.run_for(Duration::from_secs(60));
-    let after = engine.monitor().op("p3", "f0").map_or(0, |c| c.tuples_in);
+    let after = engine.monitor().op("p3", "f0").map_or(0, |c| c.tuples_in());
     println!("\nlink failure drill on the core ring (link#0):");
     println!("  tuples before: {before}; +60s with the link down: {during}; +60s restored: {after}");
     println!("  (the ring provides a detour, so the flow survives the failure)");

@@ -1,4 +1,18 @@
 //! Runtime state of a deployed dataflow.
+//!
+//! [`Engine::deploy`](crate::Engine::deploy) compiles a conceptual dataflow
+//! to SCN commands and actuates each one into the structures here: every
+//! source becomes a [`SourceRuntime`] (a broker subscription plus the set of
+//! currently bound sensors and the acquisition gate that Trigger-On/Off
+//! flip), every operator a [`ServiceRuntime`] (a live [`Operator`] process
+//! pinned to a network node — the node changes when the engine migrates it
+//! off an overloaded host), and every sink a [`SinkRuntime`]. The edges
+//! record the network flows reserved for inter-node tuple transfer, and the
+//! `consumers` map is the fan-out table the execution loop consults when an
+//! operator emits.
+//!
+//! Everything here is plain state — the behaviour (delivery, ticking,
+//! migration, accounting) lives in [`crate::engine`].
 
 use sl_dataflow::Dataflow;
 use sl_dsn::SinkKind;

@@ -13,6 +13,7 @@ use sl_netsim::{
     EventQueue, FlowTable, LoadTracker, NetError, NetStats, NodeId, ProcessId, QosSpec, Route,
     RoutingTable, Topology,
 };
+use sl_obs::{Metrics, MetricsSnapshot, SpanKey, Tracer};
 use sl_ops::{ControlAction, OpContext};
 use sl_pubsub::enrich::{enrich, EnrichPolicy};
 use sl_pubsub::{Broker, BrokerEvent, SensorAdvertisement, SubscriptionId};
@@ -69,6 +70,12 @@ pub struct Engine {
     rng: StdRng,
     last_monitor_at: Timestamp,
     next_pid: u64,
+    /// Engine-level instruments: event-loop timing, enrichment counters,
+    /// per-tuple spans, end-to-end latency, queue depth.
+    metrics: Metrics,
+    /// Wall-clock origin for span timestamps (virtual time measures the
+    /// simulation; spans measure the host's processing cost).
+    epoch: std::time::Instant,
 }
 
 impl Engine {
@@ -95,6 +102,8 @@ impl Engine {
             last_monitor_at: start,
             config,
             next_pid: 0,
+            metrics: Metrics::new(),
+            epoch: std::time::Instant::now(),
         }
     }
 
@@ -131,6 +140,27 @@ impl Engine {
     /// The topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// The span tracer: per-operator span latency histograms and the recent
+    /// completed spans (each carries the per-tuple trace id).
+    pub fn tracer(&self) -> &Tracer {
+        self.metrics.tracer_ref()
+    }
+
+    /// One unified observability snapshot across every subsystem. Keys are
+    /// prefixed by origin: `engine/` (event-loop timing, enrichment, spans,
+    /// queue depth), `op/` (per-operator counters and processing latency),
+    /// `broker/` (pub/sub matching), `net/` (per-link transfer latency and
+    /// queued bytes), `warehouse/` (ingest latency, roll-ups).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.absorb("engine", &self.metrics.snapshot());
+        snap.absorb("op", &self.monitor.metrics_snapshot());
+        snap.absorb("broker", &self.broker.metrics_snapshot());
+        snap.absorb("net", &self.net_stats.metrics_snapshot());
+        snap.absorb("warehouse", &self.warehouse.metrics_snapshot());
+        snap
     }
 
     /// The load tracker (node utilisation view).
@@ -614,14 +644,27 @@ impl Engine {
     }
 
     fn handle(&mut self, now: Timestamp, ev: Ev) {
-        match ev {
-            Ev::SensorEmit(id) => self.on_sensor_emit(now, id),
-            Ev::Deliver { deployment, target, port, tuple } => {
-                self.on_deliver(now, &deployment, &target, port, tuple)
+        let t0 = self.epoch.elapsed().as_micros() as u64;
+        let kind = match ev {
+            Ev::SensorEmit(id) => {
+                self.on_sensor_emit(now, id);
+                "ev/emit_us"
             }
-            Ev::Tick { deployment, service } => self.on_tick(now, &deployment, &service),
-            Ev::MonitorSample => self.on_monitor_sample(now),
-        }
+            Ev::Deliver { deployment, target, port, tuple } => {
+                self.on_deliver(now, &deployment, &target, port, tuple);
+                "ev/deliver_us"
+            }
+            Ev::Tick { deployment, service } => {
+                self.on_tick(now, &deployment, &service);
+                "ev/tick_us"
+            }
+            Ev::MonitorSample => {
+                self.on_monitor_sample(now);
+                "ev/monitor_us"
+            }
+        };
+        let t1 = self.epoch.elapsed().as_micros() as u64;
+        self.metrics.hist(kind).record(t1.saturating_sub(t0));
     }
 
     fn on_sensor_emit(&mut self, now: Timestamp, id: u64) {
@@ -633,7 +676,19 @@ impl Engine {
             Ok(t) => t,
             Err(_) => raw, // decoder and encoder disagree: fall back to raw
         };
-        enrich(&mut tuple, &ad, now, &EnrichPolicy::default());
+        let enriched = enrich(&mut tuple, &ad, now, &EnrichPolicy::default());
+        if enriched.located {
+            self.metrics.counter("enrich/located").inc();
+        }
+        if enriched.restamped {
+            self.metrics.counter("enrich/restamped").inc();
+        }
+        if enriched.rethemed {
+            self.metrics.counter("enrich/rethemed").inc();
+        }
+        // Every tuple entering the dataflows gets a trace id; spans recorded
+        // downstream are keyed by it.
+        tuple.meta.trace = self.metrics.tracer().next_trace_id();
         self.queue.schedule_in(ad.period, Ev::SensorEmit(id));
 
         // Fan out to every active bound source.
@@ -670,7 +725,7 @@ impl Engine {
             ring.push_back(t);
         }
         for (dep, to, port, t, from_node) in deliveries {
-            self.monitor.op_mut(&dep, "~sources").tuples_in += 1;
+            self.monitor.op_mut(&dep, "~sources").record_in();
             let Some(target_node) = self.deployments[&dep].node_of(&to) else { continue };
             let bytes = t.byte_size();
             match self.transfer(from_node, target_node, bytes) {
@@ -695,6 +750,11 @@ impl Engine {
         if let Some(sink) = dep.sinks.get(target) {
             let kind = sink.kind;
             self.monitor.count_sink(dep_name, target);
+            // End-to-end virtual latency: sensor sampling instant to sink.
+            let e2e = now.since(tuple.meta.timestamp);
+            self.metrics
+                .hist(&format!("e2e/{dep_name}/{target}_us"))
+                .record((e2e.as_secs_f64() * 1e6) as u64);
             match kind {
                 SinkKind::Warehouse => {
                     self.warehouse.ingest_tuple(
@@ -714,15 +774,25 @@ impl Engine {
         }
         let Some(svc) = dep.services.get_mut(target) else { return };
         let node = svc.node;
+        let trace = tuple.meta.trace;
         let mut ctx = OpContext::new(now);
+        let wall0 = self.epoch.elapsed().as_micros() as u64;
         let result = svc.op.on_tuple(port, tuple, &mut ctx);
+        let wall1 = self.epoch.elapsed().as_micros() as u64;
         let dropped = ctx.dropped();
         let (emitted, controls) = ctx.take();
+        if trace != 0 {
+            let key = SpanKey::new(dep_name, target, node.to_string());
+            let tracer = self.metrics.tracer();
+            tracer.span_enter(trace, key.clone(), wall0);
+            tracer.span_exit(trace, &key, wall1);
+        }
         {
             let counters = self.monitor.op_mut(dep_name, target);
-            counters.tuples_in += 1;
-            counters.tuples_out += emitted.len() as u64;
-            counters.dropped += dropped;
+            counters.record_in();
+            counters.add_out(emitted.len() as u64);
+            counters.add_dropped(dropped);
+            counters.proc_latency.record(wall1.saturating_sub(wall0));
         }
         if let Err(e) = result {
             self.monitor
@@ -740,9 +810,15 @@ impl Engine {
         let node = svc.node;
         let Some(period) = svc.op.timer_period() else { return };
         let mut ctx = OpContext::new(now);
+        let wall0 = self.epoch.elapsed().as_micros() as u64;
         let result = svc.op.on_timer(now, &mut ctx);
+        let wall1 = self.epoch.elapsed().as_micros() as u64;
         let (emitted, controls) = ctx.take();
-        self.monitor.op_mut(dep_name, service).tuples_out += emitted.len() as u64;
+        {
+            let counters = self.monitor.op_mut(dep_name, service);
+            counters.add_out(emitted.len() as u64);
+            counters.proc_latency.record(wall1.saturating_sub(wall0));
+        }
         // Re-arm the tick first (even on error — blocking ops must keep
         // ticking).
         self.queue.schedule_in(
@@ -834,6 +910,13 @@ impl Engine {
         let elapsed = now.since(self.last_monitor_at).as_secs_f64();
         self.last_monitor_at = now;
         self.monitor.sample_rates(now, elapsed);
+
+        // Observability gauges: event-queue depth and per-link queued bytes.
+        self.metrics.gauge("event_queue_depth").set(self.queue.pending() as i64);
+        let reserved: Vec<_> = self.flows.reserved_links().collect();
+        for (link, bytes) in reserved {
+            self.net_stats.set_link_queued(link, bytes);
+        }
 
         // Refresh process demands from observed rates.
         let mut updates: Vec<(ProcessId, f64)> = Vec::new();
@@ -1023,8 +1106,8 @@ mod tests {
         e.run_for(Duration::from_secs(60));
         let c = e.monitor().op("d", "all").unwrap();
         // 10 s period over 60 s: ~6 tuples.
-        assert!(c.tuples_in >= 4, "tuples_in {}", c.tuples_in);
-        assert_eq!(c.tuples_in, c.tuples_out);
+        assert!(c.tuples_in() >= 4, "tuples_in {}", c.tuples_in());
+        assert_eq!(c.tuples_in(), c.tuples_out());
         assert!(e.monitor().sink_count("d", "out") >= 4);
         assert!(!e.monitor().console.is_empty());
         // Network saw traffic.
@@ -1039,7 +1122,7 @@ mod tests {
         e.add_sensor(temp_sensor(1, 3)).unwrap();
         assert_eq!(e.bound_sensors("d", "temp").len(), 1);
         e.run_for(Duration::from_secs(30));
-        assert!(e.monitor().op("d", "all").unwrap().tuples_in >= 2);
+        assert!(e.monitor().op("d", "all").unwrap().tuples_in() >= 2);
     }
 
     #[test]
@@ -1048,12 +1131,12 @@ mod tests {
         let id = e.add_sensor(temp_sensor(1, 3)).unwrap();
         e.deploy(simple_flow("d")).unwrap();
         e.run_for(Duration::from_secs(30));
-        let before = e.monitor().op("d", "all").unwrap().tuples_in;
+        let before = e.monitor().op("d", "all").unwrap().tuples_in();
         assert!(before > 0);
         e.remove_sensor(id).unwrap();
         assert!(e.bound_sensors("d", "temp").is_empty());
         e.run_for(Duration::from_secs(60));
-        let after = e.monitor().op("d", "all").unwrap().tuples_in;
+        let after = e.monitor().op("d", "all").unwrap().tuples_in();
         // A single in-flight tuple may still land.
         assert!(after <= before + 1, "before {before} after {after}");
         assert!(e.remove_sensor(id).is_err());
@@ -1109,12 +1192,12 @@ mod tests {
         assert_eq!(e.source_active("gated", "rain"), Some(false));
         // Before the first trigger window closes, no rain tuples flow.
         e.run_for(Duration::from_secs(20));
-        assert!(e.monitor().op("gated", "wet").is_none_or(|c| c.tuples_in == 0));
+        assert!(e.monitor().op("gated", "wet").is_none_or(|c| c.tuples_in() == 0));
         // After a trigger window the source activates and rain flows.
         e.run_for(Duration::from_secs(120));
         assert_eq!(e.source_active("gated", "rain"), Some(true));
         assert!(!e.monitor().controls.is_empty());
-        assert!(e.monitor().op("gated", "wet").unwrap().tuples_in > 0);
+        assert!(e.monitor().op("gated", "wet").unwrap().tuples_in() > 0);
     }
 
     #[test]
@@ -1140,7 +1223,7 @@ mod tests {
         assert_eq!(e.loads().len(), 0);
         // Tuples no longer delivered.
         e.run_for(Duration::from_secs(30));
-        assert!(e.monitor().op("d", "all").is_none_or(|c| c.tuples_in == 0));
+        assert!(e.monitor().op("d", "all").is_none_or(|c| c.tuples_in() == 0));
     }
 
     #[test]
@@ -1233,15 +1316,15 @@ mod tests {
         e.add_sensor(temp_sensor(1, 3)).unwrap();
         e.deploy(simple_flow("d")).unwrap();
         e.run_for(Duration::from_secs(30));
-        let passed_before = e.monitor().op("d", "all").unwrap().tuples_out;
+        let passed_before = e.monitor().op("d", "all").unwrap().tuples_out();
         assert!(passed_before > 0);
         // Replace the pass-all filter with a block-all filter.
         e.replace_operator("d", "all", sl_ops::OpSpec::Filter { condition: "temperature > 1000".into() })
             .unwrap();
         e.run_for(Duration::from_secs(60));
         let c = e.monitor().op("d", "all").unwrap();
-        assert_eq!(c.tuples_out, passed_before, "no tuple passes the new filter");
-        assert!(c.dropped > 0);
+        assert_eq!(c.tuples_out(), passed_before, "no tuple passes the new filter");
+        assert!(c.dropped() > 0);
         // Replacement must still validate.
         assert!(e
             .replace_operator("d", "all", sl_ops::OpSpec::Filter { condition: "ghost > 1".into() })
@@ -1271,7 +1354,7 @@ mod tests {
         let keys = vec![("d".to_string(), "hot".to_string())];
         assert!(e.monitor().conservation_violations(&keys).is_empty());
         let c = e.monitor().op("d", "hot").unwrap();
-        assert_eq!(c.tuples_in, c.tuples_out + c.dropped);
+        assert_eq!(c.tuples_in(), c.tuples_out() + c.dropped());
     }
 
     #[test]
@@ -1283,7 +1366,7 @@ mod tests {
             e.deploy(simple_flow("d")).unwrap();
             e.run_for(Duration::from_mins(2));
             let c = e.monitor().op("d", "all").unwrap();
-            (c.tuples_in, c.tuples_out, e.net_stats().total_bytes())
+            (c.tuples_in(), c.tuples_out(), e.net_stats().total_bytes())
         };
         assert_eq!(run(), run());
     }
@@ -1327,17 +1410,17 @@ mod tests {
         // SourceLocal? Simplest: deploy and read the placement.
         e.deploy(simple_flow("d")).unwrap();
         e.run_for(Duration::from_secs(30));
-        let before = e.monitor().op("d", "all").unwrap().tuples_in;
+        let before = e.monitor().op("d", "all").unwrap().tuples_in();
         assert!(before > 0);
         // Fail the direct link: traffic must keep flowing via the detour.
         e.set_link_up(fast, false).unwrap();
         e.run_for(Duration::from_secs(30));
-        let mid = e.monitor().op("d", "all").unwrap().tuples_in;
+        let mid = e.monitor().op("d", "all").unwrap().tuples_in();
         assert!(mid > before, "tuples must keep flowing over the detour");
         // Fail the backup too: if the operator sits off-node, tuples drop.
         e.set_link_up(backup, false).unwrap();
         e.run_for(Duration::from_secs(30));
-        let after = e.monitor().op("d", "all").unwrap().tuples_in;
+        let after = e.monitor().op("d", "all").unwrap().tuples_in();
         let target = e.node_of("d", "all").unwrap();
         if target != NodeId(0) && target != NodeId(2) {
             assert!(after <= mid + 1, "partitioned traffic must stop");
@@ -1347,9 +1430,65 @@ mod tests {
         e.set_link_up(fast, true).unwrap();
         e.set_link_up(backup, true).unwrap();
         e.run_for(Duration::from_secs(30));
-        assert!(e.monitor().op("d", "all").unwrap().tuples_in > after);
+        assert!(e.monitor().op("d", "all").unwrap().tuples_in() > after);
         assert!(e.monitor().console.iter().any(|l| l.contains("FAILED")));
         assert!(e.monitor().console.iter().any(|l| l.contains("restored")));
+    }
+
+    #[test]
+    fn metrics_snapshot_spans_all_subsystems_and_round_trips() {
+        let mut e = engine();
+        e.add_sensor(temp_sensor(1, 3)).unwrap();
+        e.deploy(simple_flow("d")).unwrap();
+        e.run_for(Duration::from_mins(2));
+        let snap = e.metrics_snapshot();
+        // Per-operator counters and processing latency under op/.
+        assert!(snap.counters["op/d/all/tuples_in"] > 0);
+        assert_eq!(snap.hists["op/d/all/proc_us"].count, snap.counters["op/d/all/tuples_in"]);
+        // Engine-level instruments: loop timing, spans, queue depth gauge.
+        assert!(snap.hists["engine/ev/deliver_us"].count > 0);
+        assert!(snap.counters["engine/spans_completed"] > 0);
+        assert!(snap.gauges.contains_key("engine/event_queue_depth"));
+        // Span histograms are keyed deployment/operator@node.
+        assert!(snap.hists.keys().any(|k| k.starts_with("engine/span/d/all@node#")));
+        // Broker and network sections present.
+        assert_eq!(snap.counters["broker/subscribes"], 1);
+        assert!(snap.counters["net/total_msgs"] > 0);
+        // Each tuple got a distinct trace id; spans recorded against them.
+        assert!(e.tracer().completed_spans() > 0);
+        assert_eq!(e.tracer().open_spans(), 0);
+        let last = e.tracer().recent_spans().last().unwrap().clone();
+        assert!(last.trace > 0);
+        // The whole snapshot survives a JSON round trip.
+        let parsed = sl_obs::MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+        // And renders as a table mentioning the operator histogram.
+        assert!(snap.render_table().contains("op/d/all/proc_us"));
+    }
+
+    #[test]
+    fn warehouse_sink_records_e2e_latency_and_ingest_metrics() {
+        let df = DataflowBuilder::new("w")
+            .source(
+                "temp",
+                SubscriptionFilter::any().with_theme(Theme::new("weather/temperature").unwrap()),
+                temp_schema(),
+            )
+            .sink("edw", SinkKind::Warehouse, &["temp"])
+            .build()
+            .unwrap();
+        let mut e = engine();
+        e.add_sensor(temp_sensor(1, 3)).unwrap();
+        e.deploy(df).unwrap();
+        e.run_for(Duration::from_secs(60));
+        let snap = e.metrics_snapshot();
+        let e2e = &snap.hists["engine/e2e/w/edw_us"];
+        assert!(e2e.count >= 4);
+        // Virtual end-to-end latency includes at least the configured
+        // processing delay, so the minimum cannot be zero.
+        assert!(e2e.min > 0, "e2e min {}", e2e.min);
+        assert_eq!(snap.counters["warehouse/tuples_ingested"], e2e.count);
+        assert_eq!(snap.hists["warehouse/ingest_us"].count, e2e.count);
     }
 
     #[test]

@@ -7,24 +7,65 @@
 //! point for all of it.
 
 use sl_netsim::{NodeId, TimeSeries};
+use sl_obs::{Counter, HistSummary, Histogram, MetricsSnapshot};
 use sl_ops::ControlAction;
 use sl_stt::Timestamp;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Per-operator counters.
+/// Per-operator instruments, built on `sl-obs` primitives.
+///
+/// The tuple counters are [`Counter`]s (monotonic); read them through the
+/// accessor methods ([`OpCounters::tuples_in`] etc.), which return plain
+/// `u64`s, and let the engine feed them through the `record_*`/`add_*`
+/// mutators.
 #[derive(Debug, Default, Clone)]
 pub struct OpCounters {
-    /// Tuples received.
-    pub tuples_in: u64,
-    /// Tuples emitted.
-    pub tuples_out: u64,
-    /// Tuples consciously dropped (filtered/culled).
-    pub dropped: u64,
-    /// Input count at the previous monitor sample (rate computation).
-    pub in_at_last_sample: u64,
+    tuples_in: Counter,
+    tuples_out: Counter,
+    dropped: Counter,
+    in_at_last_sample: u64,
     /// Sampled input rate in tuples/sec.
     pub rate_series: TimeSeries,
+    /// Per-tuple processing latency (wall-clock microseconds).
+    pub proc_latency: Histogram,
+}
+
+impl OpCounters {
+    /// Count one received tuple.
+    pub fn record_in(&mut self) {
+        self.tuples_in.inc();
+    }
+
+    /// Count `n` received tuples.
+    pub fn add_in(&mut self, n: u64) {
+        self.tuples_in.add(n);
+    }
+
+    /// Count `n` emitted tuples.
+    pub fn add_out(&mut self, n: u64) {
+        self.tuples_out.add(n);
+    }
+
+    /// Count `n` consciously dropped (filtered/culled) tuples.
+    pub fn add_dropped(&mut self, n: u64) {
+        self.dropped.add(n);
+    }
+
+    /// Tuples received.
+    pub fn tuples_in(&self) -> u64 {
+        self.tuples_in.get()
+    }
+
+    /// Tuples emitted.
+    pub fn tuples_out(&self) -> u64 {
+        self.tuples_out.get()
+    }
+
+    /// Tuples consciously dropped (filtered/culled).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
 }
 
 /// One operator (or source/sink) re-assignment event.
@@ -120,8 +161,9 @@ impl Monitor {
             return;
         }
         for counters in self.ops.values_mut() {
-            let delta = counters.tuples_in - counters.in_at_last_sample;
-            counters.in_at_last_sample = counters.tuples_in;
+            let tuples_in = counters.tuples_in.get();
+            let delta = tuples_in - counters.in_at_last_sample;
+            counters.in_at_last_sample = tuples_in;
             counters.rate_series.push(now, delta as f64 / elapsed_secs);
         }
     }
@@ -135,10 +177,14 @@ impl Monitor {
         let mut bad = Vec::new();
         for key in passthrough_ops {
             if let Some(c) = self.ops.get(key) {
-                if c.tuples_out + c.dropped > c.tuples_in {
+                if c.tuples_out() + c.dropped() > c.tuples_in() {
                     bad.push(format!(
                         "{}/{}: out {} + dropped {} > in {}",
-                        key.0, key.1, c.tuples_out, c.dropped, c.tuples_in
+                        key.0,
+                        key.1,
+                        c.tuples_out(),
+                        c.dropped(),
+                        c.tuples_in()
                     ));
                 }
             }
@@ -154,11 +200,22 @@ impl Monitor {
         let _ = writeln!(out, "  operators:");
         for ((dep, op), c) in &self.ops {
             let rate = c.rate_series.last().map_or(0.0, |(_, r)| r);
-            let _ = writeln!(
-                out,
+            let mut line = format!(
                 "    {dep}/{op}: in={} out={} dropped={} rate={rate:.1} tuples/s",
-                c.tuples_in, c.tuples_out, c.dropped
+                c.tuples_in(),
+                c.tuples_out(),
+                c.dropped()
             );
+            if !c.proc_latency.is_empty() {
+                let _ = write!(
+                    line,
+                    " p50={}us p95={}us p99={}us",
+                    c.proc_latency.p50().unwrap_or(0),
+                    c.proc_latency.p95().unwrap_or(0),
+                    c.proc_latency.p99().unwrap_or(0)
+                );
+            }
+            let _ = writeln!(out, "{line}");
         }
         let _ = writeln!(out, "  sinks:");
         for ((dep, sink), n) in &self.sink_counts {
@@ -188,6 +245,25 @@ impl Monitor {
         }
         out
     }
+
+    /// Freeze per-operator counters, latency histograms, and sink totals
+    /// into an exportable [`MetricsSnapshot`] (keys are
+    /// `deployment/operator/<metric>`).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        for ((dep, op), c) in &self.ops {
+            snap.counters.insert(format!("{dep}/{op}/tuples_in"), c.tuples_in());
+            snap.counters.insert(format!("{dep}/{op}/tuples_out"), c.tuples_out());
+            snap.counters.insert(format!("{dep}/{op}/dropped"), c.dropped());
+            if !c.proc_latency.is_empty() {
+                snap.hists.insert(format!("{dep}/{op}/proc_us"), HistSummary::of(&c.proc_latency));
+            }
+        }
+        for ((dep, sink), n) in &self.sink_counts {
+            snap.counters.insert(format!("{dep}/{sink}/sink_tuples"), *n);
+        }
+        snap
+    }
 }
 
 #[cfg(test)]
@@ -199,15 +275,15 @@ mod tests {
         let mut m = Monitor::new();
         {
             let c = m.op_mut("d", "f");
-            c.tuples_in = 100;
-            c.tuples_out = 70;
-            c.dropped = 30;
+            c.add_in(100);
+            c.add_out(70);
+            c.add_dropped(30);
         }
         m.sample_rates(Timestamp::from_secs(1), 1.0);
         let c = m.op("d", "f").unwrap();
         assert_eq!(c.rate_series.last().unwrap().1, 100.0);
         // Second window with 50 more tuples.
-        m.op_mut("d", "f").tuples_in = 150;
+        m.op_mut("d", "f").add_in(50);
         m.sample_rates(Timestamp::from_secs(2), 1.0);
         assert_eq!(m.op("d", "f").unwrap().rate_series.last().unwrap().1, 50.0);
         // Zero elapsed: no sample.
@@ -220,14 +296,14 @@ mod tests {
         let mut m = Monitor::new();
         {
             let c = m.op_mut("d", "ok");
-            c.tuples_in = 10;
-            c.tuples_out = 7;
-            c.dropped = 3;
+            c.add_in(10);
+            c.add_out(7);
+            c.add_dropped(3);
         }
         {
             let c = m.op_mut("d", "bad");
-            c.tuples_in = 5;
-            c.tuples_out = 9;
+            c.add_in(5);
+            c.add_out(9);
         }
         let keys = vec![("d".to_string(), "ok".to_string()), ("d".to_string(), "bad".to_string())];
         let violations = m.conservation_violations(&keys);
@@ -247,7 +323,7 @@ mod tests {
     #[test]
     fn report_mentions_everything() {
         let mut m = Monitor::new();
-        m.op_mut("d", "f").tuples_in = 5;
+        m.op_mut("d", "f").add_in(5);
         m.count_sink("d", "edw");
         m.placements.push(PlacementChange {
             at: Timestamp::from_secs(1),
@@ -268,5 +344,57 @@ mod tests {
         assert!(r.contains("d/edw: 1 tuples"));
         assert!(r.contains("node#2"));
         assert!(r.contains("ACTIVATE"));
+    }
+
+    #[test]
+    fn report_shows_latency_percentiles_when_recorded() {
+        let mut m = Monitor::new();
+        {
+            let c = m.op_mut("d", "f");
+            c.record_in();
+            c.proc_latency.record(100);
+        }
+        let r = m.report(Timestamp::from_secs(1));
+        assert!(r.contains("p50=100us p95=100us p99=100us"), "{r}");
+    }
+
+    #[test]
+    fn sampled_rates_match_tuples_in_deltas() {
+        // Regression: the rate series must always reproduce the deltas of
+        // the tuples_in counter, whatever the increment pattern.
+        let mut m = Monitor::new();
+        let increments: [u64; 5] = [10, 0, 37, 1, 250];
+        let mut expected_total = 0u64;
+        for (i, inc) in increments.iter().enumerate() {
+            m.op_mut("d", "f").add_in(*inc);
+            expected_total += inc;
+            m.sample_rates(Timestamp::from_secs((i + 1) as i64), 2.0);
+            let c = m.op("d", "f").unwrap();
+            assert_eq!(c.rate_series.last().unwrap().1, *inc as f64 / 2.0);
+            assert_eq!(c.tuples_in(), expected_total);
+        }
+        // Sum of (rate * elapsed) over all windows reproduces the counter.
+        let c = m.op("d", "f").unwrap();
+        let reconstructed: f64 = c.rate_series.iter().map(|(_, r)| r * 2.0).sum();
+        assert_eq!(reconstructed as u64, c.tuples_in());
+    }
+
+    #[test]
+    fn metrics_snapshot_exports_ops_and_sinks() {
+        let mut m = Monitor::new();
+        {
+            let c = m.op_mut("d", "f");
+            c.add_in(4);
+            c.add_out(3);
+            c.add_dropped(1);
+            c.proc_latency.record(50);
+        }
+        m.count_sink("d", "edw");
+        let snap = m.metrics_snapshot();
+        assert_eq!(snap.counters["d/f/tuples_in"], 4);
+        assert_eq!(snap.counters["d/f/tuples_out"], 3);
+        assert_eq!(snap.counters["d/f/dropped"], 1);
+        assert_eq!(snap.counters["d/edw/sink_tuples"], 1);
+        assert_eq!(snap.hists["d/f/proc_us"].count, 1);
     }
 }

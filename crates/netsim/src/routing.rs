@@ -206,6 +206,12 @@ impl FlowTable {
         self.flows.values()
     }
 
+    /// Every link with a non-zero reservation and the bytes/sec reserved on
+    /// it (the engine mirrors these into queued-bytes gauges).
+    pub fn reserved_links(&self) -> impl Iterator<Item = (LinkId, u64)> + '_ {
+        self.reserved.iter().map(|(l, r)| (*l, *r))
+    }
+
     /// Install a flow from `src` to `dst` satisfying `qos`: shortest path,
     /// checked against the QoS latency bound and remaining link capacity.
     ///

@@ -6,6 +6,7 @@
 //! sampled values for plotting.
 
 use crate::topology::{LinkId, NodeId};
+use sl_obs::{Gauge, Histogram, HistSummary, MetricsSnapshot};
 use sl_stt::{Duration, Timestamp};
 use std::collections::HashMap;
 
@@ -99,6 +100,11 @@ pub struct NetStats {
     node_bytes: HashMap<NodeId, u64>,
     link_msgs: HashMap<LinkId, u64>,
     link_bytes: HashMap<LinkId, u64>,
+    /// Per-link one-hop transfer latency, in microseconds.
+    link_latency: HashMap<LinkId, Histogram>,
+    /// Bytes of reserved/backlogged traffic per link (set by the engine from
+    /// its flow table at each monitor sample).
+    link_queued: HashMap<LinkId, Gauge>,
     total_msgs: u64,
     total_bytes: u64,
     total_delay: Duration,
@@ -121,9 +127,32 @@ impl NetStats {
     pub fn record_link(&mut self, link: LinkId, bytes: usize, delay: Duration) {
         *self.link_msgs.entry(link).or_insert(0) += 1;
         *self.link_bytes.entry(link).or_insert(0) += bytes as u64;
+        self.link_latency
+            .entry(link)
+            .or_default()
+            .record((delay.as_secs_f64() * 1e6) as u64);
         self.total_msgs += 1;
         self.total_bytes += bytes as u64;
         self.total_delay = self.total_delay + delay;
+    }
+
+    /// Set the queued-bytes gauge for a link (the engine samples its flow
+    /// reservations periodically).
+    pub fn set_link_queued(&mut self, link: LinkId, bytes: u64) {
+        self.link_queued
+            .entry(link)
+            .or_default()
+            .set(bytes.min(i64::MAX as u64) as i64);
+    }
+
+    /// Current queued-bytes gauge of a link (0 if never set).
+    pub fn link_queued(&self, link: LinkId) -> i64 {
+        self.link_queued.get(&link).map_or(0, Gauge::get)
+    }
+
+    /// Transfer-latency histogram of one link, if it ever carried traffic.
+    pub fn link_latency(&self, link: LinkId) -> Option<&Histogram> {
+        self.link_latency.get(&link)
     }
 
     /// Messages delivered to a node.
@@ -162,6 +191,21 @@ impl NetStats {
             .as_millis()
             .checked_div(self.total_msgs)
             .map(Duration::from_millis)
+    }
+
+    /// Freeze the network view into an sl-obs snapshot: total counters,
+    /// per-link queued-bytes gauges and per-link latency histograms.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.counters.insert("total_msgs".into(), self.total_msgs);
+        snap.counters.insert("total_bytes".into(), self.total_bytes);
+        for (link, g) in &self.link_queued {
+            snap.gauges.insert(format!("{link}/queued_bytes"), g.get());
+        }
+        for (link, h) in &self.link_latency {
+            snap.hists.insert(format!("{link}/latency_us"), HistSummary::of(h));
+        }
+        snap
     }
 
     /// The busiest link by message count.
@@ -239,5 +283,27 @@ mod tests {
         let st = NetStats::new();
         assert_eq!(st.mean_hop_delay(), None);
         assert_eq!(st.busiest_link(), None);
+        assert_eq!(st.link_queued(LinkId(0)), 0);
+        assert!(st.link_latency(LinkId(0)).is_none());
+    }
+
+    #[test]
+    fn link_latency_and_queue_feed_the_snapshot() {
+        let mut st = NetStats::new();
+        let l = LinkId(3);
+        st.record_link(l, 256, Duration::from_millis(4));
+        st.record_link(l, 256, Duration::from_millis(12));
+        st.set_link_queued(l, 4096);
+        let h = st.link_latency(l).unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(12_000)); // 12 ms in µs
+        assert_eq!(st.link_queued(l), 4096);
+        let snap = st.metrics_snapshot();
+        assert_eq!(snap.counters["total_msgs"], 2);
+        assert_eq!(snap.gauges[&format!("{l}/queued_bytes")], 4096);
+        assert_eq!(snap.hists[&format!("{l}/latency_us")].count, 2);
+        // The snapshot survives the wire format.
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
     }
 }

@@ -274,7 +274,7 @@ impl Topology {
         for i in 1..n {
             let j = rng.gen_range(0..i);
             let lat = Duration::from_millis(rng.gen_range(1..=20));
-            let bw = rng.gen_range(10..=100) * 1_000_000;
+            let bw = rng.gen_range(10u64..=100) * 1_000_000;
             t.add_link(ids[i], ids[j], lat, bw).expect("fresh nodes");
         }
         // Extra shortcuts.
@@ -289,7 +289,7 @@ impl Topology {
         pairs.shuffle(&mut rng);
         for (i, j) in pairs.into_iter().take(extra_links) {
             let lat = Duration::from_millis(rng.gen_range(1..=20));
-            let bw = rng.gen_range(10..=100) * 1_000_000;
+            let bw = rng.gen_range(10u64..=100) * 1_000_000;
             t.add_link(ids[i], ids[j], lat, bw).expect("fresh nodes");
         }
         t

@@ -1,0 +1,223 @@
+//! Lightweight span tracing.
+//!
+//! A span is one tuple's residence inside one operator instance: it is
+//! opened with [`Tracer::span_enter`] when the tuple arrives and closed with
+//! [`Tracer::span_exit`] when processing finishes. Spans are keyed by
+//! `(trace id, SpanKey)` where the trace id travels with the tuple (see the
+//! `trace` field on the STT tuple metadata) and the [`SpanKey`] names the
+//! deployment / operator / node the span executed on.
+//!
+//! Closed spans feed a per-key latency [`Histogram`] and a bounded ring of
+//! recent [`SpanRecord`]s for debugging; open spans use O(1) memory each and
+//! are dropped (and counted) if they are never closed.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+use crate::hist::Histogram;
+
+/// How many completed spans the tracer keeps verbatim for inspection.
+pub const RECENT_SPAN_CAPACITY: usize = 256;
+
+/// Identifies where a span executed: a deployment's operator on a node.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanKey {
+    /// Deployment (dataflow) name.
+    pub deployment: String,
+    /// Operator name within the deployment.
+    pub operator: String,
+    /// Node the operator instance runs on.
+    pub node: String,
+}
+
+impl SpanKey {
+    /// Build a key from its three coordinates.
+    #[must_use]
+    pub fn new(
+        deployment: impl Into<String>,
+        operator: impl Into<String>,
+        node: impl Into<String>,
+    ) -> Self {
+        SpanKey { deployment: deployment.into(), operator: operator.into(), node: node.into() }
+    }
+}
+
+impl fmt::Display for SpanKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}@{}", self.deployment, self.operator, self.node)
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The tuple's trace id.
+    pub trace: u64,
+    /// Where the span executed.
+    pub key: SpanKey,
+    /// Virtual-time start, in microseconds.
+    pub start_us: u64,
+    /// Span duration, in microseconds.
+    pub duration_us: u64,
+}
+
+/// Span registry: allocates trace ids, matches enters to exits, and
+/// aggregates per-key latency histograms.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    next_trace: u64,
+    open: HashMap<(u64, SpanKey), u64>,
+    per_key: BTreeMap<SpanKey, Histogram>,
+    recent: VecDeque<SpanRecord>,
+    completed: u64,
+    unmatched_exits: u64,
+}
+
+impl Tracer {
+    /// An empty tracer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a fresh trace id. Ids start at 1; by convention 0 means
+    /// "no trace assigned" on tuple metadata.
+    pub fn next_trace_id(&mut self) -> u64 {
+        self.next_trace += 1;
+        self.next_trace
+    }
+
+    /// Open a span for `trace` at `key`, starting at virtual time `now_us`.
+    /// Re-entering an already-open `(trace, key)` pair restarts that span.
+    pub fn span_enter(&mut self, trace: u64, key: SpanKey, now_us: u64) {
+        self.open.insert((trace, key), now_us);
+    }
+
+    /// Close the span for `trace` at `key` at virtual time `now_us`,
+    /// returning its duration in microseconds. Returns `None` (and counts an
+    /// unmatched exit) if no such span is open.
+    pub fn span_exit(&mut self, trace: u64, key: &SpanKey, now_us: u64) -> Option<u64> {
+        let Some(start) = self.open.remove(&(trace, key.clone())) else {
+            self.unmatched_exits += 1;
+            return None;
+        };
+        let duration = now_us.saturating_sub(start);
+        self.per_key.entry(key.clone()).or_default().record(duration);
+        if self.recent.len() == RECENT_SPAN_CAPACITY {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(SpanRecord {
+            trace,
+            key: key.clone(),
+            start_us: start,
+            duration_us: duration,
+        });
+        self.completed += 1;
+        Some(duration)
+    }
+
+    /// Number of spans currently open.
+    #[must_use]
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Number of spans closed so far.
+    #[must_use]
+    pub fn completed_spans(&self) -> u64 {
+        self.completed
+    }
+
+    /// Number of `span_exit` calls that found no matching open span.
+    #[must_use]
+    pub fn unmatched_exits(&self) -> u64 {
+        self.unmatched_exits
+    }
+
+    /// Latency histogram for one span key, if any span there has completed.
+    #[must_use]
+    pub fn key_histogram(&self, key: &SpanKey) -> Option<&Histogram> {
+        self.per_key.get(key)
+    }
+
+    /// All per-key latency histograms, ordered by key.
+    pub fn histograms(&self) -> impl Iterator<Item = (&SpanKey, &Histogram)> {
+        self.per_key.iter()
+    }
+
+    /// The most recently completed spans, oldest first (bounded ring of
+    /// [`RECENT_SPAN_CAPACITY`]).
+    pub fn recent_spans(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.recent.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_exit_records_duration_per_key() {
+        let mut t = Tracer::new();
+        let key = SpanKey::new("osaka", "hourly_avg", "n2");
+        let id = t.next_trace_id();
+        assert_eq!(id, 1);
+        t.span_enter(id, key.clone(), 1_000);
+        assert_eq!(t.open_spans(), 1);
+        assert_eq!(t.span_exit(id, &key, 1_750), Some(750));
+        assert_eq!(t.open_spans(), 0);
+        assert_eq!(t.completed_spans(), 1);
+        let h = t.key_histogram(&key).unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), Some(750));
+        let rec: Vec<_> = t.recent_spans().collect();
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].trace, 1);
+        assert_eq!(rec[0].start_us, 1_000);
+        assert_eq!(rec[0].duration_us, 750);
+    }
+
+    #[test]
+    fn unmatched_exit_is_counted_not_recorded() {
+        let mut t = Tracer::new();
+        let key = SpanKey::new("d", "op", "n1");
+        assert_eq!(t.span_exit(7, &key, 100), None);
+        assert_eq!(t.unmatched_exits(), 1);
+        assert_eq!(t.completed_spans(), 0);
+        assert!(t.key_histogram(&key).is_none());
+    }
+
+    #[test]
+    fn same_trace_through_two_operators_keeps_separate_spans() {
+        let mut t = Tracer::new();
+        let a = SpanKey::new("d", "filter", "n1");
+        let b = SpanKey::new("d", "agg", "n2");
+        let id = t.next_trace_id();
+        t.span_enter(id, a.clone(), 0);
+        t.span_enter(id, b.clone(), 10);
+        assert_eq!(t.open_spans(), 2);
+        assert_eq!(t.span_exit(id, &a, 5), Some(5));
+        assert_eq!(t.span_exit(id, &b, 40), Some(30));
+        assert_eq!(t.key_histogram(&a).unwrap().max(), Some(5));
+        assert_eq!(t.key_histogram(&b).unwrap().max(), Some(30));
+    }
+
+    #[test]
+    fn recent_ring_is_bounded() {
+        let mut t = Tracer::new();
+        let key = SpanKey::new("d", "op", "n1");
+        for _ in 0..(RECENT_SPAN_CAPACITY + 10) {
+            let id = t.next_trace_id();
+            t.span_enter(id, key.clone(), 0);
+            t.span_exit(id, &key, 1);
+        }
+        assert_eq!(t.recent_spans().count(), RECENT_SPAN_CAPACITY);
+        // Oldest entries were evicted: the first retained trace id is 11.
+        assert_eq!(t.recent_spans().next().unwrap().trace, 11);
+    }
+
+    #[test]
+    fn span_key_display_is_dep_op_node() {
+        assert_eq!(SpanKey::new("osaka", "agg", "n3").to_string(), "osaka/agg@n3");
+    }
+}

@@ -354,6 +354,7 @@ impl Operator for AggregateOp {
                 location: exemplar.meta.location,
                 theme: exemplar.meta.theme.clone(),
                 sensor: exemplar.meta.sensor,
+                trace: exemplar.meta.trace,
             };
             ctx.emit(Tuple::new(self.out_schema.clone(), values, meta)?);
         }

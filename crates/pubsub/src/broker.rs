@@ -9,6 +9,7 @@ use crate::filter::SubscriptionFilter;
 use crate::message::SensorAdvertisement;
 use crate::registry::SensorRegistry;
 use crate::PubSubError;
+use sl_obs::{Metrics, MetricsSnapshot, Stopwatch};
 use sl_stt::SensorId;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -48,6 +49,8 @@ pub struct Broker {
     registry: SensorRegistry,
     subscriptions: BTreeMap<u64, SubscriptionFilter>,
     next_sub: u64,
+    /// Observability: publish/unpublish match latency and event counters.
+    metrics: Metrics,
 }
 
 impl Broker {
@@ -66,6 +69,7 @@ impl Broker {
         let id = self.next_sub;
         self.next_sub += 1;
         self.subscriptions.insert(id, filter);
+        self.metrics.counter("subscribes").inc();
         SubscriptionId(id)
     }
 
@@ -91,7 +95,8 @@ impl Broker {
     /// matching subscription, in subscription order).
     pub fn publish(&mut self, ad: SensorAdvertisement) -> Result<Vec<BrokerEvent>, PubSubError> {
         self.registry.publish(ad.clone())?;
-        Ok(self
+        let sw = Stopwatch::start();
+        let events: Vec<BrokerEvent> = self
             .subscriptions
             .iter()
             .filter(|(_, f)| f.matches(&ad))
@@ -99,14 +104,19 @@ impl Broker {
                 subscription: SubscriptionId(*id),
                 ad: ad.clone(),
             })
-            .collect())
+            .collect();
+        self.metrics.hist("match_us").record(sw.elapsed_us());
+        self.metrics.counter("publishes").inc();
+        self.metrics.counter("notifications").add(events.len() as u64);
+        Ok(events)
     }
 
     /// Unpublish a sensor, returning leave notifications for subscriptions
     /// that were matching it.
     pub fn unpublish(&mut self, id: SensorId) -> Result<Vec<BrokerEvent>, PubSubError> {
         let ad = self.registry.unpublish(id)?;
-        Ok(self
+        let sw = Stopwatch::start();
+        let events: Vec<BrokerEvent> = self
             .subscriptions
             .iter()
             .filter(|(_, f)| f.matches(&ad))
@@ -114,7 +124,11 @@ impl Broker {
                 subscription: SubscriptionId(*sub),
                 sensor: id,
             })
-            .collect())
+            .collect();
+        self.metrics.hist("match_us").record(sw.elapsed_us());
+        self.metrics.counter("unpublishes").inc();
+        self.metrics.counter("notifications").add(events.len() as u64);
+        Ok(events)
     }
 
     /// Sensors currently matching a subscription (the initial binding set
@@ -122,6 +136,12 @@ impl Broker {
     pub fn matching(&self, id: SubscriptionId) -> Result<Vec<&SensorAdvertisement>, PubSubError> {
         let f = self.filter_of(id)?;
         Ok(self.registry.discover(f).collect())
+    }
+
+    /// Freeze the broker's instruments (match latency, publish/subscribe
+    /// counters) into a snapshot.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 }
 
@@ -201,6 +221,22 @@ mod tests {
         let events = b.publish(ad(1, "weather")).unwrap();
         assert!(events.is_empty());
         assert_eq!(b.subscription_count(), 0);
+    }
+
+    #[test]
+    fn broker_metrics_count_matches() {
+        let mut b = Broker::new();
+        b.subscribe(SubscriptionFilter::any());
+        b.subscribe(SubscriptionFilter::any().with_theme(Theme::new("social").unwrap()));
+        b.publish(ad(1, "weather/rain")).unwrap(); // matches 1 sub
+        b.publish(ad(2, "social/tweet")).unwrap(); // matches 2 subs
+        b.unpublish(SensorId(1)).unwrap();
+        let snap = b.metrics_snapshot();
+        assert_eq!(snap.counters["subscribes"], 2);
+        assert_eq!(snap.counters["publishes"], 2);
+        assert_eq!(snap.counters["unpublishes"], 1);
+        assert_eq!(snap.counters["notifications"], 1 + 2 + 1);
+        assert_eq!(snap.hists["match_us"].count, 3);
     }
 
     #[test]

@@ -19,6 +19,7 @@ fn meta_for(ad: &SensorAdvertisement, now: Timestamp) -> SttMeta {
         location: ad.location,
         theme: ad.theme.clone(),
         sensor: ad.id,
+        trace: 0,
     }
 }
 

@@ -122,6 +122,7 @@ impl SensorSim for TweetSensor {
             location,
             theme: self.ad.theme.clone(),
             sensor: self.ad.id,
+            trace: 0,
         };
         Tuple::new(
             self.ad.schema.clone(),
@@ -213,6 +214,7 @@ impl SensorSim for TrafficSensor {
                 location: self.ad.location,
                 theme: self.ad.theme.clone(),
                 sensor: self.ad.id,
+                trace: 0,
             },
         )
         .expect("schema matches")

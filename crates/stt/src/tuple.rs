@@ -36,17 +36,21 @@ pub struct SttMeta {
     pub theme: Theme,
     /// The producing sensor.
     pub sensor: SensorId,
+    /// Observability trace id threading the tuple through span-traced
+    /// operators; 0 means "no trace assigned" (the engine assigns ids as
+    /// tuples enter a dataflow).
+    pub trace: u64,
 }
 
 impl SttMeta {
     /// Metadata for a sensor at a fixed, known position.
     pub fn new(timestamp: Timestamp, location: GeoPoint, theme: Theme, sensor: SensorId) -> SttMeta {
-        SttMeta { timestamp, location: Some(location), theme, sensor }
+        SttMeta { timestamp, location: Some(location), theme, sensor, trace: 0 }
     }
 
     /// Metadata lacking a position (to be enriched by the pub/sub layer).
     pub fn without_location(timestamp: Timestamp, theme: Theme, sensor: SensorId) -> SttMeta {
-        SttMeta { timestamp, location: None, theme, sensor }
+        SttMeta { timestamp, location: None, theme, sensor, trace: 0 }
     }
 }
 
@@ -134,6 +138,8 @@ impl Tuple {
             location: self.meta.location.or(right.meta.location),
             theme: self.meta.theme.clone(),
             sensor: self.meta.sensor,
+            // The driving (left) stream's trace follows the join result.
+            trace: self.meta.trace,
         };
         Ok(Tuple { schema: join_schema, values, meta })
     }

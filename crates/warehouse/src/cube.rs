@@ -78,7 +78,7 @@ impl EventWarehouse {
                 acc.max = Some(acc.max.map_or(v, |m| m.max(v)));
             }
         }
-        cells
+        let out: Vec<CubeCell> = cells
             .into_iter()
             .map(|((tgranule, _, _), (sgranule, theme, acc))| CubeCell {
                 tgranule,
@@ -90,7 +90,10 @@ impl EventWarehouse {
                 min: acc.min,
                 max: acc.max,
             })
-            .collect()
+            .collect();
+        self.metrics.counter("rollups").inc();
+        self.metrics.counter("cube_cells_updated").add(out.len() as u64);
+        out
     }
 }
 

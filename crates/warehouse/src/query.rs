@@ -1,4 +1,18 @@
 //! Index-backed event selection.
+//!
+//! An [`EventQuery`] is a conjunction of up to three STT constraints — a
+//! time range, a spatial bounding box, and a theme subtree — mirroring the
+//! three dimensions of the paper's space–time–thematic event model. The
+//! warehouse answers a query by intersecting candidate sets from whichever
+//! of its indexes (temporal, spatial grid, theme) have a corresponding
+//! constraint, then verifying each survivor with [`EventQuery::matches`];
+//! with no constraints populated it degrades to a full scan. Correctness
+//! against a brute-force scan over random data is property-tested in the
+//! store's test suite, and every query updates the warehouse's query
+//! statistics.
+//!
+//! Queries also pre-select the events fed into cube roll-ups
+//! (`CubeQuery::select` in [`crate::cube`]).
 
 use crate::store::{EventWarehouse, Pos};
 use sl_stt::{BoundingBox, Event, Theme, TimeInterval};

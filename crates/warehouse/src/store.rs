@@ -1,5 +1,6 @@
 //! The append-only event store and its indexes.
 
+use sl_obs::{Metrics, MetricsSnapshot, Stopwatch};
 use sl_stt::{
     Event, SpatialGranularity, SpatialGranule, TemporalGranularity, Theme, Timestamp, Tuple,
 };
@@ -53,6 +54,8 @@ pub struct EventWarehouse {
     /// theme -> positions.
     pub(crate) theme_index: BTreeMap<Theme, Vec<Pos>>,
     stats: WarehouseStats,
+    /// Observability: ingest latency histogram and ETL counters.
+    pub(crate) metrics: Metrics,
 }
 
 impl EventWarehouse {
@@ -65,6 +68,7 @@ impl EventWarehouse {
             space_index: HashMap::new(),
             theme_index: BTreeMap::new(),
             stats: WarehouseStats::default(),
+            metrics: Metrics::new(),
         }
     }
 
@@ -133,6 +137,7 @@ impl EventWarehouse {
         tgran: TemporalGranularity,
         sgran: SpatialGranularity,
     ) -> usize {
+        let sw = Stopwatch::start();
         self.stats.tuples += 1;
         let mut stored = 0;
         for field in tuple.schema().clone().fields() {
@@ -161,7 +166,16 @@ impl EventWarehouse {
                 stored += 1;
             }
         }
+        self.metrics.hist("ingest_us").record(sw.elapsed_us());
+        self.metrics.counter("tuples_ingested").inc();
+        self.metrics.counter("events_stored").add(stored as u64);
         stored
+    }
+
+    /// Freeze the warehouse's instruments (ingest latency, ETL and cube
+    /// counters) into a snapshot.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Look up an event by position.

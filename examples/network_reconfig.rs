@@ -75,7 +75,7 @@ fn main() {
         .unwrap();
     session.deploy(dataflow).unwrap();
     session.run_for(Duration::from_mins(2));
-    let baseline = session.engine().monitor().op("live-ops", "warm").unwrap().tuples_in;
+    let baseline = session.engine().monitor().op("live-ops", "warm").unwrap().tuples_in();
     println!("baseline after 2 min: {baseline} tuples through the filter");
 
     // --- plug-and-play: a burst of fast new sensors joins ----------------
@@ -95,7 +95,7 @@ fn main() {
             .unwrap();
     }
     session.run_for(Duration::from_mins(2));
-    let after_join = session.engine().monitor().op("live-ops", "warm").unwrap().tuples_in;
+    let after_join = session.engine().monitor().op("live-ops", "warm").unwrap().tuples_in();
     println!("after the burst: {after_join} tuples (new sensors bound automatically)");
 
     // Migration should have reacted to the hotspot.

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Full local gate: release build, all tests, and docs.
+# Doc warnings are promoted to errors so the public API stays documented.
+# The build is offline by construction (crates.io is unreachable; all
+# third-party deps are vendored shims under vendor/) — see README "Building".
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+echo "check.sh: all green"

@@ -35,7 +35,7 @@
 //!
 //! session.deploy(flow).unwrap();          // validate → DSN/SCN → actuate
 //! session.run_for(Duration::from_mins(5));
-//! let seen = session.engine().monitor().op("hot", "warm").unwrap().tuples_in;
+//! let seen = session.engine().monitor().op("hot", "warm").unwrap().tuples_in();
 //! assert!(seen > 0);
 //! ```
 
@@ -48,6 +48,7 @@ pub use sl_dsn as dsn;
 pub use sl_engine as engine;
 pub use sl_expr as expr;
 pub use sl_netsim as netsim;
+pub use sl_obs as obs;
 pub use sl_ops as ops;
 pub use sl_pubsub as pubsub;
 pub use sl_sensors as sensors;

@@ -111,7 +111,7 @@ impl StreamLoader {
                 .map_or(String::from("-"), |n| n.to_string());
             annotations.insert(
                 op.clone(),
-                format!("{rate:.1} tuples/s on {node} (in={} out={})", counters.tuples_in, counters.tuples_out),
+                format!("{rate:.1} tuples/s on {node} (in={} out={})", counters.tuples_in(), counters.tuples_out()),
             );
         }
         Ok(render_ascii(df, &annotations))
@@ -120,6 +120,21 @@ impl StreamLoader {
     /// The monitor report (Figure 3 text panel).
     pub fn monitor_report(&self) -> String {
         self.engine.monitor().report(self.engine.now())
+    }
+
+    /// One unified observability snapshot across every subsystem
+    /// (engine event loop, per-operator counters and latency histograms,
+    /// pub/sub broker, network links, warehouse). Serialize it with
+    /// [`sl_obs::MetricsSnapshot::to_json`] or render it with
+    /// [`sl_obs::MetricsSnapshot::render_table`].
+    pub fn metrics(&self) -> sl_obs::MetricsSnapshot {
+        self.engine.metrics_snapshot()
+    }
+
+    /// The metrics snapshot as a human-readable table — the textual
+    /// counterpart of the Figure 3 monitoring panel.
+    pub fn metrics_table(&self) -> String {
+        self.metrics().render_table()
     }
 
     /// Query the Event Data Warehouse.

@@ -82,7 +82,7 @@ fn churn_rebinding_tracks_fleet() {
     }
     // Data flowed throughout.
     let c = s.engine().monitor().op("churn", "keep").unwrap();
-    assert!(c.tuples_in > 100, "in {}", c.tuples_in);
+    assert!(c.tuples_in() > 100, "in {}", c.tuples_in());
     // Membership log recorded every change.
     let joins = s.engine().monitor().membership.iter().filter(|l| l.contains("joined")).count();
     let leaves = s.engine().monitor().membership.iter().filter(|l| l.contains("left")).count();
@@ -105,14 +105,14 @@ fn conservation_under_churn_and_modification() {
     s.add_sensor(sensor(100, 5, 250)).unwrap();
     s.run_for(Duration::from_mins(2));
     let c = s.engine().monitor().op("acc", "keep").unwrap();
-    assert!(c.tuples_in > 0);
+    assert!(c.tuples_in() > 0);
     assert_eq!(
-        c.tuples_in,
-        c.tuples_out + c.dropped,
+        c.tuples_in(),
+        c.tuples_out() + c.dropped(),
         "filter must account for every tuple across churn and replacement"
     );
     // Sink receives exactly what the filter emitted (visualization sink).
-    assert_eq!(s.engine().monitor().sink_count("acc", "out"), c.tuples_out);
+    assert_eq!(s.engine().monitor().sink_count("acc", "out"), c.tuples_out());
 }
 
 #[test]
@@ -123,7 +123,7 @@ fn replacement_sensor_takes_over() {
     s.deploy(passthrough_flow("swap")).unwrap();
     let first = s.add_sensor(sensor(1, 3, 1000)).unwrap();
     s.run_for(Duration::from_secs(30));
-    let before = s.engine().monitor().op("swap", "keep").unwrap().tuples_in;
+    let before = s.engine().monitor().op("swap", "keep").unwrap().tuples_in();
     assert!(before > 0);
     // Candidate replacements are discoverable while both exist.
     s.add_sensor(sensor(2, 4, 1000)).unwrap();
@@ -132,7 +132,7 @@ fn replacement_sensor_takes_over() {
     assert!(reps.iter().any(|r| r.id == SensorId(2)));
     s.remove_sensor(first).unwrap();
     s.run_for(Duration::from_secs(30));
-    let after = s.engine().monitor().op("swap", "keep").unwrap().tuples_in;
+    let after = s.engine().monitor().op("swap", "keep").unwrap().tuples_in();
     assert!(after > before, "replacement sensor keeps the stream alive");
 }
 
@@ -152,7 +152,7 @@ fn blocking_operator_replacement_keeps_ticking() {
     s.deploy(df).unwrap();
     s.add_sensor(sensor(1, 3, 1000)).unwrap();
     s.run_for(Duration::from_secs(35));
-    let out_before = s.engine().monitor().op("blk", "agg").unwrap().tuples_out;
+    let out_before = s.engine().monitor().op("blk", "agg").unwrap().tuples_out();
     assert!(out_before >= 2);
     // Replace with a different window length.
     s.engine_mut()
@@ -168,7 +168,7 @@ fn blocking_operator_replacement_keeps_ticking() {
         )
         .unwrap();
     s.run_for(Duration::from_secs(30));
-    let out_after = s.engine().monitor().op("blk", "agg").unwrap().tuples_out;
+    let out_after = s.engine().monitor().op("blk", "agg").unwrap().tuples_out();
     assert!(out_after > out_before, "aggregation keeps producing after replacement");
 }
 
@@ -178,11 +178,11 @@ fn undeploy_mid_run_stops_cleanly() {
     s.deploy(passthrough_flow("gone")).unwrap();
     s.add_sensor(sensor(1, 3, 500)).unwrap();
     s.run_for(Duration::from_secs(20));
-    let seen = s.engine().monitor().op("gone", "keep").unwrap().tuples_in;
+    let seen = s.engine().monitor().op("gone", "keep").unwrap().tuples_in();
     assert!(seen > 0);
     s.engine_mut().undeploy("gone").unwrap();
     s.run_for(Duration::from_mins(2)); // sensor keeps emitting into the void
-    let after = s.engine().monitor().op("gone", "keep").unwrap().tuples_in;
+    let after = s.engine().monitor().op("gone", "keep").unwrap().tuples_in();
     assert!(after <= seen + 2, "tuples must stop flowing after undeploy");
     assert_eq!(s.engine().loads().len(), 0);
 }

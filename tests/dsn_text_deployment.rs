@@ -45,8 +45,8 @@ fn dsn_text_deploys_and_runs() {
     assert!(!bound.is_empty());
     session.run_for(Duration::from_mins(30));
     let agg = session.engine().monitor().op("hand-authored", "hourly").unwrap();
-    assert!(agg.tuples_in > 0);
-    assert!(agg.tuples_out > 0);
+    assert!(agg.tuples_in() > 0);
+    assert!(agg.tuples_out() > 0);
     assert!(!session.engine().warehouse().is_empty());
     // The deployed document's canonical text matches a reparse of itself.
     let stored = session.engine().dsn_text("hand-authored").unwrap();

@@ -62,7 +62,7 @@ fn run(df: streamloader::dataflow::Dataflow) -> (u64, u64, u64) {
     engine.run_for(Duration::from_mins(20));
     let sink = engine.monitor().sink_count("opt", "out");
     // Tuples the virtual-property operator had to process.
-    let vprop_in = engine.monitor().op("opt", "enrich").unwrap().tuples_in;
+    let vprop_in = engine.monitor().op("opt", "enrich").unwrap().tuples_in();
     (sink, vprop_in, engine.net_stats().total_msgs())
 }
 

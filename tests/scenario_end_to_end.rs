@@ -93,9 +93,9 @@ fn heat_wave_fires_trigger_and_activates_acquisition() {
     assert!(!fired.is_empty());
     // Rain tuples flowed after activation.
     let c = engine.monitor().op("osaka-hot-weather", "torrential").unwrap();
-    assert!(c.tuples_in > 0, "rain tuples should reach the filter once active");
+    assert!(c.tuples_in() > 0, "rain tuples should reach the filter once active");
     // Only torrential tuples survive the filter.
-    assert_eq!(c.tuples_in, c.tuples_out + c.dropped);
+    assert_eq!(c.tuples_in(), c.tuples_out() + c.dropped());
 }
 
 #[test]
@@ -108,7 +108,7 @@ fn cold_day_never_activates() {
     assert!(engine
         .monitor()
         .op("osaka-hot-weather", "torrential")
-        .is_none_or(|c| c.tuples_in == 0));
+        .is_none_or(|c| c.tuples_in() == 0));
     assert!(engine.warehouse().is_empty());
 }
 
@@ -143,13 +143,13 @@ fn hourly_average_matches_sensor_population() {
     // 5 Celsius temperature sensors (the 6th reports Fahrenheit and is
     // excluded by the unit filter) at 10 s period for 3 h.
     let expected = 5.0 * 6.0 * 60.0 * 3.0;
-    let got = agg.tuples_in as f64;
+    let got = agg.tuples_in() as f64;
     assert!(
         (got - expected).abs() / expected < 0.1,
         "expected ~{expected} aggregate inputs, got {got}"
     );
     // One output row per non-empty hourly window.
-    assert!(agg.tuples_out >= 2 && agg.tuples_out <= 4, "out {}", agg.tuples_out);
+    assert!(agg.tuples_out() >= 2 && agg.tuples_out() <= 4, "out {}", agg.tuples_out());
 }
 
 #[test]
@@ -157,7 +157,7 @@ fn scenario_is_deterministic() {
     let summary = |s: &StreamLoader| {
         let m = s.engine().monitor();
         (
-            m.op("osaka-hot-weather", "hourly_avg").map(|c| (c.tuples_in, c.tuples_out)),
+            m.op("osaka-hot-weather", "hourly_avg").map(|c| (c.tuples_in(), c.tuples_out())),
             m.controls.len(),
             s.engine().warehouse().len(),
             s.engine().net_stats().total_bytes(),
@@ -240,4 +240,25 @@ fn dsn_translation_round_trips_through_text() {
     assert_eq!(binds, 3);
     assert_eq!(spawns, 3);
     assert_eq!(sinks, 1);
+}
+
+#[test]
+fn session_metrics_cover_all_subsystems_and_round_trip() {
+    let session = run_scenario(true, 1);
+    let snap = session.metrics();
+    // Per-operator counters and latency histograms from the monitor.
+    assert!(snap.counters["op/osaka-hot-weather/hourly_avg/tuples_in"] > 0);
+    assert!(snap
+        .hists
+        .keys()
+        .any(|k| k.starts_with("op/osaka-hot-weather/") && k.ends_with("/proc_us")));
+    // Engine spans and queue depth, broker matching, network transfers.
+    assert!(snap.counters["engine/spans_completed"] > 0);
+    assert!(snap.gauges.contains_key("engine/event_queue_depth"));
+    assert!(snap.hists["broker/match_us"].count > 0);
+    assert!(snap.counters["net/total_msgs"] > 0);
+    // The snapshot survives JSON serialization and renders as a table.
+    let parsed = streamloader::obs::MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(parsed, snap);
+    assert!(session.metrics_table().contains("engine/spans_completed"));
 }

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the benchmark suite uses
+//! (`Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter` / `iter_batched`, `BenchmarkId`, `Throughput`,
+//! `BatchSize`, `black_box`, `criterion_group!`, `criterion_main!`).
+//!
+//! Instead of criterion's statistical machinery it runs each benchmark for a
+//! small fixed number of timed iterations and prints the median per-iteration
+//! wall time — enough to compare implementations in this offline
+//! environment, not a substitute for real statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported from std.
+pub use std::hint::black_box;
+
+/// Target timed iterations per benchmark (kept small: these run in CI).
+const TARGET_ITERS: u64 = 30;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f, None);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: TARGET_ITERS,
+            throughput: None,
+        }
+    }
+
+    /// Criterion's post-main report hook — a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(2);
+        self
+    }
+
+    /// Declare the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measurement-time hint — accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F, I: Display>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut f, self.throughput.clone());
+        self
+    }
+
+    /// Run one benchmark with an explicit input.
+    pub fn bench_with_input<F, I: ?Sized, D: Display>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input), self.throughput.clone());
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; collects timed iterations.
+pub struct Bencher {
+    iters: u64,
+    /// Median-ish per-iteration time, filled by `iter*`.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed() / self.iters as u32;
+    }
+
+    /// Time `f` with a fresh `setup()` input per iteration; setup time is
+    /// excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(f(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total / self.iters as u32;
+    }
+}
+
+/// How `iter_batched` amortises setup (irrelevant here; accepted for
+/// compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Identifier from a name and a parameter value.
+    pub fn new<P: Display>(name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { text: format!("{name}/{parameter}") }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F, throughput: Option<Throughput>) {
+    let mut bencher = Bencher { iters: TARGET_ITERS, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            format!("  ({:.0} elem/s)", n as f64 / per_iter.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            format!("  ({:.0} B/s)", n as f64 / per_iter.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<60} {per_iter:>12.2?}/iter{rate}");
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5).throughput(Throughput::Elements(10));
+        g.bench_function(BenchmarkId::new("sum", 4), |b| {
+            b.iter_batched(|| vec![1u64; 4], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
