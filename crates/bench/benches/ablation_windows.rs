@@ -17,7 +17,7 @@ fn bench_sliding(c: &mut Criterion) {
                 EvictionStrategy::RingBuffer => "ring",
                 EvictionStrategy::Rescan => "rescan",
             };
-            group.bench_function(BenchmarkId::new(format!("span{span_s}s"), label), |b| {
+            group.bench_function(BenchmarkId::new(&format!("span{span_s}s"), label), |b| {
                 b.iter_batched(
                     || SlidingWindow::new(Duration::from_secs(span_s), strategy),
                     |mut w| {

@@ -16,7 +16,7 @@ fn bench_deploy(c: &mut Criterion) {
     for nodes in [8usize, 32, 128] {
         let topo = Topology::random(nodes, nodes / 2, 7);
         for ops in [3usize, 20] {
-            group.bench_function(BenchmarkId::new(format!("nodes{nodes}"), format!("ops{ops}")), |b| {
+            group.bench_function(BenchmarkId::new(&format!("nodes{nodes}"), format!("ops{ops}")), |b| {
                 b.iter_batched(
                     || {
                         (

@@ -1,6 +1,7 @@
 //! Engine configuration: placement policy, migration thresholds, monitoring
 //! cadence.
 
+use sl_faults::RetryPolicy;
 use sl_stt::{Duration, SpatialGranularity, TemporalGranularity};
 
 /// Where operator processes are initially placed (ablation A2 compares
@@ -42,6 +43,24 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Cap on retained console-sink lines.
     pub console_capacity: usize,
+    /// Re-delivery attempts after a routing failure. With
+    /// [`retry_enabled`](EngineConfig::retry_enabled) off the policy is
+    /// ignored and failed deliveries go straight to the dead-letter queue.
+    pub retry: RetryPolicy,
+    /// Retry failed deliveries at all (off reproduces the historical
+    /// drop-on-no-route behaviour, but accounted for in the DLQ).
+    pub retry_enabled: bool,
+    /// Dead-letter queue capacity per engine (oldest entries evicted;
+    /// drop *counters* are never evicted).
+    pub dlq_capacity: usize,
+    /// Expire sensors that stop producing (heartbeat watchdog).
+    pub liveness_enabled: bool,
+    /// Silence tolerated before a sensor is presumed dead, in multiples of
+    /// its advertised generation period.
+    pub liveness_grace: u32,
+    /// Checkpoint blocking-operator caches so node crashes don't lose
+    /// window state.
+    pub checkpoint_enabled: bool,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +76,12 @@ impl Default for EngineConfig {
             warehouse_sgran: SpatialGranularity::grid(8),
             seed: 7,
             console_capacity: 1000,
+            retry: RetryPolicy::new(),
+            retry_enabled: true,
+            dlq_capacity: 256,
+            liveness_enabled: true,
+            liveness_grace: 3,
+            checkpoint_enabled: true,
         }
     }
 }
@@ -72,5 +97,10 @@ mod tests {
         assert!(c.migration_enabled);
         assert!(c.migration_threshold > 0.5 && c.migration_threshold <= 1.0);
         assert!(!c.monitor_period.is_zero());
+        assert!(c.retry_enabled);
+        assert!(c.retry.max_attempts > 0);
+        assert!(c.dlq_capacity > 0);
+        assert!(c.liveness_enabled && c.liveness_grace >= 2);
+        assert!(c.checkpoint_enabled);
     }
 }

@@ -9,14 +9,16 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sl_dataflow::{to_dsn, validate, Dataflow};
 use sl_dsn::{compile, print_document, ScnCommand, SinkKind};
+use sl_faults::{DeadLetterQueue, DropReason, FaultAction, FaultPlan};
 use sl_netsim::{
-    EventQueue, FlowTable, LoadTracker, NetError, NetStats, NodeId, ProcessId, QosSpec, Route,
-    RoutingTable, Topology,
+    EventQueue, FlowTable, LinkId, LoadTracker, NetError, NetStats, NodeId, ProcessId, QosSpec,
+    Route, RoutingTable, Topology,
 };
 use sl_obs::{Metrics, MetricsSnapshot, SpanKey, Tracer};
-use sl_ops::{ControlAction, OpContext};
+use sl_ops::{ControlAction, OpCheckpoint, OpContext};
 use sl_pubsub::enrich::{enrich, EnrichPolicy};
 use sl_pubsub::{Broker, BrokerEvent, SensorAdvertisement, SubscriptionId};
+use bytes::Bytes;
 use sl_sensors::{decode_payload, SensorSim};
 use sl_stt::{Duration, SchemaRef, SensorId, Timestamp, Tuple, Value};
 use sl_warehouse::EventWarehouse;
@@ -40,11 +42,47 @@ enum Ev {
     },
     /// Monitor sampling (rates, demand refresh, migration check).
     MonitorSample,
+    /// A scheduled fault-plan action fires.
+    Fault(FaultAction),
+    /// Re-attempt a delivery that previously found no route.
+    RetryDeliver {
+        deployment: String,
+        target: String,
+        port: usize,
+        tuple: Tuple,
+        /// Node the tuple is buffered on (where it was produced).
+        from_node: NodeId,
+        /// Retry attempt number (1-based: the first retry is attempt 1).
+        attempt: u32,
+        /// When the original delivery failed (recovery-latency baseline).
+        first_failed_at: Timestamp,
+    },
 }
 
 struct SensorEntry {
     sim: Box<dyn SensorSim>,
     ad: SensorAdvertisement,
+    /// Silently stalled (fault injection): scheduled but not emitting.
+    stalled: bool,
+    /// Corrupting wire payloads (fault injection).
+    corrupt: bool,
+    /// Clock skew applied to emitted tuple timestamps, in milliseconds.
+    skew_ms: i64,
+    /// Unpublished from the broker (dropout or liveness expiry); the next
+    /// successful emission re-publishes the advertisement (clean rejoin).
+    expired: bool,
+}
+
+/// A terminally undeliverable tuple, parked in the engine's dead-letter
+/// queue together with its [`DropReason`].
+#[derive(Debug, Clone)]
+pub struct DeadTuple {
+    /// Deployment the tuple belonged to.
+    pub deployment: String,
+    /// Operator or sink it was headed for.
+    pub target: String,
+    /// The tuple itself.
+    pub tuple: Tuple,
 }
 
 /// The StreamLoader execution engine. See the crate docs for the model.
@@ -70,6 +108,11 @@ pub struct Engine {
     rng: StdRng,
     last_monitor_at: Timestamp,
     next_pid: u64,
+    /// Terminally undeliverable tuples, classified by drop reason.
+    dlq: DeadLetterQueue<DeadTuple>,
+    /// Latest blocking-operator state snapshots, keyed (deployment, service),
+    /// restored onto the migration target after a node crash.
+    checkpoints: HashMap<(String, String), OpCheckpoint>,
     /// Engine-level instruments: event-loop timing, enrichment counters,
     /// per-tuple spans, end-to-end latency, queue depth.
     metrics: Metrics,
@@ -100,6 +143,8 @@ impl Engine {
             recent_samples: HashMap::new(),
             rng: StdRng::seed_from_u64(config.seed),
             last_monitor_at: start,
+            dlq: DeadLetterQueue::new(config.dlq_capacity),
+            checkpoints: HashMap::new(),
             config,
             next_pid: 0,
             metrics: Metrics::new(),
@@ -234,8 +279,13 @@ impl Engine {
         self.monitor
             .membership
             .push(format!("[{}] + {} joined", self.now(), ad.name));
+        // Seed the liveness watchdog so grace counts from the join instant.
+        self.broker.heartbeat(id, self.now());
         self.queue.schedule_in(ad.period, Ev::SensorEmit(id.0));
-        self.sensors.insert(id.0, SensorEntry { sim, ad });
+        self.sensors.insert(
+            id.0,
+            SensorEntry { sim, ad, stalled: false, corrupt: false, skew_ms: 0, expired: false },
+        );
         Ok(id)
     }
 
@@ -245,7 +295,9 @@ impl Engine {
             .sensors
             .remove(&id.0)
             .ok_or(EngineError::UnknownSensor(id.0))?;
-        let events = self.broker.unpublish(id)?;
+        // The liveness watchdog may already have unpublished it — a clean
+        // removal of an expired sensor is not an error.
+        let events = self.broker.unpublish(id).unwrap_or_default();
         self.apply_broker_events(events);
         self.monitor
             .membership
@@ -537,6 +589,222 @@ impl Engine {
         Ok(())
     }
 
+    /// Install a declarative chaos schedule: every [`FaultPlan`] event is
+    /// queued at its offset from *now* and replayed deterministically,
+    /// interleaved with regular engine events.
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            self.queue.schedule_in(ev.at, Ev::Fault(ev.action));
+        }
+    }
+
+    /// Apply a single fault action immediately.
+    pub fn inject_fault(&mut self, action: FaultAction) {
+        let now = self.now();
+        self.apply_fault(now, action);
+    }
+
+    /// The installed-flow table (reservations and routes), for inspecting
+    /// consistency across link failures and repairs.
+    pub fn flows(&self) -> &FlowTable {
+        &self.flows
+    }
+
+    /// The dead-letter queue: terminally undeliverable tuples and the
+    /// monotonic per-reason drop counters.
+    pub fn dlq(&self) -> &DeadLetterQueue<DeadTuple> {
+        &self.dlq
+    }
+
+    fn apply_fault(&mut self, now: Timestamp, action: FaultAction) {
+        self.metrics.counter(&format!("faults/{}", action.kind())).inc();
+        match action {
+            FaultAction::LinkDown { link } => {
+                let _ = self.set_link_up(LinkId(link), false);
+            }
+            FaultAction::LinkUp { link } => {
+                let _ = self.set_link_up(LinkId(link), true);
+            }
+            FaultAction::NodeCrash { node } => self.crash_node(now, NodeId(node)),
+            FaultAction::NodeRestart { node } => {
+                if self.topology.set_node_up(NodeId(node), true).is_ok() {
+                    self.route_cache.clear();
+                    self.monitor
+                        .console
+                        .push(format!("[{now}] network: {} restored", NodeId(node)));
+                    self.monitor.recovery.push(format!("[{now}] {} restarted", NodeId(node)));
+                }
+            }
+            FaultAction::SensorStall { sensor } => {
+                if let Some(entry) = self.sensors.get_mut(&sensor) {
+                    entry.stalled = true;
+                    let name = entry.ad.name.clone();
+                    self.monitor.recovery.push(format!("[{now}] sensor {name} stalled silently"));
+                }
+            }
+            FaultAction::SensorDropout { sensor } => {
+                if let Some(entry) = self.sensors.get_mut(&sensor) {
+                    entry.stalled = true;
+                    entry.expired = true;
+                    let name = entry.ad.name.clone();
+                    let events = self.broker.unpublish(SensorId(sensor)).unwrap_or_default();
+                    self.apply_broker_events(events);
+                    self.monitor.membership.push(format!("[{now}] - {name} dropped out"));
+                    self.monitor.recovery.push(format!("[{now}] sensor {name} dropped out"));
+                }
+            }
+            FaultAction::SensorResume { sensor } => {
+                if let Some(entry) = self.sensors.get_mut(&sensor) {
+                    entry.stalled = false;
+                    // If it was unpublished (dropout or watchdog expiry), the
+                    // next emission performs the clean rejoin.
+                }
+            }
+            FaultAction::CorruptStart { sensor } => {
+                if let Some(entry) = self.sensors.get_mut(&sensor) {
+                    entry.corrupt = true;
+                }
+            }
+            FaultAction::CorruptStop { sensor } => {
+                if let Some(entry) = self.sensors.get_mut(&sensor) {
+                    entry.corrupt = false;
+                }
+            }
+            FaultAction::ClockSkew { sensor, skew_ms } => {
+                if let Some(entry) = self.sensors.get_mut(&sensor) {
+                    entry.skew_ms = skew_ms;
+                }
+            }
+        }
+    }
+
+    /// Crash a node: down its links, evacuate hosted operator processes to
+    /// live nodes (restoring checkpointed window state), and move sink
+    /// endpoints off it.
+    fn crash_node(&mut self, now: Timestamp, node: NodeId) {
+        if self.topology.set_node_up(node, false).is_err() {
+            return;
+        }
+        self.route_cache.clear();
+        self.monitor.console.push(format!("[{now}] network: {node} FAILED"));
+        self.monitor.recovery.push(format!("[{now}] {node} crashed"));
+
+        // Services hosted on the crashed node, with their current demands.
+        let on_node: HashMap<u64, f64> =
+            self.loads.processes_on(node).into_iter().map(|(p, d)| (p.0, d)).collect();
+        let mut victims: Vec<(String, String, ProcessId, f64)> = Vec::new();
+        for (dep_name, dep) in &self.deployments {
+            for (s_name, s) in dep.services.iter().filter(|(_, s)| s.node == node) {
+                let demand = on_node.get(&s.process.0).copied().unwrap_or(1.0);
+                victims.push((dep_name.clone(), s_name.clone(), s.process, demand));
+            }
+        }
+        for (dep_name, svc_name, process, demand) in victims {
+            self.recover_service(now, &dep_name, &svc_name, process, demand, node);
+        }
+
+        // Sink endpoints on the crashed node move to the least-loaded live
+        // node (their tuples would otherwise dead-letter until restart).
+        let sink_victims: Vec<(String, String)> = self
+            .deployments
+            .iter()
+            .flat_map(|(d, dep)| {
+                dep.sinks
+                    .iter()
+                    .filter(|(_, s)| s.node == node)
+                    .map(move |(s_name, _)| (d.clone(), s_name.clone()))
+            })
+            .collect();
+        for (dep_name, sink_name) in sink_victims {
+            let candidates: Vec<NodeId> =
+                self.topology.node_ids().filter(|n| self.topology.node_is_up(*n)).collect();
+            let Some(target) = self
+                .loads
+                .least_loaded(&self.topology, candidates.iter().copied(), 0.0)
+                .or_else(|| candidates.first().copied())
+            else {
+                continue;
+            };
+            if let Some(sink) = self
+                .deployments
+                .get_mut(&dep_name)
+                .and_then(|d| d.sinks.get_mut(&sink_name))
+            {
+                sink.node = target;
+            }
+            self.monitor.placements.push(PlacementChange {
+                at: now,
+                deployment: dep_name.clone(),
+                operator: sink_name.clone(),
+                from: Some(node),
+                to: target,
+                reason: "recovery: node crash".into(),
+            });
+            self.reinstall_flows_for(&dep_name, &sink_name);
+        }
+    }
+
+    /// Re-place one service off a crashed node and restore its operator
+    /// state from the latest checkpoint (or wipe it when checkpointing is
+    /// off — modelling the unrecovered state loss).
+    fn recover_service(
+        &mut self,
+        now: Timestamp,
+        dep_name: &str,
+        svc_name: &str,
+        process: ProcessId,
+        demand: f64,
+        crashed: NodeId,
+    ) {
+        let candidates: Vec<NodeId> =
+            self.topology.node_ids().filter(|n| self.topology.node_is_up(*n)).collect();
+        let Some(target) = self
+            .loads
+            .least_loaded(&self.topology, candidates.iter().copied(), demand)
+            .or_else(|| candidates.first().copied())
+        else {
+            self.monitor
+                .recovery
+                .push(format!("[{now}] {dep_name}/{svc_name}: no live node to recover onto"));
+            return;
+        };
+        // Non-strict placement: recovery beats capacity guarantees.
+        let _ = self.loads.place(&self.topology, process, target, demand, false);
+        let restored = if self.config.checkpoint_enabled {
+            self.checkpoints
+                .get(&(dep_name.to_string(), svc_name.to_string()))
+                .cloned()
+                .unwrap_or_default()
+        } else {
+            OpCheckpoint::empty()
+        };
+        let (n_tuples, n_bytes) = (restored.len(), restored.byte_size());
+        if let Some(svc) = self
+            .deployments
+            .get_mut(dep_name)
+            .and_then(|d| d.services.get_mut(svc_name))
+        {
+            svc.node = target;
+            // The crash lost the in-memory window cache; re-seed it from the
+            // checkpoint (an empty checkpoint wipes it).
+            svc.op.restore(restored);
+        }
+        self.metrics.counter("checkpoint/restored_tuples").add(n_tuples as u64);
+        self.metrics.counter("checkpoint/restored_bytes").add(n_bytes as u64);
+        self.monitor.placements.push(PlacementChange {
+            at: now,
+            deployment: dep_name.to_string(),
+            operator: svc_name.to_string(),
+            from: Some(crashed),
+            to: target,
+            reason: "recovery: node crash".into(),
+        });
+        self.monitor.recovery.push(format!(
+            "[{now}] {dep_name}/{svc_name}: recovered onto {target} ({n_tuples} tuples, {n_bytes} B restored)"
+        ));
+        self.reinstall_flows_for(dep_name, svc_name);
+    }
+
     // ------------------------------------------------------------------
     // Placement
     // ------------------------------------------------------------------
@@ -598,7 +866,8 @@ impl Engine {
 
     fn route_between(&mut self, a: NodeId, b: NodeId) -> Option<Route> {
         if a == b {
-            return Some(Route::local(a));
+            // A crashed node cannot even deliver to itself.
+            return self.topology.node_is_up(a).then(|| Route::local(a));
         }
         let key = (a.0, b.0);
         if let Some(cached) = self.route_cache.get(&key) {
@@ -624,6 +893,115 @@ impl Engine {
         }
         self.net_stats.record_node_rx(b, bytes);
         Some(total)
+    }
+
+    // ------------------------------------------------------------------
+    // Retrying delivery & dead letters
+    // ------------------------------------------------------------------
+
+    /// Handle a delivery that found no route: log and count the failure,
+    /// then either schedule a backed-off retry or dead-letter the tuple.
+    #[allow(clippy::too_many_arguments)]
+    fn fail_delivery(
+        &mut self,
+        now: Timestamp,
+        deployment: String,
+        target: String,
+        port: usize,
+        tuple: Tuple,
+        from_node: NodeId,
+        target_node: NodeId,
+        attempt: u32,
+        first_failed_at: Timestamp,
+    ) {
+        if attempt == 0 {
+            // Never a silent drop: the failure is logged and counted even
+            // when retries are disabled.
+            self.metrics.counter("drops/no_route").inc();
+            self.monitor.console.push(format!(
+                "[{now}] warn: no route {from_node} -> {target_node} for {deployment}/{target}"
+            ));
+        }
+        if self.config.retry_enabled && attempt < self.config.retry.max_attempts {
+            let backoff = self.config.retry.backoff(attempt);
+            self.metrics.counter("retry/scheduled").inc();
+            self.queue.schedule_in(
+                backoff,
+                Ev::RetryDeliver {
+                    deployment,
+                    target,
+                    port,
+                    tuple,
+                    from_node,
+                    attempt: attempt + 1,
+                    first_failed_at,
+                },
+            );
+        } else {
+            let reason = if self.config.retry_enabled {
+                DropReason::RetriesExhausted
+            } else {
+                DropReason::NoRoute
+            };
+            self.dead_letter(now, deployment, target, tuple, reason);
+        }
+    }
+
+    /// Park a terminally undeliverable tuple in the DLQ.
+    fn dead_letter(
+        &mut self,
+        now: Timestamp,
+        deployment: String,
+        target: String,
+        tuple: Tuple,
+        reason: DropReason,
+    ) {
+        self.metrics.counter(&format!("dlq/{reason}")).inc();
+        self.monitor
+            .recovery
+            .push(format!("[{now}] {deployment}/{target}: tuple dead-lettered ({reason})"));
+        self.dlq.push(reason, DeadTuple { deployment, target, tuple });
+        self.metrics.gauge("dlq/depth").set(self.dlq.depth() as i64);
+    }
+
+    /// Re-attempt a failed delivery after its backoff. Route placement is
+    /// re-resolved, so retries survive target migration and link repair.
+    #[allow(clippy::too_many_arguments)]
+    fn on_retry_deliver(
+        &mut self,
+        now: Timestamp,
+        deployment: String,
+        target: String,
+        port: usize,
+        tuple: Tuple,
+        from_node: NodeId,
+        attempt: u32,
+        first_failed_at: Timestamp,
+    ) {
+        let target_node = match self.deployments.get(&deployment).and_then(|d| d.node_of(&target)) {
+            Some(n) => n,
+            None => {
+                // Undeployed or re-wired while the tuple waited.
+                return self.dead_letter(now, deployment, target, tuple, DropReason::TargetVanished);
+            }
+        };
+        let bytes = tuple.byte_size();
+        match self.transfer(from_node, target_node, bytes) {
+            Some(delay) => {
+                self.metrics.counter("retry/delivered").inc();
+                self.metrics
+                    .hist("recovery/redelivery_ms")
+                    .record(now.since(first_failed_at).as_millis());
+                self.queue.schedule_in(
+                    delay + self.config.processing_delay,
+                    Ev::Deliver { deployment, target, port, tuple },
+                );
+            }
+            None => self.fail_delivery(
+                now, deployment, target, port, tuple, from_node, target_node, attempt,
+                first_failed_at,
+            ),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -662,6 +1040,16 @@ impl Engine {
                 self.on_monitor_sample(now);
                 "ev/monitor_us"
             }
+            Ev::Fault(action) => {
+                self.apply_fault(now, action);
+                "ev/fault_us"
+            }
+            Ev::RetryDeliver { deployment, target, port, tuple, from_node, attempt, first_failed_at } => {
+                self.on_retry_deliver(
+                    now, deployment, target, port, tuple, from_node, attempt, first_failed_at,
+                );
+                "ev/retry_us"
+            }
         };
         let t1 = self.epoch.elapsed().as_micros() as u64;
         self.metrics.hist(kind).record(t1.saturating_sub(t0));
@@ -670,10 +1058,62 @@ impl Engine {
     fn on_sensor_emit(&mut self, now: Timestamp, id: u64) {
         let Some(entry) = self.sensors.get_mut(&id) else { return };
         let ad = entry.ad.clone();
+        if entry.stalled {
+            // A stalled or dropped-out sensor keeps its emit timer alive so
+            // SensorResume picks up on the next period — but produces
+            // nothing and sends no heartbeat (the watchdog must notice).
+            self.queue.schedule_in(ad.period, Ev::SensorEmit(id));
+            return;
+        }
+        let corrupt = entry.corrupt;
+        let skew_ms = entry.skew_ms;
+        let was_expired = entry.expired;
+        if was_expired {
+            entry.expired = false;
+        }
+        let wire = entry.sim.wire_format();
         let (payload, raw) = entry.sim.emit(now);
+        self.queue.schedule_in(ad.period, Ev::SensorEmit(id));
+        self.broker.heartbeat(SensorId(id), now);
+        if was_expired {
+            // Clean rejoin: a sensor the watchdog expired (or that dropped
+            // out) re-publishes its advertisement the moment it produces
+            // again, re-binding matching sources.
+            if let Ok(events) = self.broker.publish(ad.clone()) {
+                self.apply_broker_events(events);
+            }
+            self.metrics.counter("liveness/rejoined").inc();
+            self.monitor.membership.push(format!("[{now}] + sensor '{}' rejoined", ad.name));
+            self.monitor
+                .recovery
+                .push(format!("[{now}] sensor '{}' rejoined after expiry", ad.name));
+        }
+        // Fault injection: a corrupting sensor ships a truncated payload
+        // ending in an invalid UTF-8 byte, so extraction fails regardless
+        // of wire format.
+        let payload = if corrupt {
+            let mut broken = payload[..payload.len() / 2].to_vec();
+            broken.push(0xFF);
+            Bytes::from(broken)
+        } else {
+            payload
+        };
         // Extraction: decode the wire payload against the advertised schema.
-        let mut tuple = match decode_payload(&payload, entry.sim.wire_format(), &ad.schema, raw.meta.clone()) {
+        let mut tuple = match decode_payload(&payload, wire, &ad.schema, raw.meta.clone()) {
             Ok(t) => t,
+            Err(_) if corrupt => {
+                // Undecodable garbage: account for it in the DLQ instead of
+                // pretending the sample never happened.
+                self.metrics.counter("drops/corrupt").inc();
+                self.dead_letter(
+                    now,
+                    "~ingest".to_string(),
+                    ad.name.clone(),
+                    raw,
+                    DropReason::CorruptPayload,
+                );
+                return;
+            }
             Err(_) => raw, // decoder and encoder disagree: fall back to raw
         };
         let enriched = enrich(&mut tuple, &ad, now, &EnrichPolicy::default());
@@ -686,10 +1126,19 @@ impl Engine {
         if enriched.rethemed {
             self.metrics.counter("enrich/rethemed").inc();
         }
+        if skew_ms != 0 {
+            // Fault injection: the sensor's clock runs fast (positive) or
+            // slow (negative) relative to virtual time.
+            tuple.meta.timestamp = if skew_ms > 0 {
+                tuple.meta.timestamp + Duration::from_millis(skew_ms as u64)
+            } else {
+                tuple.meta.timestamp.saturating_sub(Duration::from_millis(skew_ms.unsigned_abs()))
+            };
+            self.metrics.counter("faults/skewed_tuples").inc();
+        }
         // Every tuple entering the dataflows gets a trace id; spans recorded
         // downstream are keyed by it.
         tuple.meta.trace = self.metrics.tracer().next_trace_id();
-        self.queue.schedule_in(ad.period, Ev::SensorEmit(id));
 
         // Fan out to every active bound source.
         let mut deliveries: Vec<(String, String, usize, Tuple, NodeId)> = Vec::new();
@@ -736,9 +1185,7 @@ impl Engine {
                     );
                 }
                 None => {
-                    self.monitor
-                        .console
-                        .push(format!("[{now}] warn: no route {from_node} -> {target_node}; tuple lost"));
+                    self.fail_delivery(now, dep, to, port, t, from_node, target_node, 0, now);
                 }
             }
         }
@@ -781,6 +1228,18 @@ impl Engine {
         let wall1 = self.epoch.elapsed().as_micros() as u64;
         let dropped = ctx.dropped();
         let (emitted, controls) = ctx.take();
+        // Snapshot blocking-operator state after every absorbed tuple so a
+        // node crash can restore the cache on the recovery placement.
+        let ckpt = if self.config.checkpoint_enabled && svc.blocking {
+            svc.op.checkpoint()
+        } else {
+            None
+        };
+        if let Some(ckpt) = ckpt {
+            self.metrics.counter("checkpoint/taken").inc();
+            self.metrics.gauge("checkpoint/bytes").set(ckpt.byte_size() as i64);
+            self.checkpoints.insert((dep_name.to_string(), target.to_string()), ckpt);
+        }
         if trace != 0 {
             let key = SpanKey::new(dep_name, target, node.to_string());
             let tracer = self.metrics.tracer();
@@ -814,6 +1273,18 @@ impl Engine {
         let result = svc.op.on_timer(now, &mut ctx);
         let wall1 = self.epoch.elapsed().as_micros() as u64;
         let (emitted, controls) = ctx.take();
+        // A tick usually flushes the window: checkpoint the (often empty)
+        // post-emission cache so a later crash doesn't resurrect old state.
+        let ckpt = if self.config.checkpoint_enabled && svc.blocking {
+            svc.op.checkpoint()
+        } else {
+            None
+        };
+        if let Some(ckpt) = ckpt {
+            self.metrics.counter("checkpoint/taken").inc();
+            self.metrics.gauge("checkpoint/bytes").set(ckpt.byte_size() as i64);
+            self.checkpoints.insert((dep_name.to_string(), service.to_string()), ckpt);
+        }
         {
             let counters = self.monitor.op_mut(dep_name, service);
             counters.add_out(emitted.len() as u64);
@@ -867,9 +1338,17 @@ impl Engine {
                         );
                     }
                     None => {
-                        self.monitor.console.push(format!(
-                            "[{now}] warn: no route {from_node} -> {target_node}; tuple lost"
-                        ));
+                        self.fail_delivery(
+                            now,
+                            dep_name.to_string(),
+                            to.clone(),
+                            *port,
+                            tuple.clone(),
+                            from_node,
+                            target_node,
+                            0,
+                            now,
+                        );
                     }
                 }
             }
@@ -910,6 +1389,25 @@ impl Engine {
         let elapsed = now.since(self.last_monitor_at).as_secs_f64();
         self.last_monitor_at = now;
         self.monitor.sample_rates(now, elapsed);
+
+        // Liveness watchdog: expire sensors whose heartbeat (last emission)
+        // is older than `liveness_grace` advertised periods.
+        if self.config.liveness_enabled {
+            let grace = self.config.liveness_grace;
+            for (ad, events) in self.broker.sweep_stale(now, grace) {
+                self.apply_broker_events(events);
+                if let Some(entry) = self.sensors.get_mut(&ad.id.0) {
+                    entry.expired = true;
+                }
+                self.metrics.counter("liveness/expired").inc();
+                self.monitor
+                    .membership
+                    .push(format!("[{now}] - sensor '{}' presumed dead (no heartbeat)", ad.name));
+                self.monitor
+                    .recovery
+                    .push(format!("[{now}] liveness: sensor '{}' expired, ad withdrawn", ad.name));
+            }
+        }
 
         // Observability gauges: event-queue depth and per-link queued bytes.
         self.metrics.gauge("event_queue_depth").set(self.queue.pending() as i64);

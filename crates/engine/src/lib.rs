@@ -24,7 +24,13 @@
 //!   deactivate source acquisition at run time,
 //! * the **monitor** ([`monitor::Monitor`]): per-operator tuples/sec, node
 //!   workload, placement changes, and the migration engine that moves
-//!   processes off overloaded nodes.
+//!   processes off overloaded nodes,
+//! * the **recovery layer** (`sl-faults`): scheduled [`FaultPlan`]s, retried
+//!   delivery with a dead-letter queue, the sensor liveness watchdog, and
+//!   checkpoint/restore of blocking-operator state across node crashes
+//!   (see `DESIGN.md` §"Fault model & recovery").
+//!
+//! [`FaultPlan`]: sl_faults::FaultPlan
 //!
 //! Everything advances only through [`Engine::run_until`] /
 //! [`Engine::run_for`]; runs are deterministic per seed.
@@ -38,6 +44,6 @@ pub mod error;
 pub mod monitor;
 
 pub use config::{EngineConfig, PlacementPolicy};
-pub use engine::Engine;
+pub use engine::{DeadTuple, Engine};
 pub use error::EngineError;
 pub use monitor::{Monitor, OpCounters, PlacementChange};

@@ -113,6 +113,9 @@ pub struct Monitor {
     sink_counts: BTreeMap<(String, String), u64>,
     /// Sensor join/leave log lines.
     pub membership: Vec<String>,
+    /// Fault-recovery log lines (retries exhausted, crash recoveries,
+    /// liveness expiries, ...).
+    pub recovery: Vec<String>,
 }
 
 impl Monitor {
@@ -241,6 +244,12 @@ impl Monitor {
                     "    [{}] {}/{} {} {:?}",
                     c.at, c.deployment, c.operator, verb, c.action.targets()
                 );
+            }
+        }
+        if !self.recovery.is_empty() {
+            let _ = writeln!(out, "  recovery events (last 10):");
+            for line in self.recovery.iter().rev().take(10).rev() {
+                let _ = writeln!(out, "    {line}");
             }
         }
         out

@@ -1,0 +1,195 @@
+//! Dead-letter queues and the drop-reason taxonomy.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Why a tuple could not be delivered. Every terminal drop in the engine is
+/// classified under exactly one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DropReason {
+    /// No network path between producer and consumer, and retrying is
+    /// disabled.
+    NoRoute,
+    /// Retries were attempted but the retry budget ran out.
+    RetriesExhausted,
+    /// The delivery target disappeared mid-retry (undeployed or removed).
+    TargetVanished,
+    /// The wire payload failed extraction (corrupt or truncated bytes).
+    CorruptPayload,
+    /// The producing or consuming node was down at send time.
+    NodeDown,
+}
+
+impl DropReason {
+    /// All reasons, in declaration order.
+    pub const ALL: [DropReason; 5] = [
+        DropReason::NoRoute,
+        DropReason::RetriesExhausted,
+        DropReason::TargetVanished,
+        DropReason::CorruptPayload,
+        DropReason::NodeDown,
+    ];
+
+    /// Stable snake_case name, used as a metrics-key suffix.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::NoRoute => "no_route",
+            DropReason::RetriesExhausted => "retries_exhausted",
+            DropReason::TargetVanished => "target_vanished",
+            DropReason::CorruptPayload => "corrupt_payload",
+            DropReason::NodeDown => "node_down",
+        }
+    }
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A bounded dead-letter queue.
+///
+/// Terminally undeliverable items land here with their [`DropReason`]; the
+/// per-reason counters are monotonic even when old entries are evicted to
+/// respect the capacity bound (eviction drops the *oldest* entry — the DLQ
+/// is a diagnostic window, the counters are the ground truth).
+#[derive(Debug)]
+pub struct DeadLetterQueue<T> {
+    entries: VecDeque<(DropReason, T)>,
+    capacity: usize,
+    by_reason: BTreeMap<DropReason, u64>,
+    total: u64,
+    evicted: u64,
+}
+
+impl<T> DeadLetterQueue<T> {
+    /// A queue retaining at most `capacity` entries.
+    pub fn new(capacity: usize) -> DeadLetterQueue<T> {
+        DeadLetterQueue {
+            entries: VecDeque::new(),
+            capacity: capacity.max(1),
+            by_reason: BTreeMap::new(),
+            total: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Record a dead letter.
+    pub fn push(&mut self, reason: DropReason, item: T) {
+        self.total += 1;
+        *self.by_reason.entry(reason).or_insert(0) += 1;
+        if self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        self.entries.push_back((reason, item));
+    }
+
+    /// Entries currently retained (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &(DropReason, T)> {
+        self.entries.iter()
+    }
+
+    /// Number of entries currently retained.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was ever dead-lettered *and* the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime count of dead letters, including evicted ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Lifetime count for one reason.
+    pub fn count(&self, reason: DropReason) -> u64 {
+        self.by_reason.get(&reason).copied().unwrap_or(0)
+    }
+
+    /// Lifetime counts per reason (only reasons seen at least once).
+    pub fn by_reason(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
+        self.by_reason.iter().map(|(r, n)| (*r, *n))
+    }
+
+    /// Entries evicted to respect the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drain all retained entries (counters are untouched).
+    pub fn drain(&mut self) -> Vec<(DropReason, T)> {
+        self.entries.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut q: DeadLetterQueue<&str> = DeadLetterQueue::new(10);
+        assert!(q.is_empty());
+        q.push(DropReason::NoRoute, "a");
+        q.push(DropReason::NoRoute, "b");
+        q.push(DropReason::CorruptPayload, "c");
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.total(), 3);
+        assert_eq!(q.count(DropReason::NoRoute), 2);
+        assert_eq!(q.count(DropReason::CorruptPayload), 1);
+        assert_eq!(q.count(DropReason::RetriesExhausted), 0);
+        let reasons: Vec<_> = q.by_reason().collect();
+        assert_eq!(reasons, vec![(DropReason::NoRoute, 2), (DropReason::CorruptPayload, 1)]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_but_counters_persist() {
+        let mut q: DeadLetterQueue<u32> = DeadLetterQueue::new(2);
+        for i in 0..5 {
+            q.push(DropReason::RetriesExhausted, i);
+        }
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.evicted(), 3);
+        assert_eq!(q.total(), 5);
+        assert_eq!(q.count(DropReason::RetriesExhausted), 5);
+        let retained: Vec<u32> = q.iter().map(|(_, v)| *v).collect();
+        assert_eq!(retained, vec![3, 4]);
+    }
+
+    #[test]
+    fn drain_keeps_counters() {
+        let mut q: DeadLetterQueue<()> = DeadLetterQueue::new(4);
+        q.push(DropReason::TargetVanished, ());
+        let drained = q.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0, DropReason::TargetVanished);
+        assert!(q.is_empty());
+        assert_eq!(q.total(), 1);
+    }
+
+    #[test]
+    fn reason_names_are_stable() {
+        for r in DropReason::ALL {
+            assert!(!r.name().is_empty());
+            assert_eq!(r.to_string(), r.name());
+        }
+        assert_eq!(DropReason::NodeDown.name(), "node_down");
+    }
+
+    #[test]
+    fn zero_capacity_clamped() {
+        let q: DeadLetterQueue<()> = DeadLetterQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+    }
+}

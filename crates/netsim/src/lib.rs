@@ -21,6 +21,14 @@
 //!
 //! Determinism: all randomness is seeded, all ties in the event queue break
 //! by insertion order, so every experiment replays identically.
+//!
+//! **Failure injection**: links ([`Topology::set_link_up`]) and whole nodes
+//! ([`Topology::set_node_up`]) can be failed and restored at run time; down
+//! elements are invisible to [`routing`]. The `sl-faults` crate schedules
+//! such failures declaratively and the engine layers retry/dead-letter
+//! delivery and crash recovery on top — see the "Fault model & recovery"
+//! section of the repository's `DESIGN.md` for the full model and its
+//! determinism guarantee.
 
 pub mod node;
 pub mod qos;

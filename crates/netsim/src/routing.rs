@@ -88,7 +88,11 @@ impl RoutingTable {
         // Max-heap over Reverse(latency ms).
         let mut heap = BinaryHeap::new();
         dist[source.0 as usize] = Some(Duration::ZERO);
-        heap.push(std::cmp::Reverse((0u64, source.0)));
+        // A crashed source reaches nothing: leave the heap empty so every
+        // destination reports NoRoute.
+        if topo.node_is_up(source) {
+            heap.push(std::cmp::Reverse((0u64, source.0)));
+        }
         while let Some(std::cmp::Reverse((d_ms, u))) = heap.pop() {
             let u_id = NodeId(u);
             match dist[u as usize] {
@@ -97,7 +101,8 @@ impl RoutingTable {
             }
             for (link, v) in topo.neighbours(u_id) {
                 let spec = topo.link(link)?;
-                if !spec.up {
+                // Down links and crashed nodes carry no traffic.
+                if !spec.up || !topo.node_is_up(v) {
                     continue;
                 }
                 let nd = d_ms + spec.latency.as_millis();
@@ -401,6 +406,37 @@ mod tests {
         t.set_link_up(fast, true).unwrap();
         let rt = RoutingTable::compute(&t, a).unwrap();
         assert_eq!(rt.route_to(d).unwrap().latency, ms(2));
+    }
+
+    #[test]
+    fn crashed_node_forces_detour_or_partition() {
+        let (mut t, a, b, c, d) = diamond();
+        // Crash the fast-path transit node b: traffic detours via c.
+        t.set_node_up(b, false).unwrap();
+        assert!(!t.node_is_up(b));
+        let rt = RoutingTable::compute(&t, a).unwrap();
+        assert_eq!(rt.route_to(d).unwrap().nodes, vec![a, c, d]);
+        assert!(matches!(rt.route_to(b), Err(NetError::NoRoute { .. })));
+        // Crash c too: d is unreachable.
+        t.set_node_up(c, false).unwrap();
+        let rt = RoutingTable::compute(&t, a).unwrap();
+        assert!(matches!(rt.route_to(d), Err(NetError::NoRoute { .. })));
+        // Restore both: the fast path is back.
+        t.set_node_up(b, true).unwrap();
+        t.set_node_up(c, true).unwrap();
+        let rt = RoutingTable::compute(&t, a).unwrap();
+        assert_eq!(rt.route_to(d).unwrap().latency, ms(2));
+        assert!(t.set_node_up(NodeId(99), true).is_err());
+    }
+
+    #[test]
+    fn crashed_source_reaches_nothing() {
+        let (mut t, a, _b, _c, d) = diamond();
+        t.set_node_up(a, false).unwrap();
+        let rt = RoutingTable::compute(&t, a).unwrap();
+        assert!(matches!(rt.route_to(d), Err(NetError::NoRoute { .. })));
+        // The degenerate self-route still exists.
+        assert!(rt.route_to(a).is_ok());
     }
 
     #[test]

@@ -41,17 +41,20 @@ pub struct NodeSpec {
     /// True if sensors may attach to this node (edge nodes); core routers
     /// carry traffic but host no sensors.
     pub edge: bool,
+    /// False while the node is crashed (failure injection). Down nodes are
+    /// invisible to routing and host no live processes.
+    pub up: bool,
 }
 
 impl NodeSpec {
     /// An edge node with the given capacity.
     pub fn edge(name: &str, cpu_capacity: f64) -> NodeSpec {
-        NodeSpec { name: name.to_string(), cpu_capacity, edge: true }
+        NodeSpec { name: name.to_string(), cpu_capacity, edge: true, up: true }
     }
 
     /// A core (transit) node with the given capacity.
     pub fn core(name: &str, cpu_capacity: f64) -> NodeSpec {
-        NodeSpec { name: name.to_string(), cpu_capacity, edge: false }
+        NodeSpec { name: name.to_string(), cpu_capacity, edge: false, up: true }
     }
 }
 
@@ -157,6 +160,20 @@ impl Topology {
     /// True if the link exists and is currently up.
     pub fn link_is_up(&self, l: LinkId) -> bool {
         self.links.get(l.0 as usize).is_some_and(|spec| spec.up)
+    }
+
+    /// Crash or restore a node. Down nodes are skipped by routing (traffic
+    /// neither originates, terminates, nor transits there) until restored.
+    pub fn set_node_up(&mut self, n: NodeId, up: bool) -> Result<(), NetError> {
+        self.nodes
+            .get_mut(n.0 as usize)
+            .map(|spec| spec.up = up)
+            .ok_or(NetError::UnknownNode(n))
+    }
+
+    /// True if the node exists and is currently up.
+    pub fn node_is_up(&self, n: NodeId) -> bool {
+        self.nodes.get(n.0 as usize).is_some_and(|spec| spec.up)
     }
 
     /// Neighbours of `n` as `(link, neighbour)` pairs.

@@ -13,6 +13,7 @@
 //!
 //! The A3-style ablation bench compares the two on equality predicates.
 
+use crate::checkpoint::OpCheckpoint;
 use crate::context::OpContext;
 use crate::error::OpError;
 use crate::window::TumblingCache;
@@ -254,6 +255,24 @@ impl Operator for JoinOp {
             8.0
         }
     }
+
+    fn checkpoint(&self) -> Option<OpCheckpoint> {
+        let mut tuples: Vec<(usize, Tuple)> =
+            self.left.tuples().iter().map(|t| (0, t.clone())).collect();
+        tuples.extend(self.right.tuples().iter().map(|t| (1, t.clone())));
+        Some(OpCheckpoint { tuples })
+    }
+
+    fn restore(&mut self, ckpt: OpCheckpoint) {
+        self.left.clear();
+        self.right.clear();
+        for t in ckpt.port(0) {
+            self.left.push(t.clone());
+        }
+        for t in ckpt.port(1) {
+            self.right.push(t.clone());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +336,30 @@ mod tests {
         }
         op.on_timer(Timestamp::from_secs(10), &mut ctx).unwrap();
         ctx.take().0
+    }
+
+    #[test]
+    fn checkpoint_round_trip_keeps_both_sides() {
+        let mut op = JoinOp::new(
+            Duration::from_secs(10),
+            "station = right_station",
+            &left_schema(),
+            &right_schema(),
+        )
+        .unwrap();
+        let mut ctx = OpContext::new(Timestamp::from_secs(5));
+        op.on_tuple(0, ltuple("osaka", 26.0), &mut ctx).unwrap();
+        op.on_tuple(1, rtuple("osaka", 12.0), &mut ctx).unwrap();
+        op.on_tuple(1, rtuple("nara", 3.0), &mut ctx).unwrap();
+        let ckpt = op.checkpoint().unwrap();
+        assert_eq!(ckpt.len(), 3);
+        op.restore(crate::OpCheckpoint::empty());
+        assert_eq!(op.cached(), (0, 0));
+        op.restore(ckpt);
+        assert_eq!(op.cached(), (1, 2));
+        let mut tctx = OpContext::new(Timestamp::from_secs(10));
+        op.on_timer(Timestamp::from_secs(10), &mut tctx).unwrap();
+        assert_eq!(tctx.take().0.len(), 1);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! output schema for validation and instantiate the runtime operator.
 
 pub mod aggregate;
+pub mod checkpoint;
 pub mod context;
 pub mod cull;
 pub mod error;
@@ -40,6 +41,7 @@ pub mod virtual_prop;
 pub mod window;
 
 pub use aggregate::{AggFunc, AggregateOp};
+pub use checkpoint::OpCheckpoint;
 pub use context::{ControlAction, OpContext};
 pub use cull::{CullSpaceOp, CullTimeOp};
 pub use error::OpError;
@@ -96,4 +98,21 @@ pub trait Operator: Send {
     fn cost_per_tuple(&self) -> f64 {
         1.0
     }
+
+    /// Snapshot the operator's buffered tuples for crash recovery.
+    ///
+    /// `None` means the operator is stateless (nothing to recover) —
+    /// the default for non-blocking operators. Blocking operators return
+    /// their window cache so the engine can re-seed a fresh placement
+    /// after a node crash.
+    fn checkpoint(&self) -> Option<OpCheckpoint> {
+        None
+    }
+
+    /// Replace the operator's buffered state with a checkpoint.
+    ///
+    /// Any currently cached tuples are discarded first, so restoring
+    /// [`OpCheckpoint::empty`] models the state loss of an unrecovered
+    /// crash. Default: no-op (stateless operators).
+    fn restore(&mut self, _ckpt: OpCheckpoint) {}
 }

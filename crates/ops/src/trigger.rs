@@ -12,6 +12,7 @@
 //! into source (de)activation. Observed tuples also pass through unchanged,
 //! so a trigger can sit inline in a dataflow without consuming its input.
 
+use crate::checkpoint::OpCheckpoint;
 use crate::context::{ControlAction, OpContext};
 use crate::error::OpError;
 use crate::window::TumblingCache;
@@ -191,6 +192,19 @@ impl Operator for TriggerOp {
 
     fn cost_per_tuple(&self) -> f64 {
         1.5
+    }
+
+    fn checkpoint(&self) -> Option<OpCheckpoint> {
+        // The fired count is cumulative monitoring state, not window state;
+        // only the observation cache needs to survive a crash.
+        Some(OpCheckpoint::single_port(self.cache.tuples().to_vec()))
+    }
+
+    fn restore(&mut self, ckpt: OpCheckpoint) {
+        self.cache.clear();
+        for t in ckpt.port(0) {
+            self.cache.push(t.clone());
+        }
     }
 }
 

@@ -56,6 +56,14 @@ impl TumblingCache {
     pub fn inserted(&self) -> u64 {
         self.inserted
     }
+
+    /// Discard all cached tuples without processing them (checkpoint
+    /// restore / crash state-wipe). Does not count towards [`inserted`].
+    ///
+    /// [`inserted`]: TumblingCache::inserted
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+    }
 }
 
 /// Eviction strategy for [`SlidingWindow`] (ablation A3).
@@ -138,6 +146,14 @@ impl SlidingWindow {
     /// Lifetime eviction count.
     pub fn evicted(&self) -> u64 {
         self.evicted
+    }
+
+    /// Discard all buffered tuples without evicting (checkpoint restore /
+    /// crash state-wipe). Does not count towards [`evicted`].
+    ///
+    /// [`evicted`]: SlidingWindow::evicted
+    pub fn clear(&mut self) {
+        self.tuples.clear();
     }
 }
 

@@ -10,7 +10,7 @@ use crate::message::SensorAdvertisement;
 use crate::registry::SensorRegistry;
 use crate::PubSubError;
 use sl_obs::{Metrics, MetricsSnapshot, Stopwatch};
-use sl_stt::SensorId;
+use sl_stt::{SensorId, Timestamp};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -49,6 +49,9 @@ pub struct Broker {
     registry: SensorRegistry,
     subscriptions: BTreeMap<u64, SubscriptionFilter>,
     next_sub: u64,
+    /// Liveness watchdog: virtual time each sensor last produced a sample
+    /// (seeded at publish).
+    last_seen: BTreeMap<u64, Timestamp>,
     /// Observability: publish/unpublish match latency and event counters.
     metrics: Metrics,
 }
@@ -115,6 +118,7 @@ impl Broker {
     /// that were matching it.
     pub fn unpublish(&mut self, id: SensorId) -> Result<Vec<BrokerEvent>, PubSubError> {
         let ad = self.registry.unpublish(id)?;
+        self.last_seen.remove(&id.0);
         let sw = Stopwatch::start();
         let events: Vec<BrokerEvent> = self
             .subscriptions
@@ -136,6 +140,50 @@ impl Broker {
     pub fn matching(&self, id: SubscriptionId) -> Result<Vec<&SensorAdvertisement>, PubSubError> {
         let f = self.filter_of(id)?;
         Ok(self.registry.discover(f).collect())
+    }
+
+    /// Record a liveness heartbeat: the sensor produced a sample at `now`
+    /// (virtual time). The engine calls this on every emission; sensors
+    /// without any recorded heartbeat are exempt from the watchdog.
+    pub fn heartbeat(&mut self, id: SensorId, now: Timestamp) {
+        self.last_seen.insert(id.0, now);
+    }
+
+    /// Virtual time of a sensor's last heartbeat, if any was recorded.
+    pub fn last_seen(&self, id: SensorId) -> Option<Timestamp> {
+        self.last_seen.get(&id.0).copied()
+    }
+
+    /// Expire sensors whose heartbeat is older than `grace` advertised
+    /// periods: the watchdog expects roughly one sample per advertised
+    /// `period`, so silence for `period * grace` presumes the sensor dead.
+    ///
+    /// Each stale sensor is auto-unpublished; the return carries its (now
+    /// expired) advertisement alongside the leave notifications to deliver,
+    /// in sensor-id order. Expiries increment the `expired` counter.
+    pub fn sweep_stale(
+        &mut self,
+        now: Timestamp,
+        grace: u32,
+    ) -> Vec<(SensorAdvertisement, Vec<BrokerEvent>)> {
+        let stale: Vec<SensorId> = self
+            .last_seen
+            .iter()
+            .filter_map(|(id, seen)| {
+                let ad = self.registry.get(SensorId(*id)).ok()?;
+                let budget = ad.period.saturating_mul(grace as u64);
+                (!budget.is_zero() && now.since(*seen) > budget).then_some(SensorId(*id))
+            })
+            .collect();
+        let mut expired = Vec::with_capacity(stale.len());
+        for id in stale {
+            // get() above proved the sensor is registered.
+            let ad = self.registry.get(id).expect("checked above").clone();
+            let events = self.unpublish(id).expect("checked above");
+            self.metrics.counter("expired").inc();
+            expired.push((ad, events));
+        }
+        expired
     }
 
     /// Freeze the broker's instruments (match latency, publish/subscribe
@@ -237,6 +285,63 @@ mod tests {
         assert_eq!(snap.counters["unpublishes"], 1);
         assert_eq!(snap.counters["notifications"], 1 + 2 + 1);
         assert_eq!(snap.hists["match_us"].count, 3);
+    }
+
+    #[test]
+    fn liveness_sweep_expires_silent_sensors() {
+        let mut b = Broker::new();
+        let sub = b.subscribe(SubscriptionFilter::any());
+        b.publish(ad(1, "weather/rain")).unwrap(); // period 1 s
+        b.publish(ad(2, "weather/rain")).unwrap();
+        let t0 = sl_stt::Timestamp::from_secs(0);
+        b.heartbeat(SensorId(1), t0);
+        b.heartbeat(SensorId(2), t0);
+        // Sensor 2 keeps beating, sensor 1 goes silent.
+        b.heartbeat(SensorId(2), sl_stt::Timestamp::from_secs(9));
+        // Grace 3 × 1 s period: at t=10 sensor 1 is 10 s silent -> stale.
+        let expired = b.sweep_stale(sl_stt::Timestamp::from_secs(10), 3);
+        assert_eq!(expired.len(), 1);
+        let (dead_ad, events) = &expired[0];
+        assert_eq!(dead_ad.id, SensorId(1));
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            BrokerEvent::SensorLeft { subscription, sensor } => {
+                assert_eq!(*subscription, sub);
+                assert_eq!(*sensor, SensorId(1));
+            }
+            other => panic!("{other:?}"),
+        }
+        // The stale ad is gone from the registry; the live one remains.
+        assert!(!b.registry().contains(SensorId(1)));
+        assert!(b.registry().contains(SensorId(2)));
+        assert_eq!(b.last_seen(SensorId(1)), None);
+        assert_eq!(b.metrics_snapshot().counters["expired"], 1);
+        // A second sweep finds nothing new.
+        assert!(b.sweep_stale(sl_stt::Timestamp::from_secs(11), 3).is_empty());
+    }
+
+    #[test]
+    fn sensors_without_heartbeat_are_exempt() {
+        let mut b = Broker::new();
+        b.publish(ad(1, "weather/rain")).unwrap();
+        // Never heartbeated: the watchdog leaves it alone indefinitely.
+        assert!(b.sweep_stale(sl_stt::Timestamp::from_secs(3600), 3).is_empty());
+        assert!(b.registry().contains(SensorId(1)));
+    }
+
+    #[test]
+    fn rejoin_after_expiry_is_clean() {
+        let mut b = Broker::new();
+        let _sub = b.subscribe(SubscriptionFilter::any());
+        b.publish(ad(1, "weather/rain")).unwrap();
+        b.heartbeat(SensorId(1), sl_stt::Timestamp::from_secs(0));
+        b.sweep_stale(sl_stt::Timestamp::from_secs(100), 3);
+        assert!(!b.registry().contains(SensorId(1)));
+        // The sensor comes back: publish succeeds and notifies again.
+        let events = b.publish(ad(1, "weather/rain")).unwrap();
+        assert_eq!(events.len(), 1);
+        b.heartbeat(SensorId(1), sl_stt::Timestamp::from_secs(101));
+        assert!(b.sweep_stale(sl_stt::Timestamp::from_secs(102), 3).is_empty());
     }
 
     #[test]

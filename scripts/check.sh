@@ -8,6 +8,8 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo test -p sl-engine --test chaos
+cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
 echo "check.sh: all green"

@@ -47,6 +47,7 @@ pub use sl_dataflow as dataflow;
 pub use sl_dsn as dsn;
 pub use sl_engine as engine;
 pub use sl_expr as expr;
+pub use sl_faults as faults;
 pub use sl_netsim as netsim;
 pub use sl_obs as obs;
 pub use sl_ops as ops;

@@ -147,6 +147,18 @@ impl StreamLoader {
         self.engine.warehouse_mut().rollup(q)
     }
 
+    /// Install a chaos schedule: every event in `plan` is queued at its
+    /// virtual-time offset from now and replayed deterministically.
+    pub fn install_fault_plan(&mut self, plan: &sl_faults::FaultPlan) {
+        self.engine.install_fault_plan(plan);
+    }
+
+    /// The engine's dead-letter queue: terminally undeliverable tuples with
+    /// their drop reasons.
+    pub fn dlq(&self) -> &sl_faults::DeadLetterQueue<sl_engine::DeadTuple> {
+        self.engine.dlq()
+    }
+
     /// Plug a sensor in at run time (demo P3).
     pub fn add_sensor(&mut self, sensor: Box<dyn SensorSim>) -> Result<SensorId, EngineError> {
         self.engine.add_sensor(sensor)

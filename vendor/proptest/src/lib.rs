@@ -653,6 +653,7 @@ mod tests {
     fn recursion_terminates() {
         #[derive(Debug, Clone)]
         enum Tree {
+            #[allow(dead_code)]
             Leaf(i64),
             Node(Box<Tree>, Box<Tree>),
         }
