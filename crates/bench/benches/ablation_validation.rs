@@ -23,7 +23,8 @@ fn bench_reject_fast(c: &mut Criterion) {
     // worst case for schema propagation.
     let mut group = c.benchmark_group("a1/reject");
     for ops in [2usize, 32] {
-        let mut b = DataflowBuilder::new("bad").source("src", SubscriptionFilter::any(), bench_schema());
+        let mut b =
+            DataflowBuilder::new("bad").source("src", SubscriptionFilter::any(), bench_schema());
         let mut prev = "src".to_string();
         for i in 0..ops {
             let name = format!("f{i}");
@@ -59,5 +60,10 @@ fn bench_optimizer(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_validate_scaling, bench_reject_fast, bench_optimizer);
+criterion_group!(
+    benches,
+    bench_validate_scaling,
+    bench_reject_fast,
+    bench_optimizer
+);
 criterion_main!(benches);

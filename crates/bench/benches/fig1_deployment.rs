@@ -16,18 +16,21 @@ fn bench_deploy(c: &mut Criterion) {
     for nodes in [8usize, 32, 128] {
         let topo = Topology::random(nodes, nodes / 2, 7);
         for ops in [3usize, 20] {
-            group.bench_function(BenchmarkId::new(&format!("nodes{nodes}"), format!("ops{ops}")), |b| {
-                b.iter_batched(
-                    || {
-                        (
-                            Engine::new(topo.clone(), EngineConfig::default(), start()),
-                            linear_dataflow("bench", ops),
-                        )
-                    },
-                    |(mut engine, df)| engine.deploy(df).unwrap(),
-                    criterion::BatchSize::SmallInput,
-                )
-            });
+            group.bench_function(
+                BenchmarkId::new(&format!("nodes{nodes}"), format!("ops{ops}")),
+                |b| {
+                    b.iter_batched(
+                        || {
+                            (
+                                Engine::new(topo.clone(), EngineConfig::default(), start()),
+                                linear_dataflow("bench", ops),
+                            )
+                        },
+                        |(mut engine, df)| engine.deploy(df).unwrap(),
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
         }
     }
     group.finish();
@@ -36,7 +39,9 @@ fn bench_deploy(c: &mut Criterion) {
 fn bench_validate_translate_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1/pipeline_stages");
     let df = linear_dataflow("bench", 20);
-    group.bench_function("validate", |b| b.iter(|| sl_dataflow::validate(&df).unwrap()));
+    group.bench_function("validate", |b| {
+        b.iter(|| sl_dataflow::validate(&df).unwrap())
+    });
     group.bench_function("translate", |b| b.iter(|| sl_dataflow::to_dsn(&df)));
     let doc = sl_dataflow::to_dsn(&df);
     group.bench_function("compile", |b| b.iter(|| sl_dsn::compile(&doc).unwrap()));
@@ -48,13 +53,16 @@ fn bench_routing(c: &mut Criterion) {
     for nodes in [16usize, 64, 256] {
         let topo = Topology::random(nodes, nodes, 3);
         group.bench_function(BenchmarkId::new("dijkstra_all_dest", nodes), |b| {
-            b.iter(|| {
-                sl_netsim::RoutingTable::compute(&topo, sl_netsim::NodeId(0)).unwrap()
-            })
+            b.iter(|| sl_netsim::RoutingTable::compute(&topo, sl_netsim::NodeId(0)).unwrap())
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_deploy, bench_validate_translate_compile, bench_routing);
+criterion_group!(
+    benches,
+    bench_deploy,
+    bench_validate_translate_compile,
+    bench_routing
+);
 criterion_main!(benches);

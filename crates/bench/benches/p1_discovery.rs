@@ -55,7 +55,11 @@ fn bench_broker_publish(c: &mut Criterion) {
 fn bench_overlay_routing(c: &mut Criterion) {
     let mut group = c.benchmark_group("p1/overlay");
     for covering in [true, false] {
-        let label = if covering { "with_covering" } else { "no_covering" };
+        let label = if covering {
+            "with_covering"
+        } else {
+            "no_covering"
+        };
         group.bench_function(label, |b| {
             b.iter_batched(
                 || {
@@ -95,5 +99,10 @@ fn bench_overlay_routing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_discover, bench_broker_publish, bench_overlay_routing);
+criterion_group!(
+    benches,
+    bench_discover,
+    bench_broker_publish,
+    bench_overlay_routing
+);
 criterion_main!(benches);

@@ -12,11 +12,15 @@ fn bench_dsn(c: &mut Criterion) {
         let df = linear_dataflow("p2", ops);
         let doc = sl_dataflow::to_dsn(&df);
         let text = print_document(&doc);
-        group.bench_function(BenchmarkId::new("print", ops), |b| b.iter(|| print_document(&doc)));
+        group.bench_function(BenchmarkId::new("print", ops), |b| {
+            b.iter(|| print_document(&doc))
+        });
         group.bench_function(BenchmarkId::new("parse", ops), |b| {
             b.iter(|| parse_document(&text).unwrap())
         });
-        group.bench_function(BenchmarkId::new("compile", ops), |b| b.iter(|| compile(&doc).unwrap()));
+        group.bench_function(BenchmarkId::new("compile", ops), |b| {
+            b.iter(|| compile(&doc).unwrap())
+        });
     }
     group.finish();
 }
@@ -57,11 +61,17 @@ fn bench_warehouse_query(c: &mut Criterion) {
     let theme = Theme::new("weather/temperature/temperature").unwrap();
     group.bench_function("theme_and_time", |b| {
         b.iter(|| {
-            w.query(&EventQuery::all().in_time(range).with_theme(theme.clone())).len()
+            w.query(&EventQuery::all().in_time(range).with_theme(theme.clone()))
+                .len()
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_dsn, bench_warehouse_ingest, bench_warehouse_query);
+criterion_group!(
+    benches,
+    bench_dsn,
+    bench_warehouse_ingest,
+    bench_warehouse_query
+);
 criterion_main!(benches);

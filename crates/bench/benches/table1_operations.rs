@@ -14,7 +14,8 @@ fn drive_batch(op: &mut dyn Operator, tuples: &[sl_stt::Tuple]) -> usize {
         op.on_tuple(0, t.clone(), &mut ctx).expect("valid tuple");
     }
     if op.is_blocking() {
-        op.on_timer(Timestamp::from_secs(1_000_000), &mut ctx).expect("tick");
+        op.on_timer(Timestamp::from_secs(1_000_000), &mut ctx)
+            .expect("tick");
     }
     ctx.emitted().len()
 }
@@ -27,7 +28,9 @@ fn bench_non_blocking(c: &mut Criterion) {
 
     // Filter across selectivities (temperature uniform in [10, 35)).
     for (label, threshold) in [("sel~0.9", 12.5), ("sel~0.5", 22.5), ("sel~0.1", 32.5)] {
-        let spec = OpSpec::Filter { condition: format!("temperature > {threshold}") };
+        let spec = OpSpec::Filter {
+            condition: format!("temperature > {threshold}"),
+        };
         group.bench_function(BenchmarkId::new("filter", label), |b| {
             b.iter_batched(
                 || spec.instantiate(std::slice::from_ref(&schema)).unwrap(),
@@ -45,7 +48,11 @@ fn bench_non_blocking(c: &mut Criterion) {
     };
     group.bench_function("transform/unit_conversion", |b| {
         b.iter_batched(
-            || transform.instantiate(std::slice::from_ref(&schema)).unwrap(),
+            || {
+                transform
+                    .instantiate(std::slice::from_ref(&schema))
+                    .unwrap()
+            },
             |mut op| drive_batch(op.as_mut(), &tuples),
             criterion::BatchSize::SmallInput,
         )
@@ -99,8 +106,18 @@ fn bench_blocking(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/blocking");
     group.throughput(Throughput::Elements(BATCH as u64));
 
-    for func in [AggFunc::Count, AggFunc::Avg, AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
-        let attr = if func == AggFunc::Count { None } else { Some("temperature".to_string()) };
+    for func in [
+        AggFunc::Count,
+        AggFunc::Avg,
+        AggFunc::Sum,
+        AggFunc::Min,
+        AggFunc::Max,
+    ] {
+        let attr = if func == AggFunc::Count {
+            None
+        } else {
+            Some("temperature".to_string())
+        };
         let spec = OpSpec::Aggregate {
             period: window,
             group_by: vec!["station".into()],
@@ -163,7 +180,8 @@ fn bench_join_strategies(c: &mut Criterion) {
                         for t in &right {
                             op.on_tuple(1, t.clone(), &mut ctx).unwrap();
                         }
-                        op.on_timer(Timestamp::from_secs(1_000_000), &mut ctx).unwrap();
+                        op.on_timer(Timestamp::from_secs(1_000_000), &mut ctx)
+                            .unwrap();
                         ctx.emitted().len()
                     },
                     criterion::BatchSize::SmallInput,
@@ -174,5 +192,10 @@ fn bench_join_strategies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_non_blocking, bench_blocking, bench_join_strategies);
+criterion_group!(
+    benches,
+    bench_non_blocking,
+    bench_blocking,
+    bench_join_strategies
+);
 criterion_main!(benches);

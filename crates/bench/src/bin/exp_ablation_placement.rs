@@ -19,14 +19,21 @@ fn topology() -> Topology {
     let e1 = t.add_node(NodeSpec::edge("edge1", 150.0));
     let mid = t.add_node(NodeSpec::edge("mid", 2_000.0));
     let core = t.add_node(NodeSpec::core("core", 50_000.0));
-    t.add_link(e0, core, Duration::from_millis(2), 50_000_000).unwrap();
-    t.add_link(e1, core, Duration::from_millis(2), 50_000_000).unwrap();
-    t.add_link(mid, core, Duration::from_millis(1), 100_000_000).unwrap();
+    t.add_link(e0, core, Duration::from_millis(2), 50_000_000)
+        .unwrap();
+    t.add_link(e1, core, Duration::from_millis(2), 50_000_000)
+        .unwrap();
+    t.add_link(mid, core, Duration::from_millis(1), 100_000_000)
+        .unwrap();
     t
 }
 
 fn run(policy: PlacementPolicy, migration: bool) -> Vec<String> {
-    let config = EngineConfig { placement: policy, migration_enabled: migration, ..Default::default() };
+    let config = EngineConfig {
+        placement: policy,
+        migration_enabled: migration,
+        ..Default::default()
+    };
     let topo = topology();
     let mut engine = Engine::new(topo, config, Timestamp::from_civil(2016, 7, 1, 8, 0, 0));
     // All sensors crowd edge0: the adversarial case for SourceLocal.
@@ -57,7 +64,12 @@ fn run(policy: PlacementPolicy, migration: bool) -> Vec<String> {
     let peak_util = engine
         .topology()
         .node_ids()
-        .map(|n| engine.loads().utilization(engine.topology(), n).unwrap_or(0.0))
+        .map(|n| {
+            engine
+                .loads()
+                .utilization(engine.topology(), n)
+                .unwrap_or(0.0)
+        })
         .fold(0.0f64, f64::max);
     vec![
         format!("{policy:?}"),
@@ -71,14 +83,25 @@ fn run(policy: PlacementPolicy, migration: bool) -> Vec<String> {
 
 fn main() {
     let mut rows = Vec::new();
-    for policy in [PlacementPolicy::SourceLocal, PlacementPolicy::LeastLoaded, PlacementPolicy::Random] {
+    for policy in [
+        PlacementPolicy::SourceLocal,
+        PlacementPolicy::LeastLoaded,
+        PlacementPolicy::Random,
+    ] {
         for migration in [false, true] {
             rows.push(run(policy, migration));
         }
     }
     print_table(
         "A2 — placement policy ablation (hotspot fleet on edge0, 5 min virtual)",
-        &["policy", "migration", "delivered", "net msgs", "peak util", "migrations"],
+        &[
+            "policy",
+            "migration",
+            "delivered",
+            "net msgs",
+            "peak util",
+            "migrations",
+        ],
         &rows,
     );
     println!("\nExpected shape: SourceLocal without migration pins work on the weak edge");

@@ -72,7 +72,12 @@ fn main() {
     }
     print_table(
         "E2 / Figure 1 — deployment & reconfiguration latency",
-        &["topology nodes", "operators", "deploy [ms]", "sensor churn [ms]"],
+        &[
+            "topology nodes",
+            "operators",
+            "deploy [ms]",
+            "sensor churn [ms]",
+        ],
         &rows,
     );
 
@@ -126,8 +131,7 @@ fn main() {
     let steady = sl_dataflow::DataflowBuilder::new("steady")
         .source(
             "src",
-            sl_pubsub::SubscriptionFilter::any()
-                .with_theme(sl_stt::Theme::new("weather").unwrap()),
+            sl_pubsub::SubscriptionFilter::any().with_theme(sl_stt::Theme::new("weather").unwrap()),
             steady_schema,
         )
         .filter("f0", "src", "temperature > 0")
@@ -143,10 +147,16 @@ fn main() {
     let stats = engine.net_stats();
     let (physical, social) = sl_pubsub::registry::census(engine.broker().registry());
     let _ = (physical, social, SensorKind::Physical);
-    println!("\nsteady state on the NICT-like testbed (10 min virtual in {:.2} s wall):", elapsed.as_secs_f64());
+    println!(
+        "\nsteady state on the NICT-like testbed (10 min virtual in {:.2} s wall):",
+        elapsed.as_secs_f64()
+    );
     println!("  network messages: {}", stats.total_msgs());
     println!("  network bytes:    {}", stats.total_bytes());
-    println!("  mean hop delay:   {:?}", stats.mean_hop_delay().map(|d| d.to_string()));
+    println!(
+        "  mean hop delay:   {:?}",
+        stats.mean_hop_delay().map(|d| d.to_string())
+    );
     println!(
         "  virtual-to-wall speedup: {:.0}x",
         600.0 / elapsed.as_secs_f64().max(1e-9)

@@ -78,14 +78,22 @@ fn scenario_dataflow(threshold: f64) -> sl_dataflow::Dataflow {
         .filter("torrential", "rain", "torrential = true")
         .filter("storm_tweets", "tweets", "storm_related = true")
         .filter("congested", "traffic", "congestion > 0.6")
-        .sink("edw", SinkKind::Warehouse, &["torrential", "storm_tweets", "congested"])
+        .sink(
+            "edw",
+            SinkKind::Warehouse,
+            &["torrential", "storm_tweets", "congested"],
+        )
         .build()
         .unwrap()
 }
 
 fn run(threshold: f64, hours: u64) -> (usize, usize, u64, usize) {
     let fleet = osaka_fleet(&ScenarioConfig::default());
-    let mut engine = Engine::new(fleet.topology, EngineConfig::default(), Timestamp::from_civil(2016, 7, 1, 8, 0, 0));
+    let mut engine = Engine::new(
+        fleet.topology,
+        EngineConfig::default(),
+        Timestamp::from_civil(2016, 7, 1, 8, 0, 0),
+    );
     for s in fleet.sensors {
         engine.add_sensor(s).unwrap();
     }
@@ -131,7 +139,11 @@ fn main() {
         rows.push(vec![
             format!("{threshold}"),
             activations.to_string(),
-            if first_hour == 0 { "never".into() } else { format!("{first_hour}") },
+            if first_hour == 0 {
+                "never".into()
+            } else {
+                format!("{first_hour}")
+            },
             sink_tuples.to_string(),
             events.to_string(),
         ]);

@@ -27,8 +27,10 @@ fn hotspot_topology() -> Topology {
     let weak = t.add_node(NodeSpec::edge("weak-edge", 120.0));
     let mid = t.add_node(NodeSpec::edge("mid-edge", 400.0));
     let core = t.add_node(NodeSpec::core("core", 1_000_000.0));
-    t.add_link(weak, core, Duration::from_millis(2), 50_000_000).unwrap();
-    t.add_link(mid, core, Duration::from_millis(2), 50_000_000).unwrap();
+    t.add_link(weak, core, Duration::from_millis(2), 50_000_000)
+        .unwrap();
+    t.add_link(mid, core, Duration::from_millis(2), 50_000_000)
+        .unwrap();
     t
 }
 
@@ -46,7 +48,10 @@ fn sensor(id: u64, node: u32, period_ms: u64) -> Box<TemperatureSensor> {
 }
 
 fn main() {
-    let config = EngineConfig { placement: PlacementPolicy::SourceLocal, ..Default::default() };
+    let config = EngineConfig {
+        placement: PlacementPolicy::SourceLocal,
+        ..Default::default()
+    };
     let mut engine = Engine::new(hotspot_topology(), config, start());
 
     let schema = Schema::new(vec![
@@ -62,7 +67,14 @@ fn main() {
             schema,
         )
         .filter("hot", "temp", "temperature > 22")
-        .transform("f2c", "hot", &[("temperature", "convert_unit(temperature, 'celsius', 'fahrenheit')")])
+        .transform(
+            "f2c",
+            "hot",
+            &[(
+                "temperature",
+                "convert_unit(temperature, 'celsius', 'fahrenheit')",
+            )],
+        )
         .sink("viz", SinkKind::Visualization, &["f2c"])
         .build()
         .unwrap();
@@ -100,8 +112,12 @@ fn main() {
             format!("{:.1}", rate("f2c")),
             format!("{:.2}", util(0)),
             format!("{:.2}", util(1)),
-            engine.node_of("fig3", "hot").map_or("-".into(), |n| n.to_string()),
-            engine.node_of("fig3", "f2c").map_or("-".into(), |n| n.to_string()),
+            engine
+                .node_of("fig3", "hot")
+                .map_or("-".into(), |n| n.to_string()),
+            engine
+                .node_of("fig3", "f2c")
+                .map_or("-".into(), |n| n.to_string()),
         ]);
     }
     print_table(
@@ -121,7 +137,10 @@ fn main() {
     println!("\nplacement changes:");
     for p in &engine.monitor().placements {
         let from = p.from.map_or("-".to_string(), |n| n.to_string());
-        println!("  [{}] {}/{}: {} -> {} ({})", p.at, p.deployment, p.operator, from, p.to, p.reason);
+        println!(
+            "  [{}] {}/{}: {} -> {} ({})",
+            p.at, p.deployment, p.operator, from, p.to, p.reason
+        );
     }
 
     // --- observability dashboard ------------------------------------------
@@ -134,7 +153,9 @@ fn main() {
         .filter(|(name, _)| name.starts_with("op/") && name.ends_with("/proc_us"))
         .map(|(name, h)| {
             vec![
-                name.trim_start_matches("op/").trim_end_matches("/proc_us").to_string(),
+                name.trim_start_matches("op/")
+                    .trim_end_matches("/proc_us")
+                    .to_string(),
                 h.count.to_string(),
                 h.p50.to_string(),
                 h.p95.to_string(),
@@ -145,17 +166,28 @@ fn main() {
         .collect();
     print_table(
         "E4 — per-operator processing latency (host wall-clock, sl-obs histograms)",
-        &["operator", "tuples", "p50 [us]", "p95 [us]", "p99 [us]", "max [us]"],
+        &[
+            "operator", "tuples", "p50 [us]", "p95 [us]", "p99 [us]", "max [us]",
+        ],
         &rows,
     );
     println!(
         "\nevent queue depth (last monitor sample): {}",
-        snap.gauges.get("engine/event_queue_depth").copied().unwrap_or(0)
+        snap.gauges
+            .get("engine/event_queue_depth")
+            .copied()
+            .unwrap_or(0)
     );
     println!(
         "spans completed: {} (per-tuple traces across {} operator keys)",
-        snap.counters.get("engine/spans_completed").copied().unwrap_or(0),
-        snap.hists.keys().filter(|k| k.starts_with("engine/span/")).count()
+        snap.counters
+            .get("engine/spans_completed")
+            .copied()
+            .unwrap_or(0),
+        snap.hists
+            .keys()
+            .filter(|k| k.starts_with("engine/span/"))
+            .count()
     );
 
     // --- monitoring overhead ----------------------------------------------
@@ -170,7 +202,9 @@ fn main() {
         for i in 0..6u64 {
             engine.add_sensor(sensor(i, 3 + i as u32, 500)).unwrap();
         }
-        engine.deploy(sl_bench::passthrough_dataflow("ovh", 5)).unwrap();
+        engine
+            .deploy(sl_bench::passthrough_dataflow("ovh", 5))
+            .unwrap();
         let wall = Instant::now();
         engine.run_for(Duration::from_mins(10));
         let elapsed = wall.elapsed();

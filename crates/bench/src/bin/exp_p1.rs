@@ -22,9 +22,15 @@ fn main() {
         GeoPoint::new_unchecked(35.0, 136.0),
     );
     let filters: Vec<(&str, SubscriptionFilter)> = vec![
-        ("by theme", SubscriptionFilter::any().with_theme(Theme::new("weather").unwrap())),
+        (
+            "by theme",
+            SubscriptionFilter::any().with_theme(Theme::new("weather").unwrap()),
+        ),
         ("by area", SubscriptionFilter::any().with_area(osaka)),
-        ("by kind", SubscriptionFilter::any().with_kind(SensorKind::Social)),
+        (
+            "by kind",
+            SubscriptionFilter::any().with_kind(SensorKind::Social),
+        ),
         (
             "composite",
             SubscriptionFilter::any()
@@ -71,12 +77,19 @@ fn main() {
         ("theme root", GroupCriterion::ThemeRoot),
         ("kind", GroupCriterion::Kind),
         ("hosting node", GroupCriterion::Node),
-        ("spatial cell (grid2)", GroupCriterion::SpatialCell(SpatialGranularity::grid(2))),
+        (
+            "spatial cell (grid2)",
+            GroupCriterion::SpatialCell(SpatialGranularity::grid(2)),
+        ),
         ("period band", GroupCriterion::PeriodBand),
     ] {
         let groups = registry.group_by(criterion);
         let largest = groups.values().map(Vec::len).max().unwrap_or(0);
-        rows.push(vec![label.to_string(), groups.len().to_string(), largest.to_string()]);
+        rows.push(vec![
+            label.to_string(),
+            groups.len().to_string(),
+            largest.to_string(),
+        ]);
     }
     print_table(
         "E5 / P1 — directory organisations (1000 sensors)",
@@ -119,7 +132,14 @@ fn main() {
             "attribute lost downstream",
             DataflowBuilder::new("bad")
                 .source("s", any(), schema.clone())
-                .aggregate("g", "s", Duration::from_mins(1), &[], sl_ops::AggFunc::Avg, Some("temperature"))
+                .aggregate(
+                    "g",
+                    "s",
+                    Duration::from_mins(1),
+                    &[],
+                    sl_ops::AggFunc::Avg,
+                    Some("temperature"),
+                )
                 .filter("f", "g", "humidity > 1")
                 .sink("o", SinkKind::Console, &["f"])
                 .build()
@@ -148,7 +168,14 @@ fn main() {
             "sum of a string",
             DataflowBuilder::new("bad")
                 .source("s", any(), schema.clone())
-                .aggregate("g", "s", Duration::from_mins(1), &[], sl_ops::AggFunc::Sum, Some("station"))
+                .aggregate(
+                    "g",
+                    "s",
+                    Duration::from_mins(1),
+                    &[],
+                    sl_ops::AggFunc::Sum,
+                    Some("station"),
+                )
                 .sink("o", SinkKind::Console, &["g"])
                 .build()
                 .unwrap(),
@@ -165,5 +192,9 @@ fn main() {
         };
         rows.push(vec![label.to_string(), verdict]);
     }
-    print_table("E5 / P1 — validation catches the inconsistency classes", &["mistake", "verdict"], &rows);
+    print_table(
+        "E5 / P1 — validation catches the inconsistency classes",
+        &["mistake", "verdict"],
+        &rows,
+    );
 }

@@ -49,7 +49,13 @@ fn main() {
     }
     print_table(
         "E6 / P2 — DSN translation pipeline (per document)",
-        &["operators", "DSN bytes", "print [µs]", "parse [µs]", "compile [µs]"],
+        &[
+            "operators",
+            "DSN bytes",
+            "print [µs]",
+            "parse [µs]",
+            "compile [µs]",
+        ],
         &rows,
     );
 
@@ -60,7 +66,8 @@ fn main() {
     let t0 = Instant::now();
     let mut events = 0usize;
     for t in &tuples {
-        events += warehouse.ingest_tuple(t, TemporalGranularity::Minute, SpatialGranularity::grid(8));
+        events +=
+            warehouse.ingest_tuple(t, TemporalGranularity::Minute, SpatialGranularity::grid(8));
     }
     let ingest = t0.elapsed();
     println!(
@@ -77,7 +84,10 @@ fn main() {
     );
     let queries: Vec<(&str, EventQuery)> = vec![
         ("time slice (1000 s)", EventQuery::all().in_time(range)),
-        ("theme subtree", EventQuery::all().with_theme(Theme::new("weather/temperature").unwrap())),
+        (
+            "theme subtree",
+            EventQuery::all().with_theme(Theme::new("weather/temperature").unwrap()),
+        ),
         ("area", EventQuery::all().in_area(osaka)),
         (
             "time + theme",
@@ -130,6 +140,10 @@ fn main() {
         t0.elapsed().as_secs_f64()
     );
     let total: u64 = cells.iter().map(|c| c.count).sum();
-    assert_eq!(total as usize, warehouse.len(), "roll-up must conserve counts");
+    assert_eq!(
+        total as usize,
+        warehouse.len(),
+        "roll-up must conserve counts"
+    );
     println!("roll-up conserves counts: {total} events across cells");
 }

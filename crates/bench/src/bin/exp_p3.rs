@@ -42,7 +42,9 @@ fn main() {
     for step in 0..24 {
         let t = step * 10;
         if t % 10 == 0 {
-            let id = engine.add_sensor(sensor(next_id, next_id as usize, &topo, 1000)).unwrap();
+            let id = engine
+                .add_sensor(sensor(next_id, next_id as usize, &topo, 1000))
+                .unwrap();
             live.push(id);
             next_id += 1;
         }
@@ -63,7 +65,12 @@ fn main() {
     }
     print_table(
         "E7 / P3 — plug-and-play churn timeline",
-        &["t [s]", "live sensors", "bound to src", "tuples into f0 (cum.)"],
+        &[
+            "t [s]",
+            "live sensors",
+            "bound to src",
+            "tuples into f0 (cum.)",
+        ],
         &rows,
     );
 
@@ -71,7 +78,11 @@ fn main() {
     for line in engine.monitor().membership.iter().take(10) {
         println!("  {line}");
     }
-    println!("\nnetwork after churn: {} messages, {} bytes", engine.net_stats().total_msgs(), engine.net_stats().total_bytes());
+    println!(
+        "\nnetwork after churn: {} messages, {} bytes",
+        engine.net_stats().total_msgs(),
+        engine.net_stats().total_bytes()
+    );
 
     // --- network failure injection ("performances of the network") -------
     let before = engine.monitor().op("p3", "f0").map_or(0, |c| c.tuples_in());
@@ -83,6 +94,8 @@ fn main() {
     engine.run_for(Duration::from_secs(60));
     let after = engine.monitor().op("p3", "f0").map_or(0, |c| c.tuples_in());
     println!("\nlink failure drill on the core ring (link#0):");
-    println!("  tuples before: {before}; +60s with the link down: {during}; +60s restored: {after}");
+    println!(
+        "  tuples before: {before}; +60s with the link down: {during}; +60s restored: {after}"
+    );
     println!("  (the ring provides a detour, so the flow survives the failure)");
 }

@@ -13,7 +13,11 @@ use std::time::Instant;
 
 /// Run `tuples` through an operator (with a flush tick for blocking ones)
 /// and return (wall time, tuples out).
-fn drive(mut op: Box<dyn Operator>, tuples: &[sl_stt::Tuple], two_port: bool) -> (std::time::Duration, usize) {
+fn drive(
+    mut op: Box<dyn Operator>,
+    tuples: &[sl_stt::Tuple],
+    two_port: bool,
+) -> (std::time::Duration, usize) {
     let mut ctx = OpContext::new(Timestamp::from_secs(0));
     // Flush just after the newest tuple so sliding windows still hold data.
     let flush_at = tuples
@@ -24,7 +28,8 @@ fn drive(mut op: Box<dyn Operator>, tuples: &[sl_stt::Tuple], two_port: bool) ->
     for (i, t) in tuples.iter().enumerate() {
         let port = if two_port { i % 2 } else { 0 };
         ctx.now = t.meta.timestamp;
-        op.on_tuple(port, t.clone(), &mut ctx).expect("bench tuples valid");
+        op.on_tuple(port, t.clone(), &mut ctx)
+            .expect("bench tuples valid");
     }
     if op.is_blocking() {
         op.on_timer(flush_at, &mut ctx).expect("tick");
@@ -49,7 +54,9 @@ fn main() {
         (
             "Filter",
             "σ(s, cond)".into(),
-            OpSpec::Filter { condition: "temperature > 22.5".into() },
+            OpSpec::Filter {
+                condition: "temperature > 22.5".into(),
+            },
         ),
         (
             "Transform",
@@ -72,17 +79,29 @@ fn main() {
         (
             "Cull Time",
             "γr(s, ⟨t1, t2⟩)".into(),
-            OpSpec::CullTime { interval: whole_run, rate: 3 },
+            OpSpec::CullTime {
+                interval: whole_run,
+                rate: 3,
+            },
         ),
         (
             "Cull Space",
             "γr(s, ⟨c1, c2⟩)".into(),
-            OpSpec::CullSpace { area: osaka, rate: 3 },
+            OpSpec::CullSpace {
+                area: osaka,
+                rate: 3,
+            },
         ),
         (
             "Aggregation COUNT",
             "@t,{} count".into(),
-            OpSpec::Aggregate { period: window, group_by: vec![], func: AggFunc::Count, attr: None , sliding: None,},
+            OpSpec::Aggregate {
+                period: window,
+                group_by: vec![],
+                func: AggFunc::Count,
+                attr: None,
+                sliding: None,
+            },
         ),
         (
             "Aggregation AVG",
@@ -91,7 +110,8 @@ fn main() {
                 period: window,
                 group_by: vec!["station".into()],
                 func: AggFunc::Avg,
-                attr: Some("temperature".into()), sliding: None,
+                attr: Some("temperature".into()),
+                sliding: None,
             },
         ),
         (
@@ -101,7 +121,8 @@ fn main() {
                 period: window,
                 group_by: vec!["station".into()],
                 func: AggFunc::Min,
-                attr: Some("temperature".into()), sliding: None,
+                attr: Some("temperature".into()),
+                sliding: None,
             },
         ),
         (
@@ -137,13 +158,19 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, symbol, spec) in &specs {
-        let op = spec.instantiate(std::slice::from_ref(&schema)).expect("spec valid");
+        let op = spec
+            .instantiate(std::slice::from_ref(&schema))
+            .expect("spec valid");
         let blocking = op.is_blocking();
         let (wall, out) = drive(op, &tuples, false);
         rows.push(vec![
             label.to_string(),
             symbol.clone(),
-            if blocking { "blocking".into() } else { "non-blocking".into() },
+            if blocking {
+                "blocking".into()
+            } else {
+                "non-blocking".into()
+            },
             format!("{:.0}", tuples_per_sec(n, wall)),
             out.to_string(),
         ]);
@@ -154,7 +181,9 @@ fn main() {
         period: window,
         predicate: "station = right_station and seq != right_seq".into(),
     };
-    let mut op = join.instantiate(&[schema.clone(), schema.clone()]).expect("join valid");
+    let mut op = join
+        .instantiate(&[schema.clone(), schema.clone()])
+        .expect("join valid");
     // A smaller batch: the windowed join is quadratic per key group.
     let join_n = 4_000;
     let left = make_tuples(join_n, 43);
@@ -167,7 +196,8 @@ fn main() {
     for t in &right {
         op.on_tuple(1, t.clone(), &mut ctx).expect("right tuple");
     }
-    op.on_timer(Timestamp::from_secs(1_000_000), &mut ctx).expect("tick");
+    op.on_timer(Timestamp::from_secs(1_000_000), &mut ctx)
+        .expect("tick");
     let wall = start.elapsed();
     // The join's dominant cost is producing result tuples (each window pair
     // of 4k×4k over 8 station keys yields ~2M results); report output rate.

@@ -127,7 +127,9 @@ pub fn linear_dataflow(name: &str, ops: usize) -> Dataflow {
         };
         prev = name;
     }
-    b.sink("out", SinkKind::Visualization, &[&prev]).build().expect("bench dataflow valid")
+    b.sink("out", SinkKind::Visualization, &[&prev])
+        .build()
+        .expect("bench dataflow valid")
 }
 
 /// A linear dataflow whose source schema matches the plain
@@ -156,7 +158,9 @@ pub fn passthrough_dataflow(name: &str, ops: usize) -> Dataflow {
         };
         prev = name;
     }
-    b.sink("out", SinkKind::Visualization, &[&prev]).build().expect("bench dataflow valid")
+    b.sink("out", SinkKind::Visualization, &[&prev])
+        .build()
+        .expect("bench dataflow valid")
 }
 
 /// Render an aligned text table (the experiment binaries' output format).
@@ -177,7 +181,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         }
         line.trim_end().to_string()
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     println!("{}", fmt_row(&sep));
     for row in rows {

@@ -19,7 +19,10 @@ pub struct DataflowBuilder {
 impl DataflowBuilder {
     /// Start a dataflow with the given name.
     pub fn new(name: &str) -> DataflowBuilder {
-        DataflowBuilder { df: Dataflow::new(name), error: None }
+        DataflowBuilder {
+            df: Dataflow::new(name),
+            error: None,
+        }
     }
 
     fn push(mut self, node: DfNode) -> Self {
@@ -35,7 +38,11 @@ impl DataflowBuilder {
     pub fn source(self, name: &str, filter: SubscriptionFilter, schema: SchemaRef) -> Self {
         self.push(DfNode {
             name: name.into(),
-            kind: NodeKind::Source { filter, schema, mode: SourceMode::Active },
+            kind: NodeKind::Source {
+                filter,
+                schema,
+                mode: SourceMode::Active,
+            },
             inputs: vec![],
         })
     }
@@ -44,7 +51,11 @@ impl DataflowBuilder {
     pub fn gated_source(self, name: &str, filter: SubscriptionFilter, schema: SchemaRef) -> Self {
         self.push(DfNode {
             name: name.into(),
-            kind: NodeKind::Source { filter, schema, mode: SourceMode::Gated },
+            kind: NodeKind::Source {
+                filter,
+                schema,
+                mode: SourceMode::Gated,
+            },
             inputs: vec![],
         })
     }
@@ -60,7 +71,13 @@ impl DataflowBuilder {
 
     /// σ — Filter.
     pub fn filter(self, name: &str, input: &str, condition: &str) -> Self {
-        self.operator(name, &[input], OpSpec::Filter { condition: condition.into() })
+        self.operator(
+            name,
+            &[input],
+            OpSpec::Filter {
+                condition: condition.into(),
+            },
+        )
     }
 
     /// ▷ — Transform.
@@ -69,7 +86,10 @@ impl DataflowBuilder {
             name,
             &[input],
             OpSpec::Transform {
-                assignments: assignments.iter().map(|(a, e)| (a.to_string(), e.to_string())).collect(),
+                assignments: assignments
+                    .iter()
+                    .map(|(a, e)| (a.to_string(), e.to_string()))
+                    .collect(),
             },
         )
     }
@@ -79,7 +99,10 @@ impl DataflowBuilder {
         self.operator(
             name,
             &[input],
-            OpSpec::VirtualProperty { property: property.into(), spec: spec.into() },
+            OpSpec::VirtualProperty {
+                property: property.into(),
+                spec: spec.into(),
+            },
         )
     }
 
@@ -110,7 +133,8 @@ impl DataflowBuilder {
                 period,
                 group_by: group_by.iter().map(|s| s.to_string()).collect(),
                 func,
-                attr: attr.map(str::to_string), sliding: None,
+                attr: attr.map(str::to_string),
+                sliding: None,
             },
         )
     }
@@ -142,8 +166,22 @@ impl DataflowBuilder {
     }
 
     /// ⋈ — Join.
-    pub fn join(self, name: &str, left: &str, right: &str, period: Duration, predicate: &str) -> Self {
-        self.operator(name, &[left, right], OpSpec::Join { period, predicate: predicate.into() })
+    pub fn join(
+        self,
+        name: &str,
+        left: &str,
+        right: &str,
+        period: Duration,
+        predicate: &str,
+    ) -> Self {
+        self.operator(
+            name,
+            &[left, right],
+            OpSpec::Join {
+                period,
+                predicate: predicate.into(),
+            },
+        )
     }
 
     /// ⊕ON — Trigger On.
@@ -233,9 +271,20 @@ mod tests {
         let df = DataflowBuilder::new("demo")
             .source("temp", SubscriptionFilter::any(), schema())
             .filter("hot", "temp", "temperature > 25")
-            .aggregate("hourly", "hot", Duration::from_hours(1), &["station"], AggFunc::Avg, Some("temperature"))
+            .aggregate(
+                "hourly",
+                "hot",
+                Duration::from_hours(1),
+                &["station"],
+                AggFunc::Avg,
+                Some("temperature"),
+            )
             .sink("out", SinkKind::Warehouse, &["hourly"])
-            .qos("temp", "hot", QosSpec::best_effort().with_max_latency(Duration::from_millis(20)))
+            .qos(
+                "temp",
+                "hot",
+                QosSpec::best_effort().with_max_latency(Duration::from_millis(20)),
+            )
             .build()
             .unwrap();
         assert_eq!(df.nodes().len(), 4);
@@ -263,7 +312,10 @@ mod tests {
             .cull_time(
                 "ct",
                 "v",
-                TimeInterval::new(sl_stt::Timestamp::from_secs(0), sl_stt::Timestamp::from_secs(10)),
+                TimeInterval::new(
+                    sl_stt::Timestamp::from_secs(0),
+                    sl_stt::Timestamp::from_secs(10),
+                ),
                 2,
             )
             .cull_space(
@@ -275,10 +327,23 @@ mod tests {
                 ),
                 2,
             )
-            .aggregate("ag", "cs", Duration::from_secs(60), &[], AggFunc::Count, None)
+            .aggregate(
+                "ag",
+                "cs",
+                Duration::from_secs(60),
+                &[],
+                AggFunc::Count,
+                None,
+            )
             .trigger_on("on", "ag", Duration::from_secs(60), "count > 5", &["b"])
             .trigger_off("off", "ag", Duration::from_secs(60), "count < 1", &["b"])
-            .join("j", "a", "b", Duration::from_secs(30), "station = right_station")
+            .join(
+                "j",
+                "a",
+                "b",
+                Duration::from_secs(30),
+                "station = right_station",
+            )
             .sink("s", SinkKind::Console, &["j"])
             .build()
             .unwrap();

@@ -46,7 +46,9 @@ pub fn debug_run(
 
     // Check and install source samples.
     for node in df.sources() {
-        let NodeKind::Source { schema, .. } = &node.kind else { unreachable!() };
+        let NodeKind::Source { schema, .. } = &node.kind else {
+            unreachable!()
+        };
         let tuples = samples.get(&node.name).cloned().unwrap_or_default();
         for t in &tuples {
             if t.schema().as_ref() != schema.as_ref() {
@@ -62,7 +64,9 @@ pub fn debug_run(
     }
     for name in samples.keys() {
         if df.node(name).is_none() {
-            return Err(DataflowError::BadSample(format!("`{name}` is not a dataflow source")));
+            return Err(DataflowError::BadSample(format!(
+                "`{name}` is not a dataflow source"
+            )));
         }
     }
 
@@ -79,7 +83,9 @@ pub fn debug_run(
     // Drive operators in topological order.
     for name in &report.topo_order {
         let node = df.node(name).expect("validated");
-        let NodeKind::Operator { spec } = &node.kind else { continue };
+        let NodeKind::Operator { spec } = &node.kind else {
+            continue;
+        };
         let input_schemas: Vec<_> = node
             .inputs
             .iter()
@@ -87,18 +93,27 @@ pub fn debug_run(
             .collect();
         let mut op = spec
             .instantiate(&input_schemas)
-            .map_err(|error| DataflowError::AtNode { node: name.clone(), error })?;
+            .map_err(|error| DataflowError::AtNode {
+                node: name.clone(),
+                error,
+            })?;
         let mut ctx = OpContext::new(tick_at);
         for (port, input) in node.inputs.iter().enumerate() {
             let tuples = run.outputs.get(input).cloned().unwrap_or_default();
             for t in tuples {
                 op.on_tuple(port, t, &mut ctx)
-                    .map_err(|error| DataflowError::AtNode { node: name.clone(), error })?;
+                    .map_err(|error| DataflowError::AtNode {
+                        node: name.clone(),
+                        error,
+                    })?;
             }
         }
         if op.is_blocking() {
             op.on_timer(tick_at, &mut ctx)
-                .map_err(|error| DataflowError::AtNode { node: name.clone(), error })?;
+                .map_err(|error| DataflowError::AtNode {
+                    node: name.clone(),
+                    error,
+                })?;
         }
         let dropped = ctx.dropped();
         let (emitted, controls) = ctx.take();
@@ -118,9 +133,7 @@ mod tests {
     use sl_dsn::SinkKind;
     use sl_ops::AggFunc;
     use sl_pubsub::SubscriptionFilter;
-    use sl_stt::{
-        AttrType, Field, GeoPoint, Schema, SchemaRef, SensorId, SttMeta, Theme, Value,
-    };
+    use sl_stt::{AttrType, Field, GeoPoint, Schema, SchemaRef, SensorId, SttMeta, Theme, Value};
 
     fn schema() -> SchemaRef {
         Schema::new(vec![
@@ -149,7 +162,14 @@ mod tests {
         DataflowBuilder::new("demo")
             .source("temp", SubscriptionFilter::any(), schema())
             .filter("hot", "temp", "temperature > 25")
-            .aggregate("hourly", "hot", Duration::from_hours(1), &["station"], AggFunc::Avg, Some("temperature"))
+            .aggregate(
+                "hourly",
+                "hot",
+                Duration::from_hours(1),
+                &["station"],
+                AggFunc::Avg,
+                Some("temperature"),
+            )
             .sink("out", SinkKind::Console, &["hourly"])
             .build()
             .unwrap()
@@ -175,20 +195,33 @@ mod tests {
         // Aggregate flushes once: one row per station.
         let agg = run.output_of("hourly");
         assert_eq!(agg.len(), 2);
-        let kyoto = agg.iter().find(|t| t.get("station").unwrap() == &Value::Str("kyoto".into())).unwrap();
+        let kyoto = agg
+            .iter()
+            .find(|t| t.get("station").unwrap() == &Value::Str("kyoto".into()))
+            .unwrap();
         assert_eq!(kyoto.get("avg_temperature").unwrap(), &Value::Float(28.0));
-        let osaka = agg.iter().find(|t| t.get("station").unwrap() == &Value::Str("osaka".into())).unwrap();
+        let osaka = agg
+            .iter()
+            .find(|t| t.get("station").unwrap() == &Value::Str("osaka".into()))
+            .unwrap();
         assert_eq!(osaka.get("avg_temperature").unwrap(), &Value::Float(28.0)); // (26+30)/2
     }
 
     #[test]
     fn trigger_controls_captured() {
-        let rain_schema: SchemaRef =
-            Schema::new(vec![Field::new("rain", AttrType::Float)]).unwrap().into_ref();
+        let rain_schema: SchemaRef = Schema::new(vec![Field::new("rain", AttrType::Float)])
+            .unwrap()
+            .into_ref();
         let df = DataflowBuilder::new("t")
             .source("temp", SubscriptionFilter::any(), schema())
             .gated_source("rain", SubscriptionFilter::any(), rain_schema)
-            .trigger_on("hot", "temp", Duration::from_secs(60), "temperature > 25", &["rain"])
+            .trigger_on(
+                "hot",
+                "temp",
+                Duration::from_secs(60),
+                "temperature > 25",
+                &["rain"],
+            )
             .sink("out", SinkKind::Console, &["hot"])
             .build()
             .unwrap();
@@ -211,7 +244,9 @@ mod tests {
     #[test]
     fn wrong_schema_sample_rejected() {
         let df = scenario_df();
-        let wrong: SchemaRef = Schema::new(vec![Field::new("x", AttrType::Int)]).unwrap().into_ref();
+        let wrong: SchemaRef = Schema::new(vec![Field::new("x", AttrType::Int)])
+            .unwrap()
+            .into_ref();
         let bad = Tuple::new(
             wrong,
             vec![Value::Int(1)],
@@ -220,7 +255,10 @@ mod tests {
         .unwrap();
         let mut samples = HashMap::new();
         samples.insert("temp".to_string(), vec![bad]);
-        assert!(matches!(debug_run(&df, &samples), Err(DataflowError::BadSample(_))));
+        assert!(matches!(
+            debug_run(&df, &samples),
+            Err(DataflowError::BadSample(_))
+        ));
     }
 
     #[test]
@@ -228,7 +266,10 @@ mod tests {
         let df = scenario_df();
         let mut samples = HashMap::new();
         samples.insert("ghost".to_string(), vec![]);
-        assert!(matches!(debug_run(&df, &samples), Err(DataflowError::BadSample(_))));
+        assert!(matches!(
+            debug_run(&df, &samples),
+            Err(DataflowError::BadSample(_))
+        ));
     }
 
     #[test]
@@ -239,6 +280,9 @@ mod tests {
             .sink("out", SinkKind::Console, &["f"])
             .build()
             .unwrap();
-        assert!(matches!(debug_run(&df, &HashMap::new()), Err(DataflowError::AtNode { .. })));
+        assert!(matches!(
+            debug_run(&df, &HashMap::new()),
+            Err(DataflowError::AtNode { .. })
+        ));
     }
 }

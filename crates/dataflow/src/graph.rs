@@ -71,7 +71,11 @@ pub struct Dataflow {
 impl Dataflow {
     /// An empty dataflow.
     pub fn new(name: &str) -> Dataflow {
-        Dataflow { name: name.to_string(), nodes: Vec::new(), qos: HashMap::new() }
+        Dataflow {
+            name: name.to_string(),
+            nodes: Vec::new(),
+            qos: HashMap::new(),
+        }
     }
 
     /// Add a node, checking name uniqueness and input references.
@@ -100,8 +104,14 @@ impl Dataflow {
             .iter()
             .position(|n| n.name == name)
             .ok_or_else(|| DataflowError::UnknownNode(name.to_string()))?;
-        if self.nodes.iter().any(|n| n.inputs.iter().any(|i| i == name)) {
-            return Err(DataflowError::NotAProducer(format!("{name} still has consumers")));
+        if self
+            .nodes
+            .iter()
+            .any(|n| n.inputs.iter().any(|i| i == name))
+        {
+            return Err(DataflowError::NotAProducer(format!(
+                "{name} still has consumers"
+            )));
         }
         self.qos.retain(|(from, to), _| from != name && to != name);
         Ok(self.nodes.remove(idx))
@@ -120,7 +130,9 @@ impl Dataflow {
                 *old = spec;
                 Ok(())
             }
-            _ => Err(DataflowError::UnknownNode(format!("{name} is not an operator"))),
+            _ => Err(DataflowError::UnknownNode(format!(
+                "{name} is not an operator"
+            ))),
         }
     }
 
@@ -162,17 +174,23 @@ impl Dataflow {
 
     /// Source nodes.
     pub fn sources(&self) -> impl Iterator<Item = &DfNode> {
-        self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Source { .. }))
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Source { .. }))
     }
 
     /// Operator nodes.
     pub fn operators(&self) -> impl Iterator<Item = &DfNode> {
-        self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Operator { .. }))
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Operator { .. }))
     }
 
     /// Sink nodes.
     pub fn sinks(&self) -> impl Iterator<Item = &DfNode> {
-        self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::Sink { .. }))
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Sink { .. }))
     }
 
     /// All edges `(from, to, port)`.
@@ -206,7 +224,9 @@ mod tests {
     use sl_stt::{AttrType, Field, Schema};
 
     fn schema() -> SchemaRef {
-        Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref()
+        Schema::new(vec![Field::new("v", AttrType::Float)])
+            .unwrap()
+            .into_ref()
     }
 
     fn source(name: &str) -> DfNode {
@@ -224,7 +244,11 @@ mod tests {
     fn filter(name: &str, input: &str) -> DfNode {
         DfNode {
             name: name.into(),
-            kind: NodeKind::Operator { spec: OpSpec::Filter { condition: "v > 0".into() } },
+            kind: NodeKind::Operator {
+                spec: OpSpec::Filter {
+                    condition: "v > 0".into(),
+                },
+            },
             inputs: vec![input.into()],
         }
     }
@@ -232,7 +256,9 @@ mod tests {
     fn sink(name: &str, input: &str) -> DfNode {
         DfNode {
             name: name.into(),
-            kind: NodeKind::Sink { kind: SinkKind::Console },
+            kind: NodeKind::Sink {
+                kind: SinkKind::Console,
+            },
             inputs: vec![input.into()],
         }
     }
@@ -255,8 +281,14 @@ mod tests {
     fn rejects_duplicates_and_unknown_inputs() {
         let mut df = Dataflow::new("t");
         df.add_node(source("s")).unwrap();
-        assert!(matches!(df.add_node(source("s")), Err(DataflowError::DuplicateNode(_))));
-        assert!(matches!(df.add_node(filter("f", "ghost")), Err(DataflowError::UnknownNode(_))));
+        assert!(matches!(
+            df.add_node(source("s")),
+            Err(DataflowError::DuplicateNode(_))
+        ));
+        assert!(matches!(
+            df.add_node(filter("f", "ghost")),
+            Err(DataflowError::UnknownNode(_))
+        ));
     }
 
     #[test]
@@ -264,7 +296,10 @@ mod tests {
         let mut df = Dataflow::new("t");
         df.add_node(source("s")).unwrap();
         df.add_node(sink("out", "s")).unwrap();
-        assert!(matches!(df.add_node(filter("f", "out")), Err(DataflowError::NotAProducer(_))));
+        assert!(matches!(
+            df.add_node(filter("f", "out")),
+            Err(DataflowError::NotAProducer(_))
+        ));
     }
 
     #[test]
@@ -284,13 +319,33 @@ mod tests {
         let mut df = Dataflow::new("t");
         df.add_node(source("s")).unwrap();
         df.add_node(filter("f", "s")).unwrap();
-        df.replace_spec("f", OpSpec::Filter { condition: "v > 10".into() }).unwrap();
+        df.replace_spec(
+            "f",
+            OpSpec::Filter {
+                condition: "v > 10".into(),
+            },
+        )
+        .unwrap();
         match df.node("f").unwrap().spec().unwrap() {
             OpSpec::Filter { condition } => assert_eq!(condition, "v > 10"),
             other => panic!("{other:?}"),
         }
-        assert!(df.replace_spec("s", OpSpec::Filter { condition: "1 > 0".into() }).is_err());
-        assert!(df.replace_spec("ghost", OpSpec::Filter { condition: "1 > 0".into() }).is_err());
+        assert!(df
+            .replace_spec(
+                "s",
+                OpSpec::Filter {
+                    condition: "1 > 0".into()
+                }
+            )
+            .is_err());
+        assert!(df
+            .replace_spec(
+                "ghost",
+                OpSpec::Filter {
+                    condition: "1 > 0".into()
+                }
+            )
+            .is_err());
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub use graph::{Dataflow, DfNode, NodeKind};
 pub use optimize::{optimize, Rewrite};
 pub use render::render_ascii;
 pub use translate::{from_dsn, infer_source_schema, to_dsn};
-pub use validate::{validate, ValidationReport};
+pub use validate::{validate, validate_full, FullValidation, ValidationReport};

@@ -61,19 +61,26 @@ fn try_one_rewrite(df: &Dataflow) -> Result<Option<(Dataflow, Rewrite)>, Dataflo
     // Collect candidate pairs (producer -> filter) first to sidestep borrow
     // issues while mutating.
     for node in df.nodes() {
-        let NodeKind::Operator { spec: OpSpec::Filter { condition } } = &node.kind else {
+        let NodeKind::Operator {
+            spec: OpSpec::Filter { condition },
+        } = &node.kind
+        else {
             continue;
         };
         debug_assert_eq!(node.inputs.len(), 1);
         let upstream_name = &node.inputs[0];
-        let Some(upstream) = df.node(upstream_name) else { continue };
+        let Some(upstream) = df.node(upstream_name) else {
+            continue;
+        };
         // Only rewrite across linear edges: upstream feeds just this filter.
         if df.consumers(upstream_name).len() != 1 {
             continue;
         }
         match &upstream.kind {
             // Fusion: filter over filter.
-            NodeKind::Operator { spec: OpSpec::Filter { condition: up_cond } } => {
+            NodeKind::Operator {
+                spec: OpSpec::Filter { condition: up_cond },
+            } => {
                 let mut next = df.clone();
                 let fused = format!("({up_cond}) and ({condition})");
                 next.replace_spec(upstream_name, OpSpec::Filter { condition: fused })?;
@@ -111,7 +118,10 @@ fn try_one_rewrite(df: &Dataflow) -> Result<Option<(Dataflow, Rewrite)>, Dataflo
                 if validate(&next).is_ok() {
                     return Ok(Some((
                         next,
-                        Rewrite::FilterPulledAhead { filter: filter_name, producer: producer_name },
+                        Rewrite::FilterPulledAhead {
+                            filter: filter_name,
+                            producer: producer_name,
+                        },
                     )));
                 }
             }
@@ -124,12 +134,14 @@ fn try_one_rewrite(df: &Dataflow) -> Result<Option<(Dataflow, Rewrite)>, Dataflo
 /// True if `condition` references no attribute that `spec` creates or
 /// overwrites (so evaluating it before `spec` is equivalent).
 fn filter_independent(condition: &str, spec: &OpSpec) -> bool {
-    let Ok(expr) = parse(condition) else { return false };
+    let Ok(expr) = parse(condition) else {
+        return false;
+    };
     let refs = expr.referenced_attrs();
     match spec {
-        OpSpec::Transform { assignments } => {
-            assignments.iter().all(|(attr, _)| !refs.contains(&attr.as_str()))
-        }
+        OpSpec::Transform { assignments } => assignments
+            .iter()
+            .all(|(attr, _)| !refs.contains(&attr.as_str())),
         OpSpec::VirtualProperty { property, .. } => !refs.contains(&property.as_str()),
         _ => false,
     }
@@ -242,7 +254,12 @@ mod tests {
     fn filter_pulled_ahead_of_virtual_property() {
         let df = DataflowBuilder::new("t")
             .source("s", SubscriptionFilter::any(), schema())
-            .virtual_property("vp", "s", "at", "apparent_temperature(temperature, humidity)")
+            .virtual_property(
+                "vp",
+                "s",
+                "at",
+                "apparent_temperature(temperature, humidity)",
+            )
             .filter("f", "vp", "temperature > 25") // independent of `at`
             .sink("out", SinkKind::Console, &["f"])
             .build()
@@ -250,7 +267,10 @@ mod tests {
         let (opt, rewrites) = optimize(&df).unwrap();
         assert_eq!(
             rewrites,
-            vec![Rewrite::FilterPulledAhead { filter: "f".into(), producer: "vp".into() }]
+            vec![Rewrite::FilterPulledAhead {
+                filter: "f".into(),
+                producer: "vp".into()
+            }]
         );
         // New wiring: s -> f -> vp -> out.
         assert_eq!(opt.node("f").unwrap().inputs, vec!["s".to_string()]);
@@ -263,7 +283,12 @@ mod tests {
     fn dependent_filter_not_moved() {
         let df = DataflowBuilder::new("t")
             .source("s", SubscriptionFilter::any(), schema())
-            .virtual_property("vp", "s", "at", "apparent_temperature(temperature, humidity)")
+            .virtual_property(
+                "vp",
+                "s",
+                "at",
+                "apparent_temperature(temperature, humidity)",
+            )
             .filter("f", "vp", "at > 27") // depends on the virtual property
             .sink("out", SinkKind::Console, &["f"])
             .build()
@@ -283,8 +308,10 @@ mod tests {
             .unwrap();
         let (opt, rewrites) = optimize(&df).unwrap();
         assert_eq!(rewrites.len(), 1);
-        assert!(matches!(&rewrites[0], Rewrite::FiltersFused { first, second }
-            if first == "f1" && second == "f2"));
+        assert!(
+            matches!(&rewrites[0], Rewrite::FiltersFused { first, second }
+            if first == "f1" && second == "f2")
+        );
         assert!(opt.node("f2").is_none());
         match opt.node("f1").unwrap().spec().unwrap() {
             OpSpec::Filter { condition } => {
@@ -298,7 +325,12 @@ mod tests {
     fn optimized_flow_is_behaviour_preserving() {
         let df = DataflowBuilder::new("t")
             .source("s", SubscriptionFilter::any(), schema())
-            .virtual_property("vp", "s", "at", "apparent_temperature(temperature, humidity)")
+            .virtual_property(
+                "vp",
+                "s",
+                "at",
+                "apparent_temperature(temperature, humidity)",
+            )
             .filter("f", "vp", "temperature > 25")
             .filter("g", "f", "humidity > 40")
             .sink("out", SinkKind::Console, &["g"])
@@ -309,22 +341,36 @@ mod tests {
         let mut samples = HashMap::new();
         samples.insert(
             "s".to_string(),
-            vec![sample(30.0, 60.0, 0), sample(20.0, 60.0, 1), sample(30.0, 30.0, 2), sample(26.0, 45.0, 3)],
+            vec![
+                sample(30.0, 60.0, 0),
+                sample(20.0, 60.0, 1),
+                sample(30.0, 30.0, 2),
+                sample(26.0, 45.0, 3),
+            ],
         );
         let before = debug_run(&df, &samples).unwrap();
         let after = debug_run(&opt, &samples).unwrap();
         // The tuples reaching the sink's producer are identical.
-        let sink_in_before: Vec<String> =
-            before.output_of(&df.node("out").unwrap().inputs[0]).iter().map(|t| t.to_string()).collect();
-        let sink_in_after: Vec<String> =
-            after.output_of(&opt.node("out").unwrap().inputs[0]).iter().map(|t| t.to_string()).collect();
+        let sink_in_before: Vec<String> = before
+            .output_of(&df.node("out").unwrap().inputs[0])
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
+        let sink_in_after: Vec<String> = after
+            .output_of(&opt.node("out").unwrap().inputs[0])
+            .iter()
+            .map(|t| t.to_string())
+            .collect();
         // Pull-ahead reorders operators but not tuples; fused filters keep order.
         assert_eq!(sink_in_before.len(), sink_in_after.len());
         for t in &sink_in_before {
             // Attribute order may differ after reordering (vp appends `at`
             // after the filter), but the same tuples survive.
             assert!(
-                sink_in_after.iter().any(|u| u.contains(&t[..t.find('}').unwrap_or(0)])) || sink_in_after.contains(t),
+                sink_in_after
+                    .iter()
+                    .any(|u| u.contains(&t[..t.find('}').unwrap_or(0)]))
+                    || sink_in_after.contains(t),
                 "missing {t}"
             );
         }
@@ -336,7 +382,12 @@ mod tests {
         // ahead would change what the other consumer sees.
         let df = DataflowBuilder::new("t")
             .source("s", SubscriptionFilter::any(), schema())
-            .virtual_property("vp", "s", "at", "apparent_temperature(temperature, humidity)")
+            .virtual_property(
+                "vp",
+                "s",
+                "at",
+                "apparent_temperature(temperature, humidity)",
+            )
             .filter("f", "vp", "temperature > 25")
             .sink("out", SinkKind::Console, &["f"])
             .sink("tap", SinkKind::Console, &["vp"])

@@ -23,7 +23,14 @@ pub fn render_ascii(df: &Dataflow, annotations: &HashMap<String, String>) -> Str
 
     let _ = writeln!(out, "  sources:");
     for node in df.sources() {
-        let NodeKind::Source { filter, mode, schema } = &node.kind else { unreachable!() };
+        let NodeKind::Source {
+            filter,
+            mode,
+            schema,
+        } = &node.kind
+        else {
+            unreachable!()
+        };
         let _ = write!(out, "    ◉ {} [{}] filter: {}", node.name, mode, filter);
         let _ = writeln!(out, "\n        schema {schema}");
         if let Some(a) = annotations.get(&node.name) {
@@ -33,8 +40,16 @@ pub fn render_ascii(df: &Dataflow, annotations: &HashMap<String, String>) -> Str
     let _ = writeln!(out, "  operators:");
     for name in &order {
         let Some(node) = df.node(name) else { continue };
-        let NodeKind::Operator { spec } = &node.kind else { continue };
-        let _ = writeln!(out, "    ▢ {} := {}  ⟵ {}", node.name, spec, node.inputs.join(", "));
+        let NodeKind::Operator { spec } = &node.kind else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "    ▢ {} := {}  ⟵ {}",
+            node.name,
+            spec,
+            node.inputs.join(", ")
+        );
         if let Some(schemas) = &schemas {
             if let Some(s) = schemas.get(name) {
                 let _ = writeln!(out, "        schema {s}");
@@ -46,8 +61,15 @@ pub fn render_ascii(df: &Dataflow, annotations: &HashMap<String, String>) -> Str
     }
     let _ = writeln!(out, "  sinks:");
     for node in df.sinks() {
-        let NodeKind::Sink { kind } = &node.kind else { unreachable!() };
-        let _ = writeln!(out, "    ▣ {} ({kind}) ⟵ {}", node.name, node.inputs.join(", "));
+        let NodeKind::Sink { kind } = &node.kind else {
+            unreachable!()
+        };
+        let _ = writeln!(
+            out,
+            "    ▣ {} ({kind}) ⟵ {}",
+            node.name,
+            node.inputs.join(", ")
+        );
         if let Some(a) = annotations.get(&node.name) {
             let _ = writeln!(out, "        ⚡ {a}");
         }
@@ -65,7 +87,9 @@ mod tests {
 
     #[test]
     fn renders_all_sections() {
-        let schema = Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref();
+        let schema = Schema::new(vec![Field::new("v", AttrType::Float)])
+            .unwrap()
+            .into_ref();
         let df = DataflowBuilder::new("demo")
             .source("s", SubscriptionFilter::any(), schema)
             .filter("f", "s", "v > 1")
@@ -85,7 +109,9 @@ mod tests {
 
     #[test]
     fn renders_invalid_flow_without_schemas() {
-        let schema = Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref();
+        let schema = Schema::new(vec![Field::new("v", AttrType::Float)])
+            .unwrap()
+            .into_ref();
         let df = DataflowBuilder::new("bad")
             .source("s", SubscriptionFilter::any(), schema)
             .filter("f", "s", "ghost > 1")

@@ -48,7 +48,11 @@ pub fn to_dsn(df: &Dataflow) -> DsnDocument {
     let mut entries: Vec<_> = df.qos_entries().collect();
     entries.sort_by(|a, b| a.0.cmp(b.0));
     for ((from, to), qos) in entries {
-        doc.channels.push(ChannelDecl { from: from.clone(), to: to.clone(), qos: *qos });
+        doc.channels.push(ChannelDecl {
+            from: from.clone(),
+            to: to.clone(),
+            qos: *qos,
+        });
     }
     doc
 }
@@ -65,13 +69,16 @@ pub fn from_dsn(
 ) -> Result<Dataflow, DataflowError> {
     let mut df = Dataflow::new(&doc.name);
     for src in &doc.sources {
-        let schema = schemas
-            .get(&src.name)
-            .cloned()
-            .ok_or_else(|| DataflowError::UnknownNode(format!("no schema for source `{}`", src.name)))?;
+        let schema = schemas.get(&src.name).cloned().ok_or_else(|| {
+            DataflowError::UnknownNode(format!("no schema for source `{}`", src.name))
+        })?;
         df.add_node(DfNode {
             name: src.name.clone(),
-            kind: NodeKind::Source { filter: src.filter.clone(), schema, mode: src.mode },
+            kind: NodeKind::Source {
+                filter: src.filter.clone(),
+                schema,
+                mode: src.mode,
+            },
             inputs: vec![],
         })?;
     }
@@ -85,7 +92,9 @@ pub fn from_dsn(
             if ready {
                 df.add_node(DfNode {
                     name: svc.name.clone(),
-                    kind: NodeKind::Operator { spec: svc.spec.clone() },
+                    kind: NodeKind::Operator {
+                        spec: svc.spec.clone(),
+                    },
                     inputs: svc.inputs.clone(),
                 })
                 .is_err() // keep on error (will be reported below)
@@ -133,7 +142,11 @@ pub fn infer_source_schema(
     if fields.is_empty() {
         return None;
     }
-    Some(Schema::new(fields).expect("subset of a valid schema").into_ref())
+    Some(
+        Schema::new(fields)
+            .expect("subset of a valid schema")
+            .into_ref(),
+    )
 }
 
 #[cfg(test)]
@@ -165,7 +178,9 @@ mod tests {
             .gated_source(
                 "rain",
                 SubscriptionFilter::any().with_theme(Theme::new("weather/rain").unwrap()),
-                Schema::new(vec![Field::new("rain", AttrType::Float)]).unwrap().into_ref(),
+                Schema::new(vec![Field::new("rain", AttrType::Float)])
+                    .unwrap()
+                    .into_ref(),
             )
             .aggregate(
                 "hourly",
@@ -175,7 +190,13 @@ mod tests {
                 AggFunc::Avg,
                 Some("temperature"),
             )
-            .trigger_on("hot", "hourly", Duration::from_hours(1), "avg_temperature > 25", &["rain"])
+            .trigger_on(
+                "hot",
+                "hourly",
+                Duration::from_hours(1),
+                "avg_temperature > 25",
+                &["rain"],
+            )
             .filter("torrential", "rain", "rain > 20")
             .sink("edw", SinkKind::Warehouse, &["torrential"])
             .qos(
@@ -264,22 +285,35 @@ mod tests {
             node: NodeId(0),
         };
         registry
-            .publish(mk(1, vec![
-                Field::with_unit("temperature", AttrType::Float, Unit::Celsius),
-                Field::new("station", AttrType::Str),
-                Field::new("humidity", AttrType::Float),
-            ]))
+            .publish(mk(
+                1,
+                vec![
+                    Field::with_unit("temperature", AttrType::Float, Unit::Celsius),
+                    Field::new("station", AttrType::Str),
+                    Field::new("humidity", AttrType::Float),
+                ],
+            ))
             .unwrap();
         registry
-            .publish(mk(2, vec![
-                Field::with_unit("temperature", AttrType::Float, Unit::Celsius),
-                Field::new("station", AttrType::Str),
-            ]))
+            .publish(mk(
+                2,
+                vec![
+                    Field::with_unit("temperature", AttrType::Float, Unit::Celsius),
+                    Field::new("station", AttrType::Str),
+                ],
+            ))
             .unwrap();
         // A Fahrenheit outlier kills the common unit for `temperature`... but
         // only if it matches the filter.
         registry
-            .publish(mk(3, vec![Field::with_unit("temperature", AttrType::Float, Unit::Fahrenheit)]))
+            .publish(mk(
+                3,
+                vec![Field::with_unit(
+                    "temperature",
+                    AttrType::Float,
+                    Unit::Fahrenheit,
+                )],
+            ))
             .unwrap();
         let all = SubscriptionFilter::any();
         // Across all three only nothing is common (unit mismatch on
@@ -303,6 +337,9 @@ mod tests {
         let reparsed = parse_document(&text).unwrap();
         assert_eq!(print_document(&reparsed), text);
         // Re-compiling the reparsed document yields the same program shape.
-        assert_eq!(compile(&reparsed).unwrap().census(), compile(&doc).unwrap().census());
+        assert_eq!(
+            compile(&reparsed).unwrap().census(),
+            compile(&doc).unwrap().census()
+        );
     }
 }

@@ -4,8 +4,9 @@
 //! (i.e. it can be soundly activated at network level), the translation is
 //! automatically invoked" (paper §1). Validation computes the schema at
 //! every node — the information the Figure 2 bottom panel shows per
-//! operation — and fails with a node-attributed error on the first
-//! inconsistency.
+//! operation. [`validate_full`] accumulates *every* inconsistency (the
+//! canvas shows all red nodes at once); [`validate`] keeps the historical
+//! fail-fast contract of returning the first node-attributed error.
 
 use crate::error::DataflowError;
 use crate::graph::{Dataflow, NodeKind};
@@ -30,16 +31,68 @@ impl ValidationReport {
     }
 }
 
+/// The full outcome of validation: every inconsistency found, plus the
+/// schemas of all nodes that *did* resolve (the canvas colours bad nodes red
+/// but still annotates the good ones).
+#[derive(Debug, Clone, Default)]
+pub struct FullValidation {
+    /// Every problem found: structural DSN errors first, then node-attributed
+    /// schema errors in topological order. Downstream nodes starved of a
+    /// schema by an upstream failure are skipped, not re-reported.
+    pub errors: Vec<DataflowError>,
+    /// Output schema of every node that resolved (all sources, plus every
+    /// operator whose inputs resolved and whose spec type-checked).
+    pub schemas: HashMap<String, SchemaRef>,
+    /// Operator names in a valid execution order; empty when the dependency
+    /// graph is cyclic.
+    pub topo_order: Vec<String>,
+}
+
+impl FullValidation {
+    /// True when no problem was found.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// The first (worst) error, mirroring the historical fail-fast result.
+    pub fn worst(&self) -> Option<&DataflowError> {
+        self.errors.first()
+    }
+}
+
 /// Validate a dataflow. All DSN structural checks run first (via the
 /// translation path, which guarantees the conceptual graph and its DSN image
 /// are checked identically), then schemas are propagated source→sink.
+/// Fail-fast: the first problem found is returned.
 pub fn validate(df: &Dataflow) -> Result<ValidationReport, DataflowError> {
-    // Structural pass (unique names, arity, cycles, trigger targets, gated
-    // sources, channels).
-    let doc = to_dsn(df);
-    let topo_order = sl_dsn::validate(&doc)?;
+    let mut full = validate_full(df);
+    if full.errors.is_empty() {
+        Ok(ValidationReport {
+            schemas: full.schemas,
+            topo_order: full.topo_order,
+        })
+    } else {
+        Err(full.errors.remove(0))
+    }
+}
 
-    // Schema propagation in topological order.
+/// Run every check and collect all diagnostics, continuing schema
+/// propagation past failed nodes wherever inputs still resolve.
+pub fn validate_full(df: &Dataflow) -> FullValidation {
+    // Structural pass (unique names, arity, cycles, trigger targets, gated
+    // sources, channels) — accumulated at the DSN layer.
+    let doc = to_dsn(df);
+    let structural = sl_dsn::validate::validate_full(&doc);
+    let mut errors: Vec<DataflowError> = structural
+        .errors
+        .into_iter()
+        .map(DataflowError::Dsn)
+        .collect();
+    let topo_order = structural.topo_order.unwrap_or_default();
+
+    // Schema propagation in topological order. A node whose inputs lack a
+    // schema (because an upstream node already failed, or the input does not
+    // exist — both already reported) is skipped rather than blamed again.
     let mut schemas: HashMap<String, SchemaRef> = HashMap::new();
     for node in df.sources() {
         if let NodeKind::Source { schema, .. } = &node.kind {
@@ -47,25 +100,33 @@ pub fn validate(df: &Dataflow) -> Result<ValidationReport, DataflowError> {
         }
     }
     for name in &topo_order {
-        let node = df.node(name).expect("topo names exist");
+        let Some(node) = df.node(name) else { continue };
         let NodeKind::Operator { spec } = &node.kind else {
             continue;
         };
-        let mut inputs = Vec::with_capacity(node.inputs.len());
-        for i in &node.inputs {
-            inputs.push(
-                schemas
-                    .get(i)
-                    .cloned()
-                    .ok_or_else(|| DataflowError::UnknownNode(i.clone()))?,
-            );
+        let Some(inputs) = node
+            .inputs
+            .iter()
+            .map(|i| schemas.get(i).cloned())
+            .collect::<Option<Vec<_>>>()
+        else {
+            continue;
+        };
+        match spec.output_schema(&inputs) {
+            Ok(out) => {
+                schemas.insert(name.clone(), out);
+            }
+            Err(error) => errors.push(DataflowError::AtNode {
+                node: name.clone(),
+                error,
+            }),
         }
-        let out = spec
-            .output_schema(&inputs)
-            .map_err(|error| DataflowError::AtNode { node: name.clone(), error })?;
-        schemas.insert(name.clone(), out);
     }
-    Ok(ValidationReport { schemas, topo_order })
+    FullValidation {
+        errors,
+        schemas,
+        topo_order,
+    }
 }
 
 #[cfg(test)]
@@ -91,9 +152,21 @@ mod tests {
     fn schemas_propagate_through_pipeline() {
         let df = DataflowBuilder::new("demo")
             .source("temp", SubscriptionFilter::any(), schema())
-            .virtual_property("at", "temp", "apparent", "apparent_temperature(temperature, humidity)")
+            .virtual_property(
+                "at",
+                "temp",
+                "apparent",
+                "apparent_temperature(temperature, humidity)",
+            )
             .filter("hot", "at", "apparent > 27")
-            .aggregate("hourly", "hot", Duration::from_hours(1), &["station"], AggFunc::Avg, Some("apparent"))
+            .aggregate(
+                "hourly",
+                "hot",
+                Duration::from_hours(1),
+                &["station"],
+                AggFunc::Avg,
+                Some("apparent"),
+            )
             .sink("out", SinkKind::Warehouse, &["hourly"])
             .build()
             .unwrap();
@@ -130,7 +203,14 @@ mod tests {
         // mistake the GUI prevents.
         let df = DataflowBuilder::new("demo")
             .source("temp", SubscriptionFilter::any(), schema())
-            .aggregate("agg", "temp", Duration::from_secs(60), &[], AggFunc::Avg, Some("temperature"))
+            .aggregate(
+                "agg",
+                "temp",
+                Duration::from_secs(60),
+                &[],
+                AggFunc::Avg,
+                Some("temperature"),
+            )
             .filter("bad", "agg", "temperature > 25") // gone: only avg_temperature
             .sink("out", SinkKind::Console, &["bad"])
             .build()
@@ -155,7 +235,13 @@ mod tests {
         let df = DataflowBuilder::new("j")
             .source("t", SubscriptionFilter::any(), left)
             .source("r", SubscriptionFilter::any(), right)
-            .join("joined", "t", "r", Duration::from_secs(10), "station = right_station")
+            .join(
+                "joined",
+                "t",
+                "r",
+                Duration::from_secs(10),
+                "station = right_station",
+            )
             .sink("out", SinkKind::Console, &["joined"])
             .build()
             .unwrap();
@@ -174,6 +260,52 @@ mod tests {
             .build()
             .unwrap();
         assert!(matches!(validate(&df), Err(DataflowError::Dsn(_))));
+    }
+
+    #[test]
+    fn validate_full_accumulates_independent_failures() {
+        // Two independent bad branches off the same source: the fail-fast API
+        // reports one, the full report shows both — and the good branch's
+        // schema still resolves.
+        let df = DataflowBuilder::new("multi")
+            .source("temp", SubscriptionFilter::any(), schema())
+            .filter("bad_a", "temp", "wind_speed > 5") // unknown attribute
+            .transform("bad_b", "temp", &[("station", "station + 1")]) // str + int
+            .filter("good", "temp", "temperature > 25")
+            .sink("out", SinkKind::Console, &["bad_a", "bad_b", "good"])
+            .build()
+            .unwrap();
+        let full = validate_full(&df);
+        assert_eq!(full.errors.len(), 2, "{:?}", full.errors);
+        let nodes: Vec<_> = full
+            .errors
+            .iter()
+            .filter_map(|e| match e {
+                DataflowError::AtNode { node, .. } => Some(node.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(nodes.contains(&"bad_a") && nodes.contains(&"bad_b"));
+        assert!(full.schemas.contains_key("good"));
+        assert!(!full.schemas.contains_key("bad_a"));
+        assert!(matches!(validate(&df), Err(DataflowError::AtNode { .. })));
+    }
+
+    #[test]
+    fn validate_full_skips_starved_downstream_nodes() {
+        // `bad` fails, so `after` has no input schema: it must be skipped,
+        // not blamed for its upstream's failure.
+        let df = DataflowBuilder::new("cascade")
+            .source("temp", SubscriptionFilter::any(), schema())
+            .filter("bad", "temp", "wind_speed > 5")
+            .filter("after", "bad", "temperature > 0")
+            .sink("out", SinkKind::Console, &["after"])
+            .build()
+            .unwrap();
+        let full = validate_full(&df);
+        assert_eq!(full.errors.len(), 1, "{:?}", full.errors);
+        assert!(matches!(&full.errors[0], DataflowError::AtNode { node, .. } if node == "bad"));
+        assert!(!full.schemas.contains_key("after"));
     }
 
     #[test]

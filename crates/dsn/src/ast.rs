@@ -127,7 +127,10 @@ pub struct DsnDocument {
 impl DsnDocument {
     /// An empty document with the given name.
     pub fn new(name: &str) -> DsnDocument {
-        DsnDocument { name: name.to_string(), ..Default::default() }
+        DsnDocument {
+            name: name.to_string(),
+            ..Default::default()
+        }
     }
 
     /// Look up a source by name.
@@ -194,7 +197,9 @@ mod tests {
         });
         d.services.push(ServiceDecl {
             name: "f".into(),
-            spec: OpSpec::Filter { condition: "v > 1".into() },
+            spec: OpSpec::Filter {
+                condition: "v > 1".into(),
+            },
             inputs: vec!["temp".into()],
         });
         d.sinks.push(SinkDecl {
@@ -238,7 +243,11 @@ mod tests {
 
     #[test]
     fn sink_kind_round_trip() {
-        for k in [SinkKind::Warehouse, SinkKind::Console, SinkKind::Visualization] {
+        for k in [
+            SinkKind::Warehouse,
+            SinkKind::Console,
+            SinkKind::Visualization,
+        ] {
             assert_eq!(SinkKind::parse(k.name()), Some(k));
         }
         assert_eq!(SinkKind::parse("printer"), None);

@@ -60,13 +60,26 @@ pub enum ScnCommand {
 impl fmt::Display for ScnCommand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScnCommand::BindSource { source, filter, active } => {
-                write!(f, "BIND {source} <- [{filter}] {}", if *active { "ACTIVE" } else { "GATED" })
+            ScnCommand::BindSource {
+                source,
+                filter,
+                active,
+            } => {
+                write!(
+                    f,
+                    "BIND {source} <- [{filter}] {}",
+                    if *active { "ACTIVE" } else { "GATED" }
+                )
             }
             ScnCommand::SpawnProcess { service, spec, .. } => {
                 write!(f, "SPAWN {service} := {spec}")
             }
-            ScnCommand::InstallFlow { from, to, port, qos } => {
+            ScnCommand::InstallFlow {
+                from,
+                to,
+                port,
+                qos,
+            } => {
                 write!(f, "FLOW {from} -> {to}:{port} [{qos}]")
             }
             ScnCommand::ConfigureSink { sink, kind } => write!(f, "SINK {sink} ({kind})"),
@@ -129,7 +142,10 @@ pub fn compile(doc: &DsnDocument) -> Result<ScnProgram, DsnError> {
         });
     }
     for sink in &doc.sinks {
-        commands.push(ScnCommand::ConfigureSink { sink: sink.name.clone(), kind: sink.kind });
+        commands.push(ScnCommand::ConfigureSink {
+            sink: sink.name.clone(),
+            kind: sink.kind,
+        });
     }
     for (from, to, port) in doc.edges() {
         commands.push(ScnCommand::InstallFlow {
@@ -139,7 +155,10 @@ pub fn compile(doc: &DsnDocument) -> Result<ScnProgram, DsnError> {
             port,
         });
     }
-    Ok(ScnProgram { name: doc.name.clone(), commands })
+    Ok(ScnProgram {
+        name: doc.name.clone(),
+        commands,
+    })
 }
 
 #[cfg(test)]
@@ -203,7 +222,10 @@ mod tests {
             })
             .collect();
         // binds, then spawns, then sink configs, then flows.
-        assert_eq!(kinds, vec!["bind", "bind", "spawn", "spawn", "sink", "flow", "flow", "flow"]);
+        assert_eq!(
+            kinds,
+            vec!["bind", "bind", "spawn", "spawn", "sink", "flow", "flow", "flow"]
+        );
         // Declaration order `trig, agg` is corrected to topological `agg, trig`.
         let spawns: Vec<&str> = prog
             .commands

@@ -56,14 +56,25 @@ impl fmt::Display for DsnError {
             DsnError::UnknownInput { consumer, input } => {
                 write!(f, "`{consumer}` reads from unknown stream `{input}`")
             }
-            DsnError::WrongArity { service, expected, found } => {
-                write!(f, "service `{service}` needs {expected} input(s), has {found}")
+            DsnError::WrongArity {
+                service,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "service `{service}` needs {expected} input(s), has {found}"
+                )
             }
-            DsnError::Cycle { witness } => write!(f, "service graph has a cycle through `{witness}`"),
+            DsnError::Cycle { witness } => {
+                write!(f, "service graph has a cycle through `{witness}`")
+            }
             DsnError::UnknownTriggerTarget { service, target } => {
                 write!(f, "trigger `{service}` targets unknown source `{target}`")
             }
-            DsnError::UnknownChannelEndpoint(n) => write!(f, "channel endpoint `{n}` does not exist"),
+            DsnError::UnknownChannelEndpoint(n) => {
+                write!(f, "channel endpoint `{n}` does not exist")
+            }
             DsnError::Invalid(msg) => write!(f, "invalid document: {msg}"),
         }
     }
@@ -77,9 +88,16 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = DsnError::Parse { line: 3, message: "expected `{`".into() };
+        let e = DsnError::Parse {
+            line: 3,
+            message: "expected `{`".into(),
+        };
         assert!(e.to_string().contains("line 3"));
-        let e = DsnError::WrongArity { service: "j".into(), expected: 2, found: 1 };
+        let e = DsnError::WrongArity {
+            service: "j".into(),
+            expected: 2,
+            found: 1,
+        };
         assert!(e.to_string().contains('j'));
     }
 }

@@ -62,4 +62,4 @@ pub use compile::{compile, ScnCommand, ScnProgram};
 pub use error::DsnError;
 pub use parser::parse_document;
 pub use printer::print_document;
-pub use validate::validate;
+pub use validate::{validate, validate_full, DsnValidation};

@@ -9,9 +9,7 @@ use crate::error::DsnError;
 use sl_netsim::QosSpec;
 use sl_ops::{AggFunc, OpSpec};
 use sl_pubsub::{SensorKind, SubscriptionFilter};
-use sl_stt::{
-    AttrType, BoundingBox, Duration, GeoPoint, Theme, TimeInterval, Timestamp,
-};
+use sl_stt::{AttrType, BoundingBox, Duration, GeoPoint, Theme, TimeInterval, Timestamp};
 
 /// Parse a DSN document from text.
 pub fn parse_document(src: &str) -> Result<DsnDocument, DsnError> {
@@ -51,7 +49,9 @@ pub fn parse_document(src: &str) -> Result<DsnDocument, DsnError> {
                 doc.channels.push(build_channel(&from, &to, props, c.line)?);
             }
             other => {
-                return Err(c.err(format!("expected source/service/sink/channel, found `{other}`")));
+                return Err(c.err(format!(
+                    "expected source/service/sink/channel, found `{other}`"
+                )));
             }
         }
     }
@@ -77,11 +77,19 @@ type Props = Vec<(String, String, usize)>; // key, raw value, line
 
 impl<'a> Cursor<'a> {
     fn new(text: &'a str) -> Cursor<'a> {
-        Cursor { src: text.as_bytes(), text, pos: 0, line: 1 }
+        Cursor {
+            src: text.as_bytes(),
+            text,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn err(&self, message: String) -> DsnError {
-        DsnError::Parse { line: self.line, message }
+        DsnError::Parse {
+            line: self.line,
+            message,
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -329,7 +337,10 @@ fn parse_f64(v: &str, what: &str, line: usize) -> Result<f64, DsnError> {
 fn parse_box(v: &str, line: usize) -> Result<BoundingBox, DsnError> {
     let parts: Vec<&str> = v.split("..").collect();
     if parts.len() != 2 {
-        return Err(perr(line, format!("`{v}` is not a `(lat, lon)..(lat, lon)` box")));
+        return Err(perr(
+            line,
+            format!("`{v}` is not a `(lat, lon)..(lat, lon)` box"),
+        ));
     }
     let mut corners = Vec::with_capacity(2);
     for p in parts {
@@ -419,20 +430,33 @@ fn build_source(name: &str, props: Props, line: usize) -> Result<SourceDecl, Dsn
         Some("gated") => SourceMode::Gated,
         Some(other) => return Err(perr(line, format!("unknown source mode `{other}`"))),
     };
-    Ok(SourceDecl { name: name.to_string(), filter, mode })
+    Ok(SourceDecl {
+        name: name.to_string(),
+        filter,
+        mode,
+    })
 }
 
 fn parse_names(v: &str) -> Vec<String> {
-    split_commas(v).into_iter().filter(|s| !s.is_empty()).collect()
+    split_commas(v)
+        .into_iter()
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 fn build_service(name: &str, props: Props, line: usize) -> Result<ServiceDecl, DsnError> {
     let op = require(&props, "op", line)?;
     let period = |key: &str| -> Result<Duration, DsnError> {
-        Ok(Duration::from_millis(parse_u64(require(&props, key, line)?, "period", line)?))
+        Ok(Duration::from_millis(parse_u64(
+            require(&props, key, line)?,
+            "period",
+            line,
+        )?))
     };
     let spec = match op {
-        "filter" => OpSpec::Filter { condition: unquote(require(&props, "condition", line)?) },
+        "filter" => OpSpec::Filter {
+            condition: unquote(require(&props, "condition", line)?),
+        },
         "transform" => {
             let raw = require(&props, "assign", line)?;
             let mut assignments = Vec::new();
@@ -465,7 +489,10 @@ fn build_service(name: &str, props: Props, line: usize) -> Result<ServiceDecl, D
                 return Err(perr(line, "interval end before start".into()));
             }
             OpSpec::CullTime {
-                interval: TimeInterval::new(Timestamp::from_millis(start), Timestamp::from_millis(end)),
+                interval: TimeInterval::new(
+                    Timestamp::from_millis(start),
+                    Timestamp::from_millis(end),
+                ),
                 rate: parse_u64(require(&props, "rate", line)?, "rate", line)?,
             }
         }
@@ -475,7 +502,9 @@ fn build_service(name: &str, props: Props, line: usize) -> Result<ServiceDecl, D
         },
         "aggregate" => OpSpec::Aggregate {
             period: period("period")?,
-            group_by: take(&props, "group_by").map(|(_, v, _)| parse_names(v)).unwrap_or_default(),
+            group_by: take(&props, "group_by")
+                .map(|(_, v, _)| parse_names(v))
+                .unwrap_or_default(),
             func: AggFunc::parse(require(&props, "func", line)?)
                 .map_err(|e| perr(line, e.to_string()))?,
             attr: take(&props, "attr").map(|(_, v, _)| v.to_string()),
@@ -501,19 +530,31 @@ fn build_service(name: &str, props: Props, line: usize) -> Result<ServiceDecl, D
         other => return Err(perr(line, format!("unknown operation `{other}`"))),
     };
     let inputs = parse_names(require(&props, "inputs", line)?);
-    Ok(ServiceDecl { name: name.to_string(), spec, inputs })
+    Ok(ServiceDecl {
+        name: name.to_string(),
+        spec,
+        inputs,
+    })
 }
 
 fn build_sink(name: &str, props: Props, line: usize) -> Result<SinkDecl, DsnError> {
     let kind = SinkKind::parse(require(&props, "kind", line)?)
         .ok_or_else(|| perr(line, "unknown sink kind".into()))?;
     let inputs = parse_names(require(&props, "inputs", line)?);
-    Ok(SinkDecl { name: name.to_string(), kind, inputs })
+    Ok(SinkDecl {
+        name: name.to_string(),
+        kind,
+        inputs,
+    })
 }
 
 fn build_channel(from: &str, to: &str, props: Props, line: usize) -> Result<ChannelDecl, DsnError> {
     let qos = parse_qos(require(&props, "qos", line)?, line)?;
-    Ok(ChannelDecl { from: from.to_string(), to: to.to_string(), qos })
+    Ok(ChannelDecl {
+        from: from.to_string(),
+        to: to.to_string(),
+        qos,
+    })
 }
 
 #[cfg(test)]
@@ -565,7 +606,10 @@ dsn "osaka-hot-weather" {
 
         let temp = doc.source("temperature").unwrap();
         assert_eq!(temp.mode, SourceMode::Active);
-        assert_eq!(temp.filter.theme.as_ref().unwrap().as_str(), "weather/temperature");
+        assert_eq!(
+            temp.filter.theme.as_ref().unwrap().as_str(),
+            "weather/temperature"
+        );
         assert!(temp.filter.area.is_some());
 
         let rain = doc.source("rain").unwrap();
@@ -574,7 +618,13 @@ dsn "osaka-hot-weather" {
 
         let agg = doc.service("hourly_avg").unwrap();
         match &agg.spec {
-            OpSpec::Aggregate { period, group_by, func, attr, sliding } => {
+            OpSpec::Aggregate {
+                period,
+                group_by,
+                func,
+                attr,
+                sliding,
+            } => {
                 assert_eq!(*sliding, None);
                 assert_eq!(*period, Duration::from_hours(1));
                 assert_eq!(group_by, &["station".to_string()]);
@@ -586,7 +636,9 @@ dsn "osaka-hot-weather" {
 
         let hot = doc.service("hot").unwrap();
         match &hot.spec {
-            OpSpec::TriggerOn { condition, targets, .. } => {
+            OpSpec::TriggerOn {
+                condition, targets, ..
+            } => {
                 assert_eq!(condition, "avg_temperature > 25");
                 assert_eq!(targets, &["rain".to_string()]);
             }

@@ -89,8 +89,10 @@ fn print_service(out: &mut String, s: &ServiceDecl) {
         }
         OpSpec::Transform { assignments } => {
             let _ = writeln!(out, "    op: transform;");
-            let rendered: Vec<String> =
-                assignments.iter().map(|(a, e)| format!("{a} := {}", q(e))).collect();
+            let rendered: Vec<String> = assignments
+                .iter()
+                .map(|(a, e)| format!("{a} := {}", q(e)))
+                .collect();
             let _ = writeln!(out, "    assign: {};", rendered.join(", "));
         }
         OpSpec::VirtualProperty { property, spec } => {
@@ -117,7 +119,13 @@ fn print_service(out: &mut String, s: &ServiceDecl) {
             );
             let _ = writeln!(out, "    rate: {rate};");
         }
-        OpSpec::Aggregate { period, group_by, func, attr, sliding } => {
+        OpSpec::Aggregate {
+            period,
+            group_by,
+            func,
+            attr,
+            sliding,
+        } => {
             let _ = writeln!(out, "    op: aggregate;");
             let _ = writeln!(out, "    period: {};", period.as_millis());
             if let Some(span) = sliding {
@@ -136,13 +144,21 @@ fn print_service(out: &mut String, s: &ServiceDecl) {
             let _ = writeln!(out, "    period: {};", period.as_millis());
             let _ = writeln!(out, "    predicate: {};", q(predicate));
         }
-        OpSpec::TriggerOn { period, condition, targets } => {
+        OpSpec::TriggerOn {
+            period,
+            condition,
+            targets,
+        } => {
             let _ = writeln!(out, "    op: trigger_on;");
             let _ = writeln!(out, "    period: {};", period.as_millis());
             let _ = writeln!(out, "    condition: {};", q(condition));
             let _ = writeln!(out, "    targets: {};", targets.join(", "));
         }
-        OpSpec::TriggerOff { period, condition, targets } => {
+        OpSpec::TriggerOff {
+            period,
+            condition,
+            targets,
+        } => {
             let _ = writeln!(out, "    op: trigger_off;");
             let _ = writeln!(out, "    period: {};", period.as_millis());
             let _ = writeln!(out, "    condition: {};", q(condition));
@@ -192,7 +208,8 @@ mod tests {
         let mut d = DsnDocument::new("osaka");
         d.sources.push(SourceDecl {
             name: "temperature".into(),
-            filter: SubscriptionFilter::any().with_theme(Theme::new("weather/temperature").unwrap()),
+            filter: SubscriptionFilter::any()
+                .with_theme(Theme::new("weather/temperature").unwrap()),
             mode: SourceMode::Active,
         });
         d.services.push(ServiceDecl {

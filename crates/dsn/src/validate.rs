@@ -5,19 +5,61 @@
 //! schema-level checks live in `sl-dataflow::validate`, which runs *before*
 //! translation. Validation here is what the SCN side re-checks on receipt
 //! of a document (defence in depth: documents can also be authored by hand).
+//!
+//! Validation *accumulates*: [`validate_full`] runs every check and returns
+//! all structural problems at once, so a designer fixing a hand-authored
+//! document sees the complete picture rather than one error per round trip.
+//! [`validate`] keeps the original fail-fast contract (first error wins) on
+//! top of the same machinery.
 
 use crate::ast::{DsnDocument, SourceMode};
 use crate::error::DsnError;
 use std::collections::{HashMap, HashSet};
 
+/// The full outcome of structural validation: every problem found, plus the
+/// topological service order when the dependency graph is well-formed.
+#[derive(Debug, Clone, Default)]
+pub struct DsnValidation {
+    /// Every structural problem, in check order (names, inputs, arity,
+    /// triggers, gating, channels, cycles).
+    pub errors: Vec<DsnError>,
+    /// Service names in a valid execution order; `None` when a cycle (or a
+    /// dependency problem that prevents ordering) was found.
+    pub topo_order: Option<Vec<String>>,
+}
+
+impl DsnValidation {
+    /// True when no structural problem was found.
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// The first (worst) error, mirroring the historical fail-fast result.
+    pub fn worst(&self) -> Option<&DsnError> {
+        self.errors.first()
+    }
+}
+
 /// Validate a document's structure. Returns the service names in a valid
-/// topological execution order.
+/// topological execution order, or the first structural error found.
 pub fn validate(doc: &DsnDocument) -> Result<Vec<String>, DsnError> {
+    let mut full = validate_full(doc);
+    if full.errors.is_empty() {
+        Ok(full.topo_order.take().unwrap_or_default())
+    } else {
+        Err(full.errors.remove(0))
+    }
+}
+
+/// Run every structural check and collect all diagnostics.
+pub fn validate_full(doc: &DsnDocument) -> DsnValidation {
+    let mut errors = Vec::new();
+
     // 1. Unique names.
     let mut seen = HashSet::new();
     for name in doc.names() {
         if !seen.insert(name) {
-            return Err(DsnError::DuplicateName(name.to_string()));
+            errors.push(DsnError::DuplicateName(name.to_string()));
         }
     }
 
@@ -31,7 +73,7 @@ pub fn validate(doc: &DsnDocument) -> Result<Vec<String>, DsnError> {
     for svc in &doc.services {
         for input in &svc.inputs {
             if !producers.contains(input.as_str()) {
-                return Err(DsnError::UnknownInput {
+                errors.push(DsnError::UnknownInput {
                     consumer: svc.name.clone(),
                     input: input.clone(),
                 });
@@ -40,7 +82,7 @@ pub fn validate(doc: &DsnDocument) -> Result<Vec<String>, DsnError> {
         // 3. Arity.
         let expected = svc.spec.input_ports();
         if svc.inputs.len() != expected {
-            return Err(DsnError::WrongArity {
+            errors.push(DsnError::WrongArity {
                 service: svc.name.clone(),
                 expected,
                 found: svc.inputs.len(),
@@ -49,11 +91,14 @@ pub fn validate(doc: &DsnDocument) -> Result<Vec<String>, DsnError> {
     }
     for sink in &doc.sinks {
         if sink.inputs.is_empty() {
-            return Err(DsnError::Invalid(format!("sink `{}` has no inputs", sink.name)));
+            errors.push(DsnError::Invalid(format!(
+                "sink `{}` has no inputs",
+                sink.name
+            )));
         }
         for input in &sink.inputs {
             if !producers.contains(input.as_str()) {
-                return Err(DsnError::UnknownInput {
+                errors.push(DsnError::UnknownInput {
                     consumer: sink.name.clone(),
                     input: input.clone(),
                 });
@@ -67,7 +112,7 @@ pub fn validate(doc: &DsnDocument) -> Result<Vec<String>, DsnError> {
         if let Some(targets) = svc.spec.trigger_targets() {
             for t in targets {
                 if !source_names.contains(t.as_str()) {
-                    return Err(DsnError::UnknownTriggerTarget {
+                    errors.push(DsnError::UnknownTriggerTarget {
                         service: svc.name.clone(),
                         target: t.clone(),
                     });
@@ -88,7 +133,7 @@ pub fn validate(doc: &DsnDocument) -> Result<Vec<String>, DsnError> {
     }
     for src in &doc.sources {
         if src.mode == SourceMode::Gated && !activated.contains(src.name.as_str()) {
-            return Err(DsnError::Invalid(format!(
+            errors.push(DsnError::Invalid(format!(
                 "gated source `{}` is never activated by a trigger",
                 src.name
             )));
@@ -103,13 +148,12 @@ pub fn validate(doc: &DsnDocument) -> Result<Vec<String>, DsnError> {
         .collect();
     for ch in &doc.channels {
         if !producers.contains(ch.from.as_str()) && doc.sink(&ch.from).is_none() {
-            return Err(DsnError::UnknownChannelEndpoint(ch.from.clone()));
+            errors.push(DsnError::UnknownChannelEndpoint(ch.from.clone()));
         }
         if doc.service(&ch.to).is_none() && doc.sink(&ch.to).is_none() {
-            return Err(DsnError::UnknownChannelEndpoint(ch.to.clone()));
-        }
-        if !edges.contains(&(ch.from.clone(), ch.to.clone())) {
-            return Err(DsnError::Invalid(format!(
+            errors.push(DsnError::UnknownChannelEndpoint(ch.to.clone()));
+        } else if !edges.contains(&(ch.from.clone(), ch.to.clone())) {
+            errors.push(DsnError::Invalid(format!(
                 "channel {} -> {} does not correspond to a dataflow edge",
                 ch.from, ch.to
             )));
@@ -118,8 +162,12 @@ pub fn validate(doc: &DsnDocument) -> Result<Vec<String>, DsnError> {
 
     // 7. Acyclicity + topological order of services (Kahn's algorithm over
     //    service-to-service dependencies).
-    let service_idx: HashMap<&str, usize> =
-        doc.services.iter().enumerate().map(|(i, s)| (s.name.as_str(), i)).collect();
+    let service_idx: HashMap<&str, usize> = doc
+        .services
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.name.as_str(), i))
+        .collect();
     let n = doc.services.len();
     let mut indegree = vec![0usize; n];
     let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -146,7 +194,9 @@ pub fn validate(doc: &DsnDocument) -> Result<Vec<String>, DsnError> {
             }
         }
     }
-    if order.len() != n {
+    let topo_order = if order.len() == n {
+        Some(order)
+    } else {
         let witness = doc
             .services
             .iter()
@@ -154,9 +204,11 @@ pub fn validate(doc: &DsnDocument) -> Result<Vec<String>, DsnError> {
             .find(|(i, _)| indegree[*i] > 0)
             .map(|(_, s)| s.name.clone())
             .unwrap_or_default();
-        return Err(DsnError::Cycle { witness });
-    }
-    Ok(order)
+        errors.push(DsnError::Cycle { witness });
+        None
+    };
+
+    DsnValidation { errors, topo_order }
 }
 
 #[cfg(test)]
@@ -168,13 +220,19 @@ mod tests {
     use sl_stt::Duration;
 
     fn source(name: &str, mode: SourceMode) -> SourceDecl {
-        SourceDecl { name: name.into(), filter: SubscriptionFilter::any(), mode }
+        SourceDecl {
+            name: name.into(),
+            filter: SubscriptionFilter::any(),
+            mode,
+        }
     }
 
     fn filter_svc(name: &str, input: &str) -> ServiceDecl {
         ServiceDecl {
             name: name.into(),
-            spec: OpSpec::Filter { condition: "true".into() },
+            spec: OpSpec::Filter {
+                condition: "true".into(),
+            },
             inputs: vec![input.into()],
         }
     }
@@ -184,7 +242,11 @@ mod tests {
         d.sources.push(source("a", SourceMode::Active));
         d.services.push(filter_svc("f1", "a"));
         d.services.push(filter_svc("f2", "f1"));
-        d.sinks.push(SinkDecl { name: "out".into(), kind: SinkKind::Console, inputs: vec!["f2".into()] });
+        d.sinks.push(SinkDecl {
+            name: "out".into(),
+            kind: SinkKind::Console,
+            inputs: vec!["f2".into()],
+        });
         d
     }
 
@@ -220,10 +282,20 @@ mod tests {
         let mut d = valid_doc();
         d.services.push(ServiceDecl {
             name: "j".into(),
-            spec: OpSpec::Join { period: Duration::from_secs(1), predicate: "true".into() },
+            spec: OpSpec::Join {
+                period: Duration::from_secs(1),
+                predicate: "true".into(),
+            },
             inputs: vec!["a".into()],
         });
-        assert!(matches!(validate(&d), Err(DsnError::WrongArity { expected: 2, found: 1, .. })));
+        assert!(matches!(
+            validate(&d),
+            Err(DsnError::WrongArity {
+                expected: 2,
+                found: 1,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -232,7 +304,10 @@ mod tests {
         d.sources.push(source("a", SourceMode::Active));
         d.services.push(ServiceDecl {
             name: "x".into(),
-            spec: OpSpec::Join { period: Duration::from_secs(1), predicate: "true".into() },
+            spec: OpSpec::Join {
+                period: Duration::from_secs(1),
+                predicate: "true".into(),
+            },
             inputs: vec!["a".into(), "y".into()],
         });
         d.services.push(filter_svc("y", "x"));
@@ -251,7 +326,10 @@ mod tests {
             },
             inputs: vec!["a".into()],
         });
-        assert!(matches!(validate(&d), Err(DsnError::UnknownTriggerTarget { .. })));
+        assert!(matches!(
+            validate(&d),
+            Err(DsnError::UnknownTriggerTarget { .. })
+        ));
     }
 
     #[test]
@@ -288,13 +366,66 @@ mod tests {
             to: "f1".into(),
             qos: Default::default(),
         });
-        assert!(matches!(validate(&d), Err(DsnError::UnknownChannelEndpoint(_))));
+        assert!(matches!(
+            validate(&d),
+            Err(DsnError::UnknownChannelEndpoint(_))
+        ));
     }
 
     #[test]
     fn empty_sink_rejected() {
         let mut d = valid_doc();
-        d.sinks.push(SinkDecl { name: "empty".into(), kind: SinkKind::Console, inputs: vec![] });
+        d.sinks.push(SinkDecl {
+            name: "empty".into(),
+            kind: SinkKind::Console,
+            inputs: vec![],
+        });
         assert!(matches!(validate(&d), Err(DsnError::Invalid(_))));
+    }
+
+    #[test]
+    fn validate_full_accumulates_every_problem() {
+        let mut d = valid_doc();
+        d.sources.push(source("f1", SourceMode::Active)); // duplicate name
+        d.services.push(filter_svc("f3", "ghost")); // unknown input
+        d.sinks.push(SinkDecl {
+            name: "empty".into(),
+            kind: SinkKind::Console,
+            inputs: vec![],
+        });
+        let full = validate_full(&d);
+        assert!(!full.is_clean());
+        assert!(
+            full.errors.len() >= 3,
+            "expected 3+ accumulated errors, got {:?}",
+            full.errors
+        );
+        assert!(full
+            .errors
+            .iter()
+            .any(|e| matches!(e, DsnError::DuplicateName(_))));
+        assert!(full
+            .errors
+            .iter()
+            .any(|e| matches!(e, DsnError::UnknownInput { .. })));
+        assert!(full
+            .errors
+            .iter()
+            .any(|e| matches!(e, DsnError::Invalid(_))));
+        // The fail-fast API surfaces the first of them.
+        assert!(matches!(validate(&d), Err(DsnError::DuplicateName(_))));
+        // Ordering survives independent problems elsewhere in the document.
+        assert!(full.topo_order.is_some());
+    }
+
+    #[test]
+    fn validate_full_clean_document_reports_nothing() {
+        let full = validate_full(&valid_doc());
+        assert!(full.is_clean());
+        assert!(full.worst().is_none());
+        assert_eq!(
+            full.topo_order.as_deref(),
+            Some(&["f1".to_string(), "f2".to_string()][..])
+        );
     }
 }

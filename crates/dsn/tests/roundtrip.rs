@@ -9,9 +9,7 @@ use sl_dsn::{
 use sl_netsim::QosSpec;
 use sl_ops::{AggFunc, OpSpec};
 use sl_pubsub::{SensorKind, SubscriptionFilter};
-use sl_stt::{
-    AttrType, BoundingBox, Duration, GeoPoint, Theme, TimeInterval, Timestamp,
-};
+use sl_stt::{AttrType, BoundingBox, Duration, GeoPoint, Theme, TimeInterval, Timestamp};
 
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,10}".prop_map(|s| s)
@@ -39,7 +37,10 @@ fn arb_filter() -> impl Strategy<Value = SubscriptionFilter> {
     (
         proptest::option::of(arb_theme()),
         proptest::option::of(arb_box()),
-        proptest::option::of(prop_oneof![Just(SensorKind::Physical), Just(SensorKind::Social)]),
+        proptest::option::of(prop_oneof![
+            Just(SensorKind::Physical),
+            Just(SensorKind::Social)
+        ]),
         proptest::collection::vec(("[a-z]{1,6}", 0usize..6), 0..3),
         proptest::option::of("[a-z*?]{1,8}"),
         proptest::option::of(1u64..100_000),
@@ -76,14 +77,15 @@ fn arb_expr_text() -> impl Strategy<Value = String> {
 fn arb_spec() -> impl Strategy<Value = OpSpec> {
     prop_oneof![
         arb_expr_text().prop_map(|condition| OpSpec::Filter { condition }),
-        (ident(), arb_expr_text())
-            .prop_map(|(a, e)| OpSpec::Transform { assignments: vec![(a, e)] }),
-        (ident(), arb_expr_text()).prop_map(|(p, s)| OpSpec::VirtualProperty { property: p, spec: s }),
+        (ident(), arb_expr_text()).prop_map(|(a, e)| OpSpec::Transform {
+            assignments: vec![(a, e)]
+        }),
+        (ident(), arb_expr_text()).prop_map(|(p, s)| OpSpec::VirtualProperty {
+            property: p,
+            spec: s
+        }),
         (0i64..1000, 1i64..1000, 1u64..100).prop_map(|(s, d, rate)| OpSpec::CullTime {
-            interval: TimeInterval::new(
-                Timestamp::from_millis(s),
-                Timestamp::from_millis(s + d)
-            ),
+            interval: TimeInterval::new(Timestamp::from_millis(s), Timestamp::from_millis(s + d)),
             rate,
         }),
         (arb_box(), 1u64..100).prop_map(|(area, rate)| OpSpec::CullSpace { area, rate }),
@@ -97,7 +99,11 @@ fn arb_spec() -> impl Strategy<Value = OpSpec> {
             .prop_map(|(p, group_by, fi, attr, sliding)| {
                 let func = AggFunc::ALL[fi];
                 // COUNT may omit attr; others need one.
-                let attr = if func == AggFunc::Count { attr } else { Some(attr.unwrap_or_else(|| "v".into())) };
+                let attr = if func == AggFunc::Count {
+                    attr
+                } else {
+                    Some(attr.unwrap_or_else(|| "v".into()))
+                };
                 OpSpec::Aggregate {
                     period: Duration::from_millis(p),
                     group_by,
@@ -106,32 +112,42 @@ fn arb_spec() -> impl Strategy<Value = OpSpec> {
                     sliding: sliding.map(Duration::from_millis),
                 }
             }),
-        (1u64..10_000_000, arb_expr_text())
-            .prop_map(|(p, predicate)| OpSpec::Join { period: Duration::from_millis(p), predicate }),
-        (1u64..10_000_000, arb_expr_text(), proptest::collection::vec(ident(), 1..3)).prop_map(
-            |(p, condition, targets)| OpSpec::TriggerOn {
+        (1u64..10_000_000, arb_expr_text()).prop_map(|(p, predicate)| OpSpec::Join {
+            period: Duration::from_millis(p),
+            predicate
+        }),
+        (
+            1u64..10_000_000,
+            arb_expr_text(),
+            proptest::collection::vec(ident(), 1..3)
+        )
+            .prop_map(|(p, condition, targets)| OpSpec::TriggerOn {
                 period: Duration::from_millis(p),
                 condition,
                 targets,
-            }
-        ),
-        (1u64..10_000_000, arb_expr_text(), proptest::collection::vec(ident(), 1..3)).prop_map(
-            |(p, condition, targets)| OpSpec::TriggerOff {
+            }),
+        (
+            1u64..10_000_000,
+            arb_expr_text(),
+            proptest::collection::vec(ident(), 1..3)
+        )
+            .prop_map(|(p, condition, targets)| OpSpec::TriggerOff {
                 period: Duration::from_millis(p),
                 condition,
                 targets,
-            }
-        ),
+            }),
     ]
 }
 
 fn arb_qos() -> impl Strategy<Value = QosSpec> {
-    (proptest::option::of(1u64..10_000), proptest::option::of(1u64..1_000_000_000)).prop_map(
-        |(lat, bw)| QosSpec {
+    (
+        proptest::option::of(1u64..10_000),
+        proptest::option::of(1u64..1_000_000_000),
+    )
+        .prop_map(|(lat, bw)| QosSpec {
             max_latency: lat.map(Duration::from_millis),
             min_bandwidth_bps: bw,
-        },
-    )
+        })
 }
 
 /// Documents here need not be *valid* (round-trip is purely syntactic);
@@ -142,7 +158,14 @@ fn arb_document() -> impl Strategy<Value = DsnDocument> {
         proptest::collection::vec((arb_filter(), any::<bool>()), 1..4),
         proptest::collection::vec((arb_spec(), proptest::collection::vec(ident(), 1..3)), 0..4),
         proptest::collection::vec(
-            (prop_oneof![Just(SinkKind::Warehouse), Just(SinkKind::Console), Just(SinkKind::Visualization)], ident()),
+            (
+                prop_oneof![
+                    Just(SinkKind::Warehouse),
+                    Just(SinkKind::Console),
+                    Just(SinkKind::Visualization)
+                ],
+                ident(),
+            ),
             0..2,
         ),
         proptest::collection::vec((ident(), ident(), arb_qos()), 0..3),
@@ -153,7 +176,11 @@ fn arb_document() -> impl Strategy<Value = DsnDocument> {
                 d.sources.push(SourceDecl {
                     name: format!("src{i}"),
                     filter,
-                    mode: if active { SourceMode::Active } else { SourceMode::Gated },
+                    mode: if active {
+                        SourceMode::Active
+                    } else {
+                        SourceMode::Gated
+                    },
                 });
             }
             for (i, (spec, mut inputs)) in services.into_iter().enumerate() {
@@ -161,10 +188,18 @@ fn arb_document() -> impl Strategy<Value = DsnDocument> {
                 while inputs.len() < spec.input_ports() {
                     inputs.push("src0".into());
                 }
-                d.services.push(ServiceDecl { name: format!("svc{i}"), spec, inputs });
+                d.services.push(ServiceDecl {
+                    name: format!("svc{i}"),
+                    spec,
+                    inputs,
+                });
             }
             for (i, (kind, input)) in sinks.into_iter().enumerate() {
-                d.sinks.push(SinkDecl { name: format!("sink{i}"), kind, inputs: vec![input] });
+                d.sinks.push(SinkDecl {
+                    name: format!("sink{i}"),
+                    kind,
+                    inputs: vec![input],
+                });
             }
             for (from, to, qos) in channels {
                 d.channels.push(ChannelDecl { from, to, qos });

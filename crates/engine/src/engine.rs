@@ -5,6 +5,7 @@ use crate::config::{EngineConfig, PlacementPolicy};
 use crate::deployment::{Deployment, EdgeRuntime, ServiceRuntime, SinkRuntime, SourceRuntime};
 use crate::error::EngineError;
 use crate::monitor::{ControlRecord, Monitor, PlacementChange};
+use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sl_dataflow::{to_dsn, validate, Dataflow};
@@ -18,7 +19,6 @@ use sl_obs::{Metrics, MetricsSnapshot, SpanKey, Tracer};
 use sl_ops::{ControlAction, OpCheckpoint, OpContext};
 use sl_pubsub::enrich::{enrich, EnrichPolicy};
 use sl_pubsub::{Broker, BrokerEvent, SensorAdvertisement, SubscriptionId};
-use bytes::Bytes;
 use sl_sensors::{decode_payload, SensorSim};
 use sl_stt::{Duration, SchemaRef, SensorId, Timestamp, Tuple, Value};
 use sl_warehouse::EventWarehouse;
@@ -36,10 +36,7 @@ enum Ev {
         tuple: Tuple,
     },
     /// A blocking operator's periodic tick.
-    Tick {
-        deployment: String,
-        service: String,
-    },
+    Tick { deployment: String, service: String },
     /// Monitor sampling (rates, demand refresh, migration check).
     MonitorSample,
     /// A scheduled fault-plan action fires.
@@ -236,7 +233,9 @@ impl Engine {
 
     /// Node currently hosting a service.
     pub fn node_of(&self, deployment: &str, service: &str) -> Option<NodeId> {
-        self.deployments.get(deployment).and_then(|d| d.node_of(service))
+        self.deployments
+            .get(deployment)
+            .and_then(|d| d.node_of(service))
     }
 
     /// Whether a source is currently acquiring.
@@ -284,7 +283,14 @@ impl Engine {
         self.queue.schedule_in(ad.period, Ev::SensorEmit(id.0));
         self.sensors.insert(
             id.0,
-            SensorEntry { sim, ad, stalled: false, corrupt: false, skew_ms: 0, expired: false },
+            SensorEntry {
+                sim,
+                ad,
+                stalled: false,
+                corrupt: false,
+                skew_ms: 0,
+                expired: false,
+            },
         );
         Ok(id)
     }
@@ -312,8 +318,12 @@ impl Engine {
                     let Some((dep, source)) = self.sub_index.get(&subscription.0).cloned() else {
                         continue;
                     };
-                    let Some(deployment) = self.deployments.get_mut(&dep) else { continue };
-                    let Some(src) = deployment.sources.get_mut(&source) else { continue };
+                    let Some(deployment) = self.deployments.get_mut(&dep) else {
+                        continue;
+                    };
+                    let Some(src) = deployment.sources.get_mut(&source) else {
+                        continue;
+                    };
                     if src.schema.subsumed_by(&ad.schema) {
                         src.sensors.insert(ad.id);
                     } else {
@@ -324,7 +334,10 @@ impl Engine {
                         ));
                     }
                 }
-                BrokerEvent::SensorLeft { subscription, sensor } => {
+                BrokerEvent::SensorLeft {
+                    subscription,
+                    sensor,
+                } => {
                     if let Some((dep, source)) = self.sub_index.get(&subscription.0).cloned() {
                         if let Some(deployment) = self.deployments.get_mut(&dep) {
                             if let Some(src) = deployment.sources.get_mut(&source) {
@@ -365,9 +378,14 @@ impl Engine {
 
         for command in &program.commands {
             match command {
-                ScnCommand::BindSource { source, filter, active } => {
+                ScnCommand::BindSource {
+                    source,
+                    filter,
+                    active,
+                } => {
                     let subscription: SubscriptionId = self.broker.subscribe(filter.clone());
-                    self.sub_index.insert(subscription.0, (name.clone(), source.clone()));
+                    self.sub_index
+                        .insert(subscription.0, (name.clone(), source.clone()));
                     let schema = report.schemas[source].clone();
                     let mut runtime = SourceRuntime {
                         filter: filter.clone(),
@@ -389,19 +407,26 @@ impl Engine {
                     }
                     deployment.sources.insert(source.clone(), runtime);
                 }
-                ScnCommand::SpawnProcess { service, spec, inputs } => {
+                ScnCommand::SpawnProcess {
+                    service,
+                    spec,
+                    inputs,
+                } => {
                     let input_schemas: Vec<SchemaRef> =
                         inputs.iter().map(|i| report.schemas[i].clone()).collect();
-                    let op = spec.instantiate(&input_schemas).map_err(|error| EngineError::Op {
-                        deployment: name.clone(),
-                        operator: service.clone(),
-                        error,
-                    })?;
+                    let op = spec
+                        .instantiate(&input_schemas)
+                        .map_err(|error| EngineError::Op {
+                            deployment: name.clone(),
+                            operator: service.clone(),
+                            error,
+                        })?;
                     let demand = self.config.initial_demand * op.cost_per_tuple();
                     let node = self.pick_node(&deployment, inputs, demand)?;
                     let process = ProcessId(self.next_pid);
                     self.next_pid += 1;
-                    self.loads.place(&self.topology, process, node, demand, false)?;
+                    self.loads
+                        .place(&self.topology, process, node, demand, false)?;
                     self.monitor.placements.push(PlacementChange {
                         at: self.queue.now(),
                         deployment: name.clone(),
@@ -414,12 +439,21 @@ impl Engine {
                     if let Some(period) = op.timer_period() {
                         self.queue.schedule_in(
                             period,
-                            Ev::Tick { deployment: name.clone(), service: service.clone() },
+                            Ev::Tick {
+                                deployment: name.clone(),
+                                service: service.clone(),
+                            },
                         );
                     }
                     deployment.services.insert(
                         service.clone(),
-                        ServiceRuntime { process, op, node, inputs: inputs.clone(), blocking },
+                        ServiceRuntime {
+                            process,
+                            op,
+                            node,
+                            inputs: inputs.clone(),
+                            blocking,
+                        },
                     );
                 }
                 ScnCommand::ConfigureSink { sink, kind } => {
@@ -436,9 +470,16 @@ impl Engine {
                         to: node,
                         reason: "sink endpoint".into(),
                     });
-                    deployment.sinks.insert(sink.clone(), SinkRuntime { kind: *kind, node });
+                    deployment
+                        .sinks
+                        .insert(sink.clone(), SinkRuntime { kind: *kind, node });
                 }
-                ScnCommand::InstallFlow { from, to, port, qos } => {
+                ScnCommand::InstallFlow {
+                    from,
+                    to,
+                    port,
+                    qos,
+                } => {
                     let flow = match (deployment.node_of(from), deployment.node_of(to)) {
                         (Some(a), Some(b)) if a != b => {
                             Some(self.install_flow_with_fallback(a, b, qos, &name, from, to)?)
@@ -479,7 +520,9 @@ impl Engine {
                     "[{}] warn: {dep}: QoS for {from}->{to} unsatisfiable ({reason}); best effort",
                     self.queue.now()
                 ));
-                Ok(self.flows.install(&self.topology, a, b, &QosSpec::best_effort())?)
+                Ok(self
+                    .flows
+                    .install(&self.topology, a, b, &QosSpec::best_effort())?)
             }
             Err(e) => Err(e.into()),
         }
@@ -545,13 +588,18 @@ impl Engine {
             .services
             .get_mut(service)
             .ok_or_else(|| EngineError::UnknownDeployment(format!("{deployment}/{service}")))?;
-        let input_schemas: Vec<SchemaRef> =
-            svc.inputs.iter().map(|i| report.schemas[i].clone()).collect();
-        let op = spec.instantiate(&input_schemas).map_err(|error| EngineError::Op {
-            deployment: deployment.to_string(),
-            operator: service.to_string(),
-            error,
-        })?;
+        let input_schemas: Vec<SchemaRef> = svc
+            .inputs
+            .iter()
+            .map(|i| report.schemas[i].clone())
+            .collect();
+        let op = spec
+            .instantiate(&input_schemas)
+            .map_err(|error| EngineError::Op {
+                deployment: deployment.to_string(),
+                operator: service.to_string(),
+                error,
+            })?;
         let was_blocking = svc.blocking;
         svc.blocking = op.is_blocking();
         let period = op.timer_period();
@@ -561,7 +609,10 @@ impl Engine {
         if let (false, Some(period)) = (was_blocking, period) {
             self.queue.schedule_in(
                 period,
-                Ev::Tick { deployment: deployment.to_string(), service: service.to_string() },
+                Ev::Tick {
+                    deployment: deployment.to_string(),
+                    service: service.to_string(),
+                },
             );
         }
         self.monitor.console.push(format!(
@@ -617,7 +668,9 @@ impl Engine {
     }
 
     fn apply_fault(&mut self, now: Timestamp, action: FaultAction) {
-        self.metrics.counter(&format!("faults/{}", action.kind())).inc();
+        self.metrics
+            .counter(&format!("faults/{}", action.kind()))
+            .inc();
         match action {
             FaultAction::LinkDown { link } => {
                 let _ = self.set_link_up(LinkId(link), false);
@@ -632,14 +685,18 @@ impl Engine {
                     self.monitor
                         .console
                         .push(format!("[{now}] network: {} restored", NodeId(node)));
-                    self.monitor.recovery.push(format!("[{now}] {} restarted", NodeId(node)));
+                    self.monitor
+                        .recovery
+                        .push(format!("[{now}] {} restarted", NodeId(node)));
                 }
             }
             FaultAction::SensorStall { sensor } => {
                 if let Some(entry) = self.sensors.get_mut(&sensor) {
                     entry.stalled = true;
                     let name = entry.ad.name.clone();
-                    self.monitor.recovery.push(format!("[{now}] sensor {name} stalled silently"));
+                    self.monitor
+                        .recovery
+                        .push(format!("[{now}] sensor {name} stalled silently"));
                 }
             }
             FaultAction::SensorDropout { sensor } => {
@@ -649,8 +706,12 @@ impl Engine {
                     let name = entry.ad.name.clone();
                     let events = self.broker.unpublish(SensorId(sensor)).unwrap_or_default();
                     self.apply_broker_events(events);
-                    self.monitor.membership.push(format!("[{now}] - {name} dropped out"));
-                    self.monitor.recovery.push(format!("[{now}] sensor {name} dropped out"));
+                    self.monitor
+                        .membership
+                        .push(format!("[{now}] - {name} dropped out"));
+                    self.monitor
+                        .recovery
+                        .push(format!("[{now}] sensor {name} dropped out"));
                 }
             }
             FaultAction::SensorResume { sensor } => {
@@ -686,12 +747,20 @@ impl Engine {
             return;
         }
         self.route_cache.clear();
-        self.monitor.console.push(format!("[{now}] network: {node} FAILED"));
-        self.monitor.recovery.push(format!("[{now}] {node} crashed"));
+        self.monitor
+            .console
+            .push(format!("[{now}] network: {node} FAILED"));
+        self.monitor
+            .recovery
+            .push(format!("[{now}] {node} crashed"));
 
         // Services hosted on the crashed node, with their current demands.
-        let on_node: HashMap<u64, f64> =
-            self.loads.processes_on(node).into_iter().map(|(p, d)| (p.0, d)).collect();
+        let on_node: HashMap<u64, f64> = self
+            .loads
+            .processes_on(node)
+            .into_iter()
+            .map(|(p, d)| (p.0, d))
+            .collect();
         let mut victims: Vec<(String, String, ProcessId, f64)> = Vec::new();
         for (dep_name, dep) in &self.deployments {
             for (s_name, s) in dep.services.iter().filter(|(_, s)| s.node == node) {
@@ -716,8 +785,11 @@ impl Engine {
             })
             .collect();
         for (dep_name, sink_name) in sink_victims {
-            let candidates: Vec<NodeId> =
-                self.topology.node_ids().filter(|n| self.topology.node_is_up(*n)).collect();
+            let candidates: Vec<NodeId> = self
+                .topology
+                .node_ids()
+                .filter(|n| self.topology.node_is_up(*n))
+                .collect();
             let Some(target) = self
                 .loads
                 .least_loaded(&self.topology, candidates.iter().copied(), 0.0)
@@ -756,20 +828,25 @@ impl Engine {
         demand: f64,
         crashed: NodeId,
     ) {
-        let candidates: Vec<NodeId> =
-            self.topology.node_ids().filter(|n| self.topology.node_is_up(*n)).collect();
+        let candidates: Vec<NodeId> = self
+            .topology
+            .node_ids()
+            .filter(|n| self.topology.node_is_up(*n))
+            .collect();
         let Some(target) = self
             .loads
             .least_loaded(&self.topology, candidates.iter().copied(), demand)
             .or_else(|| candidates.first().copied())
         else {
-            self.monitor
-                .recovery
-                .push(format!("[{now}] {dep_name}/{svc_name}: no live node to recover onto"));
+            self.monitor.recovery.push(format!(
+                "[{now}] {dep_name}/{svc_name}: no live node to recover onto"
+            ));
             return;
         };
         // Non-strict placement: recovery beats capacity guarantees.
-        let _ = self.loads.place(&self.topology, process, target, demand, false);
+        let _ = self
+            .loads
+            .place(&self.topology, process, target, demand, false);
         let restored = if self.config.checkpoint_enabled {
             self.checkpoints
                 .get(&(dep_name.to_string(), svc_name.to_string()))
@@ -789,8 +866,12 @@ impl Engine {
             // checkpoint (an empty checkpoint wipes it).
             svc.op.restore(restored);
         }
-        self.metrics.counter("checkpoint/restored_tuples").add(n_tuples as u64);
-        self.metrics.counter("checkpoint/restored_bytes").add(n_bytes as u64);
+        self.metrics
+            .counter("checkpoint/restored_tuples")
+            .add(n_tuples as u64);
+        self.metrics
+            .counter("checkpoint/restored_bytes")
+            .add(n_bytes as u64);
         self.monitor.placements.push(PlacementChange {
             at: now,
             deployment: dep_name.to_string(),
@@ -831,7 +912,10 @@ impl Engine {
                                 *counts.entry(entry.ad.node).or_insert(0) += 1;
                             }
                         }
-                        if let Some((node, _)) = counts.into_iter().max_by_key(|(n, c)| (*c, std::cmp::Reverse(n.0))) {
+                        if let Some((node, _)) = counts
+                            .into_iter()
+                            .max_by_key(|(n, c)| (*c, std::cmp::Reverse(n.0)))
+                        {
                             return Ok(node);
                         }
                     }
@@ -850,9 +934,9 @@ impl Engine {
                     .topology
                     .node_ids()
                     .filter(|n| {
-                        self.topology
-                            .node(*n)
-                            .is_ok_and(|spec| self.loads.demand_on(*n) + demand <= spec.cpu_capacity)
+                        self.topology.node(*n).is_ok_and(|spec| {
+                            self.loads.demand_on(*n) + demand <= spec.cpu_capacity
+                        })
                     })
                     .collect();
                 if candidates.is_empty() {
@@ -957,10 +1041,17 @@ impl Engine {
         reason: DropReason,
     ) {
         self.metrics.counter(&format!("dlq/{reason}")).inc();
-        self.monitor
-            .recovery
-            .push(format!("[{now}] {deployment}/{target}: tuple dead-lettered ({reason})"));
-        self.dlq.push(reason, DeadTuple { deployment, target, tuple });
+        self.monitor.recovery.push(format!(
+            "[{now}] {deployment}/{target}: tuple dead-lettered ({reason})"
+        ));
+        self.dlq.push(
+            reason,
+            DeadTuple {
+                deployment,
+                target,
+                tuple,
+            },
+        );
         self.metrics.gauge("dlq/depth").set(self.dlq.depth() as i64);
     }
 
@@ -978,11 +1069,21 @@ impl Engine {
         attempt: u32,
         first_failed_at: Timestamp,
     ) {
-        let target_node = match self.deployments.get(&deployment).and_then(|d| d.node_of(&target)) {
+        let target_node = match self
+            .deployments
+            .get(&deployment)
+            .and_then(|d| d.node_of(&target))
+        {
             Some(n) => n,
             None => {
                 // Undeployed or re-wired while the tuple waited.
-                return self.dead_letter(now, deployment, target, tuple, DropReason::TargetVanished);
+                return self.dead_letter(
+                    now,
+                    deployment,
+                    target,
+                    tuple,
+                    DropReason::TargetVanished,
+                );
             }
         };
         let bytes = tuple.byte_size();
@@ -994,11 +1095,23 @@ impl Engine {
                     .record(now.since(first_failed_at).as_millis());
                 self.queue.schedule_in(
                     delay + self.config.processing_delay,
-                    Ev::Deliver { deployment, target, port, tuple },
+                    Ev::Deliver {
+                        deployment,
+                        target,
+                        port,
+                        tuple,
+                    },
                 );
             }
             None => self.fail_delivery(
-                now, deployment, target, port, tuple, from_node, target_node, attempt,
+                now,
+                deployment,
+                target,
+                port,
+                tuple,
+                from_node,
+                target_node,
+                attempt,
                 first_failed_at,
             ),
         }
@@ -1028,11 +1141,19 @@ impl Engine {
                 self.on_sensor_emit(now, id);
                 "ev/emit_us"
             }
-            Ev::Deliver { deployment, target, port, tuple } => {
+            Ev::Deliver {
+                deployment,
+                target,
+                port,
+                tuple,
+            } => {
                 self.on_deliver(now, &deployment, &target, port, tuple);
                 "ev/deliver_us"
             }
-            Ev::Tick { deployment, service } => {
+            Ev::Tick {
+                deployment,
+                service,
+            } => {
                 self.on_tick(now, &deployment, &service);
                 "ev/tick_us"
             }
@@ -1044,9 +1165,24 @@ impl Engine {
                 self.apply_fault(now, action);
                 "ev/fault_us"
             }
-            Ev::RetryDeliver { deployment, target, port, tuple, from_node, attempt, first_failed_at } => {
+            Ev::RetryDeliver {
+                deployment,
+                target,
+                port,
+                tuple,
+                from_node,
+                attempt,
+                first_failed_at,
+            } => {
                 self.on_retry_deliver(
-                    now, deployment, target, port, tuple, from_node, attempt, first_failed_at,
+                    now,
+                    deployment,
+                    target,
+                    port,
+                    tuple,
+                    from_node,
+                    attempt,
+                    first_failed_at,
                 );
                 "ev/retry_us"
             }
@@ -1056,7 +1192,9 @@ impl Engine {
     }
 
     fn on_sensor_emit(&mut self, now: Timestamp, id: u64) {
-        let Some(entry) = self.sensors.get_mut(&id) else { return };
+        let Some(entry) = self.sensors.get_mut(&id) else {
+            return;
+        };
         let ad = entry.ad.clone();
         if entry.stalled {
             // A stalled or dropped-out sensor keeps its emit timer alive so
@@ -1083,10 +1221,13 @@ impl Engine {
                 self.apply_broker_events(events);
             }
             self.metrics.counter("liveness/rejoined").inc();
-            self.monitor.membership.push(format!("[{now}] + sensor '{}' rejoined", ad.name));
             self.monitor
-                .recovery
-                .push(format!("[{now}] sensor '{}' rejoined after expiry", ad.name));
+                .membership
+                .push(format!("[{now}] + sensor '{}' rejoined", ad.name));
+            self.monitor.recovery.push(format!(
+                "[{now}] sensor '{}' rejoined after expiry",
+                ad.name
+            ));
         }
         // Fault injection: a corrupting sensor ships a truncated payload
         // ending in an invalid UTF-8 byte, so extraction fails regardless
@@ -1132,7 +1273,10 @@ impl Engine {
             tuple.meta.timestamp = if skew_ms > 0 {
                 tuple.meta.timestamp + Duration::from_millis(skew_ms as u64)
             } else {
-                tuple.meta.timestamp.saturating_sub(Duration::from_millis(skew_ms.unsigned_abs()))
+                tuple
+                    .meta
+                    .timestamp
+                    .saturating_sub(Duration::from_millis(skew_ms.unsigned_abs()))
             };
             self.metrics.counter("faults/skewed_tuples").inc();
         }
@@ -1148,7 +1292,9 @@ impl Engine {
                 if !src.active || !src.sensors.contains(&SensorId(id)) {
                     continue;
                 }
-                let Some(projected) = project(&tuple, &src.schema) else { continue };
+                let Some(projected) = project(&tuple, &src.schema) else {
+                    continue;
+                };
                 samples.push((dep_name.clone(), src_name.clone(), projected.clone()));
                 if let Some(consumers) = dep.consumers.get(src_name) {
                     for (to, port) in consumers {
@@ -1175,13 +1321,20 @@ impl Engine {
         }
         for (dep, to, port, t, from_node) in deliveries {
             self.monitor.op_mut(&dep, "~sources").record_in();
-            let Some(target_node) = self.deployments[&dep].node_of(&to) else { continue };
+            let Some(target_node) = self.deployments[&dep].node_of(&to) else {
+                continue;
+            };
             let bytes = t.byte_size();
             match self.transfer(from_node, target_node, bytes) {
                 Some(delay) => {
                     self.queue.schedule_in(
                         delay + self.config.processing_delay,
-                        Ev::Deliver { deployment: dep, target: to, port, tuple: t },
+                        Ev::Deliver {
+                            deployment: dep,
+                            target: to,
+                            port,
+                            tuple: t,
+                        },
                     );
                 }
                 None => {
@@ -1191,8 +1344,17 @@ impl Engine {
         }
     }
 
-    fn on_deliver(&mut self, now: Timestamp, dep_name: &str, target: &str, port: usize, tuple: Tuple) {
-        let Some(dep) = self.deployments.get_mut(dep_name) else { return };
+    fn on_deliver(
+        &mut self,
+        now: Timestamp,
+        dep_name: &str,
+        target: &str,
+        port: usize,
+        tuple: Tuple,
+    ) {
+        let Some(dep) = self.deployments.get_mut(dep_name) else {
+            return;
+        };
         // Sink?
         if let Some(sink) = dep.sinks.get(target) {
             let kind = sink.kind;
@@ -1212,14 +1374,18 @@ impl Engine {
                 }
                 SinkKind::Console => {
                     if self.monitor.console.len() < self.config.console_capacity {
-                        self.monitor.console.push(format!("[{now}] {dep_name}/{target}: {tuple}"));
+                        self.monitor
+                            .console
+                            .push(format!("[{now}] {dep_name}/{target}: {tuple}"));
                     }
                 }
                 SinkKind::Visualization => {}
             }
             return;
         }
-        let Some(svc) = dep.services.get_mut(target) else { return };
+        let Some(svc) = dep.services.get_mut(target) else {
+            return;
+        };
         let node = svc.node;
         let trace = tuple.meta.trace;
         let mut ctx = OpContext::new(now);
@@ -1237,8 +1403,11 @@ impl Engine {
         };
         if let Some(ckpt) = ckpt {
             self.metrics.counter("checkpoint/taken").inc();
-            self.metrics.gauge("checkpoint/bytes").set(ckpt.byte_size() as i64);
-            self.checkpoints.insert((dep_name.to_string(), target.to_string()), ckpt);
+            self.metrics
+                .gauge("checkpoint/bytes")
+                .set(ckpt.byte_size() as i64);
+            self.checkpoints
+                .insert((dep_name.to_string(), target.to_string()), ckpt);
         }
         if trace != 0 {
             let key = SpanKey::new(dep_name, target, node.to_string());
@@ -1254,9 +1423,9 @@ impl Engine {
             counters.proc_latency.record(wall1.saturating_sub(wall0));
         }
         if let Err(e) = result {
-            self.monitor
-                .console
-                .push(format!("[{now}] error: {dep_name}/{target}: {e}; tuple dropped"));
+            self.monitor.console.push(format!(
+                "[{now}] error: {dep_name}/{target}: {e}; tuple dropped"
+            ));
             return;
         }
         self.forward(now, dep_name, target, node, emitted);
@@ -1264,10 +1433,16 @@ impl Engine {
     }
 
     fn on_tick(&mut self, now: Timestamp, dep_name: &str, service: &str) {
-        let Some(dep) = self.deployments.get_mut(dep_name) else { return };
-        let Some(svc) = dep.services.get_mut(service) else { return };
+        let Some(dep) = self.deployments.get_mut(dep_name) else {
+            return;
+        };
+        let Some(svc) = dep.services.get_mut(service) else {
+            return;
+        };
         let node = svc.node;
-        let Some(period) = svc.op.timer_period() else { return };
+        let Some(period) = svc.op.timer_period() else {
+            return;
+        };
         let mut ctx = OpContext::new(now);
         let wall0 = self.epoch.elapsed().as_micros() as u64;
         let result = svc.op.on_timer(now, &mut ctx);
@@ -1282,8 +1457,11 @@ impl Engine {
         };
         if let Some(ckpt) = ckpt {
             self.metrics.counter("checkpoint/taken").inc();
-            self.metrics.gauge("checkpoint/bytes").set(ckpt.byte_size() as i64);
-            self.checkpoints.insert((dep_name.to_string(), service.to_string()), ckpt);
+            self.metrics
+                .gauge("checkpoint/bytes")
+                .set(ckpt.byte_size() as i64);
+            self.checkpoints
+                .insert((dep_name.to_string(), service.to_string()), ckpt);
         }
         {
             let counters = self.monitor.op_mut(dep_name, service);
@@ -1294,7 +1472,10 @@ impl Engine {
         // ticking).
         self.queue.schedule_in(
             period,
-            Ev::Tick { deployment: dep_name.to_string(), service: service.to_string() },
+            Ev::Tick {
+                deployment: dep_name.to_string(),
+                service: service.to_string(),
+            },
         );
         if let Err(e) = result {
             self.monitor
@@ -1318,12 +1499,18 @@ impl Engine {
         if emitted.is_empty() {
             return;
         }
-        let Some(dep) = self.deployments.get(dep_name) else { return };
-        let Some(consumers) = dep.consumers.get(from) else { return };
+        let Some(dep) = self.deployments.get(dep_name) else {
+            return;
+        };
+        let Some(consumers) = dep.consumers.get(from) else {
+            return;
+        };
         let consumers = consumers.clone();
         for tuple in emitted {
             for (to, port) in &consumers {
-                let Some(target_node) = self.deployments[dep_name].node_of(to) else { continue };
+                let Some(target_node) = self.deployments[dep_name].node_of(to) else {
+                    continue;
+                };
                 let bytes = tuple.byte_size();
                 match self.transfer(from_node, target_node, bytes) {
                     Some(delay) => {
@@ -1400,17 +1587,21 @@ impl Engine {
                     entry.expired = true;
                 }
                 self.metrics.counter("liveness/expired").inc();
-                self.monitor
-                    .membership
-                    .push(format!("[{now}] - sensor '{}' presumed dead (no heartbeat)", ad.name));
-                self.monitor
-                    .recovery
-                    .push(format!("[{now}] liveness: sensor '{}' expired, ad withdrawn", ad.name));
+                self.monitor.membership.push(format!(
+                    "[{now}] - sensor '{}' presumed dead (no heartbeat)",
+                    ad.name
+                ));
+                self.monitor.recovery.push(format!(
+                    "[{now}] liveness: sensor '{}' expired, ad withdrawn",
+                    ad.name
+                ));
             }
         }
 
         // Observability gauges: event-queue depth and per-link queued bytes.
-        self.metrics.gauge("event_queue_depth").set(self.queue.pending() as i64);
+        self.metrics
+            .gauge("event_queue_depth")
+            .set(self.queue.pending() as i64);
         let reserved: Vec<_> = self.flows.reserved_links().collect();
         for (link, bytes) in reserved {
             self.net_stats.set_link_queued(link, bytes);
@@ -1435,7 +1626,8 @@ impl Engine {
         if self.config.migration_enabled {
             self.migrate_overloaded(now);
         }
-        self.queue.schedule_in(self.config.monitor_period, Ev::MonitorSample);
+        self.queue
+            .schedule_in(self.config.monitor_period, Ev::MonitorSample);
     }
 
     /// Move the heaviest process off every overloaded node, if a fitting
@@ -1472,8 +1664,14 @@ impl Engine {
                     }
                 }
             }
-            let Some((dep_name, svc_name)) = owner else { continue };
-            if self.loads.place(&self.topology, process, target, demand, true).is_err() {
+            let Some((dep_name, svc_name)) = owner else {
+                continue;
+            };
+            if self
+                .loads
+                .place(&self.topology, process, target, demand, true)
+                .is_err()
+            {
                 continue;
             }
             if let Some(svc) = self
@@ -1497,7 +1695,9 @@ impl Engine {
 
     /// After a migration, re-route the flows touching a service.
     fn reinstall_flows_for(&mut self, dep_name: &str, service: &str) {
-        let Some(dep) = self.deployments.get(dep_name) else { return };
+        let Some(dep) = self.deployments.get(dep_name) else {
+            return;
+        };
         let affected: Vec<(usize, String, String)> = dep
             .edges
             .iter()
@@ -1517,7 +1717,8 @@ impl Engine {
             let new_flow = match (a, b) {
                 (Some(a), Some(b)) if a != b => {
                     let qos = self.deployments[dep_name].dataflow.qos_for(&from, &to);
-                    self.install_flow_with_fallback(a, b, &qos, dep_name, &from, &to).ok()
+                    self.install_flow_with_fallback(a, b, &qos, dep_name, &from, &to)
+                        .ok()
                 }
                 _ => None,
             };
@@ -1545,6 +1746,7 @@ fn project(tuple: &Tuple, schema: &SchemaRef) -> Option<Tuple> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)] // tests may panic freely
     use super::*;
     use sl_dataflow::DataflowBuilder;
     use sl_netsim::NodeSpec;
@@ -1661,8 +1863,21 @@ mod tests {
                 SubscriptionFilter::any().with_theme(Theme::new("weather/rain").unwrap()),
                 rain_schema,
             )
-            .aggregate("avg", "temp", Duration::from_secs(30), &[], sl_ops::AggFunc::Avg, Some("temperature"))
-            .trigger_on("hot", "avg", Duration::from_secs(30), "avg_temperature > 20", &["rain"])
+            .aggregate(
+                "avg",
+                "temp",
+                Duration::from_secs(30),
+                &[],
+                sl_ops::AggFunc::Avg,
+                Some("temperature"),
+            )
+            .trigger_on(
+                "hot",
+                "avg",
+                Duration::from_secs(30),
+                "avg_temperature > 20",
+                &["rain"],
+            )
             .filter("wet", "rain", "rain >= 0")
             .sink("out", SinkKind::Console, &["wet"])
             .build()
@@ -1690,7 +1905,10 @@ mod tests {
         assert_eq!(e.source_active("gated", "rain"), Some(false));
         // Before the first trigger window closes, no rain tuples flow.
         e.run_for(Duration::from_secs(20));
-        assert!(e.monitor().op("gated", "wet").is_none_or(|c| c.tuples_in() == 0));
+        assert!(e
+            .monitor()
+            .op("gated", "wet")
+            .is_none_or(|c| c.tuples_in() == 0));
         // After a trigger window the source activates and rain flows.
         e.run_for(Duration::from_secs(120));
         assert_eq!(e.source_active("gated", "rain"), Some(true));
@@ -1702,7 +1920,10 @@ mod tests {
     fn duplicate_and_unknown_deployments() {
         let mut e = engine();
         e.deploy(simple_flow("d")).unwrap();
-        assert!(matches!(e.deploy(simple_flow("d")), Err(EngineError::DuplicateDeployment(_))));
+        assert!(matches!(
+            e.deploy(simple_flow("d")),
+            Err(EngineError::DuplicateDeployment(_))
+        ));
         assert!(e.dsn_text("d").unwrap().contains("dsn \"d\""));
         assert!(e.dsn_text("ghost").is_err());
         e.undeploy("d").unwrap();
@@ -1721,7 +1942,10 @@ mod tests {
         assert_eq!(e.loads().len(), 0);
         // Tuples no longer delivered.
         e.run_for(Duration::from_secs(30));
-        assert!(e.monitor().op("d", "all").is_none_or(|c| c.tuples_in() == 0));
+        assert!(e
+            .monitor()
+            .op("d", "all")
+            .is_none_or(|c| c.tuples_in() == 0));
     }
 
     #[test]
@@ -1730,7 +1954,8 @@ mod tests {
         let mut t = Topology::new();
         let weak = t.add_node(NodeSpec::edge("weak", 10.0));
         let strong = t.add_node(NodeSpec::edge("strong", 1_000_000.0));
-        t.add_link(weak, strong, Duration::from_millis(1), 10_000_000).unwrap();
+        t.add_link(weak, strong, Duration::from_millis(1), 10_000_000)
+            .unwrap();
         let cfg = EngineConfig {
             placement: PlacementPolicy::SourceLocal, // forces onto the sensor's node
             ..Default::default()
@@ -1747,7 +1972,12 @@ mod tests {
             false,
             1,
         );
-        s.set_wave(sl_sensors::gen::DiurnalWave { base: 25.0, amplitude: 1.0, peak_hour: 14.0, noise_std: 0.1 });
+        s.set_wave(sl_sensors::gen::DiurnalWave {
+            base: 25.0,
+            amplitude: 1.0,
+            peak_hour: 14.0,
+            noise_std: 0.1,
+        });
         e.add_sensor(Box::new(s)).unwrap();
         e.deploy(simple_flow("d")).unwrap();
         assert_eq!(e.node_of("d", "all"), Some(weak));
@@ -1766,7 +1996,8 @@ mod tests {
         let mut t = Topology::new();
         let weak = t.add_node(NodeSpec::edge("weak", 10.0));
         let strong = t.add_node(NodeSpec::edge("strong", 1_000_000.0));
-        t.add_link(weak, strong, Duration::from_millis(1), 10_000_000).unwrap();
+        t.add_link(weak, strong, Duration::from_millis(1), 10_000_000)
+            .unwrap();
         let cfg = EngineConfig {
             placement: PlacementPolicy::SourceLocal,
             migration_enabled: false,
@@ -1817,18 +2048,40 @@ mod tests {
         let passed_before = e.monitor().op("d", "all").unwrap().tuples_out();
         assert!(passed_before > 0);
         // Replace the pass-all filter with a block-all filter.
-        e.replace_operator("d", "all", sl_ops::OpSpec::Filter { condition: "temperature > 1000".into() })
-            .unwrap();
+        e.replace_operator(
+            "d",
+            "all",
+            sl_ops::OpSpec::Filter {
+                condition: "temperature > 1000".into(),
+            },
+        )
+        .unwrap();
         e.run_for(Duration::from_secs(60));
         let c = e.monitor().op("d", "all").unwrap();
-        assert_eq!(c.tuples_out(), passed_before, "no tuple passes the new filter");
+        assert_eq!(
+            c.tuples_out(),
+            passed_before,
+            "no tuple passes the new filter"
+        );
         assert!(c.dropped() > 0);
         // Replacement must still validate.
         assert!(e
-            .replace_operator("d", "all", sl_ops::OpSpec::Filter { condition: "ghost > 1".into() })
+            .replace_operator(
+                "d",
+                "all",
+                sl_ops::OpSpec::Filter {
+                    condition: "ghost > 1".into()
+                }
+            )
             .is_err());
         assert!(e
-            .replace_operator("ghost", "all", sl_ops::OpSpec::Filter { condition: "1 > 0".into() })
+            .replace_operator(
+                "ghost",
+                "all",
+                sl_ops::OpSpec::Filter {
+                    condition: "1 > 0".into()
+                }
+            )
             .is_err());
     }
 
@@ -1877,7 +2130,11 @@ mod tests {
         assert!(e.recent_samples("d", "temp").is_empty());
         e.run_for(Duration::from_mins(5));
         let samples = e.recent_samples("d", "temp");
-        assert!(!samples.is_empty() && samples.len() <= 8, "{}", samples.len());
+        assert!(
+            !samples.is_empty() && samples.len() <= 8,
+            "{}",
+            samples.len()
+        );
         // Samples conform to the declared source schema.
         for t in &samples {
             assert!(t.get("temperature").is_ok());
@@ -1897,10 +2154,18 @@ mod tests {
         let a = t.add_node(NodeSpec::edge("a", 1_000_000.0));
         let b = t.add_node(NodeSpec::edge("b", 1_000_000.0));
         let c = t.add_node(NodeSpec::edge("c", 1_000_000.0));
-        let fast = t.add_link(a, b, Duration::from_millis(1), 10_000_000).unwrap();
-        t.add_link(a, c, Duration::from_millis(5), 10_000_000).unwrap();
-        let backup = t.add_link(c, b, Duration::from_millis(5), 10_000_000).unwrap();
-        let cfg = EngineConfig { migration_enabled: false, ..Default::default() };
+        let fast = t
+            .add_link(a, b, Duration::from_millis(1), 10_000_000)
+            .unwrap();
+        t.add_link(a, c, Duration::from_millis(5), 10_000_000)
+            .unwrap();
+        let backup = t
+            .add_link(c, b, Duration::from_millis(5), 10_000_000)
+            .unwrap();
+        let cfg = EngineConfig {
+            migration_enabled: false,
+            ..Default::default()
+        };
         let mut e = Engine::new(t, cfg, start());
         e.add_sensor(temp_sensor(1, 0)).unwrap();
         // Pin the filter onto node b by making it the only attractive node:
@@ -1942,13 +2207,19 @@ mod tests {
         let snap = e.metrics_snapshot();
         // Per-operator counters and processing latency under op/.
         assert!(snap.counters["op/d/all/tuples_in"] > 0);
-        assert_eq!(snap.hists["op/d/all/proc_us"].count, snap.counters["op/d/all/tuples_in"]);
+        assert_eq!(
+            snap.hists["op/d/all/proc_us"].count,
+            snap.counters["op/d/all/tuples_in"]
+        );
         // Engine-level instruments: loop timing, spans, queue depth gauge.
         assert!(snap.hists["engine/ev/deliver_us"].count > 0);
         assert!(snap.counters["engine/spans_completed"] > 0);
         assert!(snap.gauges.contains_key("engine/event_queue_depth"));
         // Span histograms are keyed deployment/operator@node.
-        assert!(snap.hists.keys().any(|k| k.starts_with("engine/span/d/all@node#")));
+        assert!(snap
+            .hists
+            .keys()
+            .any(|k| k.starts_with("engine/span/d/all@node#")));
         // Broker and network sections present.
         assert_eq!(snap.counters["broker/subscribes"], 1);
         assert!(snap.counters["net/total_msgs"] > 0);

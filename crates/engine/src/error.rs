@@ -46,14 +46,21 @@ impl fmt::Display for EngineError {
             EngineError::Dataflow(e) => write!(f, "{e}"),
             EngineError::Net(e) => write!(f, "{e}"),
             EngineError::PubSub(e) => write!(f, "{e}"),
-            EngineError::Op { deployment, operator, error } => {
+            EngineError::Op {
+                deployment,
+                operator,
+                error,
+            } => {
                 write!(f, "in `{deployment}`/`{operator}`: {error}")
             }
             EngineError::DuplicateDeployment(n) => write!(f, "deployment `{n}` already exists"),
             EngineError::UnknownDeployment(n) => write!(f, "unknown deployment `{n}`"),
             EngineError::UnknownSensor(id) => write!(f, "unknown sensor #{id}"),
             EngineError::SchemaMismatch { source, sensor } => {
-                write!(f, "sensor `{sensor}` cannot serve source `{source}`: schema mismatch")
+                write!(
+                    f,
+                    "sensor `{sensor}` cannot serve source `{source}`: schema mismatch"
+                )
             }
         }
     }

@@ -128,12 +128,16 @@ impl Monitor {
     pub fn op_mut(&mut self, deployment: &str, operator: &str) -> &mut OpCounters {
         self.ops
             .entry((deployment.to_string(), operator.to_string()))
-            .or_insert_with(|| OpCounters { rate_series: TimeSeries::new(512), ..Default::default() })
+            .or_insert_with(|| OpCounters {
+                rate_series: TimeSeries::new(512),
+                ..Default::default()
+            })
     }
 
     /// Read-only counters, if the operator has been touched.
     pub fn op(&self, deployment: &str, operator: &str) -> Option<&OpCounters> {
-        self.ops.get(&(deployment.to_string(), operator.to_string()))
+        self.ops
+            .get(&(deployment.to_string(), operator.to_string()))
     }
 
     /// All per-operator counters.
@@ -238,11 +242,19 @@ impl Monitor {
         if !self.controls.is_empty() {
             let _ = writeln!(out, "  control actions (last 10):");
             for c in self.controls.iter().rev().take(10).rev() {
-                let verb = if c.action.is_activate() { "ACTIVATE" } else { "DEACTIVATE" };
+                let verb = if c.action.is_activate() {
+                    "ACTIVATE"
+                } else {
+                    "DEACTIVATE"
+                };
                 let _ = writeln!(
                     out,
                     "    [{}] {}/{} {} {:?}",
-                    c.at, c.deployment, c.operator, verb, c.action.targets()
+                    c.at,
+                    c.deployment,
+                    c.operator,
+                    verb,
+                    c.action.targets()
                 );
             }
         }
@@ -261,15 +273,22 @@ impl Monitor {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::new();
         for ((dep, op), c) in &self.ops {
-            snap.counters.insert(format!("{dep}/{op}/tuples_in"), c.tuples_in());
-            snap.counters.insert(format!("{dep}/{op}/tuples_out"), c.tuples_out());
-            snap.counters.insert(format!("{dep}/{op}/dropped"), c.dropped());
+            snap.counters
+                .insert(format!("{dep}/{op}/tuples_in"), c.tuples_in());
+            snap.counters
+                .insert(format!("{dep}/{op}/tuples_out"), c.tuples_out());
+            snap.counters
+                .insert(format!("{dep}/{op}/dropped"), c.dropped());
             if !c.proc_latency.is_empty() {
-                snap.hists.insert(format!("{dep}/{op}/proc_us"), HistSummary::of(&c.proc_latency));
+                snap.hists.insert(
+                    format!("{dep}/{op}/proc_us"),
+                    HistSummary::of(&c.proc_latency),
+                );
             }
         }
         for ((dep, sink), n) in &self.sink_counts {
-            snap.counters.insert(format!("{dep}/{sink}/sink_tuples"), *n);
+            snap.counters
+                .insert(format!("{dep}/{sink}/sink_tuples"), *n);
         }
         snap
     }
@@ -277,6 +296,7 @@ impl Monitor {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)] // tests may panic freely
     use super::*;
 
     #[test]
@@ -314,7 +334,10 @@ mod tests {
             c.add_in(5);
             c.add_out(9);
         }
-        let keys = vec![("d".to_string(), "ok".to_string()), ("d".to_string(), "bad".to_string())];
+        let keys = vec![
+            ("d".to_string(), "ok".to_string()),
+            ("d".to_string(), "bad".to_string()),
+        ];
         let violations = m.conservation_violations(&keys);
         assert_eq!(violations.len(), 1);
         assert!(violations[0].contains("bad"));
@@ -346,7 +369,9 @@ mod tests {
             at: Timestamp::from_secs(2),
             deployment: "d".into(),
             operator: "trig".into(),
-            action: ControlAction::Activate { targets: vec!["rain".into()] },
+            action: ControlAction::Activate {
+                targets: vec!["rain".into()],
+            },
         });
         let r = m.report(Timestamp::from_secs(3));
         assert!(r.contains("d/f: in=5"));

@@ -12,6 +12,8 @@
 //! * corrupted payloads dead-letter without poisoning the pipeline;
 //! * a whole chaos schedule replays deterministically.
 
+#![allow(clippy::disallowed_methods)] // tests may panic freely
+
 use sl_dataflow::DataflowBuilder;
 use sl_dsn::SinkKind;
 use sl_engine::{Engine, EngineConfig};
@@ -67,10 +69,17 @@ fn two_node_engine(retry_enabled: bool) -> (Engine, LinkId) {
     let mut t = Topology::new();
     let weak = t.add_node(NodeSpec::edge("sensor-host", 10.0));
     let hub = t.add_node(NodeSpec::edge("hub", 1_000_000.0));
-    let link = t.add_link(weak, hub, Duration::from_millis(1), 10_000_000).unwrap();
-    let cfg = EngineConfig { migration_enabled: false, retry_enabled, ..Default::default() };
+    let link = t
+        .add_link(weak, hub, Duration::from_millis(1), 10_000_000)
+        .unwrap();
+    let cfg = EngineConfig {
+        migration_enabled: false,
+        retry_enabled,
+        ..Default::default()
+    };
     let mut e = Engine::new(t, cfg, start());
-    e.add_sensor(temp_sensor(1, weak, Duration::from_secs(1))).unwrap();
+    e.add_sensor(temp_sensor(1, weak, Duration::from_secs(1)))
+        .unwrap();
     e.deploy(filter_flow("d")).unwrap();
     (e, link)
 }
@@ -85,8 +94,7 @@ fn link_flap_with_retries_loses_nothing() {
 
     // Faulted: a 5 s flap, well inside the 25.5 s retry budget.
     let (mut e, link) = two_node_engine(true);
-    let plan =
-        FaultPlan::new().link_flap(link.0, Duration::from_secs(10), Duration::from_secs(5));
+    let plan = FaultPlan::new().link_flap(link.0, Duration::from_secs(10), Duration::from_secs(5));
     e.install_fault_plan(&plan);
     e.run_for(Duration::from_secs(60));
 
@@ -103,7 +111,10 @@ fn link_flap_with_retries_loses_nothing() {
     let snap = e.metrics_snapshot();
     assert!(snap.counters["engine/retry/scheduled"] > 0);
     assert!(snap.counters["engine/retry/delivered"] > 0);
-    assert!(snap.counters["engine/drops/no_route"] > 0, "first failures are still counted");
+    assert!(
+        snap.counters["engine/drops/no_route"] > 0,
+        "first failures are still counted"
+    );
     assert_eq!(snap.gauges.get("engine/dlq/depth").copied().unwrap_or(0), 0);
     assert!(snap.hists.contains_key("engine/recovery/redelivery_ms"));
     // The recovery story is visible in the rendered metrics table.
@@ -119,15 +130,21 @@ fn link_flap_without_retries_shows_loss_in_dlq() {
     let expected = base.monitor().sink_count("d", "out");
 
     let (mut e, link) = two_node_engine(false);
-    let plan =
-        FaultPlan::new().link_flap(link.0, Duration::from_secs(10), Duration::from_secs(5));
+    let plan = FaultPlan::new().link_flap(link.0, Duration::from_secs(10), Duration::from_secs(5));
     e.install_fault_plan(&plan);
     e.run_for(Duration::from_secs(60));
 
     let delivered = e.monitor().sink_count("d", "out");
-    assert!(delivered < expected, "retries off: the outage must lose tuples ({delivered} vs {expected})");
+    assert!(
+        delivered < expected,
+        "retries off: the outage must lose tuples ({delivered} vs {expected})"
+    );
     assert!(!e.dlq().is_empty());
-    assert_eq!(e.dlq().total(), expected - delivered, "every lost tuple is accounted for");
+    assert_eq!(
+        e.dlq().total(),
+        expected - delivered,
+        "every lost tuple is accounted for"
+    );
     assert_eq!(e.dlq().count(DropReason::NoRoute), e.dlq().total());
     let snap = e.metrics_snapshot();
     assert!(snap.counters["engine/dlq/no_route"] > 0);
@@ -135,9 +152,10 @@ fn link_flap_without_retries_shows_loss_in_dlq() {
     assert!(snap.gauges["engine/dlq/depth"] > 0);
     assert!(snap.render_table().contains("engine/dlq/no_route"));
     // Dead letters carry their provenance.
-    assert!(e.dlq().iter().all(|(reason, dead)| {
-        *reason == DropReason::NoRoute && dead.deployment == "d"
-    }));
+    assert!(e
+        .dlq()
+        .iter()
+        .all(|(reason, dead)| { *reason == DropReason::NoRoute && dead.deployment == "d" }));
 }
 
 #[test]
@@ -153,7 +171,11 @@ fn repeated_flap_leaves_no_stale_reservations() {
     e.install_fault_plan(&plan);
     e.run_for(Duration::from_secs(60));
 
-    assert_eq!(e.flows().flows().count(), flows_before, "flap must not add or drop flows");
+    assert_eq!(
+        e.flows().flows().count(),
+        flows_before,
+        "flap must not add or drop flows"
+    );
     // Invariant: per-link reserved bytes equal the sum of reservations of
     // the flows actually routed over that link.
     for (l, reserved) in e.flows().reserved_links() {
@@ -169,7 +191,10 @@ fn repeated_flap_leaves_no_stale_reservations() {
     assert!(e.dlq().is_empty());
     let (mut base, _) = two_node_engine(true);
     base.run_for(Duration::from_secs(60));
-    assert_eq!(e.monitor().sink_count("d", "out"), base.monitor().sink_count("d", "out"));
+    assert_eq!(
+        e.monitor().sink_count("d", "out"),
+        base.monitor().sink_count("d", "out")
+    );
 }
 
 #[test]
@@ -177,11 +202,18 @@ fn unpublishing_sensor_mid_run_keeps_rest_producing() {
     let mut t = Topology::new();
     let a = t.add_node(NodeSpec::edge("a", 1000.0));
     let b = t.add_node(NodeSpec::edge("b", 1000.0));
-    t.add_link(a, b, Duration::from_millis(1), 10_000_000).unwrap();
-    let cfg = EngineConfig { migration_enabled: false, ..Default::default() };
+    t.add_link(a, b, Duration::from_millis(1), 10_000_000)
+        .unwrap();
+    let cfg = EngineConfig {
+        migration_enabled: false,
+        ..Default::default()
+    };
     let mut e = Engine::new(t, cfg, start());
-    let s1 = e.add_sensor(temp_sensor(1, a, Duration::from_secs(1))).unwrap();
-    e.add_sensor(temp_sensor(2, b, Duration::from_secs(1))).unwrap();
+    let s1 = e
+        .add_sensor(temp_sensor(1, a, Duration::from_secs(1)))
+        .unwrap();
+    e.add_sensor(temp_sensor(2, b, Duration::from_secs(1)))
+        .unwrap();
     e.deploy(filter_flow("d")).unwrap();
     assert_eq!(e.bound_sensors("d", "temp").len(), 2);
 
@@ -198,7 +230,10 @@ fn unpublishing_sensor_mid_run_keeps_rest_producing() {
     // ...and the surviving sensor keeps the dataflow producing.
     e.run_for(Duration::from_secs(20));
     let end = e.monitor().sink_count("d", "out");
-    assert!(end > mid + 10, "survivor must keep producing (mid {mid}, end {end})");
+    assert!(
+        end > mid + 10,
+        "survivor must keep producing (mid {mid}, end {end})"
+    );
     assert!(e.dlq().is_empty());
 }
 
@@ -233,12 +268,20 @@ fn crash_engine(checkpoint_enabled: bool) -> Engine {
     let a = t.add_node(NodeSpec::edge("sensor-host", 10.0));
     let b = t.add_node(NodeSpec::edge("host-b", 1000.0));
     let c = t.add_node(NodeSpec::edge("host-c", 900.0));
-    t.add_link(a, b, Duration::from_millis(1), 10_000_000).unwrap();
-    t.add_link(a, c, Duration::from_millis(1), 10_000_000).unwrap();
-    t.add_link(b, c, Duration::from_millis(1), 10_000_000).unwrap();
-    let cfg = EngineConfig { migration_enabled: false, checkpoint_enabled, ..Default::default() };
+    t.add_link(a, b, Duration::from_millis(1), 10_000_000)
+        .unwrap();
+    t.add_link(a, c, Duration::from_millis(1), 10_000_000)
+        .unwrap();
+    t.add_link(b, c, Duration::from_millis(1), 10_000_000)
+        .unwrap();
+    let cfg = EngineConfig {
+        migration_enabled: false,
+        checkpoint_enabled,
+        ..Default::default()
+    };
     let mut e = Engine::new(t, cfg, start());
-    e.add_sensor(temp_sensor(1, a, Duration::from_secs(5))).unwrap();
+    e.add_sensor(temp_sensor(1, a, Duration::from_secs(5)))
+        .unwrap();
     e.deploy(agg_flow("w")).unwrap();
     e
 }
@@ -255,7 +298,11 @@ fn node_crash_mid_window_restores_operator_state() {
     // boundaries at 30/60/90 s) and let recovery re-place it.
     let mut e = crash_engine(true);
     let victim = e.node_of("w", "sum").expect("aggregate placed");
-    assert_ne!(victim, NodeId(0), "aggregate must not share the sensor host");
+    assert_ne!(
+        victim,
+        NodeId(0),
+        "aggregate must not share the sensor host"
+    );
     e.install_fault_plan(&FaultPlan::new().node_crash(victim.0, Duration::from_secs(45)));
     e.run_for(Duration::from_secs(100));
 
@@ -267,12 +314,19 @@ fn node_crash_mid_window_restores_operator_state() {
         .placements
         .iter()
         .any(|p| p.reason.contains("recovery: node crash") && p.operator == "sum"));
-    assert!(e.monitor().recovery.iter().any(|l| l.contains("recovered onto")));
+    assert!(e
+        .monitor()
+        .recovery
+        .iter()
+        .any(|l| l.contains("recovered onto")));
 
     // Determinism check: the restored window produced the same aggregates,
     // so the warehouse matches the fault-free run event for event.
     let got: Vec<sl_stt::Event> = e.warehouse().iter().cloned().collect();
-    assert_eq!(got, expected, "checkpoint restore must reproduce the fault-free aggregates");
+    assert_eq!(
+        got, expected,
+        "checkpoint restore must reproduce the fault-free aggregates"
+    );
 
     let snap = e.metrics_snapshot();
     assert!(snap.counters["engine/checkpoint/taken"] > 0);
@@ -294,8 +348,14 @@ fn node_crash_without_checkpoints_loses_window_state() {
     // The crash wiped the half-filled window: the first post-crash
     // aggregate differs from the fault-free run.
     let got: Vec<sl_stt::Event> = e.warehouse().iter().cloned().collect();
-    assert_ne!(got, expected, "without checkpoints the window state must be lost");
-    assert_eq!(e.metrics_snapshot().counters["engine/checkpoint/restored_tuples"], 0);
+    assert_ne!(
+        got, expected,
+        "without checkpoints the window state must be lost"
+    );
+    assert_eq!(
+        e.metrics_snapshot().counters["engine/checkpoint/restored_tuples"],
+        0
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -307,10 +367,16 @@ fn stalled_sensor_expires_then_rejoins() {
     let mut t = Topology::new();
     let a = t.add_node(NodeSpec::edge("a", 1000.0));
     let b = t.add_node(NodeSpec::edge("b", 1000.0));
-    t.add_link(a, b, Duration::from_millis(1), 10_000_000).unwrap();
-    let cfg = EngineConfig { migration_enabled: false, ..Default::default() };
+    t.add_link(a, b, Duration::from_millis(1), 10_000_000)
+        .unwrap();
+    let cfg = EngineConfig {
+        migration_enabled: false,
+        ..Default::default()
+    };
     let mut e = Engine::new(t, cfg, start());
-    let id = e.add_sensor(temp_sensor(1, a, Duration::from_secs(2))).unwrap();
+    let id = e
+        .add_sensor(temp_sensor(1, a, Duration::from_secs(2)))
+        .unwrap();
     e.deploy(filter_flow("d")).unwrap();
 
     // Silent stall from 10 s to 30 s; with a 2 s period and grace 3, the
@@ -321,20 +387,37 @@ fn stalled_sensor_expires_then_rejoins() {
         Duration::from_secs(20),
     ));
     e.run_for(Duration::from_secs(20));
-    assert!(!e.broker().registry().contains(id), "watchdog must withdraw the stale ad");
+    assert!(
+        !e.broker().registry().contains(id),
+        "watchdog must withdraw the stale ad"
+    );
     assert!(e.bound_sensors("d", "temp").is_empty());
     let during = e.monitor().sink_count("d", "out");
 
     e.run_for(Duration::from_secs(25));
-    assert!(e.broker().registry().contains(id), "resumed sensor must republish");
+    assert!(
+        e.broker().registry().contains(id),
+        "resumed sensor must republish"
+    );
     assert_eq!(e.bound_sensors("d", "temp"), vec![id]);
-    assert!(e.monitor().sink_count("d", "out") > during + 5, "rejoined sensor feeds again");
+    assert!(
+        e.monitor().sink_count("d", "out") > during + 5,
+        "rejoined sensor feeds again"
+    );
 
     let snap = e.metrics_snapshot();
     assert_eq!(snap.counters["engine/liveness/expired"], 1);
     assert_eq!(snap.counters["engine/liveness/rejoined"], 1);
-    assert!(e.monitor().membership.iter().any(|l| l.contains("presumed dead")));
-    assert!(e.monitor().membership.iter().any(|l| l.contains("rejoined")));
+    assert!(e
+        .monitor()
+        .membership
+        .iter()
+        .any(|l| l.contains("presumed dead")));
+    assert!(e
+        .monitor()
+        .membership
+        .iter()
+        .any(|l| l.contains("rejoined")));
     assert!(e.monitor().recovery.iter().any(|l| l.contains("expired")));
 }
 
@@ -349,7 +432,10 @@ fn corrupt_payloads_dead_letter_then_flow_resumes() {
     e.run_for(Duration::from_secs(25));
     let after_window = e.monitor().sink_count("d", "out");
     let corrupted = e.dlq().count(DropReason::CorruptPayload);
-    assert!(corrupted >= 5, "corrupt window must dead-letter emissions ({corrupted})");
+    assert!(
+        corrupted >= 5,
+        "corrupt window must dead-letter emissions ({corrupted})"
+    );
     assert_eq!(e.dlq().total(), corrupted);
 
     e.run_for(Duration::from_secs(15));
@@ -357,7 +443,11 @@ fn corrupt_payloads_dead_letter_then_flow_resumes() {
         e.monitor().sink_count("d", "out") > after_window + 10,
         "clean payloads must flow again after the corruption window"
     );
-    assert_eq!(e.dlq().count(DropReason::CorruptPayload), corrupted, "no further corruption");
+    assert_eq!(
+        e.dlq().count(DropReason::CorruptPayload),
+        corrupted,
+        "no further corruption"
+    );
     let snap = e.metrics_snapshot();
     assert_eq!(snap.counters["engine/drops/corrupt"], corrupted);
     assert!(snap.counters["engine/dlq/corrupt_payload"] > 0);
@@ -390,7 +480,8 @@ fn clock_skew_shifts_emitted_timestamps() {
 fn chaos_schedule_replays_deterministically() {
     fn run() -> Engine {
         let mut e = crash_engine(true);
-        e.add_sensor(temp_sensor(2, NodeId(1), Duration::from_secs(3))).unwrap();
+        e.add_sensor(temp_sensor(2, NodeId(1), Duration::from_secs(3)))
+            .unwrap();
         let victim = e.node_of("w", "sum").unwrap();
         let plan = FaultPlan::new()
             .sensor_stall(1, Duration::from_secs(8), Duration::from_secs(12))
@@ -408,9 +499,15 @@ fn chaos_schedule_replays_deterministically() {
         a.warehouse().iter().cloned().collect::<Vec<_>>(),
         b.warehouse().iter().cloned().collect::<Vec<_>>()
     );
-    assert_eq!(a.monitor().sink_count("w", "edw"), b.monitor().sink_count("w", "edw"));
+    assert_eq!(
+        a.monitor().sink_count("w", "edw"),
+        b.monitor().sink_count("w", "edw")
+    );
     assert_eq!(a.dlq().total(), b.dlq().total());
-    assert_eq!(a.dlq().by_reason().collect::<Vec<_>>(), b.dlq().by_reason().collect::<Vec<_>>());
+    assert_eq!(
+        a.dlq().by_reason().collect::<Vec<_>>(),
+        b.dlq().by_reason().collect::<Vec<_>>()
+    );
     assert_eq!(a.monitor().recovery, b.monitor().recovery);
     assert_eq!(a.monitor().membership, b.monitor().membership);
 }

@@ -70,7 +70,10 @@ impl BinOp {
 
     /// True for comparison operators (non-associative in the grammar).
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 }
 
@@ -118,12 +121,19 @@ pub enum Expr {
 impl Expr {
     /// Convenience constructor for binary nodes.
     pub fn binary(op: BinOp, left: Expr, right: Expr) -> Expr {
-        Expr::Binary { op, left: Box::new(left), right: Box::new(right) }
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     /// Convenience constructor for unary nodes.
     pub fn unary(op: UnOp, expr: Expr) -> Expr {
-        Expr::Unary { op, expr: Box::new(expr) }
+        Expr::Unary {
+            op,
+            expr: Box::new(expr),
+        }
     }
 
     /// Convenience constructor for attribute references.

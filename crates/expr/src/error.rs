@@ -55,6 +55,33 @@ pub enum ExprError {
     DivisionByZero,
     /// An error from the STT layer (unknown attribute, unit mismatch, ...).
     Stt(SttError),
+    /// An error annotated with where it occurred — the operator parameter or
+    /// field whose expression failed (e.g. `assignment to \`level\``).
+    InContext {
+        /// The operator parameter / field being checked.
+        context: String,
+        /// The underlying error.
+        inner: Box<ExprError>,
+    },
+}
+
+impl ExprError {
+    /// Wrap this error with the operator parameter or field it belongs to,
+    /// so diagnostics name the offending site, not just the expression.
+    pub fn with_context(self, context: impl Into<String>) -> ExprError {
+        ExprError::InContext {
+            context: context.into(),
+            inner: Box::new(self),
+        }
+    }
+
+    /// The underlying error, with any context wrappers stripped.
+    pub fn root(&self) -> &ExprError {
+        match self {
+            ExprError::InContext { inner, .. } => inner.root(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for ExprError {
@@ -67,17 +94,30 @@ impl fmt::Display for ExprError {
             ExprError::BadNumber { pos, text } => {
                 write!(f, "malformed number `{text}` at offset {pos}")
             }
-            ExprError::Syntax { pos, message } => write!(f, "syntax error at offset {pos}: {message}"),
+            ExprError::Syntax { pos, message } => {
+                write!(f, "syntax error at offset {pos}: {message}")
+            }
             ExprError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
-            ExprError::Arity { function, expected, found } => {
-                write!(f, "function `{function}` expects {expected} argument(s), got {found}")
+            ExprError::Arity {
+                function,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "function `{function}` expects {expected} argument(s), got {found}"
+                )
             }
             ExprError::Type { message } => write!(f, "type error: {message}"),
             ExprError::NotAPredicate(ty) => {
-                write!(f, "expected a boolean condition, but expression has type {ty}")
+                write!(
+                    f,
+                    "expected a boolean condition, but expression has type {ty}"
+                )
             }
             ExprError::DivisionByZero => write!(f, "division by zero"),
             ExprError::Stt(e) => write!(f, "{e}"),
+            ExprError::InContext { context, inner } => write!(f, "in {context}: {inner}"),
         }
     }
 }
@@ -96,11 +136,30 @@ mod tests {
 
     #[test]
     fn displays_mention_relevant_detail() {
-        assert!(ExprError::UnknownFunction("foo".into()).to_string().contains("foo"));
-        assert!(ExprError::Arity { function: "abs".into(), expected: "1".into(), found: 2 }
+        assert!(ExprError::UnknownFunction("foo".into())
             .to_string()
-            .contains("abs"));
+            .contains("foo"));
+        assert!(ExprError::Arity {
+            function: "abs".into(),
+            expected: "1".into(),
+            found: 2
+        }
+        .to_string()
+        .contains("abs"));
         let e = ExprError::from(SttError::UnknownAttribute("x".into()));
         assert!(e.to_string().contains('x'));
+    }
+
+    #[test]
+    fn context_names_the_offending_site() {
+        let e = ExprError::from(SttError::UnknownAttribute("wind".into()))
+            .with_context("assignment to `level`");
+        let s = e.to_string();
+        assert!(s.contains("assignment to `level`"), "{s}");
+        assert!(s.contains("wind"), "{s}");
+        assert!(matches!(
+            e.root(),
+            ExprError::Stt(SttError::UnknownAttribute(_))
+        ));
     }
 }

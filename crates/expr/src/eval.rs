@@ -24,8 +24,14 @@ impl Bindings for Tuple {
     fn lookup(&self, name: &str) -> Result<Value, ExprError> {
         match name {
             "_ts" => Ok(Value::Time(self.meta.timestamp)),
-            "_lat" => Ok(self.meta.location.map_or(Value::Null, |p| Value::Float(p.lat))),
-            "_lon" => Ok(self.meta.location.map_or(Value::Null, |p| Value::Float(p.lon))),
+            "_lat" => Ok(self
+                .meta
+                .location
+                .map_or(Value::Null, |p| Value::Float(p.lat))),
+            "_lon" => Ok(self
+                .meta
+                .location
+                .map_or(Value::Null, |p| Value::Float(p.lon))),
             "_theme" => Ok(Value::Str(self.meta.theme.as_str().to_string())),
             "_sensor" => Ok(Value::Int(self.meta.sensor.0 as i64)),
             _ => self.get(name).cloned().map_err(ExprError::from),
@@ -120,12 +126,17 @@ fn eval_binop(op: BinOp, l: Value, r: Value) -> Result<Value, ExprError> {
                 // enforces this; the runtime double-checks for safety).
                 (Value::Str(a), Value::Str(b)) => a.cmp(b),
                 (Value::Time(a), Value::Time(b)) => a.cmp(b),
-                (a, b) if a.as_f64().is_ok() && b.as_f64().is_ok() => {
-                    a.as_f64().expect("num").total_cmp(&b.as_f64().expect("num"))
-                }
+                (a, b) if a.as_f64().is_ok() && b.as_f64().is_ok() => a
+                    .as_f64()
+                    .expect("num")
+                    .total_cmp(&b.as_f64().expect("num")),
                 (a, b) => {
                     return Err(ExprError::Type {
-                        message: format!("cannot order {} against {}", a.type_name(), b.type_name()),
+                        message: format!(
+                            "cannot order {} against {}",
+                            a.type_name(),
+                            b.type_name()
+                        ),
                     })
                 }
             };
@@ -203,7 +214,10 @@ mod tests {
     }
 
     fn env(pairs: &[(&str, Value)]) -> Env {
-        Env(pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect())
+        Env(pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect())
     }
 
     fn run(src: &str, e: &Env) -> Result<Value, ExprError> {
@@ -246,7 +260,11 @@ mod tests {
 
     #[test]
     fn three_valued_logic() {
-        let e = env(&[("u", Value::Null), ("t", Value::Bool(true)), ("f", Value::Bool(false))]);
+        let e = env(&[
+            ("u", Value::Null),
+            ("t", Value::Bool(true)),
+            ("f", Value::Bool(false)),
+        ]);
         assert_eq!(run("f and u", &e).unwrap(), Value::Bool(false));
         assert_eq!(run("u and f", &e).unwrap(), Value::Bool(false));
         assert_eq!(run("t and u", &e).unwrap(), Value::Null);

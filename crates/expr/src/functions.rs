@@ -29,15 +29,19 @@ fn arity_err(name: &str, sig: &Sig, found: usize) -> ExprError {
     } else {
         format!("{}..={}", sig.min, sig.max)
     };
-    ExprError::Arity { function: name.to_string(), expected, found }
+    ExprError::Arity {
+        function: name.to_string(),
+        expected,
+        found,
+    }
 }
 
 fn sig_of(name: &str) -> Option<Sig> {
     let (min, max) = match name {
         "pi" | "nan" | "inf" => (0, 0),
-        "abs" | "sqrt" | "exp" | "ln" | "floor" | "ceil" | "round" | "is_null" | "lower" | "upper"
-        | "trim" | "length" | "to_int" | "to_float" | "to_str" | "time" | "hour" | "minute"
-        | "day_of_week" | "epoch_ms" | "lat" | "lon" => (1, 1),
+        "abs" | "sqrt" | "exp" | "ln" | "floor" | "ceil" | "round" | "is_null" | "lower"
+        | "upper" | "trim" | "length" | "to_int" | "to_float" | "to_str" | "time" | "hour"
+        | "minute" | "day_of_week" | "epoch_ms" | "lat" | "lon" => (1, 1),
         "pow" | "contains" | "starts_with" | "ends_with" | "matches" | "is_valid_date" | "geo"
         | "distance_m" => (2, 2),
         "convert_unit" | "if" => (3, 3),
@@ -96,7 +100,10 @@ pub fn check(name: &str, args: &[ExprType]) -> Result<ExprType, ExprError> {
                 require(i, numeric, "numeric")?;
             }
             // Result is Int only if every argument is Int.
-            if args.iter().all(|a| matches!(a, ExprType::Exact(AttrType::Int))) {
+            if args
+                .iter()
+                .all(|a| matches!(a, ExprType::Exact(AttrType::Int)))
+            {
                 Ok(exact(AttrType::Int))
             } else {
                 Ok(exact(AttrType::Float))
@@ -216,7 +223,11 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value, ExprError> {
     // Non-strict builtins first.
     match name {
         "coalesce" => {
-            return Ok(args.iter().find(|v| !v.is_null()).cloned().unwrap_or(Value::Null));
+            return Ok(args
+                .iter()
+                .find(|v| !v.is_null())
+                .cloned()
+                .unwrap_or(Value::Null));
         }
         "is_null" => return Ok(Value::Bool(args[0].is_null())),
         "if" => {
@@ -272,7 +283,11 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value, ExprError> {
                 let mut best = args[0].as_f64()?;
                 for a in &args[1..] {
                     let x = a.as_f64()?;
-                    best = if name == "min" { best.min(x) } else { best.max(x) };
+                    best = if name == "min" {
+                        best.min(x)
+                    } else {
+                        best.max(x)
+                    };
                 }
                 Ok(Value::Float(best))
             }
@@ -306,24 +321,41 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value, ExprError> {
                 _ => Ok(Value::Geo(GeoPoint::new(x, y)?)),
             }
         }
-        "geo" => Ok(Value::Geo(GeoPoint::new(args[0].as_f64()?, args[1].as_f64()?)?)),
+        "geo" => Ok(Value::Geo(GeoPoint::new(
+            args[0].as_f64()?,
+            args[1].as_f64()?,
+        )?)),
         "lat" => Ok(Value::Float(args[0].as_geo()?.lat)),
         "lon" => Ok(Value::Float(args[0].as_geo()?.lon)),
-        "distance_m" => Ok(Value::Float(args[0].as_geo()?.haversine_distance_m(&args[1].as_geo()?))),
+        "distance_m" => Ok(Value::Float(
+            args[0].as_geo()?.haversine_distance_m(&args[1].as_geo()?),
+        )),
         "lower" => Ok(Value::Str(args[0].as_str()?.to_lowercase())),
         "upper" => Ok(Value::Str(args[0].as_str()?.to_uppercase())),
         "trim" => Ok(Value::Str(args[0].as_str()?.trim().to_string())),
         "length" => Ok(Value::Int(args[0].as_str()?.chars().count() as i64)),
         "contains" => Ok(Value::Bool(args[0].as_str()?.contains(args[1].as_str()?))),
-        "starts_with" => Ok(Value::Bool(args[0].as_str()?.starts_with(args[1].as_str()?))),
+        "starts_with" => Ok(Value::Bool(
+            args[0].as_str()?.starts_with(args[1].as_str()?),
+        )),
         "ends_with" => Ok(Value::Bool(args[0].as_str()?.ends_with(args[1].as_str()?))),
-        "matches" => Ok(Value::Bool(glob_match(args[1].as_str()?, args[0].as_str()?))),
-        "is_valid_date" => Ok(Value::Bool(is_valid_date(args[0].as_str()?, args[1].as_str()?))),
+        "matches" => Ok(Value::Bool(glob_match(
+            args[1].as_str()?,
+            args[0].as_str()?,
+        ))),
+        "is_valid_date" => Ok(Value::Bool(is_valid_date(
+            args[0].as_str()?,
+            args[1].as_str()?,
+        ))),
         "to_int" => match &args[0] {
             Value::Int(i) => Ok(Value::Int(*i)),
             Value::Float(x) => Ok(Value::Int(*x as i64)),
             Value::Bool(b) => Ok(Value::Int(i64::from(*b))),
-            Value::Str(s) => Ok(s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null)),
+            Value::Str(s) => Ok(s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Null)),
             Value::Time(t) => Ok(Value::Int(t.as_millis())),
             v => Err(ExprError::Stt(sl_stt::SttError::TypeMismatch {
                 expected: "convertible to Int".into(),
@@ -331,11 +363,17 @@ pub fn call(name: &str, args: &[Value]) -> Result<Value, ExprError> {
             })),
         },
         "to_float" => match &args[0] {
-            Value::Str(s) => Ok(s.trim().parse::<f64>().map(Value::Float).unwrap_or(Value::Null)),
+            Value::Str(s) => Ok(s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .unwrap_or(Value::Null)),
             v => Ok(Value::Float(v.as_f64()?)),
         },
         "to_str" => Ok(Value::Str(args[0].to_string())),
-        "time" => Ok(Value::Time(Timestamp::from_millis(args[0].as_f64()? as i64))),
+        "time" => Ok(Value::Time(
+            Timestamp::from_millis(args[0].as_f64()? as i64),
+        )),
         "hour" => Ok(Value::Int(i64::from(args[0].as_time()?.time_of_day().0))),
         "minute" => Ok(Value::Int(i64::from(args[0].as_time()?.time_of_day().1))),
         "day_of_week" => {
@@ -507,7 +545,10 @@ mod tests {
         assert_eq!(f("abs", &[Value::Int(-3)]), Value::Int(3));
         assert_eq!(f("abs", &[Value::Float(-2.5)]), Value::Float(2.5));
         assert_eq!(f("sqrt", &[Value::Float(9.0)]), Value::Float(3.0));
-        assert_eq!(f("pow", &[Value::Int(2), Value::Int(10)]), Value::Float(1024.0));
+        assert_eq!(
+            f("pow", &[Value::Int(2), Value::Int(10)]),
+            Value::Float(1024.0)
+        );
         assert_eq!(f("floor", &[Value::Float(2.7)]), Value::Float(2.0));
         assert_eq!(f("ceil", &[Value::Float(2.1)]), Value::Float(3.0));
         assert_eq!(f("round", &[Value::Float(2.5)]), Value::Float(3.0));
@@ -515,8 +556,14 @@ mod tests {
 
     #[test]
     fn min_max_int_preserving() {
-        assert_eq!(f("min", &[Value::Int(3), Value::Int(1), Value::Int(2)]), Value::Int(1));
-        assert_eq!(f("max", &[Value::Int(3), Value::Float(4.5)]), Value::Float(4.5));
+        assert_eq!(
+            f("min", &[Value::Int(3), Value::Int(1), Value::Int(2)]),
+            Value::Int(1)
+        );
+        assert_eq!(
+            f("max", &[Value::Int(3), Value::Float(4.5)]),
+            Value::Float(4.5)
+        );
     }
 
     #[test]
@@ -535,14 +582,27 @@ mod tests {
         assert_eq!(f("is_null", &[Value::Null]), Value::Bool(true));
         assert_eq!(f("is_null", &[Value::Int(0)]), Value::Bool(false));
         assert_eq!(
-            f("if", &[Value::Bool(true), Value::Str("a".into()), Value::Str("b".into())]),
+            f(
+                "if",
+                &[
+                    Value::Bool(true),
+                    Value::Str("a".into()),
+                    Value::Str("b".into())
+                ]
+            ),
             Value::Str("a".into())
         );
         assert_eq!(
             f("if", &[Value::Bool(false), Value::Int(1), Value::Int(2)]),
             Value::Int(2)
         );
-        assert_eq!(f("concat", &[Value::Str("a".into()), Value::Null, Value::Int(3)]), Value::Str("a3".into()));
+        assert_eq!(
+            f(
+                "concat",
+                &[Value::Str("a".into()), Value::Null, Value::Int(3)]
+            ),
+            Value::Str("a3".into())
+        );
     }
 
     #[test]
@@ -560,19 +620,31 @@ mod tests {
     fn unit_conversion_builtin() {
         let v = f(
             "convert_unit",
-            &[Value::Float(100.0), Value::Str("yd".into()), Value::Str("m".into())],
+            &[
+                Value::Float(100.0),
+                Value::Str("yd".into()),
+                Value::Str("m".into()),
+            ],
         );
         assert_eq!(v, Value::Float(91.44));
         // Incompatible quantities error out.
         assert!(call(
             "convert_unit",
-            &[Value::Float(1.0), Value::Str("celsius".into()), Value::Str("m".into())]
+            &[
+                Value::Float(1.0),
+                Value::Str("celsius".into()),
+                Value::Str("m".into())
+            ]
         )
         .is_err());
         // Unknown unit errors out.
         assert!(call(
             "convert_unit",
-            &[Value::Float(1.0), Value::Str("cubit".into()), Value::Str("m".into())]
+            &[
+                Value::Float(1.0),
+                Value::Str("cubit".into()),
+                Value::Str("m".into())
+            ]
         )
         .is_err());
     }
@@ -606,20 +678,41 @@ mod tests {
 
     #[test]
     fn string_builtins() {
-        assert_eq!(f("lower", &[Value::Str("OSAKA".into())]), Value::Str("osaka".into()));
-        assert_eq!(f("upper", &[Value::Str("rain".into())]), Value::Str("RAIN".into()));
-        assert_eq!(f("trim", &[Value::Str("  x ".into())]), Value::Str("x".into()));
+        assert_eq!(
+            f("lower", &[Value::Str("OSAKA".into())]),
+            Value::Str("osaka".into())
+        );
+        assert_eq!(
+            f("upper", &[Value::Str("rain".into())]),
+            Value::Str("RAIN".into())
+        );
+        assert_eq!(
+            f("trim", &[Value::Str("  x ".into())]),
+            Value::Str("x".into())
+        );
         assert_eq!(f("length", &[Value::Str("日本語".into())]), Value::Int(3));
         assert_eq!(
-            f("contains", &[Value::Str("heavy rain".into()), Value::Str("rain".into())]),
+            f(
+                "contains",
+                &[Value::Str("heavy rain".into()), Value::Str("rain".into())]
+            ),
             Value::Bool(true)
         );
         assert_eq!(
-            f("starts_with", &[Value::Str("weather/rain".into()), Value::Str("weather".into())]),
+            f(
+                "starts_with",
+                &[
+                    Value::Str("weather/rain".into()),
+                    Value::Str("weather".into())
+                ]
+            ),
             Value::Bool(true)
         );
         assert_eq!(
-            f("ends_with", &[Value::Str("osaka-1".into()), Value::Str("-1".into())]),
+            f(
+                "ends_with",
+                &[Value::Str("osaka-1".into()), Value::Str("-1".into())]
+            ),
             Value::Bool(true)
         );
     }
@@ -678,7 +771,10 @@ mod tests {
             call("abs", &[Value::Int(1), Value::Int(2)]),
             Err(ExprError::Arity { .. })
         ));
-        assert!(matches!(call("nosuch", &[]), Err(ExprError::UnknownFunction(_))));
+        assert!(matches!(
+            call("nosuch", &[]),
+            Err(ExprError::UnknownFunction(_))
+        ));
     }
 
     #[test]
@@ -686,10 +782,16 @@ mod tests {
         use ExprType::*;
         let float = Exact(AttrType::Float);
         let string = Exact(AttrType::Str);
-        assert_eq!(check("abs", &[Exact(AttrType::Int)]).unwrap(), Exact(AttrType::Int));
+        assert_eq!(
+            check("abs", &[Exact(AttrType::Int)]).unwrap(),
+            Exact(AttrType::Int)
+        );
         assert_eq!(check("sqrt", &[float]).unwrap(), float);
         assert!(check("sqrt", &[string]).is_err());
-        assert_eq!(check("convert_unit", &[float, string, string]).unwrap(), float);
+        assert_eq!(
+            check("convert_unit", &[float, string, string]).unwrap(),
+            float
+        );
         assert_eq!(check("coalesce", &[Null, float]).unwrap(), float);
         assert_eq!(
             check("coalesce", &[Exact(AttrType::Int), float]).unwrap(),

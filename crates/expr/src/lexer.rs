@@ -92,35 +92,59 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ExprError> {
                 i += 1;
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos: start,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos: start,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    pos: start,
+                });
                 i += 1;
             }
             b'+' => {
-                tokens.push(Token { kind: TokenKind::Plus, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    pos: start,
+                });
                 i += 1;
             }
             b'-' => {
-                tokens.push(Token { kind: TokenKind::Minus, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    pos: start,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    pos: start,
+                });
                 i += 1;
             }
             b'/' => {
-                tokens.push(Token { kind: TokenKind::Slash, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    pos: start,
+                });
                 i += 1;
             }
             b'%' => {
-                tokens.push(Token { kind: TokenKind::Percent, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    pos: start,
+                });
                 i += 1;
             }
             b'=' => {
@@ -129,36 +153,60 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ExprError> {
                 if bytes.get(i) == Some(&b'=') {
                     i += 1;
                 }
-                tokens.push(Token { kind: TokenKind::Eq, pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    pos: start,
+                });
             }
             b'!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ne, pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        pos: start,
+                    });
                     i += 2;
                 } else {
-                    return Err(ExprError::Lex { pos: start, ch: '!' });
+                    return Err(ExprError::Lex {
+                        pos: start,
+                        ch: '!',
+                    });
                 }
             }
             b'<' => match bytes.get(i + 1) {
                 Some(b'=') => {
-                    tokens.push(Token { kind: TokenKind::Le, pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        pos: start,
+                    });
                     i += 2;
                 }
                 Some(b'>') => {
-                    tokens.push(Token { kind: TokenKind::Ne, pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        pos: start,
+                    });
                     i += 2;
                 }
                 _ => {
-                    tokens.push(Token { kind: TokenKind::Lt, pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        pos: start,
+                    });
                     i += 1;
                 }
             },
             b'>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        pos: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, pos: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        pos: start,
+                    });
                     i += 1;
                 }
             }
@@ -189,7 +237,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ExprError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), pos: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos: start,
+                });
             }
             b'0'..=b'9' => {
                 let mut is_float = false;
@@ -197,7 +248,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ExprError> {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -313,7 +367,10 @@ mod tests {
     #[test]
     fn stray_dot_is_an_error() {
         // A dot is only meaningful inside a float or identifier.
-        assert!(matches!(tokenize("1 . 2"), Err(ExprError::Lex { ch: '.', .. })));
+        assert!(matches!(
+            tokenize("1 . 2"),
+            Err(ExprError::Lex { ch: '.', .. })
+        ));
     }
 
     #[test]
@@ -330,8 +387,14 @@ mod tests {
 
     #[test]
     fn rejects_stray_characters() {
-        assert!(matches!(tokenize("a # b"), Err(ExprError::Lex { ch: '#', .. })));
-        assert!(matches!(tokenize("a ! b"), Err(ExprError::Lex { ch: '!', .. })));
+        assert!(matches!(
+            tokenize("a # b"),
+            Err(ExprError::Lex { ch: '#', .. })
+        ));
+        assert!(matches!(
+            tokenize("a ! b"),
+            Err(ExprError::Lex { ch: '!', .. })
+        ));
     }
 
     #[test]

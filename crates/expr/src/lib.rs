@@ -64,7 +64,11 @@ impl CompiledExpr {
     pub fn compile(source: &str, schema: &Schema) -> Result<CompiledExpr, ExprError> {
         let expr = parse(source)?;
         let ty = typecheck(&expr, schema)?;
-        Ok(CompiledExpr { expr, ty, source: source.to_string() })
+        Ok(CompiledExpr {
+            expr,
+            ty,
+            source: source.to_string(),
+        })
     }
 
     /// Compile and additionally require the result type to be boolean
@@ -128,7 +132,11 @@ mod tests {
     fn tuple(temp: f64, hum: f64) -> Tuple {
         Tuple::new(
             schema().into_ref(),
-            vec![Value::Float(temp), Value::Float(hum), Value::Str("osaka-1".into())],
+            vec![
+                Value::Float(temp),
+                Value::Float(hum),
+                Value::Str("osaka-1".into()),
+            ],
             SttMeta::new(
                 Timestamp::from_secs(1000),
                 GeoPoint::new_unchecked(34.69, 135.5),
@@ -160,7 +168,8 @@ mod tests {
 
     #[test]
     fn apparent_temperature_virtual_property() {
-        let c = CompiledExpr::compile("apparent_temperature(temperature, humidity)", &schema()).unwrap();
+        let c = CompiledExpr::compile("apparent_temperature(temperature, humidity)", &schema())
+            .unwrap();
         let v = c.eval(&tuple(30.0, 70.0)).unwrap();
         let at = v.as_f64().unwrap();
         // Hot humid day feels hotter than the dry-bulb temperature.

@@ -24,7 +24,11 @@ use sl_stt::Value;
 /// Parse a complete expression; trailing tokens are an error.
 pub fn parse(src: &str) -> Result<Expr, ExprError> {
     let tokens = tokenize(src)?;
-    let mut p = Parser { tokens, pos: 0, src_len: src.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        src_len: src.len(),
+    };
     let expr = p.parse_or()?;
     if let Some(t) = p.peek() {
         return Err(ExprError::Syntax {
@@ -174,15 +178,30 @@ impl Parser {
     fn parse_primary(&mut self) -> Result<Expr, ExprError> {
         let pos = self.here();
         match self.next() {
-            Some(Token { kind: TokenKind::Int(i), .. }) => Ok(Expr::Literal(Value::Int(i))),
-            Some(Token { kind: TokenKind::Float(x), .. }) => Ok(Expr::Literal(Value::Float(x))),
-            Some(Token { kind: TokenKind::Str(s), .. }) => Ok(Expr::Literal(Value::Str(s))),
-            Some(Token { kind: TokenKind::LParen, .. }) => {
+            Some(Token {
+                kind: TokenKind::Int(i),
+                ..
+            }) => Ok(Expr::Literal(Value::Int(i))),
+            Some(Token {
+                kind: TokenKind::Float(x),
+                ..
+            }) => Ok(Expr::Literal(Value::Float(x))),
+            Some(Token {
+                kind: TokenKind::Str(s),
+                ..
+            }) => Ok(Expr::Literal(Value::Str(s))),
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            }) => {
                 let e = self.parse_or()?;
                 self.expect(&TokenKind::RParen, "`)`")?;
                 Ok(e)
             }
-            Some(Token { kind: TokenKind::Ident(name), .. }) => {
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                ..
+            }) => {
                 let lower = name.to_ascii_lowercase();
                 match lower.as_str() {
                     "true" => return Ok(Expr::Literal(Value::Bool(true))),
@@ -204,7 +223,10 @@ impl Parser {
                         }
                     }
                     self.expect(&TokenKind::RParen, "`)` to close argument list")?;
-                    Ok(Expr::Call { function: lower, args })
+                    Ok(Expr::Call {
+                        function: lower,
+                        args,
+                    })
                 } else {
                     // Attribute names keep their case: sensor schemas may be
                     // case-sensitive.
@@ -235,7 +257,14 @@ mod tests {
     fn precedence_and_or() {
         // and binds tighter than or.
         let e = parse("a or b and c").unwrap();
-        assert_eq!(e, Expr::binary(BinOp::Or, Expr::attr("a"), Expr::binary(BinOp::And, Expr::attr("b"), Expr::attr("c"))));
+        assert_eq!(
+            e,
+            Expr::binary(
+                BinOp::Or,
+                Expr::attr("a"),
+                Expr::binary(BinOp::And, Expr::attr("b"), Expr::attr("c"))
+            )
+        );
     }
 
     #[test]
@@ -278,7 +307,10 @@ mod tests {
         assert_eq!(parse("-2.5").unwrap(), Expr::Literal(Value::Float(-2.5)));
         assert_eq!(parse("- -3").unwrap(), Expr::Literal(Value::Int(3)));
         // Negating an attribute stays a unary node.
-        assert!(matches!(parse("-a").unwrap(), Expr::Unary { op: UnOp::Neg, .. }));
+        assert!(matches!(
+            parse("-a").unwrap(),
+            Expr::Unary { op: UnOp::Neg, .. }
+        ));
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub fn typecheck(expr: &Expr, schema: &Schema) -> Result<ExprType, ExprError> {
                         Ok(inner)
                     } else {
                         Err(ExprError::Type {
-                            message: format!("cannot negate a value of type {inner}"),
+                            message: format!("cannot negate `{expr}` (type {inner})"),
                         })
                     }
                 }
@@ -103,7 +103,9 @@ pub fn typecheck(expr: &Expr, schema: &Schema) -> Result<ExprType, ExprError> {
                         Ok(ExprType::Exact(AttrType::Bool))
                     } else {
                         Err(ExprError::Type {
-                            message: format!("`not` needs a boolean, found {inner}"),
+                            message: format!(
+                                "`not` needs a boolean, but `{expr}` has type {inner}"
+                            ),
                         })
                     }
                 }
@@ -117,7 +119,11 @@ pub fn typecheck(expr: &Expr, schema: &Schema) -> Result<ExprType, ExprError> {
                     for (side, t) in [("left", lt), ("right", rt)] {
                         if !t.fits(AttrType::Bool) {
                             return Err(ExprError::Type {
-                                message: format!("{side} operand of `{}` must be boolean, found {t}", op.symbol()),
+                                message: format!(
+                                    "{side} operand of `{}` must be boolean, found {t} in `{left} {} {right}`",
+                                    op.symbol(),
+                                    op.symbol()
+                                ),
                             });
                         }
                     }
@@ -128,7 +134,9 @@ pub fn typecheck(expr: &Expr, schema: &Schema) -> Result<ExprType, ExprError> {
                         Ok(ExprType::Exact(AttrType::Bool))
                     } else {
                         Err(ExprError::Type {
-                            message: format!("cannot compare {lt} with {rt}"),
+                            message: format!(
+                                "cannot compare `{left}` ({lt}) with `{right}` ({rt})"
+                            ),
                         })
                     }
                 }
@@ -143,23 +151,28 @@ pub fn typecheck(expr: &Expr, schema: &Schema) -> Result<ExprType, ExprError> {
                         Ok(ExprType::Exact(AttrType::Bool))
                     } else {
                         Err(ExprError::Type {
-                            message: format!("cannot order {lt} against {rt}"),
+                            message: format!(
+                                "cannot order `{left}` ({lt}) against `{right}` ({rt})"
+                            ),
                         })
                     }
                 }
                 BinOp::Add => {
                     // `+` is numeric addition or string concatenation.
-                    if lt == ExprType::Exact(AttrType::Str) && rt == ExprType::Exact(AttrType::Str) {
+                    if lt == ExprType::Exact(AttrType::Str) && rt == ExprType::Exact(AttrType::Str)
+                    {
                         Ok(ExprType::Exact(AttrType::Str))
                     } else {
-                        numeric_binop("+", lt, rt)
+                        numeric_binop("+", lt, rt, left, right)
                     }
                 }
-                BinOp::Sub | BinOp::Mul | BinOp::Mod => numeric_binop(op.symbol(), lt, rt),
+                BinOp::Sub | BinOp::Mul | BinOp::Mod => {
+                    numeric_binop(op.symbol(), lt, rt, left, right)
+                }
                 BinOp::Div => {
                     // Division always yields Float (avoids silent integer
                     // truncation surprising non-programmer users).
-                    numeric_binop("/", lt, rt)?;
+                    numeric_binop("/", lt, rt, left, right)?;
                     Ok(ExprType::Exact(AttrType::Float))
                 }
             }
@@ -177,20 +190,28 @@ pub fn typecheck(expr: &Expr, schema: &Schema) -> Result<ExprType, ExprError> {
 fn compatible_for_comparison(a: ExprType, b: ExprType) -> bool {
     match (a, b) {
         (ExprType::Null, _) | (_, ExprType::Null) => true,
-        (ExprType::Exact(x), ExprType::Exact(y)) => {
-            x == y || (x.is_numeric() && y.is_numeric())
-        }
+        (ExprType::Exact(x), ExprType::Exact(y)) => x == y || (x.is_numeric() && y.is_numeric()),
     }
 }
 
-fn numeric_binop(sym: &str, lt: ExprType, rt: ExprType) -> Result<ExprType, ExprError> {
+fn numeric_binop(
+    sym: &str,
+    lt: ExprType,
+    rt: ExprType,
+    left: &Expr,
+    right: &Expr,
+) -> Result<ExprType, ExprError> {
     if !lt.is_numeric_or_null() || !rt.is_numeric_or_null() {
         return Err(ExprError::Type {
-            message: format!("operator `{sym}` needs numeric operands, found {lt} and {rt}"),
+            message: format!(
+                "operator `{sym}` needs numeric operands, found {lt} and {rt} in `{left} {sym} {right}`"
+            ),
         });
     }
     Ok(match (lt, rt) {
-        (ExprType::Exact(AttrType::Int), ExprType::Exact(AttrType::Int)) => ExprType::Exact(AttrType::Int),
+        (ExprType::Exact(AttrType::Int), ExprType::Exact(AttrType::Int)) => {
+            ExprType::Exact(AttrType::Int)
+        }
         (ExprType::Null, ExprType::Null) => ExprType::Null,
         _ => ExprType::Exact(AttrType::Float),
     })
@@ -258,7 +279,10 @@ mod tests {
     fn comparisons() {
         assert_eq!(ty("t > 25").unwrap(), ExprType::Exact(AttrType::Bool));
         assert_eq!(ty("n = t").unwrap(), ExprType::Exact(AttrType::Bool));
-        assert_eq!(ty("name = 'osaka'").unwrap(), ExprType::Exact(AttrType::Bool));
+        assert_eq!(
+            ty("name = 'osaka'").unwrap(),
+            ExprType::Exact(AttrType::Bool)
+        );
         assert_eq!(ty("at < _ts").unwrap(), ExprType::Exact(AttrType::Bool));
         assert!(ty("name > 1").is_err());
         assert!(ty("pos < pos").is_err()); // Geo is unordered

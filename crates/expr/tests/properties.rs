@@ -50,9 +50,21 @@ fn arb_numeric_expr() -> BoxedStrategy<Expr> {
     ];
     leaf.prop_recursive(4, 32, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(sl_expr::BinOp::Add, l, r)),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(sl_expr::BinOp::Sub, l, r)),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(sl_expr::BinOp::Mul, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(
+                sl_expr::BinOp::Add,
+                l,
+                r
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(
+                sl_expr::BinOp::Sub,
+                l,
+                r
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(
+                sl_expr::BinOp::Mul,
+                l,
+                r
+            )),
             // Mirror the parser's literal folding so generated trees are in
             // canonical (reparseable) form.
             (inner.clone(),).prop_map(|(e,)| match e {
@@ -60,7 +72,10 @@ fn arb_numeric_expr() -> BoxedStrategy<Expr> {
                 Expr::Literal(Value::Float(x)) => Expr::Literal(Value::Float(-x)),
                 other => Expr::unary(sl_expr::UnOp::Neg, other),
             }),
-            (inner.clone(),).prop_map(|(e,)| Expr::Call { function: "abs".into(), args: vec![e] }),
+            (inner.clone(),).prop_map(|(e,)| Expr::Call {
+                function: "abs".into(),
+                args: vec![e]
+            }),
             (inner.clone(), inner).prop_map(|(l, r)| Expr::Call {
                 function: "max".into(),
                 args: vec![l, r]
@@ -91,8 +106,16 @@ fn arb_predicate() -> BoxedStrategy<Expr> {
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(sl_expr::BinOp::And, l, r)),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(sl_expr::BinOp::Or, l, r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(
+                sl_expr::BinOp::And,
+                l,
+                r
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::binary(
+                sl_expr::BinOp::Or,
+                l,
+                r
+            )),
             (inner,).prop_map(|(e,)| Expr::unary(sl_expr::UnOp::Not, e)),
         ]
     })

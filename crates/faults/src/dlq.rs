@@ -150,7 +150,10 @@ mod tests {
         assert_eq!(q.count(DropReason::CorruptPayload), 1);
         assert_eq!(q.count(DropReason::RetriesExhausted), 0);
         let reasons: Vec<_> = q.by_reason().collect();
-        assert_eq!(reasons, vec![(DropReason::NoRoute, 2), (DropReason::CorruptPayload, 1)]);
+        assert_eq!(
+            reasons,
+            vec![(DropReason::NoRoute, 2), (DropReason::CorruptPayload, 1)]
+        );
     }
 
     #[test]

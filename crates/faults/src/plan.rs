@@ -233,8 +233,16 @@ mod tests {
         assert!(!plan.is_empty());
         let kinds: Vec<&str> = plan.events().iter().map(|e| e.action.kind()).collect();
         for k in [
-            "link_down", "link_up", "node_crash", "node_restart", "sensor_stall",
-            "sensor_dropout", "sensor_resume", "corrupt_start", "corrupt_stop", "clock_skew",
+            "link_down",
+            "link_up",
+            "node_crash",
+            "node_restart",
+            "sensor_stall",
+            "sensor_dropout",
+            "sensor_resume",
+            "corrupt_start",
+            "corrupt_stop",
+            "clock_skew",
         ] {
             assert!(kinds.contains(&k), "missing {k}");
         }

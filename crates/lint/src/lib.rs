@@ -1,0 +1,203 @@
+//! # sl-lint — static analysis for streamLoader dataflows
+//!
+//! The paper activates a dataflow only "once the dataflow is consistent
+//! (i.e. it can be soundly activated at network level)" (§1). The
+//! accumulating validators in `sl-dsn`/`sl-dataflow` implement the hard
+//! structural half of that gate; this crate layers the *advisory* half on
+//! top: a multi-pass static analyzer over the validated dataflow, its
+//! canonical DSN document, and the target netsim topology.
+//!
+//! Passes (see [`passes`]):
+//!
+//! 1. **granularity** — the finer/coarser STT granule lattice (paper §2)
+//!    applied to joins and aggregations (`SL010`–`SL013`);
+//! 2. **bounded** — blocking-operator cache boundedness (`SL020`–`SL022`);
+//! 3. **rate** — abstract interpretation of advertised sensor frequencies
+//!    and schema widths against network bandwidth/CPU (`SL030`–`SL033`);
+//! 4. **deadcode** — unreachable operators, redundant triggers, unused
+//!    virtual properties, constant predicates (`SL040`–`SL044`).
+//!
+//! Every finding is a [`Diagnostic`] with a stable `SL0xx` [`LintCode`], a
+//! severity, and node + DSN-line attribution; a run never stops at the
+//! first problem. Entry points: [`lint_dataflow`] for conceptual dataflows
+//! (the `Session::lint` path) and [`lint_document`] for DSN text (the
+//! `sl-lint` CLI path).
+
+pub mod analysis;
+pub mod diag;
+pub mod passes;
+
+pub use analysis::StreamProps;
+pub use diag::{Diagnostic, LintCode, LintReport, Severity};
+
+use sl_dataflow::{to_dsn, Dataflow, NodeKind};
+use sl_dsn::DsnDocument;
+use sl_netsim::Topology;
+use sl_pubsub::SensorRegistry;
+use sl_stt::SchemaRef;
+use std::collections::HashMap;
+
+/// Thresholds for the heuristic passes.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Estimated tuples a blocking operator may cache per window before
+    /// `SL022` fires.
+    pub cache_budget_tuples: f64,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            cache_budget_tuples: 100_000.0,
+        }
+    }
+}
+
+/// What the analyzer knows about the deployment environment. Everything is
+/// optional: absent knowledge skips the passes that need it.
+#[derive(Default)]
+pub struct LintContext<'a> {
+    /// The target network (enables `SL030`–`SL032`).
+    pub topology: Option<&'a Topology>,
+    /// The live sensor registry (enables rate estimation and `SL033`).
+    pub registry: Option<&'a SensorRegistry>,
+    /// Thresholds.
+    pub config: LintConfig,
+}
+
+impl<'a> LintContext<'a> {
+    /// A context that knows nothing about the environment: structural,
+    /// granularity, boundedness, and dead-code passes only.
+    pub fn bare() -> LintContext<'a> {
+        LintContext::default()
+    }
+}
+
+/// Lint a conceptual dataflow (the `Session::lint` path): translate to the
+/// canonical document, carry the sources' declared schemas over, and run
+/// the full pipeline.
+pub fn lint_dataflow(df: &Dataflow, ctx: &LintContext<'_>) -> LintReport {
+    let doc = to_dsn(df);
+    let mut schemas = HashMap::new();
+    for node in df.sources() {
+        if let NodeKind::Source { schema, .. } = &node.kind {
+            schemas.insert(node.name.clone(), schema.clone());
+        }
+    }
+    lint_document(&doc, &schemas, ctx)
+}
+
+/// Lint a DSN document against the source schemas that are known.
+///
+/// Hand-authored documents may not determine every schema (`sl-lint` the
+/// CLI infers them from `has name:type` filter clauses); sources missing
+/// from `schemas` get an `SL009` note and the schema-dependent checks skip
+/// the affected region rather than guessing.
+pub fn lint_document(
+    doc: &DsnDocument,
+    schemas: &HashMap<String, SchemaRef>,
+    ctx: &LintContext<'_>,
+) -> LintReport {
+    let mut diagnostics = Vec::new();
+
+    // Structural mapping (SL001–SL007) via the accumulating validator.
+    let structural = sl_dsn::validate::validate_full(doc);
+    passes::structure::from_dsn_errors(&structural.errors, &mut diagnostics);
+    let topo_order = structural.topo_order.unwrap_or_default();
+
+    // SL009 + source rate estimation.
+    let mut source_rates = HashMap::new();
+    for src in &doc.sources {
+        if !schemas.contains_key(&src.name) {
+            diagnostics.push(Diagnostic::new(
+                LintCode::NoSchema,
+                &src.name,
+                format!(
+                    "source `{}` has no known schema (no `has name:type` clauses and no \
+                     registry to infer from); schema-dependent checks are skipped \
+                     downstream of it",
+                    src.name
+                ),
+            ));
+        }
+        if let Some(registry) = ctx.registry {
+            let rate: f64 = registry
+                .discover(&src.filter)
+                .filter(|ad| {
+                    schemas
+                        .get(&src.name)
+                        .is_none_or(|schema| schema.subsumed_by(&ad.schema))
+                })
+                .map(|ad| ad.rate_hz())
+                .sum();
+            if rate > 0.0 {
+                source_rates.insert(src.name.clone(), rate);
+            }
+        }
+    }
+
+    // Property propagation + schema errors (SL008).
+    let propagation = analysis::propagate(doc, schemas, &source_rates, &topo_order);
+    for (service, err) in &propagation.schema_errors {
+        diagnostics.push(passes::structure::schema_error(service, err));
+    }
+
+    // The pass pipeline.
+    let consumers = consumer_map(doc);
+    let cx = passes::PassCx {
+        doc,
+        schemas,
+        props: &propagation.props,
+        topo_order: &topo_order,
+        consumers: &consumers,
+        topology: ctx.topology,
+        registry: ctx.registry,
+        config: &ctx.config,
+    };
+    for (_, pass) in passes::PIPELINE {
+        pass(&cx, &mut diagnostics);
+    }
+
+    // DSN-span attribution against the canonical text.
+    let spans = declaration_lines(doc);
+    for d in &mut diagnostics {
+        if let Some(node) = &d.node {
+            d.dsn_line = spans.get(node.as_str()).copied();
+        }
+    }
+
+    LintReport::new(doc.name.clone(), diagnostics)
+}
+
+/// `producer → (consumer, port)` adjacency of the document.
+fn consumer_map(doc: &DsnDocument) -> HashMap<String, Vec<(String, usize)>> {
+    let mut map: HashMap<String, Vec<(String, usize)>> = HashMap::new();
+    for (from, to, port) in doc.edges() {
+        map.entry(from).or_default().push((to, port));
+    }
+    map
+}
+
+/// 1-based line of each declaration in the canonical DSN text. Channel
+/// diagnostics are keyed `from -> to`, matching their `node` attribution.
+fn declaration_lines(doc: &DsnDocument) -> HashMap<String, usize> {
+    let text = sl_dsn::print_document(doc);
+    let mut lines = HashMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim_start();
+        let mut words = trimmed.split_whitespace();
+        match words.next() {
+            Some("source") | Some("service") | Some("sink") => {
+                if let Some(name) = words.next() {
+                    lines.entry(name.to_string()).or_insert(i + 1);
+                }
+            }
+            Some("channel") => {
+                let decl: Vec<&str> = words.take_while(|w| *w != "{").collect();
+                lines.entry(decl.join(" ")).or_insert(i + 1);
+            }
+            _ => {}
+        }
+    }
+    lines
+}

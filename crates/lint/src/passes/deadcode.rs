@@ -1,0 +1,215 @@
+//! Dead-code pass (`SL040`–`SL044`): operators whose output can never
+//! matter. An operator that reaches neither a sink nor a trigger computes
+//! results nobody observes; a trigger-on aimed at an always-active source
+//! is a no-op; a virtual property nobody reads downstream wastes a column;
+//! and constant predicates (found by `sl-expr` constant folding) make whole
+//! branches unconditionally dead or pass-through.
+
+use super::PassCx;
+use crate::analysis::{fold_constant, spec_attr_refs, spec_exprs};
+use crate::diag::{Diagnostic, LintCode};
+use sl_dsn::SourceMode;
+use sl_ops::OpSpec;
+use sl_stt::Value;
+use std::collections::HashSet;
+
+pub(crate) fn run(cx: &PassCx<'_>, out: &mut Vec<Diagnostic>) {
+    let live = live_set(cx);
+
+    for svc in &cx.doc.services {
+        let is_trigger = matches!(
+            svc.spec,
+            OpSpec::TriggerOn { .. } | OpSpec::TriggerOff { .. }
+        );
+
+        // SL040: non-trigger operators from which no sink or trigger is
+        // reachable (triggers are live by side effect).
+        if !is_trigger && !live.contains(svc.name.as_str()) {
+            out.push(Diagnostic::new(
+                LintCode::DeadEnd,
+                &svc.name,
+                format!(
+                    "operator `{}` reaches no sink and no trigger: its results are \
+                     computed and discarded — wire it to a sink or remove it",
+                    svc.name
+                ),
+            ));
+        }
+
+        // SL041: activating a source that is already (and remains) active.
+        if let OpSpec::TriggerOn { targets, .. } = &svc.spec {
+            for target in targets {
+                let Some(src) = cx.doc.source(target) else {
+                    continue;
+                };
+                if src.mode == SourceMode::Active && !deactivated(cx, target) {
+                    out.push(Diagnostic::new(
+                        LintCode::RedundantTrigger,
+                        &svc.name,
+                        format!(
+                            "trigger-on `{}` activates source `{target}`, which is \
+                             declared active and never deactivated by any trigger-off: \
+                             the activation is a no-op — declare the source gated or \
+                             drop the target",
+                            svc.name
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // SL042: virtual properties never used downstream.
+        if let OpSpec::VirtualProperty { property, .. } = &svc.spec {
+            if !property_used(cx, &svc.name, property) {
+                out.push(Diagnostic::new(
+                    LintCode::UnusedProperty,
+                    &svc.name,
+                    format!(
+                        "virtual property `{property}` added by `{}` is never referenced \
+                         downstream and never reaches a sink — remove the operator or \
+                         use the property",
+                        svc.name
+                    ),
+                ));
+            }
+        }
+
+        // SL043/SL044: constant predicates.
+        for (role, source) in spec_exprs(&svc.spec) {
+            // Only predicate positions: skip transform/virtual-property
+            // value expressions, which may legitimately be constant.
+            if !matches!(
+                svc.spec,
+                OpSpec::Filter { .. }
+                    | OpSpec::Join { .. }
+                    | OpSpec::TriggerOn { .. }
+                    | OpSpec::TriggerOff { .. }
+            ) {
+                continue;
+            }
+            match fold_constant(source) {
+                Some(Value::Bool(false)) | Some(Value::Null) => {
+                    out.push(Diagnostic::new(
+                        LintCode::AlwaysFalse,
+                        &svc.name,
+                        format!(
+                            "the {role} of `{}` (`{source}`) is constantly false: nothing \
+                             ever passes and everything downstream is dead",
+                            svc.name
+                        ),
+                    ));
+                }
+                Some(Value::Bool(true)) if matches!(svc.spec, OpSpec::Filter { .. }) => {
+                    out.push(Diagnostic::new(
+                        LintCode::AlwaysTrue,
+                        &svc.name,
+                        format!(
+                            "the {role} of `{}` (`{source}`) is constantly true: the \
+                             filter is a no-op and can be removed",
+                            svc.name
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Producers from which a sink or a trigger is reachable (reverse BFS).
+fn live_set<'a>(cx: &PassCx<'a>) -> HashSet<&'a str> {
+    let inputs_of = |name: &str| -> Vec<&'a str> {
+        cx.doc
+            .service(name)
+            .map(|s| s.inputs.iter().map(String::as_str).collect())
+            .or_else(|| {
+                cx.doc
+                    .sink(name)
+                    .map(|s| s.inputs.iter().map(String::as_str).collect())
+            })
+            .unwrap_or_default()
+    };
+    let mut stack: Vec<&'a str> = Vec::new();
+    for sink in &cx.doc.sinks {
+        stack.extend(inputs_of(&sink.name));
+    }
+    for svc in &cx.doc.services {
+        if matches!(
+            svc.spec,
+            OpSpec::TriggerOn { .. } | OpSpec::TriggerOff { .. }
+        ) {
+            stack.extend(svc.inputs.iter().map(String::as_str));
+        }
+    }
+    let mut live = HashSet::new();
+    while let Some(n) = stack.pop() {
+        if live.insert(n) {
+            stack.extend(inputs_of(n));
+        }
+    }
+    live
+}
+
+/// True when some trigger-off targets `source` (its activation state is
+/// actually managed, so re-activating it is meaningful).
+fn deactivated(cx: &PassCx<'_>, source: &str) -> bool {
+    cx.doc.services.iter().any(|svc| {
+        matches!(&svc.spec, OpSpec::TriggerOff { targets, .. } if targets.iter().any(|t| t == source))
+    })
+}
+
+/// True when `property` (added by `vp_node`) is referenced by a downstream
+/// expression or still present in some sink's input schema.
+fn property_used(cx: &PassCx<'_>, vp_node: &str, property: &str) -> bool {
+    // Names the property may travel under after joins put the stream on the
+    // right side of a collision.
+    let aliases = [property.to_string(), format!("right_{property}")];
+
+    // Forward BFS over consumers.
+    let mut stack: Vec<&str> = vec![vp_node];
+    let mut seen: HashSet<&str> = HashSet::new();
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        for (consumer, _) in cx.consumers.get(n).map(Vec::as_slice).unwrap_or_default() {
+            if cx.doc.sink(consumer).is_some() {
+                // Exported: the property reaches a sink if it survived. With
+                // no schema to consult, assume it did (avoid false positives).
+                let exported = match cx.props_of(n).map(|p| p.schema.as_ref()) {
+                    Some(Some(s)) => aliases.iter().any(|a| s.contains(a)),
+                    _ => true,
+                };
+                if exported {
+                    return true;
+                }
+                continue;
+            }
+            let Some(svc) = cx.doc.service(consumer) else {
+                continue;
+            };
+            let referenced = spec_exprs(&svc.spec).iter().any(|(_, src)| {
+                sl_expr::parse(src).is_ok_and(|e| {
+                    e.referenced_attrs()
+                        .iter()
+                        .any(|a| aliases.iter().any(|al| al == a))
+                })
+            }) || spec_attr_refs(&svc.spec)
+                .iter()
+                .any(|a| aliases.iter().any(|al| al == a));
+            if referenced {
+                return true;
+            }
+            // The property survives this operator only if it is still in the
+            // output schema (aggregates drop it unless grouped by).
+            let survives = cx
+                .props_of(consumer)
+                .and_then(|p| p.schema.as_ref())
+                .is_none_or(|s| aliases.iter().any(|a| s.contains(a)));
+            if survives {
+                stack.push(consumer.as_str());
+            }
+        }
+    }
+    false
+}

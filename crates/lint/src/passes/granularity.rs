@@ -1,0 +1,87 @@
+//! Granularity-consistency pass (`SL010`–`SL013`): the finer/coarser
+//! lattice over space/time granules (paper §2's STT model) applied to every
+//! composition point. Joins of incomparable temporal granules cannot be
+//! aligned; aggregation windows that do not nest the input's granules
+//! straddle window boundaries; ungrouped aggregations silently coarsen
+//! point-granular data to the whole subscribed area.
+
+use super::PassCx;
+use crate::diag::{Diagnostic, LintCode};
+use sl_ops::OpSpec;
+use sl_stt::{SpatialGranularity, TemporalGranularity};
+
+pub(crate) fn run(cx: &PassCx<'_>, out: &mut Vec<Diagnostic>) {
+    for svc in &cx.doc.services {
+        match &svc.spec {
+            OpSpec::Join { .. } => {
+                let (Some(l), Some(r)) = (svc.inputs.first(), svc.inputs.get(1)) else {
+                    continue;
+                };
+                let (Some(lp), Some(rp)) = (cx.props_of(l), cx.props_of(r)) else {
+                    continue;
+                };
+                if !lp.tgran.comparable(rp.tgran) {
+                    out.push(Diagnostic::new(
+                        LintCode::IncomparableGranularity,
+                        &svc.name,
+                        format!(
+                            "join `{}` composes incomparable temporal granularities: `{l}` \
+                             is {} and `{r}` is {}; re-aggregate one side so the granules \
+                             nest before joining",
+                            svc.name, lp.tgran, rp.tgran
+                        ),
+                    ));
+                } else if lp.tgran != rp.tgran {
+                    let meet = lp.tgran.meet(rp.tgran);
+                    out.push(Diagnostic::new(
+                        LintCode::MixedGranularityJoin,
+                        &svc.name,
+                        format!(
+                            "join `{}` composes streams at different temporal granularities \
+                             ({} vs {}); each coarse-side tuple pairs with many fine-side \
+                             tuples and the output is {meet}-granular",
+                            svc.name, lp.tgran, rp.tgran
+                        ),
+                    ));
+                }
+            }
+            OpSpec::Aggregate {
+                period, group_by, ..
+            } => {
+                let Some(input) = svc.inputs.first() else {
+                    continue;
+                };
+                let Some(ip) = cx.props_of(input) else {
+                    continue;
+                };
+                let window = TemporalGranularity::Custom(period.as_millis().max(1));
+                if !ip.tgran.finer_or_equal(window) {
+                    out.push(Diagnostic::new(
+                        LintCode::MisalignedAggregation,
+                        &svc.name,
+                        format!(
+                            "aggregation `{}` ticks every {period}, but its input `{input}` \
+                             is {}-granular: input granules do not nest inside the window, \
+                             so windows straddle granules or stay empty",
+                            svc.name, ip.tgran
+                        ),
+                    ));
+                }
+                if group_by.is_empty() && ip.sgran == SpatialGranularity::Point {
+                    out.push(Diagnostic::new(
+                        LintCode::SpatialCollapse,
+                        &svc.name,
+                        format!(
+                            "aggregation `{}` has no grouping key, so it collapses the \
+                             point-granular stream `{input}` to a single value per tick; \
+                             the emitted location is an arbitrary member's — group by a \
+                             station/area attribute to keep spatial granularity",
+                            svc.name
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,639 @@
+//! Golden tests: every `SL0xx` lint code has (a) a minimal document that
+//! triggers it and (b) a near-miss counterexample that stays clean of it.
+//! Documents are written in DSN concrete syntax and linted the way the
+//! `sl-lint` CLI lints files: source schemas inferred from `has name:type`
+//! filter clauses.
+
+use sl_dsn::parse_document;
+use sl_lint::{lint_document, LintCode, LintConfig, LintContext, LintReport};
+use sl_netsim::{NodeSpec, Topology};
+use sl_pubsub::{SensorAdvertisement, SensorKind, SensorRegistry};
+use sl_stt::{AttrType, Duration, Field, Schema, SchemaRef, SensorId, Theme};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn infer_schemas(doc: &sl_dsn::DsnDocument) -> HashMap<String, SchemaRef> {
+    doc.sources
+        .iter()
+        .filter(|s| !s.filter.required_attrs.is_empty())
+        .map(|s| {
+            let fields = s
+                .filter
+                .required_attrs
+                .iter()
+                .map(|(n, t)| Field::new(n, *t))
+                .collect();
+            let schema: SchemaRef = Arc::new(Schema::new(fields).unwrap());
+            (s.name.clone(), schema)
+        })
+        .collect()
+}
+
+fn lint_with(dsn: &str, ctx: &LintContext<'_>) -> LintReport {
+    let doc = parse_document(dsn).unwrap_or_else(|e| panic!("parse failed: {e}\n{dsn}"));
+    lint_document(&doc, &infer_schemas(&doc), ctx)
+}
+
+fn lint(dsn: &str) -> LintReport {
+    lint_with(dsn, &LintContext::bare())
+}
+
+/// A registry with one matching sensor per `(theme, period)` entry.
+fn registry(sensors: &[(&str, u64)]) -> SensorRegistry {
+    let mut reg = SensorRegistry::new();
+    let schema: SchemaRef = Arc::new(
+        Schema::new(vec![
+            Field::new("temp", AttrType::Float),
+            Field::new("rain", AttrType::Float),
+        ])
+        .unwrap(),
+    );
+    for (i, (theme, period_ms)) in sensors.iter().enumerate() {
+        reg.publish(SensorAdvertisement {
+            id: SensorId(i as u64 + 1),
+            name: format!("s{i}"),
+            kind: SensorKind::Physical,
+            schema: schema.clone(),
+            theme: Theme::new(theme).unwrap(),
+            period: Duration::from_millis(*period_ms),
+            location: None,
+            node: sl_netsim::NodeId(0),
+        })
+        .unwrap();
+    }
+    reg
+}
+
+/// Two nodes joined by one link.
+fn topo(bandwidth_bps: u64, latency_ms: u64, cpu: f64) -> Topology {
+    let mut t = Topology::new();
+    let a = t.add_node(NodeSpec::core("core", cpu));
+    let b = t.add_node(NodeSpec::edge("edge", cpu));
+    t.add_link(a, b, Duration::from_millis(latency_ms), bandwidth_bps)
+        .unwrap();
+    t
+}
+
+const TEMP_SOURCE: &str = "
+  source temp {
+    filter: theme=weather/temperature & has temp:float;
+    mode: active;
+  }";
+
+const RAIN_SOURCE: &str = "
+  source rain {
+    filter: theme=weather/rain & has rain:float;
+    mode: active;
+  }";
+
+fn doc(body: &str) -> String {
+    format!("dsn \"golden\" {{\n{body}\n}}\n")
+}
+
+fn assert_fires(code: LintCode, dsn: &str) {
+    let report = lint(dsn);
+    assert!(
+        report.has(code),
+        "{code:?} should fire, got: {:?}",
+        report.codes()
+    );
+}
+
+fn assert_quiet(code: LintCode, dsn: &str) {
+    let report = lint(dsn);
+    assert!(
+        !report.has(code),
+        "{code:?} should stay quiet, got: {:?}",
+        report.codes()
+    );
+}
+
+// ---------------------------------------------------------------- structure
+
+#[test]
+fn sl001_duplicate_name() {
+    let dup = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: 'temp > 20'; inputs: temp; }}
+  service hot {{ op: filter; condition: 'temp > 30'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    assert_fires(LintCode::DuplicateName, &dup);
+
+    let distinct = dup.replacen("service hot", "service warm", 1);
+    assert_quiet(LintCode::DuplicateName, &distinct);
+}
+
+#[test]
+fn sl002_unknown_input() {
+    let ghost = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: 'temp > 20'; inputs: ghost; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    assert_fires(LintCode::UnknownInput, &ghost);
+    assert_quiet(
+        LintCode::UnknownInput,
+        &ghost.replace("inputs: ghost", "inputs: temp"),
+    );
+}
+
+#[test]
+fn sl003_wrong_arity() {
+    let two = doc(&format!(
+        "{TEMP_SOURCE}{RAIN_SOURCE}
+  service hot {{ op: filter; condition: 'temp > 20'; inputs: temp, rain; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    assert_fires(LintCode::WrongArity, &two);
+    assert_quiet(
+        LintCode::WrongArity,
+        &two.replace("inputs: temp, rain;", "inputs: temp;"),
+    );
+}
+
+#[test]
+fn sl004_cycle() {
+    let cyclic = doc(&format!(
+        "{TEMP_SOURCE}
+  service a {{ op: filter; condition: 'temp > 1'; inputs: b; }}
+  service b {{ op: filter; condition: 'temp > 2'; inputs: a; }}
+  sink out {{ kind: console; inputs: b; }}"
+    ));
+    assert_fires(LintCode::Cycle, &cyclic);
+    assert_quiet(
+        LintCode::Cycle,
+        &cyclic.replace("inputs: b;", "inputs: temp;"),
+    );
+}
+
+#[test]
+fn sl005_bad_trigger_target() {
+    let bad = doc(&format!(
+        "{TEMP_SOURCE}
+  service alarm {{
+    op: trigger_on; period: 1000; condition: 'temp > 40'; targets: ghost; inputs: temp;
+  }}
+  service alarm2 {{
+    op: trigger_on; period: 1000; condition: 'temp > 40'; targets: rain; inputs: temp;
+  }}
+  source rain {{ filter: theme=weather/rain & has rain:float; mode: gated; }}
+  service wet {{ op: filter; condition: 'rain > 0'; inputs: rain; }}
+  sink out {{ kind: console; inputs: temp, wet; }}"
+    ));
+    assert_fires(LintCode::BadTriggerTarget, &bad);
+    assert_quiet(
+        LintCode::BadTriggerTarget,
+        &bad.replace("targets: ghost;", "targets: rain;"),
+    );
+}
+
+#[test]
+fn sl006_gated_never_activated() {
+    let stuck = doc("
+  source rain { filter: theme=weather/rain & has rain:float; mode: gated; }
+  service wet { op: filter; condition: 'rain > 0'; inputs: rain; }
+  sink out { kind: console; inputs: wet; }");
+    assert_fires(LintCode::GatedNeverActivated, &stuck);
+    assert_quiet(
+        LintCode::GatedNeverActivated,
+        &stuck.replace("mode: gated", "mode: active"),
+    );
+}
+
+#[test]
+fn sl007_bad_wiring() {
+    let bad = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: 'temp > 20'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}
+  channel temp -> ghost {{ qos: latency<=50; }}"
+    ));
+    assert_fires(LintCode::BadWiring, &bad);
+    assert_quiet(
+        LintCode::BadWiring,
+        &bad.replace("temp -> ghost", "temp -> hot"),
+    );
+}
+
+#[test]
+fn sl008_schema_error() {
+    let broken = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: 'humidity > 20'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    assert_fires(LintCode::SchemaError, &broken);
+    assert_quiet(
+        LintCode::SchemaError,
+        &broken.replace("humidity > 20", "temp > 20"),
+    );
+}
+
+#[test]
+fn sl009_no_schema() {
+    let opaque = doc("
+  source temp { filter: theme=weather/temperature; mode: active; }
+  sink out { kind: console; inputs: temp; }");
+    assert_fires(LintCode::NoSchema, &opaque);
+    assert_quiet(
+        LintCode::NoSchema,
+        &opaque.replace(
+            "theme=weather/temperature",
+            "theme=weather/temperature & has temp:float",
+        ),
+    );
+}
+
+// -------------------------------------------------------------- granularity
+
+/// Two aggregated streams joined; inner periods are the knob.
+fn join_of_aggregates(left_period_ms: u64, right_period_ms: u64) -> String {
+    doc(&format!(
+        "{TEMP_SOURCE}{RAIN_SOURCE}
+  service avg_temp {{
+    op: aggregate; period: {left_period_ms}; group_by: temp; func: avg; attr: temp;
+    inputs: temp;
+  }}
+  service avg_rain {{
+    op: aggregate; period: {right_period_ms}; group_by: rain; func: avg; attr: rain;
+    inputs: rain;
+  }}
+  service paired {{
+    op: join; period: 60000; predicate: 'avg_temp > 0 and avg_rain > 0';
+    inputs: avg_temp, avg_rain;
+  }}
+  sink out {{ kind: console; inputs: paired; }}"
+    ))
+}
+
+#[test]
+fn sl010_incomparable_granularity() {
+    // 3 s and 7 s windows: neither divides the other.
+    assert_fires(
+        LintCode::IncomparableGranularity,
+        &join_of_aggregates(3000, 7000),
+    );
+    // 3 s and 6 s nest.
+    assert_quiet(
+        LintCode::IncomparableGranularity,
+        &join_of_aggregates(3000, 6000),
+    );
+}
+
+#[test]
+fn sl013_mixed_granularity_join() {
+    assert_fires(
+        LintCode::MixedGranularityJoin,
+        &join_of_aggregates(3000, 6000),
+    );
+    assert_quiet(
+        LintCode::MixedGranularityJoin,
+        &join_of_aggregates(5000, 5000),
+    );
+}
+
+#[test]
+fn sl011_misaligned_aggregation() {
+    let reagg = |inner: u64, outer: u64| {
+        doc(&format!(
+            "{TEMP_SOURCE}
+  service hourly {{
+    op: aggregate; period: {inner}; group_by: temp; func: avg; attr: temp;
+    inputs: temp;
+  }}
+  service daily {{
+    op: aggregate; period: {outer}; group_by: avg_temp; func: avg; attr: avg_temp;
+    inputs: hourly;
+  }}
+  sink out {{ kind: console; inputs: daily; }}"
+        ))
+    };
+    // 7 s granules re-aggregated into 3 s windows straddle boundaries.
+    assert_fires(LintCode::MisalignedAggregation, &reagg(7000, 3000));
+    // 1 s granules nest inside 4 s windows.
+    assert_quiet(LintCode::MisalignedAggregation, &reagg(1000, 4000));
+}
+
+#[test]
+fn sl012_spatial_collapse() {
+    let collapse = doc(&format!(
+        "{TEMP_SOURCE}
+  service avg {{ op: aggregate; period: 5000; func: avg; attr: temp; inputs: temp; }}
+  sink out {{ kind: console; inputs: avg; }}"
+    ));
+    assert_fires(LintCode::SpatialCollapse, &collapse);
+    assert_quiet(
+        LintCode::SpatialCollapse,
+        &collapse.replace("period: 5000;", "period: 5000; group_by: temp;"),
+    );
+}
+
+// -------------------------------------------------------------- boundedness
+
+#[test]
+fn sl020_window_gap() {
+    let gap = doc(&format!(
+        "{TEMP_SOURCE}
+  service avg {{
+    op: aggregate; period: 5000; sliding: 1000; group_by: temp; func: avg; attr: temp;
+    inputs: temp;
+  }}
+  sink out {{ kind: console; inputs: avg; }}"
+    ));
+    assert_fires(LintCode::WindowGap, &gap);
+    assert_quiet(
+        LintCode::WindowGap,
+        &gap.replace("sliding: 1000;", "sliding: 10000;"),
+    );
+}
+
+#[test]
+fn sl021_unconstrained_join() {
+    let cross = doc(&format!(
+        "{TEMP_SOURCE}{RAIN_SOURCE}
+  service paired {{
+    op: join; period: 5000; predicate: 'temp > 0'; inputs: temp, rain;
+  }}
+  sink out {{ kind: console; inputs: paired; }}"
+    ));
+    assert_fires(LintCode::UnconstrainedJoin, &cross);
+    assert_quiet(
+        LintCode::UnconstrainedJoin,
+        &cross.replace("'temp > 0'", "'temp > 0 and rain > 0'"),
+    );
+}
+
+#[test]
+fn sl022_unbounded_cache() {
+    // A 1 kHz sensor cached over a 200 s window: 200k tuples, over budget.
+    let reg = registry(&[("weather/temperature", 1)]);
+    let ctx = LintContext {
+        registry: Some(&reg),
+        ..LintContext::default()
+    };
+    let big = doc(&format!(
+        "{TEMP_SOURCE}
+  service avg {{ op: aggregate; period: 200000; func: avg; attr: temp; inputs: temp; }}
+  sink out {{ kind: console; inputs: avg; }}"
+    ));
+    assert!(lint_with(&big, &ctx).has(LintCode::UnboundedCache));
+    let small = big.replace("period: 200000;", "period: 10000;");
+    assert!(!lint_with(&small, &ctx).has(LintCode::UnboundedCache));
+}
+
+// -------------------------------------------------------------- rate/volume
+
+#[test]
+fn sl030_unsatisfiable_qos() {
+    let reg = registry(&[("weather/temperature", 1000)]);
+    let dsn = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: 'temp > 20'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}
+  channel temp -> hot {{ qos: latency<=1, bandwidth>=1000000000; }}"
+    ));
+    // Every link: 5 ms latency, 1 Mbit/s.
+    let net = topo(1_000_000, 5, 100.0);
+    let ctx = LintContext {
+        topology: Some(&net),
+        registry: Some(&reg),
+        ..LintContext::default()
+    };
+    assert!(lint_with(&dsn, &ctx).has(LintCode::UnsatisfiableQos));
+
+    let relaxed = dsn.replace(
+        "latency<=1, bandwidth>=1000000000",
+        "latency<=50, bandwidth>=500000",
+    );
+    assert!(!lint_with(&relaxed, &ctx).has(LintCode::UnsatisfiableQos));
+}
+
+#[test]
+fn sl031_link_overload() {
+    // 1 kHz × (40 + 2×8) bytes × 8 = 448 kbit/s of temperature data.
+    let reg = registry(&[("weather/temperature", 1)]);
+    let dsn = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: 'temp > 20'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    let slow = topo(10_000, 5, 1e9);
+    let ctx = LintContext {
+        topology: Some(&slow),
+        registry: Some(&reg),
+        ..LintContext::default()
+    };
+    assert!(lint_with(&dsn, &ctx).has(LintCode::LinkOverload));
+
+    let fast = topo(10_000_000, 5, 1e9);
+    let ctx = LintContext {
+        topology: Some(&fast),
+        registry: Some(&reg),
+        ..LintContext::default()
+    };
+    assert!(!lint_with(&dsn, &ctx).has(LintCode::LinkOverload));
+}
+
+#[test]
+fn sl032_cpu_overload() {
+    let reg = registry(&[("weather/temperature", 1)]);
+    let dsn = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: 'temp > 20'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    let tiny = topo(10_000_000, 5, 0.25);
+    let ctx = LintContext {
+        topology: Some(&tiny),
+        registry: Some(&reg),
+        ..LintContext::default()
+    };
+    assert!(lint_with(&dsn, &ctx).has(LintCode::CpuOverload));
+
+    let beefy = topo(10_000_000, 5, 1e9);
+    let ctx = LintContext {
+        topology: Some(&beefy),
+        registry: Some(&reg),
+        ..LintContext::default()
+    };
+    assert!(!lint_with(&dsn, &ctx).has(LintCode::CpuOverload));
+}
+
+#[test]
+fn sl033_silent_source() {
+    let reg = registry(&[("weather/rain", 1000)]);
+    let ctx = LintContext {
+        registry: Some(&reg),
+        ..LintContext::default()
+    };
+    let dsn = doc(&format!(
+        "{TEMP_SOURCE}
+  sink out {{ kind: console; inputs: temp; }}"
+    ));
+    assert!(lint_with(&dsn, &ctx).has(LintCode::SilentSource));
+
+    let reg = registry(&[("weather/temperature", 1000)]);
+    let ctx = LintContext {
+        registry: Some(&reg),
+        ..LintContext::default()
+    };
+    assert!(!lint_with(&dsn, &ctx).has(LintCode::SilentSource));
+}
+
+// ---------------------------------------------------------------- dead code
+
+#[test]
+fn sl040_dead_end() {
+    let dangling = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: 'temp > 20'; inputs: temp; }}
+  service orphan {{ op: filter; condition: 'temp > 30'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    assert_fires(LintCode::DeadEnd, &dangling);
+    assert_quiet(
+        LintCode::DeadEnd,
+        &dangling.replace("inputs: hot;", "inputs: hot, orphan;"),
+    );
+}
+
+#[test]
+fn sl041_redundant_trigger() {
+    let redundant = doc(&format!(
+        "{TEMP_SOURCE}{RAIN_SOURCE}
+  service alarm {{
+    op: trigger_on; period: 1000; condition: 'temp > 40'; targets: rain; inputs: temp;
+  }}
+  service wet {{ op: filter; condition: 'rain > 0'; inputs: rain; }}
+  sink out {{ kind: console; inputs: wet; }}"
+    ));
+    assert_fires(LintCode::RedundantTrigger, &redundant);
+    // A gated target actually needs the activation.
+    assert_quiet(
+        LintCode::RedundantTrigger,
+        &redundant.replace(
+            "filter: theme=weather/rain & has rain:float;\n    mode: active;",
+            "filter: theme=weather/rain & has rain:float;\n    mode: gated;",
+        ),
+    );
+}
+
+#[test]
+fn sl042_unused_property() {
+    let unused = doc(&format!(
+        "{TEMP_SOURCE}
+  service risk {{ op: virtual_property; property: risk; spec: 'temp * 2'; inputs: temp; }}
+  service avg {{
+    op: aggregate; period: 5000; group_by: temp; func: avg; attr: temp; inputs: risk;
+  }}
+  sink out {{ kind: console; inputs: avg; }}"
+    ));
+    assert_fires(LintCode::UnusedProperty, &unused);
+    // Grouping by the property keeps (and uses) it.
+    assert_quiet(
+        LintCode::UnusedProperty,
+        &unused.replace("group_by: temp;", "group_by: risk;"),
+    );
+}
+
+#[test]
+fn sl043_always_false() {
+    let dead = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: '1 > 2'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    assert_fires(LintCode::AlwaysFalse, &dead);
+    assert_quiet(
+        LintCode::AlwaysFalse,
+        &dead.replace("'1 > 2'", "'temp > 2'"),
+    );
+}
+
+#[test]
+fn sl044_always_true() {
+    let noop = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: '2 > 1'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    assert_fires(LintCode::AlwaysTrue, &noop);
+    assert_quiet(LintCode::AlwaysTrue, &noop.replace("'2 > 1'", "'temp > 1'"));
+}
+
+// ----------------------------------------------------------------- plumbing
+
+#[test]
+fn every_code_has_golden_coverage() {
+    // Master list vs. the cases above: if a code is added to `LintCode::ALL`
+    // without a golden pair, this test names it.
+    let covered = [
+        LintCode::DuplicateName,
+        LintCode::UnknownInput,
+        LintCode::WrongArity,
+        LintCode::Cycle,
+        LintCode::BadTriggerTarget,
+        LintCode::GatedNeverActivated,
+        LintCode::BadWiring,
+        LintCode::SchemaError,
+        LintCode::NoSchema,
+        LintCode::IncomparableGranularity,
+        LintCode::MisalignedAggregation,
+        LintCode::SpatialCollapse,
+        LintCode::MixedGranularityJoin,
+        LintCode::WindowGap,
+        LintCode::UnconstrainedJoin,
+        LintCode::UnboundedCache,
+        LintCode::UnsatisfiableQos,
+        LintCode::LinkOverload,
+        LintCode::CpuOverload,
+        LintCode::SilentSource,
+        LintCode::DeadEnd,
+        LintCode::RedundantTrigger,
+        LintCode::UnusedProperty,
+        LintCode::AlwaysFalse,
+        LintCode::AlwaysTrue,
+    ];
+    for code in LintCode::ALL {
+        assert!(covered.contains(code), "{code:?} has no golden test");
+    }
+}
+
+#[test]
+fn diagnostics_carry_dsn_lines() {
+    let report = lint(&doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: '1 > 2'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    )));
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == LintCode::AlwaysFalse)
+        .expect("SL043 fired");
+    assert_eq!(d.node.as_deref(), Some("hot"));
+    assert!(
+        d.dsn_line.is_some(),
+        "diagnostic should map back to a DSN line"
+    );
+}
+
+#[test]
+fn config_threshold_is_respected() {
+    let reg = registry(&[("weather/temperature", 1)]);
+    let dsn = doc(&format!(
+        "{TEMP_SOURCE}
+  service avg {{ op: aggregate; period: 10000; func: avg; attr: temp; inputs: temp; }}
+  sink out {{ kind: console; inputs: avg; }}"
+    ));
+    // 10 s × 1 kHz = 10k tuples: fine at the default budget, over a 5k one.
+    let strict = LintContext {
+        registry: Some(&reg),
+        config: LintConfig {
+            cache_budget_tuples: 5_000.0,
+        },
+        ..LintContext::default()
+    };
+    assert!(lint_with(&dsn, &strict).has(LintCode::UnboundedCache));
+}

@@ -109,8 +109,14 @@ mod tests {
         let d = link_delay(Duration::from_millis(5), 1_000_000, 1000);
         assert_eq!(d, Duration::from_millis(13));
         // Zero bandwidth means "infinite" (no serialisation cost modelled).
-        assert_eq!(link_delay(Duration::from_millis(5), 0, 1000), Duration::from_millis(5));
+        assert_eq!(
+            link_delay(Duration::from_millis(5), 0, 1000),
+            Duration::from_millis(5)
+        );
         // Rounds up.
-        assert_eq!(link_delay(Duration::ZERO, 1_000_000, 1), Duration::from_millis(1));
+        assert_eq!(
+            link_delay(Duration::ZERO, 1_000_000, 1),
+            Duration::from_millis(1)
+        );
     }
 }

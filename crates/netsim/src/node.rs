@@ -101,7 +101,11 @@ impl LoadTracker {
     /// Utilisation of a node in `[0, ∞)` (can exceed 1.0 when oversubscribed).
     pub fn utilization(&self, topo: &Topology, node: NodeId) -> Result<f64, NetError> {
         let cap = topo.node(node)?.cpu_capacity;
-        Ok(if cap <= 0.0 { f64::INFINITY } else { self.demand_on(node) / cap })
+        Ok(if cap <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.demand_on(node) / cap
+        })
     }
 
     /// Processes on a node, in id order (deterministic for migration picks).
@@ -131,7 +135,11 @@ impl LoadTracker {
             if used + demand > spec.cpu_capacity {
                 continue;
             }
-            let util = if spec.cpu_capacity > 0.0 { used / spec.cpu_capacity } else { f64::INFINITY };
+            let util = if spec.cpu_capacity > 0.0 {
+                used / spec.cpu_capacity
+            } else {
+                f64::INFINITY
+            };
             match best {
                 Some((bu, bn)) if (util, n) >= (bu, bn) => {}
                 _ => best = Some((util, n)),
@@ -153,6 +161,7 @@ impl LoadTracker {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)] // tests may panic freely
     use super::*;
     use crate::topology::NodeSpec;
 

@@ -39,7 +39,11 @@ pub struct Route {
 impl Route {
     /// The trivial route from a node to itself.
     pub fn local(node: NodeId) -> Route {
-        Route { nodes: vec![node], links: Vec::new(), latency: Duration::ZERO }
+        Route {
+            nodes: vec![node],
+            links: Vec::new(),
+            latency: Duration::ZERO,
+        }
     }
 
     /// Number of hops.
@@ -135,7 +139,12 @@ impl RoutingTable {
         let mut cur = dest;
         let latency = match self.prev.get(cur.0 as usize) {
             Some(Some((d, _, _))) => *d,
-            _ => return Err(NetError::NoRoute { from: self.source, to: dest }),
+            _ => {
+                return Err(NetError::NoRoute {
+                    from: self.source,
+                    to: dest,
+                })
+            }
         };
         while cur != self.source {
             match self.prev.get(cur.0 as usize) {
@@ -144,12 +153,21 @@ impl RoutingTable {
                     nodes.push(*p);
                     cur = *p;
                 }
-                _ => return Err(NetError::NoRoute { from: self.source, to: dest }),
+                _ => {
+                    return Err(NetError::NoRoute {
+                        from: self.source,
+                        to: dest,
+                    })
+                }
             }
         }
         nodes.reverse();
         links.reverse();
-        Ok(Route { nodes, links, latency })
+        Ok(Route {
+            nodes,
+            links,
+            latency,
+        })
     }
 
     /// Latency to `dest`, if reachable.
@@ -157,7 +175,9 @@ impl RoutingTable {
         if dest == self.source {
             return Some(Duration::ZERO);
         }
-        self.prev.get(dest.0 as usize).and_then(|p| p.map(|(d, _, _)| d))
+        self.prev
+            .get(dest.0 as usize)
+            .and_then(|p| p.map(|(d, _, _)| d))
     }
 }
 
@@ -260,7 +280,14 @@ impl FlowTable {
         }
         let id = FlowId(self.next_id);
         self.next_id += 1;
-        self.flows.insert(id, Flow { id, route, reserved_bps: want });
+        self.flows.insert(
+            id,
+            Flow {
+                id,
+                route,
+                reserved_bps: want,
+            },
+        );
         Ok(id)
     }
 
@@ -283,6 +310,7 @@ impl FlowTable {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)] // tests may panic freely
     use super::*;
     use crate::topology::NodeSpec;
 
@@ -351,7 +379,10 @@ mod tests {
     fn flow_install_reserves_bandwidth() {
         let (t, a, _b, _c, d) = diamond();
         let mut ft = FlowTable::new();
-        let qos = QosSpec { max_latency: None, min_bandwidth_bps: Some(600_000) };
+        let qos = QosSpec {
+            max_latency: None,
+            min_bandwidth_bps: Some(600_000),
+        };
         let f1 = ft.install(&t, a, d, &qos).unwrap();
         assert_eq!(ft.len(), 1);
         assert_eq!(ft.flow(f1).unwrap().reserved_bps, 600_000);
@@ -368,12 +399,18 @@ mod tests {
     fn latency_bound_enforced() {
         let (t, a, _b, _c, d) = diamond();
         let mut ft = FlowTable::new();
-        let tight = QosSpec { max_latency: Some(ms(1)), min_bandwidth_bps: None };
+        let tight = QosSpec {
+            max_latency: Some(ms(1)),
+            min_bandwidth_bps: None,
+        };
         assert!(matches!(
             ft.install(&t, a, d, &tight),
             Err(NetError::QosUnsatisfiable { .. })
         ));
-        let loose = QosSpec { max_latency: Some(ms(2)), min_bandwidth_bps: None };
+        let loose = QosSpec {
+            max_latency: Some(ms(2)),
+            min_bandwidth_bps: None,
+        };
         assert!(ft.install(&t, a, d, &loose).is_ok());
     }
 

@@ -90,7 +90,12 @@ impl<M> EventQueue<M> {
         let t = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time: t, seq, msg, cancelled_id: seq });
+        self.heap.push(Entry {
+            time: t,
+            seq,
+            msg,
+            cancelled_id: seq,
+        });
         EventHandle(seq)
     }
 
@@ -124,8 +129,9 @@ impl<M> EventQueue<M> {
         // Drain cancelled entries from the top first.
         while let Some(top) = self.heap.peek() {
             if self.cancelled.contains(&top.cancelled_id) {
-                let e = self.heap.pop().expect("peeked");
-                self.cancelled.remove(&e.cancelled_id);
+                if let Some(e) = self.heap.pop() {
+                    self.cancelled.remove(&e.cancelled_id);
+                }
             } else {
                 return Some(top.time);
             }
@@ -154,6 +160,7 @@ impl<M> std::fmt::Debug for EventQueue<M> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)] // tests may panic freely
     use super::*;
 
     #[test]

@@ -6,7 +6,7 @@
 //! sampled values for plotting.
 
 use crate::topology::{LinkId, NodeId};
-use sl_obs::{Gauge, Histogram, HistSummary, MetricsSnapshot};
+use sl_obs::{Gauge, HistSummary, Histogram, MetricsSnapshot};
 use sl_stt::{Duration, Timestamp};
 use std::collections::HashMap;
 
@@ -29,7 +29,10 @@ impl Default for TimeSeries {
 impl TimeSeries {
     /// A series retaining at most `capacity` samples.
     pub fn new(capacity: usize) -> TimeSeries {
-        TimeSeries { samples: std::collections::VecDeque::with_capacity(capacity.min(1024)), capacity }
+        TimeSeries {
+            samples: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+        }
     }
 
     /// Append a sample, evicting the oldest when full. Samples must arrive
@@ -203,7 +206,8 @@ impl NetStats {
             snap.gauges.insert(format!("{link}/queued_bytes"), g.get());
         }
         for (link, h) in &self.link_latency {
-            snap.hists.insert(format!("{link}/latency_us"), HistSummary::of(h));
+            snap.hists
+                .insert(format!("{link}/latency_us"), HistSummary::of(h));
         }
         snap
     }
@@ -219,6 +223,7 @@ impl NetStats {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)] // tests may panic freely
     use super::*;
 
     fn ts(s: i64) -> Timestamp {

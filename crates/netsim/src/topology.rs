@@ -49,12 +49,22 @@ pub struct NodeSpec {
 impl NodeSpec {
     /// An edge node with the given capacity.
     pub fn edge(name: &str, cpu_capacity: f64) -> NodeSpec {
-        NodeSpec { name: name.to_string(), cpu_capacity, edge: true, up: true }
+        NodeSpec {
+            name: name.to_string(),
+            cpu_capacity,
+            edge: true,
+            up: true,
+        }
     }
 
     /// A core (transit) node with the given capacity.
     pub fn core(name: &str, cpu_capacity: f64) -> NodeSpec {
-        NodeSpec { name: name.to_string(), cpu_capacity, edge: false, up: true }
+        NodeSpec {
+            name: name.to_string(),
+            cpu_capacity,
+            edge: false,
+            up: true,
+        }
     }
 }
 
@@ -109,7 +119,13 @@ impl Topology {
         self.check_node(a)?;
         self.check_node(b)?;
         let id = LinkId(self.links.len() as u32);
-        self.links.push(LinkSpec { a, b, latency, bandwidth_bps, up: true });
+        self.links.push(LinkSpec {
+            a,
+            b,
+            latency,
+            bandwidth_bps,
+            up: true,
+        });
         self.adjacency[a.0 as usize].push((id.0, b));
         self.adjacency[b.0 as usize].push((id.0, a));
         Ok(id)
@@ -223,30 +239,38 @@ impl Topology {
     // ---------------------------------------------------------------------
 
     /// A line of `n` edge nodes with uniform links.
+    // Links join nodes created lines above: infallible by construction.
+    #[allow(clippy::disallowed_methods)]
     pub fn line(n: usize, latency: Duration, bandwidth_bps: u64) -> Topology {
         let mut t = Topology::new();
         let ids: Vec<_> = (0..n)
             .map(|i| t.add_node(NodeSpec::edge(&format!("n{i}"), 1_000_000.0)))
             .collect();
         for w in ids.windows(2) {
-            t.add_link(w[0], w[1], latency, bandwidth_bps).expect("fresh nodes");
+            t.add_link(w[0], w[1], latency, bandwidth_bps)
+                .expect("fresh nodes");
         }
         t
     }
 
     /// A star: node 0 is the core hub, nodes 1..n are edge leaves.
+    // Links join nodes created lines above: infallible by construction.
+    #[allow(clippy::disallowed_methods)]
     pub fn star(leaves: usize, latency: Duration, bandwidth_bps: u64) -> Topology {
         let mut t = Topology::new();
         let hub = t.add_node(NodeSpec::core("hub", 4_000_000.0));
         for i in 0..leaves {
             let leaf = t.add_node(NodeSpec::edge(&format!("leaf{i}"), 1_000_000.0));
-            t.add_link(hub, leaf, latency, bandwidth_bps).expect("fresh nodes");
+            t.add_link(hub, leaf, latency, bandwidth_bps)
+                .expect("fresh nodes");
         }
         t
     }
 
     /// A complete `fanout`-ary tree of the given depth; leaves are edge
     /// nodes, internal nodes are core.
+    // Links join nodes created lines above: infallible by construction.
+    #[allow(clippy::disallowed_methods)]
     pub fn tree(fanout: usize, depth: usize, latency: Duration, bandwidth_bps: u64) -> Topology {
         let mut t = Topology::new();
         let root = t.add_node(NodeSpec::core("root", 8_000_000.0));
@@ -262,7 +286,8 @@ impl Topology {
                         NodeSpec::core(&name, 4_000_000.0)
                     };
                     let child = t.add_node(spec);
-                    t.add_link(*parent, child, latency, bandwidth_bps).expect("fresh nodes");
+                    t.add_link(*parent, child, latency, bandwidth_bps)
+                        .expect("fresh nodes");
                     next.push(child);
                 }
             }
@@ -273,6 +298,8 @@ impl Topology {
 
     /// A random connected topology: a spanning tree plus `extra_links`
     /// shortcuts, with latencies in `[1, 20]` ms. Deterministic per seed.
+    // Links join nodes created lines above: infallible by construction.
+    #[allow(clippy::disallowed_methods)]
     pub fn random(n: usize, extra_links: usize, seed: u64) -> Topology {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut t = Topology::new();
@@ -315,6 +342,8 @@ impl Topology {
     /// A fixed 12-node topology shaped like the NICT Japan-wide testbed the
     /// paper demos on: three regional clusters (Osaka, Kyoto, Tokyo) of edge
     /// nodes hanging off a core ring.
+    // Links join nodes created lines above: infallible by construction.
+    #[allow(clippy::disallowed_methods)]
     pub fn nict_testbed() -> Topology {
         let mut t = Topology::new();
         let ms = Duration::from_millis;
@@ -322,9 +351,12 @@ impl Topology {
         let core_kyoto = t.add_node(NodeSpec::core("core-kyoto", 8_000_000.0));
         let core_tokyo = t.add_node(NodeSpec::core("core-tokyo", 8_000_000.0));
         // Core ring, 100 Mbps.
-        t.add_link(core_osaka, core_kyoto, ms(2), 100_000_000).expect("nodes exist");
-        t.add_link(core_kyoto, core_tokyo, ms(5), 100_000_000).expect("nodes exist");
-        t.add_link(core_tokyo, core_osaka, ms(6), 100_000_000).expect("nodes exist");
+        t.add_link(core_osaka, core_kyoto, ms(2), 100_000_000)
+            .expect("nodes exist");
+        t.add_link(core_kyoto, core_tokyo, ms(5), 100_000_000)
+            .expect("nodes exist");
+        t.add_link(core_tokyo, core_osaka, ms(6), 100_000_000)
+            .expect("nodes exist");
         // Regional edges, 20-50 Mbps.
         for (city, core, n) in [
             ("osaka", core_osaka, 4),
@@ -333,8 +365,13 @@ impl Topology {
         ] {
             for i in 0..n {
                 let e = t.add_node(NodeSpec::edge(&format!("{city}-edge{i}"), 1_500_000.0));
-                t.add_link(core, e, ms(1 + i as u64), 20_000_000 + 10_000_000 * i as u64)
-                    .expect("nodes exist");
+                t.add_link(
+                    core,
+                    e,
+                    ms(1 + i as u64),
+                    20_000_000 + 10_000_000 * i as u64,
+                )
+                .expect("nodes exist");
             }
         }
         t
@@ -343,6 +380,7 @@ impl Topology {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::disallowed_methods)] // tests may panic freely
     use super::*;
 
     #[test]
@@ -406,9 +444,8 @@ mod tests {
         }
         // Different seed differs somewhere.
         let c = Topology::random(30, 10, 43);
-        let differs = (0..a.link_count()).any(|l| {
-            a.link(LinkId(l as u32)).unwrap() != c.link(LinkId(l as u32)).unwrap()
-        });
+        let differs = (0..a.link_count())
+            .any(|l| a.link(LinkId(l as u32)).unwrap() != c.link(LinkId(l as u32)).unwrap());
         assert!(differs);
     }
 

@@ -44,7 +44,13 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { counts: [0; BUCKETS + 1], count: 0, sum: 0, min: u64::MAX, max: 0 }
+        Histogram {
+            counts: [0; BUCKETS + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
     }
 }
 
@@ -125,7 +131,11 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                let bound = if i < BUCKETS { bucket_bound(i) } else { self.max };
+                let bound = if i < BUCKETS {
+                    bucket_bound(i)
+                } else {
+                    self.max
+                };
                 return Some(bound.clamp(self.min, self.max));
             }
         }
@@ -184,7 +194,11 @@ mod tests {
         assert_eq!(bucket_index(5), 3);
         for i in 0..BUCKETS {
             let bound = bucket_bound(i);
-            assert_eq!(bucket_index(bound), i, "bound {bound} must land in bucket {i}");
+            assert_eq!(
+                bucket_index(bound),
+                i,
+                "bound {bound} must land in bucket {i}"
+            );
             if i + 1 < BUCKETS {
                 assert_eq!(bucket_index(bound + 1), i + 1);
             }

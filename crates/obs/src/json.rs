@@ -112,7 +112,10 @@ impl std::error::Error for ParseError {}
 
 /// Parse a complete JSON document (rejects trailing garbage).
 pub fn parse(input: &str) -> Result<Json, ParseError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
@@ -128,7 +131,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn err(&self, msg: &str) -> ParseError {
-        ParseError { at: self.pos, msg: msg.to_string() }
+        ParseError {
+            at: self.pos,
+            msg: msg.to_string(),
+        }
     }
 
     fn skip_ws(&mut self) {

@@ -140,8 +140,10 @@ impl Metrics {
             snap.hists.insert(format!("span/{key}"), HistSummary::of(h));
         }
         if self.tracer.completed_spans() > 0 || self.tracer.unmatched_exits() > 0 {
-            snap.counters.insert("spans_completed".into(), self.tracer.completed_spans());
-            snap.counters.insert("spans_unmatched_exit".into(), self.tracer.unmatched_exits());
+            snap.counters
+                .insert("spans_completed".into(), self.tracer.completed_spans());
+            snap.counters
+                .insert("spans_unmatched_exit".into(), self.tracer.unmatched_exits());
         }
         snap
     }

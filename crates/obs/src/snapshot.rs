@@ -96,7 +96,10 @@ impl MetricsSnapshot {
     /// An empty snapshot at the current schema version.
     #[must_use]
     pub fn new() -> Self {
-        MetricsSnapshot { schema_version: SNAPSHOT_SCHEMA_VERSION, ..Default::default() }
+        MetricsSnapshot {
+            schema_version: SNAPSHOT_SCHEMA_VERSION,
+            ..Default::default()
+        }
     }
 
     /// Serialize to the stable JSON document described in the module docs.
@@ -141,30 +144,40 @@ impl MetricsSnapshot {
     /// Parse a snapshot previously produced by [`MetricsSnapshot::to_json`].
     pub fn from_json(input: &str) -> Result<Self, SnapshotError> {
         let doc = json::parse(input).map_err(SnapshotError::Json)?;
-        let obj = doc.as_obj().ok_or_else(|| field_err("document is not an object"))?;
-        let schema_version = obj
-            .get("schema_version")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| field_err("missing schema_version"))? as u32;
+        let obj = doc
+            .as_obj()
+            .ok_or_else(|| field_err("document is not an object"))?;
+        let schema_version =
+            obj.get("schema_version")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| field_err("missing schema_version"))? as u32;
         if schema_version != SNAPSHOT_SCHEMA_VERSION {
-            return Err(SnapshotError::Schema { found: schema_version });
+            return Err(SnapshotError::Schema {
+                found: schema_version,
+            });
         }
         let mut snap = MetricsSnapshot::new();
         if let Some(m) = obj.get("counters").and_then(Json::as_obj) {
             for (name, v) in m {
-                let v = v.as_u64().ok_or_else(|| field_err("counter value must be u64"))?;
+                let v = v
+                    .as_u64()
+                    .ok_or_else(|| field_err("counter value must be u64"))?;
                 snap.counters.insert(name.clone(), v);
             }
         }
         if let Some(m) = obj.get("gauges").and_then(Json::as_obj) {
             for (name, v) in m {
-                let v = v.as_i64().ok_or_else(|| field_err("gauge value must be i64"))?;
+                let v = v
+                    .as_i64()
+                    .ok_or_else(|| field_err("gauge value must be i64"))?;
                 snap.gauges.insert(name.clone(), v);
             }
         }
         if let Some(m) = obj.get("hists").and_then(Json::as_obj) {
             for (name, v) in m {
-                let h = v.as_obj().ok_or_else(|| field_err("hist entry must be an object"))?;
+                let h = v
+                    .as_obj()
+                    .ok_or_else(|| field_err("hist entry must be an object"))?;
                 let get = |k: &str| {
                     h.get(k)
                         .and_then(Json::as_u64)
@@ -216,14 +229,26 @@ impl MetricsSnapshot {
         let mut out = String::new();
         let _ = writeln!(out, "metrics snapshot (schema v{})", self.schema_version);
         if !self.counters.is_empty() {
-            let w = self.counters.keys().map(String::len).max().unwrap_or(0).max(7);
+            let w = self
+                .counters
+                .keys()
+                .map(String::len)
+                .max()
+                .unwrap_or(0)
+                .max(7);
             let _ = writeln!(out, "  {:<w$}  {:>12}", "counter", "value");
             for (name, v) in &self.counters {
                 let _ = writeln!(out, "  {name:<w$}  {v:>12}");
             }
         }
         if !self.gauges.is_empty() {
-            let w = self.gauges.keys().map(String::len).max().unwrap_or(0).max(5);
+            let w = self
+                .gauges
+                .keys()
+                .map(String::len)
+                .max()
+                .unwrap_or(0)
+                .max(5);
             let _ = writeln!(out, "  {:<w$}  {:>12}", "gauge", "value");
             for (name, v) in &self.gauges {
                 let _ = writeln!(out, "  {name:<w$}  {v:>12}");
@@ -290,13 +315,16 @@ mod tests {
         s.counters.insert("engine/tuples_in".into(), 42);
         s.counters.insert("broker/enrichments".into(), 7);
         s.gauges.insert("engine/event_queue_depth".into(), 3);
-        s.gauges.insert("netsim/link/n1->n2/queued_bytes".into(), -1);
+        s.gauges
+            .insert("netsim/link/n1->n2/queued_bytes".into(), -1);
         let mut h = Histogram::new();
         for v in [5, 64, 900] {
             h.record(v);
         }
-        s.hists.insert("engine/op_proc_us".into(), HistSummary::of(&h));
-        s.hists.insert("empty".into(), HistSummary::of(&Histogram::new()));
+        s.hists
+            .insert("engine/op_proc_us".into(), HistSummary::of(&h));
+        s.hists
+            .insert("empty".into(), HistSummary::of(&Histogram::new()));
         s
     }
 
@@ -312,7 +340,9 @@ mod tests {
 
     #[test]
     fn wrong_schema_version_is_rejected() {
-        let json = sample_snapshot().to_json().replace("\"schema_version\":1", "\"schema_version\":99");
+        let json = sample_snapshot()
+            .to_json()
+            .replace("\"schema_version\":1", "\"schema_version\":99");
         match MetricsSnapshot::from_json(&json) {
             Err(SnapshotError::Schema { found: 99 }) => {}
             other => panic!("expected schema error, got {other:?}"),
@@ -321,10 +351,18 @@ mod tests {
 
     #[test]
     fn malformed_documents_are_rejected() {
-        assert!(matches!(MetricsSnapshot::from_json("[1,2]"), Err(SnapshotError::Field(_))));
-        assert!(matches!(MetricsSnapshot::from_json("{\"x\":"), Err(SnapshotError::Json(_))));
         assert!(matches!(
-            MetricsSnapshot::from_json("{\"schema_version\":1,\"counters\":{\"a\":-5},\"gauges\":{},\"hists\":{}}"),
+            MetricsSnapshot::from_json("[1,2]"),
+            Err(SnapshotError::Field(_))
+        ));
+        assert!(matches!(
+            MetricsSnapshot::from_json("{\"x\":"),
+            Err(SnapshotError::Json(_))
+        ));
+        assert!(matches!(
+            MetricsSnapshot::from_json(
+                "{\"schema_version\":1,\"counters\":{\"a\":-5},\"gauges\":{},\"hists\":{}}"
+            ),
             Err(SnapshotError::Field(_))
         ));
     }

@@ -38,7 +38,11 @@ impl SpanKey {
         operator: impl Into<String>,
         node: impl Into<String>,
     ) -> Self {
-        SpanKey { deployment: deployment.into(), operator: operator.into(), node: node.into() }
+        SpanKey {
+            deployment: deployment.into(),
+            operator: operator.into(),
+            node: node.into(),
+        }
     }
 }
 
@@ -102,7 +106,10 @@ impl Tracer {
             return None;
         };
         let duration = now_us.saturating_sub(start);
-        self.per_key.entry(key.clone()).or_default().record(duration);
+        self.per_key
+            .entry(key.clone())
+            .or_default()
+            .record(duration);
         if self.recent.len() == RECENT_SPAN_CAPACITY {
             self.recent.pop_front();
         }
@@ -218,6 +225,9 @@ mod tests {
 
     #[test]
     fn span_key_display_is_dep_op_node() {
-        assert_eq!(SpanKey::new("osaka", "agg", "n3").to_string(), "osaka/agg@n3");
+        assert_eq!(
+            SpanKey::new("osaka", "agg", "n3").to_string(),
+            "osaka/agg@n3"
+        );
     }
 }

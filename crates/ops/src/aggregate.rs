@@ -12,9 +12,7 @@ use crate::context::OpContext;
 use crate::error::OpError;
 use crate::window::{EvictionStrategy, SlidingWindow, TumblingCache};
 use crate::Operator;
-use sl_stt::{
-    AttrType, Duration, Field, Schema, SchemaRef, SttMeta, Timestamp, Tuple, Value,
-};
+use sl_stt::{AttrType, Duration, Field, Schema, SchemaRef, SttMeta, Timestamp, Tuple, Value};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -35,7 +33,13 @@ pub enum AggFunc {
 
 impl AggFunc {
     /// All functions.
-    pub const ALL: [AggFunc; 5] = [AggFunc::Count, AggFunc::Avg, AggFunc::Sum, AggFunc::Min, AggFunc::Max];
+    pub const ALL: [AggFunc; 5] = [
+        AggFunc::Count,
+        AggFunc::Avg,
+        AggFunc::Sum,
+        AggFunc::Min,
+        AggFunc::Max,
+    ];
 
     /// Lower-case name (`count`, `avg`, ...).
     pub fn name(self) -> &'static str {
@@ -56,7 +60,9 @@ impl AggFunc {
             "sum" => Ok(AggFunc::Sum),
             "min" => Ok(AggFunc::Min),
             "max" => Ok(AggFunc::Max),
-            other => Err(OpError::BadSpec(format!("unknown aggregation function `{other}`"))),
+            other => Err(OpError::BadSpec(format!(
+                "unknown aggregation function `{other}`"
+            ))),
         }
     }
 
@@ -137,7 +143,9 @@ impl AggregateOp {
         input_schema: &SchemaRef,
     ) -> Result<AggregateOp, OpError> {
         if period.is_zero() {
-            return Err(OpError::BadSpec("aggregation period must be positive".into()));
+            return Err(OpError::BadSpec(
+                "aggregation period must be positive".into(),
+            ));
         }
         let mut group_idx = Vec::with_capacity(group_by.len());
         let mut out_fields = Vec::with_capacity(group_by.len() + 1);
@@ -164,7 +172,9 @@ impl AggregateOp {
                 (Some(idx), field)
             }
             (f, None) => {
-                return Err(OpError::BadSpec(format!("{f} requires an attribute to aggregate")));
+                return Err(OpError::BadSpec(format!(
+                    "{f} requires an attribute to aggregate"
+                )));
             }
         };
         out_fields.push(result_field);
@@ -194,7 +204,9 @@ impl AggregateOp {
         input_schema: &SchemaRef,
     ) -> Result<AggregateOp, OpError> {
         if span.is_zero() {
-            return Err(OpError::BadSpec("sliding window span must be positive".into()));
+            return Err(OpError::BadSpec(
+                "sliding window span must be positive".into(),
+            ));
         }
         let mut op = AggregateOp::new(period, group_by, func, agg_attr, input_schema)?;
         op.cache = AggCache::Sliding(SlidingWindow::new(span, EvictionStrategy::RingBuffer));
@@ -314,7 +326,10 @@ impl Operator for AggregateOp {
 
     fn on_tuple(&mut self, port: usize, tuple: Tuple, ctx: &mut OpContext) -> Result<(), OpError> {
         if port != 0 {
-            return Err(OpError::BadPort { kind: self.kind(), port });
+            return Err(OpError::BadPort {
+                kind: self.kind(),
+                port,
+            });
         }
         match &mut self.cache {
             AggCache::Tumbling(c) => c.push(tuple),
@@ -340,7 +355,10 @@ impl Operator for AggregateOp {
         // Group deterministically (BTreeMap over rendered keys).
         let mut groups: BTreeMap<String, Vec<&Tuple>> = BTreeMap::new();
         for t in &tuples {
-            groups.entry(group_key(t, &self.group_idx)).or_default().push(t);
+            groups
+                .entry(group_key(t, &self.group_idx))
+                .or_default()
+                .push(t);
         }
         for members in groups.values() {
             let result = self.aggregate_group(members)?;
@@ -417,7 +435,11 @@ mod tests {
     fn tuple(station: &str, temp: f64, hits: i64, sec: i64) -> Tuple {
         Tuple::new(
             schema(),
-            vec![Value::Str(station.into()), Value::Float(temp), Value::Int(hits)],
+            vec![
+                Value::Str(station.into()),
+                Value::Float(temp),
+                Value::Int(hits),
+            ],
             SttMeta::new(
                 Timestamp::from_secs(sec),
                 GeoPoint::new_unchecked(34.7, 135.5),
@@ -467,8 +489,14 @@ mod tests {
 
     #[test]
     fn count_equals_window_population() {
-        let mut op =
-            AggregateOp::new(Duration::from_secs(10), &[], AggFunc::Count, None, &schema()).unwrap();
+        let mut op = AggregateOp::new(
+            Duration::from_secs(10),
+            &[],
+            AggFunc::Count,
+            None,
+            &schema(),
+        )
+        .unwrap();
         let tuples: Vec<_> = (0..7).map(|i| tuple("s", 1.0, 1, i)).collect();
         let out = run_window(&mut op, tuples, 10);
         assert_eq!(out.len(), 1);
@@ -477,10 +505,23 @@ mod tests {
 
     #[test]
     fn sum_int_preserving_and_min_max() {
-        let mut op = AggregateOp::new(Duration::from_secs(10), &[], AggFunc::Sum, Some("hits"), &schema())
-            .unwrap();
-        assert_eq!(op.output_schema().field("sum_hits").unwrap().ty, AttrType::Int);
-        let out = run_window(&mut op, vec![tuple("a", 0.0, 3, 0), tuple("a", 0.0, 4, 1)], 10);
+        let mut op = AggregateOp::new(
+            Duration::from_secs(10),
+            &[],
+            AggFunc::Sum,
+            Some("hits"),
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(
+            op.output_schema().field("sum_hits").unwrap().ty,
+            AttrType::Int
+        );
+        let out = run_window(
+            &mut op,
+            vec![tuple("a", 0.0, 3, 0), tuple("a", 0.0, 4, 1)],
+            10,
+        );
         assert_eq!(out[0].get("sum_hits").unwrap(), &Value::Int(7));
 
         let mut op = AggregateOp::new(
@@ -491,7 +532,11 @@ mod tests {
             &schema(),
         )
         .unwrap();
-        let out = run_window(&mut op, vec![tuple("a", 5.0, 0, 0), tuple("a", -3.0, 0, 1)], 10);
+        let out = run_window(
+            &mut op,
+            vec![tuple("a", 5.0, 0, 0), tuple("a", -3.0, 0, 1)],
+            10,
+        );
         assert_eq!(out[0].get("min_temperature").unwrap(), &Value::Float(-3.0));
 
         let mut op = AggregateOp::new(
@@ -502,7 +547,11 @@ mod tests {
             &schema(),
         )
         .unwrap();
-        let out = run_window(&mut op, vec![tuple("a", 5.0, 0, 0), tuple("a", -3.0, 0, 1)], 10);
+        let out = run_window(
+            &mut op,
+            vec![tuple("a", 5.0, 0, 0), tuple("a", -3.0, 0, 1)],
+            10,
+        );
         assert_eq!(out[0].get("max_temperature").unwrap(), &Value::Float(5.0));
     }
 
@@ -553,31 +602,61 @@ mod tests {
 
     #[test]
     fn empty_window_emits_nothing() {
-        let mut op =
-            AggregateOp::new(Duration::from_secs(10), &[], AggFunc::Count, None, &schema()).unwrap();
+        let mut op = AggregateOp::new(
+            Duration::from_secs(10),
+            &[],
+            AggFunc::Count,
+            None,
+            &schema(),
+        )
+        .unwrap();
         let out = run_window(&mut op, vec![], 10);
         assert!(out.is_empty());
     }
 
     #[test]
     fn windows_tumble_independently() {
-        let mut op =
-            AggregateOp::new(Duration::from_secs(10), &[], AggFunc::Count, None, &schema()).unwrap();
+        let mut op = AggregateOp::new(
+            Duration::from_secs(10),
+            &[],
+            AggFunc::Count,
+            None,
+            &schema(),
+        )
+        .unwrap();
         let out1 = run_window(&mut op, vec![tuple("a", 0.0, 0, 0)], 10);
         assert_eq!(out1[0].get("count").unwrap(), &Value::Int(1));
         // Second window does not see the first's tuples.
-        let out2 = run_window(&mut op, vec![tuple("a", 0.0, 0, 11), tuple("a", 0.0, 0, 12)], 20);
+        let out2 = run_window(
+            &mut op,
+            vec![tuple("a", 0.0, 0, 11), tuple("a", 0.0, 0, 12)],
+            20,
+        );
         assert_eq!(out2[0].get("count").unwrap(), &Value::Int(2));
     }
 
     #[test]
     fn bad_specs_rejected() {
         assert!(AggregateOp::new(Duration::ZERO, &[], AggFunc::Count, None, &schema()).is_err());
-        assert!(AggregateOp::new(Duration::from_secs(1), &[], AggFunc::Avg, None, &schema()).is_err());
         assert!(
-            AggregateOp::new(Duration::from_secs(1), &[], AggFunc::Avg, Some("station"), &schema()).is_err()
+            AggregateOp::new(Duration::from_secs(1), &[], AggFunc::Avg, None, &schema()).is_err()
         );
-        assert!(AggregateOp::new(Duration::from_secs(1), &["nope"], AggFunc::Count, None, &schema()).is_err());
+        assert!(AggregateOp::new(
+            Duration::from_secs(1),
+            &[],
+            AggFunc::Avg,
+            Some("station"),
+            &schema()
+        )
+        .is_err());
+        assert!(AggregateOp::new(
+            Duration::from_secs(1),
+            &["nope"],
+            AggFunc::Count,
+            None,
+            &schema()
+        )
+        .is_err());
         assert!(AggFunc::parse("median").is_err());
         assert_eq!(AggFunc::parse("AVG").unwrap(), AggFunc::Avg);
     }
@@ -599,7 +678,8 @@ mod tests {
         let mut outputs = Vec::new();
         for s in 0..60i64 {
             let mut ctx = OpContext::new(Timestamp::from_secs(s));
-            op.on_tuple(0, tuple("a", s as f64, 0, s), &mut ctx).unwrap();
+            op.on_tuple(0, tuple("a", s as f64, 0, s), &mut ctx)
+                .unwrap();
             if (s + 1) % 10 == 0 {
                 let now = Timestamp::from_secs(s + 1);
                 let mut tctx = OpContext::new(now);
@@ -609,13 +689,26 @@ mod tests {
         }
         assert_eq!(outputs.len(), 6);
         // First tick at t=10: values 0..=9 -> avg 4.5.
-        assert_eq!(outputs[0].get("avg_temperature").unwrap(), &Value::Float(4.5));
+        assert_eq!(
+            outputs[0].get("avg_temperature").unwrap(),
+            &Value::Float(4.5)
+        );
         // Tick at t=40: window [10, 40) -> values 10..=39 -> avg 24.5.
-        assert_eq!(outputs[3].get("avg_temperature").unwrap(), &Value::Float(24.5));
+        assert_eq!(
+            outputs[3].get("avg_temperature").unwrap(),
+            &Value::Float(24.5)
+        );
         // Tick at t=60: window [30, 60) -> values 30..=59 -> avg 44.5.
-        assert_eq!(outputs[5].get("avg_temperature").unwrap(), &Value::Float(44.5));
+        assert_eq!(
+            outputs[5].get("avg_temperature").unwrap(),
+            &Value::Float(44.5)
+        );
         // Cache retains ~30 tuples (not drained).
-        assert!(op.cached() >= 29 && op.cached() <= 31, "cached {}", op.cached());
+        assert!(
+            op.cached() >= 29 && op.cached() <= 31,
+            "cached {}",
+            op.cached()
+        );
     }
 
     #[test]
@@ -630,7 +723,8 @@ mod tests {
         )
         .is_err());
         // Tumbling constructor reports no span.
-        let op = AggregateOp::new(Duration::from_secs(1), &[], AggFunc::Count, None, &schema()).unwrap();
+        let op =
+            AggregateOp::new(Duration::from_secs(1), &[], AggFunc::Count, None, &schema()).unwrap();
         assert_eq!(op.sliding_span(), None);
     }
 
@@ -690,7 +784,8 @@ mod tests {
 
     #[test]
     fn is_blocking_with_period() {
-        let op = AggregateOp::new(Duration::from_secs(5), &[], AggFunc::Count, None, &schema()).unwrap();
+        let op =
+            AggregateOp::new(Duration::from_secs(5), &[], AggFunc::Count, None, &schema()).unwrap();
         assert!(op.is_blocking());
         assert_eq!(op.timer_period(), Some(Duration::from_secs(5)));
     }

@@ -28,7 +28,9 @@ impl OpCheckpoint {
 
     /// A checkpoint of a single-port operator's cache.
     pub fn single_port(tuples: Vec<Tuple>) -> OpCheckpoint {
-        OpCheckpoint { tuples: tuples.into_iter().map(|t| (0, t)).collect() }
+        OpCheckpoint {
+            tuples: tuples.into_iter().map(|t| (0, t)).collect(),
+        }
     }
 
     /// Number of checkpointed tuples.
@@ -49,7 +51,10 @@ impl OpCheckpoint {
 
     /// Tuples destined for one port, in arrival order.
     pub fn port(&self, port: usize) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter().filter(move |(p, _)| *p == port).map(|(_, t)| t)
+        self.tuples
+            .iter()
+            .filter(move |(p, _)| *p == port)
+            .map(|(_, t)| t)
     }
 }
 
@@ -60,7 +65,9 @@ mod tests {
 
     fn tuple(v: i64) -> Tuple {
         Tuple::new(
-            Schema::new(vec![Field::new("v", AttrType::Int)]).unwrap().into_ref(),
+            Schema::new(vec![Field::new("v", AttrType::Int)])
+                .unwrap()
+                .into_ref(),
             vec![Value::Int(v)],
             SttMeta::without_location(Timestamp::from_secs(v), Theme::unclassified(), SensorId(0)),
         )
@@ -93,7 +100,9 @@ mod tests {
 
     #[test]
     fn multi_port_filtering() {
-        let c = OpCheckpoint { tuples: vec![(0, tuple(1)), (1, tuple(2)), (0, tuple(3))] };
+        let c = OpCheckpoint {
+            tuples: vec![(0, tuple(1)), (1, tuple(2)), (0, tuple(3))],
+        };
         assert_eq!(c.port(0).count(), 2);
         assert_eq!(c.port(1).count(), 1);
     }

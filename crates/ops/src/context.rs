@@ -52,7 +52,12 @@ pub struct OpContext {
 impl OpContext {
     /// A context at the given virtual time.
     pub fn new(now: Timestamp) -> OpContext {
-        OpContext { now, emitted: Vec::new(), controls: Vec::new(), dropped: 0 }
+        OpContext {
+            now,
+            emitted: Vec::new(),
+            controls: Vec::new(),
+            dropped: 0,
+        }
     }
 
     /// Emit an output tuple.
@@ -87,7 +92,10 @@ impl OpContext {
 
     /// Drain the outputs, leaving the context reusable.
     pub fn take(&mut self) -> (Vec<Tuple>, Vec<ControlAction>) {
-        (std::mem::take(&mut self.emitted), std::mem::take(&mut self.controls))
+        (
+            std::mem::take(&mut self.emitted),
+            std::mem::take(&mut self.controls),
+        )
     }
 
     /// Reset for reuse at a new time, keeping allocations.
@@ -118,7 +126,9 @@ mod tests {
         let mut ctx = OpContext::new(Timestamp::from_secs(5));
         ctx.emit(t());
         ctx.emit(t());
-        ctx.control(ControlAction::Activate { targets: vec!["rain".into()] });
+        ctx.control(ControlAction::Activate {
+            targets: vec!["rain".into()],
+        });
         ctx.drop_tuple();
         assert_eq!(ctx.emitted().len(), 2);
         assert_eq!(ctx.controls().len(), 1);
@@ -136,10 +146,14 @@ mod tests {
 
     #[test]
     fn control_action_accessors() {
-        let a = ControlAction::Activate { targets: vec!["x".into(), "y".into()] };
+        let a = ControlAction::Activate {
+            targets: vec!["x".into(), "y".into()],
+        };
         assert!(a.is_activate());
         assert_eq!(a.targets().len(), 2);
-        let d = ControlAction::Deactivate { targets: vec!["x".into()] };
+        let d = ControlAction::Deactivate {
+            targets: vec!["x".into()],
+        };
         assert!(!d.is_activate());
         assert_eq!(d.targets(), &["x".to_string()]);
     }

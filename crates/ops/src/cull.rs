@@ -40,11 +40,20 @@ pub struct CullTimeOp {
 impl CullTimeOp {
     /// Keep 1 of every `rate` tuples whose timestamp is in `interval`.
     /// `rate` must be ≥ 1.
-    pub fn new(interval: TimeInterval, rate: u64, input_schema: &SchemaRef) -> Result<CullTimeOp, OpError> {
+    pub fn new(
+        interval: TimeInterval,
+        rate: u64,
+        input_schema: &SchemaRef,
+    ) -> Result<CullTimeOp, OpError> {
         if rate == 0 {
             return Err(OpError::BadSpec("cull rate must be >= 1".into()));
         }
-        Ok(CullTimeOp { interval, rate, schema: input_schema.clone(), state: Decimator::default() })
+        Ok(CullTimeOp {
+            interval,
+            rate,
+            schema: input_schema.clone(),
+            state: Decimator::default(),
+        })
     }
 
     /// The targeted interval.
@@ -69,7 +78,10 @@ impl Operator for CullTimeOp {
 
     fn on_tuple(&mut self, port: usize, tuple: Tuple, ctx: &mut OpContext) -> Result<(), OpError> {
         if port != 0 {
-            return Err(OpError::BadPort { kind: self.kind(), port });
+            return Err(OpError::BadPort {
+                kind: self.kind(),
+                port,
+            });
         }
         if self.interval.contains(tuple.meta.timestamp) && !self.state.keep(self.rate) {
             ctx.drop_tuple();
@@ -92,11 +104,20 @@ pub struct CullSpaceOp {
 
 impl CullSpaceOp {
     /// Keep 1 of every `rate` tuples positioned inside `area`.
-    pub fn new(area: BoundingBox, rate: u64, input_schema: &SchemaRef) -> Result<CullSpaceOp, OpError> {
+    pub fn new(
+        area: BoundingBox,
+        rate: u64,
+        input_schema: &SchemaRef,
+    ) -> Result<CullSpaceOp, OpError> {
         if rate == 0 {
             return Err(OpError::BadSpec("cull rate must be >= 1".into()));
         }
-        Ok(CullSpaceOp { area, rate, schema: input_schema.clone(), state: Decimator::default() })
+        Ok(CullSpaceOp {
+            area,
+            rate,
+            schema: input_schema.clone(),
+            state: Decimator::default(),
+        })
     }
 
     /// The targeted area.
@@ -121,7 +142,10 @@ impl Operator for CullSpaceOp {
 
     fn on_tuple(&mut self, port: usize, tuple: Tuple, ctx: &mut OpContext) -> Result<(), OpError> {
         if port != 0 {
-            return Err(OpError::BadPort { kind: self.kind(), port });
+            return Err(OpError::BadPort {
+                kind: self.kind(),
+                port,
+            });
         }
         let inside = tuple.meta.location.is_some_and(|p| self.area.contains(&p));
         if inside && !self.state.keep(self.rate) {
@@ -136,12 +160,12 @@ impl Operator for CullSpaceOp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sl_stt::{
-        AttrType, Field, GeoPoint, Schema, SensorId, SttMeta, Theme, Timestamp, Value,
-    };
+    use sl_stt::{AttrType, Field, GeoPoint, Schema, SensorId, SttMeta, Theme, Timestamp, Value};
 
     fn schema() -> SchemaRef {
-        Schema::new(vec![Field::new("v", AttrType::Int)]).unwrap().into_ref()
+        Schema::new(vec![Field::new("v", AttrType::Int)])
+            .unwrap()
+            .into_ref()
     }
 
     fn tuple_at(sec: i64, lat: f64) -> Tuple {
@@ -170,7 +194,11 @@ mod tests {
         assert_eq!(ctx.emitted().len(), 4);
         assert_eq!(ctx.dropped(), 6);
         // Kept tuples are every third: 10, 13, 16, 19.
-        let kept: Vec<i64> = ctx.emitted().iter().map(|t| t.get("v").unwrap().as_i64().unwrap()).collect();
+        let kept: Vec<i64> = ctx
+            .emitted()
+            .iter()
+            .map(|t| t.get("v").unwrap().as_i64().unwrap())
+            .collect();
         assert_eq!(kept, vec![10, 13, 16, 19]);
     }
 
@@ -246,7 +274,7 @@ mod tests {
     }
 
     #[test]
-    fn reduction_ratio_approaches_rate(){
+    fn reduction_ratio_approaches_rate() {
         let interval = TimeInterval::new(Timestamp::from_secs(0), Timestamp::from_secs(100_000));
         for rate in [2u64, 5, 10] {
             let mut op = CullTimeOp::new(interval, rate, &schema()).unwrap();
@@ -257,7 +285,10 @@ mod tests {
             }
             let kept = ctx.emitted().len() as f64;
             let expect = n as f64 / rate as f64;
-            assert!((kept - expect).abs() <= 1.0, "rate {rate}: kept {kept}, expected {expect}");
+            assert!(
+                (kept - expect).abs() <= 1.0,
+                "rate {rate}: kept {kept}, expected {expect}"
+            );
         }
     }
 }

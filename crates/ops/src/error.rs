@@ -59,7 +59,10 @@ mod tests {
         assert!(e.to_string().contains("division"));
         let e: OpError = SttError::UnknownAttribute("x".into()).into();
         assert!(e.to_string().contains('x'));
-        let e = OpError::BadPort { kind: "filter", port: 3 };
+        let e = OpError::BadPort {
+            kind: "filter",
+            port: 3,
+        };
         assert!(e.to_string().contains("filter") && e.to_string().contains('3'));
     }
 }

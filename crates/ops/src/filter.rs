@@ -17,8 +17,12 @@ pub struct FilterOp {
 impl FilterOp {
     /// Compile a filter over streams with the given schema.
     pub fn new(condition: &str, input_schema: &SchemaRef) -> Result<FilterOp, OpError> {
-        let predicate = CompiledExpr::compile_predicate(condition, input_schema)?;
-        Ok(FilterOp { predicate, schema: input_schema.clone() })
+        let predicate = CompiledExpr::compile_predicate(condition, input_schema)
+            .map_err(|e| e.with_context("filter condition"))?;
+        Ok(FilterOp {
+            predicate,
+            schema: input_schema.clone(),
+        })
     }
 
     /// The compiled condition.
@@ -38,7 +42,10 @@ impl Operator for FilterOp {
 
     fn on_tuple(&mut self, port: usize, tuple: Tuple, ctx: &mut OpContext) -> Result<(), OpError> {
         if port != 0 {
-            return Err(OpError::BadPort { kind: self.kind(), port });
+            return Err(OpError::BadPort {
+                kind: self.kind(),
+                port,
+            });
         }
         if self.predicate.eval_predicate(&tuple)? {
             ctx.emit(tuple);

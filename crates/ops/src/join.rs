@@ -59,7 +59,8 @@ impl JoinOp {
             return Err(OpError::BadSpec("join period must be positive".into()));
         }
         let joined = left_schema.join(right_schema);
-        let compiled = CompiledExpr::compile_predicate(predicate, &joined)?;
+        let compiled = CompiledExpr::compile_predicate(predicate, &joined)
+            .map_err(|e| e.with_context("join predicate"))?;
         let equi = find_equi_key(compiled.expr(), left_schema, right_schema);
         Ok(JoinOp {
             period,
@@ -105,10 +106,16 @@ impl JoinOp {
 /// key. Walks the left spine of `and`s.
 fn find_equi_key(expr: &Expr, left: &SchemaRef, right: &SchemaRef) -> Option<EquiKey> {
     match expr {
-        Expr::Binary { op: BinOp::And, left: l, right: r } => {
-            find_equi_key(l, left, right).or_else(|| find_equi_key(r, left, right))
-        }
-        Expr::Binary { op: BinOp::Eq, left: a, right: b } => {
+        Expr::Binary {
+            op: BinOp::And,
+            left: l,
+            right: r,
+        } => find_equi_key(l, left, right).or_else(|| find_equi_key(r, left, right)),
+        Expr::Binary {
+            op: BinOp::Eq,
+            left: a,
+            right: b,
+        } => {
             let (Expr::Attr(x), Expr::Attr(y)) = (a.as_ref(), b.as_ref()) else {
                 return None;
             };
@@ -116,10 +123,10 @@ fn find_equi_key(expr: &Expr, left: &SchemaRef, right: &SchemaRef) -> Option<Equ
             // right attribute (possibly `right_`-prefixed).
             let resolve = |name: &str| -> (Option<usize>, Option<usize>) {
                 let l_idx = left.index_of(name).ok();
-                let r_idx = right
-                    .index_of(name)
-                    .ok()
-                    .or_else(|| name.strip_prefix("right_").and_then(|n| right.index_of(n).ok()));
+                let r_idx = right.index_of(name).ok().or_else(|| {
+                    name.strip_prefix("right_")
+                        .and_then(|n| right.index_of(n).ok())
+                });
                 (l_idx, r_idx)
             };
             let (xl, xr) = resolve(x);
@@ -128,8 +135,14 @@ fn find_equi_key(expr: &Expr, left: &SchemaRef, right: &SchemaRef) -> Option<Equ
             // binds left (matching Schema::join semantics where collisions
             // keep the left name).
             match (xl, yr, yl, xr) {
-                (Some(li), Some(ri), _, _) => Some(EquiKey { left_idx: li, right_idx: ri }),
-                (_, _, Some(li), Some(ri)) => Some(EquiKey { left_idx: li, right_idx: ri }),
+                (Some(li), Some(ri), _, _) => Some(EquiKey {
+                    left_idx: li,
+                    right_idx: ri,
+                }),
+                (_, _, Some(li), Some(ri)) => Some(EquiKey {
+                    left_idx: li,
+                    right_idx: ri,
+                }),
                 _ => None,
             }
         }
@@ -198,7 +211,12 @@ impl Operator for JoinOp {
         match port {
             0 => self.left.push(tuple),
             1 => self.right.push(tuple),
-            p => return Err(OpError::BadPort { kind: self.kind(), port: p }),
+            p => {
+                return Err(OpError::BadPort {
+                    kind: self.kind(),
+                    port: p,
+                })
+            }
         }
         Ok(())
     }
@@ -214,14 +232,18 @@ impl Operator for JoinOp {
                 // Hash join: build on right, probe with left.
                 let mut table: HashMap<u64, Vec<&Tuple>> = HashMap::with_capacity(right.len());
                 for r in &right {
-                    let Some(v) = r.get_at(key.right_idx) else { continue };
+                    let Some(v) = r.get_at(key.right_idx) else {
+                        continue;
+                    };
                     if v.is_null() {
                         continue; // null never equi-joins
                     }
                     table.entry(value_key(v)).or_default().push(r);
                 }
                 for l in &left {
-                    let Some(v) = l.get_at(key.left_idx) else { continue };
+                    let Some(v) = l.get_at(key.left_idx) else {
+                        continue;
+                    };
                     if v.is_null() {
                         continue;
                     }
@@ -389,7 +411,13 @@ mod tests {
     fn hash_and_nested_agree() {
         let pred = "station = right_station and temperature > 20";
         let mk = || {
-            JoinOp::new(Duration::from_secs(10), pred, &left_schema(), &right_schema()).unwrap()
+            JoinOp::new(
+                Duration::from_secs(10),
+                pred,
+                &left_schema(),
+                &right_schema(),
+            )
+            .unwrap()
         };
         let lefts: Vec<_> = (0..20)
             .map(|i| ltuple(if i % 3 == 0 { "osaka" } else { "kyoto" }, 15.0 + i as f64))
@@ -423,7 +451,11 @@ mod tests {
         )
         .unwrap();
         assert!(!op.is_equi_join());
-        let out = run_join(&mut op, vec![ltuple("a", 10.0)], vec![rtuple("b", 12.0), rtuple("c", 30.0)]);
+        let out = run_join(
+            &mut op,
+            vec![ltuple("a", 10.0)],
+            vec![rtuple("b", 12.0), rtuple("c", 30.0)],
+        );
         assert_eq!(out.len(), 1);
     }
 
@@ -456,7 +488,11 @@ mod tests {
             &right_schema(),
         )
         .unwrap();
-        let out = run_join(&mut op, vec![ltuple("osaka", 1.0)], vec![rtuple("osaka", 2.0)]);
+        let out = run_join(
+            &mut op,
+            vec![ltuple("osaka", 1.0)],
+            vec![rtuple("osaka", 2.0)],
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(op.cached(), (0, 0));
         // Next window with only a left tuple: the old right side is gone.
@@ -484,9 +520,15 @@ mod tests {
     #[test]
     fn numeric_cross_type_keys_join() {
         // Left Int key, right Float key with integral value.
-        let ls = Schema::new(vec![Field::new("k", AttrType::Int)]).unwrap().into_ref();
-        let rs = Schema::new(vec![Field::new("k", AttrType::Float)]).unwrap().into_ref();
-        let meta = || SttMeta::without_location(Timestamp::from_secs(0), Theme::unclassified(), SensorId(0));
+        let ls = Schema::new(vec![Field::new("k", AttrType::Int)])
+            .unwrap()
+            .into_ref();
+        let rs = Schema::new(vec![Field::new("k", AttrType::Float)])
+            .unwrap()
+            .into_ref();
+        let meta = || {
+            SttMeta::without_location(Timestamp::from_secs(0), Theme::unclassified(), SensorId(0))
+        };
         let l = Tuple::new(ls.clone(), vec![Value::Int(25)], meta()).unwrap();
         let r = Tuple::new(rs.clone(), vec![Value::Float(25.0)], meta()).unwrap();
         let mut op = JoinOp::new(Duration::from_secs(10), "k = right_k", &ls, &rs).unwrap();
@@ -517,8 +559,26 @@ mod tests {
 
     #[test]
     fn bad_specs_rejected() {
-        assert!(JoinOp::new(Duration::ZERO, "station = right_station", &left_schema(), &right_schema()).is_err());
-        assert!(JoinOp::new(Duration::from_secs(1), "temperature + rain", &left_schema(), &right_schema()).is_err());
-        assert!(JoinOp::new(Duration::from_secs(1), "nope = right_station", &left_schema(), &right_schema()).is_err());
+        assert!(JoinOp::new(
+            Duration::ZERO,
+            "station = right_station",
+            &left_schema(),
+            &right_schema()
+        )
+        .is_err());
+        assert!(JoinOp::new(
+            Duration::from_secs(1),
+            "temperature + rain",
+            &left_schema(),
+            &right_schema()
+        )
+        .is_err());
+        assert!(JoinOp::new(
+            Duration::from_secs(1),
+            "nope = right_station",
+            &left_schema(),
+            &right_schema()
+        )
+        .is_err());
     }
 }

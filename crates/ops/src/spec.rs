@@ -157,8 +157,10 @@ impl OpSpec {
         Ok(match self {
             OpSpec::Filter { condition } => Box::new(FilterOp::new(condition, &inputs[0])?),
             OpSpec::Transform { assignments } => {
-                let pairs: Vec<(&str, &str)> =
-                    assignments.iter().map(|(a, e)| (a.as_str(), e.as_str())).collect();
+                let pairs: Vec<(&str, &str)> = assignments
+                    .iter()
+                    .map(|(a, e)| (a.as_str(), e.as_str()))
+                    .collect();
                 Box::new(TransformOp::new(&pairs, &inputs[0])?)
             }
             OpSpec::VirtualProperty { property, spec } => {
@@ -167,8 +169,16 @@ impl OpSpec {
             OpSpec::CullTime { interval, rate } => {
                 Box::new(CullTimeOp::new(*interval, *rate, &inputs[0])?)
             }
-            OpSpec::CullSpace { area, rate } => Box::new(CullSpaceOp::new(*area, *rate, &inputs[0])?),
-            OpSpec::Aggregate { period, group_by, func, attr, sliding } => {
+            OpSpec::CullSpace { area, rate } => {
+                Box::new(CullSpaceOp::new(*area, *rate, &inputs[0])?)
+            }
+            OpSpec::Aggregate {
+                period,
+                group_by,
+                func,
+                attr,
+                sliding,
+            } => {
                 let groups: Vec<&str> = group_by.iter().map(String::as_str).collect();
                 match sliding {
                     Some(span) => Box::new(AggregateOp::sliding(
@@ -191,7 +201,11 @@ impl OpSpec {
             OpSpec::Join { period, predicate } => {
                 Box::new(JoinOp::new(*period, predicate, &inputs[0], &inputs[1])?)
             }
-            OpSpec::TriggerOn { period, condition, targets } => {
+            OpSpec::TriggerOn {
+                period,
+                condition,
+                targets,
+            } => {
                 let t: Vec<&str> = targets.iter().map(String::as_str).collect();
                 Box::new(TriggerOp::new(
                     TriggerDirection::On,
@@ -202,7 +216,11 @@ impl OpSpec {
                     &inputs[0],
                 )?)
             }
-            OpSpec::TriggerOff { period, condition, targets } => {
+            OpSpec::TriggerOff {
+                period,
+                condition,
+                targets,
+            } => {
                 let t: Vec<&str> = targets.iter().map(String::as_str).collect();
                 Box::new(TriggerOp::new(
                     TriggerDirection::Off,
@@ -242,7 +260,13 @@ impl fmt::Display for OpSpec {
             OpSpec::VirtualProperty { property, spec } => write!(f, "⊎s⟨{property}, {spec}⟩"),
             OpSpec::CullTime { interval, rate } => write!(f, "γ{rate}(s, {interval})"),
             OpSpec::CullSpace { area, rate } => write!(f, "γ{rate}(s, {area})"),
-            OpSpec::Aggregate { period, group_by, func, attr, sliding } => {
+            OpSpec::Aggregate {
+                period,
+                group_by,
+                func,
+                attr,
+                sliding,
+            } => {
                 write!(f, "@{period}")?;
                 if let Some(span) = sliding {
                     write!(f, "~{span}")?;
@@ -254,11 +278,23 @@ impl fmt::Display for OpSpec {
                 Ok(())
             }
             OpSpec::Join { period, predicate } => write!(f, "s1 ⋈[{period}, {predicate}] s2"),
-            OpSpec::TriggerOn { period, condition, targets } => {
+            OpSpec::TriggerOn {
+                period,
+                condition,
+                targets,
+            } => {
                 write!(f, "⊕ON,{period}(s, {{{}}}, {condition})", targets.join(","))
             }
-            OpSpec::TriggerOff { period, condition, targets } => {
-                write!(f, "⊕OFF,{period}(s, {{{}}}, {condition})", targets.join(","))
+            OpSpec::TriggerOff {
+                period,
+                condition,
+                targets,
+            } => {
+                write!(
+                    f,
+                    "⊕OFF,{period}(s, {{{}}}, {condition})",
+                    targets.join(",")
+                )
             }
         }
     }
@@ -281,7 +317,9 @@ mod tests {
 
     fn all_unary_specs() -> Vec<OpSpec> {
         vec![
-            OpSpec::Filter { condition: "temperature > 25".into() },
+            OpSpec::Filter {
+                condition: "temperature > 25".into(),
+            },
             OpSpec::Transform {
                 assignments: vec![("temperature".into(), "temperature * 2".into())],
             },
@@ -304,7 +342,8 @@ mod tests {
                 period: Duration::from_secs(60),
                 group_by: vec![],
                 func: AggFunc::Avg,
-                attr: Some("temperature".into()), sliding: None,
+                attr: Some("temperature".into()),
+                sliding: None,
             },
             OpSpec::TriggerOn {
                 period: Duration::from_secs(60),
@@ -340,21 +379,29 @@ mod tests {
 
     #[test]
     fn arity_mismatch_rejected() {
-        let filter = OpSpec::Filter { condition: "temperature > 0".into() };
+        let filter = OpSpec::Filter {
+            condition: "temperature > 0".into(),
+        };
         assert!(filter.instantiate(&[schema(), schema()]).is_err());
-        let join = OpSpec::Join { period: Duration::from_secs(1), predicate: "true".into() };
+        let join = OpSpec::Join {
+            period: Duration::from_secs(1),
+            predicate: "true".into(),
+        };
         assert!(join.instantiate(&[schema()]).is_err());
     }
 
     #[test]
     fn invalid_inner_specs_propagate() {
-        let bad = OpSpec::Filter { condition: "missing > 0".into() };
+        let bad = OpSpec::Filter {
+            condition: "missing > 0".into(),
+        };
         assert!(bad.output_schema(&[schema()]).is_err());
         let bad = OpSpec::Aggregate {
             period: Duration::ZERO,
             group_by: vec![],
             func: AggFunc::Count,
-            attr: None, sliding: None,
+            attr: None,
+            sliding: None,
         };
         assert!(bad.instantiate(&[schema()]).is_err());
     }
@@ -364,8 +411,15 @@ mod tests {
         // Table 1: non-blocking = filter, cull-time/space, transform,
         // virtual property; blocking = aggregation, trigger, join.
         let blocking: Vec<bool> = all_unary_specs().iter().map(OpSpec::is_blocking).collect();
-        assert_eq!(blocking, vec![false, false, false, false, false, true, true, true]);
-        assert!(OpSpec::Join { period: Duration::from_secs(1), predicate: "true".into() }.is_blocking());
+        assert_eq!(
+            blocking,
+            vec![false, false, false, false, false, true, true, true]
+        );
+        assert!(OpSpec::Join {
+            period: Duration::from_secs(1),
+            predicate: "true".into()
+        }
+        .is_blocking());
     }
 
     #[test]
@@ -376,7 +430,11 @@ mod tests {
             targets: vec!["a".into(), "b".into()],
         };
         assert_eq!(spec.trigger_targets().unwrap().len(), 2);
-        assert!(OpSpec::Filter { condition: "x".into() }.trigger_targets().is_none());
+        assert!(OpSpec::Filter {
+            condition: "x".into()
+        }
+        .trigger_targets()
+        .is_none());
     }
 
     #[test]
@@ -385,11 +443,14 @@ mod tests {
             period: Duration::from_secs(60),
             group_by: vec!["station".into()],
             func: AggFunc::Avg,
-            attr: Some("temperature".into()), sliding: None,
+            attr: Some("temperature".into()),
+            sliding: None,
         };
         let s = spec.to_string();
         assert!(s.contains('@') && s.contains("avg") && s.contains("station"));
-        let spec = OpSpec::Filter { condition: "t > 1".into() };
+        let spec = OpSpec::Filter {
+            condition: "t > 1".into(),
+        };
         assert_eq!(spec.to_string(), "σ(s, t > 1)");
     }
 

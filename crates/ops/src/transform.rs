@@ -34,9 +34,14 @@ impl TransformOp {
     /// Build from `(attribute, expression)` pairs. Each attribute must exist
     /// in the input schema; the output schema keeps the same attribute
     /// names, with types updated to the expressions' static types.
-    pub fn new(assignments: &[(&str, &str)], input_schema: &SchemaRef) -> Result<TransformOp, OpError> {
+    pub fn new(
+        assignments: &[(&str, &str)],
+        input_schema: &SchemaRef,
+    ) -> Result<TransformOp, OpError> {
         if assignments.is_empty() {
-            return Err(OpError::BadSpec("transform needs at least one assignment".into()));
+            return Err(OpError::BadSpec(
+                "transform needs at least one assignment".into(),
+            ));
         }
         let mut compiled = Vec::with_capacity(assignments.len());
         let mut out_fields: Vec<Field> = input_schema.fields().to_vec();
@@ -44,9 +49,12 @@ impl TransformOp {
         for (attr, src) in assignments {
             let idx = input_schema.index_of(attr)?;
             if compiled.iter().any(|(i, _)| *i == idx) {
-                return Err(OpError::BadSpec(format!("attribute `{attr}` assigned twice")));
+                return Err(OpError::BadSpec(format!(
+                    "attribute `{attr}` assigned twice"
+                )));
             }
-            let expr = CompiledExpr::compile(src, input_schema)?;
+            let expr = CompiledExpr::compile(src, input_schema)
+                .map_err(|e| e.with_context(format!("assignment to `{attr}`")))?;
             // Output field type follows the expression; a null-typed
             // expression keeps the declared type.
             if let ExprType::Exact(t) = expr.result_type() {
@@ -97,7 +105,10 @@ impl Operator for TransformOp {
 
     fn on_tuple(&mut self, port: usize, tuple: Tuple, ctx: &mut OpContext) -> Result<(), OpError> {
         if port != 0 {
-            return Err(OpError::BadPort { kind: self.kind(), port });
+            return Err(OpError::BadPort {
+                kind: self.kind(),
+                port,
+            });
         }
         debug_assert_eq!(tuple.schema().len(), self.in_schema.len());
         // Evaluate all right-hand sides against the input first.
@@ -160,9 +171,11 @@ mod tests {
 
     #[test]
     fn yards_to_meters() {
-        let mut op = TransformOp::unit_conversion("distance", Unit::Yard, Unit::Meter, &schema()).unwrap();
+        let mut op =
+            TransformOp::unit_conversion("distance", Unit::Yard, Unit::Meter, &schema()).unwrap();
         let mut ctx = OpContext::new(Timestamp::from_secs(0));
-        op.on_tuple(0, tuple(100.0, "2016-03-15", 0.0, 0.0), &mut ctx).unwrap();
+        op.on_tuple(0, tuple(100.0, "2016-03-15", 0.0, 0.0), &mut ctx)
+            .unwrap();
         let out = &ctx.emitted()[0];
         assert_eq!(out.get("distance").unwrap(), &Value::Float(91.44));
         // Other attributes pass through untouched.
@@ -177,9 +190,14 @@ mod tests {
         )
         .unwrap();
         let mut ctx = OpContext::new(Timestamp::from_secs(0));
-        op.on_tuple(0, tuple(0.0, "2016-03-15", 0.0, 0.0), &mut ctx).unwrap();
-        op.on_tuple(0, tuple(0.0, "2016-13-99", 0.0, 0.0), &mut ctx).unwrap();
-        assert_eq!(ctx.emitted()[0].get("when").unwrap(), &Value::Str("2016-03-15".into()));
+        op.on_tuple(0, tuple(0.0, "2016-03-15", 0.0, 0.0), &mut ctx)
+            .unwrap();
+        op.on_tuple(0, tuple(0.0, "2016-13-99", 0.0, 0.0), &mut ctx)
+            .unwrap();
+        assert_eq!(
+            ctx.emitted()[0].get("when").unwrap(),
+            &Value::Str("2016-03-15".into())
+        );
         assert_eq!(ctx.emitted()[1].get("when").unwrap(), &Value::Null);
     }
 
@@ -219,5 +237,13 @@ mod tests {
         assert_eq!(op.assignments(), &[("a".to_string(), "a + 1".to_string())]);
         assert_eq!(op.kind(), "transform");
         assert!(!op.is_blocking());
+    }
+
+    #[test]
+    fn compile_error_names_the_assignment() {
+        let err = TransformOp::new(&[("a", "wind + 1")], &schema()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("assignment to `a`"), "{msg}");
+        assert!(msg.contains("wind"), "{msg}");
     }
 }

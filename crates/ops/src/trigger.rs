@@ -70,9 +70,12 @@ impl TriggerOp {
             return Err(OpError::BadSpec("trigger period must be positive".into()));
         }
         if targets.is_empty() {
-            return Err(OpError::BadSpec("trigger needs at least one target stream".into()));
+            return Err(OpError::BadSpec(
+                "trigger needs at least one target stream".into(),
+            ));
         }
-        let condition = CompiledExpr::compile_predicate(condition, input_schema)?;
+        let condition = CompiledExpr::compile_predicate(condition, input_schema)
+            .map_err(|e| e.with_context("trigger condition"))?;
         Ok(TriggerOp {
             direction,
             period,
@@ -92,7 +95,14 @@ impl TriggerOp {
         targets: &[&str],
         input_schema: &SchemaRef,
     ) -> Result<TriggerOp, OpError> {
-        TriggerOp::new(TriggerDirection::On, period, condition, TriggerMode::Any, targets, input_schema)
+        TriggerOp::new(
+            TriggerDirection::On,
+            period,
+            condition,
+            TriggerMode::Any,
+            targets,
+            input_schema,
+        )
     }
 
     /// Convenience constructor for `⊕OFF`.
@@ -102,7 +112,14 @@ impl TriggerOp {
         targets: &[&str],
         input_schema: &SchemaRef,
     ) -> Result<TriggerOp, OpError> {
-        TriggerOp::new(TriggerDirection::Off, period, condition, TriggerMode::Any, targets, input_schema)
+        TriggerOp::new(
+            TriggerDirection::Off,
+            period,
+            condition,
+            TriggerMode::Any,
+            targets,
+            input_schema,
+        )
     }
 
     /// The trigger's direction.
@@ -140,7 +157,10 @@ impl Operator for TriggerOp {
 
     fn on_tuple(&mut self, port: usize, tuple: Tuple, ctx: &mut OpContext) -> Result<(), OpError> {
         if port != 0 {
-            return Err(OpError::BadPort { kind: self.kind(), port });
+            return Err(OpError::BadPort {
+                kind: self.kind(),
+                port,
+            });
         }
         // Observed tuples pass through; a clone is cached for the tick.
         self.cache.push(tuple.clone());
@@ -178,8 +198,12 @@ impl Operator for TriggerOp {
         if verified {
             self.fired += 1;
             let action = match self.direction {
-                TriggerDirection::On => ControlAction::Activate { targets: self.targets.clone() },
-                TriggerDirection::Off => ControlAction::Deactivate { targets: self.targets.clone() },
+                TriggerDirection::On => ControlAction::Activate {
+                    targets: self.targets.clone(),
+                },
+                TriggerDirection::Off => ControlAction::Deactivate {
+                    targets: self.targets.clone(),
+                },
             };
             ctx.control(action);
         }
@@ -259,15 +283,22 @@ mod tests {
         assert_eq!(controls.len(), 1);
         assert_eq!(
             controls[0],
-            ControlAction::Activate { targets: vec!["rain".into(), "tweets".into(), "traffic".into()] }
+            ControlAction::Activate {
+                targets: vec!["rain".into(), "tweets".into(), "traffic".into()]
+            }
         );
         assert_eq!(op.fired(), 1);
     }
 
     #[test]
     fn trigger_does_not_fire_below_threshold() {
-        let mut op = TriggerOp::on(Duration::from_secs(60), "avg_temperature > 25", &["x"], &schema())
-            .unwrap();
+        let mut op = TriggerOp::on(
+            Duration::from_secs(60),
+            "avg_temperature > 25",
+            &["x"],
+            &schema(),
+        )
+        .unwrap();
         let (_, controls) = tick(&mut op, &[20.0, 24.9]);
         assert!(controls.is_empty());
         assert_eq!(op.fired(), 0);
@@ -275,11 +306,21 @@ mod tests {
 
     #[test]
     fn trigger_off_emits_deactivate() {
-        let mut op = TriggerOp::off(Duration::from_secs(60), "avg_temperature < 20", &["rain"], &schema())
-            .unwrap();
+        let mut op = TriggerOp::off(
+            Duration::from_secs(60),
+            "avg_temperature < 20",
+            &["rain"],
+            &schema(),
+        )
+        .unwrap();
         assert_eq!(op.kind(), "trigger_off");
         let (_, controls) = tick(&mut op, &[15.0]);
-        assert_eq!(controls, vec![ControlAction::Deactivate { targets: vec!["rain".into()] }]);
+        assert_eq!(
+            controls,
+            vec![ControlAction::Deactivate {
+                targets: vec!["rain".into()]
+            }]
+        );
     }
 
     #[test]
@@ -301,16 +342,26 @@ mod tests {
 
     #[test]
     fn empty_window_never_fires() {
-        let mut op = TriggerOp::on(Duration::from_secs(60), "avg_temperature > 25", &["x"], &schema())
-            .unwrap();
+        let mut op = TriggerOp::on(
+            Duration::from_secs(60),
+            "avg_temperature > 25",
+            &["x"],
+            &schema(),
+        )
+        .unwrap();
         let (_, controls) = tick(&mut op, &[]);
         assert!(controls.is_empty());
     }
 
     #[test]
     fn cache_tumbles_between_ticks() {
-        let mut op = TriggerOp::on(Duration::from_secs(60), "avg_temperature > 25", &["x"], &schema())
-            .unwrap();
+        let mut op = TriggerOp::on(
+            Duration::from_secs(60),
+            "avg_temperature > 25",
+            &["x"],
+            &schema(),
+        )
+        .unwrap();
         let (_, c1) = tick(&mut op, &[30.0]);
         assert_eq!(c1.len(), 1);
         // The hot tuple from the previous window must not re-fire.
@@ -320,8 +371,13 @@ mod tests {
 
     #[test]
     fn fires_once_per_window_not_per_tuple() {
-        let mut op = TriggerOp::on(Duration::from_secs(60), "avg_temperature > 25", &["x"], &schema())
-            .unwrap();
+        let mut op = TriggerOp::on(
+            Duration::from_secs(60),
+            "avg_temperature > 25",
+            &["x"],
+            &schema(),
+        )
+        .unwrap();
         let (_, controls) = tick(&mut op, &[26.0, 27.0, 28.0, 29.0]);
         assert_eq!(controls.len(), 1);
     }
@@ -329,15 +385,32 @@ mod tests {
     #[test]
     fn bad_specs_rejected() {
         assert!(TriggerOp::on(Duration::ZERO, "avg_temperature > 25", &["x"], &schema()).is_err());
-        assert!(TriggerOp::on(Duration::from_secs(1), "avg_temperature > 25", &[], &schema()).is_err());
-        assert!(TriggerOp::on(Duration::from_secs(1), "avg_temperature + 1", &["x"], &schema()).is_err());
+        assert!(TriggerOp::on(
+            Duration::from_secs(1),
+            "avg_temperature > 25",
+            &[],
+            &schema()
+        )
+        .is_err());
+        assert!(TriggerOp::on(
+            Duration::from_secs(1),
+            "avg_temperature + 1",
+            &["x"],
+            &schema()
+        )
+        .is_err());
         assert!(TriggerOp::on(Duration::from_secs(1), "missing > 1", &["x"], &schema()).is_err());
     }
 
     #[test]
     fn is_blocking() {
-        let op = TriggerOp::on(Duration::from_secs(60), "avg_temperature > 25", &["x"], &schema())
-            .unwrap();
+        let op = TriggerOp::on(
+            Duration::from_secs(60),
+            "avg_temperature > 25",
+            &["x"],
+            &schema(),
+        )
+        .unwrap();
         assert!(op.is_blocking());
         assert_eq!(op.timer_period(), Some(Duration::from_secs(60)));
         assert_eq!(op.targets(), &["x".to_string()]);

@@ -23,8 +23,13 @@ pub struct VirtualPropertyOp {
 impl VirtualPropertyOp {
     /// Add attribute `property` computed by `spec` to streams of
     /// `input_schema`. The property name must be fresh.
-    pub fn new(property: &str, spec: &str, input_schema: &SchemaRef) -> Result<VirtualPropertyOp, OpError> {
-        let compiled = CompiledExpr::compile(spec, input_schema)?;
+    pub fn new(
+        property: &str,
+        spec: &str,
+        input_schema: &SchemaRef,
+    ) -> Result<VirtualPropertyOp, OpError> {
+        let compiled = CompiledExpr::compile(spec, input_schema)
+            .map_err(|e| e.with_context(format!("specification of property `{property}`")))?;
         let ty = match compiled.result_type() {
             ExprType::Exact(t) => t,
             // A constantly-null property defaults to Float (numeric holes).
@@ -34,7 +39,11 @@ impl VirtualPropertyOp {
             .with_field(Field::new(property, ty))
             .map_err(OpError::from)?
             .into_ref();
-        Ok(VirtualPropertyOp { property: property.to_string(), spec: compiled, out_schema })
+        Ok(VirtualPropertyOp {
+            property: property.to_string(),
+            spec: compiled,
+            out_schema,
+        })
     }
 
     /// The added attribute's name.
@@ -59,7 +68,10 @@ impl Operator for VirtualPropertyOp {
 
     fn on_tuple(&mut self, port: usize, tuple: Tuple, ctx: &mut OpContext) -> Result<(), OpError> {
         if port != 0 {
-            return Err(OpError::BadPort { kind: self.kind(), port });
+            return Err(OpError::BadPort {
+                kind: self.kind(),
+                port,
+            });
         }
         let value = self.spec.eval(&tuple)?;
         ctx.emit(tuple.extended(self.out_schema.clone(), value)?);
@@ -140,17 +152,26 @@ mod tests {
 
     #[test]
     fn chained_virtual_properties() {
-        let op1 = VirtualPropertyOp::new("at", "apparent_temperature(temperature, humidity)", &schema())
-            .unwrap();
+        let op1 = VirtualPropertyOp::new(
+            "at",
+            "apparent_temperature(temperature, humidity)",
+            &schema(),
+        )
+        .unwrap();
         // Second property can reference the first.
-        let op2 = VirtualPropertyOp::new("feels_hotter", "at > temperature", &op1.output_schema()).unwrap();
+        let op2 = VirtualPropertyOp::new("feels_hotter", "at > temperature", &op1.output_schema())
+            .unwrap();
         let mut ctx = OpContext::new(Timestamp::from_secs(0));
         let mut op1 = op1;
         let mut op2 = op2;
         op1.on_tuple(0, tuple(30.0, 90.0), &mut ctx).unwrap();
         let (mid, _) = ctx.take();
         let mut ctx2 = OpContext::new(Timestamp::from_secs(0));
-        op2.on_tuple(0, mid.into_iter().next().unwrap(), &mut ctx2).unwrap();
-        assert_eq!(ctx2.emitted()[0].get("feels_hotter").unwrap(), &Value::Bool(true));
+        op2.on_tuple(0, mid.into_iter().next().unwrap(), &mut ctx2)
+            .unwrap();
+        assert_eq!(
+            ctx2.emitted()[0].get("feels_hotter").unwrap(),
+            &Value::Bool(true)
+        );
     }
 }

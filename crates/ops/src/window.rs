@@ -89,7 +89,12 @@ pub struct SlidingWindow {
 impl SlidingWindow {
     /// A window retaining tuples stamped within the last `span`.
     pub fn new(span: Duration, strategy: EvictionStrategy) -> SlidingWindow {
-        SlidingWindow { span, strategy, tuples: VecDeque::new(), evicted: 0 }
+        SlidingWindow {
+            span,
+            strategy,
+            tuples: VecDeque::new(),
+            evicted: 0,
+        }
     }
 
     /// The window span.
@@ -163,14 +168,20 @@ mod tests {
     use sl_stt::{AttrType, Field, Schema, SchemaRef, SensorId, SttMeta, Theme, Value};
 
     fn schema() -> SchemaRef {
-        Schema::new(vec![Field::new("v", AttrType::Int)]).unwrap().into_ref()
+        Schema::new(vec![Field::new("v", AttrType::Int)])
+            .unwrap()
+            .into_ref()
     }
 
     fn tuple_at(sec: i64, v: i64) -> Tuple {
         Tuple::new(
             schema(),
             vec![Value::Int(v)],
-            SttMeta::without_location(Timestamp::from_secs(sec), Theme::unclassified(), SensorId(0)),
+            SttMeta::without_location(
+                Timestamp::from_secs(sec),
+                Theme::unclassified(),
+                SensorId(0),
+            ),
         )
         .unwrap()
     }

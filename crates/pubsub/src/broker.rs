@@ -86,7 +86,9 @@ impl Broker {
 
     /// The filter of an active subscription.
     pub fn filter_of(&self, id: SubscriptionId) -> Result<&SubscriptionFilter, PubSubError> {
-        self.subscriptions.get(&id.0).ok_or(PubSubError::UnknownSubscription(id.0))
+        self.subscriptions
+            .get(&id.0)
+            .ok_or(PubSubError::UnknownSubscription(id.0))
     }
 
     /// Number of active subscriptions.
@@ -110,7 +112,9 @@ impl Broker {
             .collect();
         self.metrics.hist("match_us").record(sw.elapsed_us());
         self.metrics.counter("publishes").inc();
-        self.metrics.counter("notifications").add(events.len() as u64);
+        self.metrics
+            .counter("notifications")
+            .add(events.len() as u64);
         Ok(events)
     }
 
@@ -131,7 +135,9 @@ impl Broker {
             .collect();
         self.metrics.hist("match_us").record(sw.elapsed_us());
         self.metrics.counter("unpublishes").inc();
-        self.metrics.counter("notifications").add(events.len() as u64);
+        self.metrics
+            .counter("notifications")
+            .add(events.len() as u64);
         Ok(events)
     }
 
@@ -205,7 +211,9 @@ mod tests {
             id: SensorId(id),
             name: format!("s{id}"),
             kind: SensorKind::Physical,
-            schema: Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref(),
+            schema: Schema::new(vec![Field::new("v", AttrType::Float)])
+                .unwrap()
+                .into_ref(),
             theme: Theme::new(theme).unwrap(),
             period: Duration::from_secs(1),
             location: Some(GeoPoint::new_unchecked(34.7, 135.5)),
@@ -240,7 +248,10 @@ mod tests {
         let events = b.unpublish(SensorId(1)).unwrap();
         assert_eq!(events.len(), 1); // only the match-all sub
         match &events[0] {
-            BrokerEvent::SensorLeft { subscription, sensor } => {
+            BrokerEvent::SensorLeft {
+                subscription,
+                sensor,
+            } => {
                 assert_eq!(*subscription, s1);
                 assert_eq!(*sensor, SensorId(1));
             }
@@ -305,7 +316,10 @@ mod tests {
         assert_eq!(dead_ad.id, SensorId(1));
         assert_eq!(events.len(), 1);
         match &events[0] {
-            BrokerEvent::SensorLeft { subscription, sensor } => {
+            BrokerEvent::SensorLeft {
+                subscription,
+                sensor,
+            } => {
                 assert_eq!(*subscription, sub);
                 assert_eq!(*sensor, SensorId(1));
             }
@@ -317,7 +331,9 @@ mod tests {
         assert_eq!(b.last_seen(SensorId(1)), None);
         assert_eq!(b.metrics_snapshot().counters["expired"], 1);
         // A second sweep finds nothing new.
-        assert!(b.sweep_stale(sl_stt::Timestamp::from_secs(11), 3).is_empty());
+        assert!(b
+            .sweep_stale(sl_stt::Timestamp::from_secs(11), 3)
+            .is_empty());
     }
 
     #[test]
@@ -325,7 +341,9 @@ mod tests {
         let mut b = Broker::new();
         b.publish(ad(1, "weather/rain")).unwrap();
         // Never heartbeated: the watchdog leaves it alone indefinitely.
-        assert!(b.sweep_stale(sl_stt::Timestamp::from_secs(3600), 3).is_empty());
+        assert!(b
+            .sweep_stale(sl_stt::Timestamp::from_secs(3600), 3)
+            .is_empty());
         assert!(b.registry().contains(SensorId(1)));
     }
 
@@ -341,7 +359,9 @@ mod tests {
         let events = b.publish(ad(1, "weather/rain")).unwrap();
         assert_eq!(events.len(), 1);
         b.heartbeat(SensorId(1), sl_stt::Timestamp::from_secs(101));
-        assert!(b.sweep_stale(sl_stt::Timestamp::from_secs(102), 3).is_empty());
+        assert!(b
+            .sweep_stale(sl_stt::Timestamp::from_secs(102), 3)
+            .is_empty());
     }
 
     #[test]

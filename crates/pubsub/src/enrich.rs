@@ -79,7 +79,9 @@ mod tests {
             id: SensorId(1),
             name: "s".into(),
             kind: SensorKind::Physical,
-            schema: Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref(),
+            schema: Schema::new(vec![Field::new("v", AttrType::Float)])
+                .unwrap()
+                .into_ref(),
             theme: Theme::new("weather/temperature").unwrap(),
             period: Duration::from_secs(1),
             location: Some(GeoPoint::new_unchecked(34.7, 135.5)),
@@ -89,7 +91,9 @@ mod tests {
 
     fn bare_tuple(ts: Timestamp) -> Tuple {
         Tuple::new(
-            Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref(),
+            Schema::new(vec![Field::new("v", AttrType::Float)])
+                .unwrap()
+                .into_ref(),
             vec![Value::Float(1.0)],
             SttMeta::without_location(ts, Theme::unclassified(), SensorId(1)),
         )
@@ -99,7 +103,12 @@ mod tests {
     #[test]
     fn fills_missing_location() {
         let mut t = bare_tuple(Timestamp::from_secs(100));
-        let r = enrich(&mut t, &ad(), Timestamp::from_secs(100), &EnrichPolicy::default());
+        let r = enrich(
+            &mut t,
+            &ad(),
+            Timestamp::from_secs(100),
+            &EnrichPolicy::default(),
+        );
         assert!(r.located);
         assert_eq!(t.meta.location, ad().location);
     }
@@ -109,7 +118,12 @@ mod tests {
         let mut t = bare_tuple(Timestamp::from_secs(100));
         let own = GeoPoint::new_unchecked(35.0, 136.0);
         t.meta.location = Some(own);
-        let r = enrich(&mut t, &ad(), Timestamp::from_secs(100), &EnrichPolicy::default());
+        let r = enrich(
+            &mut t,
+            &ad(),
+            Timestamp::from_secs(100),
+            &EnrichPolicy::default(),
+        );
         assert!(!r.located);
         assert_eq!(t.meta.location, Some(own));
     }
@@ -131,12 +145,20 @@ mod tests {
     #[test]
     fn normalizes_theme() {
         let mut t = bare_tuple(Timestamp::from_secs(1));
-        let r = enrich(&mut t, &ad(), Timestamp::from_secs(1), &EnrichPolicy::default());
+        let r = enrich(
+            &mut t,
+            &ad(),
+            Timestamp::from_secs(1),
+            &EnrichPolicy::default(),
+        );
         assert!(r.rethemed);
         assert_eq!(t.meta.theme.as_str(), "weather/temperature");
         // Disabled by policy.
         let mut t = bare_tuple(Timestamp::from_secs(1));
-        let policy = EnrichPolicy { normalize_theme: false, ..Default::default() };
+        let policy = EnrichPolicy {
+            normalize_theme: false,
+            ..Default::default()
+        };
         let r = enrich(&mut t, &ad(), Timestamp::from_secs(1), &policy);
         assert!(!r.rethemed);
         assert_eq!(t.meta.theme, Theme::unclassified());
@@ -147,7 +169,12 @@ mod tests {
         let mut a = ad();
         a.location = None;
         let mut t = bare_tuple(Timestamp::from_secs(1));
-        let r = enrich(&mut t, &a, Timestamp::from_secs(1), &EnrichPolicy::default());
+        let r = enrich(
+            &mut t,
+            &a,
+            Timestamp::from_secs(1),
+            &EnrichPolicy::default(),
+        );
         assert!(!r.located);
         assert!(t.meta.location.is_none());
     }

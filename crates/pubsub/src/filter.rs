@@ -140,9 +140,10 @@ impl SubscriptionFilter {
         }
         match (&self.area, &other.area) {
             (Some(mine), Some(theirs))
-                if !(mine.contains(&theirs.min) && mine.contains(&theirs.max)) => {
-                    return false;
-                }
+                if !(mine.contains(&theirs.min) && mine.contains(&theirs.max)) =>
+            {
+                return false;
+            }
             (Some(_), None) => return false,
             _ => {}
         }
@@ -155,7 +156,11 @@ impl SubscriptionFilter {
         // other (with identical type) — otherwise other may match sensors
         // lacking it.
         for (name, ty) in &self.required_attrs {
-            if !other.required_attrs.iter().any(|(n, t)| n == name && t == ty) {
+            if !other
+                .required_attrs
+                .iter()
+                .any(|(n, t)| n == name && t == ty)
+            {
                 return false;
             }
         }
@@ -173,7 +178,11 @@ impl SubscriptionFilter {
             _ => {}
         }
         for (name, unit) in &self.required_units {
-            if !other.required_units.iter().any(|(n, u)| n == name && u == unit) {
+            if !other
+                .required_units
+                .iter()
+                .any(|(n, u)| n == name && u == unit)
+            {
                 return false;
             }
         }
@@ -258,7 +267,14 @@ mod tests {
     use sl_netsim::NodeId;
     use sl_stt::{Field, GeoPoint, Schema, SensorId};
 
-    fn ad(name: &str, theme: &str, kind: SensorKind, lat: f64, lon: f64, period_s: u64) -> SensorAdvertisement {
+    fn ad(
+        name: &str,
+        theme: &str,
+        kind: SensorKind,
+        lat: f64,
+        lon: f64,
+        period_s: u64,
+    ) -> SensorAdvertisement {
         SensorAdvertisement {
             id: SensorId(1),
             name: name.into(),
@@ -295,14 +311,28 @@ mod tests {
         let f = SubscriptionFilter::any().with_theme(Theme::new("weather").unwrap());
         assert!(f.matches(&ad("a", "weather/rain", SensorKind::Physical, 0.0, 0.0, 1)));
         assert!(f.matches(&ad("a", "weather", SensorKind::Physical, 0.0, 0.0, 1)));
-        assert!(!f.matches(&ad("a", "traffic/congestion", SensorKind::Social, 0.0, 0.0, 1)));
+        assert!(!f.matches(&ad(
+            "a",
+            "traffic/congestion",
+            SensorKind::Social,
+            0.0,
+            0.0,
+            1
+        )));
     }
 
     #[test]
     fn area_matching_requires_location() {
         let f = SubscriptionFilter::any().with_area(osaka_box());
         assert!(f.matches(&ad("a", "weather", SensorKind::Physical, 34.69, 135.50, 1)));
-        assert!(!f.matches(&ad("a", "weather", SensorKind::Physical, 35.0116, 135.7681, 1)));
+        assert!(!f.matches(&ad(
+            "a",
+            "weather",
+            SensorKind::Physical,
+            35.0116,
+            135.7681,
+            1
+        )));
         let mut no_loc = ad("a", "weather", SensorKind::Physical, 0.0, 0.0, 1);
         no_loc.location = None;
         assert!(!f.matches(&no_loc));
@@ -315,17 +345,47 @@ mod tests {
             .require_attr("temperature", AttrType::Float)
             .with_name_glob("osaka-*")
             .with_max_period(Duration::from_secs(30));
-        let good = ad("osaka-temp-1", "weather/temperature", SensorKind::Physical, 34.7, 135.5, 10);
+        let good = ad(
+            "osaka-temp-1",
+            "weather/temperature",
+            SensorKind::Physical,
+            34.7,
+            135.5,
+            10,
+        );
         assert!(f.matches(&good));
-        assert!(!f.matches(&ad("kyoto-temp-1", "weather/temperature", SensorKind::Physical, 34.7, 135.5, 10)));
-        assert!(!f.matches(&ad("osaka-tw-1", "social/tweet", SensorKind::Social, 34.7, 135.5, 10)));
-        assert!(!f.matches(&ad("osaka-temp-2", "weather/temperature", SensorKind::Physical, 34.7, 135.5, 60)));
+        assert!(!f.matches(&ad(
+            "kyoto-temp-1",
+            "weather/temperature",
+            SensorKind::Physical,
+            34.7,
+            135.5,
+            10
+        )));
+        assert!(!f.matches(&ad(
+            "osaka-tw-1",
+            "social/tweet",
+            SensorKind::Social,
+            34.7,
+            135.5,
+            10
+        )));
+        assert!(!f.matches(&ad(
+            "osaka-temp-2",
+            "weather/temperature",
+            SensorKind::Physical,
+            34.7,
+            135.5,
+            60
+        )));
         // Required attr with wrong type fails; Int->Float coercion passes.
         let f2 = SubscriptionFilter::any().require_attr("temperature", AttrType::Str);
         assert!(!f2.matches(&good));
         let f3 = SubscriptionFilter::any().require_attr("temperature", AttrType::Float);
         assert!(f3.matches(&good));
-        assert!(!SubscriptionFilter::any().require_attr("rain", AttrType::Float).matches(&good));
+        assert!(!SubscriptionFilter::any()
+            .require_attr("rain", AttrType::Float)
+            .matches(&good));
     }
 
     #[test]
@@ -366,7 +426,14 @@ mod tests {
             ad("a", "weather/rain", SensorKind::Physical, 34.7, 135.5, 10),
             ad("b", "weather", SensorKind::Physical, 35.0, 135.76, 60),
             ad("c", "social/tweet", SensorKind::Social, 34.6, 135.4, 5),
-            ad("d", "traffic/congestion", SensorKind::Social, 34.99, 135.0, 120),
+            ad(
+                "d",
+                "traffic/congestion",
+                SensorKind::Social,
+                34.99,
+                135.0,
+                120,
+            ),
         ];
         for f in &filters {
             for g in &filters {
@@ -386,7 +453,14 @@ mod tests {
     #[test]
     fn unit_requirement_separates_fahrenheit_stations() {
         use sl_stt::Unit;
-        let mut c_ad = ad("c-station", "weather/temperature", SensorKind::Physical, 34.7, 135.5, 10);
+        let mut c_ad = ad(
+            "c-station",
+            "weather/temperature",
+            SensorKind::Physical,
+            34.7,
+            135.5,
+            10,
+        );
         let mut f_ad = c_ad.clone();
         f_ad.name = "f-station".into();
         let mk = |unit| {
@@ -403,13 +477,22 @@ mod tests {
         assert!(celsius_only.matches(&c_ad));
         assert!(!celsius_only.matches(&f_ad));
         // An unannotated attribute never satisfies a unit requirement.
-        let plain = ad("p", "weather/temperature", SensorKind::Physical, 34.7, 135.5, 10);
+        let plain = ad(
+            "p",
+            "weather/temperature",
+            SensorKind::Physical,
+            34.7,
+            135.5,
+            10,
+        );
         assert!(!celsius_only.matches(&plain));
         // Covering: the unit-free filter covers the constrained one.
         assert!(SubscriptionFilter::any().covers(&celsius_only));
         assert!(!celsius_only.covers(&SubscriptionFilter::any()));
         assert!(!celsius_only.is_any());
-        assert!(celsius_only.to_string().contains("unit temperature=celsius"));
+        assert!(celsius_only
+            .to_string()
+            .contains("unit temperature=celsius"));
     }
 
     #[test]

@@ -126,11 +126,17 @@ impl BrokerOverlay {
     /// Install a subscription at broker `at`. The filter floods through the
     /// tree (pruned by covering when enabled) so publications anywhere can
     /// find their way back.
-    pub fn subscribe(&mut self, at: BrokerId, filter: SubscriptionFilter) -> Result<u64, PubSubError> {
+    pub fn subscribe(
+        &mut self,
+        at: BrokerId,
+        filter: SubscriptionFilter,
+    ) -> Result<u64, PubSubError> {
         self.check(at)?;
         let tag = self.next_tag;
         self.next_tag += 1;
-        self.brokers[at.0 as usize].local.insert(tag, filter.clone());
+        self.brokers[at.0 as usize]
+            .local
+            .insert(tag, filter.clone());
         // Flood the filter outward from `at`.
         let mut queue: Vec<(u32, u32)> = self.brokers[at.0 as usize]
             .neighbours
@@ -176,7 +182,11 @@ impl BrokerOverlay {
             let node = &self.brokers[cur as usize];
             for (tag, f) in &node.local {
                 if f.matches(ad) {
-                    deliveries.push(Delivery { broker: BrokerId(cur), local_sub: *tag, hops });
+                    deliveries.push(Delivery {
+                        broker: BrokerId(cur),
+                        local_sub: *tag,
+                        hops,
+                    });
                 }
             }
             for nb in &node.neighbours {
@@ -217,7 +227,9 @@ mod tests {
             id: SensorId(1),
             name: "s".into(),
             kind: SensorKind::Physical,
-            schema: Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref(),
+            schema: Schema::new(vec![Field::new("v", AttrType::Float)])
+                .unwrap()
+                .into_ref(),
             theme: Theme::new(theme).unwrap(),
             period: Duration::from_secs(1),
             location: Some(GeoPoint::new_unchecked(34.7, 135.5)),
@@ -243,7 +255,14 @@ mod tests {
         let mut o = line4();
         let tag = o.subscribe(BrokerId(2), weather()).unwrap();
         let (deliveries, _) = o.publish(BrokerId(2), &ad("weather/rain")).unwrap();
-        assert_eq!(deliveries, vec![Delivery { broker: BrokerId(2), local_sub: tag, hops: 0 }]);
+        assert_eq!(
+            deliveries,
+            vec![Delivery {
+                broker: BrokerId(2),
+                local_sub: tag,
+                hops: 0
+            }]
+        );
     }
 
     #[test]
@@ -251,7 +270,14 @@ mod tests {
         let mut o = line4();
         let tag = o.subscribe(BrokerId(3), weather()).unwrap();
         let (deliveries, msgs) = o.publish(BrokerId(0), &ad("weather/rain")).unwrap();
-        assert_eq!(deliveries, vec![Delivery { broker: BrokerId(3), local_sub: tag, hops: 3 }]);
+        assert_eq!(
+            deliveries,
+            vec![Delivery {
+                broker: BrokerId(3),
+                local_sub: tag,
+                hops: 3
+            }]
+        );
         assert_eq!(msgs, 3);
     }
 

@@ -66,12 +66,16 @@ impl SensorRegistry {
 
     /// Remove a sensor (it left the network), returning its advertisement.
     pub fn unpublish(&mut self, id: SensorId) -> Result<SensorAdvertisement, PubSubError> {
-        self.sensors.remove(&id.0).ok_or(PubSubError::UnknownSensor(id.0))
+        self.sensors
+            .remove(&id.0)
+            .ok_or(PubSubError::UnknownSensor(id.0))
     }
 
     /// The advertisement of a published sensor.
     pub fn get(&self, id: SensorId) -> Result<&SensorAdvertisement, PubSubError> {
-        self.sensors.get(&id.0).ok_or(PubSubError::UnknownSensor(id.0))
+        self.sensors
+            .get(&id.0)
+            .ok_or(PubSubError::UnknownSensor(id.0))
     }
 
     /// True if the sensor is currently published.
@@ -113,9 +117,12 @@ impl SensorRegistry {
         let mut groups: BTreeMap<String, Vec<SensorId>> = BTreeMap::new();
         for ad in self.sensors.values() {
             let key = match criterion {
-                GroupCriterion::ThemeRoot => {
-                    ad.theme.segments().next().unwrap_or("unclassified").to_string()
-                }
+                GroupCriterion::ThemeRoot => ad
+                    .theme
+                    .segments()
+                    .next()
+                    .unwrap_or("unclassified")
+                    .to_string(),
                 GroupCriterion::Kind => ad.kind.to_string(),
                 GroupCriterion::Node => ad.node.to_string(),
                 GroupCriterion::SpatialCell(g) => match ad.location {
@@ -194,12 +201,21 @@ mod tests {
     use super::*;
     use sl_stt::{AttrType, Duration, Field, GeoPoint, Schema, Theme};
 
-    fn make_ad(id: u64, name: &str, theme: &str, kind: SensorKind, node: u32, lat: f64) -> SensorAdvertisement {
+    fn make_ad(
+        id: u64,
+        name: &str,
+        theme: &str,
+        kind: SensorKind,
+        node: u32,
+        lat: f64,
+    ) -> SensorAdvertisement {
         SensorAdvertisement {
             id: SensorId(id),
             name: name.into(),
             kind,
-            schema: Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref(),
+            schema: Schema::new(vec![Field::new("v", AttrType::Float)])
+                .unwrap()
+                .into_ref(),
             theme: Theme::new(theme).unwrap(),
             period: Duration::from_secs(id.max(1)),
             location: Some(GeoPoint::new_unchecked(lat, 135.5)),
@@ -209,10 +225,42 @@ mod tests {
 
     fn populated() -> SensorRegistry {
         let mut r = SensorRegistry::new();
-        r.publish(make_ad(0, "osaka-temp-0", "weather/temperature", SensorKind::Physical, 0, 34.69)).unwrap();
-        r.publish(make_ad(1, "osaka-rain-0", "weather/rain", SensorKind::Physical, 0, 34.70)).unwrap();
-        r.publish(make_ad(2, "osaka-tweet-0", "social/tweet", SensorKind::Social, 1, 34.68)).unwrap();
-        r.publish(make_ad(3, "kyoto-temp-0", "weather/temperature", SensorKind::Physical, 2, 35.01)).unwrap();
+        r.publish(make_ad(
+            0,
+            "osaka-temp-0",
+            "weather/temperature",
+            SensorKind::Physical,
+            0,
+            34.69,
+        ))
+        .unwrap();
+        r.publish(make_ad(
+            1,
+            "osaka-rain-0",
+            "weather/rain",
+            SensorKind::Physical,
+            0,
+            34.70,
+        ))
+        .unwrap();
+        r.publish(make_ad(
+            2,
+            "osaka-tweet-0",
+            "social/tweet",
+            SensorKind::Social,
+            1,
+            34.68,
+        ))
+        .unwrap();
+        r.publish(make_ad(
+            3,
+            "kyoto-temp-0",
+            "weather/temperature",
+            SensorKind::Physical,
+            2,
+            35.01,
+        ))
+        .unwrap();
         r
     }
 
@@ -239,7 +287,8 @@ mod tests {
         let id = r.allocate_id();
         assert!(id.0 >= 4);
         // Publishing a high id bumps the allocator.
-        r.publish(make_ad(100, "x", "weather", SensorKind::Physical, 0, 34.0)).unwrap();
+        r.publish(make_ad(100, "x", "weather", SensorKind::Physical, 0, 34.0))
+            .unwrap();
         assert!(r.allocate_id().0 > 100);
     }
 

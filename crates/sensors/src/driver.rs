@@ -76,8 +76,12 @@ mod tests {
 
     #[test]
     fn default_emit_encodes_sample() {
-        let schema = Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref();
-        let mut s = Constant { schema: schema.clone() };
+        let schema = Schema::new(vec![Field::new("v", AttrType::Float)])
+            .unwrap()
+            .into_ref();
+        let mut s = Constant {
+            schema: schema.clone(),
+        };
         let (payload, tuple) = s.emit(Timestamp::from_secs(9));
         assert_eq!(&payload[..], b"1.5");
         assert_eq!(tuple.meta.timestamp, Timestamp::from_secs(9));

@@ -118,7 +118,8 @@ pub fn decode_payload(
     schema: &SchemaRef,
     meta: SttMeta,
 ) -> Result<Tuple, SttError> {
-    let text = std::str::from_utf8(payload).map_err(|_| SttError::Parse("payload is not UTF-8".into()))?;
+    let text =
+        std::str::from_utf8(payload).map_err(|_| SttError::Parse("payload is not UTF-8".into()))?;
     let mut values = vec![Value::Null; schema.len()];
     match format {
         WireFormat::Csv => {
@@ -322,13 +323,21 @@ mod tests {
             let t = tuple();
             let payload = fmt.encode(&t);
             let back = decode_payload(&payload, fmt, &schema(), meta()).unwrap();
-            assert_eq!(back.get("temperature").unwrap(), &Value::Float(25.5), "{fmt:?}");
+            assert_eq!(
+                back.get("temperature").unwrap(),
+                &Value::Float(25.5),
+                "{fmt:?}"
+            );
             assert_eq!(back.get("hits").unwrap(), &Value::Int(7), "{fmt:?}");
             let g = back.get("pos").unwrap().as_geo().unwrap();
             assert!((g.lat - 34.7).abs() < 1e-9, "{fmt:?}");
             // Key-value flattens the comma-containing string; CSV/JSON keep it.
             if fmt != WireFormat::KeyValue {
-                assert_eq!(back.get("station").unwrap(), &Value::Str("osaka,main".into()), "{fmt:?}");
+                assert_eq!(
+                    back.get("station").unwrap(),
+                    &Value::Str("osaka,main".into()),
+                    "{fmt:?}"
+                );
             }
         }
     }
@@ -385,11 +394,21 @@ mod tests {
 
     #[test]
     fn json_escapes_round_trip() {
-        let s = Schema::new(vec![Field::new("msg", AttrType::Str)]).unwrap().into_ref();
-        let t = Tuple::new(s.clone(), vec![Value::Str("say \"hi\" \\ ok".into())], meta()).unwrap();
+        let s = Schema::new(vec![Field::new("msg", AttrType::Str)])
+            .unwrap()
+            .into_ref();
+        let t = Tuple::new(
+            s.clone(),
+            vec![Value::Str("say \"hi\" \\ ok".into())],
+            meta(),
+        )
+        .unwrap();
         let payload = WireFormat::Json.encode(&t);
         let back = decode_payload(&payload, WireFormat::Json, &s, meta()).unwrap();
-        assert_eq!(back.get("msg").unwrap(), &Value::Str("say \"hi\" \\ ok".into()));
+        assert_eq!(
+            back.get("msg").unwrap(),
+            &Value::Str("say \"hi\" \\ ok".into())
+        );
     }
 
     #[test]

@@ -43,7 +43,12 @@ pub struct RainProcess {
 impl RainProcess {
     /// A process starting dry.
     pub fn new(p_start: f64, p_stop: f64, mean_intensity: f64) -> RainProcess {
-        RainProcess { raining: false, p_start, p_stop, mean_intensity }
+        RainProcess {
+            raining: false,
+            p_start,
+            p_stop,
+            mean_intensity,
+        }
     }
 
     /// Advance one step and return the current intensity (mm/h, 0 when dry).
@@ -88,7 +93,13 @@ pub struct BoundedWalk {
 impl BoundedWalk {
     /// A walk starting at `start`.
     pub fn new(start: f64, lo: f64, hi: f64, step_std: f64, reversion: f64) -> BoundedWalk {
-        BoundedWalk { value: start.clamp(lo, hi), lo, hi, step_std, reversion }
+        BoundedWalk {
+            value: start.clamp(lo, hi),
+            lo,
+            hi,
+            step_std,
+            reversion,
+        }
     }
 
     /// Advance one step and return the new value.
@@ -123,7 +134,12 @@ mod tests {
 
     #[test]
     fn diurnal_peaks_at_peak_hour() {
-        let w = DiurnalWave { base: 20.0, amplitude: 8.0, peak_hour: 14.0, noise_std: 0.0 };
+        let w = DiurnalWave {
+            base: 20.0,
+            amplitude: 8.0,
+            peak_hour: 14.0,
+            noise_std: 0.0,
+        };
         let mut r = rng(1);
         let mut at = |h| w.value(Timestamp::from_civil(2016, 7, 1, h, 0, 0), &mut r);
         let peak = at(14);
@@ -135,7 +151,12 @@ mod tests {
 
     #[test]
     fn diurnal_noise_is_deterministic_per_seed() {
-        let w = DiurnalWave { base: 20.0, amplitude: 5.0, peak_hour: 14.0, noise_std: 1.0 };
+        let w = DiurnalWave {
+            base: 20.0,
+            amplitude: 5.0,
+            peak_hour: 14.0,
+            noise_std: 1.0,
+        };
         let t = Timestamp::from_civil(2016, 7, 1, 9, 0, 0);
         let a = w.value(t, &mut rng(7));
         let b = w.value(t, &mut rng(7));

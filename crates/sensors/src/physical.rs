@@ -52,13 +52,20 @@ impl TemperatureSensor {
         with_humidity: bool,
         seed: u64,
     ) -> TemperatureSensor {
-        let unit = if fahrenheit { Unit::Fahrenheit } else { Unit::Celsius };
+        let unit = if fahrenheit {
+            Unit::Fahrenheit
+        } else {
+            Unit::Celsius
+        };
         let mut fields = vec![
             Field::with_unit("temperature", AttrType::Float, unit),
             Field::new("station", AttrType::Str),
         ];
         if with_humidity {
-            fields.insert(1, Field::with_unit("humidity", AttrType::Float, Unit::Percent));
+            fields.insert(
+                1,
+                Field::with_unit("humidity", AttrType::Float, Unit::Percent),
+            );
         }
         let schema: SchemaRef = Schema::new(fields).expect("static schema").into_ref();
         let ad = SensorAdvertisement {
@@ -73,7 +80,12 @@ impl TemperatureSensor {
         };
         TemperatureSensor {
             ad,
-            wave: DiurnalWave { base: 22.0, amplitude: 7.0, peak_hour: 14.0, noise_std: 0.6 },
+            wave: DiurnalWave {
+                base: 22.0,
+                amplitude: 7.0,
+                peak_hour: 14.0,
+                noise_std: 0.6,
+            },
             humidity_wave: with_humidity.then_some(DiurnalWave {
                 base: 60.0,
                 amplitude: 15.0,
@@ -82,7 +94,11 @@ impl TemperatureSensor {
             }),
             unit,
             station: name.to_string(),
-            format: if fahrenheit { WireFormat::KeyValue } else { WireFormat::Csv },
+            format: if fahrenheit {
+                WireFormat::KeyValue
+            } else {
+                WireFormat::Csv
+            },
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -100,7 +116,9 @@ impl SensorSim for TemperatureSensor {
 
     fn sample(&mut self, now: Timestamp) -> Tuple {
         let celsius = self.wave.value(now, &mut self.rng);
-        let reported = Unit::Celsius.convert(celsius, self.unit).expect("temp units");
+        let reported = Unit::Celsius
+            .convert(celsius, self.unit)
+            .expect("temp units");
         let mut values = vec![Value::Float((reported * 10.0).round() / 10.0)];
         if let Some(hw) = &self.humidity_wave {
             let h = hw.value(now, &mut self.rng).clamp(5.0, 100.0);
@@ -337,7 +355,10 @@ mod tests {
         assert!(plausible_temperature(v, Unit::Celsius), "{v}");
         let h = t.get("humidity").unwrap().as_f64().unwrap();
         assert!((5.0..=100.0).contains(&h));
-        assert_eq!(t.get("station").unwrap(), &Value::Str("osaka-temp-0".into()));
+        assert_eq!(
+            t.get("station").unwrap(),
+            &Value::Str("osaka-temp-0".into())
+        );
         assert_eq!(t.meta.theme.as_str(), "weather/temperature");
         assert_eq!(t.meta.location, Some(osaka()));
     }
@@ -392,7 +413,14 @@ mod tests {
 
     #[test]
     fn rain_sensor_flags_torrential() {
-        let mut s = RainSensor::new(SensorId(3), "rain-0", osaka(), NodeId(0), Duration::from_secs(60), 1);
+        let mut s = RainSensor::new(
+            SensorId(3),
+            "rain-0",
+            osaka(),
+            NodeId(0),
+            Duration::from_secs(60),
+            1,
+        );
         // Force a violent process so we observe both states.
         s.set_process(RainProcess::new(0.5, 0.1, 30.0));
         let mut saw_torrential = false;
@@ -410,8 +438,14 @@ mod tests {
 
     #[test]
     fn wind_pressure_in_physical_ranges() {
-        let mut s =
-            WindPressureSensor::new(SensorId(4), "wp-0", osaka(), NodeId(0), Duration::from_secs(30), 5);
+        let mut s = WindPressureSensor::new(
+            SensorId(4),
+            "wp-0",
+            osaka(),
+            NodeId(0),
+            Duration::from_secs(30),
+            5,
+        );
         for i in 0..200 {
             let t = s.sample(Timestamp::from_secs(i * 30));
             let w = t.get("wind_speed").unwrap().as_f64().unwrap();
@@ -423,8 +457,14 @@ mod tests {
 
     #[test]
     fn water_level_bounded() {
-        let mut s =
-            WaterLevelSensor::new(SensorId(5), "river-0", osaka(), NodeId(0), Duration::from_mins(5), 5);
+        let mut s = WaterLevelSensor::new(
+            SensorId(5),
+            "river-0",
+            osaka(),
+            NodeId(0),
+            Duration::from_mins(5),
+            5,
+        );
         for i in 0..100 {
             let t = s.sample(Timestamp::from_secs(i * 300));
             let l = t.get("level").unwrap().as_f64().unwrap();
@@ -453,7 +493,13 @@ mod tests {
             original.meta.clone(),
         )
         .unwrap();
-        assert_eq!(decoded.get("temperature").unwrap(), original.get("temperature").unwrap());
-        assert_eq!(decoded.get("station").unwrap(), original.get("station").unwrap());
+        assert_eq!(
+            decoded.get("temperature").unwrap(),
+            original.get("temperature").unwrap()
+        );
+        assert_eq!(
+            decoded.get("station").unwrap(),
+            original.get("station").unwrap()
+        );
     }
 }

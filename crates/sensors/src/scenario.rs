@@ -114,7 +114,12 @@ pub fn osaka_fleet(config: &ScenarioConfig) -> OsakaScenario {
             config.seed.wrapping_add(id.0),
         );
         if config.heat_wave {
-            s.set_wave(DiurnalWave { base: 28.0, amplitude: 6.0, peak_hour: 14.0, noise_std: 0.8 });
+            s.set_wave(DiurnalWave {
+                base: 28.0,
+                amplitude: 6.0,
+                peak_hour: 14.0,
+                noise_std: 0.8,
+            });
         }
         sensors.push(Box::new(s));
     }
@@ -217,7 +222,10 @@ mod tests {
 
     #[test]
     fn heat_wave_pushes_midday_above_trigger() {
-        let mut sc = osaka_fleet(&ScenarioConfig { heat_wave: true, ..Default::default() });
+        let mut sc = osaka_fleet(&ScenarioConfig {
+            heat_wave: true,
+            ..Default::default()
+        });
         let noon = Timestamp::from_civil(2016, 7, 1, 13, 0, 0);
         // Average the Celsius sensors' midday readings.
         let mut sum = 0.0;
@@ -233,7 +241,10 @@ mod tests {
         }
         assert!(n >= 3);
         let avg = sum / f64::from(n);
-        assert!(avg > 25.0, "midday heat-wave average {avg} should trip the 25°C trigger");
+        assert!(
+            avg > 25.0,
+            "midday heat-wave average {avg} should trip the 25°C trigger"
+        );
     }
 
     #[test]
@@ -245,7 +256,10 @@ mod tests {
             assert_eq!(x.sample(t), y.sample(t));
         }
         // Different seed differs somewhere.
-        let mut c = osaka_fleet(&ScenarioConfig { seed: 999, ..Default::default() });
+        let mut c = osaka_fleet(&ScenarioConfig {
+            seed: 999,
+            ..Default::default()
+        });
         let differs = a
             .sensors
             .iter_mut()
@@ -260,7 +274,13 @@ mod tests {
         let units: HashSet<_> = sc
             .sensors
             .iter()
-            .filter_map(|s| s.advertisement().schema.field("temperature").ok().and_then(|f| f.unit))
+            .filter_map(|s| {
+                s.advertisement()
+                    .schema
+                    .field("temperature")
+                    .ok()
+                    .and_then(|f| f.unit)
+            })
             .collect();
         assert!(units.contains(&sl_stt::Unit::Celsius));
         assert!(units.contains(&sl_stt::Unit::Fahrenheit));

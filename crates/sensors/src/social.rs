@@ -267,8 +267,10 @@ mod tests {
         let t = s.sample(Timestamp::from_secs(0));
         assert_eq!(t.get("storm_related").unwrap(), &Value::Bool(true));
         let text = t.get("text").unwrap().as_str().unwrap().to_string();
-        assert!(text.contains("osaka") || text.contains("storm") || text.contains("rain"),
-            "{text}");
+        assert!(
+            text.contains("osaka") || text.contains("storm") || text.contains("rain"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -330,9 +332,25 @@ mod tests {
 
     #[test]
     fn social_sensors_advertise_social_kind() {
-        let s = TweetSensor::new(SensorId(1), "t", "a", osaka(), NodeId(0), Duration::from_secs(1), 0);
+        let s = TweetSensor::new(
+            SensorId(1),
+            "t",
+            "a",
+            osaka(),
+            NodeId(0),
+            Duration::from_secs(1),
+            0,
+        );
         assert_eq!(s.advertisement().kind, SensorKind::Social);
-        let s = TrafficSensor::new(SensorId(2), "p", "r", osaka(), NodeId(0), Duration::from_secs(1), 0);
+        let s = TrafficSensor::new(
+            SensorId(2),
+            "p",
+            "r",
+            osaka(),
+            NodeId(0),
+            Duration::from_secs(1),
+            0,
+        );
         assert_eq!(s.advertisement().kind, SensorKind::Social);
         assert_eq!(s.wire_format(), WireFormat::KeyValue);
     }

@@ -69,7 +69,10 @@ impl fmt::Display for SttError {
             SttError::UnknownAttribute(name) => write!(f, "unknown attribute `{name}`"),
             SttError::DuplicateAttribute(name) => write!(f, "duplicate attribute `{name}`"),
             SttError::ArityMismatch { schema, tuple } => {
-                write!(f, "arity mismatch: schema has {schema} fields, tuple has {tuple} values")
+                write!(
+                    f,
+                    "arity mismatch: schema has {schema} fields, tuple has {tuple} values"
+                )
             }
             SttError::IncompatibleUnits { from, to } => {
                 write!(f, "incompatible units: cannot convert {from} to {to}")
@@ -97,11 +100,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SttError::TypeMismatch { expected: "Float".into(), found: "Str".into() };
+        let e = SttError::TypeMismatch {
+            expected: "Float".into(),
+            found: "Str".into(),
+        };
         assert_eq!(e.to_string(), "type mismatch: expected Float, found Str");
         let e = SttError::UnknownAttribute("temp".into());
         assert!(e.to_string().contains("temp"));
-        let e = SttError::ArityMismatch { schema: 3, tuple: 2 };
+        let e = SttError::ArityMismatch {
+            schema: 3,
+            tuple: 2,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
     }
 

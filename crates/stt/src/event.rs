@@ -41,7 +41,13 @@ impl Event {
         sgranule: SpatialGranule,
         theme: Theme,
     ) -> Event {
-        Event { value, tgran, tgranule, sgranule, theme }
+        Event {
+            value,
+            tgran,
+            tgranule,
+            sgranule,
+            theme,
+        }
     }
 
     /// Derive an event from one attribute of a tuple, placing it at the
@@ -60,7 +66,10 @@ impl Event {
             (_, SpatialGranularity::World) => SpatialGranule::World,
             (Some(p), g) => g.granule_of(&p),
             (None, _) => {
-                return Err(SttError::InvalidCoordinates { lat: f64::NAN, lon: f64::NAN });
+                return Err(SttError::InvalidCoordinates {
+                    lat: f64::NAN,
+                    lon: f64::NAN,
+                });
             }
         };
         Ok(Event {
@@ -131,7 +140,12 @@ mod tests {
         let theme = Theme::new("weather/temperature").unwrap();
         let ts = Timestamp::from_civil(2016, 3, 15, 14, 30, 0);
         let meta = if with_location {
-            SttMeta::new(ts, GeoPoint::new_unchecked(34.69, 135.50), theme, SensorId(1))
+            SttMeta::new(
+                ts,
+                GeoPoint::new_unchecked(34.69, 135.50),
+                theme,
+                SensorId(1),
+            )
         } else {
             SttMeta::without_location(ts, theme, SensorId(1))
         };
@@ -141,11 +155,19 @@ mod tests {
     #[test]
     fn from_tuple_pins_granules() {
         let t = sample_tuple(true);
-        let e = Event::from_tuple(&t, "temperature", TemporalGranularity::Hour, SpatialGranularity::grid(6))
-            .unwrap();
+        let e = Event::from_tuple(
+            &t,
+            "temperature",
+            TemporalGranularity::Hour,
+            SpatialGranularity::grid(6),
+        )
+        .unwrap();
         assert_eq!(e.value, Value::Float(26.0));
         assert!(e.covers_time(t.meta.timestamp));
-        assert_eq!(e.time_interval().start, Timestamp::from_civil(2016, 3, 15, 14, 0, 0));
+        assert_eq!(
+            e.time_interval().start,
+            Timestamp::from_civil(2016, 3, 15, 14, 0, 0)
+        );
         assert!(e.sgranule.extent().contains(&t.meta.location.unwrap()));
         assert_eq!(e.theme.as_str(), "weather/temperature");
     }
@@ -153,38 +175,70 @@ mod tests {
     #[test]
     fn from_tuple_missing_attr() {
         let t = sample_tuple(true);
-        assert!(Event::from_tuple(&t, "rain", TemporalGranularity::Hour, SpatialGranularity::World).is_err());
+        assert!(Event::from_tuple(
+            &t,
+            "rain",
+            TemporalGranularity::Hour,
+            SpatialGranularity::World
+        )
+        .is_err());
     }
 
     #[test]
     fn from_tuple_without_location_needs_world() {
         let t = sample_tuple(false);
-        assert!(Event::from_tuple(&t, "temperature", TemporalGranularity::Hour, SpatialGranularity::grid(4))
-            .is_err());
-        let e = Event::from_tuple(&t, "temperature", TemporalGranularity::Hour, SpatialGranularity::World)
-            .unwrap();
+        assert!(Event::from_tuple(
+            &t,
+            "temperature",
+            TemporalGranularity::Hour,
+            SpatialGranularity::grid(4)
+        )
+        .is_err());
+        let e = Event::from_tuple(
+            &t,
+            "temperature",
+            TemporalGranularity::Hour,
+            SpatialGranularity::World,
+        )
+        .unwrap();
         assert_eq!(e.sgranule, SpatialGranule::World);
     }
 
     #[test]
     fn coarsen_event() {
         let t = sample_tuple(true);
-        let e = Event::from_tuple(&t, "temperature", TemporalGranularity::Minute, SpatialGranularity::grid(10))
+        let e = Event::from_tuple(
+            &t,
+            "temperature",
+            TemporalGranularity::Minute,
+            SpatialGranularity::grid(10),
+        )
+        .unwrap();
+        let c = e
+            .coarsened(TemporalGranularity::Day, SpatialGranularity::grid(2))
             .unwrap();
-        let c = e.coarsened(TemporalGranularity::Day, SpatialGranularity::grid(2)).unwrap();
         assert_eq!(c.tgran, TemporalGranularity::Day);
         assert!(c.time_interval().contains(t.meta.timestamp));
         assert_eq!(c.sgran(), SpatialGranularity::grid(2));
         // Refining is rejected.
-        assert!(e.coarsened(TemporalGranularity::Second, SpatialGranularity::grid(10)).is_err());
-        assert!(e.coarsened(TemporalGranularity::Day, SpatialGranularity::Point).is_err());
+        assert!(e
+            .coarsened(TemporalGranularity::Second, SpatialGranularity::grid(10))
+            .is_err());
+        assert!(e
+            .coarsened(TemporalGranularity::Day, SpatialGranularity::Point)
+            .is_err());
     }
 
     #[test]
     fn display_is_readable() {
         let t = sample_tuple(true);
-        let e = Event::from_tuple(&t, "temperature", TemporalGranularity::Hour, SpatialGranularity::World)
-            .unwrap();
+        let e = Event::from_tuple(
+            &t,
+            "temperature",
+            TemporalGranularity::Hour,
+            SpatialGranularity::World,
+        )
+        .unwrap();
         let s = e.to_string();
         assert!(s.contains("26") && s.contains("hour") && s.contains("weather/temperature"));
     }

@@ -92,12 +92,20 @@ pub struct Field {
 impl Field {
     /// A field with no unit annotation.
     pub fn new(name: &str, ty: AttrType) -> Field {
-        Field { name: name.to_string(), ty, unit: None }
+        Field {
+            name: name.to_string(),
+            ty,
+            unit: None,
+        }
     }
 
     /// A field carrying a physical quantity in `unit`.
     pub fn with_unit(name: &str, ty: AttrType, unit: Unit) -> Field {
-        Field { name: name.to_string(), ty, unit: Some(unit) }
+        Field {
+            name: name.to_string(),
+            ty,
+            unit: Some(unit),
+        }
     }
 }
 
@@ -267,21 +275,30 @@ mod tests {
         assert_eq!(s.index_of("humidity").unwrap(), 1);
         assert_eq!(s.field("temperature").unwrap().unit, Some(Unit::Celsius));
         assert!(s.contains("station"));
-        assert!(matches!(s.index_of("wind"), Err(SttError::UnknownAttribute(_))));
+        assert!(matches!(
+            s.index_of("wind"),
+            Err(SttError::UnknownAttribute(_))
+        ));
     }
 
     #[test]
     fn with_field_appends() {
         let s = weather_schema();
         let s2 = s
-            .with_field(Field::with_unit("apparent_temperature", AttrType::Float, Unit::Celsius))
+            .with_field(Field::with_unit(
+                "apparent_temperature",
+                AttrType::Float,
+                Unit::Celsius,
+            ))
             .unwrap();
         assert_eq!(s2.len(), 4);
         assert_eq!(s2.fields()[3].name, "apparent_temperature");
         // Original untouched.
         assert_eq!(s.len(), 3);
         // Duplicate rejected.
-        assert!(s2.with_field(Field::new("humidity", AttrType::Int)).is_err());
+        assert!(s2
+            .with_field(Field::new("humidity", AttrType::Int))
+            .is_err());
     }
 
     #[test]

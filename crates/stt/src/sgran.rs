@@ -38,7 +38,9 @@ pub enum SpatialGranularity {
 impl SpatialGranularity {
     /// A grid granularity, clamping the level into the supported range.
     pub fn grid(level: u8) -> SpatialGranularity {
-        SpatialGranularity::Grid { level: level.min(MAX_GRID_LEVEL) }
+        SpatialGranularity::Grid {
+            level: level.min(MAX_GRID_LEVEL),
+        }
     }
 
     /// Grid cell edge in degrees, if this is a grid.
@@ -123,7 +125,9 @@ impl SpatialGranularity {
                         .map(|level| SpatialGranularity::Grid { level })
                         .ok_or_else(|| SttError::Parse(format!("bad grid level in `{s}`")))
                 } else {
-                    Err(SttError::Parse(format!("unknown spatial granularity `{s}`")))
+                    Err(SttError::Parse(format!(
+                        "unknown spatial granularity `{s}`"
+                    )))
                 }
             }
         }
@@ -166,7 +170,10 @@ impl SpatialGranule {
                 let edge = 1.0 / f64::from(1u32 << level);
                 BoundingBox {
                     min: GeoPoint::new_unchecked(f64::from(iy) * edge, f64::from(ix) * edge),
-                    max: GeoPoint::new_unchecked(f64::from(iy + 1) * edge, f64::from(ix + 1) * edge),
+                    max: GeoPoint::new_unchecked(
+                        f64::from(iy + 1) * edge,
+                        f64::from(ix + 1) * edge,
+                    ),
                 }
             }
             SpatialGranule::World => BoundingBox {
@@ -197,7 +204,11 @@ impl SpatialGranule {
             // Nested grids coarsen by shifting indices.
             (SpatialGranule::Cell { level, ix, iy }, SpatialGranularity::Grid { level: cl }) => {
                 let shift = level - cl;
-                Ok(SpatialGranule::Cell { level: cl, ix: ix >> shift, iy: iy >> shift })
+                Ok(SpatialGranule::Cell {
+                    level: cl,
+                    ix: ix >> shift,
+                    iy: iy >> shift,
+                })
             }
             (_, SpatialGranularity::World) => Ok(SpatialGranule::World),
             (g, c) => Ok(c.granule_of(&g.center())),
@@ -218,7 +229,12 @@ impl fmt::Display for SpatialGranule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpatialGranule::Point { lat_e7, lon_e7 } => {
-                write!(f, "pt({:.7}, {:.7})", *lat_e7 as f64 / 1e7, *lon_e7 as f64 / 1e7)
+                write!(
+                    f,
+                    "pt({:.7}, {:.7})",
+                    *lat_e7 as f64 / 1e7,
+                    *lon_e7 as f64 / 1e7
+                )
             }
             SpatialGranule::Cell { level, ix, iy } => write!(f, "cell{level}({ix}, {iy})"),
             SpatialGranule::World => write!(f, "world"),
@@ -279,10 +295,15 @@ mod tests {
         // Identity coarsening.
         assert_eq!(fine.coarsen(SpatialGranularity::grid(10)).unwrap(), fine);
         // Coarsening to World always works.
-        assert_eq!(fine.coarsen(SpatialGranularity::World).unwrap(), SpatialGranule::World);
+        assert_eq!(
+            fine.coarsen(SpatialGranularity::World).unwrap(),
+            SpatialGranule::World
+        );
         // Refining is an error.
         assert!(fine.coarsen(SpatialGranularity::grid(12)).is_err());
-        assert!(SpatialGranule::World.coarsen(SpatialGranularity::grid(2)).is_err());
+        assert!(SpatialGranule::World
+            .coarsen(SpatialGranularity::grid(2))
+            .is_err());
     }
 
     #[test]
@@ -325,7 +346,9 @@ mod tests {
     fn grid_clamps_level() {
         assert_eq!(
             SpatialGranularity::grid(200),
-            SpatialGranularity::Grid { level: MAX_GRID_LEVEL }
+            SpatialGranularity::Grid {
+                level: MAX_GRID_LEVEL
+            }
         );
     }
 

@@ -26,7 +26,11 @@ pub struct GeoPoint {
 impl GeoPoint {
     /// Build a point, validating the WGS84 domain.
     pub fn new(lat: f64, lon: f64) -> Result<GeoPoint, SttError> {
-        if !(-90.0..=90.0).contains(&lat) || !(-180.0..=180.0).contains(&lon) || lat.is_nan() || lon.is_nan() {
+        if !(-90.0..=90.0).contains(&lat)
+            || !(-180.0..=180.0).contains(&lon)
+            || lat.is_nan()
+            || lon.is_nan()
+        {
             return Err(SttError::InvalidCoordinates { lat, lon });
         }
         Ok(GeoPoint { lat, lon })
@@ -75,7 +79,10 @@ impl BoundingBox {
 
     /// True if `p` lies inside the box (inclusive on all edges).
     pub fn contains(&self, p: &GeoPoint) -> bool {
-        p.lat >= self.min.lat && p.lat <= self.max.lat && p.lon >= self.min.lon && p.lon <= self.max.lon
+        p.lat >= self.min.lat
+            && p.lat <= self.max.lat
+            && p.lon >= self.min.lon
+            && p.lon <= self.max.lon
     }
 
     /// True if the two boxes intersect.
@@ -97,8 +104,14 @@ impl BoundingBox {
     /// The smallest box containing both `self` and `other`.
     pub fn union(&self, other: &BoundingBox) -> BoundingBox {
         BoundingBox {
-            min: GeoPoint::new_unchecked(self.min.lat.min(other.min.lat), self.min.lon.min(other.min.lon)),
-            max: GeoPoint::new_unchecked(self.max.lat.max(other.max.lat), self.max.lon.max(other.max.lon)),
+            min: GeoPoint::new_unchecked(
+                self.min.lat.min(other.min.lat),
+                self.min.lon.min(other.min.lon),
+            ),
+            max: GeoPoint::new_unchecked(
+                self.max.lat.max(other.max.lat),
+                self.max.lon.max(other.max.lon),
+            ),
         }
     }
 
@@ -164,7 +177,8 @@ impl CoordinateSystem {
             CoordinateSystem::Wgs84 => Ok((a, b)),
             CoordinateSystem::WebMercator => {
                 let lon = (a / EARTH_RADIUS_M).to_degrees();
-                let lat = ((b / EARTH_RADIUS_M).exp().atan() * 2.0 - std::f64::consts::FRAC_PI_2).to_degrees();
+                let lat = ((b / EARTH_RADIUS_M).exp().atan() * 2.0 - std::f64::consts::FRAC_PI_2)
+                    .to_degrees();
                 Ok((lat, lon))
             }
             CoordinateSystem::TokyoDatum => {
@@ -185,7 +199,8 @@ impl CoordinateSystem {
                     return Err(SttError::InvalidCoordinates { lat, lon });
                 }
                 let x = EARTH_RADIUS_M * lon.to_radians();
-                let y = EARTH_RADIUS_M * ((std::f64::consts::FRAC_PI_4 + lat.to_radians() / 2.0).tan()).ln();
+                let y = EARTH_RADIUS_M
+                    * ((std::f64::consts::FRAC_PI_4 + lat.to_radians() / 2.0).tan()).ln();
                 Ok((x, y))
             }
             CoordinateSystem::TokyoDatum => {
@@ -204,7 +219,9 @@ impl CoordinateSystem {
             "wgs84" | "epsg:4326" => Ok(CoordinateSystem::Wgs84),
             "webmercator" | "web_mercator" | "epsg:3857" => Ok(CoordinateSystem::WebMercator),
             "tokyo" | "tokyo_datum" | "epsg:4301" => Ok(CoordinateSystem::TokyoDatum),
-            other => Err(SttError::Parse(format!("unknown coordinate system `{other}`"))),
+            other => Err(SttError::Parse(format!(
+                "unknown coordinate system `{other}`"
+            ))),
         }
     }
 }
@@ -329,21 +346,40 @@ mod tests {
         let (lat, lon) = CoordinateSystem::TokyoDatum
             .convert(a, b, CoordinateSystem::Wgs84)
             .unwrap();
-        assert!((lat - p.lat).abs() < 1e-4, "lat error {}", (lat - p.lat).abs());
-        assert!((lon - p.lon).abs() < 1e-4, "lon error {}", (lon - p.lon).abs());
+        assert!(
+            (lat - p.lat).abs() < 1e-4,
+            "lat error {}",
+            (lat - p.lat).abs()
+        );
+        assert!(
+            (lon - p.lon).abs() < 1e-4,
+            "lon error {}",
+            (lon - p.lon).abs()
+        );
     }
 
     #[test]
     fn identity_conversion() {
-        let (a, b) = CoordinateSystem::Wgs84.convert(1.0, 2.0, CoordinateSystem::Wgs84).unwrap();
+        let (a, b) = CoordinateSystem::Wgs84
+            .convert(1.0, 2.0, CoordinateSystem::Wgs84)
+            .unwrap();
         assert_eq!((a, b), (1.0, 2.0));
     }
 
     #[test]
     fn parse_coordinate_systems() {
-        assert_eq!(CoordinateSystem::parse("WGS84").unwrap(), CoordinateSystem::Wgs84);
-        assert_eq!(CoordinateSystem::parse("epsg:3857").unwrap(), CoordinateSystem::WebMercator);
-        assert_eq!(CoordinateSystem::parse("tokyo").unwrap(), CoordinateSystem::TokyoDatum);
+        assert_eq!(
+            CoordinateSystem::parse("WGS84").unwrap(),
+            CoordinateSystem::Wgs84
+        );
+        assert_eq!(
+            CoordinateSystem::parse("epsg:3857").unwrap(),
+            CoordinateSystem::WebMercator
+        );
+        assert_eq!(
+            CoordinateSystem::parse("tokyo").unwrap(),
+            CoordinateSystem::TokyoDatum
+        );
         assert!(CoordinateSystem::parse("mars2000").is_err());
         // Display → parse round trip.
         for cs in [

@@ -33,12 +33,16 @@ impl Theme {
             .map(|s| s.trim().to_ascii_lowercase())
             .collect::<Vec<_>>()
             .join("/");
-        Ok(Theme { path: normalized.into() })
+        Ok(Theme {
+            path: normalized.into(),
+        })
     }
 
     /// The root theme used for streams with no thematic classification.
     pub fn unclassified() -> Theme {
-        Theme { path: "unclassified".into() }
+        Theme {
+            path: "unclassified".into(),
+        }
     }
 
     /// The full path string.
@@ -63,12 +67,16 @@ impl Theme {
     pub fn is_a(&self, ancestor: &Theme) -> bool {
         let a = ancestor.as_str();
         self.path.as_ref() == a
-            || (self.path.len() > a.len() && self.path.starts_with(a) && self.path.as_bytes()[a.len()] == b'/')
+            || (self.path.len() > a.len()
+                && self.path.starts_with(a)
+                && self.path.as_bytes()[a.len()] == b'/')
     }
 
     /// The parent theme, or `None` at the root.
     pub fn parent(&self) -> Option<Theme> {
-        self.path.rfind('/').map(|i| Theme { path: self.path[..i].into() })
+        self.path.rfind('/').map(|i| Theme {
+            path: self.path[..i].into(),
+        })
     }
 
     /// Extend the path with a child segment.
@@ -227,7 +235,12 @@ mod tests {
     #[test]
     fn standard_taxonomy_has_scenario_themes() {
         let tax = ThemeTaxonomy::standard();
-        for path in ["weather/temperature", "weather/rain/torrential", "social/tweet", "traffic/congestion"] {
+        for path in [
+            "weather/temperature",
+            "weather/rain/torrential",
+            "social/tweet",
+            "traffic/congestion",
+        ] {
             assert!(tax.contains(&Theme::new(path).unwrap()), "{path}");
         }
         let weather = Theme::new("weather").unwrap();

@@ -52,12 +52,20 @@ impl Timestamp {
 
     /// The earlier of two timestamps.
     pub fn min(self, other: Timestamp) -> Timestamp {
-        if self <= other { self } else { other }
+        if self <= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// The later of two timestamps.
     pub fn max(self, other: Timestamp) -> Timestamp {
-        if self >= other { self } else { other }
+        if self >= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// Duration from `earlier` to `self`; zero if `earlier` is in the future.
@@ -85,7 +93,12 @@ impl Timestamp {
     /// Build a timestamp from a UTC civil date and time of day.
     pub fn from_civil(year: i32, month: u32, day: u32, hour: u32, min: u32, sec: u32) -> Timestamp {
         let days = days_from_civil(year, month, day);
-        Timestamp(days * 86_400_000 + i64::from(hour) * 3_600_000 + i64::from(min) * 60_000 + i64::from(sec) * 1000)
+        Timestamp(
+            days * 86_400_000
+                + i64::from(hour) * 3_600_000
+                + i64::from(min) * 60_000
+                + i64::from(sec) * 1000,
+        )
     }
 }
 
@@ -341,7 +354,10 @@ impl TemporalGranularity {
             }
             g => {
                 let p = g.fixed_millis().expect("fixed granularity") as i64;
-                TimeInterval::new(Timestamp::from_millis(idx * p), Timestamp::from_millis((idx + 1) * p))
+                TimeInterval::new(
+                    Timestamp::from_millis(idx * p),
+                    Timestamp::from_millis((idx + 1) * p),
+                )
             }
         }
     }
@@ -510,7 +526,10 @@ mod tests {
         assert_eq!((t - Duration::from_secs(30)).as_secs(), 70);
         assert_eq!(t.since(Timestamp::from_secs(40)), Duration::from_secs(60));
         // since() saturates at zero.
-        assert_eq!(Timestamp::from_secs(1).since(Timestamp::from_secs(5)), Duration::ZERO);
+        assert_eq!(
+            Timestamp::from_secs(1).since(Timestamp::from_secs(5)),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -582,7 +601,10 @@ mod tests {
     #[test]
     fn truncate_to_hour() {
         let t = Timestamp::from_civil(2016, 3, 15, 9, 45, 30);
-        assert_eq!(Hour.truncate(t), Timestamp::from_civil(2016, 3, 15, 9, 0, 0));
+        assert_eq!(
+            Hour.truncate(t),
+            Timestamp::from_civil(2016, 3, 15, 9, 0, 0)
+        );
         assert_eq!(Day.truncate(t), Timestamp::from_civil(2016, 3, 15, 0, 0, 0));
     }
 

@@ -44,13 +44,30 @@ pub struct SttMeta {
 
 impl SttMeta {
     /// Metadata for a sensor at a fixed, known position.
-    pub fn new(timestamp: Timestamp, location: GeoPoint, theme: Theme, sensor: SensorId) -> SttMeta {
-        SttMeta { timestamp, location: Some(location), theme, sensor, trace: 0 }
+    pub fn new(
+        timestamp: Timestamp,
+        location: GeoPoint,
+        theme: Theme,
+        sensor: SensorId,
+    ) -> SttMeta {
+        SttMeta {
+            timestamp,
+            location: Some(location),
+            theme,
+            sensor,
+            trace: 0,
+        }
     }
 
     /// Metadata lacking a position (to be enriched by the pub/sub layer).
     pub fn without_location(timestamp: Timestamp, theme: Theme, sensor: SensorId) -> SttMeta {
-        SttMeta { timestamp, location: None, theme, sensor, trace: 0 }
+        SttMeta {
+            timestamp,
+            location: None,
+            theme,
+            sensor,
+            trace: 0,
+        }
     }
 }
 
@@ -70,9 +87,16 @@ impl Tuple {
     /// Build a tuple, checking arity against the schema.
     pub fn new(schema: SchemaRef, values: Vec<Value>, meta: SttMeta) -> Result<Tuple, SttError> {
         if values.len() != schema.len() {
-            return Err(SttError::ArityMismatch { schema: schema.len(), tuple: values.len() });
+            return Err(SttError::ArityMismatch {
+                schema: schema.len(),
+                tuple: values.len(),
+            });
         }
-        Ok(Tuple { schema, values, meta })
+        Ok(Tuple {
+            schema,
+            values,
+            meta,
+        })
     }
 
     /// The tuple's schema.
@@ -115,7 +139,11 @@ impl Tuple {
         let mut values = Vec::with_capacity(self.values.len() + 1);
         values.extend_from_slice(&self.values);
         values.push(value);
-        Ok(Tuple { schema: new_schema, values, meta: self.meta.clone() })
+        Ok(Tuple {
+            schema: new_schema,
+            values,
+            meta: self.meta.clone(),
+        })
     }
 
     /// Concatenate two tuples under a pre-computed join schema.
@@ -141,7 +169,11 @@ impl Tuple {
             // The driving (left) stream's trace follows the join result.
             trace: self.meta.trace,
         };
-        Ok(Tuple { schema: join_schema, values, meta })
+        Ok(Tuple {
+            schema: join_schema,
+            values,
+            meta,
+        })
     }
 
     /// Consume the tuple, returning its values.
@@ -194,13 +226,24 @@ mod tests {
     }
 
     fn tuple() -> Tuple {
-        Tuple::new(schema(), vec![Value::Float(25.5), Value::Str("osaka-1".into())], meta()).unwrap()
+        Tuple::new(
+            schema(),
+            vec![Value::Float(25.5), Value::Str("osaka-1".into())],
+            meta(),
+        )
+        .unwrap()
     }
 
     #[test]
     fn arity_checked() {
         let err = Tuple::new(schema(), vec![Value::Float(1.0)], meta()).unwrap_err();
-        assert_eq!(err, SttError::ArityMismatch { schema: 2, tuple: 1 });
+        assert_eq!(
+            err,
+            SttError::ArityMismatch {
+                schema: 2,
+                tuple: 1
+            }
+        );
     }
 
     #[test]
@@ -253,7 +296,12 @@ mod tests {
     fn joined_falls_back_to_right_location() {
         let mut lmeta = meta();
         lmeta.location = None;
-        let left = Tuple::new(schema(), vec![Value::Float(1.0), Value::Str("s".into())], lmeta).unwrap();
+        let left = Tuple::new(
+            schema(),
+            vec![Value::Float(1.0), Value::Str("s".into())],
+            lmeta,
+        )
+        .unwrap();
         let right = tuple();
         let js = left.schema().join(right.schema()).into_ref();
         let j = left.joined(&right, js).unwrap();
@@ -272,7 +320,10 @@ mod tests {
     fn byte_size_counts_values_and_meta() {
         let t = tuple();
         // 8 (float) + 7 ("osaka-1") + meta(8+17+19+8).
-        assert_eq!(t.byte_size(), 8 + 7 + 8 + 17 + "weather/temperature".len() + 8);
+        assert_eq!(
+            t.byte_size(),
+            8 + 7 + 8 + 17 + "weather/temperature".len() + 8
+        );
     }
 
     #[test]

@@ -118,10 +118,15 @@ impl Unit {
     pub fn quantity(self) -> Quantity {
         match self {
             Unit::Celsius | Unit::Fahrenheit | Unit::Kelvin => Quantity::Temperature,
-            Unit::Meter | Unit::Kilometer | Unit::Yard | Unit::Foot | Unit::Mile | Unit::Millimeter => {
-                Quantity::Length
+            Unit::Meter
+            | Unit::Kilometer
+            | Unit::Yard
+            | Unit::Foot
+            | Unit::Mile
+            | Unit::Millimeter => Quantity::Length,
+            Unit::MeterPerSecond | Unit::KilometerPerHour | Unit::MilePerHour | Unit::Knot => {
+                Quantity::Speed
             }
-            Unit::MeterPerSecond | Unit::KilometerPerHour | Unit::MilePerHour | Unit::Knot => Quantity::Speed,
             Unit::Hectopascal | Unit::Kilopascal | Unit::MillimeterOfMercury => Quantity::Pressure,
             Unit::MillimeterRain | Unit::InchRain => Quantity::Rainfall,
             Unit::Percent | Unit::Fraction => Quantity::Ratio,
@@ -253,36 +258,81 @@ mod tests {
 
     #[test]
     fn temperature_known_points() {
-        assert!(close(Unit::Celsius.convert(0.0, Unit::Fahrenheit).unwrap(), 32.0));
-        assert!(close(Unit::Celsius.convert(100.0, Unit::Fahrenheit).unwrap(), 212.0));
-        assert!(close(Unit::Fahrenheit.convert(32.0, Unit::Celsius).unwrap(), 0.0));
-        assert!(close(Unit::Celsius.convert(25.0, Unit::Kelvin).unwrap(), 298.15));
-        assert!(close(Unit::Kelvin.convert(273.15, Unit::Celsius).unwrap(), 0.0));
+        assert!(close(
+            Unit::Celsius.convert(0.0, Unit::Fahrenheit).unwrap(),
+            32.0
+        ));
+        assert!(close(
+            Unit::Celsius.convert(100.0, Unit::Fahrenheit).unwrap(),
+            212.0
+        ));
+        assert!(close(
+            Unit::Fahrenheit.convert(32.0, Unit::Celsius).unwrap(),
+            0.0
+        ));
+        assert!(close(
+            Unit::Celsius.convert(25.0, Unit::Kelvin).unwrap(),
+            298.15
+        ));
+        assert!(close(
+            Unit::Kelvin.convert(273.15, Unit::Celsius).unwrap(),
+            0.0
+        ));
     }
 
     #[test]
     fn yards_to_meters_paper_example() {
         // The paper's own example: "from yards to meters".
-        assert!(close(Unit::Yard.convert(100.0, Unit::Meter).unwrap(), 91.44));
-        assert!(close(Unit::Meter.convert(91.44, Unit::Yard).unwrap(), 100.0));
+        assert!(close(
+            Unit::Yard.convert(100.0, Unit::Meter).unwrap(),
+            91.44
+        ));
+        assert!(close(
+            Unit::Meter.convert(91.44, Unit::Yard).unwrap(),
+            100.0
+        ));
     }
 
     #[test]
     fn speed_conversions() {
-        assert!(close(Unit::KilometerPerHour.convert(36.0, Unit::MeterPerSecond).unwrap(), 10.0));
-        assert!(close(Unit::MilePerHour.convert(60.0, Unit::KilometerPerHour).unwrap(), 96.56064));
+        assert!(close(
+            Unit::KilometerPerHour
+                .convert(36.0, Unit::MeterPerSecond)
+                .unwrap(),
+            10.0
+        ));
+        assert!(close(
+            Unit::MilePerHour
+                .convert(60.0, Unit::KilometerPerHour)
+                .unwrap(),
+            96.56064
+        ));
     }
 
     #[test]
     fn rainfall_and_pressure() {
-        assert!(close(Unit::InchRain.convert(1.0, Unit::MillimeterRain).unwrap(), 25.4));
-        assert!(close(Unit::Kilopascal.convert(101.325, Unit::Hectopascal).unwrap(), 1013.25));
+        assert!(close(
+            Unit::InchRain.convert(1.0, Unit::MillimeterRain).unwrap(),
+            25.4
+        ));
+        assert!(close(
+            Unit::Kilopascal
+                .convert(101.325, Unit::Hectopascal)
+                .unwrap(),
+            1013.25
+        ));
     }
 
     #[test]
     fn ratio_and_mass() {
-        assert!(close(Unit::Fraction.convert(0.75, Unit::Percent).unwrap(), 75.0));
-        assert!(close(Unit::Pound.convert(1.0, Unit::Kilogram).unwrap(), 0.45359237));
+        assert!(close(
+            Unit::Fraction.convert(0.75, Unit::Percent).unwrap(),
+            75.0
+        ));
+        assert!(close(
+            Unit::Pound.convert(1.0, Unit::Kilogram).unwrap(),
+            0.45359237
+        ));
     }
 
     #[test]

@@ -375,7 +375,10 @@ mod tests {
     #[test]
     fn total_cmp_numeric_cross_type() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(2)), Ordering::Greater);
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(2)),
+            Ordering::Greater
+        );
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
     }
 
@@ -397,10 +400,22 @@ mod tests {
 
     #[test]
     fn parse_each_type() {
-        assert_eq!(Value::parse_as("true", AttrType::Bool).unwrap(), Value::Bool(true));
-        assert_eq!(Value::parse_as("0", AttrType::Bool).unwrap(), Value::Bool(false));
-        assert_eq!(Value::parse_as(" 42 ", AttrType::Int).unwrap(), Value::Int(42));
-        assert_eq!(Value::parse_as("2.5", AttrType::Float).unwrap(), Value::Float(2.5));
+        assert_eq!(
+            Value::parse_as("true", AttrType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Value::parse_as("0", AttrType::Bool).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Value::parse_as(" 42 ", AttrType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::parse_as("2.5", AttrType::Float).unwrap(),
+            Value::Float(2.5)
+        );
         assert_eq!(
             Value::parse_as("hello", AttrType::Str).unwrap(),
             Value::Str("hello".into())

@@ -65,7 +65,11 @@ impl EventWarehouse {
                 continue;
             };
             let theme_prefix = theme_at_depth(&event.theme, q.theme_depth);
-            let key = (coarse.tgranule, coarse.sgranule.to_string(), theme_prefix.to_string());
+            let key = (
+                coarse.tgranule,
+                coarse.sgranule.to_string(),
+                theme_prefix.to_string(),
+            );
             let entry = cells
                 .entry(key)
                 .or_insert_with(|| (coarse.sgranule, theme_prefix.clone(), Acc::default()));
@@ -92,7 +96,9 @@ impl EventWarehouse {
             })
             .collect();
         self.metrics.counter("rollups").inc();
-        self.metrics.counter("cube_cells_updated").add(out.len() as u64);
+        self.metrics
+            .counter("cube_cells_updated")
+            .add(out.len() as u64);
         out
     }
 }
@@ -133,7 +139,12 @@ mod tests {
         let mut w = EventWarehouse::with_defaults();
         // Two hours of minute-level temperatures, plus tweets.
         for m in 0..120 {
-            w.insert(event(m, "weather/temperature/t1", 20.0 + (m % 10) as f64, 34.7));
+            w.insert(event(
+                m,
+                "weather/temperature/t1",
+                20.0 + (m % 10) as f64,
+                34.7,
+            ));
         }
         for m in 0..60 {
             w.insert(event(m * 2, "social/tweet/text", 1.0, 34.7));
@@ -152,8 +163,10 @@ mod tests {
         });
         // 2 hours x 2 theme roots = 4 cells.
         assert_eq!(cells.len(), 4);
-        let weather: Vec<&CubeCell> =
-            cells.iter().filter(|c| c.theme.as_str() == "weather").collect();
+        let weather: Vec<&CubeCell> = cells
+            .iter()
+            .filter(|c| c.theme.as_str() == "weather")
+            .collect();
         assert_eq!(weather.len(), 2);
         for c in &weather {
             assert_eq!(c.count, 60);
@@ -162,7 +175,10 @@ mod tests {
             assert_eq!(c.min, Some(20.0));
             assert_eq!(c.max, Some(29.0));
         }
-        let social: Vec<&CubeCell> = cells.iter().filter(|c| c.theme.as_str() == "social").collect();
+        let social: Vec<&CubeCell> = cells
+            .iter()
+            .filter(|c| c.theme.as_str() == "social")
+            .collect();
         assert_eq!(social[0].count + social.get(1).map_or(0, |c| c.count), 60);
     }
 
@@ -185,7 +201,10 @@ mod tests {
         let cells = w.rollup(&CubeQuery {
             select: EventQuery::all()
                 .with_theme(Theme::new("weather").unwrap())
-                .in_time(TimeInterval::new(Timestamp::from_secs(0), Timestamp::from_secs(3600))),
+                .in_time(TimeInterval::new(
+                    Timestamp::from_secs(0),
+                    Timestamp::from_secs(3600),
+                )),
             tgran: TemporalGranularity::Hour,
             sgran: SpatialGranularity::World,
             theme_depth: 1,

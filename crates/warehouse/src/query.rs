@@ -137,7 +137,9 @@ impl EventWarehouse {
             // World-granule events are absent from the spatial index (they
             // intersect every area), so the index is only sound when none
             // are stored.
-            let has_world = self.iter().any(|e| e.sgranule == sl_stt::SpatialGranule::World);
+            let has_world = self
+                .iter()
+                .any(|e| e.sgranule == sl_stt::SpatialGranule::World);
             if !has_world {
                 let mut positions = Vec::new();
                 for (cell, ps) in &self.space_index {
@@ -156,9 +158,7 @@ impl EventWarehouse {
 mod tests {
     use super::*;
     use crate::store::WarehouseConfig;
-    use sl_stt::{
-        GeoPoint, SpatialGranularity, TemporalGranularity, Timestamp, Value,
-    };
+    use sl_stt::{GeoPoint, SpatialGranularity, TemporalGranularity, Timestamp, Value};
 
     fn event(hour: u32, theme: &str, lat: f64, lon: f64) -> Event {
         let t = Timestamp::from_civil(2016, 7, 1, hour, 30, 0);
@@ -255,7 +255,9 @@ mod tests {
     fn empty_warehouse_answers_empty() {
         let mut w = EventWarehouse::with_defaults();
         assert!(w.query(&EventQuery::all()).is_empty());
-        assert!(w.query(&EventQuery::all().in_time(interval(0, 1))).is_empty());
+        assert!(w
+            .query(&EventQuery::all().in_time(interval(0, 1)))
+            .is_empty());
     }
 
     #[test]

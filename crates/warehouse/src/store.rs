@@ -109,7 +109,10 @@ impl EventWarehouse {
 
         // Index by the *start* of the event's interval at the index
         // granularity.
-        let t_idx = self.config.time_index_gran.granule_of(event.time_interval().start);
+        let t_idx = self
+            .config
+            .time_index_gran
+            .granule_of(event.time_interval().start);
         self.time_index.entry(t_idx).or_default().push(pos);
 
         if event.sgranule != SpatialGranule::World {
@@ -119,9 +122,15 @@ impl EventWarehouse {
                 .granule_of(&event.sgranule.center());
             self.space_index.entry(cell).or_default().push(pos);
         }
-        self.theme_index.entry(event.theme.clone()).or_default().push(pos);
+        self.theme_index
+            .entry(event.theme.clone())
+            .or_default()
+            .push(pos);
 
-        self.segments.last_mut().expect("segment exists").push(event);
+        self.segments
+            .last_mut()
+            .expect("segment exists")
+            .push(event);
         self.stats.events += 1;
     }
 
@@ -220,7 +229,11 @@ impl EventWarehouse {
         self.time_index.clear();
         self.space_index.clear();
         self.theme_index.clear();
-        self.stats = WarehouseStats { events: 0, segments: 0, ..stats };
+        self.stats = WarehouseStats {
+            events: 0,
+            segments: 0,
+            ..stats
+        };
         for e in retained {
             self.insert(e);
         }
@@ -231,9 +244,7 @@ impl EventWarehouse {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sl_stt::{
-        AttrType, Field, GeoPoint, Schema, SensorId, SttMeta, Value,
-    };
+    use sl_stt::{AttrType, Field, GeoPoint, Schema, SensorId, SttMeta, Value};
 
     fn event(sec: i64, theme: &str, lat: f64, v: f64) -> Event {
         let g = SpatialGranularity::grid(8).granule_of(&GeoPoint::new_unchecked(lat, 135.5));
@@ -300,8 +311,7 @@ mod tests {
         )
         .unwrap();
         let mut w = EventWarehouse::with_defaults();
-        let stored =
-            w.ingest_tuple(&t, TemporalGranularity::Minute, SpatialGranularity::grid(8));
+        let stored = w.ingest_tuple(&t, TemporalGranularity::Minute, SpatialGranularity::grid(8));
         // temperature + humidity + station (null skipped).
         assert_eq!(stored, 3);
         assert_eq!(w.stats().tuples, 1);
@@ -313,15 +323,24 @@ mod tests {
 
     #[test]
     fn unlocated_tuple_stored_at_world() {
-        let schema = Schema::new(vec![Field::new("v", AttrType::Float)]).unwrap().into_ref();
+        let schema = Schema::new(vec![Field::new("v", AttrType::Float)])
+            .unwrap()
+            .into_ref();
         let t = Tuple::new(
             schema,
             vec![Value::Float(1.0)],
-            SttMeta::without_location(Timestamp::from_secs(0), Theme::new("social/tweet").unwrap(), SensorId(0)),
+            SttMeta::without_location(
+                Timestamp::from_secs(0),
+                Theme::new("social/tweet").unwrap(),
+                SensorId(0),
+            ),
         )
         .unwrap();
         let mut w = EventWarehouse::with_defaults();
-        assert_eq!(w.ingest_tuple(&t, TemporalGranularity::Minute, SpatialGranularity::grid(8)), 1);
+        assert_eq!(
+            w.ingest_tuple(&t, TemporalGranularity::Minute, SpatialGranularity::grid(8)),
+            1
+        );
         assert_eq!(w.iter().next().unwrap().sgranule, SpatialGranule::World);
         // World events are not in the spatial index but remain queryable.
         assert!(w.space_index.is_empty());
@@ -343,9 +362,8 @@ mod tests {
             assert!(e.time_interval().end > horizon);
         }
         // Indexes were rebuilt consistently: query equals scan.
-        let q = crate::query::EventQuery::all().with_theme(
-            crate::store::tests::theme_of("weather"),
-        );
+        let q =
+            crate::query::EventQuery::all().with_theme(crate::store::tests::theme_of("weather"));
         let scan = w.query_scan(&q).len();
         let fast = w.query(&q).len();
         assert_eq!(scan, fast);

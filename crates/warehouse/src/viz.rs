@@ -65,9 +65,7 @@ pub fn render_heatmap(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sl_stt::{
-        Event, GeoPoint, SpatialGranularity, TemporalGranularity, Theme, Value,
-    };
+    use sl_stt::{Event, GeoPoint, SpatialGranularity, TemporalGranularity, Theme, Value};
 
     fn event_at(lat: f64, lon: f64) -> Event {
         Event::new(

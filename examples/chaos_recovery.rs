@@ -27,11 +27,19 @@ fn main() {
     let edge = t.add_node(NodeSpec::edge("sensor-host", 20.0));
     let host_b = t.add_node(NodeSpec::core("host-b", 1000.0));
     let host_c = t.add_node(NodeSpec::core("host-c", 900.0));
-    let uplink = t.add_link(edge, host_b, Duration::from_millis(2), 10_000_000).unwrap();
-    let backup = t.add_link(edge, host_c, Duration::from_millis(2), 10_000_000).unwrap();
-    t.add_link(host_b, host_c, Duration::from_millis(1), 50_000_000).unwrap();
+    let uplink = t
+        .add_link(edge, host_b, Duration::from_millis(2), 10_000_000)
+        .unwrap();
+    let backup = t
+        .add_link(edge, host_c, Duration::from_millis(2), 10_000_000)
+        .unwrap();
+    t.add_link(host_b, host_c, Duration::from_millis(1), 50_000_000)
+        .unwrap();
 
-    let config = EngineConfig { migration_enabled: false, ..Default::default() };
+    let config = EngineConfig {
+        migration_enabled: false,
+        ..Default::default()
+    };
     let start = Timestamp::from_civil(2016, 7, 1, 8, 0, 0);
     let mut session = StreamLoader::new(t, config, start);
     for i in 0..3u64 {
@@ -61,7 +69,14 @@ fn main() {
             SubscriptionFilter::any().with_theme(Theme::new("weather/temperature").unwrap()),
             schema,
         )
-        .aggregate("avg", "temp", Duration::from_secs(30), &[], AggFunc::Avg, Some("temperature"))
+        .aggregate(
+            "avg",
+            "temp",
+            Duration::from_secs(30),
+            &[],
+            AggFunc::Avg,
+            Some("temperature"),
+        )
         .sink("edw", SinkKind::Warehouse, &["avg"])
         .build()
         .unwrap();
@@ -80,12 +95,22 @@ fn main() {
         .node_crash(agg_node.0, Duration::from_secs(75))
         .node_restart(agg_node.0, Duration::from_secs(110))
         .clock_skew(0, Duration::from_secs(90), 4000);
-    println!("installing a fault plan with {} events (horizon {})\n", plan.len(), plan.horizon());
+    println!(
+        "installing a fault plan with {} events (horizon {})\n",
+        plan.len(),
+        plan.horizon()
+    );
     session.install_fault_plan(&plan);
     session.run_for(Duration::from_mins(3));
 
-    println!("aggregation now on {}", session.engine().node_of("chaos", "avg").unwrap());
-    println!("warehouse holds {} aggregated events", session.engine().warehouse().len());
+    println!(
+        "aggregation now on {}",
+        session.engine().node_of("chaos", "avg").unwrap()
+    );
+    println!(
+        "warehouse holds {} aggregated events",
+        session.engine().warehouse().len()
+    );
 
     println!("\nrecovery log:");
     for line in &session.engine().monitor().recovery {
@@ -100,9 +125,17 @@ fn main() {
     // The recovery slice of the metrics table.
     println!("\nrecovery metrics:");
     for line in session.metrics_table().lines() {
-        if ["retry/", "dlq/", "checkpoint/", "liveness/", "faults/", "recovery/", "drops/"]
-            .iter()
-            .any(|k| line.contains(k))
+        if [
+            "retry/",
+            "dlq/",
+            "checkpoint/",
+            "liveness/",
+            "faults/",
+            "recovery/",
+            "drops/",
+        ]
+        .iter()
+        .any(|k| line.contains(k))
         {
             println!("{line}");
         }

@@ -4,6 +4,7 @@
 //! cargo run --example demo_walkthrough
 //! ```
 
+use std::collections::HashMap;
 use streamloader::dataflow::{debug_run, DataflowBuilder};
 use streamloader::dsn::SinkKind;
 use streamloader::engine::EngineConfig;
@@ -13,12 +14,9 @@ use streamloader::pubsub::SubscriptionFilter;
 use streamloader::sensors::physical::TemperatureSensor;
 use streamloader::sensors::scenario::{osaka_area, osaka_center};
 use streamloader::sensors::ScenarioConfig;
-use streamloader::stt::{
-    AttrType, Duration, Field, Schema, SchemaRef, SensorId, Theme, Unit,
-};
+use streamloader::stt::{AttrType, Duration, Field, Schema, SchemaRef, SensorId, Theme, Unit};
 use streamloader::warehouse::EventQuery;
 use streamloader::StreamLoader;
-use std::collections::HashMap;
 
 fn schema(fields: &[(&str, AttrType)]) -> SchemaRef {
     Schema::new(fields.iter().map(|(n, t)| Field::new(n, *t)).collect())
@@ -27,19 +25,27 @@ fn schema(fields: &[(&str, AttrType)]) -> SchemaRef {
 }
 
 fn banner(s: &str) {
-    println!("\n{}\n=== {s} ===\n{}", "=".repeat(s.len() + 8), "=".repeat(s.len() + 8));
+    println!(
+        "\n{}\n=== {s} ===\n{}",
+        "=".repeat(s.len() + 8),
+        "=".repeat(s.len() + 8)
+    );
 }
 
 fn main() {
-    let mut session =
-        StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
     let theme = |t: &str| Theme::new(t).unwrap();
 
     // ------------------------------------------------------------------ P1
     banner("P1 — identify sensors, design the dataflow, debug on samples");
 
     println!("sensor directory, organised by theme root:");
-    for (group, ids) in session.engine().broker().registry().group_by(GroupCriterion::ThemeRoot) {
+    for (group, ids) in session
+        .engine()
+        .broker()
+        .registry()
+        .group_by(GroupCriterion::ThemeRoot)
+    {
         println!("  {group}: {} sensor(s)", ids.len());
     }
 
@@ -53,10 +59,11 @@ fn main() {
     }
 
     let dataflow = DataflowBuilder::new("walkthrough")
-        .source("temp", weather_in_osaka.clone(), schema(&[
-            ("temperature", AttrType::Float),
-            ("station", AttrType::Str),
-        ]))
+        .source(
+            "temp",
+            weather_in_osaka.clone(),
+            schema(&[("temperature", AttrType::Float), ("station", AttrType::Str)]),
+        )
         .gated_source(
             "rain",
             SubscriptionFilter::any().with_theme(theme("weather/rain")),
@@ -71,7 +78,13 @@ fn main() {
             AggFunc::Avg,
             Some("temperature"),
         )
-        .trigger_on("hot", "last_hour", Duration::from_mins(10), "avg_temperature > 25", &["rain"])
+        .trigger_on(
+            "hot",
+            "last_hour",
+            Duration::from_mins(10),
+            "avg_temperature > 25",
+            &["rain"],
+        )
         .filter("heavy", "rain", "torrential = true")
         .sink("edw", SinkKind::Warehouse, &["heavy"])
         .build()
@@ -89,20 +102,34 @@ fn main() {
         session.engine().recent_samples("walkthrough", "temp"), // none yet: empty run is fine
     );
     let run = debug_run(&dataflow, &samples).expect("sample run");
-    println!("sample run produced {} aggregated row(s) (pre-deployment debug)", run.output_of("last_hour").len());
+    println!(
+        "sample run produced {} aggregated row(s) (pre-deployment debug)",
+        run.output_of("last_hour").len()
+    );
 
     // ------------------------------------------------------------------ P2
     banner("P2 — translate to DSN/SCN, deploy, store in the EDW");
     session.deploy(dataflow).expect("deployment succeeds");
     println!("{}", session.engine().dsn_text("walkthrough").unwrap());
     session.run_for(Duration::from_hours(6));
-    println!("after 6 h: warehouse holds {} events", session.engine().warehouse().len());
+    println!(
+        "after 6 h: warehouse holds {} events",
+        session.engine().warehouse().len()
+    );
     println!("live samples now visible per source (the bottom panel):");
-    for t in session.engine().recent_samples("walkthrough", "temp").iter().take(3) {
+    for t in session
+        .engine()
+        .recent_samples("walkthrough", "temp")
+        .iter()
+        .take(3)
+    {
         println!("  {t}");
     }
     println!("\nevent density (Sticker substitute):");
-    println!("{}", session.heatmap(&EventQuery::all(), osaka_area(), 40, 10));
+    println!(
+        "{}",
+        session.heatmap(&EventQuery::all(), osaka_area(), 40, 10)
+    );
 
     // ------------------------------------------------------------------ P3
     banner("P3 — plug-and-play, on-the-fly modification, statistics");
@@ -129,7 +156,9 @@ fn main() {
         .replace_operator(
             "walkthrough",
             "heavy",
-            streamloader::ops::OpSpec::Filter { condition: "torrential = true and rain > 25".into() },
+            streamloader::ops::OpSpec::Filter {
+                condition: "torrential = true and rain > 25".into(),
+            },
         )
         .unwrap();
     session.run_for(Duration::from_hours(2));

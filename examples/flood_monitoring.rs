@@ -38,7 +38,9 @@ fn main() {
     let dataflow = DataflowBuilder::new("flood-watch")
         .source(
             "rain",
-            SubscriptionFilter::any().with_theme(theme("weather/rain")).with_area(osaka_area()),
+            SubscriptionFilter::any()
+                .with_theme(theme("weather/rain"))
+                .with_area(osaka_area()),
             schema(&[("rain", AttrType::Float), ("station", AttrType::Str)]),
         )
         .source(
@@ -48,7 +50,11 @@ fn main() {
         )
         // Normalise river level to feet for the downstream legacy consumer —
         // the paper's unit-conversion requirement, inverted.
-        .transform("level_ft", "level", &[("level", "convert_unit(level, 'm', 'ft')")])
+        .transform(
+            "level_ft",
+            "level",
+            &[("level", "convert_unit(level, 'm', 'ft')")],
+        )
         // Thin the rain stream in the wider area: keep 1 in 2.
         .cull_space("rain_thin", "rain", osaka_area(), 2)
         // Window-join rain and level every 5 minutes on proximity.
@@ -77,10 +83,16 @@ fn main() {
 
     // Show what the logical optimiser does with it.
     let (optimized, rewrites) = optimize(&dataflow).expect("valid dataflow");
-    println!("optimiser applied {} rewrite(s): {rewrites:?}", rewrites.len());
+    println!(
+        "optimiser applied {} rewrite(s): {rewrites:?}",
+        rewrites.len()
+    );
 
     session.deploy(optimized).expect("deployment succeeds");
-    println!("DSN:\n{}", session.engine().dsn_text("flood-watch").unwrap());
+    println!(
+        "DSN:\n{}",
+        session.engine().dsn_text("flood-watch").unwrap()
+    );
 
     session.run_for(Duration::from_hours(6));
 
@@ -88,7 +100,11 @@ fn main() {
     println!("{}", session.monitor_report());
     println!(
         "level acquisition now: {}",
-        if session.engine().source_active("flood-watch", "level").unwrap() {
+        if session
+            .engine()
+            .source_active("flood-watch", "level")
+            .unwrap()
+        {
             "ACTIVE"
         } else {
             "deactivated by trigger_off"

@@ -29,8 +29,10 @@ fn weak_edge_topology() -> Topology {
     let weak = t.add_node(NodeSpec::edge("weak-edge", 30.0));
     let core_a = t.add_node(NodeSpec::core("core-a", 1_000_000.0));
     let core_b = t.add_node(NodeSpec::core("core-b", 1_000_000.0));
-    t.add_link(weak, core_a, Duration::from_millis(2), 50_000_000).unwrap();
-    t.add_link(core_a, core_b, Duration::from_millis(3), 100_000_000).unwrap();
+    t.add_link(weak, core_a, Duration::from_millis(2), 50_000_000)
+        .unwrap();
+    t.add_link(core_a, core_b, Duration::from_millis(3), 100_000_000)
+        .unwrap();
     t
 }
 
@@ -75,7 +77,12 @@ fn main() {
         .unwrap();
     session.deploy(dataflow).unwrap();
     session.run_for(Duration::from_mins(2));
-    let baseline = session.engine().monitor().op("live-ops", "warm").unwrap().tuples_in();
+    let baseline = session
+        .engine()
+        .monitor()
+        .op("live-ops", "warm")
+        .unwrap()
+        .tuples_in();
     println!("baseline after 2 min: {baseline} tuples through the filter");
 
     // --- plug-and-play: a burst of fast new sensors joins ----------------
@@ -95,7 +102,12 @@ fn main() {
             .unwrap();
     }
     session.run_for(Duration::from_mins(2));
-    let after_join = session.engine().monitor().op("live-ops", "warm").unwrap().tuples_in();
+    let after_join = session
+        .engine()
+        .monitor()
+        .op("live-ops", "warm")
+        .unwrap()
+        .tuples_in();
     println!("after the burst: {after_join} tuples (new sensors bound automatically)");
 
     // Migration should have reacted to the hotspot.
@@ -109,14 +121,23 @@ fn main() {
     println!("\nplacement changes caused by load:");
     for m in &migrations {
         let from = m.from.map_or("-".into(), |n| n.to_string());
-        println!("  [{}] {}/{}: {} -> {} ({})", m.at, m.deployment, m.operator, from, m.to, m.reason);
+        println!(
+            "  [{}] {}/{}: {} -> {} ({})",
+            m.at, m.deployment, m.operator, from, m.to, m.reason
+        );
     }
 
     // --- on-the-fly operator modification --------------------------------
     println!("\ntightening the filter on the fly (> 20 °C becomes > 28 °C)...");
     session
         .engine_mut()
-        .replace_operator("live-ops", "warm", OpSpec::Filter { condition: "temperature > 28".into() })
+        .replace_operator(
+            "live-ops",
+            "warm",
+            OpSpec::Filter {
+                condition: "temperature > 28".into(),
+            },
+        )
         .unwrap();
     session.run_for(Duration::from_mins(2));
 
@@ -130,7 +151,11 @@ fn main() {
     // --- statistics (the P3 finale) ---------------------------------------
     println!("\n{}", session.monitor_report());
     let stats = session.engine().net_stats();
-    println!("network: {} messages, {} bytes total", stats.total_msgs(), stats.total_bytes());
+    println!(
+        "network: {} messages, {} bytes total",
+        stats.total_msgs(),
+        stats.total_bytes()
+    );
     if let Some(d) = stats.mean_hop_delay() {
         println!("mean per-hop delay: {d}");
     }
@@ -138,7 +163,15 @@ fn main() {
         println!("busiest link: {link} with {msgs} messages");
     }
     println!("\nmembership log (last 6):");
-    for line in session.engine().monitor().membership.iter().rev().take(6).rev() {
+    for line in session
+        .engine()
+        .monitor()
+        .membership
+        .iter()
+        .rev()
+        .take(6)
+        .rev()
+    {
         println!("  {line}");
     }
 }

@@ -30,8 +30,7 @@ fn schema(fields: &[(&str, AttrType)]) -> SchemaRef {
 }
 
 fn main() {
-    let mut session =
-        StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
     let theme = |t: &str| Theme::new(t).unwrap();
     let in_osaka = |t: &str| {
         SubscriptionFilter::any()
@@ -94,18 +93,32 @@ fn main() {
         .filter("storm_tweets", "tweets", "storm_related = true")
         // Congested roads only, with congestion re-expressed in percent.
         .filter("congested", "traffic", "congestion > 0.6")
-        .transform("traffic_pct", "congested", &[("congestion", "congestion * 100")])
-        .sink("edw", SinkKind::Warehouse, &["torrential", "storm_tweets", "traffic_pct"])
+        .transform(
+            "traffic_pct",
+            "congested",
+            &[("congestion", "congestion * 100")],
+        )
+        .sink(
+            "edw",
+            SinkKind::Warehouse,
+            &["torrential", "storm_tweets", "traffic_pct"],
+        )
         .build()
         .expect("scenario dataflow is well-formed");
 
     session.deploy(dataflow).expect("deployment succeeds");
-    println!("deployed; DSN:\n{}", session.engine().dsn_text("osaka-hot-weather").unwrap());
+    println!(
+        "deployed; DSN:\n{}",
+        session.engine().dsn_text("osaka-hot-weather").unwrap()
+    );
 
     // Run a simulated day from 08:00.
     for hour in 0..24 {
         session.run_for(Duration::from_hours(1));
-        let active = session.engine().source_active("osaka-hot-weather", "rain").unwrap();
+        let active = session
+            .engine()
+            .source_active("osaka-hot-weather", "rain")
+            .unwrap();
         let fired = session.engine().monitor().controls.len();
         println!(
             "hour {:>2}: rain acquisition {} ({} trigger actions so far)",
@@ -137,5 +150,8 @@ fn main() {
 
     // The Sticker-style view: where did the acquired events happen?
     println!("\nevent density over the Osaka area (Sticker-substitute view):");
-    println!("{}", session.heatmap(&EventQuery::all(), osaka_area(), 48, 14));
+    println!(
+        "{}",
+        session.heatmap(&EventQuery::all(), osaka_area(), 48, 14)
+    );
 }

@@ -15,8 +15,7 @@ use streamloader::StreamLoader;
 
 fn main() {
     // A session against the demo testbed with the Osaka fleet plugged in.
-    let mut session =
-        StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
 
     // --- P1: discovery -------------------------------------------------
     let weather = SubscriptionFilter::any().with_theme(Theme::new("weather").unwrap());
@@ -52,7 +51,10 @@ fn main() {
 
     // --- P2: deploy and run ---------------------------------------------
     session.deploy(dataflow).expect("deployment succeeds");
-    println!("\nDSN translation:\n{}", session.engine().dsn_text("quickstart").unwrap());
+    println!(
+        "\nDSN translation:\n{}",
+        session.engine().dsn_text("quickstart").unwrap()
+    );
 
     session.run_for(Duration::from_mins(5));
 

@@ -9,7 +9,12 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo test -p sl-engine --test chaos
+cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+# Static analysis gate: every example DSN document must lint clean
+# (infos allowed, warnings and errors are not).
+cargo run --release -q --bin sl-lint -- --deny-warnings examples/dsn/*.dsn
 
 echo "check.sh: all green"

@@ -1,0 +1,120 @@
+//! `sl-lint` — lint DSN dataflow documents from the command line.
+//!
+//! ```sh
+//! sl-lint [--deny-warnings] [--nict] FILE...
+//! ```
+//!
+//! Each file is parsed as a DSN document; source schemas are inferred from
+//! `has name:type` filter clauses (sources without them get an `SL009` note
+//! and schema-dependent checks are skipped). `--nict` additionally checks
+//! rate/QoS feasibility against the paper's NICT testbed topology. Pass `-`
+//! to read a document from stdin.
+//!
+//! Exit status: 0 when every document is free of errors (and of warnings
+//! under `--deny-warnings`), 1 otherwise, 2 on usage or I/O problems.
+
+use sl_lint::{lint_document, LintContext, Severity};
+use sl_stt::{Field, Schema, SchemaRef};
+use std::collections::HashMap;
+use std::io::Read as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut deny_warnings = false;
+    let mut nict = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny-warnings" => deny_warnings = true,
+            "--nict" => nict = true,
+            "--help" | "-h" => {
+                println!("usage: sl-lint [--deny-warnings] [--nict] FILE...");
+                println!("lint DSN dataflow documents; `-` reads from stdin");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("sl-lint: unknown flag `{flag}` (try --help)");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: sl-lint [--deny-warnings] [--nict] FILE...");
+        return ExitCode::from(2);
+    }
+
+    let topology = nict.then(sl_netsim::Topology::nict_testbed);
+    let ctx = LintContext {
+        topology: topology.as_ref(),
+        ..LintContext::default()
+    };
+
+    let mut failed = false;
+    for file in &files {
+        let text = match read_input(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("sl-lint: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let doc = match sl_dsn::parse_document(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("{file}: parse error: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let report = lint_document(&doc, &inferred_schemas(&doc), &ctx);
+        print!("{}", report.render());
+        if report.error_count() > 0
+            || (deny_warnings && report.at(Severity::Warning).next().is_some())
+        {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn read_input(file: &str) -> std::io::Result<String> {
+    if file == "-" {
+        let mut text = String::new();
+        std::io::stdin().read_to_string(&mut text)?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(file)
+    }
+}
+
+/// Schemas declared through `has name:type` filter clauses.
+fn inferred_schemas(doc: &sl_dsn::DsnDocument) -> HashMap<String, SchemaRef> {
+    let mut schemas = HashMap::new();
+    for src in &doc.sources {
+        if src.filter.required_attrs.is_empty() {
+            continue;
+        }
+        let fields = src
+            .filter
+            .required_attrs
+            .iter()
+            .map(|(n, t)| Field::new(n, *t))
+            .collect();
+        match Schema::new(fields) {
+            Ok(schema) => {
+                let schema: SchemaRef = Arc::new(schema);
+                schemas.insert(src.name.clone(), schema);
+            }
+            Err(e) => {
+                eprintln!("{}: source `{}`: bad schema: {e}", doc.name, src.name);
+            }
+        }
+    }
+    schemas
+}

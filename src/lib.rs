@@ -48,6 +48,7 @@ pub use sl_dsn as dsn;
 pub use sl_engine as engine;
 pub use sl_expr as expr;
 pub use sl_faults as faults;
+pub use sl_lint as lint;
 pub use sl_netsim as netsim;
 pub use sl_obs as obs;
 pub use sl_ops as ops;

@@ -19,7 +19,9 @@ pub struct StreamLoader {
 impl StreamLoader {
     /// A session on an arbitrary network.
     pub fn new(topology: Topology, config: EngineConfig, start: Timestamp) -> StreamLoader {
-        StreamLoader { engine: Engine::new(topology, config, start) }
+        StreamLoader {
+            engine: Engine::new(topology, config, start),
+        }
     }
 
     /// The paper's demo setup: the NICT-like testbed with the Osaka sensor
@@ -29,19 +31,44 @@ impl StreamLoader {
         let start = Timestamp::from_civil(2016, 7, 1, 8, 0, 0);
         let mut session = StreamLoader::new(fleet.topology, engine, start);
         for sensor in fleet.sensors {
-            session.engine.add_sensor(sensor).expect("fresh fleet has unique ids");
+            session
+                .engine
+                .add_sensor(sensor)
+                .expect("fresh fleet has unique ids");
         }
         session
     }
 
     /// Discovery (demo P1): sensors currently matching a filter.
     pub fn discover(&self, filter: &SubscriptionFilter) -> Vec<SensorAdvertisement> {
-        self.engine.broker().registry().discover(filter).cloned().collect()
+        self.engine
+            .broker()
+            .registry()
+            .discover(filter)
+            .cloned()
+            .collect()
     }
 
     /// Validate a dataflow without deploying — the canvas's live checks.
-    pub fn check(&self, dataflow: &Dataflow) -> Result<ValidationReport, sl_dataflow::DataflowError> {
+    pub fn check(
+        &self,
+        dataflow: &Dataflow,
+    ) -> Result<ValidationReport, sl_dataflow::DataflowError> {
         validate(dataflow)
+    }
+
+    /// Statically analyze a dataflow against this session's live sensor
+    /// registry and network topology: granularity consistency, cache
+    /// boundedness, rate/volume feasibility, and dead code, on top of the
+    /// structural checks of [`StreamLoader::check`]. Never stops at the
+    /// first problem — the report accumulates every finding.
+    pub fn lint(&self, dataflow: &Dataflow) -> sl_lint::LintReport {
+        let ctx = sl_lint::LintContext {
+            topology: Some(self.engine.topology()),
+            registry: Some(self.engine.broker().registry()),
+            config: sl_lint::LintConfig::default(),
+        };
+        sl_lint::lint_dataflow(dataflow, &ctx)
     }
 
     /// Step-debug a dataflow on sample tuples (demo P1).
@@ -69,8 +96,13 @@ impl StreamLoader {
         let registry = self.engine.broker().registry();
         let mut schemas = HashMap::new();
         for src in &doc.sources {
-            let schema = sl_dataflow::infer_source_schema(&src.filter, registry)
-                .ok_or_else(|| format!("source `{}`: no matching sensors to infer a schema from", src.name))?;
+            let schema =
+                sl_dataflow::infer_source_schema(&src.filter, registry).ok_or_else(|| {
+                    format!(
+                        "source `{}`: no matching sensors to infer a schema from",
+                        src.name
+                    )
+                })?;
             schemas.insert(src.name.clone(), schema);
         }
         let df = sl_dataflow::from_dsn(&doc, &schemas)?;
@@ -111,7 +143,11 @@ impl StreamLoader {
                 .map_or(String::from("-"), |n| n.to_string());
             annotations.insert(
                 op.clone(),
-                format!("{rate:.1} tuples/s on {node} (in={} out={})", counters.tuples_in(), counters.tuples_out()),
+                format!(
+                    "{rate:.1} tuples/s on {node} (in={} out={})",
+                    counters.tuples_in(),
+                    counters.tuples_out()
+                ),
             );
         }
         Ok(render_ascii(df, &annotations))
@@ -139,7 +175,12 @@ impl StreamLoader {
 
     /// Query the Event Data Warehouse.
     pub fn query_warehouse(&mut self, q: &EventQuery) -> Vec<sl_stt::Event> {
-        self.engine.warehouse_mut().query(q).into_iter().cloned().collect()
+        self.engine
+            .warehouse_mut()
+            .query(q)
+            .into_iter()
+            .cloned()
+            .collect()
     }
 
     /// Roll up the warehouse.

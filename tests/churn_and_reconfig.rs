@@ -66,7 +66,9 @@ fn churn_rebinding_tracks_fleet() {
     let mut live: Vec<SensorId> = Vec::new();
     for round in 0..30 {
         if round % 2 == 0 || live.is_empty() {
-            let id = s.add_sensor(sensor(next_id, 3 + (next_id % 9) as u32, 1000)).unwrap();
+            let id = s
+                .add_sensor(sensor(next_id, 3 + (next_id % 9) as u32, 1000))
+                .unwrap();
             live.push(id);
             next_id += 1;
         } else {
@@ -84,8 +86,20 @@ fn churn_rebinding_tracks_fleet() {
     let c = s.engine().monitor().op("churn", "keep").unwrap();
     assert!(c.tuples_in() > 100, "in {}", c.tuples_in());
     // Membership log recorded every change.
-    let joins = s.engine().monitor().membership.iter().filter(|l| l.contains("joined")).count();
-    let leaves = s.engine().monitor().membership.iter().filter(|l| l.contains("left")).count();
+    let joins = s
+        .engine()
+        .monitor()
+        .membership
+        .iter()
+        .filter(|l| l.contains("joined"))
+        .count();
+    let leaves = s
+        .engine()
+        .monitor()
+        .membership
+        .iter()
+        .filter(|l| l.contains("left"))
+        .count();
     assert_eq!(joins, next_id as usize);
     assert_eq!(leaves, next_id as usize - live.len());
 }
@@ -99,7 +113,13 @@ fn conservation_under_churn_and_modification() {
     }
     s.run_for(Duration::from_mins(1));
     s.engine_mut()
-        .replace_operator("acc", "keep", OpSpec::Filter { condition: "temperature > 22".into() })
+        .replace_operator(
+            "acc",
+            "keep",
+            OpSpec::Filter {
+                condition: "temperature > 22".into(),
+            },
+        )
         .unwrap();
     s.remove_sensor(SensorId(0)).unwrap();
     s.add_sensor(sensor(100, 5, 250)).unwrap();
@@ -112,7 +132,10 @@ fn conservation_under_churn_and_modification() {
         "filter must account for every tuple across churn and replacement"
     );
     // Sink receives exactly what the filter emitted (visualization sink).
-    assert_eq!(s.engine().monitor().sink_count("acc", "out"), c.tuples_out());
+    assert_eq!(
+        s.engine().monitor().sink_count("acc", "out"),
+        c.tuples_out()
+    );
 }
 
 #[test]
@@ -145,7 +168,14 @@ fn blocking_operator_replacement_keeps_ticking() {
             SubscriptionFilter::any().with_theme(Theme::new("weather/temperature").unwrap()),
             temp_schema(),
         )
-        .aggregate("agg", "temp", Duration::from_secs(10), &[], streamloader::ops::AggFunc::Count, None)
+        .aggregate(
+            "agg",
+            "temp",
+            Duration::from_secs(10),
+            &[],
+            streamloader::ops::AggFunc::Count,
+            None,
+        )
         .sink("out", SinkKind::Visualization, &["agg"])
         .build()
         .unwrap();
@@ -163,13 +193,17 @@ fn blocking_operator_replacement_keeps_ticking() {
                 period: Duration::from_secs(5),
                 group_by: vec![],
                 func: streamloader::ops::AggFunc::Count,
-                attr: None, sliding: None,
+                attr: None,
+                sliding: None,
             },
         )
         .unwrap();
     s.run_for(Duration::from_secs(30));
     let out_after = s.engine().monitor().op("blk", "agg").unwrap().tuples_out();
-    assert!(out_after > out_before, "aggregation keeps producing after replacement");
+    assert!(
+        out_after > out_before,
+        "aggregation keeps producing after replacement"
+    );
 }
 
 #[test]

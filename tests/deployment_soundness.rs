@@ -12,7 +12,9 @@ use streamloader::netsim::Topology;
 use streamloader::ops::AggFunc;
 use streamloader::pubsub::SubscriptionFilter;
 use streamloader::sensors::scenario::osaka_area;
-use streamloader::stt::{AttrType, Duration, Field, Schema, SchemaRef, Theme, TimeInterval, Timestamp};
+use streamloader::stt::{
+    AttrType, Duration, Field, Schema, SchemaRef, Theme, TimeInterval, Timestamp,
+};
 use streamloader::StreamLoader;
 
 fn schema(fields: &[(&str, AttrType)]) -> SchemaRef {
@@ -55,23 +57,55 @@ fn valid_corpus() -> Vec<Dataflow> {
             .unwrap(),
         // Aggregation grouped two ways.
         b().source("s", weather(), temp_schema())
-            .aggregate("g", "s", Duration::from_mins(1), &["station"], AggFunc::Max, Some("temperature"))
-            .aggregate("gg", "g", Duration::from_mins(5), &[], AggFunc::Avg, Some("max_temperature"))
+            .aggregate(
+                "g",
+                "s",
+                Duration::from_mins(1),
+                &["station"],
+                AggFunc::Max,
+                Some("temperature"),
+            )
+            .aggregate(
+                "gg",
+                "g",
+                Duration::from_mins(5),
+                &[],
+                AggFunc::Avg,
+                Some("max_temperature"),
+            )
             .sink("out", SinkKind::Console, &["gg"])
             .build()
             .unwrap(),
         // Join of two sources.
         b().source("a", weather(), temp_schema())
             .source("b", weather(), temp_schema())
-            .join("j", "a", "b", Duration::from_secs(30), "station = right_station")
+            .join(
+                "j",
+                "a",
+                "b",
+                Duration::from_secs(30),
+                "station = right_station",
+            )
             .sink("out", SinkKind::Visualization, &["j"])
             .build()
             .unwrap(),
         // Trigger pair gating a source.
         b().source("s", weather(), temp_schema())
             .gated_source("x", weather(), temp_schema())
-            .trigger_on("on", "s", Duration::from_mins(1), "temperature > 25", &["x"])
-            .trigger_off("off", "s", Duration::from_mins(1), "temperature < 20", &["x"])
+            .trigger_on(
+                "on",
+                "s",
+                Duration::from_mins(1),
+                "temperature > 25",
+                &["x"],
+            )
+            .trigger_off(
+                "off",
+                "s",
+                Duration::from_mins(1),
+                "temperature < 20",
+                &["x"],
+            )
             .filter("fx", "x", "temperature > 0")
             .sink("out", SinkKind::Console, &["fx"])
             .build()
@@ -119,7 +153,14 @@ fn invalid_corpus() -> Vec<(&'static str, Dataflow)> {
         (
             "attribute lost after aggregation",
             b().source("s", weather(), temp_schema())
-                .aggregate("g", "s", Duration::from_mins(1), &[], AggFunc::Avg, Some("temperature"))
+                .aggregate(
+                    "g",
+                    "s",
+                    Duration::from_mins(1),
+                    &[],
+                    AggFunc::Avg,
+                    Some("temperature"),
+                )
                 .filter("f", "g", "temperature > 1")
                 .sink("out", SinkKind::Console, &["f"])
                 .build()
@@ -146,7 +187,14 @@ fn invalid_corpus() -> Vec<(&'static str, Dataflow)> {
         (
             "aggregate of a non-numeric attribute",
             b().source("s", weather(), temp_schema())
-                .aggregate("g", "s", Duration::from_mins(1), &[], AggFunc::Sum, Some("station"))
+                .aggregate(
+                    "g",
+                    "s",
+                    Duration::from_mins(1),
+                    &[],
+                    AggFunc::Sum,
+                    Some("station"),
+                )
                 .sink("out", SinkKind::Console, &["g"])
                 .build()
                 .unwrap(),
@@ -183,8 +231,12 @@ fn every_valid_dataflow_deploys_and_runs() {
     for (i, mut df) in valid_corpus().into_iter().enumerate() {
         df.name = format!("valid-{i}");
         let mut session = fresh_session();
-        session.check(&df).unwrap_or_else(|e| panic!("valid-{i} failed validation: {e}"));
-        session.deploy(df).unwrap_or_else(|e| panic!("valid-{i} failed deployment: {e}"));
+        session
+            .check(&df)
+            .unwrap_or_else(|e| panic!("valid-{i} failed validation: {e}"));
+        session
+            .deploy(df)
+            .unwrap_or_else(|e| panic!("valid-{i} failed deployment: {e}"));
         session.run_for(Duration::from_mins(2));
         // Translation is available and reparses.
         let text = session.engine().dsn_text(&format!("valid-{i}")).unwrap();
@@ -199,7 +251,10 @@ fn every_valid_dataflow_deploys_and_runs() {
 fn every_invalid_dataflow_is_rejected_before_deployment() {
     for (label, df) in invalid_corpus() {
         let session = fresh_session();
-        assert!(session.check(&df).is_err(), "`{label}` passed validation but should not");
+        assert!(
+            session.check(&df).is_err(),
+            "`{label}` passed validation but should not"
+        );
         let mut session = fresh_session();
         match session.deploy(df) {
             Err(EngineError::Dataflow(_)) => {}
@@ -208,7 +263,11 @@ fn every_invalid_dataflow_is_rejected_before_deployment() {
         }
         // Nothing was actuated.
         assert!(session.engine().deployment_names().is_empty());
-        assert_eq!(session.engine().loads().len(), 0, "`{label}` leaked processes");
+        assert_eq!(
+            session.engine().loads().len(),
+            0,
+            "`{label}` leaked processes"
+        );
         assert_eq!(
             session.engine().broker().subscription_count(),
             0,

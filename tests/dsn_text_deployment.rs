@@ -35,8 +35,7 @@ dsn "hand-authored" {
 
 #[test]
 fn dsn_text_deploys_and_runs() {
-    let mut session =
-        StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
     session.deploy_dsn(DSN_TEXT).expect("text deploys");
     assert_eq!(session.engine().deployment_names(), vec!["hand-authored"]);
     // The inferred schema came from the Celsius stations: it must include
@@ -44,7 +43,11 @@ fn dsn_text_deploys_and_runs() {
     let bound = session.engine().bound_sensors("hand-authored", "temps");
     assert!(!bound.is_empty());
     session.run_for(Duration::from_mins(30));
-    let agg = session.engine().monitor().op("hand-authored", "hourly").unwrap();
+    let agg = session
+        .engine()
+        .monitor()
+        .op("hand-authored", "hourly")
+        .unwrap();
     assert!(agg.tuples_in() > 0);
     assert!(agg.tuples_out() > 0);
     assert!(!session.engine().warehouse().is_empty());
@@ -56,8 +59,7 @@ fn dsn_text_deploys_and_runs() {
 
 #[test]
 fn dsn_text_with_unmatchable_source_fails_with_explanation() {
-    let mut session =
-        StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
     let text = r#"
 dsn "nothing" {
   source ghost { filter: theme=seismic/tremor; mode: active; }
@@ -71,14 +73,18 @@ dsn "nothing" {
 
 #[test]
 fn heatmap_shows_osaka_activity() {
-    let mut session =
-        StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
     session.deploy_dsn(DSN_TEXT).unwrap();
     session.run_for(Duration::from_hours(2));
     let map = session.heatmap(&EventQuery::all(), osaka_area(), 24, 10);
     // Something rendered, with a non-zero max cell.
     assert!(map.contains("max cell:"));
-    assert!(!map.contains("max cell: 0"), "expected events on the map:\n{map}");
+    assert!(
+        !map.contains("max cell: 0"),
+        "expected events on the map:\n{map}"
+    );
     let data_rows: Vec<&str> = map.lines().skip(1).take(10).collect();
-    assert!(data_rows.iter().any(|r| r.chars().any(|c| c != ' ' && c != '│')));
+    assert!(data_rows
+        .iter()
+        .any(|r| r.chars().any(|c| c != ' ' && c != '│')));
 }

@@ -1,0 +1,122 @@
+//! Property: the static analyzer is sound w.r.t. deployment. For random
+//! operator chains over the Osaka fleet, a lint report with no errors means
+//! the dataflow validates, deploys, and runs without runtime schema or
+//! delivery failures — and conversely a dataflow the validator rejects is
+//! never reported error-free.
+
+use proptest::prelude::*;
+use streamloader::dataflow::{Dataflow, DataflowBuilder};
+use streamloader::dsn::SinkKind;
+use streamloader::engine::EngineConfig;
+use streamloader::ops::AggFunc;
+use streamloader::pubsub::SubscriptionFilter;
+use streamloader::sensors::ScenarioConfig;
+use streamloader::stt::{AttrType, Duration, Field, Schema, SchemaRef, Theme};
+use streamloader::StreamLoader;
+
+fn temp_schema() -> SchemaRef {
+    Schema::new(vec![
+        Field::new("temperature", AttrType::Float),
+        Field::new("station", AttrType::Str),
+    ])
+    .unwrap()
+    .into_ref()
+}
+
+/// One step of a random pipeline. Some steps are deliberately broken
+/// (unknown attributes, constant predicates, misaligned windows) so the
+/// property exercises both clean and dirty reports.
+#[derive(Debug, Clone)]
+enum Step {
+    FilterHot,
+    FilterGhostAttr,
+    FilterConstant,
+    Scale,
+    RiskProperty,
+    HourlyAvg { period_s: u64 },
+    CullHalf,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        Just(Step::FilterHot),
+        Just(Step::FilterGhostAttr),
+        Just(Step::FilterConstant),
+        Just(Step::Scale),
+        Just(Step::RiskProperty),
+        (60u64..600).prop_map(|period_s| Step::HourlyAvg { period_s }),
+        Just(Step::CullHalf),
+    ]
+}
+
+fn build(steps: &[Step]) -> Dataflow {
+    let mut b = DataflowBuilder::new("prop").source(
+        "temp",
+        SubscriptionFilter::any().with_theme(Theme::new("weather/temperature").unwrap()),
+        temp_schema(),
+    );
+    let mut prev = "temp".to_string();
+    for (i, step) in steps.iter().enumerate() {
+        let name = format!("n{i}");
+        b = match step {
+            Step::FilterHot => b.filter(&name, &prev, "temperature > 25"),
+            Step::FilterGhostAttr => b.filter(&name, &prev, "humidity > 10"),
+            Step::FilterConstant => b.filter(&name, &prev, "1 > 2"),
+            Step::Scale => b.transform(&name, &prev, &[("temperature", "temperature * 2")]),
+            Step::RiskProperty => b.virtual_property(&name, &prev, "risk", "temperature * 0.1"),
+            Step::HourlyAvg { period_s } => b.aggregate(
+                &name,
+                &prev,
+                Duration::from_secs(*period_s),
+                &["station"],
+                AggFunc::Avg,
+                Some("temperature"),
+            ),
+            Step::CullHalf => b.cull_time(
+                &name,
+                &prev,
+                streamloader::stt::TimeInterval::new(
+                    streamloader::stt::Timestamp::from_secs(0),
+                    streamloader::stt::Timestamp::from_secs(4_000_000_000),
+                ),
+                2,
+            ),
+        };
+        prev = name;
+    }
+    b.sink("out", SinkKind::Console, &[&prev]).build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lint_clean_pipelines_deploy_and_run(steps in proptest::collection::vec(arb_step(), 0..5)) {
+        let df = build(&steps);
+        let mut session = StreamLoader::osaka_demo(
+            &ScenarioConfig::default(),
+            EngineConfig::default(),
+        );
+        let report = session.lint(&df);
+
+        if report.error_count() == 0 {
+            // Error-free lint ⇒ the hard validator agrees and the dataflow
+            // deploys and runs without schema/delivery failures.
+            session.check(&df).expect("lint-clean dataflow must validate");
+            session.deploy(df).expect("lint-clean dataflow must deploy");
+            session.run_for(Duration::from_mins(10));
+            prop_assert!(
+                session.dlq().is_empty(),
+                "lint-clean dataflow produced dead letters"
+            );
+        } else {
+            // Error-level findings ⇒ the validator rejects it too (errors
+            // are reserved for documents that cannot soundly deploy).
+            prop_assert!(
+                session.check(&df).is_err(),
+                "lint reported errors but the dataflow validates:\n{}",
+                report.render()
+            );
+        }
+    }
+}

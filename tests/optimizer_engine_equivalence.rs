@@ -30,7 +30,12 @@ fn rewriteable_flow() -> streamloader::dataflow::Dataflow {
         )
         // Virtual property ahead of two fusable filters on raw attributes:
         // both rewrites apply.
-        .virtual_property("enrich", "temp", "apparent", "apparent_temperature(temperature, humidity)")
+        .virtual_property(
+            "enrich",
+            "temp",
+            "apparent",
+            "apparent_temperature(temperature, humidity)",
+        )
         .filter("warm", "enrich", "temperature > 24")
         .filter("humid", "warm", "humidity > 40")
         .sink("out", SinkKind::Visualization, &["humid"])
@@ -77,7 +82,10 @@ fn optimized_flow_delivers_identical_sink_stream_with_less_work() {
     let (sink_a, vprop_a, _msgs_a) = run(original);
     let (sink_b, vprop_b, _msgs_b) = run(optimized);
     assert!(sink_a > 0, "workload must actually deliver tuples");
-    assert_eq!(sink_a, sink_b, "optimisation must not change the sink stream");
+    assert_eq!(
+        sink_a, sink_b,
+        "optimisation must not change the sink stream"
+    );
     assert!(
         vprop_b < vprop_a,
         "pulled-ahead filters must shield the transform: {vprop_b} !< {vprop_a}"

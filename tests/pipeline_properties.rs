@@ -3,6 +3,7 @@
 //! through the sample debugger, and optimisation preserves behaviour.
 
 use proptest::prelude::*;
+use std::collections::HashMap;
 use streamloader::dataflow::{debug_run, optimize, DataflowBuilder};
 use streamloader::dsn::SinkKind;
 use streamloader::pubsub::SubscriptionFilter;
@@ -10,7 +11,6 @@ use streamloader::stt::{
     AttrType, Duration, Field, GeoPoint, Schema, SchemaRef, SensorId, SttMeta, Theme, Timestamp,
     Tuple, Value,
 };
-use std::collections::HashMap;
 
 fn schema() -> SchemaRef {
     Schema::new(vec![
@@ -37,16 +37,14 @@ fn tuple(a: f64, b: f64, k: i64, sec: i64) -> Tuple {
 }
 
 fn arb_samples() -> impl Strategy<Value = Vec<Tuple>> {
-    proptest::collection::vec(
-        (-100.0f64..100.0, -100.0f64..100.0, 0i64..5),
-        0..40,
+    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0, 0i64..5), 0..40).prop_map(
+        |rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (a, b, k))| tuple(a, b, k, i as i64))
+                .collect()
+        },
     )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .enumerate()
-            .map(|(i, (a, b, k))| tuple(a, b, k, i as i64))
-            .collect()
-    })
 }
 
 /// A filter condition with a known closure for checking.

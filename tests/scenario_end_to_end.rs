@@ -69,7 +69,10 @@ fn scenario_dataflow() -> streamloader::dataflow::Dataflow {
 }
 
 fn run_scenario(heat_wave: bool, hours: u64) -> StreamLoader {
-    let scenario = ScenarioConfig { heat_wave, ..Default::default() };
+    let scenario = ScenarioConfig {
+        heat_wave,
+        ..Default::default()
+    };
     let mut session = StreamLoader::osaka_demo(&scenario, EngineConfig::default());
     session.deploy(scenario_dataflow()).unwrap();
     session.run_for(Duration::from_hours(hours));
@@ -81,8 +84,14 @@ fn heat_wave_fires_trigger_and_activates_acquisition() {
     let session = run_scenario(true, 8); // 08:00 → 16:00: midday crosses 25 °C
     let engine = session.engine();
     // The gated sources became active.
-    assert_eq!(engine.source_active("osaka-hot-weather", "rain"), Some(true));
-    assert_eq!(engine.source_active("osaka-hot-weather", "tweets"), Some(true));
+    assert_eq!(
+        engine.source_active("osaka-hot-weather", "rain"),
+        Some(true)
+    );
+    assert_eq!(
+        engine.source_active("osaka-hot-weather", "tweets"),
+        Some(true)
+    );
     // The trigger fired at least once and was logged.
     let fired: Vec<_> = engine
         .monitor()
@@ -92,8 +101,14 @@ fn heat_wave_fires_trigger_and_activates_acquisition() {
         .collect();
     assert!(!fired.is_empty());
     // Rain tuples flowed after activation.
-    let c = engine.monitor().op("osaka-hot-weather", "torrential").unwrap();
-    assert!(c.tuples_in() > 0, "rain tuples should reach the filter once active");
+    let c = engine
+        .monitor()
+        .op("osaka-hot-weather", "torrential")
+        .unwrap();
+    assert!(
+        c.tuples_in() > 0,
+        "rain tuples should reach the filter once active"
+    );
     // Only torrential tuples survive the filter.
     assert_eq!(c.tuples_in(), c.tuples_out() + c.dropped());
 }
@@ -104,7 +119,10 @@ fn cold_day_never_activates() {
     // Early-morning mild profile: the 08:00-09:00 hourly average stays
     // well below 25 °C (base 22 °C wave peaking at 14:00).
     let engine = session.engine();
-    assert_eq!(engine.source_active("osaka-hot-weather", "rain"), Some(false));
+    assert_eq!(
+        engine.source_active("osaka-hot-weather", "rain"),
+        Some(false)
+    );
     assert!(engine
         .monitor()
         .op("osaka-hot-weather", "torrential")
@@ -149,7 +167,11 @@ fn hourly_average_matches_sensor_population() {
         "expected ~{expected} aggregate inputs, got {got}"
     );
     // One output row per non-empty hourly window.
-    assert!(agg.tuples_out() >= 2 && agg.tuples_out() <= 4, "out {}", agg.tuples_out());
+    assert!(
+        agg.tuples_out() >= 2 && agg.tuples_out() <= 4,
+        "out {}",
+        agg.tuples_out()
+    );
 }
 
 #[test]
@@ -157,7 +179,8 @@ fn scenario_is_deterministic() {
     let summary = |s: &StreamLoader| {
         let m = s.engine().monitor();
         (
-            m.op("osaka-hot-weather", "hourly_avg").map(|c| (c.tuples_in(), c.tuples_out())),
+            m.op("osaka-hot-weather", "hourly_avg")
+                .map(|c| (c.tuples_in(), c.tuples_out())),
             m.controls.len(),
             s.engine().warehouse().len(),
             s.engine().net_stats().total_bytes(),
@@ -199,16 +222,36 @@ fn sliding_last_hour_reacts_faster_than_tumbling() {
                 Some("temperature"),
             )
         } else {
-            b.aggregate("avg", "temperature", Duration::from_hours(1), &[], AggFunc::Avg, Some("temperature"))
+            b.aggregate(
+                "avg",
+                "temperature",
+                Duration::from_hours(1),
+                &[],
+                AggFunc::Avg,
+                Some("temperature"),
+            )
         };
-        let trigger_period = if sliding { Duration::from_mins(10) } else { Duration::from_hours(1) };
-        b.trigger_on("hot", "avg", trigger_period, "avg_temperature > 29", &["rain"])
-            .sink("out", SinkKind::Visualization, &["rain"])
-            .build()
-            .unwrap()
+        let trigger_period = if sliding {
+            Duration::from_mins(10)
+        } else {
+            Duration::from_hours(1)
+        };
+        b.trigger_on(
+            "hot",
+            "avg",
+            trigger_period,
+            "avg_temperature > 29",
+            &["rain"],
+        )
+        .sink("out", SinkKind::Visualization, &["rain"])
+        .build()
+        .unwrap()
     };
     let first_activation = |sliding: bool| -> Option<u64> {
-        let scenario = ScenarioConfig { heat_wave: true, ..Default::default() };
+        let scenario = ScenarioConfig {
+            heat_wave: true,
+            ..Default::default()
+        };
         let mut session = StreamLoader::osaka_demo(&scenario, EngineConfig::default());
         session.deploy(build(sliding)).unwrap();
         for step in 0..6 * 10 {

@@ -56,13 +56,17 @@ impl From<Vec<u8>> for Bytes {
 
 impl From<String> for Bytes {
     fn from(s: String) -> Bytes {
-        Bytes { data: s.into_bytes().into() }
+        Bytes {
+            data: s.into_bytes().into(),
+        }
     }
 }
 
 impl From<&'static str> for Bytes {
     fn from(s: &'static str) -> Bytes {
-        Bytes { data: s.as_bytes().into() }
+        Bytes {
+            data: s.as_bytes().into(),
+        }
     }
 }
 

@@ -96,7 +96,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id);
-        run_one(&label, &mut |b: &mut Bencher| f(b, input), self.throughput.clone());
+        run_one(
+            &label,
+            &mut |b: &mut Bencher| f(b, input),
+            self.throughput.clone(),
+        );
         self
     }
 
@@ -172,12 +176,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Identifier from a name and a parameter value.
     pub fn new<P: Display>(name: &str, parameter: P) -> BenchmarkId {
-        BenchmarkId { text: format!("{name}/{parameter}") }
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
     }
 
     /// Identifier from a parameter value alone.
     pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
-        BenchmarkId { text: parameter.to_string() }
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
     }
 }
 
@@ -188,7 +196,10 @@ impl Display for BenchmarkId {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F, throughput: Option<Throughput>) {
-    let mut bencher = Bencher { iters: TARGET_ITERS, elapsed: Duration::ZERO };
+    let mut bencher = Bencher {
+        iters: TARGET_ITERS,
+        elapsed: Duration::ZERO,
+    };
     f(&mut bencher);
     let per_iter = bencher.elapsed;
     let rate = match throughput {
@@ -233,7 +244,11 @@ mod tests {
         let mut g = c.benchmark_group("grp");
         g.sample_size(5).throughput(Throughput::Elements(10));
         g.bench_function(BenchmarkId::new("sum", 4), |b| {
-            b.iter_batched(|| vec![1u64; 4], |v| v.iter().sum::<u64>(), BatchSize::SmallInput)
+            b.iter_batched(
+                || vec![1u64; 4],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
         });
         g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
             b.iter(|| n * 2)

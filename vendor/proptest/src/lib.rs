@@ -53,7 +53,9 @@ impl TestRng {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        TestRng { s: [next(), next(), next(), next()] }
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     /// Next raw 64-bit value.
@@ -132,7 +134,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy { inner: Rc::new(move |rng: &mut TestRng| self.sample(rng)) }
+        BoxedStrategy {
+            inner: Rc::new(move |rng: &mut TestRng| self.sample(rng)),
+        }
     }
 
     /// Generate recursive structures: up to `depth` levels of the composite
@@ -156,7 +160,10 @@ pub trait Strategy {
         for _ in 0..depth {
             let leaf = self.clone().boxed();
             let composite = recurse(current).boxed();
-            current = OneOf { arms: vec![leaf, composite] }.boxed();
+            current = OneOf {
+                arms: vec![leaf, composite],
+            }
+            .boxed();
         }
         current
     }
@@ -169,7 +176,9 @@ pub struct BoxedStrategy<T> {
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy { inner: Rc::clone(&self.inner) }
+        BoxedStrategy {
+            inner: Rc::clone(&self.inner),
+        }
     }
 }
 
@@ -202,7 +211,9 @@ pub struct OneOf<T> {
 
 impl<T> Clone for OneOf<T> {
     fn clone(&self) -> Self {
-        OneOf { arms: self.arms.clone() }
+        OneOf {
+            arms: self.arms.clone(),
+        }
     }
 }
 
@@ -363,7 +374,11 @@ fn parse_pattern(pattern: &str) -> Vec<Atom> {
             (1, 1)
         };
         assert!(!set.is_empty() && min <= max, "bad pattern `{pattern}`");
-        atoms.push(Atom { chars: set, min, max });
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
     }
     atoms
 }
@@ -455,19 +470,28 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty vec size range");
-            SizeRange { min: r.start, max_exclusive: r.end }
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
-            SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
         }
     }
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> SizeRange {
-            SizeRange { min: n, max_exclusive: n + 1 }
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
         }
     }
 
@@ -489,7 +513,10 @@ pub mod collection {
 
     /// A vector of `size` elements drawn from `inner`.
     pub fn vec<S: Strategy>(inner: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { inner, size: size.into() }
+        VecStrategy {
+            inner,
+            size: size.into(),
+        }
     }
 }
 
@@ -622,7 +649,9 @@ mod tests {
             let s = "[a-z][a-z0-9_]{0,10}".sample(&mut rng);
             assert!(!s.is_empty() && s.len() <= 11, "{s:?}");
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
             let t = "[a-z*?]{1,8}".sample(&mut rng);
             assert!((1..=8).contains(&t.len()));
         }

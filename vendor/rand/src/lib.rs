@@ -49,17 +49,16 @@ pub mod rngs {
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 z ^ (z >> 31)
             };
-            StdRng { s: [next(), next(), next(), next()] }
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
         }
     }
 
     impl super::RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -279,7 +278,10 @@ mod tests {
         let mut v: Vec<u32> = (0..32).collect();
         let original = v.clone();
         v.shuffle(&mut rng);
-        assert_ne!(v, original, "32 elements virtually never shuffle to identity");
+        assert_ne!(
+            v, original,
+            "32 elements virtually never shuffle to identity"
+        );
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, original);
