@@ -1,8 +1,10 @@
-//! E6 — DSN translation round-trip and Event Data Warehouse throughput.
+//! E6 — DSN translation round-trip and Event Data Warehouse throughput,
+//! including the durable backend under each fsync policy (E8).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sl_bench::{linear_dataflow, make_tuples};
 use sl_dsn::{compile, parse_document, print_document};
+use sl_durable::{DurableConfig, DurableWarehouse, FsyncPolicy, TempDir};
 use sl_stt::{SpatialGranularity, TemporalGranularity, Theme, TimeInterval, Timestamp};
 use sl_warehouse::{EventQuery, EventWarehouse};
 
@@ -44,6 +46,42 @@ fn bench_warehouse_ingest(c: &mut Criterion) {
     group.finish();
 }
 
+/// The same ingest workload against the crash-safe warehouse, across the
+/// fsync spectrum: `OnSeal` (crash window = the open segment), `EveryN(64)`
+/// (bounded tail loss) and `Always` (no acked loss, every append pays a
+/// sync). The in-memory `ingest_5k_tuples` above is the zero-durability
+/// baseline.
+fn bench_warehouse_ingest_durable(c: &mut Criterion) {
+    let tuples = make_tuples(5_000, 11);
+    let mut group = c.benchmark_group("p2/warehouse_ingest_durable");
+    group.throughput(Throughput::Elements(tuples.len() as u64));
+    // `Always` fsyncs per append: 5k tuples is minutes of wall clock at
+    // full size, so that policy runs a 1/10 slice (same throughput unit).
+    for (label, policy, n) in [
+        ("fsync_on_seal", FsyncPolicy::OnSeal, 5_000usize),
+        ("fsync_every_64", FsyncPolicy::EveryN(64), 5_000),
+        ("fsync_always", FsyncPolicy::Always, 500),
+    ] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new(label, n), |b| {
+            b.iter_batched(
+                || TempDir::new("bench-ingest").unwrap(),
+                |dir| {
+                    let config = DurableConfig::at(dir.path()).with_fsync(policy);
+                    let mut w = DurableWarehouse::open(config).unwrap();
+                    for t in tuples.iter().take(n) {
+                        w.ingest_tuple(t, TemporalGranularity::Minute, SpatialGranularity::grid(8))
+                            .unwrap();
+                    }
+                    w.hot().len()
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
 fn bench_warehouse_query(c: &mut Criterion) {
     let tuples = make_tuples(50_000, 11);
     let mut w = EventWarehouse::with_defaults();
@@ -72,6 +110,7 @@ criterion_group!(
     benches,
     bench_dsn,
     bench_warehouse_ingest,
+    bench_warehouse_ingest_durable,
     bench_warehouse_query
 );
 criterion_main!(benches);

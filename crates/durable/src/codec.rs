@@ -1,0 +1,760 @@
+//! The versioned binary codec: every record that reaches a segment file goes
+//! through here.
+//!
+//! Design rules, in order:
+//!
+//! 1. **Self-checking.** Every frame carries a CRC-32 over its payload, so a
+//!    torn write, a bit flip, or a half-written tail is *detected*, never
+//!    silently decoded into garbage (recovery truncates at the first bad
+//!    frame — see [`crate::SegmentLog`]).
+//! 2. **Exact round-trips.** Floats are encoded as raw IEEE-754 bits
+//!    (`f64::to_bits`), so even NaN payloads survive a disk round-trip
+//!    bit-for-bit; themes round-trip through their canonical string; units
+//!    and attribute types through their stable `ALL` declaration order.
+//! 3. **Versioned.** [`CODEC_VERSION`] is stamped into every segment header.
+//!    A reader that meets a future version refuses the segment instead of
+//!    guessing.
+//!
+//! All integers are little-endian. A frame on disk is
+//! `[u32 len][payload: len bytes][u32 crc]` where the CRC covers exactly the
+//! payload and the payload's first byte is the [`Record`] kind tag.
+
+use crate::error::DurableError;
+use sl_ops::OpCheckpoint;
+use sl_stt::{
+    AttrType, Event, Field, GeoPoint, Schema, SensorId, SpatialGranule, SttMeta,
+    TemporalGranularity, Theme, Timestamp, Tuple, Unit, Value,
+};
+
+/// On-disk format version, stamped into every segment header.
+pub const CODEC_VERSION: u8 = 1;
+
+/// Hard upper bound on a single frame's payload (16 MiB). A length prefix
+/// beyond this is treated as corruption, which keeps recovery from
+/// attempting absurd allocations on a damaged length field.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE, reflected polynomial 0xEDB88320) — table-driven, built at
+// compile time so the hot path is one lookup per byte.
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// One durable log entry.
+#[derive(Debug, Clone)]
+pub enum Record {
+    /// A warehouse event (the LOAD output of the ETL pipeline).
+    Event(Event),
+    /// A blocking operator's window cache, snapshotted after processing.
+    Checkpoint {
+        /// Deployment (dataflow) name.
+        deployment: String,
+        /// Service (operator) name within the deployment.
+        service: String,
+        /// The snapshotted cache.
+        state: OpCheckpoint,
+    },
+    /// A retention horizon marker: every event *before this marker in the
+    /// log* whose interval ends at or before the horizon has been evicted
+    /// from the hot store and lives only in cold segments.
+    Horizon(Timestamp),
+}
+
+const KIND_EVENT: u8 = 1;
+const KIND_CHECKPOINT: u8 = 2;
+const KIND_HORIZON: u8 = 3;
+
+impl Record {
+    /// Encode into a frame payload (kind tag + body). The caller wraps this
+    /// in the `[len][payload][crc]` frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Vec::with_capacity(64);
+        match self {
+            Record::Event(e) => {
+                w.push(KIND_EVENT);
+                put_event(&mut w, e);
+            }
+            Record::Checkpoint {
+                deployment,
+                service,
+                state,
+            } => {
+                w.push(KIND_CHECKPOINT);
+                put_str(&mut w, deployment);
+                put_str(&mut w, service);
+                put_checkpoint(&mut w, state);
+            }
+            Record::Horizon(t) => {
+                w.push(KIND_HORIZON);
+                put_i64(&mut w, t.as_millis());
+            }
+        }
+        w
+    }
+
+    /// Decode a frame payload. The CRC has already been verified by the
+    /// caller; errors here mean the payload grammar itself is damaged (or
+    /// written by a future codec).
+    pub fn decode(payload: &[u8]) -> Result<Record, DurableError> {
+        let mut r = Reader::new(payload);
+        let rec = match r.u8("record kind")? {
+            KIND_EVENT => Record::Event(get_event(&mut r)?),
+            KIND_CHECKPOINT => Record::Checkpoint {
+                deployment: r.str("deployment")?,
+                service: r.str("service")?,
+                state: get_checkpoint(&mut r)?,
+            },
+            KIND_HORIZON => Record::Horizon(Timestamp::from_millis(r.i64("horizon")?)),
+            other => {
+                return Err(DurableError::corrupt(format!(
+                    "unknown record kind {other}"
+                )))
+            }
+        };
+        r.finish()?;
+        Ok(rec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive writers
+// ---------------------------------------------------------------------------
+
+fn put_u8(w: &mut Vec<u8>, v: u8) {
+    w.push(v);
+}
+
+fn put_u32(w: &mut Vec<u8>, v: u32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(w: &mut Vec<u8>, v: u64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i32(w: &mut Vec<u8>, v: i32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(w: &mut Vec<u8>, v: i64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(w: &mut Vec<u8>, v: f64) {
+    // Raw bits: NaN payloads and signed zeros survive exactly.
+    put_u64(w, v.to_bits());
+}
+
+fn put_str(w: &mut Vec<u8>, s: &str) {
+    put_u32(w, s.len() as u32);
+    w.extend_from_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Checked reader
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked cursor over a frame payload. Every read names what it
+/// expected, so corruption reports say *which* field was damaged.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DurableError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(DurableError::corrupt(format!(
+                "short payload reading {what} ({n} bytes at offset {} of {})",
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, DurableError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, DurableError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, DurableError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn i32(&mut self, what: &str) -> Result<i32, DurableError> {
+        let b = self.take(4, what)?;
+        Ok(i32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn i64(&mut self, what: &str) -> Result<i64, DurableError> {
+        let b = self.take(8, what)?;
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, DurableError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, DurableError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| DurableError::corrupt(format!("{what}: invalid utf-8")))
+    }
+
+    /// A bounded element count: a damaged count field must not drive a huge
+    /// allocation. Each element of any collection we encode occupies at
+    /// least one byte, so a count beyond the remaining bytes is corruption.
+    fn count(&mut self, what: &str) -> Result<usize, DurableError> {
+        let n = self.u32(what)? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err(DurableError::corrupt(format!(
+                "{what}: implausible count {n} with {} bytes left",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(n)
+    }
+
+    fn finish(&self) -> Result<(), DurableError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DurableError::corrupt(format!(
+                "{} trailing bytes after record",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// STT type codecs
+// ---------------------------------------------------------------------------
+
+const VAL_NULL: u8 = 0;
+const VAL_BOOL: u8 = 1;
+const VAL_INT: u8 = 2;
+const VAL_FLOAT: u8 = 3;
+const VAL_STR: u8 = 4;
+const VAL_TIME: u8 = 5;
+const VAL_GEO: u8 = 6;
+
+fn put_value(w: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => put_u8(w, VAL_NULL),
+        Value::Bool(b) => {
+            put_u8(w, VAL_BOOL);
+            put_u8(w, u8::from(*b));
+        }
+        Value::Int(i) => {
+            put_u8(w, VAL_INT);
+            put_i64(w, *i);
+        }
+        Value::Float(f) => {
+            put_u8(w, VAL_FLOAT);
+            put_f64(w, *f);
+        }
+        Value::Str(s) => {
+            put_u8(w, VAL_STR);
+            put_str(w, s);
+        }
+        Value::Time(t) => {
+            put_u8(w, VAL_TIME);
+            put_i64(w, t.as_millis());
+        }
+        Value::Geo(p) => {
+            put_u8(w, VAL_GEO);
+            put_f64(w, p.lat);
+            put_f64(w, p.lon);
+        }
+    }
+}
+
+fn get_value(r: &mut Reader<'_>) -> Result<Value, DurableError> {
+    Ok(match r.u8("value tag")? {
+        VAL_NULL => Value::Null,
+        // Strict on canonical encodings: a non-0/1 bool is corruption, so a
+        // damaged byte can never silently decode back to a valid value.
+        VAL_BOOL => match r.u8("bool")? {
+            0 => Value::Bool(false),
+            1 => Value::Bool(true),
+            other => return Err(DurableError::corrupt(format!("bad bool byte {other}"))),
+        },
+        VAL_INT => Value::Int(r.i64("int")?),
+        VAL_FLOAT => Value::Float(r.f64("float")?),
+        VAL_STR => Value::Str(r.str("str")?),
+        VAL_TIME => Value::Time(Timestamp::from_millis(r.i64("time")?)),
+        VAL_GEO => Value::Geo(GeoPoint::new_unchecked(r.f64("lat")?, r.f64("lon")?)),
+        other => return Err(DurableError::corrupt(format!("unknown value tag {other}"))),
+    })
+}
+
+fn put_tgran(w: &mut Vec<u8>, g: TemporalGranularity) {
+    if let TemporalGranularity::Custom(ms) = g {
+        put_u8(w, TemporalGranularity::NAMED.len() as u8);
+        put_u64(w, ms);
+    } else {
+        // Position in the stable NAMED order is the tag.
+        let tag = TemporalGranularity::NAMED
+            .iter()
+            .position(|n| *n == g)
+            .unwrap_or(0) as u8;
+        put_u8(w, tag);
+    }
+}
+
+fn get_tgran(r: &mut Reader<'_>) -> Result<TemporalGranularity, DurableError> {
+    let tag = r.u8("temporal granularity")? as usize;
+    if tag < TemporalGranularity::NAMED.len() {
+        Ok(TemporalGranularity::NAMED[tag])
+    } else if tag == TemporalGranularity::NAMED.len() {
+        Ok(TemporalGranularity::Custom(r.u64("custom granularity")?))
+    } else {
+        Err(DurableError::corrupt(format!(
+            "unknown temporal granularity tag {tag}"
+        )))
+    }
+}
+
+const SG_POINT: u8 = 0;
+const SG_CELL: u8 = 1;
+const SG_WORLD: u8 = 2;
+
+fn put_sgranule(w: &mut Vec<u8>, g: &SpatialGranule) {
+    match g {
+        SpatialGranule::Point { lat_e7, lon_e7 } => {
+            put_u8(w, SG_POINT);
+            put_i64(w, *lat_e7);
+            put_i64(w, *lon_e7);
+        }
+        SpatialGranule::Cell { level, ix, iy } => {
+            put_u8(w, SG_CELL);
+            put_u8(w, *level);
+            put_i32(w, *ix);
+            put_i32(w, *iy);
+        }
+        SpatialGranule::World => put_u8(w, SG_WORLD),
+    }
+}
+
+fn get_sgranule(r: &mut Reader<'_>) -> Result<SpatialGranule, DurableError> {
+    Ok(match r.u8("spatial granule tag")? {
+        SG_POINT => SpatialGranule::Point {
+            lat_e7: r.i64("lat_e7")?,
+            lon_e7: r.i64("lon_e7")?,
+        },
+        SG_CELL => SpatialGranule::Cell {
+            level: r.u8("cell level")?,
+            ix: r.i32("cell ix")?,
+            iy: r.i32("cell iy")?,
+        },
+        SG_WORLD => SpatialGranule::World,
+        other => {
+            return Err(DurableError::corrupt(format!(
+                "unknown spatial granule tag {other}"
+            )))
+        }
+    })
+}
+
+fn put_theme(w: &mut Vec<u8>, t: &Theme) {
+    put_str(w, t.as_str());
+}
+
+fn get_theme(r: &mut Reader<'_>) -> Result<Theme, DurableError> {
+    let s = r.str("theme")?;
+    Theme::new(&s).map_err(|e| DurableError::corrupt(format!("theme `{s}`: {e}")))
+}
+
+fn put_event(w: &mut Vec<u8>, e: &Event) {
+    put_value(w, &e.value);
+    put_tgran(w, e.tgran);
+    put_i64(w, e.tgranule);
+    put_sgranule(w, &e.sgranule);
+    put_theme(w, &e.theme);
+}
+
+fn get_event(r: &mut Reader<'_>) -> Result<Event, DurableError> {
+    let value = get_value(r)?;
+    let tgran = get_tgran(r)?;
+    let tgranule = r.i64("tgranule")?;
+    let sgranule = get_sgranule(r)?;
+    let theme = get_theme(r)?;
+    Ok(Event::new(value, tgran, tgranule, sgranule, theme))
+}
+
+fn put_field(w: &mut Vec<u8>, f: &Field) {
+    put_str(w, &f.name);
+    let ty_tag = AttrType::ALL.iter().position(|t| *t == f.ty).unwrap_or(0) as u8;
+    put_u8(w, ty_tag);
+    // 0 = no unit; otherwise 1 + position in the stable Unit::ALL order.
+    let unit_tag = f
+        .unit
+        .and_then(|u| Unit::ALL.iter().position(|c| *c == u))
+        .map_or(0, |i| i as u8 + 1);
+    put_u8(w, unit_tag);
+}
+
+fn get_field(r: &mut Reader<'_>) -> Result<Field, DurableError> {
+    let name = r.str("field name")?;
+    let ty_tag = r.u8("attr type")? as usize;
+    let ty = *AttrType::ALL
+        .get(ty_tag)
+        .ok_or_else(|| DurableError::corrupt(format!("unknown attr type tag {ty_tag}")))?;
+    let unit_tag = r.u8("unit")? as usize;
+    if unit_tag == 0 {
+        Ok(Field::new(&name, ty))
+    } else {
+        let unit = *Unit::ALL
+            .get(unit_tag - 1)
+            .ok_or_else(|| DurableError::corrupt(format!("unknown unit tag {unit_tag}")))?;
+        Ok(Field::with_unit(&name, ty, unit))
+    }
+}
+
+fn put_tuple(w: &mut Vec<u8>, t: &Tuple) {
+    let fields = t.schema().fields();
+    put_u32(w, fields.len() as u32);
+    for f in fields {
+        put_field(w, f);
+    }
+    for v in t.values() {
+        put_value(w, v);
+    }
+    // Meta: timestamp, optional location, theme, sensor, trace.
+    put_i64(w, t.meta.timestamp.as_millis());
+    match &t.meta.location {
+        Some(p) => {
+            put_u8(w, 1);
+            put_f64(w, p.lat);
+            put_f64(w, p.lon);
+        }
+        None => put_u8(w, 0),
+    }
+    put_theme(w, &t.meta.theme);
+    put_u64(w, t.meta.sensor.0);
+    put_u64(w, t.meta.trace);
+}
+
+fn get_tuple(r: &mut Reader<'_>) -> Result<Tuple, DurableError> {
+    let n = r.count("field count")?;
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        fields.push(get_field(r)?);
+    }
+    let schema = Schema::new(fields)
+        .map_err(|e| DurableError::corrupt(format!("schema: {e}")))?
+        .into_ref();
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(get_value(r)?);
+    }
+    let timestamp = Timestamp::from_millis(r.i64("meta timestamp")?);
+    let location = match r.u8("location flag")? {
+        0 => None,
+        1 => Some(GeoPoint::new_unchecked(
+            r.f64("meta lat")?,
+            r.f64("meta lon")?,
+        )),
+        other => return Err(DurableError::corrupt(format!("bad location flag {other}"))),
+    };
+    let theme = get_theme(r)?;
+    let sensor = SensorId(r.u64("sensor id")?);
+    let trace = r.u64("trace id")?;
+    let meta = SttMeta {
+        timestamp,
+        location,
+        theme,
+        sensor,
+        trace,
+    };
+    Tuple::new(schema, values, meta).map_err(|e| DurableError::corrupt(format!("tuple: {e}")))
+}
+
+fn put_checkpoint(w: &mut Vec<u8>, c: &OpCheckpoint) {
+    put_u32(w, c.tuples.len() as u32);
+    for (port, tuple) in &c.tuples {
+        put_u32(w, *port as u32);
+        put_tuple(w, tuple);
+    }
+}
+
+fn get_checkpoint(r: &mut Reader<'_>) -> Result<OpCheckpoint, DurableError> {
+    let n = r.count("checkpoint tuple count")?;
+    let mut tuples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let port = r.u32("checkpoint port")? as usize;
+        tuples.push((port, get_tuple(r)?));
+    }
+    Ok(OpCheckpoint { tuples })
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------------
+
+/// Wrap an encoded payload into an on-disk frame: `[len][payload][crc]`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Outcome of pulling one frame off a byte slice during recovery.
+pub enum FrameRead {
+    /// A complete, checksum-verified payload and the bytes it consumed.
+    Ok {
+        /// The verified payload (kind byte + body).
+        payload: Vec<u8>,
+        /// Total frame size on disk, including length prefix and CRC.
+        consumed: usize,
+    },
+    /// The tail is incomplete or fails its checksum: everything from this
+    /// offset on must be truncated.
+    Torn {
+        /// Human-readable reason, for the recovery report.
+        why: String,
+    },
+    /// The slice is exactly empty — a clean end of segment.
+    End,
+}
+
+/// Pull one frame from `buf`. Never panics on any input.
+pub fn read_frame(buf: &[u8]) -> FrameRead {
+    if buf.is_empty() {
+        return FrameRead::End;
+    }
+    if buf.len() < 4 {
+        return FrameRead::Torn {
+            why: format!("{}-byte tail shorter than a length prefix", buf.len()),
+        };
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return FrameRead::Torn {
+            why: format!("implausible frame length {len}"),
+        };
+    }
+    let need = 4 + len as usize + 4;
+    if buf.len() < need {
+        return FrameRead::Torn {
+            why: format!("incomplete frame: need {need} bytes, have {}", buf.len()),
+        };
+    }
+    let payload = &buf[4..4 + len as usize];
+    let stored = u32::from_le_bytes([
+        buf[4 + len as usize],
+        buf[5 + len as usize],
+        buf[6 + len as usize],
+        buf[7 + len as usize],
+    ]);
+    let actual = crc32(payload);
+    if stored != actual {
+        return FrameRead::Torn {
+            why: format!("checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"),
+        };
+    }
+    FrameRead::Ok {
+        payload: payload.to_vec(),
+        consumed: need,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::disallowed_methods)] // tests may panic freely
+
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn sample_event() -> Event {
+        Event::new(
+            Value::Float(26.5),
+            TemporalGranularity::Minute,
+            24_444_444,
+            SpatialGranule::Cell {
+                level: 8,
+                ix: 224,
+                iy: 88,
+            },
+            Theme::new("weather/temperature").unwrap(),
+        )
+    }
+
+    #[test]
+    fn event_round_trip() {
+        let rec = Record::Event(sample_event());
+        let bytes = rec.encode();
+        match Record::decode(&bytes).unwrap() {
+            Record::Event(e) => assert_eq!(e, sample_event()),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_float_round_trips_bit_exactly() {
+        let mut e = sample_event();
+        e.value = Value::Float(f64::NAN);
+        let bytes = Record::Event(e).encode();
+        // NaN != NaN, so compare the re-encoding instead.
+        let decoded = Record::decode(&bytes).unwrap();
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn horizon_round_trip() {
+        let rec = Record::Horizon(Timestamp::from_millis(-42));
+        match Record::decode(&rec.encode()).unwrap() {
+            Record::Horizon(t) => assert_eq!(t.as_millis(), -42),
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip() {
+        let schema = Schema::new(vec![
+            Field::with_unit("temperature", AttrType::Float, Unit::Celsius),
+            Field::new("station", AttrType::Str),
+        ])
+        .unwrap()
+        .into_ref();
+        let tuple = Tuple::new(
+            schema,
+            vec![Value::Float(25.5), Value::Str("osaka".into())],
+            SttMeta::new(
+                Timestamp::from_secs(12),
+                GeoPoint::new_unchecked(34.7, 135.5),
+                Theme::new("weather/temperature").unwrap(),
+                SensorId(7),
+            ),
+        )
+        .unwrap();
+        let rec = Record::Checkpoint {
+            deployment: "agg".into(),
+            service: "mean".into(),
+            state: OpCheckpoint {
+                tuples: vec![(0, tuple.clone()), (1, tuple)],
+            },
+        };
+        let bytes = rec.encode();
+        match Record::decode(&bytes).unwrap() {
+            Record::Checkpoint {
+                deployment,
+                service,
+                state,
+            } => {
+                assert_eq!(deployment, "agg");
+                assert_eq!(service, "mean");
+                assert_eq!(state.tuples.len(), 2);
+                assert_eq!(state.tuples[0].1.values()[1], Value::Str("osaka".into()));
+                assert_eq!(
+                    state.tuples[0].1.schema().fields()[0].unit,
+                    Some(Unit::Celsius)
+                );
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        // Determinism: re-encoding the decode equals the original bytes.
+        assert_eq!(Record::decode(&bytes).unwrap().encode(), bytes);
+    }
+
+    #[test]
+    fn frame_round_trip_and_torn_detection() {
+        let payload = Record::Event(sample_event()).encode();
+        let framed = frame(&payload);
+        match read_frame(&framed) {
+            FrameRead::Ok {
+                payload: p,
+                consumed,
+            } => {
+                assert_eq!(p, payload);
+                assert_eq!(consumed, framed.len());
+            }
+            _ => panic!("complete frame must read"),
+        }
+        // Every strict prefix is torn (or a clean end at zero).
+        for cut in 1..framed.len() {
+            match read_frame(&framed[..cut]) {
+                FrameRead::Torn { .. } => {}
+                FrameRead::Ok { .. } => panic!("prefix of {cut} bytes decoded as complete"),
+                FrameRead::End => panic!("non-empty prefix reported End"),
+            }
+        }
+        assert!(matches!(read_frame(&[]), FrameRead::End));
+        // A flipped payload byte fails the checksum.
+        let mut flipped = framed.clone();
+        flipped[6] ^= 0xFF;
+        assert!(matches!(read_frame(&flipped), FrameRead::Torn { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_garbage_without_panicking() {
+        // Unknown kind, unknown tags, short bodies, trailing bytes.
+        assert!(Record::decode(&[]).is_err());
+        assert!(Record::decode(&[99]).is_err());
+        assert!(Record::decode(&[KIND_HORIZON, 1, 2]).is_err());
+        let mut ok = Record::Horizon(Timestamp::from_millis(5)).encode();
+        ok.push(0);
+        assert!(Record::decode(&ok).is_err());
+    }
+}

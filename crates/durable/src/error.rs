@@ -1,0 +1,50 @@
+//! Failure modes of the persistence layer.
+
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong while persisting or recovering.
+///
+/// Corruption detected *inside* a segment during recovery is not an error —
+/// torn tails are expected after a crash and are handled by truncation (see
+/// [`crate::RecoveryReport`]). `Corrupt` is only returned when a caller asks
+/// to decode a specific blob that fails its checksum or its grammar.
+#[derive(Debug)]
+pub enum DurableError {
+    /// An operating-system I/O failure (open, write, fsync, rename...).
+    Io(io::Error),
+    /// A frame or payload that cannot be decoded: bad checksum, truncated
+    /// body, an unknown tag, or a value rejected by the STT domain rules.
+    Corrupt(String),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "durable i/o: {e}"),
+            DurableError::Corrupt(what) => write!(f, "durable corruption: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io(e) => Some(e),
+            DurableError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for DurableError {
+    fn from(e: io::Error) -> DurableError {
+        DurableError::Io(e)
+    }
+}
+
+impl DurableError {
+    /// Shorthand for a corruption error.
+    pub(crate) fn corrupt(what: impl Into<String>) -> DurableError {
+        DurableError::Corrupt(what.into())
+    }
+}

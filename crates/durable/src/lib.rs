@@ -1,0 +1,40 @@
+//! # sl-durable — crash-safe persistence for StreamLoader
+//!
+//! The paper's pipelines terminate in the Event Data Warehouse, "a
+//! real-time platform that persists processed events" (§4, demo P2). The
+//! in-memory [`EventWarehouse`](sl_warehouse::EventWarehouse) reproduces
+//! its query model; this crate supplies the missing word — *persists* —
+//! with the standard log-structured recipe of durable stream stores:
+//!
+//! * [`codec`] — a versioned binary codec for STT events, tuples, and
+//!   [`OpCheckpoint`](sl_ops::OpCheckpoint) blobs: length-prefixed frames,
+//!   CRC-32 checksums, bit-exact float round-trips.
+//! * [`SegmentLog`] — an append-only segment log with rotation, a sparse
+//!   per-segment time index, a configurable [`FsyncPolicy`]
+//!   (every-write / every-N / on-seal), and torn-tail recovery: on reopen,
+//!   frames are scanned and checksum-verified, the first corrupt or
+//!   incomplete frame truncates the file, and the [`RecoveryReport`]
+//!   accounts for every byte cut.
+//! * [`DurableWarehouse`] — hot in-memory indexes over the recent tail,
+//!   cold sealed segments underneath. `evict_before` *spills* instead of
+//!   discarding, and queries merge cold segment scans with the hot index
+//!   path (verified against a brute-force reference).
+//!
+//! Engine operator checkpoints ride the same log, so a crashed node's
+//! blocking-operator window caches restore from disk through the existing
+//! recovery path (`sl-engine`'s `open_durable`).
+//!
+//! The crate is std-only and never panics on any disk content: damage
+//! surfaces as a [`DurableError`] or as truncation in the recovery report.
+
+pub mod codec;
+pub mod error;
+pub mod log;
+pub mod tmp;
+pub mod warehouse;
+
+pub use codec::{crc32, Record, CODEC_VERSION};
+pub use error::DurableError;
+pub use log::{DurableConfig, FsyncPolicy, LogPos, RecoveryReport, SegmentLog};
+pub use tmp::TempDir;
+pub use warehouse::DurableWarehouse;

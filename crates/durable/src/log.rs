@@ -1,0 +1,831 @@
+//! The append-only segment log.
+//!
+//! A log directory holds numbered segment files (`seg-000001.slg`, ...).
+//! Each segment starts with an 8-byte header (`b"SLDUR"`, the codec
+//! version, two reserved bytes) followed by checksummed frames (see
+//! [`crate::codec`]). The last segment is *active*: appends go there until
+//! it reaches [`DurableConfig::segment_max_bytes`], at which point it is
+//! sealed (fsynced) and a fresh segment is started — sealed segments are
+//! never written again, which is what makes them safe cold storage for
+//! [`crate::DurableWarehouse`]'s spilled events.
+//!
+//! # Recovery
+//!
+//! [`SegmentLog::open`] scans every segment front to back, verifying each
+//! frame's checksum. At the first incomplete or corrupt frame it truncates
+//! the file right there and — because a corrupt *middle* segment means
+//! everything after it is of unknown provenance — deletes any later
+//! segments. Everything before the cut is returned to the caller; the
+//! [`RecoveryReport`] accounts for everything after it. A torn or missing
+//! header truncates the segment to empty. This is the standard
+//! truncate-on-recovery discipline of log-structured stores: an fsynced
+//! frame is never lost, an unsynced tail is *visibly* dropped, and no
+//! half-written bytes are ever decoded.
+//!
+//! # Fsync policy
+//!
+//! [`FsyncPolicy`] trades durability for throughput: `Always` makes every
+//! append crash-safe, `EveryN` bounds the loss window to n-1 records,
+//! `OnSeal` only guarantees sealed segments. The fsync latency histogram
+//! and byte counters are exported through [`SegmentLog::metrics_snapshot`].
+
+use crate::codec::{frame, read_frame, FrameRead, Record, CODEC_VERSION};
+use crate::error::DurableError;
+use sl_obs::{Metrics, MetricsSnapshot, Stopwatch};
+use sl_stt::TimeInterval;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every segment file.
+const MAGIC: &[u8; 5] = b"SLDUR";
+/// Full header: magic, codec version, two reserved bytes.
+const HEADER_LEN: u64 = 8;
+
+/// When to force written frames onto stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every append — every acked record survives any crash.
+    Always,
+    /// fsync after every `n` appends — bounds loss to the last `n-1` records.
+    EveryN(u32),
+    /// fsync only when a segment seals (and on explicit [`SegmentLog::sync`]).
+    OnSeal,
+}
+
+/// Configuration of a durable log directory.
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Directory holding the segment files (created if missing).
+    pub dir: PathBuf,
+    /// Durability/throughput trade-off.
+    pub fsync: FsyncPolicy,
+    /// Seal the active segment when it exceeds this many bytes.
+    pub segment_max_bytes: u64,
+    /// Sparse time index stride: one index block per this many frames.
+    pub index_every: u32,
+}
+
+impl DurableConfig {
+    /// Defaults rooted at `dir`: fsync every write (the safe default),
+    /// 1 MiB segments, an index block every 64 frames.
+    pub fn at(dir: impl Into<PathBuf>) -> DurableConfig {
+        DurableConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            segment_max_bytes: 1024 * 1024,
+            index_every: 64,
+        }
+    }
+
+    /// Replace the fsync policy.
+    pub fn with_fsync(mut self, policy: FsyncPolicy) -> DurableConfig {
+        self.fsync = policy;
+        self
+    }
+
+    /// Replace the segment size bound.
+    pub fn with_segment_max_bytes(mut self, bytes: u64) -> DurableConfig {
+        self.segment_max_bytes = bytes.max(HEADER_LEN + 1);
+        self
+    }
+}
+
+/// Position of a frame in the log: (segment number, frame index within it).
+/// Ordered by log append order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogPos {
+    /// Segment number (the `NNNNNN` in `seg-NNNNNN.slg`).
+    pub segment: u32,
+    /// Zero-based frame index within the segment.
+    pub frame: u32,
+}
+
+/// What [`SegmentLog::open`] found — and what it had to cut.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecoveryReport {
+    /// Event records recovered.
+    pub events: u64,
+    /// Checkpoint records recovered.
+    pub checkpoints: u64,
+    /// Horizon markers recovered.
+    pub horizons: u64,
+    /// Bytes removed by torn-tail truncation (including any dropped
+    /// segments' payload bytes).
+    pub truncated_bytes: u64,
+    /// Whole later segments deleted because an earlier one was corrupt.
+    pub dropped_segments: u64,
+    /// Wall-clock recovery time in microseconds.
+    pub duration_us: u64,
+}
+
+impl RecoveryReport {
+    /// Total records recovered.
+    pub fn records(&self) -> u64 {
+        self.events + self.checkpoints + self.horizons
+    }
+
+    /// True if recovery had to cut anything (torn tail or dropped segments).
+    pub fn lossy(&self) -> bool {
+        self.truncated_bytes > 0 || self.dropped_segments > 0
+    }
+}
+
+/// One index block: `frames` consecutive frames starting at byte `offset`,
+/// with the time bounds of the *event* records among them.
+#[derive(Debug, Clone, Copy)]
+struct IndexBlock {
+    offset: u64,
+    frames: u32,
+    /// Minimum `interval.start` over events in the block (ms); `i64::MAX`
+    /// when the block holds no events.
+    min_start: i64,
+    /// Maximum `interval.end` over events in the block (ms); `i64::MIN`
+    /// when the block holds no events.
+    max_end: i64,
+}
+
+impl IndexBlock {
+    fn at(offset: u64) -> IndexBlock {
+        IndexBlock {
+            offset,
+            frames: 0,
+            min_start: i64::MAX,
+            max_end: i64::MIN,
+        }
+    }
+
+    /// Can any event in this block overlap `range`? (No events → no.)
+    fn may_overlap(&self, range: &TimeInterval) -> bool {
+        self.min_start < range.end.as_millis() && range.start.as_millis() < self.max_end
+    }
+}
+
+/// In-memory state of one on-disk segment. The sparse index is rebuilt from
+/// the file on open — only the frames live on disk.
+#[derive(Debug)]
+struct Segment {
+    number: u32,
+    path: PathBuf,
+    /// Current file length in bytes (header included).
+    bytes: u64,
+    frames: u32,
+    blocks: Vec<IndexBlock>,
+}
+
+impl Segment {
+    fn fresh(number: u32, path: PathBuf) -> Segment {
+        Segment {
+            number,
+            path,
+            bytes: HEADER_LEN,
+            frames: 0,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Record one appended frame in the sparse index.
+    fn note_frame(&mut self, consumed: u64, time: Option<(i64, i64)>, index_every: u32) {
+        if self.frames.is_multiple_of(index_every.max(1)) {
+            self.blocks.push(IndexBlock::at(self.bytes));
+        }
+        if let Some(last) = self.blocks.last_mut() {
+            last.frames += 1;
+            if let Some((start, end)) = time {
+                last.min_start = last.min_start.min(start);
+                last.max_end = last.max_end.max(end);
+            }
+        }
+        self.frames += 1;
+        self.bytes += consumed;
+    }
+
+    /// May any event in the whole segment overlap `range`?
+    fn may_overlap(&self, range: &TimeInterval) -> bool {
+        self.blocks.iter().any(|b| b.may_overlap(range))
+    }
+}
+
+fn segment_path(dir: &Path, number: u32) -> PathBuf {
+    dir.join(format!("seg-{number:06}.slg"))
+}
+
+fn header_bytes() -> [u8; HEADER_LEN as usize] {
+    let mut h = [0u8; HEADER_LEN as usize];
+    h[..MAGIC.len()].copy_from_slice(MAGIC);
+    h[MAGIC.len()] = CODEC_VERSION;
+    h
+}
+
+/// The event time bounds of a record, if it is an event.
+fn record_time(rec: &Record) -> Option<(i64, i64)> {
+    match rec {
+        Record::Event(e) => {
+            let iv = e.time_interval();
+            Some((iv.start.as_millis(), iv.end.as_millis()))
+        }
+        _ => None,
+    }
+}
+
+/// A checksummed, rotating, crash-recoverable record log.
+pub struct SegmentLog {
+    config: DurableConfig,
+    segments: Vec<Segment>,
+    /// Append handle on the last (active) segment.
+    active: File,
+    /// Appends since the last fsync (for [`FsyncPolicy::EveryN`]).
+    unsynced: u32,
+    /// Last position known to be on stable storage.
+    synced_pos: Option<LogPos>,
+    last_pos: Option<LogPos>,
+    report: RecoveryReport,
+    metrics: Metrics,
+}
+
+impl SegmentLog {
+    /// Open (or create) the log at `config.dir`, scanning and repairing
+    /// every segment. Returns the log, every surviving record in append
+    /// order with its position, and the recovery report.
+    #[allow(clippy::type_complexity)]
+    pub fn open(
+        config: DurableConfig,
+    ) -> Result<(SegmentLog, Vec<(LogPos, Record)>, RecoveryReport), DurableError> {
+        let sw = Stopwatch::start();
+        fs::create_dir_all(&config.dir)?;
+
+        let mut numbers = existing_segment_numbers(&config.dir)?;
+        if numbers.is_empty() {
+            numbers.push(1);
+            create_segment(&config.dir, 1)?;
+        }
+
+        let mut report = RecoveryReport::default();
+        let mut records = Vec::new();
+        let mut segments = Vec::new();
+        let mut corrupted_at: Option<usize> = None;
+
+        for (i, &number) in numbers.iter().enumerate() {
+            let path = segment_path(&config.dir, number);
+            let (seg, recs, clean) = recover_segment(number, &path, &config, &mut report)?;
+            for rec in recs {
+                match &rec.1 {
+                    Record::Event(_) => report.events += 1,
+                    Record::Checkpoint { .. } => report.checkpoints += 1,
+                    Record::Horizon(_) => report.horizons += 1,
+                }
+                records.push(rec);
+            }
+            segments.push(seg);
+            if !clean {
+                corrupted_at = Some(i);
+                break;
+            }
+        }
+
+        // A corrupt middle segment poisons everything after it: later
+        // segments were written after the damage and cannot be trusted to
+        // follow it. Delete them and account for every byte.
+        if let Some(cut) = corrupted_at {
+            for &number in &numbers[cut + 1..] {
+                let path = segment_path(&config.dir, number);
+                let len = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                report.truncated_bytes += len.saturating_sub(HEADER_LEN);
+                report.dropped_segments += 1;
+                fs::remove_file(&path)?;
+            }
+        }
+
+        let mut metrics = Metrics::new();
+        let last = segments.last().ok_or_else(|| {
+            // Unreachable: we always have at least one segment by now.
+            DurableError::corrupt("no segments after recovery")
+        })?;
+        let active = OpenOptions::new().append(true).open(&last.path)?;
+        report.duration_us = sw.elapsed_us();
+
+        let last_pos = segments
+            .iter()
+            .rev()
+            .find(|s| s.frames > 0)
+            .map(|s| LogPos {
+                segment: s.number,
+                frame: s.frames - 1,
+            });
+
+        metrics.gauge("segments").set(segments.len() as i64);
+        metrics.counter("recovered_records").add(report.records());
+        metrics
+            .counter("recovery/truncated_bytes")
+            .add(report.truncated_bytes);
+        metrics
+            .counter("recovery/dropped_segments")
+            .add(report.dropped_segments);
+        metrics.hist("recovery_us").record(report.duration_us);
+
+        let log = SegmentLog {
+            config,
+            segments,
+            active,
+            unsynced: 0,
+            // Everything recovered is on disk by definition.
+            synced_pos: last_pos,
+            last_pos,
+            report,
+            metrics,
+        };
+        Ok((log, records, report))
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DurableConfig {
+        &self.config
+    }
+
+    /// The report from the open-time recovery scan.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.report
+    }
+
+    /// Number of segments currently on disk.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The last appended position, if any record exists.
+    pub fn last_pos(&self) -> Option<LogPos> {
+        self.last_pos
+    }
+
+    /// The last position guaranteed to be on stable storage.
+    pub fn synced_pos(&self) -> Option<LogPos> {
+        self.synced_pos
+    }
+
+    /// Append one record, rotating and fsyncing per policy. Returns the
+    /// record's position.
+    pub fn append(&mut self, rec: &Record) -> Result<LogPos, DurableError> {
+        let payload = rec.encode();
+        let framed = frame(&payload);
+
+        // Rotate *before* writing if the active segment is full (never leave
+        // a frame straddling the size bound mid-write).
+        let seal = {
+            let seg = self.active_segment()?;
+            seg.frames > 0 && seg.bytes + framed.len() as u64 > self.config.segment_max_bytes
+        };
+        if seal {
+            self.seal_active()?;
+        }
+
+        self.active.write_all(&framed)?;
+        let index_every = self.config.index_every;
+        let time = record_time(rec);
+        let seg = self.active_segment()?;
+        let pos = LogPos {
+            segment: seg.number,
+            frame: seg.frames,
+        };
+        seg.note_frame(framed.len() as u64, time, index_every);
+        self.last_pos = Some(pos);
+        self.metrics.counter("frames_appended").inc();
+        self.metrics
+            .counter("bytes_written")
+            .add(framed.len() as u64);
+
+        self.unsynced += 1;
+        let due = match self.config.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            FsyncPolicy::OnSeal => false,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(pos)
+    }
+
+    /// Force everything appended so far onto stable storage.
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        if self.unsynced == 0 && self.synced_pos == self.last_pos {
+            return Ok(());
+        }
+        let sw = Stopwatch::start();
+        self.active.sync_data()?;
+        self.metrics.hist("fsync_us").record(sw.elapsed_us());
+        self.metrics.counter("fsyncs").inc();
+        self.unsynced = 0;
+        self.synced_pos = self.last_pos;
+        Ok(())
+    }
+
+    /// Seal the active segment (fsync it, it is never written again) and
+    /// start a fresh one.
+    fn seal_active(&mut self) -> Result<(), DurableError> {
+        let sw = Stopwatch::start();
+        self.active.sync_data()?;
+        self.metrics.hist("fsync_us").record(sw.elapsed_us());
+        self.metrics.counter("fsyncs").inc();
+        self.unsynced = 0;
+        self.synced_pos = self.last_pos;
+
+        let next = self.active_segment()?.number + 1;
+        let path = create_segment(&self.config.dir, next)?;
+        self.active = OpenOptions::new().append(true).open(&path)?;
+        self.segments.push(Segment::fresh(next, path));
+        self.metrics.counter("segments_sealed").inc();
+        self.metrics
+            .gauge("segments")
+            .set(self.segments.len() as i64);
+        Ok(())
+    }
+
+    fn active_segment(&mut self) -> Result<&mut Segment, DurableError> {
+        self.segments
+            .last_mut()
+            .ok_or_else(|| DurableError::corrupt("log has no active segment"))
+    }
+
+    /// Scan the whole log, decoding every record in append order. This is
+    /// the brute-force reference reader: no index, no pruning.
+    pub fn scan(&mut self) -> Result<Vec<(LogPos, Record)>, DurableError> {
+        self.scan_overlapping(None)
+    }
+
+    /// Scan only records that may be events overlapping `range`, using the
+    /// sparse per-segment time index to skip whole segments and blocks.
+    /// With `None`, every record is returned (same as [`SegmentLog::scan`]).
+    pub fn scan_overlapping(
+        &mut self,
+        range: Option<&TimeInterval>,
+    ) -> Result<Vec<(LogPos, Record)>, DurableError> {
+        // Unsynced frames are in the OS page cache, readable by a fresh
+        // handle, so no sync is needed for read-your-writes here.
+        let mut out = Vec::new();
+        let mut bytes_read = 0u64;
+        for seg in &self.segments {
+            if let Some(r) = range {
+                if seg.frames == 0 || !seg.may_overlap(r) {
+                    continue;
+                }
+            }
+            bytes_read += scan_segment(seg, range, &mut out)?;
+        }
+        self.metrics.counter("bytes_read").add(bytes_read);
+        Ok(out)
+    }
+
+    /// Freeze the log's instruments into a snapshot.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Total bytes currently on disk across all segments (headers included).
+    pub fn disk_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes).sum()
+    }
+}
+
+/// Read one segment, skipping index blocks that cannot contain events
+/// overlapping `range`. Returns how many bytes were read from disk.
+fn scan_segment(
+    seg: &Segment,
+    range: Option<&TimeInterval>,
+    out: &mut Vec<(LogPos, Record)>,
+) -> Result<u64, DurableError> {
+    if seg.frames == 0 {
+        return Ok(0);
+    }
+    let mut file = File::open(&seg.path)?;
+    let mut frame_idx: u32 = 0;
+    let mut bytes_read = 0u64;
+    for (bi, block) in seg.blocks.iter().enumerate() {
+        if range.is_some_and(|r| !block.may_overlap(r)) {
+            frame_idx += block.frames;
+            continue;
+        }
+        let end_offset = seg.blocks.get(bi + 1).map_or(seg.bytes, |next| next.offset);
+        let len = (end_offset - block.offset) as usize;
+        file.seek(SeekFrom::Start(block.offset))?;
+        let mut buf = vec![0u8; len];
+        file.read_exact(&mut buf)?;
+        bytes_read += len as u64;
+        let mut at = 0usize;
+        for _ in 0..block.frames {
+            match read_frame(&buf[at..]) {
+                FrameRead::Ok { payload, consumed } => {
+                    at += consumed;
+                    let rec = Record::decode(&payload)?;
+                    out.push((
+                        LogPos {
+                            segment: seg.number,
+                            frame: frame_idx,
+                        },
+                        rec,
+                    ));
+                    frame_idx += 1;
+                }
+                // The in-memory index said a frame is here; the disk
+                // disagrees. Surface it — this is post-recovery damage, not
+                // a torn tail.
+                FrameRead::Torn { why } => {
+                    return Err(DurableError::corrupt(format!(
+                        "{}: frame {frame_idx}: {why}",
+                        seg.path.display()
+                    )))
+                }
+                FrameRead::End => {
+                    return Err(DurableError::corrupt(format!(
+                        "{}: unexpected end at frame {frame_idx}",
+                        seg.path.display()
+                    )))
+                }
+            }
+        }
+    }
+    Ok(bytes_read)
+}
+
+/// Numerically-sorted segment numbers present in `dir`.
+fn existing_segment_numbers(dir: &Path) -> Result<Vec<u32>, DurableError> {
+    let mut numbers = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(num) = name
+            .strip_prefix("seg-")
+            .and_then(|s| s.strip_suffix(".slg"))
+            .and_then(|s| s.parse::<u32>().ok())
+        {
+            numbers.push(num);
+        }
+    }
+    numbers.sort_unstable();
+    Ok(numbers)
+}
+
+/// Create a fresh segment file with a valid header, fsynced, and fsync the
+/// directory so the new name itself survives a crash.
+fn create_segment(dir: &Path, number: u32) -> Result<PathBuf, DurableError> {
+    let path = segment_path(dir, number);
+    let mut f = File::create(&path)?;
+    f.write_all(&header_bytes())?;
+    f.sync_all()?;
+    // Persist the directory entry (best-effort: not all platforms allow
+    // fsync on directories).
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(path)
+}
+
+/// One recovered segment: the rebuilt in-memory state, its surviving
+/// records, and whether the file was clean (no truncation needed).
+type RecoveredSegment = (Segment, Vec<(LogPos, Record)>, bool);
+
+/// Scan one segment file, truncating at the first torn or corrupt frame.
+fn recover_segment(
+    number: u32,
+    path: &Path,
+    config: &DurableConfig,
+    report: &mut RecoveryReport,
+) -> Result<RecoveredSegment, DurableError> {
+    let bytes = fs::read(path)?;
+
+    // Header check: a torn or alien header means nothing in the file can be
+    // trusted; reset it to an empty, valid segment.
+    let header_ok = bytes.len() >= HEADER_LEN as usize
+        && &bytes[..MAGIC.len()] == MAGIC
+        && bytes[MAGIC.len()] == CODEC_VERSION;
+    if !header_ok {
+        report.truncated_bytes += bytes.len() as u64;
+        let mut f = File::create(path)?;
+        f.write_all(&header_bytes())?;
+        f.sync_all()?;
+        return Ok((
+            Segment::fresh(number, path.to_path_buf()),
+            Vec::new(),
+            false,
+        ));
+    }
+
+    let mut seg = Segment::fresh(number, path.to_path_buf());
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN as usize;
+    let mut clean = true;
+
+    while offset < bytes.len() {
+        match read_frame(&bytes[offset..]) {
+            FrameRead::Ok { payload, consumed } => {
+                match Record::decode(&payload) {
+                    Ok(rec) => {
+                        let pos = LogPos {
+                            segment: number,
+                            frame: seg.frames,
+                        };
+                        seg.note_frame(consumed as u64, record_time(&rec), config.index_every);
+                        records.push((pos, rec));
+                        offset += consumed;
+                    }
+                    // Checksum fine but grammar broken: corruption (or a
+                    // future codec). Cut here like any torn tail.
+                    Err(_) => {
+                        clean = false;
+                        break;
+                    }
+                }
+            }
+            FrameRead::Torn { .. } => {
+                clean = false;
+                break;
+            }
+            FrameRead::End => break,
+        }
+    }
+
+    if !clean || offset < bytes.len() {
+        report.truncated_bytes += (bytes.len() - offset) as u64;
+        clean = false;
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(offset as u64)?;
+        f.sync_all()?;
+    }
+    Ok((seg, records, clean))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::disallowed_methods)] // tests may panic freely
+
+    use super::*;
+    use crate::tmp::TempDir;
+    use sl_stt::{Event, SpatialGranule, TemporalGranularity, Theme, Timestamp, Value};
+
+    fn event(minute: i64) -> Record {
+        Record::Event(Event::new(
+            Value::Int(minute),
+            TemporalGranularity::Minute,
+            minute,
+            SpatialGranule::World,
+            Theme::new("weather").unwrap(),
+        ))
+    }
+
+    fn cfg(dir: &TempDir) -> DurableConfig {
+        DurableConfig::at(dir.path())
+    }
+
+    #[test]
+    fn append_reopen_round_trip() {
+        let dir = TempDir::new("log-roundtrip").unwrap();
+        {
+            let (mut log, recs, report) = SegmentLog::open(cfg(&dir)).unwrap();
+            assert!(recs.is_empty());
+            assert!(!report.lossy());
+            for m in 0..20 {
+                log.append(&event(m)).unwrap();
+            }
+            assert_eq!(log.last_pos(), log.synced_pos()); // Always policy
+        }
+        let (mut log, recs, report) = SegmentLog::open(cfg(&dir)).unwrap();
+        assert_eq!(recs.len(), 20);
+        assert_eq!(report.events, 20);
+        assert!(!report.lossy());
+        // Positions are strictly increasing.
+        let positions: Vec<LogPos> = recs.iter().map(|(p, _)| *p).collect();
+        let mut sorted = positions.clone();
+        sorted.sort();
+        assert_eq!(positions, sorted);
+        assert_eq!(log.scan().unwrap().len(), 20);
+    }
+
+    #[test]
+    fn rotation_seals_segments() {
+        let dir = TempDir::new("log-rotate").unwrap();
+        let config = cfg(&dir).with_segment_max_bytes(256);
+        let (mut log, _, _) = SegmentLog::open(config.clone()).unwrap();
+        for m in 0..50 {
+            log.append(&event(m)).unwrap();
+        }
+        assert!(log.segment_count() > 1, "256-byte cap must rotate");
+        drop(log);
+        let (log, recs, report) = SegmentLog::open(config).unwrap();
+        assert_eq!(recs.len(), 50);
+        assert!(!report.lossy());
+        assert!(log.segment_count() > 1);
+    }
+
+    #[test]
+    fn torn_tail_truncated_on_reopen() {
+        let dir = TempDir::new("log-torn").unwrap();
+        {
+            let (mut log, _, _) = SegmentLog::open(cfg(&dir)).unwrap();
+            for m in 0..10 {
+                log.append(&event(m)).unwrap();
+            }
+        }
+        // Chop 3 bytes off the active segment: the last frame is now torn.
+        let path = segment_path(dir.path(), 1);
+        let len = fs::metadata(&path).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+
+        let (log, recs, report) = SegmentLog::open(cfg(&dir)).unwrap();
+        assert_eq!(recs.len(), 9, "only the torn last frame is lost");
+        assert!(report.lossy());
+        assert!(report.truncated_bytes > 0);
+        // The log is immediately appendable again.
+        drop(log);
+        let (mut log, _, _) = SegmentLog::open(cfg(&dir)).unwrap();
+        log.append(&event(99)).unwrap();
+        drop(log);
+        let (_, recs, _) = SegmentLog::open(cfg(&dir)).unwrap();
+        assert_eq!(recs.len(), 10);
+    }
+
+    #[test]
+    fn corrupt_middle_segment_drops_later_ones() {
+        let dir = TempDir::new("log-poison").unwrap();
+        let config = cfg(&dir).with_segment_max_bytes(256);
+        {
+            let (mut log, _, _) = SegmentLog::open(config.clone()).unwrap();
+            for m in 0..50 {
+                log.append(&event(m)).unwrap();
+            }
+            assert!(log.segment_count() >= 3);
+        }
+        // Flip a byte in the middle of segment 1's first frame payload.
+        let path = segment_path(dir.path(), 1);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[HEADER_LEN as usize + 6] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let (log, recs, report) = SegmentLog::open(config).unwrap();
+        assert_eq!(recs.len(), 0, "corruption at the first frame drops all");
+        assert!(report.dropped_segments >= 1);
+        assert!(report.truncated_bytes > 0);
+        assert_eq!(log.segment_count(), 1);
+    }
+
+    #[test]
+    fn time_pruned_scan_matches_full_scan() {
+        let dir = TempDir::new("log-index").unwrap();
+        let config = DurableConfig {
+            index_every: 4,
+            ..cfg(&dir).with_segment_max_bytes(512)
+        };
+        let (mut log, _, _) = SegmentLog::open(config).unwrap();
+        for m in 0..200 {
+            log.append(&event(m)).unwrap();
+        }
+        let range = TimeInterval::new(
+            Timestamp::from_millis(50 * 60_000),
+            Timestamp::from_millis(60 * 60_000),
+        );
+        let full: Vec<i64> = log
+            .scan()
+            .unwrap()
+            .into_iter()
+            .filter_map(|(_, r)| match r {
+                Record::Event(e) if e.time_interval().overlaps(&range) => Some(e.tgranule),
+                _ => None,
+            })
+            .collect();
+        let pruned: Vec<i64> = log
+            .scan_overlapping(Some(&range))
+            .unwrap()
+            .into_iter()
+            .filter_map(|(_, r)| match r {
+                Record::Event(e) if e.time_interval().overlaps(&range) => Some(e.tgranule),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(full, pruned);
+        assert_eq!(full.len(), 10);
+    }
+
+    #[test]
+    fn fsync_policies_track_synced_pos() {
+        let dir = TempDir::new("log-fsync").unwrap();
+        let config = cfg(&dir).with_fsync(FsyncPolicy::EveryN(5));
+        let (mut log, _, _) = SegmentLog::open(config).unwrap();
+        for m in 0..4 {
+            log.append(&event(m)).unwrap();
+        }
+        assert_ne!(log.synced_pos(), log.last_pos(), "4 < 5: not yet synced");
+        log.append(&event(4)).unwrap();
+        assert_eq!(log.synced_pos(), log.last_pos(), "5th append syncs");
+        log.append(&event(5)).unwrap();
+        assert_ne!(log.synced_pos(), log.last_pos());
+        log.sync().unwrap();
+        assert_eq!(log.synced_pos(), log.last_pos());
+        let snap = log.metrics_snapshot();
+        assert!(snap.counters["fsyncs"] >= 2);
+        assert!(snap.counters["bytes_written"] > 0);
+    }
+}

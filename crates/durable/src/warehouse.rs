@@ -1,0 +1,453 @@
+//! The durable Event Data Warehouse: hot in-memory indexes over the recent
+//! tail, cold checksummed segments for everything evicted.
+//!
+//! Every ingested event is appended to the [`SegmentLog`] *before* it
+//! becomes visible in the hot [`EventWarehouse`] (write-ahead discipline),
+//! so the hot store is always reconstructible from disk. Retention flips
+//! from *discard* to *spill*: [`DurableWarehouse::evict_before`] removes old
+//! events from the hot indexes exactly as before, but writes a horizon
+//! marker to the log instead of forgetting them — the events stay readable
+//! in the sealed segments.
+//!
+//! # The hot/cold split
+//!
+//! Which log events are "cold" (evicted from the hot store) is decided
+//! *positionally*: an event at log position `p` with interval end `e` is
+//! cold iff some horizon marker recorded *after* `p` carries a horizon
+//! `h ≥ e`. This mirrors `EventWarehouse::evict_before` exactly — including
+//! the subtle case of a late-arriving old event inserted *after* an
+//! eviction, which stays hot (no later marker covers it) even though its
+//! interval is ancient. Queries merge a block-skipping cold-segment scan
+//! with the hot index path and never see an event twice.
+//!
+//! Operator checkpoints ride the same log (kind 2 frames), so a restarted
+//! process recovers both its warehouse and its blocking operators' window
+//! caches from one directory.
+
+use crate::codec::Record;
+use crate::error::DurableError;
+use crate::log::{DurableConfig, LogPos, RecoveryReport, SegmentLog};
+use sl_obs::{Metrics, MetricsSnapshot, Stopwatch};
+use sl_ops::OpCheckpoint;
+use sl_stt::{Event, SpatialGranularity, TemporalGranularity, Timestamp, Tuple};
+use sl_warehouse::{tuple_events, EventQuery, EventWarehouse, WarehouseConfig};
+use std::collections::HashMap;
+
+/// A crash-safe warehouse: hot `EventWarehouse` over the recent tail, cold
+/// segment log underneath, one merged query surface.
+pub struct DurableWarehouse {
+    hot: EventWarehouse,
+    log: SegmentLog,
+    /// Horizon markers in log order: (position of the marker frame, horizon).
+    markers: Vec<(LogPos, Timestamp)>,
+    /// `suffix_max[i]` = max horizon (ms) over `markers[i..]`; decides
+    /// coldness in O(log markers) per event.
+    suffix_max: Vec<i64>,
+    /// Checkpoints recovered at open time, keyed by (deployment, service);
+    /// the engine drains these into its restart path.
+    recovered: HashMap<(String, String), OpCheckpoint>,
+    metrics: Metrics,
+}
+
+impl DurableWarehouse {
+    /// Open (or create) a durable warehouse at `config.dir` with default
+    /// hot-index configuration, replaying the log: events past the latest
+    /// applicable horizon rebuild the hot indexes, checkpoints are retained
+    /// for [`DurableWarehouse::take_checkpoints`].
+    pub fn open(config: DurableConfig) -> Result<DurableWarehouse, DurableError> {
+        DurableWarehouse::open_with(config, WarehouseConfig::default())
+    }
+
+    /// Open with an explicit hot-store configuration.
+    pub fn open_with(
+        config: DurableConfig,
+        hot_config: WarehouseConfig,
+    ) -> Result<DurableWarehouse, DurableError> {
+        let sw = Stopwatch::start();
+        let (log, records, _report) = SegmentLog::open(config)?;
+
+        // Pass 1: markers and latest checkpoints.
+        let mut markers: Vec<(LogPos, Timestamp)> = Vec::new();
+        let mut recovered: HashMap<(String, String), OpCheckpoint> = HashMap::new();
+        for (pos, rec) in &records {
+            match rec {
+                Record::Horizon(h) => markers.push((*pos, *h)),
+                Record::Checkpoint {
+                    deployment,
+                    service,
+                    state,
+                } => {
+                    // Last write wins: later snapshots supersede earlier.
+                    recovered.insert((deployment.clone(), service.clone()), state.clone());
+                }
+                Record::Event(_) => {}
+            }
+        }
+        let suffix_max = suffix_maxima(&markers);
+
+        // Pass 2: non-cold events rebuild the hot store, in log order.
+        let mut hot = EventWarehouse::new(hot_config);
+        let mut rebuilt = 0u64;
+        for (pos, rec) in records {
+            if let Record::Event(event) = rec {
+                if !is_cold(&markers, &suffix_max, pos, &event) {
+                    hot.insert(event);
+                    rebuilt += 1;
+                }
+            }
+        }
+
+        let mut metrics = Metrics::new();
+        metrics.hist("open_us").record(sw.elapsed_us());
+        metrics.counter("rebuilt_hot_events").add(rebuilt);
+        metrics
+            .counter("recovered_checkpoints")
+            .add(recovered.len() as u64);
+        Ok(DurableWarehouse {
+            hot,
+            log,
+            markers,
+            suffix_max,
+            recovered,
+            metrics,
+        })
+    }
+
+    /// The hot in-memory warehouse (recent tail).
+    pub fn hot(&self) -> &EventWarehouse {
+        &self.hot
+    }
+
+    /// Mutable hot warehouse. Evict through
+    /// [`DurableWarehouse::evict_before`], not directly — a direct hot
+    /// eviction discards without writing a horizon marker.
+    pub fn hot_mut(&mut self) -> &mut EventWarehouse {
+        &mut self.hot
+    }
+
+    /// The underlying segment log.
+    pub fn log(&self) -> &SegmentLog {
+        &self.log
+    }
+
+    /// The recovery report from open time.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.log.recovery_report()
+    }
+
+    /// Drain the operator checkpoints recovered at open time.
+    pub fn take_checkpoints(&mut self) -> HashMap<(String, String), OpCheckpoint> {
+        std::mem::take(&mut self.recovered)
+    }
+
+    /// Append one event durably, then make it hot. The log write happens
+    /// first: a crash between the two replays the event on reopen.
+    pub fn insert(&mut self, event: Event) -> Result<(), DurableError> {
+        self.log.append(&Record::Event(event.clone()))?;
+        self.hot.insert(event);
+        Ok(())
+    }
+
+    /// Durable counterpart of [`EventWarehouse::ingest_tuple`]: translate
+    /// once, log every event, then ingest the same events into the hot
+    /// indexes. Returns how many events were stored.
+    pub fn ingest_tuple(
+        &mut self,
+        tuple: &Tuple,
+        tgran: TemporalGranularity,
+        sgran: SpatialGranularity,
+    ) -> Result<usize, DurableError> {
+        let events = tuple_events(tuple, tgran, sgran);
+        for event in &events {
+            self.log.append(&Record::Event(event.clone()))?;
+        }
+        Ok(self.hot.ingest_events(events))
+    }
+
+    /// Persist a blocking operator's window snapshot.
+    pub fn persist_checkpoint(
+        &mut self,
+        deployment: &str,
+        service: &str,
+        state: &OpCheckpoint,
+    ) -> Result<(), DurableError> {
+        self.log.append(&Record::Checkpoint {
+            deployment: deployment.to_string(),
+            service: service.to_string(),
+            state: state.clone(),
+        })?;
+        self.metrics.counter("checkpoints_persisted").inc();
+        Ok(())
+    }
+
+    /// Retention that spills instead of discarding: evict from the hot
+    /// indexes as usual, then write a horizon marker so the evicted events
+    /// are served from cold segments from now on. Returns how many events
+    /// went cold.
+    pub fn evict_before(&mut self, horizon: Timestamp) -> Result<usize, DurableError> {
+        let evicted = self.hot.evict_before(horizon);
+        let pos = self.log.append(&Record::Horizon(horizon))?;
+        self.markers.push((pos, horizon));
+        self.suffix_max = suffix_maxima(&self.markers);
+        self.metrics.counter("events_spilled").add(evicted as u64);
+        Ok(evicted)
+    }
+
+    /// Answer a query across both tiers: a block-skipping scan over cold
+    /// segment events merged with the hot index path. Cold results come
+    /// first (they are older in log order), each tier in its own storage
+    /// order; no event appears twice.
+    pub fn query(&mut self, q: &EventQuery) -> Result<Vec<Event>, DurableError> {
+        let sw = Stopwatch::start();
+        let mut out = self.cold_matches(q, true)?;
+        out.extend(self.hot.query(q).into_iter().cloned());
+        self.metrics.hist("query_us").record(sw.elapsed_us());
+        self.metrics.counter("queries").inc();
+        Ok(out)
+    }
+
+    /// Reference implementation: decode *every* event in the log (hot
+    /// events are in the log too) and filter. Property tests compare this
+    /// against [`DurableWarehouse::query`].
+    pub fn query_scan(&mut self, q: &EventQuery) -> Result<Vec<Event>, DurableError> {
+        let mut out = Vec::new();
+        for (_, rec) in self.log.scan()? {
+            if let Record::Event(e) = rec {
+                if q.matches(&e) {
+                    out.push(e);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Cold-tier matches for `q`. With `pruned`, the sparse time index
+    /// skips blocks/segments that cannot overlap `q.time`.
+    fn cold_matches(&mut self, q: &EventQuery, pruned: bool) -> Result<Vec<Event>, DurableError> {
+        if self.markers.is_empty() {
+            return Ok(Vec::new()); // nothing has ever been evicted
+        }
+        let range = if pruned { q.time.as_ref() } else { None };
+        let mut out = Vec::new();
+        let records = self.log.scan_overlapping(range)?;
+        for (pos, rec) in records {
+            if let Record::Event(event) = rec {
+                if is_cold(&self.markers, &self.suffix_max, pos, &event) && q.matches(&event) {
+                    out.push(event);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Force everything appended so far onto stable storage.
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        self.log.sync()
+    }
+
+    /// Number of on-disk segments.
+    pub fn segment_count(&self) -> usize {
+        self.log.segment_count()
+    }
+
+    /// Instruments of the durable tier (log + tiering). The hot store's own
+    /// metrics remain available via `hot().metrics_snapshot()`.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        snap.absorb("log", &self.log.metrics_snapshot());
+        snap
+    }
+}
+
+impl Drop for DurableWarehouse {
+    fn drop(&mut self) {
+        // Best-effort durability for lazier fsync policies on clean
+        // shutdown; crash behaviour is governed by the policy itself.
+        let _ = self.log.sync();
+    }
+}
+
+/// `out[i]` = max horizon (ms) over `markers[i..]`.
+fn suffix_maxima(markers: &[(LogPos, Timestamp)]) -> Vec<i64> {
+    let mut out = vec![0i64; markers.len()];
+    let mut max = i64::MIN;
+    for i in (0..markers.len()).rev() {
+        max = max.max(markers[i].1.as_millis());
+        out[i] = max;
+    }
+    out
+}
+
+/// Is the event at `pos` cold — evicted from the hot store by some horizon
+/// marker written after it?
+fn is_cold(
+    markers: &[(LogPos, Timestamp)],
+    suffix_max: &[i64],
+    pos: LogPos,
+    event: &Event,
+) -> bool {
+    // First marker strictly after the event's position (marker and event
+    // frames never share a position).
+    let i = markers.partition_point(|(mpos, _)| *mpos < pos);
+    match suffix_max.get(i) {
+        Some(&h) => event.time_interval().end.as_millis() <= h,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::disallowed_methods)] // tests may panic freely
+
+    use super::*;
+    use crate::tmp::TempDir;
+    use sl_stt::{GeoPoint, Theme, TimeInterval, Value};
+
+    fn event(minute: i64, theme: &str) -> Event {
+        let g = SpatialGranularity::grid(8).granule_of(&GeoPoint::new_unchecked(34.7, 135.5));
+        Event::new(
+            Value::Int(minute),
+            TemporalGranularity::Minute,
+            minute,
+            g,
+            Theme::new(theme).unwrap(),
+        )
+    }
+
+    fn minutes(ts: i64) -> Timestamp {
+        Timestamp::from_millis(ts * 60_000)
+    }
+
+    fn sorted(mut v: Vec<Event>) -> Vec<String> {
+        v.sort_by_key(|e| (e.tgranule, e.theme.to_string()));
+        v.into_iter().map(|e| e.to_string()).collect()
+    }
+
+    #[test]
+    fn evict_spills_instead_of_discarding() {
+        let dir = TempDir::new("dw-spill").unwrap();
+        let mut dw = DurableWarehouse::open(DurableConfig::at(dir.path())).unwrap();
+        for m in 0..100 {
+            dw.insert(event(m, "weather/temperature")).unwrap();
+        }
+        assert_eq!(dw.hot().len(), 100);
+        let evicted = dw.evict_before(minutes(50)).unwrap();
+        assert_eq!(evicted, 50);
+        assert_eq!(dw.hot().len(), 50, "hot tier keeps the recent tail");
+        // The merged query still sees everything.
+        let all = dw.query(&EventQuery::all()).unwrap();
+        assert_eq!(all.len(), 100, "evicted events are cold, not gone");
+        // And matches the brute-force reference.
+        assert_eq!(
+            sorted(all),
+            sorted(dw.query_scan(&EventQuery::all()).unwrap())
+        );
+    }
+
+    #[test]
+    fn late_arriving_old_event_stays_hot() {
+        let dir = TempDir::new("dw-late").unwrap();
+        let mut dw = DurableWarehouse::open(DurableConfig::at(dir.path())).unwrap();
+        for m in 0..10 {
+            dw.insert(event(m, "weather")).unwrap();
+        }
+        dw.evict_before(minutes(20)).unwrap();
+        assert_eq!(dw.hot().len(), 0);
+        // An *old* event arriving after the eviction: the hot store keeps
+        // it (no later marker covers it), and the merged query must not
+        // double-count it.
+        dw.insert(event(3, "weather")).unwrap();
+        assert_eq!(dw.hot().len(), 1);
+        let all = dw.query(&EventQuery::all()).unwrap();
+        assert_eq!(all.len(), 11);
+        assert_eq!(
+            sorted(all),
+            sorted(dw.query_scan(&EventQuery::all()).unwrap())
+        );
+    }
+
+    #[test]
+    fn reopen_restores_both_tiers() {
+        let dir = TempDir::new("dw-reopen").unwrap();
+        let before = {
+            let mut dw = DurableWarehouse::open(DurableConfig::at(dir.path())).unwrap();
+            for m in 0..60 {
+                dw.insert(event(m, "weather/rain")).unwrap();
+            }
+            dw.evict_before(minutes(30)).unwrap();
+            for m in 60..80 {
+                dw.insert(event(m, "weather/rain")).unwrap();
+            }
+            sorted(dw.query(&EventQuery::all()).unwrap())
+        };
+        let mut dw = DurableWarehouse::open(DurableConfig::at(dir.path())).unwrap();
+        assert_eq!(dw.hot().len(), 50, "30 cold, 50 hot after replay");
+        assert_eq!(sorted(dw.query(&EventQuery::all()).unwrap()), before);
+        assert_eq!(sorted(dw.query_scan(&EventQuery::all()).unwrap()), before);
+    }
+
+    #[test]
+    fn constrained_queries_merge_correctly() {
+        let dir = TempDir::new("dw-query").unwrap();
+        let mut dw = DurableWarehouse::open(DurableConfig::at(dir.path())).unwrap();
+        for m in 0..40 {
+            let theme = if m % 2 == 0 {
+                "weather/rain"
+            } else {
+                "social/tweet"
+            };
+            dw.insert(event(m, theme)).unwrap();
+        }
+        dw.evict_before(minutes(20)).unwrap();
+        let queries = [
+            EventQuery::all(),
+            EventQuery::all().in_time(TimeInterval::new(minutes(10), minutes(30))),
+            EventQuery::all().with_theme(Theme::new("weather").unwrap()),
+            EventQuery::all()
+                .in_time(TimeInterval::new(minutes(0), minutes(25)))
+                .with_theme(Theme::new("social").unwrap()),
+        ];
+        for q in queries {
+            let merged = sorted(dw.query(&q).unwrap());
+            let reference = sorted(dw.query_scan(&q).unwrap());
+            assert_eq!(merged, reference, "disagreement on {q:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoints_survive_reopen() {
+        use sl_stt::{AttrType, Field, Schema, SensorId, SttMeta};
+        let dir = TempDir::new("dw-ckpt").unwrap();
+        let schema = Schema::new(vec![Field::new("v", AttrType::Float)])
+            .unwrap()
+            .into_ref();
+        let tuple = Tuple::new(
+            schema,
+            vec![Value::Float(1.5)],
+            SttMeta::without_location(
+                Timestamp::from_secs(9),
+                Theme::new("weather").unwrap(),
+                SensorId(3),
+            ),
+        )
+        .unwrap();
+        {
+            let mut dw = DurableWarehouse::open(DurableConfig::at(dir.path())).unwrap();
+            let ck = OpCheckpoint {
+                tuples: vec![(0, tuple.clone())],
+            };
+            dw.persist_checkpoint("agg", "mean", &ck).unwrap();
+            // A later snapshot supersedes the earlier one.
+            let ck2 = OpCheckpoint {
+                tuples: vec![(0, tuple.clone()), (0, tuple)],
+            };
+            dw.persist_checkpoint("agg", "mean", &ck2).unwrap();
+        }
+        let mut dw = DurableWarehouse::open(DurableConfig::at(dir.path())).unwrap();
+        let cks = dw.take_checkpoints();
+        assert_eq!(cks.len(), 1);
+        let ck = &cks[&("agg".to_string(), "mean".to_string())];
+        assert_eq!(ck.tuples.len(), 2, "last write wins");
+        assert!(dw.take_checkpoints().is_empty(), "drained");
+    }
+}

@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sl_dataflow::{to_dsn, validate, Dataflow};
 use sl_dsn::{compile, print_document, ScnCommand, SinkKind};
+use sl_durable::{DurableConfig, DurableWarehouse};
 use sl_faults::{DeadLetterQueue, DropReason, FaultAction, FaultPlan};
 use sl_netsim::{
     EventQueue, FlowTable, LinkId, LoadTracker, NetError, NetStats, NodeId, ProcessId, QosSpec,
@@ -20,8 +21,8 @@ use sl_ops::{ControlAction, OpCheckpoint, OpContext};
 use sl_pubsub::enrich::{enrich, EnrichPolicy};
 use sl_pubsub::{Broker, BrokerEvent, SensorAdvertisement, SubscriptionId};
 use sl_sensors::{decode_payload, SensorSim};
-use sl_stt::{Duration, SchemaRef, SensorId, Timestamp, Tuple, Value};
-use sl_warehouse::EventWarehouse;
+use sl_stt::{Duration, Event, SchemaRef, SensorId, Timestamp, Tuple, Value};
+use sl_warehouse::{EventQuery, EventWarehouse};
 use std::collections::{BTreeMap, HashMap};
 
 /// Events driving the engine.
@@ -70,6 +71,31 @@ struct SensorEntry {
     expired: bool,
 }
 
+/// The Event Data Warehouse backend: plain in-memory indexes, or the
+/// crash-safe tier from `sl-durable` (hot indexes over the recent tail,
+/// checksummed segment log underneath). Either way the hot
+/// [`EventWarehouse`] is reachable, so the read-side API is identical.
+enum WarehouseTier {
+    Memory(Box<EventWarehouse>),
+    Durable(Box<DurableWarehouse>),
+}
+
+impl WarehouseTier {
+    fn hot(&self) -> &EventWarehouse {
+        match self {
+            WarehouseTier::Memory(w) => w,
+            WarehouseTier::Durable(d) => d.hot(),
+        }
+    }
+
+    fn hot_mut(&mut self) -> &mut EventWarehouse {
+        match self {
+            WarehouseTier::Memory(w) => w,
+            WarehouseTier::Durable(d) => d.hot_mut(),
+        }
+    }
+}
+
 /// A terminally undeliverable tuple, parked in the engine's dead-letter
 /// queue together with its [`DropReason`].
 #[derive(Debug, Clone)]
@@ -91,7 +117,7 @@ pub struct Engine {
     loads: LoadTracker,
     net_stats: NetStats,
     monitor: Monitor,
-    warehouse: EventWarehouse,
+    warehouse: WarehouseTier,
     sensors: BTreeMap<u64, SensorEntry>,
     deployments: BTreeMap<String, Deployment>,
     /// subscription -> (deployment, source).
@@ -132,7 +158,7 @@ impl Engine {
             loads: LoadTracker::new(),
             net_stats: NetStats::new(),
             monitor: Monitor::new(),
-            warehouse: EventWarehouse::with_defaults(),
+            warehouse: WarehouseTier::Memory(Box::new(EventWarehouse::with_defaults())),
             sensors: BTreeMap::new(),
             deployments: BTreeMap::new(),
             sub_index: HashMap::new(),
@@ -149,6 +175,53 @@ impl Engine {
         }
     }
 
+    /// Create an engine whose Event Data Warehouse persists to the segment
+    /// log at `durable.dir`, recovering whatever a previous incarnation
+    /// left there: hot indexes are rebuilt from the non-evicted log tail,
+    /// and blocking-operator checkpoints are staged so the next
+    /// [`Engine::deploy`] of the same dataflow restores their window
+    /// caches. A torn log tail (crash mid-write) is truncated, surfaced in
+    /// the monitor's durability section, and accounted in the DLQ under
+    /// [`DropReason::TornTail`].
+    pub fn open_durable(
+        topology: Topology,
+        config: EngineConfig,
+        start: Timestamp,
+        durable: DurableConfig,
+    ) -> Result<Engine, EngineError> {
+        let mut engine = Engine::new(topology, config, start);
+        let mut dw = DurableWarehouse::open(durable)?;
+        let report = dw.recovery_report();
+        let recovered = dw.take_checkpoints();
+        engine.monitor.durability.push(format!(
+            "[{start}] opened durable warehouse: {} events hot, {} checkpoints staged, {} segments",
+            dw.hot().len(),
+            recovered.len(),
+            dw.segment_count()
+        ));
+        if report.lossy() {
+            // The torn tail held records that were appended but never made
+            // stable; they are gone by design (only fsynced bytes are
+            // promised). Account the loss in the drop taxonomy.
+            engine.dlq.note(DropReason::TornTail);
+            engine
+                .metrics
+                .counter(&format!("dlq/{}", DropReason::TornTail))
+                .inc();
+            engine.monitor.durability.push(format!(
+                "[{start}] recovery truncated a torn tail: {} bytes, {} segments dropped",
+                report.truncated_bytes, report.dropped_segments
+            ));
+            engine.monitor.recovery.push(format!(
+                "[{start}] durable log: torn tail truncated ({} bytes)",
+                report.truncated_bytes
+            ));
+        }
+        engine.checkpoints.extend(recovered);
+        engine.warehouse = WarehouseTier::Durable(Box::new(dw));
+        Ok(engine)
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> Timestamp {
         self.queue.now()
@@ -159,14 +232,57 @@ impl Engine {
         &self.monitor
     }
 
-    /// The Event Data Warehouse.
+    /// The Event Data Warehouse (the hot in-memory view under either
+    /// backend).
     pub fn warehouse(&self) -> &EventWarehouse {
-        &self.warehouse
+        self.warehouse.hot()
     }
 
-    /// Mutable warehouse access (for queries, which update stats).
+    /// Mutable warehouse access (for queries, which update stats). With a
+    /// durable backend this is the *hot* tier only; prefer
+    /// [`Engine::query_warehouse`] and [`Engine::evict_warehouse_before`],
+    /// which include the cold segments and spill instead of discarding.
     pub fn warehouse_mut(&mut self) -> &mut EventWarehouse {
-        &mut self.warehouse
+        self.warehouse.hot_mut()
+    }
+
+    /// The durable warehouse, when the engine was created with
+    /// [`Engine::open_durable`].
+    pub fn durable_warehouse(&self) -> Option<&DurableWarehouse> {
+        match &self.warehouse {
+            WarehouseTier::Memory(_) => None,
+            WarehouseTier::Durable(d) => Some(d),
+        }
+    }
+
+    /// Answer an [`EventQuery`] against the full warehouse: hot indexes
+    /// only for the in-memory backend, hot merged with the cold segment
+    /// scan for the durable one.
+    pub fn query_warehouse(&mut self, q: &EventQuery) -> Result<Vec<Event>, EngineError> {
+        match &mut self.warehouse {
+            WarehouseTier::Memory(w) => Ok(w.query(q).into_iter().cloned().collect()),
+            WarehouseTier::Durable(d) => Ok(d.query(q)?),
+        }
+    }
+
+    /// Apply the retention horizon: the in-memory backend discards events
+    /// older than `horizon`, the durable backend spills them to cold
+    /// segments (they remain queryable). Returns how many events left the
+    /// hot indexes.
+    pub fn evict_warehouse_before(&mut self, horizon: Timestamp) -> Result<usize, EngineError> {
+        match &mut self.warehouse {
+            WarehouseTier::Memory(w) => Ok(w.evict_before(horizon)),
+            WarehouseTier::Durable(d) => Ok(d.evict_before(horizon)?),
+        }
+    }
+
+    /// Force all durable-log appends onto stable storage (no-op for the
+    /// in-memory backend).
+    pub fn sync_warehouse(&mut self) -> Result<(), EngineError> {
+        match &mut self.warehouse {
+            WarehouseTier::Memory(_) => Ok(()),
+            WarehouseTier::Durable(d) => Ok(d.sync()?),
+        }
     }
 
     /// Network statistics.
@@ -194,14 +310,19 @@ impl Engine {
     /// prefixed by origin: `engine/` (event-loop timing, enrichment, spans,
     /// queue depth), `op/` (per-operator counters and processing latency),
     /// `broker/` (pub/sub matching), `net/` (per-link transfer latency and
-    /// queued bytes), `warehouse/` (ingest latency, roll-ups).
+    /// queued bytes), `warehouse/` (ingest latency, roll-ups), and — with a
+    /// durable backend — `durable/` (fsync latency, bytes written/read,
+    /// recovery duration, segment counts).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::new();
         snap.absorb("engine", &self.metrics.snapshot());
         snap.absorb("op", &self.monitor.metrics_snapshot());
         snap.absorb("broker", &self.broker.metrics_snapshot());
         snap.absorb("net", &self.net_stats.metrics_snapshot());
-        snap.absorb("warehouse", &self.warehouse.metrics_snapshot());
+        snap.absorb("warehouse", &self.warehouse.hot().metrics_snapshot());
+        if let WarehouseTier::Durable(d) = &self.warehouse {
+            snap.absorb("durable", &d.metrics_snapshot());
+        }
         snap
     }
 
@@ -414,13 +535,13 @@ impl Engine {
                 } => {
                     let input_schemas: Vec<SchemaRef> =
                         inputs.iter().map(|i| report.schemas[i].clone()).collect();
-                    let op = spec
-                        .instantiate(&input_schemas)
-                        .map_err(|error| EngineError::Op {
-                            deployment: name.clone(),
-                            operator: service.clone(),
-                            error,
-                        })?;
+                    let mut op =
+                        spec.instantiate(&input_schemas)
+                            .map_err(|error| EngineError::Op {
+                                deployment: name.clone(),
+                                operator: service.clone(),
+                                error,
+                            })?;
                     let demand = self.config.initial_demand * op.cost_per_tuple();
                     let node = self.pick_node(&deployment, inputs, demand)?;
                     let process = ProcessId(self.next_pid);
@@ -436,6 +557,31 @@ impl Engine {
                         reason: "initial placement".into(),
                     });
                     let blocking = op.is_blocking();
+                    // A checkpoint staged under this (deployment, service)
+                    // — recovered from the durable log by `open_durable` —
+                    // re-seeds the window cache before the first tuple
+                    // arrives: the restart continues where the crashed
+                    // process checkpointed.
+                    if self.config.checkpoint_enabled && blocking {
+                        if let Some(ckpt) = self
+                            .checkpoints
+                            .get(&(name.clone(), service.clone()))
+                            .cloned()
+                        {
+                            let (n_tuples, n_bytes) = (ckpt.len(), ckpt.byte_size());
+                            op.restore(ckpt);
+                            self.metrics
+                                .counter("checkpoint/restored_tuples")
+                                .add(n_tuples as u64);
+                            self.metrics
+                                .counter("checkpoint/restored_bytes")
+                                .add(n_bytes as u64);
+                            self.monitor.durability.push(format!(
+                                "[{}] {name}/{service}: window cache restored from checkpoint ({n_tuples} tuples, {n_bytes} B)",
+                                self.queue.now()
+                            ));
+                        }
+                    }
                     if let Some(period) = op.timer_period() {
                         self.queue.schedule_in(
                             period,
@@ -546,6 +692,9 @@ impl Engine {
                 let _ = self.flows.uninstall(flow);
             }
         }
+        // Drop the deployment's checkpoints: a later deployment reusing the
+        // name must start from clean operator state, not resurrect this one.
+        self.checkpoints.retain(|(dep, _), _| dep != name);
         Ok(())
     }
 
@@ -665,6 +814,13 @@ impl Engine {
     /// monotonic per-reason drop counters.
     pub fn dlq(&self) -> &DeadLetterQueue<DeadTuple> {
         &self.dlq
+    }
+
+    /// The latest blocking-operator snapshot for `(deployment, service)` —
+    /// taken live, or staged by [`Engine::open_durable`] recovery.
+    pub fn checkpoint_of(&self, deployment: &str, service: &str) -> Option<&OpCheckpoint> {
+        self.checkpoints
+            .get(&(deployment.to_string(), service.to_string()))
     }
 
     fn apply_fault(&mut self, now: Timestamp, action: FaultAction) {
@@ -1366,11 +1522,21 @@ impl Engine {
                 .record((e2e.as_secs_f64() * 1e6) as u64);
             match kind {
                 SinkKind::Warehouse => {
-                    self.warehouse.ingest_tuple(
-                        &tuple,
-                        self.config.warehouse_tgran,
-                        self.config.warehouse_sgran,
-                    );
+                    let (tgran, sgran) = (self.config.warehouse_tgran, self.config.warehouse_sgran);
+                    match &mut self.warehouse {
+                        WarehouseTier::Memory(w) => {
+                            w.ingest_tuple(&tuple, tgran, sgran);
+                        }
+                        WarehouseTier::Durable(d) => {
+                            // Log-first ingest; an I/O failure loses this
+                            // tuple's events but must not tear down the run.
+                            if let Err(e) = d.ingest_tuple(&tuple, tgran, sgran) {
+                                self.monitor.console.push(format!(
+                                    "[{now}] error: {dep_name}/{target}: durable ingest: {e}"
+                                ));
+                            }
+                        }
+                    }
                 }
                 SinkKind::Console => {
                     if self.monitor.console.len() < self.config.console_capacity {
@@ -1402,12 +1568,7 @@ impl Engine {
             None
         };
         if let Some(ckpt) = ckpt {
-            self.metrics.counter("checkpoint/taken").inc();
-            self.metrics
-                .gauge("checkpoint/bytes")
-                .set(ckpt.byte_size() as i64);
-            self.checkpoints
-                .insert((dep_name.to_string(), target.to_string()), ckpt);
+            self.store_checkpoint(dep_name, target, ckpt);
         }
         if trace != 0 {
             let key = SpanKey::new(dep_name, target, node.to_string());
@@ -1430,6 +1591,26 @@ impl Engine {
         }
         self.forward(now, dep_name, target, node, emitted);
         self.apply_controls(now, dep_name, target, controls);
+    }
+
+    /// Record a fresh blocking-operator snapshot: into the in-memory map
+    /// (crash recovery within this process) and — with a durable backend —
+    /// into the segment log, so a restarted process can restore the window
+    /// cache at deploy time.
+    fn store_checkpoint(&mut self, dep_name: &str, service: &str, ckpt: OpCheckpoint) {
+        self.metrics.counter("checkpoint/taken").inc();
+        self.metrics
+            .gauge("checkpoint/bytes")
+            .set(ckpt.byte_size() as i64);
+        if let WarehouseTier::Durable(d) = &mut self.warehouse {
+            if let Err(e) = d.persist_checkpoint(dep_name, service, &ckpt) {
+                self.monitor.console.push(format!(
+                    "error: persisting checkpoint {dep_name}/{service}: {e}"
+                ));
+            }
+        }
+        self.checkpoints
+            .insert((dep_name.to_string(), service.to_string()), ckpt);
     }
 
     fn on_tick(&mut self, now: Timestamp, dep_name: &str, service: &str) {
@@ -1456,12 +1637,7 @@ impl Engine {
             None
         };
         if let Some(ckpt) = ckpt {
-            self.metrics.counter("checkpoint/taken").inc();
-            self.metrics
-                .gauge("checkpoint/bytes")
-                .set(ckpt.byte_size() as i64);
-            self.checkpoints
-                .insert((dep_name.to_string(), service.to_string()), ckpt);
+            self.store_checkpoint(dep_name, service, ckpt);
         }
         {
             let counters = self.monitor.op_mut(dep_name, service);

@@ -38,6 +38,8 @@ pub enum EngineError {
         /// The offending sensor.
         sensor: String,
     },
+    /// The durable storage layer failed (I/O or corruption past recovery).
+    Durable(String),
 }
 
 impl fmt::Display for EngineError {
@@ -62,6 +64,7 @@ impl fmt::Display for EngineError {
                     "sensor `{sensor}` cannot serve source `{source}`: schema mismatch"
                 )
             }
+            EngineError::Durable(e) => write!(f, "durable storage: {e}"),
         }
     }
 }
@@ -81,6 +84,11 @@ impl From<NetError> for EngineError {
 impl From<PubSubError> for EngineError {
     fn from(e: PubSubError) -> Self {
         EngineError::PubSub(e)
+    }
+}
+impl From<sl_durable::DurableError> for EngineError {
+    fn from(e: sl_durable::DurableError) -> Self {
+        EngineError::Durable(e.to_string())
     }
 }
 

@@ -116,6 +116,9 @@ pub struct Monitor {
     /// Fault-recovery log lines (retries exhausted, crash recoveries,
     /// liveness expiries, ...).
     pub recovery: Vec<String>,
+    /// Durability log lines (log recovery, torn-tail truncation, window
+    /// caches restored from persisted checkpoints).
+    pub durability: Vec<String>,
 }
 
 impl Monitor {
@@ -261,6 +264,12 @@ impl Monitor {
         if !self.recovery.is_empty() {
             let _ = writeln!(out, "  recovery events (last 10):");
             for line in self.recovery.iter().rev().take(10).rev() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        if !self.durability.is_empty() {
+            let _ = writeln!(out, "  durability (last 10):");
+            for line in self.durability.iter().rev().take(10).rev() {
                 let _ = writeln!(out, "    {line}");
             }
         }

@@ -19,16 +19,20 @@ pub enum DropReason {
     CorruptPayload,
     /// The producing or consuming node was down at send time.
     NodeDown,
+    /// Lost to a torn durable-log tail: appended but not yet fsynced when
+    /// the process died, truncated away on recovery.
+    TornTail,
 }
 
 impl DropReason {
     /// All reasons, in declaration order.
-    pub const ALL: [DropReason; 5] = [
+    pub const ALL: [DropReason; 6] = [
         DropReason::NoRoute,
         DropReason::RetriesExhausted,
         DropReason::TargetVanished,
         DropReason::CorruptPayload,
         DropReason::NodeDown,
+        DropReason::TornTail,
     ];
 
     /// Stable snake_case name, used as a metrics-key suffix.
@@ -39,6 +43,7 @@ impl DropReason {
             DropReason::TargetVanished => "target_vanished",
             DropReason::CorruptPayload => "corrupt_payload",
             DropReason::NodeDown => "node_down",
+            DropReason::TornTail => "torn_tail",
         }
     }
 }
@@ -85,6 +90,14 @@ impl<T> DeadLetterQueue<T> {
             self.evicted += 1;
         }
         self.entries.push_back((reason, item));
+    }
+
+    /// Account a loss whose payload no longer exists (e.g. a record cut
+    /// from a torn log tail during crash recovery): bumps the counters —
+    /// the ground truth — without retaining an entry.
+    pub fn note(&mut self, reason: DropReason) {
+        self.total += 1;
+        *self.by_reason.entry(reason).or_insert(0) += 1;
     }
 
     /// Entries currently retained (oldest first).

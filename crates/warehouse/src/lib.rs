@@ -23,5 +23,5 @@ pub mod viz;
 
 pub use cube::{CubeCell, CubeQuery};
 pub use query::EventQuery;
-pub use store::{EventWarehouse, WarehouseConfig, WarehouseStats};
+pub use store::{tuple_events, EventWarehouse, WarehouseConfig, WarehouseStats};
 pub use viz::render_heatmap;

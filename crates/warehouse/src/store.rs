@@ -146,34 +146,18 @@ impl EventWarehouse {
         tgran: TemporalGranularity,
         sgran: SpatialGranularity,
     ) -> usize {
+        self.ingest_events(tuple_events(tuple, tgran, sgran))
+    }
+
+    /// Ingest a tuple's worth of pre-expanded events (see [`tuple_events`]).
+    /// Durable tiers use this to insert the same events they just logged
+    /// without translating the tuple twice.
+    pub fn ingest_events(&mut self, events: Vec<Event>) -> usize {
         let sw = Stopwatch::start();
         self.stats.tuples += 1;
-        let mut stored = 0;
-        for field in tuple.schema().clone().fields() {
-            let value = tuple.get(&field.name).expect("field exists");
-            if value.is_null() {
-                continue;
-            }
-            // Strings carry through too (tweet text is data), but geo
-            // duplicates the location; skip it.
-            if matches!(value, sl_stt::Value::Geo(_)) {
-                continue;
-            }
-            let effective_sgran = if tuple.meta.location.is_some() {
-                sgran
-            } else {
-                SpatialGranularity::World
-            };
-            if let Ok(event) = Event::from_tuple(tuple, &field.name, tgran, effective_sgran) {
-                // Qualify the theme with the attribute so events from one
-                // tuple stay distinguishable.
-                let mut event = event;
-                if let Ok(theme) = event.theme.child(&field.name) {
-                    event.theme = theme;
-                }
-                self.insert(event);
-                stored += 1;
-            }
+        let stored = events.len();
+        for event in events {
+            self.insert(event);
         }
         self.metrics.hist("ingest_us").record(sw.elapsed_us());
         self.metrics.counter("tuples_ingested").inc();
@@ -239,6 +223,45 @@ impl EventWarehouse {
         }
         evicted
     }
+}
+
+/// The TRANSLATE step of ingestion, side-effect free: expand a tuple into
+/// the events it yields at the given granularities. Every non-null,
+/// non-geo attribute becomes one event whose theme is qualified with the
+/// attribute name; tuples without a location pin to the World granule.
+///
+/// Iterates the schema by reference — no per-tuple schema clone on the
+/// ingest hot path.
+pub fn tuple_events(
+    tuple: &Tuple,
+    tgran: TemporalGranularity,
+    sgran: SpatialGranularity,
+) -> Vec<Event> {
+    let effective_sgran = if tuple.meta.location.is_some() {
+        sgran
+    } else {
+        SpatialGranularity::World
+    };
+    let mut events = Vec::with_capacity(tuple.schema().len());
+    for (field, value) in tuple.schema().fields().iter().zip(tuple.values()) {
+        if value.is_null() {
+            continue;
+        }
+        // Strings carry through too (tweet text is data), but geo
+        // duplicates the location; skip it.
+        if matches!(value, sl_stt::Value::Geo(_)) {
+            continue;
+        }
+        if let Ok(mut event) = Event::from_tuple(tuple, &field.name, tgran, effective_sgran) {
+            // Qualify the theme with the attribute so events from one
+            // tuple stay distinguishable.
+            if let Ok(theme) = event.theme.child(&field.name) {
+                event.theme = theme;
+            }
+            events.push(event);
+        }
+    }
+    events
 }
 
 #[cfg(test)]

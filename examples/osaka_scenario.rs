@@ -132,7 +132,9 @@ fn main() {
     println!("{}", session.monitor_report());
 
     // What reached the warehouse?
-    let events = session.query_warehouse(&EventQuery::all());
+    let events = session
+        .query_warehouse(&EventQuery::all())
+        .expect("in-memory queries cannot fail");
     println!("warehouse holds {} events", events.len());
     let cells = session.rollup(&CubeQuery {
         select: EventQuery::all(),

@@ -9,9 +9,21 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo test -p sl-engine --test chaos
+# Crash-recovery gate: the durable codec/log/warehouse property suite plus
+# the engine-level kill-and-reopen tests must hold on every commit.
+cargo test -p sl-durable -q
+cargo test -p sl-engine --test durable_recovery
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+# The durable tests create scratch dirs under $TMPDIR; a leftover one means
+# a TempDir leaked (Drop did not run or failed to clean up).
+stray=$(find "${TMPDIR:-/tmp}" -maxdepth 1 -name 'sl-durable-*' -print -quit)
+if [ -n "$stray" ]; then
+    echo "check.sh: stray durable scratch dir left behind: $stray" >&2
+    exit 1
+fi
 
 # Static analysis gate: every example DSN document must lint clean
 # (infos allowed, warnings and errors are not).

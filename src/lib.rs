@@ -45,6 +45,7 @@ pub use session::StreamLoader;
 
 pub use sl_dataflow as dataflow;
 pub use sl_dsn as dsn;
+pub use sl_durable as durable;
 pub use sl_engine as engine;
 pub use sl_expr as expr;
 pub use sl_faults as faults;

@@ -3,6 +3,7 @@
 //! warehouse — the full demo walkthrough (paper §4) as one API.
 
 use sl_dataflow::{debug_run, render_ascii, validate, Dataflow, SampleRun, ValidationReport};
+use sl_durable::DurableConfig;
 use sl_engine::{Engine, EngineConfig, EngineError};
 use sl_netsim::Topology;
 use sl_pubsub::{SensorAdvertisement, SubscriptionFilter};
@@ -22,6 +23,23 @@ impl StreamLoader {
         StreamLoader {
             engine: Engine::new(topology, config, start),
         }
+    }
+
+    /// A session whose Event Data Warehouse and operator checkpoints
+    /// persist to the segment log at `durable.dir`. Reopening the same
+    /// directory after a crash recovers the warehouse (hot tail rebuilt,
+    /// evicted events served from cold segments) and stages operator
+    /// checkpoints for the next [`StreamLoader::deploy`] of the same
+    /// dataflow.
+    pub fn open_durable(
+        topology: Topology,
+        config: EngineConfig,
+        start: Timestamp,
+        durable: DurableConfig,
+    ) -> Result<StreamLoader, EngineError> {
+        Ok(StreamLoader {
+            engine: Engine::open_durable(topology, config, start, durable)?,
+        })
     }
 
     /// The paper's demo setup: the NICT-like testbed with the Osaka sensor
@@ -173,14 +191,17 @@ impl StreamLoader {
         self.metrics().render_table()
     }
 
-    /// Query the Event Data Warehouse.
-    pub fn query_warehouse(&mut self, q: &EventQuery) -> Vec<sl_stt::Event> {
-        self.engine
-            .warehouse_mut()
-            .query(q)
-            .into_iter()
-            .cloned()
-            .collect()
+    /// Query the Event Data Warehouse. With a durable backend the answer
+    /// merges the hot indexes with the cold segment scan; the in-memory
+    /// backend answers from the hot indexes alone (and cannot fail).
+    pub fn query_warehouse(&mut self, q: &EventQuery) -> Result<Vec<sl_stt::Event>, EngineError> {
+        self.engine.query_warehouse(q)
+    }
+
+    /// Apply the retention horizon: discard (in-memory backend) or spill to
+    /// cold segments (durable backend) all events older than `horizon`.
+    pub fn evict_warehouse_before(&mut self, horizon: Timestamp) -> Result<usize, EngineError> {
+        self.engine.evict_warehouse_before(horizon)
     }
 
     /// Roll up the warehouse.

@@ -141,7 +141,9 @@ fn warehouse_only_has_post_activation_events() {
         .find(|c| c.operator == "hot_hour")
         .map(|c| c.at)
         .expect("trigger fired");
-    let events = session.query_warehouse(&EventQuery::all());
+    let events = session
+        .query_warehouse(&EventQuery::all())
+        .expect("in-memory queries cannot fail");
     assert!(!events.is_empty());
     for e in &events {
         assert!(
