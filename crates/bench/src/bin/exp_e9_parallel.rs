@@ -1,0 +1,269 @@
+//! E9 — sharded parallel execution: scaling the engine event loop across
+//! worker threads while preserving sequential semantics.
+//!
+//! Runs the same sensor-heavy, shardable-stage-heavy workload under the
+//! classic sequential loop and under the work-stealing shard pool at
+//! 2/4/8 workers, asserts every configuration produces byte-identical
+//! outputs, and reports wall-clock throughput. Results land in
+//! `BENCH_e9_parallel.json` (full mode only).
+//!
+//! ```sh
+//! cargo run --release -p sl-bench --bin exp_e9_parallel           # full run
+//! cargo run --release -p sl-bench --bin exp_e9_parallel -- --test # CI smoke
+//! ```
+//!
+//! The `--test` smoke mode (wired into `scripts/check.sh`) shrinks the
+//! workload, takes the min of 3 runs per configuration, and asserts the
+//! no-regression guard: `with_parallelism(1)` must not be slower than the
+//! sequential baseline beyond a generous noise margin (`parallelism <= 1`
+//! short-circuits to the identical sequential code path, so any real gap
+//! is a bug, not a trade-off).
+
+use sl_dataflow::DataflowBuilder;
+use sl_dsn::SinkKind;
+use sl_engine::{Engine, EngineConfig, ShardKey};
+use sl_netsim::{NodeSpec, Topology};
+use sl_pubsub::SubscriptionFilter;
+use sl_sensors::physical::TemperatureSensor;
+use sl_stt::{AttrType, Duration, Field, GeoPoint, Schema, SchemaRef, SensorId, Theme, Timestamp};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Everything observable about a finished run; must be identical across
+/// every worker count (the sl-par determinism contract).
+#[derive(PartialEq)]
+struct Digest {
+    warehouse: Vec<sl_stt::Event>,
+    edw: u64,
+    out: u64,
+    dlq: u64,
+}
+
+struct Sample {
+    wall_s: f64,
+    tuples: u64,
+    batches: u64,
+    steals: u64,
+}
+
+fn temp_schema() -> SchemaRef {
+    Schema::new(vec![
+        Field::new("temperature", AttrType::Float),
+        Field::new("station", AttrType::Str),
+    ])
+    .unwrap()
+    .into_ref()
+}
+
+/// A pipeline that is mostly shardable work (transform chain, virtual
+/// property, filter) with one blocking aggregation at the tail — the shape
+/// sl-par is built for.
+fn flow() -> sl_dataflow::Dataflow {
+    DataflowBuilder::new("e9")
+        .source(
+            "temp",
+            SubscriptionFilter::any().with_theme(Theme::new("weather/temperature").unwrap()),
+            temp_schema(),
+        )
+        .transform("to_f", "temp", &[("temperature", "temperature * 1.8 + 32")])
+        .transform(
+            "norm",
+            "to_f",
+            &[("temperature", "(temperature - 32) / 1.8 * 1.8 + 32")],
+        )
+        .virtual_property("flag", "norm", "hot", "temperature > 80")
+        .filter("keep", "flag", "temperature > -100")
+        .aggregate(
+            "avg",
+            "keep",
+            Duration::from_secs(20),
+            &[],
+            sl_ops::AggFunc::Avg,
+            Some("temperature"),
+        )
+        .sink("edw", SinkKind::Warehouse, &["avg"])
+        .sink("out", SinkKind::Console, &["keep"])
+        .build()
+        .unwrap()
+}
+
+/// Many sensors sharing one emission period: their tuples collide in
+/// virtual time, so the epoch-window drain forms real multi-tuple batches.
+fn build(sensors: u64, workers: usize) -> Engine {
+    let mut t = Topology::new();
+    let edge = t.add_node(NodeSpec::edge("edge", 50.0));
+    let hub = t.add_node(NodeSpec::edge("hub", 1_000_000.0));
+    t.add_link(edge, hub, Duration::from_millis(1), 10_000_000)
+        .unwrap();
+    let cfg = EngineConfig {
+        migration_enabled: false,
+        seed: 11,
+        parallelism: workers,
+        shard_key: ShardKey::Space,
+        ..Default::default()
+    };
+    let mut e = Engine::new(t, cfg, Timestamp::from_civil(2016, 7, 1, 12, 0, 0));
+    for i in 0..sensors {
+        e.add_sensor(Box::new(TemperatureSensor::new(
+            SensorId(i),
+            &format!("t{i}"),
+            GeoPoint::new_unchecked(34.0 + i as f64 * 0.11, 135.0 + i as f64 * 0.07),
+            edge,
+            Duration::from_secs(1),
+            false,
+            false,
+            11 + i,
+        )))
+        .unwrap();
+    }
+    e.deploy(flow()).unwrap();
+    e
+}
+
+fn run_once(sensors: u64, workers: usize, virtual_secs: u64) -> (Digest, Sample) {
+    let mut e = build(sensors, workers);
+    let t0 = Instant::now();
+    e.run_for(Duration::from_secs(virtual_secs));
+    let wall_s = t0.elapsed().as_secs_f64();
+    let snap = e.metrics_snapshot();
+    let digest = Digest {
+        warehouse: e.warehouse().iter().cloned().collect(),
+        edw: e.monitor().sink_count("e9", "edw"),
+        out: e.monitor().sink_count("e9", "out"),
+        dlq: e.dlq().by_reason().map(|(_, n)| n).sum(),
+    };
+    let sample = Sample {
+        wall_s,
+        tuples: digest.out,
+        batches: snap
+            .counters
+            .get("engine/shard/batches")
+            .copied()
+            .unwrap_or(0),
+        steals: snap
+            .counters
+            .get("engine/shard/steals")
+            .copied()
+            .unwrap_or(0),
+    };
+    (digest, sample)
+}
+
+/// Min-of-`reps` wall time for one configuration; digests must agree
+/// across repetitions (determinism within a config).
+fn measure(sensors: u64, workers: usize, virtual_secs: u64, reps: usize) -> (Digest, Sample) {
+    let mut best: Option<(Digest, Sample)> = None;
+    for _ in 0..reps {
+        let (d, s) = run_once(sensors, workers, virtual_secs);
+        match &mut best {
+            None => best = Some((d, s)),
+            Some((d0, s0)) => {
+                assert!(*d0 == d, "{workers} workers: run-to-run nondeterminism");
+                if s.wall_s < s0.wall_s {
+                    *s0 = s;
+                }
+            }
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (sensors, virtual_secs, reps) = if smoke {
+        (8u64, 40u64, 3)
+    } else {
+        (16, 300, 3)
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "E9 parallel scaling — {sensors} sensors, {virtual_secs} virtual s, \
+         min of {reps} runs, host has {cores} core(s)"
+    );
+
+    // `workers == 1` is measured twice under two labels: once as the
+    // baseline and once as `with_parallelism(1)`. Both take the identical
+    // sequential code path, so the pair doubles as the CI no-regression
+    // guard (any gap beyond noise means the parallel plumbing leaked cost
+    // into the sequential loop).
+    let configs: [(&str, usize); 5] = [
+        ("sequential", 1),
+        ("parallelism(1)", 1),
+        ("2 workers", 2),
+        ("4 workers", 4),
+        ("8 workers", 8),
+    ];
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut baseline: Option<(Digest, f64)> = None;
+    for (label, workers) in configs {
+        let (digest, s) = measure(sensors, workers, virtual_secs, reps);
+        let seq_wall = match &baseline {
+            None => {
+                let w = s.wall_s;
+                baseline = Some((digest, w));
+                w
+            }
+            Some((seq_digest, seq_wall)) => {
+                // The whole point: worker count must never change outputs.
+                assert!(
+                    *seq_digest == digest,
+                    "{label}: outputs differ from sequential"
+                );
+                *seq_wall
+            }
+        };
+        let speedup = seq_wall / s.wall_s.max(1e-12);
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}", s.wall_s),
+            format!("{:.0}", s.tuples as f64 / s.wall_s.max(1e-12)),
+            format!("{speedup:.2}x"),
+            s.batches.to_string(),
+            s.steals.to_string(),
+        ]);
+        let mut j = String::new();
+        let _ = write!(
+            j,
+            "    {{\"label\": \"{label}\", \"workers\": {workers}, \"wall_s\": {:.6}, \
+             \"sink_tuples\": {}, \"tuples_per_s\": {:.1}, \"speedup_vs_seq\": {speedup:.4}, \
+             \"shard_batches\": {}, \"steals\": {}}}",
+            s.wall_s,
+            s.tuples,
+            s.tuples as f64 / s.wall_s.max(1e-12),
+            s.batches,
+            s.steals
+        );
+        json_rows.push(j);
+        if smoke && label == "parallelism(1)" {
+            assert!(
+                s.wall_s <= seq_wall * 1.5 + 0.05,
+                "parallelism(1) regressed vs sequential: {:.3}s vs {seq_wall:.3}s",
+                s.wall_s
+            );
+        }
+    }
+
+    sl_bench::print_table(
+        "E9 — parallel sharded execution (identical outputs asserted)",
+        &[
+            "config", "wall [s]", "tuples/s", "speedup", "batches", "steals",
+        ],
+        &rows,
+    );
+
+    if smoke {
+        println!("\nE9 smoke: outputs identical across all worker counts; N=1 guard held");
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E9\",\n  \"host_cores\": {cores},\n  \
+         \"sensors\": {sensors},\n  \"virtual_seconds\": {virtual_secs},\n  \
+         \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_e9_parallel.json", &json).expect("write BENCH_e9_parallel.json");
+    println!("\nwrote BENCH_e9_parallel.json");
+}

@@ -26,6 +26,21 @@
 //!
 //! The crate is std-only and never panics on any disk content: damage
 //! surfaces as a [`DurableError`] or as truncation in the recovery report.
+//!
+//! ## Example
+//!
+//! The codec layer round-trips every record kind bit-exactly:
+//!
+//! ```
+//! use sl_durable::codec::Record;
+//! use sl_stt::Timestamp;
+//!
+//! let horizon = Timestamp::from_secs(3_600);
+//! let payload = Record::Horizon(horizon).encode();
+//! let decoded = Record::decode(&payload).unwrap();
+//! assert!(matches!(decoded, Record::Horizon(t) if t == horizon));
+//! ```
+#![warn(missing_docs)]
 
 pub mod codec;
 pub mod error;

@@ -1,6 +1,7 @@
 //! Engine configuration: placement policy, migration thresholds, monitoring
 //! cadence.
 
+use crate::shard::ShardKey;
 use sl_faults::RetryPolicy;
 use sl_stt::{Duration, SpatialGranularity, TemporalGranularity};
 
@@ -61,6 +62,13 @@ pub struct EngineConfig {
     /// Checkpoint blocking-operator caches so node crashes don't lose
     /// window state.
     pub checkpoint_enabled: bool,
+    /// Worker threads in the sharded execution pool. `1` (the default)
+    /// runs the classic single-threaded event loop; `n > 1` batches
+    /// same-instant deliveries to non-blocking operators across `n`
+    /// workers with identical outputs (see `DESIGN.md` §5f).
+    pub parallelism: usize,
+    /// How batched tuples are partitioned across shard workers.
+    pub shard_key: ShardKey,
 }
 
 impl Default for EngineConfig {
@@ -82,6 +90,8 @@ impl Default for EngineConfig {
             liveness_enabled: true,
             liveness_grace: 3,
             checkpoint_enabled: true,
+            parallelism: 1,
+            shard_key: ShardKey::Space,
         }
     }
 }
@@ -102,5 +112,7 @@ mod tests {
         assert!(c.dlq_capacity > 0);
         assert!(c.liveness_enabled && c.liveness_grace >= 2);
         assert!(c.checkpoint_enabled);
+        assert_eq!(c.parallelism, 1);
+        assert_eq!(c.shard_key, ShardKey::Space);
     }
 }

@@ -5,6 +5,7 @@ use crate::config::{EngineConfig, PlacementPolicy};
 use crate::deployment::{Deployment, EdgeRuntime, ServiceRuntime, SinkRuntime, SourceRuntime};
 use crate::error::EngineError;
 use crate::monitor::{ControlRecord, Monitor, PlacementChange};
+use crate::shard::ShardPool;
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -17,7 +18,7 @@ use sl_netsim::{
     Route, RoutingTable, Topology,
 };
 use sl_obs::{Metrics, MetricsSnapshot, SpanKey, Tracer};
-use sl_ops::{ControlAction, OpCheckpoint, OpContext};
+use sl_ops::{shard_checkpoint_name, ControlAction, OpCheckpoint, OpContext};
 use sl_pubsub::enrich::{enrich, EnrichPolicy};
 use sl_pubsub::{Broker, BrokerEvent, SensorAdvertisement, SubscriptionId};
 use sl_sensors::{decode_payload, SensorSim};
@@ -142,6 +143,11 @@ pub struct Engine {
     /// Wall-clock origin for span timestamps (virtual time measures the
     /// simulation; spans measure the host's processing cost).
     epoch: std::time::Instant,
+    /// The shard worker pool, spawned lazily on the first parallel run
+    /// (None while `config.parallelism <= 1`).
+    pool: Option<ShardPool>,
+    /// Steal count already exported to the `shard/steals` counter.
+    last_steals: u64,
 }
 
 impl Engine {
@@ -172,7 +178,25 @@ impl Engine {
             next_pid: 0,
             metrics: Metrics::new(),
             epoch: std::time::Instant::now(),
+            pool: None,
+            last_steals: 0,
         }
+    }
+
+    /// Set the worker count of the sharded execution layer. `1` (the
+    /// default) keeps the classic single-threaded event loop; `n > 1`
+    /// executes batches of same-instant non-blocking deliveries on `n`
+    /// worker threads with outputs identical to sequential execution
+    /// (`DESIGN.md` §5f). Takes effect at the next [`Engine::run_until`].
+    pub fn set_parallelism(&mut self, n: usize) {
+        self.config.parallelism = n.max(1);
+        // Rebuilt lazily with the new size.
+        self.pool = None;
+    }
+
+    /// Current worker count of the sharded execution layer.
+    pub fn parallelism(&self) -> usize {
+        self.config.parallelism
     }
 
     /// Create an engine whose Event Data Warehouse persists to the segment
@@ -565,7 +589,7 @@ impl Engine {
                     if self.config.checkpoint_enabled && blocking {
                         if let Some(ckpt) = self
                             .checkpoints
-                            .get(&(name.clone(), service.clone()))
+                            .get(&(name.clone(), shard_checkpoint_name(service, 0, 1)))
                             .cloned()
                         {
                             let (n_tuples, n_bytes) = (ckpt.len(), ckpt.byte_size());
@@ -695,6 +719,10 @@ impl Engine {
         // Drop the deployment's checkpoints: a later deployment reusing the
         // name must start from clean operator state, not resurrect this one.
         self.checkpoints.retain(|(dep, _), _| dep != name);
+        // Cached shard replicas of the torn-down operators are stale too.
+        if let Some(pool) = &self.pool {
+            pool.invalidate_deployment(name);
+        }
         Ok(())
     }
 
@@ -763,6 +791,11 @@ impl Engine {
                     service: service.to_string(),
                 },
             );
+        }
+        // Shard replicas cached for the old operator must not keep
+        // processing tuples meant for the replacement.
+        if let Some(pool) = &self.pool {
+            pool.invalidate(deployment, service);
         }
         self.monitor.console.push(format!(
             "[{}] {deployment}/{service} replaced on the fly",
@@ -1005,7 +1038,7 @@ impl Engine {
             .place(&self.topology, process, target, demand, false);
         let restored = if self.config.checkpoint_enabled {
             self.checkpoints
-                .get(&(dep_name.to_string(), svc_name.to_string()))
+                .get(&(dep_name.to_string(), shard_checkpoint_name(svc_name, 0, 1)))
                 .cloned()
                 .unwrap_or_default()
         } else {
@@ -1165,8 +1198,13 @@ impl Engine {
         if self.config.retry_enabled && attempt < self.config.retry.max_attempts {
             let backoff = self.config.retry.backoff(attempt);
             self.metrics.counter("retry/scheduled").inc();
-            self.queue.schedule_in(
-                backoff,
+            // Absolute time off the failing event's timestamp, so retries
+            // fire at the same instant whether the failure was handled
+            // sequentially or merged out of a parallel batch. (If a backoff
+            // is ever shorter than the batch window the retry clamps to the
+            // clock — a bounded deviation the default policy never hits.)
+            self.queue.schedule_at(
+                now + backoff,
                 Ev::RetryDeliver {
                     deployment,
                     target,
@@ -1249,8 +1287,9 @@ impl Engine {
                 self.metrics
                     .hist("recovery/redelivery_ms")
                     .record(now.since(first_failed_at).as_millis());
-                self.queue.schedule_in(
-                    delay + self.config.processing_delay,
+                self.note_enqueued(&deployment, &target);
+                self.queue.schedule_at(
+                    now + delay + self.config.processing_delay,
                     Ev::Deliver {
                         deployment,
                         target,
@@ -1278,9 +1317,292 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Run the virtual clock forward to `deadline`.
+    ///
+    /// With `config.parallelism <= 1` this is the classic sequential loop.
+    /// Otherwise eligible deliveries — consecutive queue-head events inside
+    /// one processing-delay window, all targeting shardable non-blocking
+    /// operators — are drained as a batch, fanned out across the shard
+    /// pool, and merged back in drained order (the epoch barrier), which
+    /// keeps outputs byte-identical to sequential execution.
     pub fn run_until(&mut self, deadline: Timestamp) {
+        if self.config.parallelism <= 1 {
+            while let Some((now, ev)) = self.queue.pop_until(deadline) {
+                self.handle(now, ev);
+            }
+            return;
+        }
+        if self.pool.is_none() {
+            self.pool = Some(ShardPool::new(self.config.parallelism, self.epoch));
+        }
+        if self.pool.as_ref().is_none_or(|p| p.workers() == 0) {
+            // Thread spawning failed: degrade to sequential, don't die.
+            self.monitor
+                .console
+                .push("warn: shard pool has no workers; running sequentially".into());
+            while let Some((now, ev)) = self.queue.pop_until(deadline) {
+                self.handle(now, ev);
+            }
+            return;
+        }
+        let window = self.config.processing_delay;
         while let Some((now, ev)) = self.queue.pop_until(deadline) {
-            self.handle(now, ev);
+            if !batch_eligible(&self.deployments, &ev) {
+                self.handle(now, ev);
+                continue;
+            }
+            // Drain consecutive eligible events with times in
+            // [now, now + window). Children of these events are scheduled at
+            // least one full window later (delay + processing_delay), so no
+            // drained event's descendant can belong to this batch — that is
+            // what makes the merge order-equivalent to sequential.
+            let mut batch = vec![(now, ev)];
+            let horizon = now + window;
+            loop {
+                let eligible = match self.queue.peek() {
+                    Some((t, head)) if t < horizon && t <= deadline => {
+                        batch_eligible(&self.deployments, head)
+                    }
+                    _ => false,
+                };
+                if !eligible {
+                    break;
+                }
+                match self.queue.pop() {
+                    Some(member) => batch.push(member),
+                    None => break,
+                }
+            }
+            if batch.len() == 1 {
+                // Parallel dispatch costs more than it saves for one tuple.
+                let Some((t, ev)) = batch.pop() else { continue };
+                self.handle(t, ev);
+            } else {
+                self.handle_parallel_batch(batch);
+            }
+        }
+    }
+
+    /// Execute a drained batch of eligible deliveries on the shard pool and
+    /// merge the results back in drained order.
+    fn handle_parallel_batch(&mut self, batch: Vec<(Timestamp, Ev)>) {
+        struct Member {
+            at: Timestamp,
+            dep: String,
+            target: String,
+            trace: u64,
+            job: usize,
+            slot: usize,
+        }
+        struct PendingJob {
+            dep: String,
+            target: String,
+            port: usize,
+            shard: usize,
+            items: Vec<(Timestamp, Tuple)>,
+        }
+        // Take the pool out so `self` stays free for the merge phase; it is
+        // restored before returning on every path.
+        let Some(mut pool) = self.pool.take() else {
+            for (t, ev) in batch {
+                self.handle(t, ev);
+            }
+            return;
+        };
+        let workers = pool.workers();
+        let shard_key = self.config.shard_key;
+
+        // Top up operator replicas before taking the batch apart: as many
+        // copies per operator as members could need (capped at the worker
+        // count). If any operator refuses to replicate, fall back to inline
+        // sequential processing of the whole batch — exactly equivalent,
+        // just slower.
+        let mut by_op: HashMap<(&str, &str), usize> = HashMap::new();
+        for (_, ev) in &batch {
+            if let Ev::Deliver {
+                deployment, target, ..
+            } = ev
+            {
+                *by_op.entry((deployment, target)).or_insert(0) += 1;
+            }
+        }
+        for ((dep, target), n) in by_op {
+            let Some(op) = self
+                .deployments
+                .get(dep)
+                .and_then(|d| d.services.get(target))
+                .map(|s| &*s.op)
+            else {
+                continue; // undeployed mid-window; the job will error per item
+            };
+            if !pool.ensure_replicas(dep, target, op, n.min(workers)) {
+                self.pool = Some(pool);
+                for (t, ev) in batch {
+                    self.handle(t, ev);
+                }
+                return;
+            }
+        }
+
+        // Group the batch into jobs keyed (deployment, target, shard), in
+        // first-touch order; remember where each member's item landed.
+        let mut jobs: Vec<PendingJob> = Vec::new();
+        let mut job_index: HashMap<(String, String, usize), usize> = HashMap::new();
+        let mut members: Vec<Member> = Vec::with_capacity(batch.len());
+        for (i, (at, ev)) in batch.into_iter().enumerate() {
+            let Ev::Deliver {
+                deployment,
+                target,
+                port,
+                tuple,
+            } = ev
+            else {
+                continue; // unreachable: eligibility admits only Deliver
+            };
+            let shard = shard_key.shard_of(&tuple, i, workers);
+            let trace = tuple.meta.trace;
+            let key = (deployment.clone(), target.clone(), shard);
+            let job = *job_index.entry(key).or_insert_with(|| {
+                jobs.push(PendingJob {
+                    dep: deployment.clone(),
+                    target: target.clone(),
+                    port,
+                    shard,
+                    items: Vec::new(),
+                });
+                jobs.len() - 1
+            });
+            jobs[job].items.push((at, tuple));
+            members.push(Member {
+                at,
+                dep: deployment,
+                target,
+                trace,
+                job,
+                slot: jobs[job].items.len() - 1,
+            });
+        }
+
+        // Submit every job, then block until all report back (the barrier).
+        let num_jobs = jobs.len();
+        let mut base_id = 0u64;
+        let mut job_meta: Vec<(String, String, usize, usize)> = Vec::with_capacity(num_jobs);
+        for (ji, job) in jobs.into_iter().enumerate() {
+            self.metrics
+                .gauge(&format!("shard/{}/queue_depth", job.shard))
+                .set(job.items.len() as i64);
+            let id = pool.submit(&job.dep, &job.target, job.port, job.shard, job.items);
+            if ji == 0 {
+                base_id = id;
+            }
+            job_meta.push((job.dep, job.target, job.shard, ji));
+        }
+        let mut results: Vec<Option<crate::shard::ShardJobResult>> =
+            (0..num_jobs).map(|_| None).collect();
+        for _ in 0..num_jobs {
+            match pool.recv() {
+                Some(r) => {
+                    let idx = (r.id - base_id) as usize;
+                    if idx < num_jobs {
+                        results[idx] = Some(r);
+                    }
+                }
+                None => {
+                    self.monitor
+                        .console
+                        .push("error: shard pool worker died; batch results lost".into());
+                    break;
+                }
+            }
+        }
+
+        // Per-shard accounting for this batch.
+        let mut batched_tuples = 0u64;
+        for (ji, r) in results.iter().enumerate() {
+            let Some(r) = r else { continue };
+            let shard = job_meta[ji].2;
+            self.metrics
+                .hist(&format!("shard/{shard}/batch_us"))
+                .record(r.wall_us);
+            self.metrics
+                .gauge(&format!("shard/{shard}/queue_depth"))
+                .set(0);
+            batched_tuples += r.items.len() as u64;
+            let stat = self.monitor.shards.entry(shard).or_default();
+            stat.batches += 1;
+            stat.tuples += r.items.len() as u64;
+            if r.stolen {
+                stat.stolen += 1;
+            }
+        }
+        self.metrics.counter("shard/batches").add(num_jobs as u64);
+        self.metrics
+            .counter("shard/batched_tuples")
+            .add(batched_tuples);
+        let steals = pool.steals();
+        self.metrics
+            .counter("shard/steals")
+            .add(steals.saturating_sub(self.last_steals));
+        self.last_steals = steals;
+        self.monitor.steals = steals;
+
+        // Pull the per-item outcomes out so each member can take its slot.
+        let mut slots: Vec<Vec<Option<crate::shard::ItemResult>>> = results
+            .into_iter()
+            .map(|r| match r {
+                Some(r) => r.items.into_iter().map(Some).collect(),
+                None => Vec::new(),
+            })
+            .collect();
+        self.pool = Some(pool);
+
+        // Merge in drained order: counters, spans, forwards and controls
+        // fire exactly as the sequential loop would have fired them.
+        for m in members {
+            let item = slots
+                .get_mut(m.job)
+                .and_then(|s| s.get_mut(m.slot))
+                .and_then(Option::take);
+            let Some(node) = self
+                .deployments
+                .get(&m.dep)
+                .and_then(|d| d.services.get(&m.target))
+                .map(|s| s.node)
+            else {
+                continue;
+            };
+            self.monitor.op_mut(&m.dep, &m.target).queue_depth.add(-1);
+            let Some(item) = item else {
+                self.monitor.console.push(format!(
+                    "[{}] error: {}/{}: tuple lost in shard pool",
+                    m.at, m.dep, m.target
+                ));
+                continue;
+            };
+            if m.trace != 0 {
+                let key = SpanKey::new(&m.dep, &m.target, node.to_string());
+                let tracer = self.metrics.tracer();
+                tracer.span_enter(m.trace, key.clone(), item.wall0);
+                tracer.span_exit(m.trace, &key, item.wall1);
+            }
+            let wall = item.wall1.saturating_sub(item.wall0);
+            let outcome = item.outcome;
+            {
+                let counters = self.monitor.op_mut(&m.dep, &m.target);
+                counters.record_in();
+                counters.add_out(outcome.emitted.len() as u64);
+                counters.add_dropped(outcome.dropped);
+                counters.proc_latency.record(wall);
+            }
+            self.metrics.hist("ev/deliver_us").record(wall);
+            if let Some(e) = outcome.error {
+                self.monitor.console.push(format!(
+                    "[{}] error: {}/{}: {e}; tuple dropped",
+                    m.at, m.dep, m.target
+                ));
+                continue;
+            }
+            self.forward(m.at, &m.dep, &m.target, node, outcome.emitted);
+            self.apply_controls(m.at, &m.dep, &m.target, outcome.controls);
         }
     }
 
@@ -1483,6 +1805,7 @@ impl Engine {
             let bytes = t.byte_size();
             match self.transfer(from_node, target_node, bytes) {
                 Some(delay) => {
+                    self.note_enqueued(&dep, &to);
                     self.queue.schedule_in(
                         delay + self.config.processing_delay,
                         Ev::Deliver {
@@ -1552,6 +1875,7 @@ impl Engine {
         let Some(svc) = dep.services.get_mut(target) else {
             return;
         };
+        self.monitor.op_mut(dep_name, target).queue_depth.add(-1);
         let node = svc.node;
         let trace = tuple.meta.trace;
         let mut ctx = OpContext::new(now);
@@ -1598,19 +1922,24 @@ impl Engine {
     /// into the segment log, so a restarted process can restore the window
     /// cache at deploy time.
     fn store_checkpoint(&mut self, dep_name: &str, service: &str, ckpt: OpCheckpoint) {
+        // Blocking operators are single-owner (never sharded), so the slot
+        // name is always the plain `service` spelling — which keeps keys
+        // byte-compatible with checkpoints persisted before the parallel
+        // layer existed. The helper documents the `service#shardN` scheme
+        // for any future shard-local state.
+        let slot = shard_checkpoint_name(service, 0, 1);
         self.metrics.counter("checkpoint/taken").inc();
         self.metrics
             .gauge("checkpoint/bytes")
             .set(ckpt.byte_size() as i64);
         if let WarehouseTier::Durable(d) = &mut self.warehouse {
-            if let Err(e) = d.persist_checkpoint(dep_name, service, &ckpt) {
+            if let Err(e) = d.persist_checkpoint(dep_name, &slot, &ckpt) {
                 self.monitor.console.push(format!(
-                    "error: persisting checkpoint {dep_name}/{service}: {e}"
+                    "error: persisting checkpoint {dep_name}/{slot}: {e}"
                 ));
             }
         }
-        self.checkpoints
-            .insert((dep_name.to_string(), service.to_string()), ckpt);
+        self.checkpoints.insert((dep_name.to_string(), slot), ckpt);
     }
 
     fn on_tick(&mut self, now: Timestamp, dep_name: &str, service: &str) {
@@ -1664,9 +1993,16 @@ impl Engine {
     }
 
     /// Forward operator outputs to their consumers over the network.
+    ///
+    /// `base` is the virtual time the producing event fired at. Deliveries
+    /// are scheduled at `base + delay + processing_delay` absolutely (not
+    /// relative to the clock): in the sequential loop `base` *is* the
+    /// clock, and in a parallel merge the clock has already advanced past
+    /// earlier batch members — absolute scheduling keeps child times
+    /// identical either way.
     fn forward(
         &mut self,
-        now: Timestamp,
+        base: Timestamp,
         dep_name: &str,
         from: &str,
         from_node: NodeId,
@@ -1690,8 +2026,9 @@ impl Engine {
                 let bytes = tuple.byte_size();
                 match self.transfer(from_node, target_node, bytes) {
                     Some(delay) => {
-                        self.queue.schedule_in(
-                            delay + self.config.processing_delay,
+                        self.note_enqueued(dep_name, to);
+                        self.queue.schedule_at(
+                            base + delay + self.config.processing_delay,
                             Ev::Deliver {
                                 deployment: dep_name.to_string(),
                                 target: to.clone(),
@@ -1702,7 +2039,7 @@ impl Engine {
                     }
                     None => {
                         self.fail_delivery(
-                            now,
+                            base,
                             dep_name.to_string(),
                             to.clone(),
                             *port,
@@ -1710,11 +2047,23 @@ impl Engine {
                             from_node,
                             target_node,
                             0,
-                            now,
+                            base,
                         );
                     }
                 }
             }
+        }
+    }
+
+    /// Bump the per-operator in-flight gauge when a delivery to a *service*
+    /// is scheduled (sink deliveries are not queued work for an operator).
+    fn note_enqueued(&mut self, dep: &str, target: &str) {
+        if self
+            .deployments
+            .get(dep)
+            .is_some_and(|d| d.services.contains_key(target))
+        {
+            self.monitor.op_mut(dep, target).queue_depth.add(1);
         }
     }
 
@@ -1903,6 +2252,24 @@ impl Engine {
             }
         }
     }
+}
+
+/// True if an event may join a parallel execution batch: a delivery to a
+/// live *service* whose operator is shardable and non-blocking. Everything
+/// else — sinks, ticks, faults, retries, monitor samples, and stateful or
+/// blocking operators — is handled inline on the engine thread, exactly as
+/// the sequential loop would.
+fn batch_eligible(deployments: &BTreeMap<String, Deployment>, ev: &Ev) -> bool {
+    let Ev::Deliver {
+        deployment, target, ..
+    } = ev
+    else {
+        return false;
+    };
+    deployments
+        .get(deployment)
+        .and_then(|d| d.services.get(target))
+        .is_some_and(|svc| !svc.blocking && svc.op.is_shardable())
 }
 
 /// Project a sensor tuple onto a source's declared schema (types checked at

@@ -7,7 +7,7 @@
 //! point for all of it.
 
 use sl_netsim::{NodeId, TimeSeries};
-use sl_obs::{Counter, HistSummary, Histogram, MetricsSnapshot};
+use sl_obs::{Counter, Gauge, HistSummary, Histogram, MetricsSnapshot};
 use sl_ops::ControlAction;
 use sl_stt::Timestamp;
 use std::collections::BTreeMap;
@@ -29,6 +29,10 @@ pub struct OpCounters {
     pub rate_series: TimeSeries,
     /// Per-tuple processing latency (wall-clock microseconds).
     pub proc_latency: Histogram,
+    /// Tuples currently in flight *towards this operator* (scheduled
+    /// deliveries not yet processed). Attributed per operator rather than
+    /// per engine, so a backed-up service is visible in the report.
+    pub queue_depth: Gauge,
 }
 
 impl OpCounters {
@@ -119,6 +123,21 @@ pub struct Monitor {
     /// Durability log lines (log recovery, torn-tail truncation, window
     /// caches restored from persisted checkpoints).
     pub durability: Vec<String>,
+    /// Per-shard execution stats (empty while running sequentially).
+    pub shards: BTreeMap<usize, ShardStat>,
+    /// Total shard jobs executed by a non-home worker (work stealing).
+    pub steals: u64,
+}
+
+/// Execution stats for one shard of the parallel worker pool.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ShardStat {
+    /// Jobs dispatched with this shard as home.
+    pub batches: u64,
+    /// Tuples processed across those jobs.
+    pub tuples: u64,
+    /// Jobs stolen off this shard's queue by another worker.
+    pub stolen: u64,
 }
 
 impl Monitor {
@@ -225,6 +244,7 @@ impl Monitor {
                     c.proc_latency.p99().unwrap_or(0)
                 );
             }
+            let _ = write!(line, " depth={}", c.queue_depth.get());
             let _ = writeln!(out, "{line}");
         }
         let _ = writeln!(out, "  sinks:");
@@ -273,6 +293,16 @@ impl Monitor {
                 let _ = writeln!(out, "    {line}");
             }
         }
+        if !self.shards.is_empty() {
+            let _ = writeln!(out, "  execution shards (steals={}):", self.steals);
+            for (shard, s) in &self.shards {
+                let _ = writeln!(
+                    out,
+                    "    shard#{shard}: batches={} tuples={} stolen={}",
+                    s.batches, s.tuples, s.stolen
+                );
+            }
+        }
         out
     }
 
@@ -294,6 +324,8 @@ impl Monitor {
                     HistSummary::of(&c.proc_latency),
                 );
             }
+            snap.gauges
+                .insert(format!("{dep}/{op}/queue_depth"), c.queue_depth.get());
         }
         for ((dep, sink), n) in &self.sink_counts {
             snap.counters

@@ -6,17 +6,18 @@
 //! and humidity" (§2) — `⊎s⟨apparent_temperature,
 //! apparent_temperature(temperature, humidity)⟩`.
 
-use crate::context::OpContext;
+use crate::context::{OpContext, TupleOutcome};
 use crate::error::OpError;
 use crate::Operator;
 use sl_expr::{CompiledExpr, ExprType};
-use sl_stt::{AttrType, Field, SchemaRef, Tuple};
+use sl_stt::{AttrType, Field, SchemaRef, Timestamp, Tuple};
 
 /// The Virtual Property operator.
 #[derive(Debug)]
 pub struct VirtualPropertyOp {
     property: String,
     spec: CompiledExpr,
+    in_schema: SchemaRef,
     out_schema: SchemaRef,
 }
 
@@ -42,6 +43,7 @@ impl VirtualPropertyOp {
         Ok(VirtualPropertyOp {
             property: property.to_string(),
             spec: compiled,
+            in_schema: input_schema.clone(),
             out_schema,
         })
     }
@@ -80,6 +82,41 @@ impl Operator for VirtualPropertyOp {
 
     fn cost_per_tuple(&self) -> f64 {
         1.0 + self.spec.expr().size() as f64 * 0.2
+    }
+
+    /// Batch fast path: evaluate the specification and extend each tuple.
+    fn process_batch(&mut self, port: usize, batch: &[(Timestamp, Tuple)]) -> Vec<TupleOutcome> {
+        batch
+            .iter()
+            .map(|(_, tuple)| {
+                if port != 0 {
+                    return TupleOutcome::error(OpError::BadPort {
+                        kind: self.kind(),
+                        port,
+                    });
+                }
+                let extended = self.spec.eval(tuple).map_err(OpError::from).and_then(|v| {
+                    tuple
+                        .clone()
+                        .extended(self.out_schema.clone(), v)
+                        .map_err(OpError::from)
+                });
+                match extended {
+                    Ok(out) => TupleOutcome::emit(out),
+                    Err(e) => TupleOutcome::error(e),
+                }
+            })
+            .collect()
+    }
+
+    fn is_shardable(&self) -> bool {
+        true
+    }
+
+    fn replicate(&self) -> Option<Box<dyn Operator>> {
+        VirtualPropertyOp::new(&self.property, self.spec.source(), &self.in_schema)
+            .ok()
+            .map(|op| Box::new(op) as Box<dyn Operator>)
     }
 }
 

@@ -21,6 +21,34 @@
 //!
 //! Everything downstream (expressions, operators, pub/sub, the warehouse)
 //! builds on these types.
+//!
+//! ## Example
+//!
+//! Build a schema, attach STT metadata to a row of values, and read an
+//! attribute back:
+//!
+//! ```
+//! use sl_stt::{
+//!     AttrType, Field, GeoPoint, Schema, SensorId, SttMeta, Theme, Timestamp, Tuple, Value,
+//! };
+//!
+//! let schema = Schema::new(vec![Field::new("temperature", AttrType::Float)])
+//!     .unwrap()
+//!     .into_ref();
+//! let tuple = Tuple::new(
+//!     schema,
+//!     vec![Value::Float(31.5)],
+//!     SttMeta::new(
+//!         Timestamp::from_civil(2016, 7, 1, 12, 0, 0),
+//!         GeoPoint::new_unchecked(34.69, 135.50), // Osaka
+//!         Theme::new("weather/temperature").unwrap(),
+//!         SensorId(7),
+//!     ),
+//! )
+//! .unwrap();
+//! assert_eq!(tuple.get("temperature").unwrap(), &Value::Float(31.5));
+//! ```
+#![warn(missing_docs)]
 
 pub mod error;
 pub mod event;

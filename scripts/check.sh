@@ -13,6 +13,11 @@ cargo test -p sl-engine --test chaos
 # the engine-level kill-and-reopen tests must hold on every commit.
 cargo test -p sl-durable -q
 cargo test -p sl-engine --test durable_recovery
+# Parallel-execution gate: sequential-vs-parallel output equivalence
+# (fault-free, under chaos, every shard key, mid-run switch).
+cargo test -p sl-engine --test parallel_equivalence
+# Doctest gate: the documented crates' crate-root examples must run.
+cargo test --doc -q -p sl-stt -p sl-ops -p sl-engine -p sl-obs -p sl-durable
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
@@ -28,5 +33,10 @@ fi
 # Static analysis gate: every example DSN document must lint clean
 # (infos allowed, warnings and errors are not).
 cargo run --release -q --bin sl-lint -- --deny-warnings examples/dsn/*.dsn
+
+# Parallel-scaling smoke (E9): asserts identical outputs across worker
+# counts and that `with_parallelism(1)` is never slower than the
+# sequential loop beyond noise.
+cargo run --release -q -p sl-bench --bin exp_e9_parallel -- --test
 
 echo "check.sh: all green"

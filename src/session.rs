@@ -42,6 +42,26 @@ impl StreamLoader {
         })
     }
 
+    /// Scale the session across `n` worker threads (the sharded execution
+    /// layer). Outputs are identical to the single-threaded default — only
+    /// wall-clock cost changes. `with_parallelism(1)` restores the classic
+    /// sequential loop.
+    ///
+    /// ```no_run
+    /// use streamloader::StreamLoader;
+    /// use sl_engine::EngineConfig;
+    /// use sl_sensors::ScenarioConfig;
+    ///
+    /// let session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default())
+    ///     .with_parallelism(4);
+    /// assert_eq!(session.engine().parallelism(), 4);
+    /// ```
+    #[must_use]
+    pub fn with_parallelism(mut self, n: usize) -> StreamLoader {
+        self.engine.set_parallelism(n);
+        self
+    }
+
     /// The paper's demo setup: the NICT-like testbed with the Osaka sensor
     /// fleet plugged in, clock at 2016-07-01 08:00 UTC.
     pub fn osaka_demo(scenario: &ScenarioConfig, engine: EngineConfig) -> StreamLoader {
