@@ -1,9 +1,11 @@
 //! Engine configuration: placement policy, migration thresholds, monitoring
-//! cadence.
+//! cadence, and overload-control knobs.
 
 use crate::shard::ShardKey;
 use sl_faults::RetryPolicy;
+use sl_ops::PriorityClass;
 use sl_stt::{Duration, SpatialGranularity, TemporalGranularity};
+use std::fmt;
 
 /// Where operator processes are initially placed (ablation A2 compares
 /// these).
@@ -69,6 +71,10 @@ pub struct EngineConfig {
     pub parallelism: usize,
     /// How batched tuples are partitioned across shard workers.
     pub shard_key: ShardKey,
+    /// Overload control: bounded ingress queues, shedding, credits,
+    /// breakers, backlog-driven migration. Default-off (unbounded queues),
+    /// preserving historical byte-identical behaviour.
+    pub overload: OverloadConfig,
 }
 
 impl Default for EngineConfig {
@@ -92,7 +98,154 @@ impl Default for EngineConfig {
             checkpoint_enabled: true,
             parallelism: 1,
             shard_key: ShardKey::Space,
+            overload: OverloadConfig::default(),
         }
+    }
+}
+
+/// What a full bounded ingress queue does with overflow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OverflowPolicy {
+    /// Never shed: revoke generation credit from the sensors feeding the
+    /// saturated operator (propagated through the broker) until the queue
+    /// drains. Zero loss; the burst is absorbed by pausing the source.
+    Block,
+    /// Condemn the oldest queued tuple to admit the newest (freshness wins).
+    ShedOldest,
+    /// Drop the incoming tuple, keeping what was already queued.
+    ShedNewest,
+    /// On overflow, a seeded coin decides: with probability `p` the oldest
+    /// queued tuple is condemned (the new one is admitted), otherwise the
+    /// incoming tuple is shed. Either way the queue never exceeds its bound.
+    Sample(f64),
+}
+
+/// Overload-control knobs (see `DESIGN.md` §5g).
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Per-operator ingress bound (in-flight scheduled deliveries).
+    /// `None` (the default) keeps queues unbounded — the historical
+    /// behaviour — and disables the whole admission layer.
+    pub queue_capacity: Option<usize>,
+    /// What to do when a bounded queue is full.
+    pub policy: OverflowPolicy,
+    /// Optional cap on total in-flight deliveries across all operators;
+    /// reaching it triggers priority preemption (lowest class sheds first).
+    pub global_capacity: Option<usize>,
+    /// QoS class per deployment name; deployments not listed are
+    /// [`PriorityClass::Normal`].
+    pub priorities: Vec<(String, PriorityClass)>,
+    /// Enable circuit breakers on delivery paths. Off by default: breakers
+    /// change retry behaviour (fail-fast instead of scheduled re-attempts).
+    pub breaker_enabled: bool,
+    /// Consecutive failures that open a path's breaker.
+    pub breaker_threshold: u32,
+    /// Open-state dwell before a half-open probe delivery.
+    pub breaker_cooldown: Duration,
+    /// Let sustained backlog (not just CPU) trigger operator re-placement.
+    pub backlog_migration: bool,
+    /// Fraction of `queue_capacity` a queue's per-window high-watermark
+    /// must reach to count as backlogged, in (0, 1].
+    pub backlog_threshold: f64,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            queue_capacity: None,
+            policy: OverflowPolicy::Block,
+            global_capacity: None,
+            priorities: Vec::new(),
+            breaker_enabled: false,
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(5),
+            backlog_migration: true,
+            backlog_threshold: 0.75,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// True if any part of the admission layer is active.
+    pub fn admission_enabled(&self) -> bool {
+        self.queue_capacity.is_some() || self.global_capacity.is_some()
+    }
+}
+
+/// A rejected [`EngineConfig`], caught at `StreamLoader` build time instead
+/// of panicking mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `overload.queue_capacity` was `Some(0)` (a queue that admits nothing).
+    ZeroQueueCapacity,
+    /// `overload.global_capacity` was `Some(0)`.
+    ZeroGlobalCapacity,
+    /// `Sample(p)` probability outside `(0, 1]`.
+    SampleProbability(f64),
+    /// The same deployment was assigned two priority classes.
+    PriorityCollision(String),
+    /// `overload.breaker_threshold` was 0 with breakers enabled.
+    ZeroBreakerThreshold,
+    /// `overload.backlog_threshold` outside `(0, 1]`.
+    BacklogThreshold(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroQueueCapacity => {
+                write!(f, "overload.queue_capacity must be at least 1")
+            }
+            ConfigError::ZeroGlobalCapacity => {
+                write!(f, "overload.global_capacity must be at least 1")
+            }
+            ConfigError::SampleProbability(p) => {
+                write!(f, "Sample probability {p} outside (0, 1]")
+            }
+            ConfigError::PriorityCollision(d) => {
+                write!(f, "deployment `{d}` assigned more than one priority class")
+            }
+            ConfigError::ZeroBreakerThreshold => {
+                write!(f, "overload.breaker_threshold must be at least 1")
+            }
+            ConfigError::BacklogThreshold(t) => {
+                write!(f, "overload.backlog_threshold {t} outside (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl EngineConfig {
+    /// Validate the configuration; called by `StreamLoader` at build time
+    /// so bad knobs surface as a typed error, not a runtime panic.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let o = &self.overload;
+        if o.queue_capacity == Some(0) {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if o.global_capacity == Some(0) {
+            return Err(ConfigError::ZeroGlobalCapacity);
+        }
+        if let OverflowPolicy::Sample(p) = o.policy {
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(ConfigError::SampleProbability(p));
+            }
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for (dep, _) in &o.priorities {
+            if !seen.insert(dep.as_str()) {
+                return Err(ConfigError::PriorityCollision(dep.clone()));
+            }
+        }
+        if o.breaker_enabled && o.breaker_threshold == 0 {
+            return Err(ConfigError::ZeroBreakerThreshold);
+        }
+        if !(o.backlog_threshold > 0.0 && o.backlog_threshold <= 1.0) {
+            return Err(ConfigError::BacklogThreshold(o.backlog_threshold));
+        }
+        Ok(())
     }
 }
 
@@ -114,5 +267,54 @@ mod tests {
         assert!(c.checkpoint_enabled);
         assert_eq!(c.parallelism, 1);
         assert_eq!(c.shard_key, ShardKey::Space);
+        // Overload control defaults off: unbounded queues, no breakers, so
+        // seed behaviour is byte-identical.
+        assert_eq!(c.overload.queue_capacity, None);
+        assert_eq!(c.overload.global_capacity, None);
+        assert!(!c.overload.admission_enabled());
+        assert!(!c.overload.breaker_enabled);
+        assert!(c.overload.backlog_migration);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        let mut c = EngineConfig::default();
+        c.overload.queue_capacity = Some(0);
+        assert_eq!(c.validate(), Err(ConfigError::ZeroQueueCapacity));
+
+        let mut c = EngineConfig::default();
+        c.overload.global_capacity = Some(0);
+        assert_eq!(c.validate(), Err(ConfigError::ZeroGlobalCapacity));
+
+        let mut c = EngineConfig::default();
+        c.overload.policy = OverflowPolicy::Sample(0.0);
+        assert_eq!(c.validate(), Err(ConfigError::SampleProbability(0.0)));
+        c.overload.policy = OverflowPolicy::Sample(1.5);
+        assert_eq!(c.validate(), Err(ConfigError::SampleProbability(1.5)));
+        c.overload.policy = OverflowPolicy::Sample(1.0);
+        assert!(c.validate().is_ok());
+
+        let mut c = EngineConfig::default();
+        c.overload.priorities = vec![
+            ("alerts".into(), PriorityClass::High),
+            ("alerts".into(), PriorityClass::Low),
+        ];
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::PriorityCollision("alerts".into()))
+        );
+
+        let mut c = EngineConfig::default();
+        c.overload.breaker_enabled = true;
+        c.overload.breaker_threshold = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroBreakerThreshold));
+        // Disabled breakers tolerate a zero threshold (it is unused).
+        c.overload.breaker_enabled = false;
+        assert!(c.validate().is_ok());
+
+        let mut c = EngineConfig::default();
+        c.overload.backlog_threshold = 0.0;
+        assert_eq!(c.validate(), Err(ConfigError::BacklogThreshold(0.0)));
     }
 }

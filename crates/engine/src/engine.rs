@@ -1,10 +1,11 @@
 //! The [`Engine`]: deployment actuation and the discrete-event execution
 //! loop.
 
-use crate::config::{EngineConfig, PlacementPolicy};
+use crate::config::{EngineConfig, OverflowPolicy, PlacementPolicy};
 use crate::deployment::{Deployment, EdgeRuntime, ServiceRuntime, SinkRuntime, SourceRuntime};
 use crate::error::EngineError;
 use crate::monitor::{ControlRecord, Monitor, PlacementChange};
+use crate::overload::IngressTable;
 use crate::shard::ShardPool;
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -12,13 +13,16 @@ use rand::{Rng, SeedableRng};
 use sl_dataflow::{to_dsn, validate, Dataflow};
 use sl_dsn::{compile, print_document, ScnCommand, SinkKind};
 use sl_durable::{DurableConfig, DurableWarehouse};
-use sl_faults::{DeadLetterQueue, DropReason, FaultAction, FaultPlan};
+use sl_faults::{
+    BreakerDecision, BreakerState, CircuitBreaker, DeadLetterQueue, DropReason, FaultAction,
+    FaultPlan, ShedPolicy,
+};
 use sl_netsim::{
     EventQueue, FlowTable, LinkId, LoadTracker, NetError, NetStats, NodeId, ProcessId, QosSpec,
     Route, RoutingTable, Topology,
 };
 use sl_obs::{Metrics, MetricsSnapshot, SpanKey, Tracer};
-use sl_ops::{shard_checkpoint_name, ControlAction, OpCheckpoint, OpContext};
+use sl_ops::{shard_checkpoint_name, ControlAction, OpCheckpoint, OpContext, PriorityClass};
 use sl_pubsub::enrich::{enrich, EnrichPolicy};
 use sl_pubsub::{Broker, BrokerEvent, SensorAdvertisement, SubscriptionId};
 use sl_sensors::{decode_payload, SensorSim};
@@ -70,6 +74,9 @@ struct SensorEntry {
     /// Unpublished from the broker (dropout or liveness expiry); the next
     /// successful emission re-publishes the advertisement (clean rejoin).
     expired: bool,
+    /// Emission-rate multiplier (fault injection: a traffic burst). 1 is
+    /// the advertised period; `n` emits `n`× faster.
+    rate_scale: u32,
 }
 
 /// The Event Data Warehouse backend: plain in-memory indexes, or the
@@ -148,6 +155,13 @@ pub struct Engine {
     pool: Option<ShardPool>,
     /// Steal count already exported to the `shard/steals` counter.
     last_steals: u64,
+    /// Overload control: per-operator in-flight depths, deferred shed
+    /// markers, and per-window high-watermarks.
+    ingress: IngressTable,
+    /// Circuit breakers per delivery path, keyed (deployment, target).
+    breakers: BTreeMap<(String, String), CircuitBreaker>,
+    /// Last backlog-driven re-placement per operator (ping-pong damper).
+    last_backlog_migration: HashMap<(String, String), Timestamp>,
 }
 
 impl Engine {
@@ -180,6 +194,9 @@ impl Engine {
             epoch: std::time::Instant::now(),
             pool: None,
             last_steals: 0,
+            ingress: IngressTable::new(),
+            breakers: BTreeMap::new(),
+            last_backlog_migration: HashMap::new(),
         }
     }
 
@@ -230,8 +247,13 @@ impl Engine {
             engine.dlq.note(DropReason::TornTail);
             engine
                 .metrics
-                .counter(&format!("dlq/{}", DropReason::TornTail))
+                .counter(&format!("dlq/{}", DropReason::TornTail.metric_key()))
                 .inc();
+            *engine
+                .monitor
+                .dead_letters
+                .entry(DropReason::TornTail.metric_key())
+                .or_insert(0) += 1;
             engine.monitor.durability.push(format!(
                 "[{start}] recovery truncated a torn tail: {} bytes, {} segments dropped",
                 report.truncated_bytes, report.dropped_segments
@@ -435,6 +457,7 @@ impl Engine {
                 corrupt: false,
                 skew_ms: 0,
                 expired: false,
+                rate_scale: 1,
             },
         );
         Ok(id)
@@ -856,6 +879,25 @@ impl Engine {
             .get(&(deployment.to_string(), service.to_string()))
     }
 
+    /// The active configuration (read-only).
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The overload-control ingress table: per-operator in-flight depths
+    /// and watermarks (populated once deliveries flow).
+    pub fn ingress(&self) -> &IngressTable {
+        &self.ingress
+    }
+
+    /// Current circuit-breaker state for a delivery path, if one has been
+    /// created (breakers materialise on the first failure of a path).
+    pub fn breaker_state(&self, deployment: &str, target: &str) -> Option<BreakerState> {
+        self.breakers
+            .get(&(deployment.to_string(), target.to_string()))
+            .map(|b| b.state())
+    }
+
     fn apply_fault(&mut self, now: Timestamp, action: FaultAction) {
         self.metrics
             .counter(&format!("faults/{}", action.kind()))
@@ -923,6 +965,25 @@ impl Engine {
             FaultAction::ClockSkew { sensor, skew_ms } => {
                 if let Some(entry) = self.sensors.get_mut(&sensor) {
                     entry.skew_ms = skew_ms;
+                }
+            }
+            FaultAction::BurstStart { sensor, factor } => {
+                if let Some(entry) = self.sensors.get_mut(&sensor) {
+                    entry.rate_scale = factor.max(1);
+                    let name = entry.ad.name.clone();
+                    self.monitor.pressure.push(format!(
+                        "[{now}] burst: sensor '{name}' emitting x{} faster",
+                        factor.max(1)
+                    ));
+                }
+            }
+            FaultAction::BurstStop { sensor } => {
+                if let Some(entry) = self.sensors.get_mut(&sensor) {
+                    entry.rate_scale = 1;
+                    let name = entry.ad.name.clone();
+                    self.monitor.pressure.push(format!(
+                        "[{now}] burst over: sensor '{name}' back to its advertised period"
+                    ));
                 }
             }
         }
@@ -1195,6 +1256,31 @@ impl Engine {
                 "[{now}] warn: no route {from_node} -> {target_node} for {deployment}/{target}"
             ));
         }
+        if self.config.overload.breaker_enabled {
+            // Record the failure on the path's breaker; once it is open the
+            // tuple fails fast to the DLQ instead of feeding a retry storm
+            // against a route that is known dead.
+            let threshold = self.config.overload.breaker_threshold;
+            let cooldown = self.config.overload.breaker_cooldown;
+            let br = self
+                .breakers
+                .entry((deployment.clone(), target.clone()))
+                .or_insert_with(|| CircuitBreaker::new(threshold, cooldown));
+            let opened = br.on_failure(now);
+            let open_now = br.state() == BreakerState::Open;
+            if opened {
+                self.metrics.counter("breaker/opened").inc();
+                self.monitor.pressure.push(format!(
+                    "[{now}] breaker OPEN for {deployment}/{target}: failing fast for {} ms",
+                    cooldown.as_millis()
+                ));
+            }
+            if open_now {
+                self.metrics.counter("breaker/fail_fast").inc();
+                self.dead_letter(now, deployment, target, tuple, DropReason::BreakerOpen);
+                return;
+            }
+        }
         if self.config.retry_enabled && attempt < self.config.retry.max_attempts {
             let backoff = self.config.retry.backoff(attempt);
             self.metrics.counter("retry/scheduled").inc();
@@ -1234,7 +1320,17 @@ impl Engine {
         tuple: Tuple,
         reason: DropReason,
     ) {
-        self.metrics.counter(&format!("dlq/{reason}")).inc();
+        self.metrics
+            .counter(&format!("dlq/{}", reason.metric_key()))
+            .inc();
+        *self
+            .monitor
+            .dead_letters
+            .entry(reason.metric_key())
+            .or_insert(0) += 1;
+        if matches!(reason, DropReason::Shed { .. }) {
+            self.metrics.counter("backpressure/shed").inc();
+        }
         self.monitor.recovery.push(format!(
             "[{now}] {deployment}/{target}: tuple dead-lettered ({reason})"
         ));
@@ -1263,6 +1359,24 @@ impl Engine {
         attempt: u32,
         first_failed_at: Timestamp,
     ) {
+        if self.config.overload.breaker_enabled {
+            if let Some(br) = self.breakers.get_mut(&(deployment.clone(), target.clone())) {
+                match br.decide(now) {
+                    BreakerDecision::FailFast => {
+                        self.metrics.counter("breaker/fail_fast").inc();
+                        self.dead_letter(now, deployment, target, tuple, DropReason::BreakerOpen);
+                        return;
+                    }
+                    BreakerDecision::Probe => {
+                        self.metrics.counter("breaker/probes").inc();
+                        self.monitor.pressure.push(format!(
+                            "[{now}] breaker half-open: probing {deployment}/{target}"
+                        ));
+                    }
+                    BreakerDecision::Allow => {}
+                }
+            }
+        }
         let target_node = match self
             .deployments
             .get(&deployment)
@@ -1287,16 +1401,8 @@ impl Engine {
                 self.metrics
                     .hist("recovery/redelivery_ms")
                     .record(now.since(first_failed_at).as_millis());
-                self.note_enqueued(&deployment, &target);
-                self.queue.schedule_at(
-                    now + delay + self.config.processing_delay,
-                    Ev::Deliver {
-                        deployment,
-                        target,
-                        port,
-                        tuple,
-                    },
-                );
+                let deliver_at = now + delay + self.config.processing_delay;
+                self.admit_and_schedule(now, deliver_at, deployment, target, port, tuple);
             }
             None => self.fail_delivery(
                 now,
@@ -1346,7 +1452,7 @@ impl Engine {
         }
         let window = self.config.processing_delay;
         while let Some((now, ev)) = self.queue.pop_until(deadline) {
-            if !batch_eligible(&self.deployments, &ev) {
+            if !batch_eligible(&self.deployments, &self.ingress, &ev) {
                 self.handle(now, ev);
                 continue;
             }
@@ -1360,7 +1466,7 @@ impl Engine {
             loop {
                 let eligible = match self.queue.peek() {
                     Some((t, head)) if t < horizon && t <= deadline => {
-                        batch_eligible(&self.deployments, head)
+                        batch_eligible(&self.deployments, &self.ingress, head)
                     }
                     _ => false,
                 };
@@ -1571,6 +1677,8 @@ impl Engine {
                 continue;
             };
             self.monitor.op_mut(&m.dep, &m.target).queue_depth.add(-1);
+            self.ingress.on_processed(&m.dep, &m.target);
+            self.regrant_credits(m.at);
             let Some(item) = item else {
                 self.monitor.console.push(format!(
                     "[{}] error: {}/{}: tuple lost in shard pool",
@@ -1674,22 +1782,63 @@ impl Engine {
             return;
         };
         let ad = entry.ad.clone();
+        // Fault injection: a bursting sensor emits `rate_scale`× faster
+        // than its advertised period (floored at 1 ms).
+        let scale = entry.rate_scale.max(1) as u64;
+        let period = if scale > 1 {
+            Duration::from_millis((ad.period.as_millis() / scale).max(1))
+        } else {
+            ad.period
+        };
         if entry.stalled {
             // A stalled or dropped-out sensor keeps its emit timer alive so
             // SensorResume picks up on the next period — but produces
             // nothing and sends no heartbeat (the watchdog must notice).
-            self.queue.schedule_in(ad.period, Ev::SensorEmit(id));
+            self.queue.schedule_in(period, Ev::SensorEmit(id));
             return;
         }
         let corrupt = entry.corrupt;
         let skew_ms = entry.skew_ms;
         let was_expired = entry.expired;
+        // Block-mode flow control: when a saturated bound first-hop
+        // operator queue is fed by this sensor, skip the sampling instant
+        // entirely — no tuple is generated, so nothing can be lost — and
+        // revoke the sensor's credit through the broker. The heartbeat
+        // still goes out: a throttled sensor is alive, not dead, and must
+        // not be expired by the liveness watchdog.
+        let block_mode = self.config.overload.queue_capacity.is_some()
+            && self.config.overload.policy == OverflowPolicy::Block;
+        if block_mode {
+            if self.blocked_by_backpressure(&ad) {
+                self.queue.schedule_in(period, Ev::SensorEmit(id));
+                self.broker.heartbeat(SensorId(id), now);
+                self.metrics.counter("backpressure/throttled").inc();
+                if self.broker.set_credit(SensorId(id), false) {
+                    self.monitor.pressure.push(format!(
+                        "[{now}] credit revoked for sensor '{}' (downstream queue full)",
+                        ad.name
+                    ));
+                }
+                if let Some(entry) = self.sensors.get_mut(&id) {
+                    entry.sim.on_throttled(now);
+                }
+                return;
+            }
+            if self.broker.set_credit(SensorId(id), true) {
+                self.monitor
+                    .pressure
+                    .push(format!("[{now}] credit re-granted to sensor '{}'", ad.name));
+            }
+        }
+        let Some(entry) = self.sensors.get_mut(&id) else {
+            return;
+        };
         if was_expired {
             entry.expired = false;
         }
         let wire = entry.sim.wire_format();
         let (payload, raw) = entry.sim.emit(now);
-        self.queue.schedule_in(ad.period, Ev::SensorEmit(id));
+        self.queue.schedule_in(period, Ev::SensorEmit(id));
         self.broker.heartbeat(SensorId(id), now);
         if was_expired {
             // Clean rejoin: a sensor the watchdog expired (or that dropped
@@ -1805,20 +1954,66 @@ impl Engine {
             let bytes = t.byte_size();
             match self.transfer(from_node, target_node, bytes) {
                 Some(delay) => {
-                    self.note_enqueued(&dep, &to);
-                    self.queue.schedule_in(
-                        delay + self.config.processing_delay,
-                        Ev::Deliver {
-                            deployment: dep,
-                            target: to,
-                            port,
-                            tuple: t,
-                        },
-                    );
+                    let deliver_at = now + delay + self.config.processing_delay;
+                    self.admit_and_schedule(now, deliver_at, dep, to, port, t);
                 }
                 None => {
                     self.fail_delivery(now, dep, to, port, t, from_node, target_node, 0, now);
                 }
+            }
+        }
+    }
+
+    /// True when `Block`-mode flow control demands this sensor skip its
+    /// sampling instant: some active bound source forwards it to a service
+    /// whose ingress queue is at capacity.
+    fn blocked_by_backpressure(&self, ad: &SensorAdvertisement) -> bool {
+        let Some(cap) = self.config.overload.queue_capacity else {
+            return false;
+        };
+        for (dep_name, dep) in &self.deployments {
+            for (src_name, src) in &dep.sources {
+                if !src.active || !src.sensors.contains(&ad.id) {
+                    continue;
+                }
+                let Some(consumers) = dep.consumers.get(src_name) else {
+                    continue;
+                };
+                for (to, _) in consumers {
+                    if dep.services.contains_key(to)
+                        && self.ingress.depth(dep_name, to) >= cap as u64
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Block-mode flow control, the release half: once processing drains a
+    /// bounded queue below its cap, every sensor revoked for that queue
+    /// gets its credit back immediately. Waiting for the sensor's next
+    /// sampling instant is not enough — sensors late in a tick's emission
+    /// order would find the queue refilled by earlier emitters every time
+    /// and starve permanently.
+    fn regrant_credits(&mut self, now: Timestamp) {
+        if self.config.overload.queue_capacity.is_none()
+            || self.config.overload.policy != OverflowPolicy::Block
+            || self.broker.credits().revoked_count() == 0
+        {
+            return;
+        }
+        let revoked: Vec<SensorId> = self.broker.credits().revoked().collect();
+        for id in revoked {
+            let Some(entry) = self.sensors.get(&id.0) else {
+                continue;
+            };
+            let ad = entry.ad.clone();
+            if !self.blocked_by_backpressure(&ad) && self.broker.set_credit(id, true) {
+                self.monitor
+                    .pressure
+                    .push(format!("[{now}] credit re-granted to sensor '{}'", ad.name));
             }
         }
     }
@@ -1831,6 +2026,20 @@ impl Engine {
         port: usize,
         tuple: Tuple,
     ) {
+        // Overload control: a deferred shed marker condemns this arrival —
+        // the oldest in flight for this operator — before it reaches the
+        // operator. Its depth slot was already released at condemnation.
+        if let Some(policy) = self.ingress.take_pending_shed(dep_name, target) {
+            let operator = format!("{dep_name}/{target}");
+            self.dead_letter(
+                now,
+                dep_name.to_string(),
+                target.to_string(),
+                tuple,
+                DropReason::Shed { policy, operator },
+            );
+            return;
+        }
         let Some(dep) = self.deployments.get_mut(dep_name) else {
             return;
         };
@@ -1872,10 +2081,20 @@ impl Engine {
             }
             return;
         }
-        let Some(svc) = dep.services.get_mut(target) else {
+        if !dep.services.contains_key(target) {
+            return;
+        }
+        self.monitor.op_mut(dep_name, target).queue_depth.add(-1);
+        self.ingress.on_processed(dep_name, target);
+        self.regrant_credits(now);
+        // Re-borrow after the credit sweep released `dep`.
+        let Some(svc) = self
+            .deployments
+            .get_mut(dep_name)
+            .and_then(|d| d.services.get_mut(target))
+        else {
             return;
         };
-        self.monitor.op_mut(dep_name, target).queue_depth.add(-1);
         let node = svc.node;
         let trace = tuple.meta.trace;
         let mut ctx = OpContext::new(now);
@@ -2026,15 +2245,14 @@ impl Engine {
                 let bytes = tuple.byte_size();
                 match self.transfer(from_node, target_node, bytes) {
                     Some(delay) => {
-                        self.note_enqueued(dep_name, to);
-                        self.queue.schedule_at(
-                            base + delay + self.config.processing_delay,
-                            Ev::Deliver {
-                                deployment: dep_name.to_string(),
-                                target: to.clone(),
-                                port: *port,
-                                tuple: tuple.clone(),
-                            },
+                        let deliver_at = base + delay + self.config.processing_delay;
+                        self.admit_and_schedule(
+                            base,
+                            deliver_at,
+                            dep_name.to_string(),
+                            to.clone(),
+                            *port,
+                            tuple.clone(),
                         );
                     }
                     None => {
@@ -2055,16 +2273,153 @@ impl Engine {
         }
     }
 
-    /// Bump the per-operator in-flight gauge when a delivery to a *service*
-    /// is scheduled (sink deliveries are not queued work for an operator).
-    fn note_enqueued(&mut self, dep: &str, target: &str) {
-        if self
+    /// Admission control for every scheduled delivery: successful transfers
+    /// close half-open breakers, the global cap triggers priority
+    /// preemption, a full per-operator queue applies the configured
+    /// [`OverflowPolicy`], and what survives is scheduled as a `Deliver`
+    /// event with its ingress slot accounted. With the overload layer off
+    /// (the default) this reduces to gauge bookkeeping plus scheduling —
+    /// the historical behaviour.
+    #[allow(clippy::too_many_arguments)]
+    fn admit_and_schedule(
+        &mut self,
+        now: Timestamp,
+        deliver_at: Timestamp,
+        dep: String,
+        target: String,
+        port: usize,
+        tuple: Tuple,
+    ) {
+        let is_service = self
             .deployments
-            .get(dep)
-            .is_some_and(|d| d.services.contains_key(target))
-        {
-            self.monitor.op_mut(dep, target).queue_depth.add(1);
+            .get(&dep)
+            .is_some_and(|d| d.services.contains_key(&target));
+
+        // A successful transfer on this path closes its breaker (and ends a
+        // half-open probe). Centralised here so every success path counts.
+        if self.config.overload.breaker_enabled {
+            if let Some(br) = self.breakers.get_mut(&(dep.clone(), target.clone())) {
+                if br.on_success() {
+                    self.metrics.counter("breaker/closed").inc();
+                    self.monitor.pressure.push(format!(
+                        "[{now}] breaker CLOSED for {dep}/{target} (probe succeeded)"
+                    ));
+                }
+            }
         }
+
+        if is_service && self.config.overload.admission_enabled() {
+            // Global cap: shed from the lowest-priority backlog first. The
+            // incoming tuple is only dropped when nothing of lower-or-equal
+            // priority has queued work to preempt.
+            if let Some(gcap) = self.config.overload.global_capacity {
+                if self.ingress.total_inflight() >= gcap as u64 {
+                    let priorities = self.config.overload.priorities.clone();
+                    let rank = |d: &str| {
+                        priorities
+                            .iter()
+                            .find(|(name, _)| name == d)
+                            .map(|(_, c)| *c as u8)
+                            .unwrap_or(PriorityClass::Normal as u8)
+                    };
+                    match self
+                        .ingress
+                        .preemption_victim((dep.as_str(), target.as_str()), rank)
+                    {
+                        Some((vdep, vop)) if rank(&vdep) <= rank(&dep) => {
+                            self.ingress
+                                .condemn_oldest(&vdep, &vop, ShedPolicy::Priority);
+                            self.monitor.op_mut(&vdep, &vop).queue_depth.add(-1);
+                            self.metrics.counter("backpressure/preempted").inc();
+                        }
+                        _ => {
+                            let operator = format!("{dep}/{target}");
+                            self.dead_letter(
+                                now,
+                                dep,
+                                target,
+                                tuple,
+                                DropReason::Shed {
+                                    policy: ShedPolicy::Priority,
+                                    operator,
+                                },
+                            );
+                            return;
+                        }
+                    }
+                }
+            }
+            // Per-operator bound: apply the configured overflow policy.
+            if let Some(cap) = self.config.overload.queue_capacity {
+                if self.ingress.depth(&dep, &target) >= cap as u64 {
+                    match self.config.overload.policy {
+                        OverflowPolicy::Block => {
+                            // Sources are credit-gated before they emit;
+                            // overshoot on an interior edge cannot be
+                            // blocked retroactively, so it is admitted
+                            // (and visible in this counter).
+                            self.metrics.counter("backpressure/block_overflow").inc();
+                        }
+                        OverflowPolicy::ShedNewest => {
+                            let operator = format!("{dep}/{target}");
+                            self.dead_letter(
+                                now,
+                                dep,
+                                target,
+                                tuple,
+                                DropReason::Shed {
+                                    policy: ShedPolicy::Newest,
+                                    operator,
+                                },
+                            );
+                            return;
+                        }
+                        OverflowPolicy::ShedOldest => {
+                            self.ingress
+                                .condemn_oldest(&dep, &target, ShedPolicy::Oldest);
+                            self.monitor.op_mut(&dep, &target).queue_depth.add(-1);
+                        }
+                        OverflowPolicy::Sample(p) => {
+                            // Seeded coin: heads condemns the oldest (the
+                            // newcomer is admitted), tails sheds the
+                            // newcomer. The queue stays bounded either way.
+                            if self.rng.gen::<f64>() < p {
+                                self.ingress
+                                    .condemn_oldest(&dep, &target, ShedPolicy::Sample);
+                                self.monitor.op_mut(&dep, &target).queue_depth.add(-1);
+                            } else {
+                                let operator = format!("{dep}/{target}");
+                                self.dead_letter(
+                                    now,
+                                    dep,
+                                    target,
+                                    tuple,
+                                    DropReason::Shed {
+                                        policy: ShedPolicy::Sample,
+                                        operator,
+                                    },
+                                );
+                                return;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if is_service {
+            self.ingress.admit(&dep, &target);
+            self.monitor.op_mut(&dep, &target).queue_depth.add(1);
+        }
+        self.queue.schedule_at(
+            deliver_at,
+            Ev::Deliver {
+                deployment: dep,
+                target,
+                port,
+                tuple,
+            },
+        );
     }
 
     /// Apply trigger control actions: gate/ungate source acquisition.
@@ -2148,11 +2503,102 @@ impl Engine {
             self.loads.set_demand(p, d);
         }
 
+        // Overload-control gauges and backlog-driven re-placement. The
+        // watermarks are drained every window regardless so they never span
+        // more than one monitor period.
+        self.metrics
+            .gauge("backpressure/inflight")
+            .set(self.ingress.total_inflight() as i64);
+        self.metrics
+            .gauge("backpressure/throttled_sensors")
+            .set(self.broker.credits().revoked_count() as i64);
+        let watermarks = self.ingress.drain_watermarks();
+        if let Some(cap) = self.config.overload.queue_capacity {
+            if self.config.overload.backlog_migration && self.config.migration_enabled {
+                self.migrate_backlogged(now, cap, &watermarks);
+            }
+        }
+
         if self.config.migration_enabled {
             self.migrate_overloaded(now);
         }
         self.queue
             .schedule_in(self.config.monitor_period, Ev::MonitorSample);
+    }
+
+    /// Re-place operators whose ingress queues stayed near their bound for
+    /// a whole monitor window: sustained backlog is an overload signal CPU
+    /// utilisation misses (a slow node under light average load still
+    /// starves its queue). One migration per operator per cooldown window.
+    fn migrate_backlogged(
+        &mut self,
+        now: Timestamp,
+        cap: usize,
+        watermarks: &[((String, String), u64)],
+    ) {
+        let threshold =
+            (((cap as f64) * self.config.overload.backlog_threshold).ceil() as u64).max(1);
+        let cooldown = self.config.monitor_period.saturating_mul(4);
+        for ((dep_name, svc_name), hwm) in watermarks {
+            if *hwm < threshold {
+                continue;
+            }
+            let key = (dep_name.clone(), svc_name.clone());
+            if let Some(last) = self.last_backlog_migration.get(&key) {
+                if now.since(*last).as_millis() < cooldown.as_millis() {
+                    continue;
+                }
+            }
+            let Some((process, node)) = self
+                .deployments
+                .get(dep_name)
+                .and_then(|d| d.services.get(svc_name))
+                .map(|svc| (svc.process, svc.node))
+            else {
+                continue;
+            };
+            let demand = self
+                .loads
+                .processes_on(node)
+                .into_iter()
+                .find(|(p, _)| *p == process)
+                .map(|(_, d)| d)
+                .unwrap_or(1.0);
+            let candidates = self.topology.node_ids().filter(|n| *n != node);
+            let Some(target) = self.loads.least_loaded(&self.topology, candidates, demand) else {
+                continue;
+            };
+            if self
+                .loads
+                .place(&self.topology, process, target, demand, true)
+                .is_err()
+            {
+                continue;
+            }
+            if let Some(svc) = self
+                .deployments
+                .get_mut(dep_name)
+                .and_then(|d| d.services.get_mut(svc_name))
+            {
+                svc.node = target;
+            }
+            self.monitor.placements.push(PlacementChange {
+                at: now,
+                deployment: dep_name.clone(),
+                operator: svc_name.clone(),
+                from: Some(node),
+                to: target,
+                reason: format!("migration: backlog {hwm}/{cap} at {dep_name}/{svc_name}"),
+            });
+            self.monitor.pressure.push(format!(
+                "[{now}] backlog {hwm}/{cap} at {dep_name}/{svc_name}: moved off {node}"
+            ));
+            self.metrics
+                .counter("backpressure/backlog_migrations")
+                .inc();
+            self.last_backlog_migration.insert(key, now);
+            self.reinstall_flows_for(dep_name, svc_name);
+        }
     }
 
     /// Move the heaviest process off every overloaded node, if a fitting
@@ -2259,13 +2705,23 @@ impl Engine {
 /// else — sinks, ticks, faults, retries, monitor samples, and stateful or
 /// blocking operators — is handled inline on the engine thread, exactly as
 /// the sequential loop would.
-fn batch_eligible(deployments: &BTreeMap<String, Deployment>, ev: &Ev) -> bool {
+fn batch_eligible(
+    deployments: &BTreeMap<String, Deployment>,
+    ingress: &IngressTable,
+    ev: &Ev,
+) -> bool {
     let Ev::Deliver {
         deployment, target, ..
     } = ev
     else {
         return false;
     };
+    // An operator with deferred shed markers pending must consume them
+    // inline (in arrival order) through `on_deliver`; markers cannot appear
+    // mid-collection because no events are handled while a batch drains.
+    if ingress.has_pending_shed(deployment, target) {
+        return false;
+    }
     deployments
         .get(deployment)
         .and_then(|d| d.services.get(target))

@@ -1,5 +1,6 @@
 //! Engine-layer errors.
 
+use crate::config::ConfigError;
 use sl_dataflow::DataflowError;
 use sl_netsim::NetError;
 use sl_ops::OpError;
@@ -40,6 +41,8 @@ pub enum EngineError {
     },
     /// The durable storage layer failed (I/O or corruption past recovery).
     Durable(String),
+    /// The engine configuration failed validation at build time.
+    Config(ConfigError),
 }
 
 impl fmt::Display for EngineError {
@@ -65,6 +68,7 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::Durable(e) => write!(f, "durable storage: {e}"),
+            EngineError::Config(e) => write!(f, "invalid engine config: {e}"),
         }
     }
 }
@@ -89,6 +93,11 @@ impl From<PubSubError> for EngineError {
 impl From<sl_durable::DurableError> for EngineError {
     fn from(e: sl_durable::DurableError) -> Self {
         EngineError::Durable(e.to_string())
+    }
+}
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::Config(e)
     }
 }
 

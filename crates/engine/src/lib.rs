@@ -65,10 +65,12 @@ pub mod deployment;
 pub mod engine;
 pub mod error;
 pub mod monitor;
+pub mod overload;
 pub mod shard;
 
-pub use config::{EngineConfig, PlacementPolicy};
+pub use config::{ConfigError, EngineConfig, OverflowPolicy, OverloadConfig, PlacementPolicy};
 pub use engine::{DeadTuple, Engine};
 pub use error::EngineError;
 pub use monitor::{Monitor, OpCounters, PlacementChange, ShardStat};
+pub use overload::{IngressState, IngressTable};
 pub use shard::{ShardKey, ShardPool};

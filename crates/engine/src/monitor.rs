@@ -127,6 +127,12 @@ pub struct Monitor {
     pub shards: BTreeMap<usize, ShardStat>,
     /// Total shard jobs executed by a non-home worker (work stealing).
     pub steals: u64,
+    /// Overload-control log lines (credit revocations, breaker state
+    /// transitions, burst actuations, backlog migrations).
+    pub pressure: Vec<String>,
+    /// Dead-letter totals per detailed drop reason (`shed/oldest/d/hot`,
+    /// `no_route`, `breaker_open`, ...). Never evicted, unlike DLQ entries.
+    pub dead_letters: BTreeMap<String, u64>,
 }
 
 /// Execution stats for one shard of the parallel worker pool.
@@ -303,6 +309,18 @@ impl Monitor {
                 );
             }
         }
+        if !self.pressure.is_empty() {
+            let _ = writeln!(out, "  pressure (last 10):");
+            for line in self.pressure.iter().rev().take(10).rev() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+        if !self.dead_letters.is_empty() {
+            let _ = writeln!(out, "  dead letters:");
+            for (reason, n) in &self.dead_letters {
+                let _ = writeln!(out, "    {reason}: {n}");
+            }
+        }
         out
     }
 
@@ -330,6 +348,9 @@ impl Monitor {
         for ((dep, sink), n) in &self.sink_counts {
             snap.counters
                 .insert(format!("{dep}/{sink}/sink_tuples"), *n);
+        }
+        for (reason, n) in &self.dead_letters {
+            snap.counters.insert(format!("dlq/{reason}"), *n);
         }
         snap
     }
@@ -452,6 +473,36 @@ mod tests {
         let c = m.op("d", "f").unwrap();
         let reconstructed: f64 = c.rate_series.iter().map(|(_, r)| r * 2.0).sum();
         assert_eq!(reconstructed as u64, c.tuples_in());
+    }
+
+    #[test]
+    fn report_shows_pressure_and_dead_letters() {
+        let mut m = Monitor::new();
+        m.pressure
+            .push("[1970-01-01] credit revoked for sensor 'rain'".into());
+        *m.dead_letters
+            .entry("shed/oldest/d/hot".into())
+            .or_insert(0) += 3;
+        *m.dead_letters.entry("no_route".into()).or_insert(0) += 1;
+        let r = m.report(Timestamp::from_secs(1));
+        assert!(r.contains("pressure (last 10):"), "{r}");
+        assert!(r.contains("credit revoked for sensor 'rain'"), "{r}");
+        assert!(r.contains("shed/oldest/d/hot: 3"), "{r}");
+        assert!(r.contains("no_route: 1"), "{r}");
+        // Empty sections are omitted entirely.
+        let empty = Monitor::new().report(Timestamp::from_secs(1));
+        assert!(!empty.contains("pressure"));
+        assert!(!empty.contains("dead letters"));
+    }
+
+    #[test]
+    fn metrics_snapshot_exports_dead_letter_taxonomy() {
+        let mut m = Monitor::new();
+        *m.dead_letters
+            .entry("shed/priority/d/hot".into())
+            .or_insert(0) += 2;
+        let snap = m.metrics_snapshot();
+        assert_eq!(snap.counters["dlq/shed/priority/d/hot"], 2);
     }
 
     #[test]

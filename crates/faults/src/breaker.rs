@@ -1,0 +1,214 @@
+//! Circuit breakers for delivery paths.
+//!
+//! A [`CircuitBreaker`] guards one delivery path (producer → consumer)
+//! against retry storms: after `threshold` consecutive failures the breaker
+//! *opens* and deliveries fail fast to the dead-letter queue instead of
+//! burning retry budgets against a route that is known to be dead. After a
+//! virtual-time `cooldown` the breaker goes *half-open* and admits exactly
+//! one probe delivery; a successful probe closes the breaker, a failed one
+//! re-opens it for another cooldown.
+//!
+//! All state transitions are driven by virtual time and caller-reported
+//! outcomes — no wall clocks, no randomness — so breaker behaviour replays
+//! identically run to run.
+
+use sl_stt::{Duration, Timestamp};
+
+/// The classic three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: deliveries flow, consecutive failures are counted.
+    Closed,
+    /// Tripped: deliveries fail fast until the cooldown elapses.
+    Open,
+    /// Cooling down ended: one probe delivery is admitted to test the path.
+    HalfOpen,
+}
+
+/// What a delivery attempt should do right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// The breaker is closed: attempt the delivery normally.
+    Allow,
+    /// The breaker is half-open and this attempt is the probe.
+    Probe,
+    /// The breaker is open (or a probe is already in flight): dead-letter
+    /// without attempting.
+    FailFast,
+}
+
+/// A per-path circuit breaker (closed → open → half-open).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    /// Consecutive failures that trip the breaker (clamped ≥ 1).
+    threshold: u32,
+    /// Open-state dwell before a half-open probe is admitted.
+    cooldown: Duration,
+    consecutive_failures: u32,
+    opened_at: Timestamp,
+    probe_in_flight: bool,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive failures and
+    /// probing after `cooldown` of open time.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive_failures: 0,
+            opened_at: Timestamp::EPOCH,
+            probe_in_flight: false,
+        }
+    }
+
+    /// Current state (an open breaker reports `Open` until a [`decide`]
+    /// call observes the cooldown elapsed).
+    ///
+    /// [`decide`]: CircuitBreaker::decide
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Gate a delivery attempt at virtual time `now`.
+    pub fn decide(&mut self, now: Timestamp) -> BreakerDecision {
+        match self.state {
+            BreakerState::Closed => BreakerDecision::Allow,
+            BreakerState::Open => {
+                if now.since(self.opened_at).as_millis() >= self.cooldown.as_millis() {
+                    self.state = BreakerState::HalfOpen;
+                    self.probe_in_flight = false;
+                    self.probe_decision()
+                } else {
+                    BreakerDecision::FailFast
+                }
+            }
+            BreakerState::HalfOpen => self.probe_decision(),
+        }
+    }
+
+    fn probe_decision(&mut self) -> BreakerDecision {
+        if self.probe_in_flight {
+            BreakerDecision::FailFast
+        } else {
+            self.probe_in_flight = true;
+            BreakerDecision::Probe
+        }
+    }
+
+    /// Record a successful delivery on this path; true if the success
+    /// closed a previously open/half-open breaker.
+    pub fn on_success(&mut self) -> bool {
+        self.consecutive_failures = 0;
+        self.probe_in_flight = false;
+        if self.state != BreakerState::Closed {
+            self.state = BreakerState::Closed;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record a failed delivery attempt at `now`; true if the failure
+    /// opened the breaker (tripped it, or failed a half-open probe).
+    pub fn on_failure(&mut self, now: Timestamp) -> bool {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: back to open, cooldown restarts.
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+                self.probe_in_flight = false;
+                true
+            }
+            // Failures reported while already open (e.g. in-flight retries
+            // landing late) keep the original cooldown clock.
+            BreakerState::Open => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: i64) -> Timestamp {
+        Timestamp::from_secs(secs)
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, Duration::from_secs(5));
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.on_failure(t(1)));
+        assert!(!b.on_failure(t(2)));
+        assert_eq!(b.decide(t(2)), BreakerDecision::Allow);
+        assert!(b.on_failure(t(3)));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.decide(t(4)), BreakerDecision::FailFast);
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(2, Duration::from_secs(5));
+        b.on_failure(t(1));
+        assert!(!b.on_success());
+        b.on_failure(t(2));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let mut b = CircuitBreaker::new(1, Duration::from_secs(5));
+        assert!(b.on_failure(t(0)));
+        assert_eq!(b.decide(t(4)), BreakerDecision::FailFast);
+        // Cooldown elapsed: one probe, everyone else fails fast.
+        assert_eq!(b.decide(t(5)), BreakerDecision::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.decide(t(5)), BreakerDecision::FailFast);
+        // The probe succeeds: closed again.
+        assert!(b.on_success());
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.decide(t(6)), BreakerDecision::Allow);
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_a_fresh_cooldown() {
+        let mut b = CircuitBreaker::new(1, Duration::from_secs(5));
+        b.on_failure(t(0));
+        assert_eq!(b.decide(t(5)), BreakerDecision::Probe);
+        assert!(b.on_failure(t(5)));
+        assert_eq!(b.state(), BreakerState::Open);
+        // Cooldown counts from the probe failure, not the original trip.
+        assert_eq!(b.decide(t(9)), BreakerDecision::FailFast);
+        assert_eq!(b.decide(t(10)), BreakerDecision::Probe);
+    }
+
+    #[test]
+    fn late_failures_while_open_keep_the_cooldown_clock() {
+        let mut b = CircuitBreaker::new(1, Duration::from_secs(5));
+        b.on_failure(t(0));
+        assert!(!b.on_failure(t(3)));
+        // Still probes at the original deadline.
+        assert_eq!(b.decide(t(5)), BreakerDecision::Probe);
+    }
+
+    #[test]
+    fn zero_threshold_clamps_to_one() {
+        let mut b = CircuitBreaker::new(0, Duration::ZERO);
+        assert!(b.on_failure(t(0)));
+        // Zero cooldown: probe immediately.
+        assert_eq!(b.decide(t(0)), BreakerDecision::Probe);
+    }
+}

@@ -4,9 +4,41 @@ use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fmt;
 
+/// How an overloaded ingress queue sheds work (the overload-control layer's
+/// drop disciplines; `Block` never sheds and so has no entry here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShedPolicy {
+    /// The oldest in-flight tuple was condemned to admit the newest.
+    Oldest,
+    /// The incoming tuple was dropped, keeping what was already queued.
+    Newest,
+    /// A seeded coin decided which end of the queue to shed.
+    Sample,
+    /// Preempted at the global in-flight cap by a higher-priority dataflow.
+    Priority,
+}
+
+impl ShedPolicy {
+    /// Stable snake_case name, used as a metrics-key segment.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedPolicy::Oldest => "oldest",
+            ShedPolicy::Newest => "newest",
+            ShedPolicy::Sample => "sample",
+            ShedPolicy::Priority => "priority",
+        }
+    }
+}
+
+impl fmt::Display for ShedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Why a tuple could not be delivered. Every terminal drop in the engine is
 /// classified under exactly one of these.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DropReason {
     /// No network path between producer and consumer, and retrying is
     /// disabled.
@@ -22,21 +54,40 @@ pub enum DropReason {
     /// Lost to a torn durable-log tail: appended but not yet fsynced when
     /// the process died, truncated away on recovery.
     TornTail,
+    /// Shed by the overload-control layer: the target operator's bounded
+    /// ingress queue was full (or the global in-flight cap was hit) and the
+    /// configured policy sacrificed this tuple.
+    Shed {
+        /// The drop discipline that condemned the tuple.
+        policy: ShedPolicy,
+        /// The `deployment/operator` whose full queue shed it.
+        operator: String,
+    },
+    /// Fail-fast: the delivery path's circuit breaker was open, so the
+    /// tuple was dead-lettered without burning a retry budget.
+    BreakerOpen,
 }
 
 impl DropReason {
-    /// All reasons, in declaration order.
-    pub const ALL: [DropReason; 6] = [
+    /// One exemplar per reason, in declaration order (the `Shed` exemplar
+    /// carries an empty operator — real sheds name the full queue).
+    pub const ALL: [DropReason; 8] = [
         DropReason::NoRoute,
         DropReason::RetriesExhausted,
         DropReason::TargetVanished,
         DropReason::CorruptPayload,
         DropReason::NodeDown,
         DropReason::TornTail,
+        DropReason::Shed {
+            policy: ShedPolicy::Oldest,
+            operator: String::new(),
+        },
+        DropReason::BreakerOpen,
     ];
 
-    /// Stable snake_case name, used as a metrics-key suffix.
-    pub fn name(self) -> &'static str {
+    /// Stable snake_case kind name, used as a metrics-key suffix (every
+    /// `Shed` variant shares the `"shed"` kind).
+    pub fn name(&self) -> &'static str {
         match self {
             DropReason::NoRoute => "no_route",
             DropReason::RetriesExhausted => "retries_exhausted",
@@ -44,6 +95,21 @@ impl DropReason {
             DropReason::CorruptPayload => "corrupt_payload",
             DropReason::NodeDown => "node_down",
             DropReason::TornTail => "torn_tail",
+            DropReason::Shed { .. } => "shed",
+            DropReason::BreakerOpen => "breaker_open",
+        }
+    }
+
+    /// Fully qualified metrics key: the kind name, extended for `Shed` with
+    /// the policy and the operator whose queue shed the tuple
+    /// (`shed/oldest/d/hot`).
+    pub fn metric_key(&self) -> String {
+        match self {
+            DropReason::Shed { policy, operator } if !operator.is_empty() => {
+                format!("shed/{policy}/{operator}")
+            }
+            DropReason::Shed { policy, .. } => format!("shed/{policy}"),
+            other => other.name().to_string(),
         }
     }
 }
@@ -84,7 +150,7 @@ impl<T> DeadLetterQueue<T> {
     /// Record a dead letter.
     pub fn push(&mut self, reason: DropReason, item: T) {
         self.total += 1;
-        *self.by_reason.entry(reason).or_insert(0) += 1;
+        *self.by_reason.entry(reason.clone()).or_insert(0) += 1;
         if self.entries.len() >= self.capacity {
             self.entries.pop_front();
             self.evicted += 1;
@@ -125,9 +191,19 @@ impl<T> DeadLetterQueue<T> {
         self.by_reason.get(&reason).copied().unwrap_or(0)
     }
 
+    /// Lifetime count across every [`DropReason::Shed`] variant (the total
+    /// loss attributable to the overload-control layer).
+    pub fn shed_total(&self) -> u64 {
+        self.by_reason
+            .iter()
+            .filter(|(r, _)| matches!(r, DropReason::Shed { .. }))
+            .map(|(_, n)| n)
+            .sum()
+    }
+
     /// Lifetime counts per reason (only reasons seen at least once).
     pub fn by_reason(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
-        self.by_reason.iter().map(|(r, n)| (*r, *n))
+        self.by_reason.iter().map(|(r, n)| (r.clone(), *n))
     }
 
     /// Entries evicted to respect the capacity bound.
@@ -201,6 +277,33 @@ mod tests {
             assert_eq!(r.to_string(), r.name());
         }
         assert_eq!(DropReason::NodeDown.name(), "node_down");
+        assert_eq!(DropReason::BreakerOpen.name(), "breaker_open");
+    }
+
+    #[test]
+    fn shed_reason_carries_policy_and_operator() {
+        let shed = DropReason::Shed {
+            policy: ShedPolicy::Oldest,
+            operator: "d/hot".into(),
+        };
+        assert_eq!(shed.name(), "shed");
+        assert_eq!(shed.metric_key(), "shed/oldest/d/hot");
+        assert_eq!(DropReason::NoRoute.metric_key(), "no_route");
+        let mut q: DeadLetterQueue<()> = DeadLetterQueue::new(4);
+        q.push(shed.clone(), ());
+        q.push(shed.clone(), ());
+        q.push(
+            DropReason::Shed {
+                policy: ShedPolicy::Priority,
+                operator: "d/cold".into(),
+            },
+            (),
+        );
+        q.push(DropReason::NoRoute, ());
+        // Per-variant counters stay distinct; shed_total sums every Shed.
+        assert_eq!(q.count(shed), 2);
+        assert_eq!(q.shed_total(), 3);
+        assert_eq!(q.total(), 4);
     }
 
     #[test]

@@ -19,10 +19,12 @@
 //! any layer can use it without cycles. The fault model and the determinism
 //! guarantee are documented in `DESIGN.md` ("Fault model & recovery").
 
+pub mod breaker;
 pub mod dlq;
 pub mod plan;
 pub mod retry;
 
-pub use dlq::{DeadLetterQueue, DropReason};
+pub use breaker::{BreakerDecision, BreakerState, CircuitBreaker};
+pub use dlq::{DeadLetterQueue, DropReason, ShedPolicy};
 pub use plan::{FaultAction, FaultEvent, FaultPlan};
 pub use retry::RetryPolicy;

@@ -73,6 +73,21 @@ pub enum FaultAction {
         /// Signed skew in milliseconds (0 clears the skew).
         skew_ms: i64,
     },
+    /// Start a traffic burst: the sensor emits `factor` times faster than
+    /// its advertised period (factor 1 is a no-op), deterministically
+    /// provoking overload at its downstream operators.
+    BurstStart {
+        /// The sensor id.
+        sensor: u64,
+        /// Rate multiplier (clamped to at least 1 by the engine).
+        factor: u32,
+    },
+    /// End a burst: the sensor re-arms at its advertised period on its
+    /// next emission.
+    BurstStop {
+        /// The sensor id.
+        sensor: u64,
+    },
 }
 
 impl FaultAction {
@@ -89,6 +104,8 @@ impl FaultAction {
             FaultAction::CorruptStart { .. } => "corrupt_start",
             FaultAction::CorruptStop { .. } => "corrupt_stop",
             FaultAction::ClockSkew { .. } => "clock_skew",
+            FaultAction::BurstStart { .. } => "burst_start",
+            FaultAction::BurstStop { .. } => "burst_stop",
         }
     }
 }
@@ -160,6 +177,13 @@ impl FaultPlan {
         self.at(at, FaultAction::ClockSkew { sensor, skew_ms })
     }
 
+    /// Multiply a sensor's emission rate by `factor` between `at` and
+    /// `at + window` (the overload-provoking burst).
+    pub fn burst(self, sensor: u64, at: Duration, window: Duration, factor: u32) -> FaultPlan {
+        self.at(at, FaultAction::BurstStart { sensor, factor })
+            .at(at + window, FaultAction::BurstStop { sensor })
+    }
+
     /// Events sorted by offset, ties in insertion order (stable sort).
     pub fn events(&self) -> Vec<FaultEvent> {
         let mut sorted = self.events.clone();
@@ -226,10 +250,11 @@ mod tests {
             .sensor_stall(2, Duration::from_secs(4), Duration::from_secs(1))
             .sensor_dropout(3, Duration::from_secs(6), Duration::from_secs(1))
             .corrupt_window(4, Duration::from_secs(8), Duration::from_secs(1))
-            .clock_skew(5, Duration::from_secs(10), -250);
+            .clock_skew(5, Duration::from_secs(10), -250)
+            .burst(6, Duration::from_secs(11), Duration::from_secs(2), 3);
         // flap(2) + crash(1) + restart(1) + stall(2) + dropout(2) +
-        // corrupt(2) + skew(1) = 11 scheduled events.
-        assert_eq!(plan.len(), 11);
+        // corrupt(2) + skew(1) + burst(2) = 13 scheduled events.
+        assert_eq!(plan.len(), 13);
         assert!(!plan.is_empty());
         let kinds: Vec<&str> = plan.events().iter().map(|e| e.action.kind()).collect();
         for k in [
@@ -243,6 +268,8 @@ mod tests {
             "corrupt_start",
             "corrupt_stop",
             "clock_skew",
+            "burst_start",
+            "burst_stop",
         ] {
             assert!(kinds.contains(&k), "missing {k}");
         }

@@ -94,6 +94,7 @@ lint_codes! {
     LinkOverload = ("SL031", Warning, "estimated stream volume exceeds link capacity"),
     CpuOverload = ("SL032", Warning, "estimated operator demand exceeds cluster capacity"),
     SilentSource = ("SL033", Warning, "source filter matches no advertised sensors"),
+    UnmitigatedOverload = ("SL034", Warning, "sensor rates exceed operator capacity with no overload policy"),
     // SL04x — dead code.
     DeadEnd = ("SL040", Warning, "operator output reaches no sink or trigger"),
     RedundantTrigger = ("SL041", Warning, "trigger-on activates an already-active source"),

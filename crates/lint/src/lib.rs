@@ -13,7 +13,7 @@
 //!    applied to joins and aggregations (`SL010`–`SL013`);
 //! 2. **bounded** — blocking-operator cache boundedness (`SL020`–`SL022`);
 //! 3. **rate** — abstract interpretation of advertised sensor frequencies
-//!    and schema widths against network bandwidth/CPU (`SL030`–`SL033`);
+//!    and schema widths against network bandwidth/CPU (`SL030`–`SL034`);
 //! 4. **deadcode** — unreachable operators, redundant triggers, unused
 //!    virtual properties, constant predicates (`SL040`–`SL044`).
 //!
@@ -43,12 +43,18 @@ pub struct LintConfig {
     /// Estimated tuples a blocking operator may cache per window before
     /// `SL022` fires.
     pub cache_budget_tuples: f64,
+    /// The deploying engine has an overload-control policy configured
+    /// (bounded queues with shedding or backpressure). Silences `SL034`:
+    /// demand overshoot is mitigated at run time instead of being a silent
+    /// unbounded queue.
+    pub overload_policy_configured: bool,
 }
 
 impl Default for LintConfig {
     fn default() -> LintConfig {
         LintConfig {
             cache_budget_tuples: 100_000.0,
+            overload_policy_configured: false,
         }
     }
 }

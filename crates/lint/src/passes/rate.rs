@@ -1,4 +1,4 @@
-//! Rate/volume pass (`SL030`–`SL033`): abstract interpretation of
+//! Rate/volume pass (`SL030`–`SL034`): abstract interpretation of
 //! advertised sensor frequencies and schema widths against the target
 //! netsim topology, catching placements the network cannot carry *before*
 //! deployment (the paper's premise that a dataflow activates only "once it
@@ -143,6 +143,55 @@ pub(crate) fn run(cx: &PassCx<'_>, out: &mut Vec<Diagnostic>) {
                      — cull upstream or provision more capacity"
                 ),
             ));
+        }
+
+        // SL034: a single operator whose advertised input rate exceeds the
+        // best *single* node's capacity. Such an operator falls behind on
+        // every possible placement; without a shedding/backpressure policy
+        // its ingress queue grows without bound. Silenced when the session
+        // has an overload policy configured — the overshoot is then
+        // mitigated (shed or absorbed via credits) at run time.
+        if !cx.config.overload_policy_configured {
+            let best_node: f64 = topology
+                .node_ids()
+                .filter_map(|n| topology.node(n).ok())
+                .filter(|n| n.up)
+                .map(|n| n.cpu_capacity)
+                .fold(0.0, f64::max);
+            if best_node > 0.0 {
+                for svc in &cx.doc.services {
+                    let rate: Option<f64> = svc
+                        .inputs
+                        .iter()
+                        .map(|i| cx.props_of(i).and_then(|p| p.rate_hz))
+                        .sum::<Option<f64>>();
+                    let schemas: Option<Vec<_>> = svc
+                        .inputs
+                        .iter()
+                        .map(|i| cx.props_of(i).and_then(|p| p.schema.clone()))
+                        .collect();
+                    let (Some(rate), Some(op)) =
+                        (rate, schemas.and_then(|s| svc.spec.instantiate(&s).ok()))
+                    else {
+                        continue;
+                    };
+                    let svc_demand = rate * op.cost_per_tuple();
+                    if svc_demand > best_node {
+                        out.push(Diagnostic::new(
+                            LintCode::UnmitigatedOverload,
+                            &svc.name,
+                            format!(
+                                "service `{}` receives an estimated {svc_demand:.0} \
+                                 operator-ops/s but the fastest node provides {best_node:.0}: \
+                                 it will fall behind on any placement and no overload policy \
+                                 is configured — bound its queue with a shedding or \
+                                 backpressure policy, or slow the sensors",
+                                svc.name
+                            ),
+                        ));
+                    }
+                }
+            }
         }
     }
 }

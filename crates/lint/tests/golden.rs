@@ -481,6 +481,53 @@ fn sl033_silent_source() {
     assert!(!lint_with(&dsn, &ctx).has(LintCode::SilentSource));
 }
 
+#[test]
+fn sl034_unmitigated_overload() {
+    // 1 kHz through a filter: ~1300 operator-ops/s. Two 700-capacity nodes
+    // give the *cluster* headroom (SL032 quiet) but no *single* node can
+    // host the operator — it falls behind on every placement.
+    let reg = registry(&[("weather/temperature", 1)]);
+    let dsn = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: 'temp > 20'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    let narrow = topo(10_000_000, 5, 700.0);
+    let ctx = LintContext {
+        topology: Some(&narrow),
+        registry: Some(&reg),
+        ..LintContext::default()
+    };
+    let report = lint_with(&dsn, &ctx);
+    assert!(
+        report.has(LintCode::UnmitigatedOverload),
+        "{:?}",
+        report.codes()
+    );
+    assert!(!report.has(LintCode::CpuOverload), "{:?}", report.codes());
+
+    // Near miss 1: the session has an overload policy — the overshoot is
+    // mitigated at run time, so the warning is silenced.
+    let ctx = LintContext {
+        topology: Some(&narrow),
+        registry: Some(&reg),
+        config: LintConfig {
+            overload_policy_configured: true,
+            ..LintConfig::default()
+        },
+    };
+    assert!(!lint_with(&dsn, &ctx).has(LintCode::UnmitigatedOverload));
+
+    // Near miss 2: a node that keeps up — no overload to mitigate.
+    let beefy = topo(10_000_000, 5, 1e9);
+    let ctx = LintContext {
+        topology: Some(&beefy),
+        registry: Some(&reg),
+        ..LintContext::default()
+    };
+    assert!(!lint_with(&dsn, &ctx).has(LintCode::UnmitigatedOverload));
+}
+
 // ---------------------------------------------------------------- dead code
 
 #[test]
@@ -589,6 +636,7 @@ fn every_code_has_golden_coverage() {
         LintCode::LinkOverload,
         LintCode::CpuOverload,
         LintCode::SilentSource,
+        LintCode::UnmitigatedOverload,
         LintCode::DeadEnd,
         LintCode::RedundantTrigger,
         LintCode::UnusedProperty,
@@ -632,6 +680,7 @@ fn config_threshold_is_respected() {
         registry: Some(&reg),
         config: LintConfig {
             cache_budget_tuples: 5_000.0,
+            ..LintConfig::default()
         },
         ..LintContext::default()
     };

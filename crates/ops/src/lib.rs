@@ -73,6 +73,7 @@ pub mod cull;
 pub mod error;
 pub mod filter;
 pub mod join;
+pub mod priority;
 pub mod spec;
 pub mod transform;
 pub mod trigger;
@@ -86,6 +87,7 @@ pub use cull::{CullSpaceOp, CullTimeOp};
 pub use error::OpError;
 pub use filter::FilterOp;
 pub use join::JoinOp;
+pub use priority::PriorityClass;
 pub use spec::OpSpec;
 pub use transform::TransformOp;
 pub use trigger::{TriggerMode, TriggerOp};

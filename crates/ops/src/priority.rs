@@ -1,0 +1,80 @@
+//! QoS priority classes for dataflows.
+//!
+//! The paper's SCN layer lets the administrator attach quality-of-service
+//! intent to dataflows; here that intent is a [`PriorityClass`] per deployed
+//! dataflow. The engine's overload-control layer consults it when the global
+//! in-flight cap is hit: shedding preempts the *lowest*-priority dataflow
+//! with queued work first, so `Critical` streams keep flowing while `Low`
+//! telemetry absorbs the loss.
+
+use std::fmt;
+
+/// Relative importance of a dataflow under overload. Ordered: `Low` sheds
+/// first, `Critical` last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum PriorityClass {
+    /// Best-effort telemetry; first to be shed.
+    Low,
+    /// The default class for dataflows with no explicit QoS.
+    #[default]
+    Normal,
+    /// Preferred under contention (e.g. alerting pipelines).
+    High,
+    /// Shed only when nothing lower-priority has queued work.
+    Critical,
+}
+
+impl PriorityClass {
+    /// Every class, lowest first.
+    pub const ALL: [PriorityClass; 4] = [
+        PriorityClass::Low,
+        PriorityClass::Normal,
+        PriorityClass::High,
+        PriorityClass::Critical,
+    ];
+
+    /// Stable lowercase name, used in reports and metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            PriorityClass::Low => "low",
+            PriorityClass::Normal => "normal",
+            PriorityClass::High => "high",
+            PriorityClass::Critical => "critical",
+        }
+    }
+}
+
+impl fmt::Display for PriorityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_sheds_low_first() {
+        assert!(PriorityClass::Low < PriorityClass::Normal);
+        assert!(PriorityClass::Normal < PriorityClass::High);
+        assert!(PriorityClass::High < PriorityClass::Critical);
+        let mut sorted = PriorityClass::ALL;
+        sorted.sort();
+        assert_eq!(sorted, PriorityClass::ALL);
+    }
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(PriorityClass::default(), PriorityClass::Normal);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        for p in PriorityClass::ALL {
+            assert!(!p.name().is_empty());
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(PriorityClass::Critical.name(), "critical");
+    }
+}

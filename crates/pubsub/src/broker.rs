@@ -5,6 +5,7 @@
 //! source; when sensors join or leave (demo P3 "plug-and-play new sensors"),
 //! the broker emits [`BrokerEvent`]s to every affected subscriber.
 
+use crate::credit::CreditTable;
 use crate::filter::SubscriptionFilter;
 use crate::message::SensorAdvertisement;
 use crate::registry::SensorRegistry;
@@ -52,6 +53,8 @@ pub struct Broker {
     /// Liveness watchdog: virtual time each sensor last produced a sample
     /// (seeded at publish).
     last_seen: BTreeMap<u64, Timestamp>,
+    /// Backpressure: which sensors currently hold generation credit.
+    credits: CreditTable,
     /// Observability: publish/unpublish match latency and event counters.
     metrics: Metrics,
 }
@@ -190,6 +193,27 @@ impl Broker {
             expired.push((ad, events));
         }
         expired
+    }
+
+    /// The credit ledger (which sensors may generate tuples right now).
+    pub fn credits(&self) -> &CreditTable {
+        &self.credits
+    }
+
+    /// Propagate a credit decision from the engine to a sensor driver;
+    /// counted (`credit_grants` / `credit_revokes`) only when the state
+    /// actually changed, and returned as such.
+    pub fn set_credit(&mut self, id: SensorId, granted: bool) -> bool {
+        let changed = self.credits.set(id, granted);
+        if changed {
+            let key = if granted {
+                "credit_grants"
+            } else {
+                "credit_revokes"
+            };
+            self.metrics.counter(key).inc();
+        }
+        changed
     }
 
     /// Freeze the broker's instruments (match latency, publish/subscribe
@@ -362,6 +386,20 @@ mod tests {
         assert!(b
             .sweep_stale(sl_stt::Timestamp::from_secs(102), 3)
             .is_empty());
+    }
+
+    #[test]
+    fn credit_propagation_counts_transitions() {
+        let mut b = Broker::new();
+        assert!(b.credits().granted(SensorId(1)));
+        assert!(b.set_credit(SensorId(1), false));
+        assert!(!b.set_credit(SensorId(1), false)); // idempotent
+        assert!(!b.credits().granted(SensorId(1)));
+        assert!(b.set_credit(SensorId(1), true));
+        assert!(b.credits().granted(SensorId(1)));
+        let snap = b.metrics_snapshot();
+        assert_eq!(snap.counters["credit_revokes"], 1);
+        assert_eq!(snap.counters["credit_grants"], 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!   cannot produce their own position (paper §3).
 
 pub mod broker;
+pub mod credit;
 pub mod enrich;
 pub mod filter;
 pub mod message;
@@ -27,6 +28,7 @@ pub mod overlay;
 pub mod registry;
 
 pub use broker::{Broker, BrokerEvent, SubscriptionId};
+pub use credit::CreditTable;
 pub use filter::SubscriptionFilter;
 pub use message::{SensorAdvertisement, SensorKind};
 pub use overlay::{BrokerId, BrokerOverlay};

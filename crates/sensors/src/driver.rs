@@ -30,6 +30,13 @@ pub trait SensorSim: Send {
         let tuple = self.sample(now);
         (self.wire_format().encode(&tuple), tuple)
     }
+
+    /// Called instead of [`SensorSim::emit`] when the broker has revoked
+    /// this sensor's generation credit (`Block`-mode backpressure): the
+    /// device skips the sampling instant entirely — no tuple is generated,
+    /// so nothing can be lost. Drivers that buffer or coalesce on-device
+    /// can override this to model that behaviour; the default does nothing.
+    fn on_throttled(&mut self, _now: Timestamp) {}
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ fn main() {
         ..Default::default()
     };
     let start = Timestamp::from_civil(2016, 7, 1, 8, 0, 0);
-    let mut session = StreamLoader::new(t, config, start);
+    let mut session = StreamLoader::new(t, config, start).expect("config is valid");
     for i in 0..3u64 {
         session
             .add_sensor(Box::new(TemperatureSensor::new(

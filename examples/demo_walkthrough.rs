@@ -33,7 +33,8 @@ fn banner(s: &str) {
 }
 
 fn main() {
-    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default())
+        .expect("default config is valid");
     let theme = |t: &str| Theme::new(t).unwrap();
 
     // ------------------------------------------------------------------ P1

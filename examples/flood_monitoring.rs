@@ -32,7 +32,8 @@ fn main() {
         water_sensors: 4,
         ..Default::default()
     };
-    let mut session = StreamLoader::osaka_demo(&scenario, EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&scenario, EngineConfig::default())
+        .expect("default config is valid");
     let theme = |t: &str| Theme::new(t).unwrap();
 
     let dataflow = DataflowBuilder::new("flood-watch")

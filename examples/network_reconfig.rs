@@ -42,7 +42,8 @@ fn main() {
         ..Default::default()
     };
     let start = Timestamp::from_civil(2016, 7, 1, 8, 0, 0);
-    let mut session = StreamLoader::new(weak_edge_topology(), config, start);
+    let mut session =
+        StreamLoader::new(weak_edge_topology(), config, start).expect("config is valid");
     // Seed fleet: two ordinary stations on the weak edge node.
     for i in 0..2u64 {
         session

@@ -30,7 +30,8 @@ fn schema(fields: &[(&str, AttrType)]) -> SchemaRef {
 }
 
 fn main() {
-    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default())
+        .expect("default config is valid");
     let theme = |t: &str| Theme::new(t).unwrap();
     let in_osaka = |t: &str| {
         SubscriptionFilter::any()

@@ -15,7 +15,8 @@ use streamloader::StreamLoader;
 
 fn main() {
     // A session against the demo testbed with the Osaka fleet plugged in.
-    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default())
+        .expect("default config is valid");
 
     // --- P1: discovery -------------------------------------------------
     let weather = SubscriptionFilter::any().with_theme(Theme::new("weather").unwrap());

@@ -34,9 +34,18 @@ fi
 # (infos allowed, warnings and errors are not).
 cargo run --release -q --bin sl-lint -- --deny-warnings examples/dsn/*.dsn
 
+# Overload-control gate: bounded queues, shedding accounting, credit
+# backpressure, breakers, and backlog-driven re-placement.
+cargo test -p sl-engine --test overload
+
 # Parallel-scaling smoke (E9): asserts identical outputs across worker
 # counts and that `with_parallelism(1)` is never slower than the
 # sequential loop beyond noise.
 cargo run --release -q -p sl-bench --bin exp_e9_parallel -- --test
+
+# Overload saturation smoke (E10): every bounded policy holds its queue
+# bound under a 3x burst; Block sheds nothing; shed shortfalls are
+# DLQ-accounted to the tuple.
+cargo run --release -q -p sl-bench --bin exp_e10_overload -- --test
 
 echo "check.sh: all green"

@@ -17,7 +17,7 @@
 //!
 //! // The paper's demo setup: Osaka fleet on the NICT-like testbed.
 //! let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(),
-//!                                            EngineConfig::default());
+//!                                            EngineConfig::default()).unwrap();
 //!
 //! let schema = Schema::new(vec![
 //!     Field::new("temperature", AttrType::Float),

@@ -19,10 +19,20 @@ pub struct StreamLoader {
 
 impl StreamLoader {
     /// A session on an arbitrary network.
-    pub fn new(topology: Topology, config: EngineConfig, start: Timestamp) -> StreamLoader {
-        StreamLoader {
+    ///
+    /// The configuration is validated up front: a zero queue capacity, a
+    /// `Sample` probability outside `(0, 1]`, or a deployment listed under
+    /// two priority classes is a typed [`EngineError::Config`] here instead
+    /// of a surprise mid-run.
+    pub fn new(
+        topology: Topology,
+        config: EngineConfig,
+        start: Timestamp,
+    ) -> Result<StreamLoader, EngineError> {
+        config.validate()?;
+        Ok(StreamLoader {
             engine: Engine::new(topology, config, start),
-        }
+        })
     }
 
     /// A session whose Event Data Warehouse and operator checkpoints
@@ -37,6 +47,7 @@ impl StreamLoader {
         start: Timestamp,
         durable: DurableConfig,
     ) -> Result<StreamLoader, EngineError> {
+        config.validate()?;
         Ok(StreamLoader {
             engine: Engine::open_durable(topology, config, start, durable)?,
         })
@@ -53,6 +64,7 @@ impl StreamLoader {
     /// use sl_sensors::ScenarioConfig;
     ///
     /// let session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default())
+    ///     .expect("default config is valid")
     ///     .with_parallelism(4);
     /// assert_eq!(session.engine().parallelism(), 4);
     /// ```
@@ -64,17 +76,20 @@ impl StreamLoader {
 
     /// The paper's demo setup: the NICT-like testbed with the Osaka sensor
     /// fleet plugged in, clock at 2016-07-01 08:00 UTC.
-    pub fn osaka_demo(scenario: &ScenarioConfig, engine: EngineConfig) -> StreamLoader {
+    pub fn osaka_demo(
+        scenario: &ScenarioConfig,
+        engine: EngineConfig,
+    ) -> Result<StreamLoader, EngineError> {
         let fleet = osaka_fleet(scenario);
         let start = Timestamp::from_civil(2016, 7, 1, 8, 0, 0);
-        let mut session = StreamLoader::new(fleet.topology, engine, start);
+        let mut session = StreamLoader::new(fleet.topology, engine, start)?;
         for sensor in fleet.sensors {
             session
                 .engine
                 .add_sensor(sensor)
                 .expect("fresh fleet has unique ids");
         }
-        session
+        Ok(session)
     }
 
     /// Discovery (demo P1): sensors currently matching a filter.
@@ -101,10 +116,16 @@ impl StreamLoader {
     /// structural checks of [`StreamLoader::check`]. Never stops at the
     /// first problem — the report accumulates every finding.
     pub fn lint(&self, dataflow: &Dataflow) -> sl_lint::LintReport {
+        let config = sl_lint::LintConfig {
+            // SL034 (unmitigated overload) is silenced when this session
+            // already has an admission layer configured.
+            overload_policy_configured: self.engine.config().overload.admission_enabled(),
+            ..sl_lint::LintConfig::default()
+        };
         let ctx = sl_lint::LintContext {
             topology: Some(self.engine.topology()),
             registry: Some(self.engine.broker().registry()),
-            config: sl_lint::LintConfig::default(),
+            config,
         };
         sl_lint::lint_dataflow(dataflow, &ctx)
     }

@@ -42,6 +42,7 @@ fn session() -> StreamLoader {
         EngineConfig::default(),
         Timestamp::from_civil(2016, 7, 1, 8, 0, 0),
     )
+    .expect("default config is valid")
 }
 
 fn passthrough_flow(name: &str) -> streamloader::dataflow::Dataflow {

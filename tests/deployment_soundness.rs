@@ -224,6 +224,7 @@ fn fresh_session() -> StreamLoader {
         EngineConfig::default(),
         Timestamp::from_civil(2016, 7, 1, 8, 0, 0),
     )
+    .expect("default config is valid")
 }
 
 #[test]

@@ -35,7 +35,8 @@ dsn "hand-authored" {
 
 #[test]
 fn dsn_text_deploys_and_runs() {
-    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default())
+        .expect("default config is valid");
     session.deploy_dsn(DSN_TEXT).expect("text deploys");
     assert_eq!(session.engine().deployment_names(), vec!["hand-authored"]);
     // The inferred schema came from the Celsius stations: it must include
@@ -59,7 +60,8 @@ fn dsn_text_deploys_and_runs() {
 
 #[test]
 fn dsn_text_with_unmatchable_source_fails_with_explanation() {
-    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default())
+        .expect("default config is valid");
     let text = r#"
 dsn "nothing" {
   source ghost { filter: theme=seismic/tremor; mode: active; }
@@ -73,7 +75,8 @@ dsn "nothing" {
 
 #[test]
 fn heatmap_shows_osaka_activity() {
-    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&ScenarioConfig::default(), EngineConfig::default())
+        .expect("default config is valid");
     session.deploy_dsn(DSN_TEXT).unwrap();
     session.run_for(Duration::from_hours(2));
     let map = session.heatmap(&EventQuery::all(), osaka_area(), 24, 10);

@@ -39,7 +39,7 @@ fn session() -> StreamLoader {
         water_sensors: 4,
         ..Default::default()
     };
-    StreamLoader::osaka_demo(&scenario, EngineConfig::default())
+    StreamLoader::osaka_demo(&scenario, EngineConfig::default()).expect("default config is valid")
 }
 
 /// examples/quickstart.rs

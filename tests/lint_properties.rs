@@ -96,7 +96,8 @@ proptest! {
         let mut session = StreamLoader::osaka_demo(
             &ScenarioConfig::default(),
             EngineConfig::default(),
-        );
+        )
+        .expect("default config is valid");
         let report = session.lint(&df);
 
         if report.error_count() == 0 {

@@ -73,7 +73,8 @@ fn run_scenario(heat_wave: bool, hours: u64) -> StreamLoader {
         heat_wave,
         ..Default::default()
     };
-    let mut session = StreamLoader::osaka_demo(&scenario, EngineConfig::default());
+    let mut session = StreamLoader::osaka_demo(&scenario, EngineConfig::default())
+        .expect("default config is valid");
     session.deploy(scenario_dataflow()).unwrap();
     session.run_for(Duration::from_hours(hours));
     session
@@ -254,7 +255,8 @@ fn sliding_last_hour_reacts_faster_than_tumbling() {
             heat_wave: true,
             ..Default::default()
         };
-        let mut session = StreamLoader::osaka_demo(&scenario, EngineConfig::default());
+        let mut session = StreamLoader::osaka_demo(&scenario, EngineConfig::default())
+            .expect("default config is valid");
         session.deploy(build(sliding)).unwrap();
         for step in 0..6 * 10 {
             session.run_for(Duration::from_mins(10));
