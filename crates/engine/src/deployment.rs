@@ -90,7 +90,66 @@ pub struct Deployment {
     pub consumers: BTreeMap<String, Vec<(String, usize)>>,
 }
 
+/// A read-only snapshot of one service's placement and capabilities, for
+/// external analyzers (sl-lint's deployment tier, dashboards). Everything
+/// here is derived from live runtime state at the moment of the call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceView {
+    /// Service name.
+    pub name: String,
+    /// Operator kind (`filter`, `aggregate`, …).
+    pub kind: String,
+    /// Node currently hosting the process.
+    pub node: NodeId,
+    /// Whether a periodic tick is scheduled (blocking operators).
+    pub blocking: bool,
+    /// The live operator can be replicated across shard workers.
+    pub shardable: bool,
+    /// The live operator persists window state through checkpoints.
+    pub checkpointable: bool,
+    /// Producer names in port order.
+    pub inputs: Vec<String>,
+}
+
+/// A read-only snapshot of a whole deployment: per-service capability and
+/// placement facts plus the acquisition state of each source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeploymentView {
+    /// Deployment name.
+    pub name: String,
+    /// Service snapshots, in name order.
+    pub services: Vec<ServiceView>,
+    /// Sources currently acquiring.
+    pub active_sources: Vec<String>,
+    /// Sources deployed but dormant (awaiting a Trigger-On).
+    pub gated_sources: Vec<String>,
+}
+
 impl Deployment {
+    /// A read-only capability/placement snapshot of this deployment.
+    pub fn view(&self, name: &str) -> DeploymentView {
+        let services = self
+            .services
+            .iter()
+            .map(|(n, s)| ServiceView {
+                name: n.clone(),
+                kind: s.op.kind().to_string(),
+                node: s.node,
+                blocking: s.blocking,
+                shardable: s.op.is_shardable(),
+                checkpointable: s.op.checkpoint().is_some(),
+                inputs: s.inputs.clone(),
+            })
+            .collect();
+        let (active, gated): (Vec<_>, Vec<_>) = self.sources.iter().partition(|(_, s)| s.active);
+        DeploymentView {
+            name: name.to_string(),
+            services,
+            active_sources: active.into_iter().map(|(n, _)| n.clone()).collect(),
+            gated_sources: gated.into_iter().map(|(n, _)| n.clone()).collect(),
+        }
+    }
+
     /// The node hosting a named endpoint (service or sink).
     pub fn node_of(&self, name: &str) -> Option<NodeId> {
         self.services

@@ -2,7 +2,9 @@
 //! loop.
 
 use crate::config::{EngineConfig, OverflowPolicy, PlacementPolicy};
-use crate::deployment::{Deployment, EdgeRuntime, ServiceRuntime, SinkRuntime, SourceRuntime};
+use crate::deployment::{
+    Deployment, DeploymentView, EdgeRuntime, ServiceRuntime, SinkRuntime, SourceRuntime,
+};
 use crate::error::EngineError;
 use crate::monitor::{ControlRecord, Monitor, PlacementChange};
 use crate::overload::IngressTable;
@@ -395,6 +397,16 @@ impl Engine {
         self.deployments
             .get(deployment)
             .map(|d| &d.dataflow)
+            .ok_or_else(|| EngineError::UnknownDeployment(deployment.to_string()))
+    }
+
+    /// A read-only capability/placement snapshot of a deployment (see
+    /// [`DeploymentView`]): per-service shard/checkpoint capabilities,
+    /// current placement, and source acquisition state.
+    pub fn deployment_view(&self, deployment: &str) -> Result<DeploymentView, EngineError> {
+        self.deployments
+            .get(deployment)
+            .map(|d| d.view(deployment))
             .ok_or_else(|| EngineError::UnknownDeployment(deployment.to_string()))
     }
 

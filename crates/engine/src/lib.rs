@@ -69,6 +69,7 @@ pub mod overload;
 pub mod shard;
 
 pub use config::{ConfigError, EngineConfig, OverflowPolicy, OverloadConfig, PlacementPolicy};
+pub use deployment::{DeploymentView, ServiceView};
 pub use engine::{DeadTuple, Engine};
 pub use error::EngineError;
 pub use monitor::{Monitor, OpCounters, PlacementChange, ShardStat};

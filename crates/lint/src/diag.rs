@@ -101,6 +101,29 @@ lint_codes! {
     UnusedProperty = ("SL042", Warning, "virtual property is never used downstream"),
     AlwaysFalse = ("SL043", Warning, "predicate is constantly false"),
     AlwaysTrue = ("SL044", Info, "filter predicate is constantly true"),
+    // SL05x — deployment concurrency: activation liveness and the
+    // credit-based backpressure layer (DESIGN.md §5g). Warnings, not
+    // errors: the validator accepts these documents; they misbehave only
+    // under the analyzed engine configuration.
+    ActivationDeadlock = ("SL050", Warning, "gated sources form an activation cycle no trigger can break"),
+    IneffectiveBackpressure = ("SL051", Warning, "Block policy cannot absorb a blocking producer's tick burst"),
+    SharedCreditStarvation = ("SL052", Warning, "sources share sensors, so Block throttling one starves the other"),
+    LossyBlockPreemption = ("SL053", Warning, "global-capacity preemption sheds despite the Block policy"),
+    // SL06x — shard safety under `parallelism > 1` (DESIGN.md §5f).
+    FruitlessParallelism = ("SL060", Warning, "parallelism configured but no operator is shardable"),
+    OrderSensitiveMerge = ("SL061", Warning, "order-sensitive operator downstream of a merge under parallelism"),
+    SpaceShardWithoutLocation = ("SL062", Warning, "Space shard key with unlocated sensors degrades to sensor hashing"),
+    ShardSkew = ("SL063", Warning, "fewer distinct bound sensors than shard workers"),
+    // SL07x — recovery coverage under the analyzed fault plan.
+    UncheckpointedState = ("SL070", Warning, "crash plan with checkpoints disabled loses blocking-operator state"),
+    VolatileCheckpoints = ("SL071", Warning, "checkpoints enabled but not durable under a crash plan"),
+    BreakerRetryConflict = ("SL072", Warning, "breaker opens mid-retry and outlives the remaining backoff budget"),
+    // SL08x — worst-case resource bounds (abstract interpretation of
+    // advertised rates against the overload-control configuration).
+    UnboundedQueueGrowth = ("SL080", Warning, "ingress queue grows without bound at advertised rates"),
+    PeakMemoryExceedsBudget = ("SL081", Warning, "predicted peak memory exceeds the configured budget"),
+    TickBurstOverflow = ("SL082", Warning, "blocking producer's tick burst overflows the bounded queue"),
+    DlqUndershoot = ("SL083", Warning, "predicted burst shedding exceeds dead-letter capacity"),
 }
 
 impl fmt::Display for LintCode {
@@ -220,6 +243,51 @@ impl LintReport {
         self.diagnostics.iter().map(|d| d.code).collect()
     }
 
+    /// Render the report as one line of JSON with the stable schema the
+    /// `sl-lint --format json` contract documents:
+    ///
+    /// ```json
+    /// {"dataflow": "...",
+    ///  "summary": {"errors": 0, "warnings": 0, "infos": 0},
+    ///  "diagnostics": [{"code": "SL0xx", "severity": "...",
+    ///                   "node": "..."|null, "span": {"line": 1}|null,
+    ///                   "message": "..."}]}
+    /// ```
+    ///
+    /// Field order, names, and the `null` encodings are stable; CI tooling
+    /// may parse this without a version guard.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"dataflow\":\"{}\",\"summary\":{{\"errors\":{},\"warnings\":{},\"infos\":{}}},\"diagnostics\":[",
+            json_escape(&self.dataflow),
+            self.error_count(),
+            self.warning_count(),
+            self.diagnostics.len() - self.error_count() - self.warning_count(),
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let node = match &d.node {
+                Some(n) => format!("\"{}\"", json_escape(n)),
+                None => "null".to_string(),
+            };
+            let span = match d.dsn_line {
+                Some(line) => format!("{{\"line\":{line}}}"),
+                None => "null".to_string(),
+            };
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"node\":{node},\"span\":{span},\"message\":\"{}\"}}",
+                d.code,
+                d.severity,
+                json_escape(&d.message),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Render the whole report in `rustc` style, with a one-line summary.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -235,6 +303,23 @@ impl LintReport {
         ));
         out
     }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -269,6 +354,28 @@ mod tests {
         assert!(!report.is_clean());
         assert!(report.has(LintCode::WindowGap));
         assert!(report.render().contains("error[SL001]"));
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let mut d = Diagnostic::new(LintCode::WindowGap, "w\"in", "a \"gap\"\nhere");
+        d.dsn_line = Some(7);
+        let report = LintReport::new("t", vec![d, Diagnostic::global(LintCode::NoSchema, "n")]);
+        let json = report.to_json();
+        assert_eq!(
+            json,
+            "{\"dataflow\":\"t\",\"summary\":{\"errors\":0,\"warnings\":1,\"infos\":1},\
+             \"diagnostics\":[\
+             {\"code\":\"SL020\",\"severity\":\"warning\",\"node\":\"w\\\"in\",\
+             \"span\":{\"line\":7},\"message\":\"a \\\"gap\\\"\\nhere\"},\
+             {\"code\":\"SL009\",\"severity\":\"info\",\"node\":null,\
+             \"span\":null,\"message\":\"n\"}]}"
+        );
+    }
+
+    #[test]
+    fn json_escape_controls() {
+        assert_eq!(json_escape("a\tb\u{1}"), "a\\tb\\u0001");
     }
 
     #[test]

@@ -17,6 +17,19 @@
 //! 4. **deadcode** — unreachable operators, redundant triggers, unused
 //!    virtual properties, constant predicates (`SL040`–`SL044`).
 //!
+//! A second, deployment tier analyzes the full `(dataflow, DSN,
+//! EngineConfig, optional FaultPlan)` tuple via [`DeployModel`] and the
+//! derived [`DeployGraph`]:
+//!
+//! 5. **deadlock** — trigger activation liveness and credit/backpressure
+//!    stalls under the `Block` policy (`SL050`–`SL053`);
+//! 6. **shard** — does the configured parallelism help, and can it change
+//!    observable behaviour (`SL060`–`SL063`);
+//! 7. **recovery** — checkpoint/durability/retry coverage of the attached
+//!    fault plan (`SL070`–`SL072`);
+//! 8. **resource** — worst-case queue depth, memory, and shedding volume
+//!    by abstract interpretation of advertised rates (`SL080`–`SL083`).
+//!
 //! Every finding is a [`Diagnostic`] with a stable `SL0xx` [`LintCode`], a
 //! severity, and node + DSN-line attribution; a run never stops at the
 //! first problem. Entry points: [`lint_dataflow`] for conceptual dataflows
@@ -24,18 +37,23 @@
 //! `sl-lint` CLI path).
 
 pub mod analysis;
+pub mod deployfile;
 pub mod diag;
+pub mod model;
 pub mod passes;
 
 pub use analysis::StreamProps;
+pub use deployfile::DeploySpec;
 pub use diag::{Diagnostic, LintCode, LintReport, Severity};
+pub use model::{BurstWindow, DeployGraph, DeployModel, OpFacts};
 
 use sl_dataflow::{to_dsn, Dataflow, NodeKind};
 use sl_dsn::DsnDocument;
+use sl_engine::EngineConfig;
 use sl_netsim::Topology;
 use sl_pubsub::SensorRegistry;
 use sl_stt::SchemaRef;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Thresholds for the heuristic passes.
 #[derive(Debug, Clone)]
@@ -48,6 +66,9 @@ pub struct LintConfig {
     /// demand overshoot is mitigated at run time instead of being a silent
     /// unbounded queue.
     pub overload_policy_configured: bool,
+    /// Peak-memory budget for `SL081` (in-flight queues plus blocking
+    /// window caches at advertised rates).
+    pub memory_budget_bytes: f64,
 }
 
 impl Default for LintConfig {
@@ -55,6 +76,20 @@ impl Default for LintConfig {
         LintConfig {
             cache_budget_tuples: 100_000.0,
             overload_policy_configured: false,
+            memory_budget_bytes: 256.0 * 1024.0 * 1024.0,
+        }
+    }
+}
+
+impl LintConfig {
+    /// Thresholds derived from an engine configuration: the overload flag
+    /// follows [`admission_enabled`](sl_engine::OverloadConfig::admission_enabled)
+    /// — bounded queues *or* a global capacity both mitigate demand
+    /// overshoot, so either silences `SL034`.
+    pub fn for_engine(config: &EngineConfig) -> LintConfig {
+        LintConfig {
+            overload_policy_configured: config.overload.admission_enabled(),
+            ..LintConfig::default()
         }
     }
 }
@@ -104,6 +139,37 @@ pub fn lint_document(
     schemas: &HashMap<String, SchemaRef>,
     ctx: &LintContext<'_>,
 ) -> LintReport {
+    lint_document_with_model(doc, schemas, ctx, None)
+}
+
+/// Lint a conceptual dataflow against a full deployment model: the
+/// document tier plus the `SL05x`–`SL08x` deployment passes (deadlock,
+/// shard-safety, recovery coverage, resource bounds). This is the
+/// `Session::lint_deployment` path.
+pub fn lint_deployment(
+    df: &Dataflow,
+    ctx: &LintContext<'_>,
+    model: &DeployModel<'_>,
+) -> LintReport {
+    let doc = to_dsn(df);
+    let mut schemas = HashMap::new();
+    for node in df.sources() {
+        if let NodeKind::Source { schema, .. } = &node.kind {
+            schemas.insert(node.name.clone(), schema.clone());
+        }
+    }
+    lint_document_with_model(&doc, &schemas, ctx, Some(model))
+}
+
+/// [`lint_document`] with an optional deployment model attached. With a
+/// model the deployment passes run and `SL034` hands its question to
+/// `SL080` (which sees the real admission settings).
+pub fn lint_document_with_model(
+    doc: &DsnDocument,
+    schemas: &HashMap<String, SchemaRef>,
+    ctx: &LintContext<'_>,
+    model: Option<&DeployModel<'_>>,
+) -> LintReport {
     let mut diagnostics = Vec::new();
 
     // Structural mapping (SL001–SL007) via the accumulating validator.
@@ -112,7 +178,6 @@ pub fn lint_document(
     let topo_order = structural.topo_order.unwrap_or_default();
 
     // SL009 + source rate estimation.
-    let mut source_rates = HashMap::new();
     for src in &doc.sources {
         if !schemas.contains_key(&src.name) {
             diagnostics.push(Diagnostic::new(
@@ -126,21 +191,8 @@ pub fn lint_document(
                 ),
             ));
         }
-        if let Some(registry) = ctx.registry {
-            let rate: f64 = registry
-                .discover(&src.filter)
-                .filter(|ad| {
-                    schemas
-                        .get(&src.name)
-                        .is_none_or(|schema| schema.subsumed_by(&ad.schema))
-                })
-                .map(|ad| ad.rate_hz())
-                .sum();
-            if rate > 0.0 {
-                source_rates.insert(src.name.clone(), rate);
-            }
-        }
     }
+    let source_rates = estimate_source_rates(doc, schemas, ctx);
 
     // Property propagation + schema errors (SL008).
     let propagation = analysis::propagate(doc, schemas, &source_rates, &topo_order);
@@ -150,6 +202,8 @@ pub fn lint_document(
 
     // The pass pipeline.
     let consumers = consumer_map(doc);
+    let graph = model
+        .map(|m| model::DeployGraph::build(doc, &propagation.props, ctx.registry, ctx.topology, m));
     let cx = passes::PassCx {
         doc,
         schemas,
@@ -159,6 +213,8 @@ pub fn lint_document(
         topology: ctx.topology,
         registry: ctx.registry,
         config: &ctx.config,
+        model,
+        graph: graph.as_ref(),
     };
     for (_, pass) in passes::PIPELINE {
         pass(&cx, &mut diagnostics);
@@ -173,6 +229,60 @@ pub fn lint_document(
     }
 
     LintReport::new(doc.name.clone(), diagnostics)
+}
+
+/// The statically predicted per-service peak ingress-depth bounds for a
+/// dataflow under a deployment model — the exact numbers the `SL080`-tier
+/// abstract interpretation reasons with, exposed so the soundness property
+/// test (and operators sizing queues) can hold measured behaviour against
+/// the prediction. Services whose input rates are unknown (no registry)
+/// are omitted.
+pub fn predicted_peak_depths(
+    df: &Dataflow,
+    ctx: &LintContext<'_>,
+    model: &DeployModel<'_>,
+) -> BTreeMap<String, f64> {
+    let doc = to_dsn(df);
+    let mut schemas = HashMap::new();
+    for node in df.sources() {
+        if let NodeKind::Source { schema, .. } = &node.kind {
+            schemas.insert(node.name.clone(), schema.clone());
+        }
+    }
+    let structural = sl_dsn::validate::validate_full(&doc);
+    let topo_order = structural.topo_order.unwrap_or_default();
+    let source_rates = estimate_source_rates(&doc, &schemas, ctx);
+    let propagation = analysis::propagate(&doc, &schemas, &source_rates, &topo_order);
+    model::DeployGraph::build(&doc, &propagation.props, ctx.registry, ctx.topology, model)
+        .peak_depth_bounds()
+}
+
+/// Advertised source rates from the registry: the sum of matching sensors'
+/// rates, filtered to sensors whose schema satisfies the source's declared
+/// schema (when one is known).
+fn estimate_source_rates(
+    doc: &DsnDocument,
+    schemas: &HashMap<String, SchemaRef>,
+    ctx: &LintContext<'_>,
+) -> HashMap<String, f64> {
+    let mut source_rates = HashMap::new();
+    if let Some(registry) = ctx.registry {
+        for src in &doc.sources {
+            let rate: f64 = registry
+                .discover(&src.filter)
+                .filter(|ad| {
+                    schemas
+                        .get(&src.name)
+                        .is_none_or(|schema| schema.subsumed_by(&ad.schema))
+                })
+                .map(|ad| ad.rate_hz())
+                .sum();
+            if rate > 0.0 {
+                source_rates.insert(src.name.clone(), rate);
+            }
+        }
+    }
+    source_rates
 }
 
 /// `producer → (consumer, port)` adjacency of the document.

@@ -4,12 +4,17 @@
 
 pub mod bounded;
 pub mod deadcode;
+pub mod deadlock;
 pub mod granularity;
 pub mod rate;
+pub mod recovery;
+pub mod resource;
+pub mod shard;
 pub mod structure;
 
 use crate::analysis::StreamProps;
 use crate::diag::Diagnostic;
+use crate::model::{DeployGraph, DeployModel};
 use crate::LintConfig;
 use sl_dsn::DsnDocument;
 use sl_netsim::Topology;
@@ -35,6 +40,12 @@ pub struct PassCx<'a> {
     pub registry: Option<&'a SensorRegistry>,
     /// Thresholds.
     pub config: &'a LintConfig,
+    /// The deployment model (engine config + fault plan + durability),
+    /// when the deployment tier is running.
+    pub model: Option<&'a DeployModel<'a>>,
+    /// The deployment graph derived from the model, document, and
+    /// environment. Present exactly when `model` is.
+    pub graph: Option<&'a DeployGraph>,
 }
 
 impl PassCx<'_> {
@@ -54,4 +65,8 @@ pub const PIPELINE: &[(&str, PassFn)] = &[
     ("bounded", bounded::run),
     ("rate", rate::run),
     ("deadcode", deadcode::run),
+    ("deadlock", deadlock::run),
+    ("shard", shard::run),
+    ("recovery", recovery::run),
+    ("resource", resource::run),
 ];

@@ -1,0 +1,91 @@
+//! Recovery-coverage pass (`SL070`–`SL072`): will the configured
+//! checkpoint/retry/breaker machinery actually survive the faults the
+//! attached plan schedules?
+//!
+//! All checks need a [`DeployModel`] with a `FaultPlan`: absent a plan the
+//! deployment faces no modelled faults and silence is correct.
+//!
+//! [`DeployModel`]: crate::model::DeployModel
+
+use super::PassCx;
+use crate::diag::{Diagnostic, LintCode};
+use sl_stt::Duration;
+
+pub(crate) fn run(cx: &PassCx<'_>, out: &mut Vec<Diagnostic>) {
+    let Some(model) = cx.model else {
+        return;
+    };
+    if model.fault_plan.is_none() {
+        return;
+    }
+    let cfg = model.config;
+
+    // SL070: the plan crashes a node while checkpointing is off — every
+    // blocking operator's window cache on that node is unrecoverable, and
+    // migration restarts it empty (partial windows silently lost).
+    if model.crash_bearing() && !cfg.checkpoint_enabled {
+        if let Some(graph) = cx.graph {
+            for (name, facts) in &graph.ops {
+                if facts.blocking {
+                    out.push(Diagnostic::new(
+                        LintCode::UncheckpointedState,
+                        name,
+                        format!(
+                            "the fault plan crashes a node while checkpointing is \
+                             disabled: if `{name}` is placed there its window cache is \
+                             lost and the post-crash {} restarts empty — enable \
+                             `checkpoint_enabled` or remove the crash from the plan",
+                            facts.kind
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // SL071: checkpoints exist but only in memory. A crash takes the
+    // checkpoint store down with the node it protects against.
+    if model.crash_bearing() && cfg.checkpoint_enabled && !model.durable {
+        let any_blocking = cx.graph.is_some_and(|g| g.ops.values().any(|f| f.blocking));
+        if any_blocking {
+            out.push(Diagnostic::global(
+                LintCode::VolatileCheckpoints,
+                "the fault plan crashes a node and checkpoints are enabled but not \
+                 durable: in-memory checkpoints survive engine-simulated crashes only, \
+                 not a real process loss — open the engine durable (WAL-backed \
+                 checkpoint store) to make recovery meaningful"
+                    .to_string(),
+            ));
+        }
+    }
+
+    // SL072: a link flap with breakers on. The breaker opens after
+    // `threshold` consecutive failures and then fail-fasts *every* retry
+    // for `cooldown`; if the retry policy's remaining backoff budget after
+    // the threshold is shorter than the cooldown, all remaining attempts
+    // land while the breaker is open and the tuple is guaranteed to
+    // dead-letter on the first flap — retries and breaker cancel out.
+    if model.flap_bearing() && cfg.overload.breaker_enabled && cfg.retry_enabled {
+        let threshold = cfg.overload.breaker_threshold;
+        if threshold < cfg.retry.max_attempts {
+            let mut remaining = Duration::ZERO;
+            for attempt in threshold..cfg.retry.max_attempts {
+                remaining = remaining + cfg.retry.backoff(attempt);
+            }
+            let cooldown = cfg.overload.breaker_cooldown;
+            if remaining.as_millis() < cooldown.as_millis() {
+                out.push(Diagnostic::global(
+                    LintCode::BreakerRetryConflict,
+                    format!(
+                        "the fault plan flaps a link and breakers are enabled: after \
+                         {threshold} failures the breaker opens for {cooldown}, but the \
+                         remaining retry backoff budget is only {remaining} — every \
+                         remaining attempt fail-fasts against the open breaker and the \
+                         tuple dead-letters on the first flap; lengthen the backoff, \
+                         raise `breaker_threshold`, or shorten `breaker_cooldown`",
+                    ),
+                ));
+            }
+        }
+    }
+}

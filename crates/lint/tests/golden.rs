@@ -4,11 +4,19 @@
 //! `sl-lint` CLI lints files: source schemas inferred from `has name:type`
 //! filter clauses.
 
+#![allow(clippy::disallowed_methods)] // tests may panic freely
+#![allow(clippy::field_reassign_with_default)] // goldens mutate one knob at a time
+
 use sl_dsn::parse_document;
-use sl_lint::{lint_document, LintCode, LintConfig, LintContext, LintReport};
+use sl_engine::{EngineConfig, OverflowPolicy, ShardKey};
+use sl_faults::FaultPlan;
+use sl_lint::{
+    lint_document, lint_document_with_model, DeployModel, LintCode, LintConfig, LintContext,
+    LintReport,
+};
 use sl_netsim::{NodeSpec, Topology};
 use sl_pubsub::{SensorAdvertisement, SensorKind, SensorRegistry};
-use sl_stt::{AttrType, Duration, Field, Schema, SchemaRef, SensorId, Theme};
+use sl_stt::{AttrType, Duration, Field, GeoPoint, Schema, SchemaRef, SensorId, Theme};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -609,6 +617,493 @@ fn sl044_always_true() {
     assert_quiet(LintCode::AlwaysTrue, &noop.replace("'2 > 1'", "'temp > 1'"));
 }
 
+// --------------------------------------------------- deployment tier helpers
+
+fn lint_deploy(dsn: &str, ctx: &LintContext<'_>, model: &DeployModel<'_>) -> LintReport {
+    let doc = parse_document(dsn).unwrap_or_else(|e| panic!("parse failed: {e}\n{dsn}"));
+    lint_document_with_model(&doc, &infer_schemas(&doc), ctx, Some(model))
+}
+
+/// A model with no fault plan and no durability over `config`.
+fn model(config: &EngineConfig) -> DeployModel<'_> {
+    DeployModel {
+        config,
+        fault_plan: None,
+        durable: false,
+    }
+}
+
+fn block_cfg(cap: usize) -> EngineConfig {
+    let mut c = EngineConfig::default();
+    c.overload.queue_capacity = Some(cap);
+    c.overload.policy = OverflowPolicy::Block;
+    c
+}
+
+fn shed_cfg(cap: usize) -> EngineConfig {
+    let mut c = EngineConfig::default();
+    c.overload.queue_capacity = Some(cap);
+    c.overload.policy = OverflowPolicy::ShedOldest;
+    c
+}
+
+fn reg_ctx(reg: &SensorRegistry) -> LintContext<'_> {
+    LintContext {
+        registry: Some(reg),
+        ..LintContext::default()
+    }
+}
+
+/// A 1 kHz grouped aggregate whose tick releases ~8 group rows at once
+/// into a downstream filter — the tick-burst fixture for SL051/SL082.
+fn tick_burst_doc() -> String {
+    doc(&format!(
+        "{TEMP_SOURCE}
+  service avg {{
+    op: aggregate; period: 10000; group_by: temp; func: avg; attr: temp; inputs: temp;
+  }}
+  service post {{ op: filter; condition: 'avg_temp > 0'; inputs: avg; }}
+  sink out {{ kind: console; inputs: post; }}"
+    ))
+}
+
+// ------------------------------------------------------------ SL05x deadlock
+
+#[test]
+fn sl050_activation_deadlock() {
+    // Two gated sources, each woken only by a trigger fed by the other:
+    // neither trigger can ever observe a tuple, so neither source wakes.
+    let stuck = doc("
+  source a { filter: theme=weather/temperature & has temp:float; mode: gated; }
+  source b { filter: theme=weather/rain & has rain:float; mode: gated; }
+  service ta {
+    op: trigger_on; period: 1000; condition: 'temp > 40'; targets: b; inputs: a;
+  }
+  service tb {
+    op: trigger_on; period: 1000; condition: 'rain > 40'; targets: a; inputs: b;
+  }
+  sink out { kind: console; inputs: a, b; }");
+    assert_fires(LintCode::ActivationDeadlock, &stuck);
+    // Starting one source active breaks the cycle: a feeds ta, ta wakes b.
+    assert_quiet(
+        LintCode::ActivationDeadlock,
+        &stuck.replacen("mode: gated;", "mode: active;", 1),
+    );
+}
+
+#[test]
+fn sl051_ineffective_backpressure() {
+    let reg = registry(&[("weather/temperature", 1)]);
+    let ctx = reg_ctx(&reg);
+    // ~8 group rows per tick against a Block queue of 4: credits throttle
+    // sensors, not the producer's tick, so the bound is overrun every tick.
+    let tiny = block_cfg(4);
+    let report = lint_deploy(&tick_burst_doc(), &ctx, &model(&tiny));
+    assert!(
+        report.has(LintCode::IneffectiveBackpressure),
+        "{:?}",
+        report.codes()
+    );
+    // A queue that fits the batch absorbs the tick.
+    let roomy = block_cfg(1024);
+    let report = lint_deploy(&tick_burst_doc(), &ctx, &model(&roomy));
+    assert!(!report.has(LintCode::IneffectiveBackpressure));
+}
+
+#[test]
+fn sl052_shared_credit_starvation() {
+    let reg = registry(&[("weather/temperature", 1000), ("weather/rain", 1000)]);
+    let ctx = reg_ctx(&reg);
+    let shared = doc(&format!(
+        "{TEMP_SOURCE}
+  source temp2 {{ filter: theme=weather/temperature & has temp:float; mode: active; }}
+  sink out {{ kind: console; inputs: temp, temp2; }}"
+    ));
+    let cfg = block_cfg(64);
+    let report = lint_deploy(&shared, &ctx, &model(&cfg));
+    assert!(
+        report.has(LintCode::SharedCreditStarvation),
+        "{:?}",
+        report.codes()
+    );
+    // Disjoint sensors: throttling one source touches nothing the other uses.
+    let disjoint = shared.replace(
+        "source temp2 { filter: theme=weather/temperature & has temp:float;",
+        "source temp2 { filter: theme=weather/rain & has rain:float;",
+    );
+    let report = lint_deploy(&disjoint, &ctx, &model(&cfg));
+    assert!(!report.has(LintCode::SharedCreditStarvation));
+}
+
+#[test]
+fn sl053_lossy_block_preemption() {
+    let plain = doc(&format!(
+        "{TEMP_SOURCE}
+  sink out {{ kind: console; inputs: temp; }}"
+    ));
+    let mut cfg = block_cfg(64);
+    cfg.overload.global_capacity = Some(100);
+    let report = lint_deploy(&plain, &LintContext::bare(), &model(&cfg));
+    assert!(
+        report.has(LintCode::LossyBlockPreemption),
+        "{:?}",
+        report.codes()
+    );
+    // A shedding policy is honest about loss; no contradiction.
+    let mut cfg = shed_cfg(64);
+    cfg.overload.global_capacity = Some(100);
+    let report = lint_deploy(&plain, &LintContext::bare(), &model(&cfg));
+    assert!(!report.has(LintCode::LossyBlockPreemption));
+}
+
+// --------------------------------------------------------------- SL06x shard
+
+#[test]
+fn sl060_fruitless_parallelism() {
+    let only_blocking = doc(&format!(
+        "{TEMP_SOURCE}
+  service avg {{
+    op: aggregate; period: 5000; group_by: temp; func: avg; attr: temp; inputs: temp;
+  }}
+  sink out {{ kind: console; inputs: avg; }}"
+    ));
+    let mut cfg = EngineConfig::default();
+    cfg.parallelism = 4;
+    let report = lint_deploy(&only_blocking, &LintContext::bare(), &model(&cfg));
+    assert!(
+        report.has(LintCode::FruitlessParallelism),
+        "{:?}",
+        report.codes()
+    );
+    // One shardable stage gives the pool something to batch.
+    let with_filter = only_blocking.replace(
+        "inputs: temp;\n  }",
+        "inputs: temp;\n  }\n  service hot { op: filter; condition: 'temp > 20'; inputs: temp; }",
+    ) + "";
+    let with_filter = with_filter.replace("inputs: avg;", "inputs: avg, hot;");
+    let report = lint_deploy(&with_filter, &LintContext::bare(), &model(&cfg));
+    assert!(!report.has(LintCode::FruitlessParallelism));
+}
+
+#[test]
+fn sl061_order_sensitive_merge() {
+    let cull_after_join = doc(&format!(
+        "{TEMP_SOURCE}{RAIN_SOURCE}
+  service paired {{
+    op: join; period: 5000; predicate: 'temp > 0 and rain > 0'; inputs: temp, rain;
+  }}
+  service thin {{ op: cull_time; interval: 0..100000000; rate: 2; inputs: paired; }}
+  sink out {{ kind: console; inputs: thin; }}"
+    ));
+    let mut cfg = EngineConfig::default();
+    cfg.parallelism = 2;
+    let report = lint_deploy(&cull_after_join, &LintContext::bare(), &model(&cfg));
+    assert!(
+        report.has(LintCode::OrderSensitiveMerge),
+        "{:?}",
+        report.codes()
+    );
+    // Sequential execution keeps one deterministic interleaving.
+    cfg.parallelism = 1;
+    let report = lint_deploy(&cull_after_join, &LintContext::bare(), &model(&cfg));
+    assert!(!report.has(LintCode::OrderSensitiveMerge));
+}
+
+#[test]
+fn sl062_space_shard_without_location() {
+    // The shared `registry` helper advertises no sensor positions.
+    let reg = registry(&[("weather/temperature", 1000)]);
+    let ctx = reg_ctx(&reg);
+    let dsn = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: 'temp > 20'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    let mut cfg = EngineConfig::default();
+    cfg.parallelism = 2;
+    cfg.shard_key = ShardKey::Space;
+    let report = lint_deploy(&dsn, &ctx, &model(&cfg));
+    assert!(
+        report.has(LintCode::SpaceShardWithoutLocation),
+        "{:?}",
+        report.codes()
+    );
+    // Located sensors partition spatially as intended.
+    let mut located = SensorRegistry::new();
+    let schema: SchemaRef = Arc::new(
+        Schema::new(vec![
+            Field::new("temp", AttrType::Float),
+            Field::new("rain", AttrType::Float),
+        ])
+        .unwrap(),
+    );
+    located
+        .publish(SensorAdvertisement {
+            id: SensorId(1),
+            name: "s0".into(),
+            kind: SensorKind::Physical,
+            schema,
+            theme: Theme::new("weather/temperature").unwrap(),
+            period: Duration::from_millis(1000),
+            location: Some(GeoPoint::new_unchecked(34.69, 135.50)),
+            node: sl_netsim::NodeId(0),
+        })
+        .unwrap();
+    let ctx = reg_ctx(&located);
+    let report = lint_deploy(&dsn, &ctx, &model(&cfg));
+    assert!(!report.has(LintCode::SpaceShardWithoutLocation));
+}
+
+#[test]
+fn sl063_shard_skew() {
+    let one = registry(&[("weather/temperature", 1000)]);
+    let ctx = reg_ctx(&one);
+    let dsn = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: 'temp > 20'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    let mut cfg = EngineConfig::default();
+    cfg.parallelism = 8;
+    cfg.shard_key = ShardKey::Sensor;
+    let report = lint_deploy(&dsn, &ctx, &model(&cfg));
+    assert!(report.has(LintCode::ShardSkew), "{:?}", report.codes());
+    // Eight distinct sensors feed eight workers.
+    let eight = registry(&[("weather/temperature", 1000); 8]);
+    let ctx = reg_ctx(&eight);
+    let report = lint_deploy(&dsn, &ctx, &model(&cfg));
+    assert!(!report.has(LintCode::ShardSkew));
+}
+
+// ------------------------------------------------------------ SL07x recovery
+
+#[test]
+fn sl070_uncheckpointed_state() {
+    let windowed = doc(&format!(
+        "{TEMP_SOURCE}
+  service avg {{
+    op: aggregate; period: 5000; group_by: temp; func: avg; attr: temp; inputs: temp;
+  }}
+  sink out {{ kind: console; inputs: avg; }}"
+    ));
+    let plan = FaultPlan::new().node_crash(1, Duration::from_secs(5));
+    let mut cfg = EngineConfig::default();
+    cfg.checkpoint_enabled = false;
+    let m = DeployModel {
+        config: &cfg,
+        fault_plan: Some(&plan),
+        durable: false,
+    };
+    let report = lint_deploy(&windowed, &LintContext::bare(), &m);
+    assert!(
+        report.has(LintCode::UncheckpointedState),
+        "{:?}",
+        report.codes()
+    );
+    // Checkpoints back on: window caches survive the crash.
+    let cfg = EngineConfig::default();
+    let m = DeployModel {
+        config: &cfg,
+        fault_plan: Some(&plan),
+        durable: false,
+    };
+    let report = lint_deploy(&windowed, &LintContext::bare(), &m);
+    assert!(!report.has(LintCode::UncheckpointedState));
+}
+
+#[test]
+fn sl071_volatile_checkpoints() {
+    let windowed = doc(&format!(
+        "{TEMP_SOURCE}
+  service avg {{
+    op: aggregate; period: 5000; group_by: temp; func: avg; attr: temp; inputs: temp;
+  }}
+  sink out {{ kind: console; inputs: avg; }}"
+    ));
+    let plan = FaultPlan::new().node_crash(1, Duration::from_secs(5));
+    let cfg = EngineConfig::default(); // checkpoint_enabled: true
+    let volatile = DeployModel {
+        config: &cfg,
+        fault_plan: Some(&plan),
+        durable: false,
+    };
+    let report = lint_deploy(&windowed, &LintContext::bare(), &volatile);
+    assert!(
+        report.has(LintCode::VolatileCheckpoints),
+        "{:?}",
+        report.codes()
+    );
+    let durable = DeployModel {
+        config: &cfg,
+        fault_plan: Some(&plan),
+        durable: true,
+    };
+    let report = lint_deploy(&windowed, &LintContext::bare(), &durable);
+    assert!(!report.has(LintCode::VolatileCheckpoints));
+}
+
+#[test]
+fn sl072_breaker_retry_conflict() {
+    let plain = doc(&format!(
+        "{TEMP_SOURCE}
+  sink out {{ kind: console; inputs: temp; }}"
+    ));
+    let plan = FaultPlan::new().link_flap(0, Duration::from_secs(5), Duration::from_secs(2));
+    // Default retry: backoffs 0.5,1,2,4,8,10 s. The breaker opens after 3
+    // failures; the remaining budget (4+8+10 = 22 s) is dwarfed by a 60 s
+    // cooldown, so attempts 4..6 all fail fast and the tuple dead-letters.
+    let mut cfg = EngineConfig::default();
+    cfg.overload.breaker_enabled = true;
+    cfg.overload.breaker_cooldown = Duration::from_secs(60);
+    let m = DeployModel {
+        config: &cfg,
+        fault_plan: Some(&plan),
+        durable: false,
+    };
+    let report = lint_deploy(&plain, &LintContext::bare(), &m);
+    assert!(
+        report.has(LintCode::BreakerRetryConflict),
+        "{:?}",
+        report.codes()
+    );
+    // The default 5 s cooldown ends inside the 22 s remaining budget: the
+    // half-open probe gets a real attempt before retries are exhausted.
+    cfg.overload.breaker_cooldown = Duration::from_secs(5);
+    let m = DeployModel {
+        config: &cfg,
+        fault_plan: Some(&plan),
+        durable: false,
+    };
+    let report = lint_deploy(&plain, &LintContext::bare(), &m);
+    assert!(!report.has(LintCode::BreakerRetryConflict));
+}
+
+// ------------------------------------------------------------ SL08x resource
+
+#[test]
+fn sl080_unbounded_queue_growth() {
+    // The SL034 scenario with a deployment model attached: the model owns
+    // the admission question, so SL080 speaks and SL034 stays quiet.
+    let reg = registry(&[("weather/temperature", 1)]);
+    let dsn = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: 'temp > 20'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    let narrow = topo(10_000_000, 5, 700.0);
+    let ctx = LintContext {
+        topology: Some(&narrow),
+        registry: Some(&reg),
+        ..LintContext::default()
+    };
+    let cfg = EngineConfig::default(); // admission disabled
+    let report = lint_deploy(&dsn, &ctx, &model(&cfg));
+    assert!(
+        report.has(LintCode::UnboundedQueueGrowth),
+        "{:?}",
+        report.codes()
+    );
+    assert!(
+        !report.has(LintCode::UnmitigatedOverload),
+        "SL034 must defer to SL080 when a model is attached: {:?}",
+        report.codes()
+    );
+    // Bounding the queue converts unbounded growth into managed overload.
+    let bounded = block_cfg(64);
+    let ctx = LintContext {
+        topology: Some(&narrow),
+        registry: Some(&reg),
+        config: LintConfig::for_engine(&bounded),
+    };
+    let report = lint_deploy(&dsn, &ctx, &model(&bounded));
+    assert!(!report.has(LintCode::UnboundedQueueGrowth));
+}
+
+#[test]
+fn sl081_peak_memory_exceeds_budget() {
+    // 1 kHz cached over a 60 s window ≈ 60k tuples × 56 B ≈ 3.4 MiB.
+    let reg = registry(&[("weather/temperature", 1)]);
+    let dsn = doc(&format!(
+        "{TEMP_SOURCE}
+  service avg {{
+    op: aggregate; period: 60000; group_by: temp; func: avg; attr: temp; inputs: temp;
+  }}
+  sink out {{ kind: console; inputs: avg; }}"
+    ));
+    let cfg = EngineConfig::default();
+    let strict = LintContext {
+        registry: Some(&reg),
+        config: LintConfig {
+            memory_budget_bytes: 1024.0 * 1024.0,
+            ..LintConfig::default()
+        },
+        ..LintContext::default()
+    };
+    let report = lint_deploy(&dsn, &strict, &model(&cfg));
+    assert!(
+        report.has(LintCode::PeakMemoryExceedsBudget),
+        "{:?}",
+        report.codes()
+    );
+    // The default 256 MiB budget holds it comfortably.
+    let relaxed = LintContext {
+        registry: Some(&reg),
+        ..LintContext::default()
+    };
+    let report = lint_deploy(&dsn, &relaxed, &model(&cfg));
+    assert!(!report.has(LintCode::PeakMemoryExceedsBudget));
+}
+
+#[test]
+fn sl082_tick_burst_overflow() {
+    let reg = registry(&[("weather/temperature", 1)]);
+    let ctx = reg_ctx(&reg);
+    // Same fixture as SL051, but shedding: the overflow is condemned, not
+    // absorbed, so the loss happens every tick by construction.
+    let tiny = shed_cfg(4);
+    let report = lint_deploy(&tick_burst_doc(), &ctx, &model(&tiny));
+    assert!(
+        report.has(LintCode::TickBurstOverflow),
+        "{:?}",
+        report.codes()
+    );
+    let roomy = shed_cfg(1024);
+    let report = lint_deploy(&tick_burst_doc(), &ctx, &model(&roomy));
+    assert!(!report.has(LintCode::TickBurstOverflow));
+}
+
+#[test]
+fn sl083_dlq_undershoot() {
+    let reg = registry(&[("weather/temperature", 1)]);
+    let ctx = reg_ctx(&reg);
+    let dsn = doc(&format!(
+        "{TEMP_SOURCE}
+  service hot {{ op: filter; condition: 'temp > 20'; inputs: temp; }}
+  sink out {{ kind: console; inputs: hot; }}"
+    ));
+    // A 10× burst for 60 s on a 1 kHz sensor sheds ~540k tuples; the
+    // default DLQ keeps 256 of them.
+    let plan = FaultPlan::new().burst(1, Duration::from_secs(1), Duration::from_secs(60), 10);
+    let cfg = shed_cfg(64);
+    let m = DeployModel {
+        config: &cfg,
+        fault_plan: Some(&plan),
+        durable: false,
+    };
+    let report = lint_deploy(&dsn, &ctx, &m);
+    assert!(report.has(LintCode::DlqUndershoot), "{:?}", report.codes());
+    // A DLQ sized for the burst keeps the full loss record.
+    let mut cfg = shed_cfg(64);
+    cfg.dlq_capacity = 1_000_000;
+    let m = DeployModel {
+        config: &cfg,
+        fault_plan: Some(&plan),
+        durable: false,
+    };
+    let report = lint_deploy(&dsn, &ctx, &m);
+    assert!(!report.has(LintCode::DlqUndershoot));
+}
+
 // ----------------------------------------------------------------- plumbing
 
 #[test]
@@ -642,6 +1137,21 @@ fn every_code_has_golden_coverage() {
         LintCode::UnusedProperty,
         LintCode::AlwaysFalse,
         LintCode::AlwaysTrue,
+        LintCode::ActivationDeadlock,
+        LintCode::IneffectiveBackpressure,
+        LintCode::SharedCreditStarvation,
+        LintCode::LossyBlockPreemption,
+        LintCode::FruitlessParallelism,
+        LintCode::OrderSensitiveMerge,
+        LintCode::SpaceShardWithoutLocation,
+        LintCode::ShardSkew,
+        LintCode::UncheckpointedState,
+        LintCode::VolatileCheckpoints,
+        LintCode::BreakerRetryConflict,
+        LintCode::UnboundedQueueGrowth,
+        LintCode::PeakMemoryExceedsBudget,
+        LintCode::TickBurstOverflow,
+        LintCode::DlqUndershoot,
     ];
     for code in LintCode::ALL {
         assert!(covered.contains(code), "{code:?} has no golden test");

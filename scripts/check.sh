@@ -31,8 +31,16 @@ if [ -n "$stray" ]; then
 fi
 
 # Static analysis gate: every example DSN document must lint clean
-# (infos allowed, warnings and errors are not).
+# (infos allowed, warnings and errors are not) — first standalone, then
+# as a full deployment (SL050-SL083) against the CI engine config and
+# chaos schedule, and once through the machine-readable JSON output.
 cargo run --release -q --bin sl-lint -- --deny-warnings examples/dsn/*.dsn
+cargo run --release -q --bin sl-lint -- --deny-warnings --nict \
+    --config examples/deploy/ci.conf --fault-plan examples/deploy/ci.plan \
+    examples/dsn/*.dsn
+cargo run --release -q --bin sl-lint -- --deny-warnings --format json \
+    --config examples/deploy/ci.conf --fault-plan examples/deploy/ci.plan \
+    examples/dsn/*.dsn >/dev/null
 
 # Overload-control gate: bounded queues, shedding accounting, credit
 # backpressure, breakers, and backlog-driven re-placement.

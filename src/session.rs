@@ -116,18 +116,73 @@ impl StreamLoader {
     /// structural checks of [`StreamLoader::check`]. Never stops at the
     /// first problem — the report accumulates every finding.
     pub fn lint(&self, dataflow: &Dataflow) -> sl_lint::LintReport {
-        let config = sl_lint::LintConfig {
-            // SL034 (unmitigated overload) is silenced when this session
-            // already has an admission layer configured.
-            overload_policy_configured: self.engine.config().overload.admission_enabled(),
-            ..sl_lint::LintConfig::default()
-        };
+        // SL034 (unmitigated overload) is silenced when this session
+        // already has an admission layer configured.
         let ctx = sl_lint::LintContext {
             topology: Some(self.engine.topology()),
             registry: Some(self.engine.broker().registry()),
-            config,
+            config: sl_lint::LintConfig::for_engine(self.engine.config()),
         };
         sl_lint::lint_dataflow(dataflow, &ctx)
+    }
+
+    /// Pre-flight analysis of a *deployment*: everything
+    /// [`StreamLoader::lint`] checks plus the `SL05x`–`SL08x` deployment
+    /// tier, which analyzes the dataflow against this session's actual
+    /// engine configuration (overflow policy, parallelism and shard key,
+    /// checkpoint/durability settings) and, when given, the fault plan the
+    /// run will face. Run it before [`StreamLoader::deploy`] — a clean
+    /// report means the deployment cannot stall under backpressure and its
+    /// measured peak queue depths stay under the predicted bounds (see
+    /// [`StreamLoader::predicted_peak_depths`]).
+    pub fn lint_deployment(
+        &self,
+        dataflow: &Dataflow,
+        fault_plan: Option<&sl_faults::FaultPlan>,
+    ) -> sl_lint::LintReport {
+        let ctx = sl_lint::LintContext {
+            topology: Some(self.engine.topology()),
+            registry: Some(self.engine.broker().registry()),
+            config: sl_lint::LintConfig::for_engine(self.engine.config()),
+        };
+        let model = sl_lint::DeployModel {
+            config: self.engine.config(),
+            fault_plan,
+            durable: self.engine.durable_warehouse().is_some(),
+        };
+        sl_lint::lint_deployment(dataflow, &ctx, &model)
+    }
+
+    /// The statically predicted per-service peak ingress-depth bounds the
+    /// deployment tier's resource pass reasons with — what
+    /// `engine/backpressure` queue depths should never exceed if the lint
+    /// report is clean.
+    pub fn predicted_peak_depths(
+        &self,
+        dataflow: &Dataflow,
+        fault_plan: Option<&sl_faults::FaultPlan>,
+    ) -> std::collections::BTreeMap<String, f64> {
+        let ctx = sl_lint::LintContext {
+            topology: Some(self.engine.topology()),
+            registry: Some(self.engine.broker().registry()),
+            config: sl_lint::LintConfig::for_engine(self.engine.config()),
+        };
+        let model = sl_lint::DeployModel {
+            config: self.engine.config(),
+            fault_plan,
+            durable: self.engine.durable_warehouse().is_some(),
+        };
+        sl_lint::predicted_peak_depths(dataflow, &ctx, &model)
+    }
+
+    /// A read-only capability/placement snapshot of a deployment: which
+    /// services are shardable or checkpointable, where they run, and which
+    /// sources are currently acquiring.
+    pub fn deployment_view(
+        &self,
+        deployment: &str,
+    ) -> Result<sl_engine::DeploymentView, EngineError> {
+        self.engine.deployment_view(deployment)
     }
 
     /// Step-debug a dataflow on sample tuples (demo P1).

@@ -191,6 +191,64 @@ fn osaka_collapse_note_is_the_only_finding() {
 }
 
 #[test]
+fn example_dataflows_lint_clean_as_deployments() {
+    // The deployment tier (SL050–SL083) must also stay quiet for the
+    // shipped examples under the default engine config, including when a
+    // burst-only fault plan is attached. (A crash plan would legitimately
+    // raise SL071 here: the demo session is not durable.)
+    let session = session();
+    for df in [quickstart(), flood_watch(), osaka()] {
+        let sensors: Vec<u64> = session
+            .discover(&SubscriptionFilter::any().with_theme(theme("weather/temperature")))
+            .iter()
+            .map(|ad| ad.id.0)
+            .collect();
+        let mut plan = streamloader::faults::FaultPlan::new();
+        for s in &sensors {
+            plan = plan.burst(*s, Duration::from_secs(60), Duration::from_secs(120), 3);
+        }
+        let report = session.lint_deployment(&df, Some(&plan));
+        assert!(
+            report.error_count() == 0
+                && !report
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.code.as_str() >= "SL050" && d.code.as_str() <= "SL083"),
+            "deployment tier flagged example `{}`:\n{}",
+            report.dataflow,
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn deployment_view_reports_capabilities() {
+    let mut session = session();
+    session.deploy(flood_watch()).expect("example deploys");
+    let view = session
+        .deployment_view("flood-watch")
+        .expect("deployed dataflow has a view");
+    assert_eq!(view.name, "flood-watch");
+    let svc = |name: &str| {
+        view.services
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("service `{name}` missing from the view"))
+    };
+    // A stateless filter shards; a join is blocking state that checkpoints;
+    // an order-sensitive cull is neither.
+    assert!(svc("risky").shardable && !svc("risky").blocking);
+    assert!(svc("paired").blocking && svc("paired").checkpointable);
+    let thin = svc("rain_thin");
+    assert!(!thin.shardable && !thin.blocking && !thin.checkpointable);
+    assert!(
+        view.active_sources.contains(&"rain".to_string())
+            && view.active_sources.contains(&"level".to_string()),
+        "flood-watch sources are active: {view:?}"
+    );
+}
+
+#[test]
 fn example_dsn_documents_lint_clean() {
     // The same gate `scripts/check.sh` applies via the sl-lint CLI.
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/dsn");

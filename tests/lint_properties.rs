@@ -88,6 +88,89 @@ fn build(steps: &[Step]) -> Dataflow {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Soundness of the deployment tier's resource bounds: a deployment
+    /// whose SL050 (activation deadlock) and SL080 (unbounded growth)
+    /// passes report clean must run a burst fault plan to completion with
+    /// no stall, an empty DLQ, and every measured peak ingress depth at or
+    /// under the statically predicted bound.
+    #[test]
+    fn lint_clean_deployments_bound_peak_depths(
+        steps in proptest::collection::vec(arb_step(), 0..4),
+        factor in 2u32..5,
+    ) {
+        let df = build(&steps);
+        let mut session = StreamLoader::osaka_demo(
+            &ScenarioConfig::default(),
+            EngineConfig::default(),
+        )
+        .expect("default config is valid");
+
+        // Burst every temperature sensor for two minutes.
+        let sensors: Vec<u64> = session
+            .discover(&SubscriptionFilter::any().with_theme(
+                Theme::new("weather/temperature").unwrap(),
+            ))
+            .iter()
+            .map(|ad| ad.id.0)
+            .collect();
+        prop_assert!(!sensors.is_empty(), "the Osaka fleet has temperature sensors");
+        let mut plan = streamloader::faults::FaultPlan::new();
+        for s in &sensors {
+            plan = plan.burst(*s, Duration::from_secs(60), Duration::from_secs(120), factor);
+        }
+
+        let report = session.lint_deployment(&df, Some(&plan));
+        if report.error_count() > 0
+            || report.has(streamloader::lint::LintCode::ActivationDeadlock)
+            || report.has(streamloader::lint::LintCode::UnboundedQueueGrowth)
+        {
+            // Not the property's premise: dirty deployments may do anything.
+            return;
+        }
+
+        // Bounds must be computed against the pre-deployment model.
+        let bounds = session.predicted_peak_depths(&df, Some(&plan));
+        session.deploy(df).expect("lint-clean dataflow must deploy");
+        session.install_fault_plan(&plan);
+
+        // Run past the burst window, sampling in-flight depths every
+        // virtual second. Sampling can only *under*-measure a peak, which
+        // is safe for the ≤-bound assertion.
+        let mut peaks: std::collections::BTreeMap<String, u64> = Default::default();
+        for _ in 0..240 {
+            session.run_for(Duration::from_secs(1));
+            for ((_dep, op), depth) in session.engine().ingress().depths() {
+                let peak = peaks.entry(op.clone()).or_insert(0);
+                *peak = (*peak).max(depth);
+            }
+        }
+
+        prop_assert!(
+            session.dlq().is_empty(),
+            "lint-clean deployment shed tuples under the burst"
+        );
+        // The admission chokepoint tracks depths even with bounded queues
+        // off — an empty sample would make the bound check vacuous. Only a
+        // bare source→sink pipe (no services) legitimately has no queues.
+        prop_assert!(
+            !peaks.is_empty() || steps.is_empty(),
+            "no ingress depths were ever observed: the sampling is broken"
+        );
+        for (op, peak) in &peaks {
+            if let Some(bound) = bounds.get(op) {
+                prop_assert!(
+                    (*peak as f64) <= *bound,
+                    "operator `{op}` peaked at {peak} in-flight tuples, above the \
+                     predicted bound {bound:.1} (factor {factor})"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
