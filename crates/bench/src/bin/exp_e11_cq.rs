@@ -1,0 +1,216 @@
+//! E11 — continuous queries: incremental view maintenance vs. rescan.
+//!
+//! The serving question behind `sl-cq`: N dashboard clients each hold a
+//! standing `CubeQuery` and want a fresh roll-up after every ingest batch.
+//! The pre-cq answer re-runs `rollup_scan` per client per refresh, paying
+//! O(clients × stored events) every time. The cq answer maintains one
+//! `MaterializedView` per client — O(clients) `absorb`s per ingested
+//! event — and a refresh is just reading the already-current cells.
+//!
+//! Both strategies replay the same deterministic event stream and the same
+//! per-client query mix; at the end their cells must be byte-identical.
+//! Results land in `BENCH_e11_cq.json` (full mode only).
+//!
+//! ```sh
+//! cargo run --release -p sl-bench --bin exp_e11_cq           # full run
+//! cargo run --release -p sl-bench --bin exp_e11_cq -- --test # CI smoke
+//! ```
+//!
+//! The smoke mode asserts the headline claim cheaply: at 100 subscribers,
+//! incremental maintenance is at least 10x faster than rescans.
+
+use sl_cq::CqHub;
+use sl_stt::{
+    Duration, Event, GeoPoint, SpatialGranularity, TemporalGranularity, Theme, TimeInterval,
+    Timestamp, Value,
+};
+use sl_warehouse::{CubeCell, CubeQuery, EventQuery, EventWarehouse};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const THEMES: [&str; 5] = [
+    "weather/temperature",
+    "weather/rain",
+    "traffic/flow",
+    "social/tweet",
+    "air/pm25",
+];
+
+/// Deterministic heterogeneous stream: five themes, a small city grid,
+/// one event per second.
+fn gen_events(n: usize) -> Vec<Event> {
+    let base = Timestamp::from_civil(2016, 7, 1, 12, 0, 0);
+    (0..n)
+        .map(|i| {
+            let theme = Theme::new(THEMES[i % THEMES.len()]).unwrap();
+            let lat = 34.60 + 0.01 * ((i % 17) as f64);
+            let lon = 135.40 + 0.01 * ((i % 13) as f64);
+            let t = base + Duration::from_secs(i as u64);
+            Event::new(
+                Value::Float(20.0 + ((i * 7) % 100) as f64 / 10.0),
+                TemporalGranularity::Minute,
+                TemporalGranularity::Minute.granule_of(t),
+                SpatialGranularity::grid(8).granule_of(&GeoPoint::new_unchecked(lat, lon)),
+                theme,
+            )
+        })
+        .collect()
+}
+
+/// The per-client query mix: alternating granularities, theme depths, and
+/// selections, so the views are not all clones of one another.
+fn query_for(i: usize) -> CubeQuery {
+    let select = match i % 3 {
+        0 => EventQuery::all(),
+        1 => EventQuery::all().with_theme(Theme::new("weather").unwrap()),
+        _ => EventQuery::all().in_time(TimeInterval::new(
+            Timestamp::from_civil(2016, 7, 1, 12, 0, 0),
+            Timestamp::from_civil(2016, 7, 1, 14, 0, 0),
+        )),
+    };
+    CubeQuery {
+        select,
+        tgran: if i.is_multiple_of(2) {
+            TemporalGranularity::Hour
+        } else {
+            TemporalGranularity::Minute
+        },
+        sgran: if i.is_multiple_of(4) {
+            SpatialGranularity::World
+        } else {
+            SpatialGranularity::grid(2)
+        },
+        theme_depth: 1 + i % 2,
+    }
+}
+
+struct Sample {
+    incremental_s: f64,
+    rescan_s: f64,
+}
+
+/// Incremental: one hub with a view per client; each batch is absorbed
+/// once, then every client's refresh is a plain read of current cells.
+fn run_incremental(
+    subscribers: usize,
+    events: &[Event],
+    batch: usize,
+) -> (f64, Vec<Vec<CubeCell>>) {
+    let mut w = EventWarehouse::with_defaults();
+    let mut hub = CqHub::new();
+    let ids: Vec<_> = (0..subscribers)
+        .map(|i| hub.register_view(&format!("dash{i}"), query_for(i), w.iter()))
+        .collect();
+    let t0 = Instant::now();
+    let mut last = Vec::new();
+    for chunk in events.chunks(batch) {
+        hub.on_events(chunk);
+        for ev in chunk {
+            w.insert(ev.clone());
+        }
+        last = ids
+            .iter()
+            .map(|id| hub.view_cells(*id).expect("live view"))
+            .collect();
+    }
+    (t0.elapsed().as_secs_f64(), last)
+}
+
+/// Rescan: no standing state; every refresh re-runs `rollup_scan` for
+/// every client over everything stored so far.
+fn run_rescan(subscribers: usize, events: &[Event], batch: usize) -> (f64, Vec<Vec<CubeCell>>) {
+    let queries: Vec<_> = (0..subscribers).map(query_for).collect();
+    let mut w = EventWarehouse::with_defaults();
+    let t0 = Instant::now();
+    let mut last = Vec::new();
+    for chunk in events.chunks(batch) {
+        for ev in chunk {
+            w.insert(ev.clone());
+        }
+        last = queries.iter().map(|q| w.rollup_scan(q)).collect();
+    }
+    (t0.elapsed().as_secs_f64(), last)
+}
+
+fn run_once(subscribers: usize, events: &[Event], batch: usize) -> Sample {
+    let (incremental_s, inc_cells) = run_incremental(subscribers, events, batch);
+    let (rescan_s, scan_cells) = run_rescan(subscribers, events, batch);
+    assert_eq!(
+        inc_cells, scan_cells,
+        "{subscribers} subscribers: incremental views diverged from rescans"
+    );
+    Sample {
+        incremental_s,
+        rescan_s,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    // One refresh per 50-event batch in both modes: a live dashboard's
+    // cadence. The full run only adds fleet sizes and stream length.
+    let (n_events, batch, fleet): (usize, usize, &[usize]) = if smoke {
+        (3_000, 50, &[100])
+    } else {
+        (3_000, 50, &[1, 10, 100, 1000])
+    };
+    let events = gen_events(n_events);
+    println!(
+        "E11 continuous queries — {n_events} events, refresh every {batch}, \
+         fleet sizes {fleet:?}"
+    );
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut speedup_at_100 = 0.0f64;
+    for &subscribers in fleet {
+        let s = run_once(subscribers, &events, batch);
+        let speedup = s.rescan_s / s.incremental_s.max(1e-9);
+        if subscribers == 100 {
+            speedup_at_100 = speedup;
+        }
+        rows.push(vec![
+            subscribers.to_string(),
+            format!("{:.4}", s.incremental_s),
+            format!("{:.4}", s.rescan_s),
+            format!("{speedup:.1}x"),
+        ]);
+        let mut j = String::new();
+        let _ = write!(
+            j,
+            "    {{\"subscribers\": {subscribers}, \"incremental_s\": {:.6}, \
+             \"rescan_s\": {:.6}, \"speedup\": {speedup:.2}}}",
+            s.incremental_s, s.rescan_s
+        );
+        json_rows.push(j);
+    }
+
+    sl_bench::print_table(
+        "E11 — N live dashboards: incremental views vs. per-refresh rescans \
+         (final cells asserted identical)",
+        &["subscribers", "incremental [s]", "rescan [s]", "speedup"],
+        &rows,
+    );
+
+    assert!(
+        speedup_at_100 >= 10.0,
+        "incremental maintenance must beat rescans >=10x at 100 subscribers \
+         (got {speedup_at_100:.1}x)"
+    );
+
+    if smoke {
+        println!(
+            "\nE11 smoke: views byte-identical to rescans, {speedup_at_100:.1}x \
+             speedup at 100 subscribers"
+        );
+        return;
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"E11\",\n  \"events\": {n_events},\n  \
+         \"refresh_every\": {batch},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_e11_cq.json", &json).expect("write BENCH_e11_cq.json");
+    println!("\nwrote BENCH_e11_cq.json");
+}

@@ -157,7 +157,15 @@ impl DurableWarehouse {
         tgran: TemporalGranularity,
         sgran: SpatialGranularity,
     ) -> Result<usize, DurableError> {
-        let events = tuple_events(tuple, tgran, sgran);
+        self.ingest_events(tuple_events(tuple, tgran, sgran))
+    }
+
+    /// Durable counterpart of [`EventWarehouse::ingest_events`]: log every
+    /// event, then ingest the same batch into the hot indexes. Callers that
+    /// translated a tuple themselves (the engine does, so it can fan the
+    /// batch out to continuous queries as well) use this directly. Returns
+    /// how many events were stored.
+    pub fn ingest_events(&mut self, events: Vec<Event>) -> Result<usize, DurableError> {
         for event in &events {
             self.log.append(&Record::Event(event.clone()))?;
         }

@@ -75,6 +75,12 @@ pub struct EngineConfig {
     /// breakers, backlog-driven migration. Default-off (unbounded queues),
     /// preserving historical byte-identical behaviour.
     pub overload: OverloadConfig,
+    /// Warehouse retention window: at each monitor sample, events older
+    /// than `now - retention` are evicted from the hot indexes (discarded
+    /// by the in-memory backend, spilled to cold segments by the durable
+    /// one) and materialized views retract their contributions. `None`
+    /// (the default) keeps everything hot — the historical behaviour.
+    pub retention: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -99,6 +105,7 @@ impl Default for EngineConfig {
             parallelism: 1,
             shard_key: ShardKey::Space,
             overload: OverloadConfig::default(),
+            retention: None,
         }
     }
 }
@@ -188,6 +195,9 @@ pub enum ConfigError {
     ZeroBreakerThreshold,
     /// `overload.backlog_threshold` outside `(0, 1]`.
     BacklogThreshold(f64),
+    /// `retention` was `Some(0)` (a window that evicts everything, every
+    /// sample). Use `None` to disable retention instead.
+    ZeroRetention,
 }
 
 impl fmt::Display for ConfigError {
@@ -210,6 +220,12 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::BacklogThreshold(t) => {
                 write!(f, "overload.backlog_threshold {t} outside (0, 1]")
+            }
+            ConfigError::ZeroRetention => {
+                write!(
+                    f,
+                    "retention must be a positive window (use None to keep everything)"
+                )
             }
         }
     }
@@ -244,6 +260,9 @@ impl EngineConfig {
         }
         if !(o.backlog_threshold > 0.0 && o.backlog_threshold <= 1.0) {
             return Err(ConfigError::BacklogThreshold(o.backlog_threshold));
+        }
+        if self.retention.is_some_and(|r| r.is_zero()) {
+            return Err(ConfigError::ZeroRetention);
         }
         Ok(())
     }

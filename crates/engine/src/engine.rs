@@ -12,6 +12,7 @@ use crate::shard::ShardPool;
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sl_cq::{CqHub, CqPoll, QueuePolicy, SubscriberId, ViewId};
 use sl_dataflow::{to_dsn, validate, Dataflow};
 use sl_dsn::{compile, print_document, ScnCommand, SinkKind};
 use sl_durable::{DurableConfig, DurableWarehouse};
@@ -29,7 +30,7 @@ use sl_pubsub::enrich::{enrich, EnrichPolicy};
 use sl_pubsub::{Broker, BrokerEvent, SensorAdvertisement, SubscriptionId};
 use sl_sensors::{decode_payload, SensorSim};
 use sl_stt::{Duration, Event, SchemaRef, SensorId, Timestamp, Tuple, Value};
-use sl_warehouse::{EventQuery, EventWarehouse};
+use sl_warehouse::{CubeCell, CubeQuery, EventQuery, EventWarehouse};
 use std::collections::{BTreeMap, HashMap};
 
 /// Events driving the engine.
@@ -106,6 +107,18 @@ impl WarehouseTier {
     }
 }
 
+/// The engine's ingress [`OverflowPolicy`] vocabulary, translated onto
+/// `sl-cq`'s subscriber queues (variant for variant) so one config idiom
+/// covers both ends of the pipeline.
+fn queue_policy(p: OverflowPolicy) -> QueuePolicy {
+    match p {
+        OverflowPolicy::Block => QueuePolicy::Block,
+        OverflowPolicy::ShedOldest => QueuePolicy::ShedOldest,
+        OverflowPolicy::ShedNewest => QueuePolicy::ShedNewest,
+        OverflowPolicy::Sample(p) => QueuePolicy::Sample(p),
+    }
+}
+
 /// A terminally undeliverable tuple, parked in the engine's dead-letter
 /// queue together with its [`DropReason`].
 #[derive(Debug, Clone)]
@@ -164,6 +177,10 @@ pub struct Engine {
     breakers: BTreeMap<(String, String), CircuitBreaker>,
     /// Last backlog-driven re-placement per operator (ping-pong damper).
     last_backlog_migration: HashMap<(String, String), Timestamp>,
+    /// Continuous queries: standing subscriptions and materialized views,
+    /// fed inline by the warehouse ingest path. Idle (and free) until the
+    /// first registration.
+    cq: CqHub,
 }
 
 impl Engine {
@@ -199,6 +216,7 @@ impl Engine {
             ingress: IngressTable::new(),
             breakers: BTreeMap::new(),
             last_backlog_migration: HashMap::new(),
+            cq: CqHub::new(),
         }
     }
 
@@ -318,10 +336,16 @@ impl Engine {
     /// segments (they remain queryable). Returns how many events left the
     /// hot indexes.
     pub fn evict_warehouse_before(&mut self, horizon: Timestamp) -> Result<usize, EngineError> {
-        match &mut self.warehouse {
-            WarehouseTier::Memory(w) => Ok(w.evict_before(horizon)),
-            WarehouseTier::Durable(d) => Ok(d.evict_before(horizon)?),
+        let evicted = match &mut self.warehouse {
+            WarehouseTier::Memory(w) => w.evict_before(horizon),
+            WarehouseTier::Durable(d) => d.evict_before(horizon)?,
+        };
+        // Materialized views mirror the hot tier: retract the evicted
+        // events' contributions under the same horizon predicate.
+        if !self.cq.is_idle() {
+            self.cq.on_evict(horizon);
         }
+        Ok(evicted)
     }
 
     /// Force all durable-log appends onto stable storage (no-op for the
@@ -331,6 +355,86 @@ impl Engine {
             WarehouseTier::Memory(_) => Ok(()),
             WarehouseTier::Durable(d) => Ok(d.sync()?),
         }
+    }
+
+    /// Register a standing [`EventQuery`]: every warehouse-bound event
+    /// matching `q` is pushed to a per-subscriber queue of `capacity`
+    /// deltas (`None` = unbounded; lint SL091 flags that under admission
+    /// control), governed by `policy` on overflow — the same shed/block
+    /// vocabulary as ingress overload control. Drain with
+    /// [`Engine::poll_deltas`].
+    pub fn subscribe_events(
+        &mut self,
+        name: &str,
+        q: EventQuery,
+        capacity: Option<usize>,
+        policy: OverflowPolicy,
+    ) -> SubscriberId {
+        self.cq.subscribe(name, q, capacity, queue_policy(policy))
+    }
+
+    /// Remove a standing subscription.
+    pub fn unsubscribe_events(&mut self, id: SubscriberId) -> Result<(), EngineError> {
+        if self.cq.unsubscribe(id) {
+            Ok(())
+        } else {
+            Err(EngineError::UnknownSubscriber(id.0))
+        }
+    }
+
+    /// Drain a subscriber's pending deltas (matched events since the last
+    /// poll). If the poll reports `lagged`, the subscriber's queue
+    /// overflowed under `Block` and deltas are withheld until
+    /// [`Engine::catch_up`].
+    pub fn poll_deltas(&mut self, id: SubscriberId) -> Result<CqPoll, EngineError> {
+        self.cq.poll(id).ok_or(EngineError::UnknownSubscriber(id.0))
+    }
+
+    /// Re-synchronise a late or lagged subscriber: returns a snapshot of
+    /// the full warehouse (cold segments included under a durable backend)
+    /// under the subscription's query, plus the hub sequence number the
+    /// snapshot is current to, and clears the lag flag. Deltas polled
+    /// afterwards strictly follow the snapshot.
+    pub fn catch_up(&mut self, id: SubscriberId) -> Result<(Vec<Event>, u64), EngineError> {
+        let q = self
+            .cq
+            .subscription_query(id)
+            .ok_or(EngineError::UnknownSubscriber(id.0))?
+            .clone();
+        let snapshot = self.query_warehouse(&q)?;
+        self.cq.mark_caught_up(id);
+        Ok((snapshot, self.cq.seq()))
+    }
+
+    /// Register a materialized roll-up view over `q`: the answer is
+    /// maintained incrementally from the ingest path (O(affected cells)
+    /// per tuple, retraction on eviction) and read with
+    /// [`Engine::view_cells`] — byte-identical to rerunning the roll-up,
+    /// without the rescan. The view is seeded from the hot store, so late
+    /// registration is exact too.
+    pub fn register_view(&mut self, name: &str, q: CubeQuery) -> ViewId {
+        let seed: Vec<Event> = self.warehouse.hot().iter().cloned().collect();
+        self.cq.register_view(name, q, seed.iter())
+    }
+
+    /// The current cells of a materialized view (sorted, same order and
+    /// bits as `EventWarehouse::rollup` over the hot store).
+    pub fn view_cells(&self, id: ViewId) -> Result<Vec<CubeCell>, EngineError> {
+        self.cq.view_cells(id).ok_or(EngineError::UnknownView(id.0))
+    }
+
+    /// Remove a materialized view.
+    pub fn drop_view(&mut self, id: ViewId) -> Result<(), EngineError> {
+        if self.cq.drop_view(id) {
+            Ok(())
+        } else {
+            Err(EngineError::UnknownView(id.0))
+        }
+    }
+
+    /// The continuous-query hub (registration stats for monitors/lint).
+    pub fn cq(&self) -> &CqHub {
+        &self.cq
     }
 
     /// Network statistics.
@@ -358,9 +462,11 @@ impl Engine {
     /// prefixed by origin: `engine/` (event-loop timing, enrichment, spans,
     /// queue depth), `op/` (per-operator counters and processing latency),
     /// `broker/` (pub/sub matching), `net/` (per-link transfer latency and
-    /// queued bytes), `warehouse/` (ingest latency, roll-ups), and — with a
-    /// durable backend — `durable/` (fsync latency, bytes written/read,
-    /// recovery duration, segment counts).
+    /// queued bytes), `warehouse/` (ingest latency, roll-ups), `cq/`
+    /// (continuous queries: match latency, delta fan-out/drops, view and
+    /// subscriber gauges), and — with a durable backend — `durable/`
+    /// (fsync latency, bytes written/read, recovery duration, segment
+    /// counts).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::new();
         snap.absorb("engine", &self.metrics.snapshot());
@@ -371,6 +477,7 @@ impl Engine {
         if let WarehouseTier::Durable(d) = &self.warehouse {
             snap.absorb("durable", &d.metrics_snapshot());
         }
+        snap.absorb("cq", &self.cq.metrics_snapshot());
         snap
     }
 
@@ -2067,19 +2174,35 @@ impl Engine {
             match kind {
                 SinkKind::Warehouse => {
                     let (tgran, sgran) = (self.config.warehouse_tgran, self.config.warehouse_sgran);
-                    match &mut self.warehouse {
+                    // Translate once; the same batch feeds the store and,
+                    // when anything is registered, the continuous-query
+                    // hub (delta evaluation, no rescans). The hub only
+                    // sees events the hot store accepted, so views stay
+                    // byte-identical to a rescan even if durable ingest
+                    // fails.
+                    let events = sl_warehouse::tuple_events(&tuple, tgran, sgran);
+                    let batch = (!self.cq.is_idle()).then(|| events.clone());
+                    let stored = match &mut self.warehouse {
                         WarehouseTier::Memory(w) => {
-                            w.ingest_tuple(&tuple, tgran, sgran);
+                            w.ingest_events(events);
+                            true
                         }
                         WarehouseTier::Durable(d) => {
                             // Log-first ingest; an I/O failure loses this
                             // tuple's events but must not tear down the run.
-                            if let Err(e) = d.ingest_tuple(&tuple, tgran, sgran) {
-                                self.monitor.console.push(format!(
-                                    "[{now}] error: {dep_name}/{target}: durable ingest: {e}"
-                                ));
+                            match d.ingest_events(events) {
+                                Ok(_) => true,
+                                Err(e) => {
+                                    self.monitor.console.push(format!(
+                                        "[{now}] error: {dep_name}/{target}: durable ingest: {e}"
+                                    ));
+                                    false
+                                }
                             }
                         }
+                    };
+                    if let Some(batch) = batch.filter(|_| stored) {
+                        self.cq.on_events(&batch);
                     }
                 }
                 SinkKind::Console => {
@@ -2534,8 +2657,85 @@ impl Engine {
         if self.config.migration_enabled {
             self.migrate_overloaded(now);
         }
+
+        // Retention: age out the hot tail and retract the evicted events
+        // from materialized views (the durable backend spills to cold
+        // segments instead of discarding). Default-off.
+        if let Some(window) = self.config.retention {
+            let horizon = now.saturating_sub(window);
+            match self.evict_warehouse_before(horizon) {
+                Ok(evicted) if evicted > 0 => {
+                    self.metrics
+                        .counter("retention/evicted")
+                        .add(evicted as u64);
+                    self.monitor.continuous.push(format!(
+                        "[{now}] retention: {evicted} events evicted before {horizon}"
+                    ));
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.monitor
+                        .console
+                        .push(format!("[{now}] error: retention eviction: {e}"));
+                }
+            }
+        }
+
+        // Continuous-query liveness for the report: refresh the per-
+        // registration summaries, noting subscribers newly fallen behind.
+        if !self.cq.is_idle() {
+            self.refresh_cq_monitor(now);
+        }
+
         self.queue
             .schedule_in(self.config.monitor_period, Ev::MonitorSample);
+    }
+
+    /// Rebuild the monitor's continuous-query section from hub stats and
+    /// log lag transitions (a subscriber falling behind is an operational
+    /// event, not just a gauge).
+    fn refresh_cq_monitor(&mut self, now: Timestamp) {
+        let mut table = BTreeMap::new();
+        for s in self.cq.subscription_stats() {
+            let was_lagged = self
+                .monitor
+                .cq
+                .get(&s.id.to_string())
+                .is_some_and(|st| st.lagged);
+            if s.lagged && !was_lagged {
+                self.monitor.continuous.push(format!(
+                    "[{now}] subscriber '{}' ({}) lagged: queue overflowed, awaiting catch-up",
+                    s.name, s.id
+                ));
+            }
+            table.insert(
+                s.id.to_string(),
+                crate::monitor::CqStat {
+                    kind: format!("subscription '{}'", s.name),
+                    depth: s.depth,
+                    delivered: s.delivered,
+                    dropped: s.dropped,
+                    lagged: s.lagged,
+                    cells: 0,
+                    contributions: 0,
+                },
+            );
+        }
+        for v in self.cq.view_stats() {
+            table.insert(
+                v.id.to_string(),
+                crate::monitor::CqStat {
+                    kind: format!("view '{}'", v.name),
+                    depth: 0,
+                    delivered: 0,
+                    dropped: 0,
+                    lagged: false,
+                    cells: v.cells,
+                    contributions: v.contributions,
+                },
+            );
+        }
+        self.monitor.cq = table;
     }
 
     /// Re-place operators whose ingress queues stayed near their bound for

@@ -39,6 +39,10 @@ pub enum EngineError {
         /// The offending sensor.
         sensor: String,
     },
+    /// No continuous-query subscription with this handle.
+    UnknownSubscriber(u64),
+    /// No materialized view with this handle.
+    UnknownView(u64),
     /// The durable storage layer failed (I/O or corruption past recovery).
     Durable(String),
     /// The engine configuration failed validation at build time.
@@ -67,6 +71,8 @@ impl fmt::Display for EngineError {
                     "sensor `{sensor}` cannot serve source `{source}`: schema mismatch"
                 )
             }
+            EngineError::UnknownSubscriber(id) => write!(f, "unknown subscriber s{id}"),
+            EngineError::UnknownView(id) => write!(f, "unknown view v{id}"),
             EngineError::Durable(e) => write!(f, "durable storage: {e}"),
             EngineError::Config(e) => write!(f, "invalid engine config: {e}"),
         }

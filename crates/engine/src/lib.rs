@@ -72,6 +72,7 @@ pub use config::{ConfigError, EngineConfig, OverflowPolicy, OverloadConfig, Plac
 pub use deployment::{DeploymentView, ServiceView};
 pub use engine::{DeadTuple, Engine};
 pub use error::EngineError;
-pub use monitor::{Monitor, OpCounters, PlacementChange, ShardStat};
+pub use monitor::{CqStat, Monitor, OpCounters, PlacementChange, ShardStat};
 pub use overload::{IngressState, IngressTable};
 pub use shard::{ShardKey, ShardPool};
+pub use sl_cq::{CqPoll, SubscriberId, ViewId};

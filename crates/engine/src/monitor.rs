@@ -133,6 +133,32 @@ pub struct Monitor {
     /// Dead-letter totals per detailed drop reason (`shed/oldest/d/hot`,
     /// `no_route`, `breaker_open`, ...). Never evicted, unlike DLQ entries.
     pub dead_letters: BTreeMap<String, u64>,
+    /// Continuous-query log lines (retention evictions, subscribers
+    /// falling behind / catching up).
+    pub continuous: Vec<String>,
+    /// Continuous-query liveness per registration, keyed by handle
+    /// (`s<n>` for subscriptions, `v<n>` for views); refreshed each
+    /// monitor sample while anything is registered.
+    pub cq: BTreeMap<String, CqStat>,
+}
+
+/// Liveness of one continuous-query registration.
+#[derive(Debug, Default, Clone)]
+pub struct CqStat {
+    /// What it is (`subscription '<name>'` or `view '<name>'`).
+    pub kind: String,
+    /// Deltas queued, awaiting a poll (subscriptions).
+    pub depth: usize,
+    /// Deltas drained so far (subscriptions).
+    pub delivered: u64,
+    /// Deltas lost to shedding or lag (subscriptions).
+    pub dropped: u64,
+    /// True if awaiting snapshot catch-up (subscriptions).
+    pub lagged: bool,
+    /// Live roll-up cells (views).
+    pub cells: usize,
+    /// Contributions currently held (views).
+    pub contributions: usize,
 }
 
 /// Execution stats for one shard of the parallel worker pool.
@@ -319,6 +345,31 @@ impl Monitor {
             let _ = writeln!(out, "  dead letters:");
             for (reason, n) in &self.dead_letters {
                 let _ = writeln!(out, "    {reason}: {n}");
+            }
+        }
+        if !self.cq.is_empty() {
+            let _ = writeln!(out, "  continuous queries:");
+            for (id, s) in &self.cq {
+                if s.kind.starts_with("view") {
+                    let _ = writeln!(
+                        out,
+                        "    {id} {}: cells={} contributions={}",
+                        s.kind, s.cells, s.contributions
+                    );
+                } else {
+                    let lag = if s.lagged { " LAGGED" } else { "" };
+                    let _ = writeln!(
+                        out,
+                        "    {id} {}: depth={} delivered={} dropped={}{lag}",
+                        s.kind, s.depth, s.delivered, s.dropped
+                    );
+                }
+            }
+        }
+        if !self.continuous.is_empty() {
+            let _ = writeln!(out, "  continuous-query events (last 10):");
+            for line in self.continuous.iter().rev().take(10).rev() {
+                let _ = writeln!(out, "    {line}");
             }
         }
         out

@@ -1,0 +1,139 @@
+//! The continuous-query tier (`SL09x`): live `sl-cq` registrations
+//! checked against the session's engine configuration.
+//!
+//! Unlike the dataflow and deployment tiers, which analyze a document
+//! before activation, this tier analyzes a *running* session's standing
+//! queries: the registrations exist only at run time, so `Session::lint_cq`
+//! distils them into a plain-facts [`CqModel`] (no `sl-cq` dependency
+//! here) and this pass reasons about the combination.
+//!
+//! * **SL090** — a materialized view whose standing query never bounds its
+//!   time range, in a session with no retention window: every ingested
+//!   event contributes forever, so the view's contribution lists (kept for
+//!   exact retraction) grow without bound. Either bound the query's time
+//!   range or configure `EngineConfig::retention`.
+//! * **SL091** — an unbounded subscriber queue while ingress admission
+//!   control is on: the operator queues are carefully bounded, but every
+//!   shed-survivor lands in a subscriber queue nothing bounds, so the
+//!   serving side silently undoes the ingest side's memory guarantee.
+
+use crate::diag::{Diagnostic, LintCode, LintReport};
+
+/// What lint needs to know about one materialized view.
+#[derive(Debug, Clone)]
+pub struct CqViewFacts {
+    /// Registration name.
+    pub name: String,
+    /// True if the standing query bounds its time range.
+    pub time_bounded: bool,
+}
+
+/// What lint needs to know about one subscription.
+#[derive(Debug, Clone)]
+pub struct CqSubFacts {
+    /// Registration name.
+    pub name: String,
+    /// True if the push queue has a capacity bound.
+    pub bounded: bool,
+}
+
+/// The facts the continuous-query tier reasons about: live registrations
+/// plus the two engine knobs that bound their memory.
+#[derive(Debug, Clone, Default)]
+pub struct CqModel {
+    /// Live materialized views.
+    pub views: Vec<CqViewFacts>,
+    /// Live subscriptions.
+    pub subscriptions: Vec<CqSubFacts>,
+    /// True if `EngineConfig::retention` is set (eviction horizon exists).
+    pub retention_configured: bool,
+    /// True if ingress admission control is on (bounded operator queues).
+    pub admission_enabled: bool,
+}
+
+/// Lint a session's continuous-query registrations. See the module docs
+/// for the codes.
+pub fn lint_cq(model: &CqModel) -> LintReport {
+    let mut diags = Vec::new();
+    if !model.retention_configured {
+        for view in &model.views {
+            if !view.time_bounded {
+                diags.push(Diagnostic::new(
+                    LintCode::UnboundedViewGrowth,
+                    view.name.clone(),
+                    format!(
+                        "view '{}' has no time bound and the engine has no retention \
+                         window: its per-cell contribution lists grow with every \
+                         ingested event, forever. Bound the query's time range or set \
+                         `EngineConfig::retention`",
+                        view.name
+                    ),
+                ));
+            }
+        }
+    }
+    if model.admission_enabled {
+        for sub in &model.subscriptions {
+            if !sub.bounded {
+                diags.push(Diagnostic::new(
+                    LintCode::UnboundedSubscriberQueue,
+                    sub.name.clone(),
+                    format!(
+                        "subscription '{}' has an unbounded delta queue while ingress \
+                         admission control bounds the operator queues: a slow consumer \
+                         re-opens the memory exposure admission control closed. Give \
+                         the subscription a capacity (any overflow policy)",
+                        sub.name
+                    ),
+                ));
+            }
+        }
+    }
+    LintReport::new("continuous-queries", diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(name: &str, time_bounded: bool) -> CqViewFacts {
+        CqViewFacts {
+            name: name.into(),
+            time_bounded,
+        }
+    }
+
+    fn sub(name: &str, bounded: bool) -> CqSubFacts {
+        CqSubFacts {
+            name: name.into(),
+            bounded,
+        }
+    }
+
+    #[test]
+    fn empty_model_is_clean() {
+        assert!(lint_cq(&CqModel::default()).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn sl090_retention_silences() {
+        let mut model = CqModel {
+            views: vec![view("dash", false)],
+            ..CqModel::default()
+        };
+        assert_eq!(lint_cq(&model).diagnostics.len(), 1);
+        model.retention_configured = true;
+        assert!(lint_cq(&model).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn sl091_needs_admission_on() {
+        let mut model = CqModel {
+            subscriptions: vec![sub("slow", false)],
+            ..CqModel::default()
+        };
+        assert!(lint_cq(&model).diagnostics.is_empty());
+        model.admission_enabled = true;
+        assert_eq!(lint_cq(&model).diagnostics.len(), 1);
+    }
+}

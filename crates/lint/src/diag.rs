@@ -124,6 +124,11 @@ lint_codes! {
     PeakMemoryExceedsBudget = ("SL081", Warning, "predicted peak memory exceeds the configured budget"),
     TickBurstOverflow = ("SL082", Warning, "blocking producer's tick burst overflows the bounded queue"),
     DlqUndershoot = ("SL083", Warning, "predicted burst shedding exceeds dead-letter capacity"),
+
+    // SL09x — continuous queries (live sl-cq registrations checked
+    // against the session's engine configuration).
+    UnboundedViewGrowth = ("SL090", Warning, "materialized view with unbounded time range and no retention horizon"),
+    UnboundedSubscriberQueue = ("SL091", Warning, "unbounded subscriber queue while ingress admission control is on"),
 }
 
 impl fmt::Display for LintCode {

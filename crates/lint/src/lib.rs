@@ -30,6 +30,11 @@
 //! 8. **resource** — worst-case queue depth, memory, and shedding volume
 //!    by abstract interpretation of advertised rates (`SL080`–`SL083`).
 //!
+//! A third, run-time tier ([`cq`], the `Session::lint_cq` path) checks a
+//! live session's continuous-query registrations against its engine
+//! configuration: unbounded materialized-view growth and unbounded
+//! subscriber queues under admission control (`SL090`–`SL091`).
+//!
 //! Every finding is a [`Diagnostic`] with a stable `SL0xx` [`LintCode`], a
 //! severity, and node + DSN-line attribution; a run never stops at the
 //! first problem. Entry points: [`lint_dataflow`] for conceptual dataflows
@@ -37,12 +42,14 @@
 //! `sl-lint` CLI path).
 
 pub mod analysis;
+pub mod cq;
 pub mod deployfile;
 pub mod diag;
 pub mod model;
 pub mod passes;
 
 pub use analysis::StreamProps;
+pub use cq::{lint_cq, CqModel, CqSubFacts, CqViewFacts};
 pub use deployfile::DeploySpec;
 pub use diag::{Diagnostic, LintCode, LintReport, Severity};
 pub use model::{BurstWindow, DeployGraph, DeployModel, OpFacts};

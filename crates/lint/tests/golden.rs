@@ -1152,6 +1152,8 @@ fn every_code_has_golden_coverage() {
         LintCode::PeakMemoryExceedsBudget,
         LintCode::TickBurstOverflow,
         LintCode::DlqUndershoot,
+        LintCode::UnboundedViewGrowth,
+        LintCode::UnboundedSubscriberQueue,
     ];
     for code in LintCode::ALL {
         assert!(covered.contains(code), "{code:?} has no golden test");
@@ -1195,4 +1197,81 @@ fn config_threshold_is_respected() {
         ..LintContext::default()
     };
     assert!(lint_with(&dsn, &strict).has(LintCode::UnboundedCache));
+}
+
+// ---------------------------------------------------------------------
+// SL09x — continuous queries (the run-time tier: facts about live
+// registrations, not documents)
+// ---------------------------------------------------------------------
+
+#[test]
+fn sl090_unbounded_view_growth() {
+    use sl_lint::{lint_cq, CqModel, CqViewFacts};
+    let unbounded = CqModel {
+        views: vec![CqViewFacts {
+            name: "dashboard".into(),
+            time_bounded: false,
+        }],
+        ..CqModel::default()
+    };
+    let report = lint_cq(&unbounded);
+    assert!(
+        report.has(LintCode::UnboundedViewGrowth),
+        "{:?}",
+        report.codes()
+    );
+    // Near miss 1: the same view under a configured retention window — the
+    // eviction horizon retracts old contributions, so memory is bounded.
+    let retained = CqModel {
+        retention_configured: true,
+        ..unbounded.clone()
+    };
+    assert!(!lint_cq(&retained).has(LintCode::UnboundedViewGrowth));
+    // Near miss 2: no retention, but the standing query bounds its own
+    // time range — the cell set cannot grow past the window.
+    let bounded = CqModel {
+        views: vec![CqViewFacts {
+            name: "dashboard".into(),
+            time_bounded: true,
+        }],
+        ..CqModel::default()
+    };
+    assert!(!lint_cq(&bounded).has(LintCode::UnboundedViewGrowth));
+}
+
+#[test]
+fn sl091_unbounded_subscriber_queue_under_admission() {
+    use sl_lint::{lint_cq, CqModel, CqSubFacts};
+    let model = CqModel {
+        subscriptions: vec![CqSubFacts {
+            name: "slow-consumer".into(),
+            bounded: false,
+        }],
+        admission_enabled: true,
+        ..CqModel::default()
+    };
+    let report = lint_cq(&model);
+    assert!(
+        report.has(LintCode::UnboundedSubscriberQueue),
+        "{:?}",
+        report.codes()
+    );
+    // Near miss 1: same subscription, admission control off — nothing
+    // upstream promises bounded memory, so the queue is merely the
+    // historical default, not a contradiction.
+    let no_admission = CqModel {
+        admission_enabled: false,
+        ..model.clone()
+    };
+    assert!(!lint_cq(&no_admission).has(LintCode::UnboundedSubscriberQueue));
+    // Near miss 2: admission on, but the queue is bounded.
+    let bounded = CqModel {
+        subscriptions: vec![CqSubFacts {
+            name: "slow-consumer".into(),
+            bounded: true,
+        }],
+        admission_enabled: true,
+        ..CqModel::default()
+    };
+    assert!(!lint_cq(&bounded).has(LintCode::UnboundedSubscriberQueue));
 }

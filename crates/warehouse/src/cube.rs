@@ -4,10 +4,16 @@
 //! re-expressed at any coarser space–time granularity and aggregated per
 //! theme — the warehouse-side counterpart of the stream Aggregation
 //! operator, feeding "further analysis" and visualisation (paper §3).
+//!
+//! The grouping and folding primitives ([`cell_slot`], [`CellAcc`]) are
+//! public so that incremental consumers — the `sl-cq` materialized views —
+//! reproduce [`EventWarehouse::rollup`]'s arithmetic bit-for-bit: folding a
+//! cell's contributions in storage order through a [`CellAcc`] yields
+//! exactly the [`CubeCell`] a full rescan would compute.
 
 use crate::query::EventQuery;
 use crate::store::EventWarehouse;
-use sl_stt::{SpatialGranularity, SpatialGranule, TemporalGranularity, Theme, Value};
+use sl_stt::{Event, SpatialGranularity, SpatialGranule, TemporalGranularity, Theme, Value};
 use std::collections::BTreeMap;
 
 /// A roll-up request.
@@ -45,74 +51,157 @@ pub struct CubeCell {
     pub max: Option<f64>,
 }
 
+/// The grouping key of a roll-up cell: (temporal granule, spatial granule
+/// rendering, theme prefix rendering). String renderings keep the ordering
+/// total and identical between one-shot roll-ups and incremental views.
+pub type CellKey = (i64, String, String);
+
+/// Where one event lands in a cube: its cell key, the cell's display
+/// coordinates, and the event's numeric contribution (if any).
+#[derive(Debug, Clone)]
+pub struct CellSlot {
+    /// The grouping key.
+    pub key: CellKey,
+    /// The coarsened spatial granule of the cell.
+    pub sgranule: SpatialGranule,
+    /// The theme prefix of the cell.
+    pub theme: Theme,
+    /// The event's numeric value, when it has one.
+    pub numeric: Option<f64>,
+}
+
+/// Place an event in the cube described by `q`: apply the pre-selection,
+/// coarsen to the target granularities, and truncate the theme. `None` if
+/// the event is filtered out or cannot be coarsened (already coarser, or
+/// incomparable).
+pub fn cell_slot(event: &Event, q: &CubeQuery) -> Option<CellSlot> {
+    if !q.select.matches(event) {
+        return None;
+    }
+    let coarse = event.coarsened(q.tgran, q.sgran).ok()?;
+    let theme = theme_at_depth(&event.theme, q.theme_depth);
+    Some(CellSlot {
+        key: (
+            coarse.tgranule,
+            coarse.sgranule.to_string(),
+            theme.to_string(),
+        ),
+        sgranule: coarse.sgranule,
+        theme,
+        numeric: numeric_value(&event.value),
+    })
+}
+
+/// Streaming accumulator for one cube cell. Absorbing a cell's
+/// contributions in storage order reproduces the fold a brute-force rescan
+/// performs, floating-point quirks included, so incremental maintenance
+/// stays byte-identical to [`EventWarehouse::rollup`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellAcc {
+    count: u64,
+    sum: f64,
+    nnum: u64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl CellAcc {
+    /// A fresh, empty accumulator.
+    pub fn new() -> CellAcc {
+        CellAcc::default()
+    }
+
+    /// Absorb one contribution (the `numeric` field of a [`CellSlot`]).
+    pub fn absorb(&mut self, numeric: Option<f64>) {
+        self.count += 1;
+        if let Some(v) = numeric {
+            self.sum += v;
+            self.nnum += 1;
+            self.min = Some(self.min.map_or(v, |m| m.min(v)));
+            self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        }
+    }
+
+    /// True if nothing has been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Events absorbed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Freeze into a [`CubeCell`] at the given coordinates.
+    pub fn to_cell(&self, tgranule: i64, sgranule: SpatialGranule, theme: Theme) -> CubeCell {
+        CubeCell {
+            tgranule,
+            sgranule,
+            theme,
+            count: self.count,
+            avg: (self.nnum > 0).then(|| self.sum / self.nnum as f64),
+            sum: self.sum,
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// Fold pre-selected events (in storage order) into sorted cube cells —
+/// the shared core of [`EventWarehouse::rollup`] and
+/// [`EventWarehouse::rollup_scan`].
+fn rollup_events<'a>(events: impl Iterator<Item = &'a Event>, q: &CubeQuery) -> Vec<CubeCell> {
+    let mut cells: BTreeMap<CellKey, (SpatialGranule, Theme, CellAcc)> = BTreeMap::new();
+    for event in events {
+        let Some(slot) = cell_slot(event, q) else {
+            continue;
+        };
+        let entry = cells
+            .entry(slot.key)
+            .or_insert_with(|| (slot.sgranule, slot.theme, CellAcc::new()));
+        entry.2.absorb(slot.numeric);
+    }
+    cells
+        .into_iter()
+        .map(|((tgranule, _, _), (sgranule, theme, acc))| acc.to_cell(tgranule, sgranule, theme))
+        .collect()
+}
+
 impl EventWarehouse {
     /// Compute the roll-up. Events whose granularity cannot be coarsened to
     /// the requested one (already coarser, or incomparable) are skipped.
     pub fn rollup(&mut self, q: &CubeQuery) -> Vec<CubeCell> {
-        #[derive(Default)]
-        struct Acc {
-            count: u64,
-            sum: f64,
-            nnum: u64,
-            min: Option<f64>,
-            max: Option<f64>,
-        }
-        let mut cells: BTreeMap<(i64, String, String), (SpatialGranule, Theme, Acc)> =
-            BTreeMap::new();
-        let events: Vec<sl_stt::Event> = self.query(&q.select).into_iter().cloned().collect();
-        for event in events {
-            let Ok(coarse) = event.coarsened(q.tgran, q.sgran) else {
-                continue;
-            };
-            let theme_prefix = theme_at_depth(&event.theme, q.theme_depth);
-            let key = (
-                coarse.tgranule,
-                coarse.sgranule.to_string(),
-                theme_prefix.to_string(),
-            );
-            let entry = cells
-                .entry(key)
-                .or_insert_with(|| (coarse.sgranule, theme_prefix.clone(), Acc::default()));
-            let acc = &mut entry.2;
-            acc.count += 1;
-            if let Ok(v) = numeric(&event.value) {
-                acc.sum += v;
-                acc.nnum += 1;
-                acc.min = Some(acc.min.map_or(v, |m| m.min(v)));
-                acc.max = Some(acc.max.map_or(v, |m| m.max(v)));
-            }
-        }
-        let out: Vec<CubeCell> = cells
-            .into_iter()
-            .map(|((tgranule, _, _), (sgranule, theme, acc))| CubeCell {
-                tgranule,
-                sgranule,
-                theme,
-                count: acc.count,
-                avg: (acc.nnum > 0).then(|| acc.sum / acc.nnum as f64),
-                sum: acc.sum,
-                min: acc.min,
-                max: acc.max,
-            })
-            .collect();
+        let out = rollup_events(self.query(&q.select).into_iter(), q);
         self.metrics.counter("rollups").inc();
         self.metrics
             .counter("cube_cells_updated")
             .add(out.len() as u64);
         out
     }
+
+    /// Reference implementation of [`EventWarehouse::rollup`]: a full scan
+    /// through a shared reference, with no instrument updates. The indexed
+    /// path visits the selected events in the same storage order, so the
+    /// two produce identical cells; equivalence suites (and `sl-cq`'s
+    /// incremental views) compare against this.
+    pub fn rollup_scan(&self, q: &CubeQuery) -> Vec<CubeCell> {
+        rollup_events(self.iter(), q)
+    }
 }
 
-fn numeric(v: &Value) -> Result<f64, ()> {
+/// The numeric reading of a value, if it has one (ints, floats, bools).
+/// Strings and other payloads contribute to cell counts but not to the
+/// numeric aggregates.
+pub fn numeric_value(v: &Value) -> Option<f64> {
     match v {
-        Value::Int(_) | Value::Float(_) | Value::Bool(_) => v.as_f64().map_err(|_| ()),
-        _ => Err(()),
+        Value::Int(_) | Value::Float(_) | Value::Bool(_) => v.as_f64().ok(),
+        _ => None,
     }
 }
 
 /// The ancestor of `theme` at the given depth (or the theme itself when
 /// shallower).
-fn theme_at_depth(theme: &Theme, depth: usize) -> Theme {
+pub fn theme_at_depth(theme: &Theme, depth: usize) -> Theme {
     let segs: Vec<&str> = theme.segments().collect();
     if depth == 0 || segs.len() <= depth {
         return theme.clone();
@@ -271,5 +360,36 @@ mod tests {
         assert_eq!(cells[0].count, 1);
         assert_eq!(cells[0].avg, None);
         assert_eq!(cells[0].min, None);
+    }
+
+    #[test]
+    fn rollup_scan_agrees_with_indexed_rollup() {
+        let mut w = populated();
+        let queries = [
+            CubeQuery {
+                select: EventQuery::all(),
+                tgran: TemporalGranularity::Hour,
+                sgran: SpatialGranularity::grid(2),
+                theme_depth: 1,
+            },
+            CubeQuery {
+                select: EventQuery::all().with_theme(Theme::new("weather").unwrap()),
+                tgran: TemporalGranularity::Day,
+                sgran: SpatialGranularity::World,
+                theme_depth: 2,
+            },
+            CubeQuery {
+                select: EventQuery::all().in_time(TimeInterval::new(
+                    Timestamp::from_secs(0),
+                    Timestamp::from_secs(1800),
+                )),
+                tgran: TemporalGranularity::Hour,
+                sgran: SpatialGranularity::grid(4),
+                theme_depth: 3,
+            },
+        ];
+        for q in queries {
+            assert_eq!(w.rollup_scan(&q), w.rollup(&q), "disagreement on {q:?}");
+        }
     }
 }

@@ -76,7 +76,13 @@ impl EventQuery {
 impl EventWarehouse {
     /// Answer a query using the most selective applicable index, then
     /// filtering. Results come back in storage order.
-    pub fn query(&mut self, q: &EventQuery) -> Vec<&Event> {
+    ///
+    /// A pure read: all index maintenance happens at ingest/eviction time,
+    /// so standing queries (`sl-cq`) and one-shot queries share this path
+    /// through a shared reference. The query counter in
+    /// [`WarehouseStats`](crate::WarehouseStats) still ticks (interior
+    /// mutability).
+    pub fn query(&self, q: &EventQuery) -> Vec<&Event> {
         self.note_query();
         let candidates: Option<Vec<Pos>> = self.pick_index(q);
         match candidates {
@@ -97,6 +103,17 @@ impl EventWarehouse {
     /// against [`EventWarehouse::query`].
     pub fn query_scan(&self, q: &EventQuery) -> Vec<&Event> {
         self.iter().filter(|e| q.matches(e)).collect()
+    }
+
+    /// The pre-refactor spelling of [`EventWarehouse::query`], which needed
+    /// `&mut self` for query-time bookkeeping. That bookkeeping moved to
+    /// ingest/eviction time; call `query` through a shared reference.
+    #[deprecated(
+        since = "0.1.0",
+        note = "`query` no longer needs `&mut self`; call it through a shared reference"
+    )]
+    pub fn query_mut(&mut self, q: &EventQuery) -> Vec<&Event> {
+        self.query(q)
     }
 
     /// Choose the cheapest index for `q`: candidate position lists are
@@ -136,11 +153,9 @@ impl EventWarehouse {
         if let Some(area) = &q.area {
             // World-granule events are absent from the spatial index (they
             // intersect every area), so the index is only sound when none
-            // are stored.
-            let has_world = self
-                .iter()
-                .any(|e| e.sgranule == sl_stt::SpatialGranule::World);
-            if !has_world {
+            // are stored. The count is maintained at ingest/eviction time,
+            // not discovered by a scan here.
+            if self.world_events == 0 {
                 let mut positions = Vec::new();
                 for (cell, ps) in &self.space_index {
                     if cell.extent().intersects(area) {
@@ -190,7 +205,7 @@ mod tests {
 
     #[test]
     fn time_query() {
-        let mut w = populated();
+        let w = populated();
         let out = w.query(&EventQuery::all().in_time(interval(6, 9)));
         assert_eq!(out.len(), 9); // 3 themes x 3 hours
         for e in out {
@@ -200,7 +215,7 @@ mod tests {
 
     #[test]
     fn theme_query_matches_subtree() {
-        let mut w = populated();
+        let w = populated();
         let weather = w.query(&EventQuery::all().with_theme(Theme::new("weather").unwrap()));
         assert_eq!(weather.len(), 48);
         let rain = w.query(&EventQuery::all().with_theme(Theme::new("weather/rain").unwrap()));
@@ -209,7 +224,7 @@ mod tests {
 
     #[test]
     fn area_query() {
-        let mut w = populated();
+        let w = populated();
         let osaka_box = BoundingBox::from_corners(
             GeoPoint::new_unchecked(34.4, 135.2),
             GeoPoint::new_unchecked(34.9, 135.7),
@@ -220,7 +235,7 @@ mod tests {
 
     #[test]
     fn combined_query() {
-        let mut w = populated();
+        let w = populated();
         let q = EventQuery::all()
             .in_time(interval(10, 12))
             .with_theme(Theme::new("weather/rain").unwrap());
@@ -231,7 +246,7 @@ mod tests {
 
     #[test]
     fn query_agrees_with_scan() {
-        let mut w = populated();
+        let w = populated();
         let queries = [
             EventQuery::all(),
             EventQuery::all().in_time(interval(0, 5)),
@@ -253,7 +268,7 @@ mod tests {
 
     #[test]
     fn empty_warehouse_answers_empty() {
-        let mut w = EventWarehouse::with_defaults();
+        let w = EventWarehouse::with_defaults();
         assert!(w.query(&EventQuery::all()).is_empty());
         assert!(w
             .query(&EventQuery::all().in_time(interval(0, 1)))

@@ -4,6 +4,7 @@ use sl_obs::{Metrics, MetricsSnapshot, Stopwatch};
 use sl_stt::{
     Event, SpatialGranularity, SpatialGranule, TemporalGranularity, Theme, Timestamp, Tuple,
 };
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 
 /// Store configuration.
@@ -54,6 +55,14 @@ pub struct EventWarehouse {
     /// theme -> positions.
     pub(crate) theme_index: BTreeMap<Theme, Vec<Pos>>,
     stats: WarehouseStats,
+    /// Stored events pinned at the `World` granule (absent from the spatial
+    /// index). Maintained at ingest/eviction time so the query planner never
+    /// has to scan for them — part of keeping [`EventWarehouse::query`] a
+    /// pure read (`&self`).
+    pub(crate) world_events: u64,
+    /// Queries answered. Interior-mutable so the read path stays `&self`;
+    /// folded into [`WarehouseStats::queries`] by [`EventWarehouse::stats`].
+    queries: Cell<u64>,
     /// Observability: ingest latency histogram and ETL counters.
     pub(crate) metrics: Metrics,
 }
@@ -68,6 +77,8 @@ impl EventWarehouse {
             space_index: HashMap::new(),
             theme_index: BTreeMap::new(),
             stats: WarehouseStats::default(),
+            world_events: 0,
+            queries: Cell::new(0),
             metrics: Metrics::new(),
         }
     }
@@ -84,7 +95,10 @@ impl EventWarehouse {
 
     /// Usage counters.
     pub fn stats(&self) -> WarehouseStats {
-        self.stats
+        WarehouseStats {
+            queries: self.queries.get(),
+            ..self.stats
+        }
     }
 
     /// Number of stored events.
@@ -115,7 +129,9 @@ impl EventWarehouse {
             .granule_of(event.time_interval().start);
         self.time_index.entry(t_idx).or_default().push(pos);
 
-        if event.sgranule != SpatialGranule::World {
+        if event.sgranule == SpatialGranule::World {
+            self.world_events += 1;
+        } else {
             let cell = self
                 .config
                 .space_index_gran
@@ -193,8 +209,8 @@ impl EventWarehouse {
         min.zip(max)
     }
 
-    pub(crate) fn note_query(&mut self) {
-        self.stats.queries += 1;
+    pub(crate) fn note_query(&self) {
+        self.queries.set(self.queries.get() + 1);
     }
 
     /// Retention: drop every event whose interval ends at or before
@@ -213,6 +229,7 @@ impl EventWarehouse {
         self.time_index.clear();
         self.space_index.clear();
         self.theme_index.clear();
+        self.world_events = 0; // re-counted as retained events re-insert
         self.stats = WarehouseStats {
             events: 0,
             segments: 0,

@@ -56,4 +56,14 @@ cargo run --release -q -p sl-bench --bin exp_e9_parallel -- --test
 # DLQ-accounted to the tuple.
 cargo run --release -q -p sl-bench --bin exp_e10_overload -- --test
 
+# Continuous-query gate: the sl-cq unit suite, then the engine-level
+# equivalence suite (views byte-identical to rescans under arbitrary
+# interleavings, eviction, chaos, and durable restart; unused hub
+# byte-invisible), the live-dashboard example, and the E11 smoke
+# (incremental maintenance >=10x over rescans at 100 subscribers).
+cargo test -p sl-cq -q
+cargo test -p sl-engine --test cq_equivalence
+cargo run --release -q --example continuous_dashboard >/dev/null
+cargo run --release -q -p sl-bench --bin exp_e11_cq -- --test
+
 echo "check.sh: all green"

@@ -43,6 +43,7 @@ pub mod session;
 
 pub use session::StreamLoader;
 
+pub use sl_cq as cq;
 pub use sl_dataflow as dataflow;
 pub use sl_dsn as dsn;
 pub use sl_durable as durable;

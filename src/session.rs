@@ -305,6 +305,95 @@ impl StreamLoader {
         self.engine.warehouse_mut().rollup(q)
     }
 
+    /// Register a standing query: warehouse-bound events matching `q` are
+    /// pushed into a per-subscriber queue of `capacity` deltas (`None` =
+    /// unbounded), governed by `policy` on overflow. Drain with
+    /// [`StreamLoader::poll_deltas`].
+    pub fn subscribe(
+        &mut self,
+        name: &str,
+        q: EventQuery,
+        capacity: Option<usize>,
+        policy: sl_engine::OverflowPolicy,
+    ) -> sl_engine::SubscriberId {
+        self.engine.subscribe_events(name, q, capacity, policy)
+    }
+
+    /// Remove a standing subscription.
+    pub fn unsubscribe(&mut self, id: sl_engine::SubscriberId) -> Result<(), EngineError> {
+        self.engine.unsubscribe_events(id)
+    }
+
+    /// Drain a subscriber's pending deltas. A `lagged` poll means the
+    /// queue overflowed under `Block`; call [`StreamLoader::catch_up`] to
+    /// re-synchronise.
+    pub fn poll_deltas(
+        &mut self,
+        id: sl_engine::SubscriberId,
+    ) -> Result<sl_engine::CqPoll, EngineError> {
+        self.engine.poll_deltas(id)
+    }
+
+    /// Snapshot + resume for a late or lagged subscriber: the full
+    /// warehouse answer under the subscription's query, the delta
+    /// sequence number it is current to, and a cleared lag flag.
+    pub fn catch_up(
+        &mut self,
+        id: sl_engine::SubscriberId,
+    ) -> Result<(Vec<sl_stt::Event>, u64), EngineError> {
+        self.engine.catch_up(id)
+    }
+
+    /// Register a materialized roll-up view: the cells of `q`, maintained
+    /// incrementally from the ingest path — every read via
+    /// [`StreamLoader::view_cells`] is the same answer
+    /// [`StreamLoader::rollup`] would compute, without the rescan.
+    pub fn view(&mut self, name: &str, q: CubeQuery) -> sl_engine::ViewId {
+        self.engine.register_view(name, q)
+    }
+
+    /// The current cells of a materialized view.
+    pub fn view_cells(&self, id: sl_engine::ViewId) -> Result<Vec<CubeCell>, EngineError> {
+        self.engine.view_cells(id)
+    }
+
+    /// Remove a materialized view.
+    pub fn drop_view(&mut self, id: sl_engine::ViewId) -> Result<(), EngineError> {
+        self.engine.drop_view(id)
+    }
+
+    /// Lint the session's live continuous-query registrations against its
+    /// engine configuration: SL090 (a view whose standing query never
+    /// bounds its time range, with no retention window configured — the
+    /// view grows forever) and SL091 (an unbounded subscriber queue while
+    /// ingress admission control is on — the serving side silently undoes
+    /// the ingest side's memory bound).
+    pub fn lint_cq(&self) -> sl_lint::LintReport {
+        let hub = self.engine.cq();
+        let config = self.engine.config();
+        let model = sl_lint::CqModel {
+            views: hub
+                .view_stats()
+                .into_iter()
+                .map(|v| sl_lint::CqViewFacts {
+                    name: v.name,
+                    time_bounded: v.time_bounded,
+                })
+                .collect(),
+            subscriptions: hub
+                .subscription_stats()
+                .into_iter()
+                .map(|s| sl_lint::CqSubFacts {
+                    name: s.name,
+                    bounded: s.bounded,
+                })
+                .collect(),
+            retention_configured: config.retention.is_some(),
+            admission_enabled: config.overload.admission_enabled(),
+        };
+        sl_lint::lint_cq(&model)
+    }
+
     /// Install a chaos schedule: every event in `plan` is queued at its
     /// virtual-time offset from now and replayed deterministically.
     pub fn install_fault_plan(&mut self, plan: &sl_faults::FaultPlan) {
