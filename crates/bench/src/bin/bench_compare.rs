@@ -1,0 +1,88 @@
+//! `bench-compare` — diff fresh experiment runs against the committed
+//! `BENCH_*.json` baselines.
+//!
+//! ```sh
+//! bench-compare <baseline-dir> <fresh-dir>
+//! ```
+//!
+//! For every known baseline file present in *both* directories, the
+//! scale-invariant ratio metrics are paired by row key and a fresh value
+//! below `baseline × (1 − tolerance)` fails the run (exit 1). Files
+//! missing on either side are skipped with a note — smoke runs only write
+//! the experiments `scripts/check.sh` exercises. The tolerance defaults
+//! to 0.5 and can be overridden with `BENCH_COMPARE_TOLERANCE`; to accept
+//! an intentional performance change, regenerate the baseline with the
+//! full experiment binary and commit it (see `EXPERIMENTS.md`).
+
+use sl_bench::compare::{compare, tolerance_from_env, BASELINE_FILES};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_dir, fresh_dir] = args.as_slice() else {
+        eprintln!("usage: bench-compare <baseline-dir> <fresh-dir>");
+        eprintln!("       (tolerance: BENCH_COMPARE_TOLERANCE, default 0.5)");
+        return ExitCode::from(2);
+    };
+    let tolerance = tolerance_from_env();
+    println!("bench-compare: tolerance {tolerance} (baseline {baseline_dir}, fresh {fresh_dir})");
+
+    let mut compared = 0usize;
+    let mut failed = false;
+    for file in BASELINE_FILES {
+        let base_path = Path::new(baseline_dir).join(file);
+        let fresh_path = Path::new(fresh_dir).join(file);
+        let (Ok(base), Ok(fresh)) = (
+            std::fs::read_to_string(&base_path),
+            std::fs::read_to_string(&fresh_path),
+        ) else {
+            println!("  {file}: skipped (not present on both sides)");
+            continue;
+        };
+        match compare(file, &base, &fresh, tolerance) {
+            Ok(c) => {
+                compared += 1;
+                for p in &c.pairs {
+                    println!(
+                        "  {file}: {}={}: {} {:.2} -> {:.2}",
+                        key_field(file),
+                        p.key,
+                        c.metric,
+                        p.baseline,
+                        p.fresh
+                    );
+                }
+                for r in &c.regressions {
+                    eprintln!("REGRESSION {r}");
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("bench-compare: {e}");
+                failed = true;
+            }
+        }
+    }
+    if compared == 0 {
+        eprintln!("bench-compare: nothing to compare ({fresh_dir} holds no known files)");
+        return ExitCode::from(2);
+    }
+    if failed {
+        eprintln!(
+            "bench-compare: FAILED — if the change is intentional, regenerate the \
+             baseline with the full experiment binary and commit it"
+        );
+        return ExitCode::from(1);
+    }
+    println!("bench-compare: ok ({compared} file(s) within tolerance)");
+    ExitCode::SUCCESS
+}
+
+fn key_field(file: &str) -> &'static str {
+    match file {
+        "BENCH_e11_cq.json" => "subscribers",
+        "BENCH_e12_compaction.json" => "segments",
+        _ => "label",
+    }
+}

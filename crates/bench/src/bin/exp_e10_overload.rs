@@ -266,7 +266,6 @@ fn main() {
             "\nE10 smoke: bounds held, block lost nothing, every shed run's \
              shortfall matched its DLQ"
         );
-        return;
     }
 
     let json = format!(
@@ -275,6 +274,5 @@ fn main() {
          \"baseline_delivered\": {baseline},\n  \"results\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );
-    std::fs::write("BENCH_e10_overload.json", &json).expect("write BENCH_e10_overload.json");
-    println!("\nwrote BENCH_e10_overload.json");
+    sl_bench::write_bench_json("BENCH_e10_overload.json", &json, smoke);
 }

@@ -203,7 +203,6 @@ fn main() {
             "\nE11 smoke: views byte-identical to rescans, {speedup_at_100:.1}x \
              speedup at 100 subscribers"
         );
-        return;
     }
 
     let json = format!(
@@ -211,6 +210,5 @@ fn main() {
          \"refresh_every\": {batch},\n  \"results\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );
-    std::fs::write("BENCH_e11_cq.json", &json).expect("write BENCH_e11_cq.json");
-    println!("\nwrote BENCH_e11_cq.json");
+    sl_bench::write_bench_json("BENCH_e11_cq.json", &json, smoke);
 }

@@ -255,7 +255,6 @@ fn main() {
 
     if smoke {
         println!("\nE9 smoke: outputs identical across all worker counts; N=1 guard held");
-        return;
     }
 
     let json = format!(
@@ -264,6 +263,5 @@ fn main() {
          \"reps\": {reps},\n  \"results\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );
-    std::fs::write("BENCH_e9_parallel.json", &json).expect("write BENCH_e9_parallel.json");
-    println!("\nwrote BENCH_e9_parallel.json");
+    sl_bench::write_bench_json("BENCH_e9_parallel.json", &json, smoke);
 }

@@ -16,6 +16,8 @@
 //! | A2 | ablation  | `bin/exp_ablation_placement.rs` |
 //! | A3 | ablation  | `benches/ablation_windows.rs` |
 
+pub mod compare;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sl_dataflow::{Dataflow, DataflowBuilder};
@@ -195,6 +197,33 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 /// Throughput in tuples/sec given a wall-clock duration for `n` tuples.
 pub fn tuples_per_sec(n: usize, wall: std::time::Duration) -> f64 {
     n as f64 / wall.as_secs_f64().max(1e-12)
+}
+
+/// Persist an experiment's JSON results.
+///
+/// Full runs write `file` into the working directory (the committed
+/// `BENCH_*.json` baselines at the repo root). Smoke runs (`--test`) write
+/// into `$BENCH_JSON_DIR` when it is set — `scripts/check.sh` points it at
+/// a scratch directory so `bench-compare` can diff the fresh smoke numbers
+/// against the committed baselines — and skip the write otherwise.
+pub fn write_bench_json(file: &str, json: &str, smoke: bool) {
+    let path = if smoke {
+        match std::env::var_os("BENCH_JSON_DIR") {
+            Some(dir) => {
+                let dir = std::path::PathBuf::from(dir);
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    eprintln!("warning: cannot create {}: {e}", dir.display());
+                    return;
+                }
+                dir.join(file)
+            }
+            None => return,
+        }
+    } else {
+        std::path::PathBuf::from(file)
+    };
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("\nwrote {}", path.display());
 }
 
 #[cfg(test)]

@@ -19,6 +19,16 @@
 //!   cold sealed segments underneath. `evict_before` *spills* instead of
 //!   discarding, and queries merge cold segment scans with the hot index
 //!   path (verified against a brute-force reference).
+//! * [`compact`] — size-tiered storage maintenance: small sealed segments
+//!   merge into generation-N segments (order preserved exactly, so query
+//!   results stay byte-identical), redundant horizon markers and
+//!   superseded checkpoints drop, and expired cold events age out under
+//!   [`CompactionPolicy::cold_retention`](compact::CompactionPolicy).
+//! * [`index`] — per-block zone indexes for compacted segments: time
+//!   bounds plus a bloom-style [`ThemeFilter`](index::ThemeFilter) over
+//!   theme-path prefixes, persisted in checksummed `.szi` sidecars, so
+//!   cold queries prune whole blocks and seek instead of scanning. Decoded
+//!   blocks of sealed segments are served from a small LRU cache.
 //!
 //! Engine operator checkpoints ride the same log, so a crashed node's
 //! blocking-operator window caches restore from disk through the existing
@@ -42,14 +52,19 @@
 //! ```
 #![warn(missing_docs)]
 
+mod cache;
 pub mod codec;
+pub mod compact;
 pub mod error;
+pub mod index;
 pub mod log;
 pub mod tmp;
 pub mod warehouse;
 
 pub use codec::{crc32, Record, CODEC_VERSION};
+pub use compact::{CompactionPolicy, CompactionStats};
 pub use error::DurableError;
+pub use index::{Pruner, ThemeFilter};
 pub use log::{DurableConfig, FsyncPolicy, LogPos, RecoveryReport, SegmentLog};
 pub use tmp::TempDir;
 pub use warehouse::DurableWarehouse;

@@ -9,6 +9,25 @@
 //! never written again, which is what makes them safe cold storage for
 //! [`crate::DurableWarehouse`]'s spilled events.
 //!
+//! # Generations
+//!
+//! Compaction (see [`crate::compact`]) merges a run of sealed segments into
+//! one *generation-N* segment named `seg-AAAAAA-BBBBBB-gN.slg`, covering
+//! the original numbers `AAAAAA..=BBBBBB`. Its frames are renumbered
+//! `0..n` and positions within it use the first covered number, so
+//! [`LogPos`] order still equals append order across the whole log.
+//! Generation ≥ 1 segments carry a per-block [`ThemeFilter`] zone index,
+//! persisted in a checksummed `.szi` sidecar next to the segment; the
+//! recovery scan rebuilds and verifies it, rewriting a missing or stale
+//! sidecar in place.
+//!
+//! The replacement itself is crash-safe: the product and its sidecar are
+//! written under temporary names, fsynced, renamed into place, and only
+//! then are the input segments deleted. [`SegmentLog::open`] finishes
+//! whatever a crash interrupted — stray `.tmp` files are removed, and when
+//! both a product and its inputs survive, the product wins if it verifies
+//! end-to-end, otherwise the inputs do.
+//!
 //! # Recovery
 //!
 //! [`SegmentLog::open`] scans every segment front to back, verifying each
@@ -29,10 +48,13 @@
 //! `OnSeal` only guarantees sealed segments. The fsync latency histogram
 //! and byte counters are exported through [`SegmentLog::metrics_snapshot`].
 
+use crate::cache::{BlockCache, BlockKey};
 use crate::codec::{frame, read_frame, FrameRead, Record, CODEC_VERSION};
+use crate::compact::{CompactionPolicy, SegmentMeta};
 use crate::error::DurableError;
+use crate::index::{decode_sidecar, encode_sidecar, Pruner, Sidecar, ThemeFilter, ZoneEntry};
 use sl_obs::{Metrics, MetricsSnapshot, Stopwatch};
-use sl_stt::TimeInterval;
+use sl_stt::{Theme, TimeInterval};
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -64,17 +86,25 @@ pub struct DurableConfig {
     pub segment_max_bytes: u64,
     /// Sparse time index stride: one index block per this many frames.
     pub index_every: u32,
+    /// Background storage maintenance: when and what to compact.
+    pub compaction: CompactionPolicy,
+    /// Capacity of the decoded-block LRU cache fronting cold reads
+    /// (0 disables caching).
+    pub cache_blocks: usize,
 }
 
 impl DurableConfig {
     /// Defaults rooted at `dir`: fsync every write (the safe default),
-    /// 1 MiB segments, an index block every 64 frames.
+    /// 1 MiB segments, an index block every 64 frames, compaction off,
+    /// a 64-block cache.
     pub fn at(dir: impl Into<PathBuf>) -> DurableConfig {
         DurableConfig {
             dir: dir.into(),
             fsync: FsyncPolicy::Always,
             segment_max_bytes: 1024 * 1024,
             index_every: 64,
+            compaction: CompactionPolicy::default(),
+            cache_blocks: 64,
         }
     }
 
@@ -89,13 +119,28 @@ impl DurableConfig {
         self.segment_max_bytes = bytes.max(HEADER_LEN + 1);
         self
     }
+
+    /// Replace the compaction policy.
+    pub fn with_compaction(mut self, policy: CompactionPolicy) -> DurableConfig {
+        self.compaction = policy;
+        self
+    }
+
+    /// Replace the block-cache capacity (0 disables caching).
+    pub fn with_cache_blocks(mut self, blocks: usize) -> DurableConfig {
+        self.cache_blocks = blocks;
+        self
+    }
 }
 
 /// Position of a frame in the log: (segment number, frame index within it).
-/// Ordered by log append order.
+/// Ordered by log append order. A compacted segment covering numbers
+/// `first..=last` uses `first` as its segment number, so order is preserved
+/// across compactions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LogPos {
-    /// Segment number (the `NNNNNN` in `seg-NNNNNN.slg`).
+    /// Segment number (the `NNNNNN` in `seg-NNNNNN.slg`; the first covered
+    /// number for a compacted segment).
     pub segment: u32,
     /// Zero-based frame index within the segment.
     pub frame: u32,
@@ -115,6 +160,12 @@ pub struct RecoveryReport {
     pub truncated_bytes: u64,
     /// Whole later segments deleted because an earlier one was corrupt.
     pub dropped_segments: u64,
+    /// Segments deleted while finishing an interrupted compaction (either
+    /// inputs superseded by a verified product, or a damaged product
+    /// superseded by its surviving inputs). Not data loss.
+    pub superseded_segments: u64,
+    /// Zone-index sidecars rewritten because they were missing or stale.
+    pub sidecars_rebuilt: u64,
     /// Wall-clock recovery time in microseconds.
     pub duration_us: u64,
 }
@@ -132,8 +183,9 @@ impl RecoveryReport {
 }
 
 /// One index block: `frames` consecutive frames starting at byte `offset`,
-/// with the time bounds of the *event* records among them.
-#[derive(Debug, Clone, Copy)]
+/// with the time bounds of the *event* records among them and, for
+/// generation ≥ 1 segments, a theme-prefix summary of those events.
+#[derive(Debug, Clone)]
 struct IndexBlock {
     offset: u64,
     frames: u32,
@@ -143,15 +195,18 @@ struct IndexBlock {
     /// Maximum `interval.end` over events in the block (ms); `i64::MIN`
     /// when the block holds no events.
     max_end: i64,
+    /// Theme summary (generation ≥ 1 segments only).
+    filter: Option<ThemeFilter>,
 }
 
 impl IndexBlock {
-    fn at(offset: u64) -> IndexBlock {
+    fn at(offset: u64, with_filter: bool) -> IndexBlock {
         IndexBlock {
             offset,
             frames: 0,
             min_start: i64::MAX,
             max_end: i64::MIN,
+            filter: with_filter.then(ThemeFilter::new),
         }
     }
 
@@ -159,13 +214,40 @@ impl IndexBlock {
     fn may_overlap(&self, range: &TimeInterval) -> bool {
         self.min_start < range.end.as_millis() && range.start.as_millis() < self.max_end
     }
+
+    /// Can any event in this block satisfy every constraint in `pruner`?
+    /// With no constraints, always true (full scans read everything).
+    fn may_match(&self, pruner: &Pruner) -> bool {
+        let constrained = pruner.time.is_some() || pruner.theme.is_some();
+        if constrained && self.min_start == i64::MAX {
+            return false; // no events in the block
+        }
+        if let Some(range) = &pruner.time {
+            if !self.may_overlap(range) {
+                return false;
+            }
+        }
+        if let (Some(theme), Some(filter)) = (&pruner.theme, &self.filter) {
+            if !filter.may_contain(theme) {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 /// In-memory state of one on-disk segment. The sparse index is rebuilt from
-/// the file on open — only the frames live on disk.
+/// the file on open — only the frames (and, for compacted segments, the
+/// `.szi` sidecar) live on disk.
 #[derive(Debug)]
 struct Segment {
+    /// First covered segment number: the segment's identity and the
+    /// `segment` field of every position within it.
     number: u32,
+    /// Last covered segment number (`== number` for generation 0).
+    last: u32,
+    /// Compaction generation (0 = written by the appender).
+    generation: u32,
     path: PathBuf,
     /// Current file length in bytes (header included).
     bytes: u64,
@@ -175,8 +257,14 @@ struct Segment {
 
 impl Segment {
     fn fresh(number: u32, path: PathBuf) -> Segment {
+        Segment::fresh_span(number, number, 0, path)
+    }
+
+    fn fresh_span(number: u32, last: u32, generation: u32, path: PathBuf) -> Segment {
         Segment {
             number,
+            last,
+            generation,
             path,
             bytes: HEADER_LEN,
             frames: 0,
@@ -185,29 +273,85 @@ impl Segment {
     }
 
     /// Record one appended frame in the sparse index.
-    fn note_frame(&mut self, consumed: u64, time: Option<(i64, i64)>, index_every: u32) {
+    fn note_frame(
+        &mut self,
+        consumed: u64,
+        time: Option<(i64, i64)>,
+        theme: Option<&Theme>,
+        index_every: u32,
+    ) {
         if self.frames.is_multiple_of(index_every.max(1)) {
-            self.blocks.push(IndexBlock::at(self.bytes));
+            self.blocks
+                .push(IndexBlock::at(self.bytes, self.generation > 0));
         }
-        if let Some(last) = self.blocks.last_mut() {
-            last.frames += 1;
+        if let Some(block) = self.blocks.last_mut() {
+            block.frames += 1;
             if let Some((start, end)) = time {
-                last.min_start = last.min_start.min(start);
-                last.max_end = last.max_end.max(end);
+                block.min_start = block.min_start.min(start);
+                block.max_end = block.max_end.max(end);
+            }
+            if let (Some(theme), Some(filter)) = (theme, block.filter.as_mut()) {
+                filter.insert(theme);
             }
         }
         self.frames += 1;
         self.bytes += consumed;
     }
 
-    /// May any event in the whole segment overlap `range`?
-    fn may_overlap(&self, range: &TimeInterval) -> bool {
-        self.blocks.iter().any(|b| b.may_overlap(range))
+    /// May any block in the segment match the pruner's constraints?
+    fn may_match(&self, pruner: &Pruner) -> bool {
+        self.blocks.iter().any(|b| b.may_match(pruner))
+    }
+
+    fn meta(&self) -> SegmentMeta {
+        SegmentMeta {
+            first: self.number,
+            last: self.last,
+            generation: self.generation,
+            bytes: self.bytes,
+            frames: self.frames,
+        }
+    }
+
+    /// The zone index this segment's sidecar should contain.
+    fn sidecar(&self) -> Sidecar {
+        Sidecar {
+            frames: self.frames,
+            bytes: self.bytes,
+            entries: self
+                .blocks
+                .iter()
+                .map(|b| ZoneEntry {
+                    offset: b.offset,
+                    frames: b.frames,
+                    min_start: b.min_start,
+                    max_end: b.max_end,
+                    filter: b.filter.unwrap_or_default(),
+                })
+                .collect(),
+        }
     }
 }
 
 fn segment_path(dir: &Path, number: u32) -> PathBuf {
     dir.join(format!("seg-{number:06}.slg"))
+}
+
+/// File name of a compacted segment covering `first..=last` at `generation`.
+fn gen_segment_path(dir: &Path, first: u32, last: u32, generation: u32) -> PathBuf {
+    dir.join(format!("seg-{first:06}-{last:06}-g{generation}.slg"))
+}
+
+/// The `.szi` sidecar path of a segment file.
+fn sidecar_path(segment: &Path) -> PathBuf {
+    segment.with_extension("szi")
+}
+
+/// The temporary name a file is written under before its publishing rename.
+fn tmp_path(target: &Path) -> PathBuf {
+    let mut name = target.as_os_str().to_os_string();
+    name.push(".tmp");
+    PathBuf::from(name)
 }
 
 fn header_bytes() -> [u8; HEADER_LEN as usize] {
@@ -228,6 +372,14 @@ fn record_time(rec: &Record) -> Option<(i64, i64)> {
     }
 }
 
+/// The theme of a record, if it is an event.
+fn record_theme(rec: &Record) -> Option<&Theme> {
+    match rec {
+        Record::Event(e) => Some(&e.theme),
+        _ => None,
+    }
+}
+
 /// A checksummed, rotating, crash-recoverable record log.
 pub struct SegmentLog {
     config: DurableConfig,
@@ -240,6 +392,7 @@ pub struct SegmentLog {
     synced_pos: Option<LogPos>,
     last_pos: Option<LogPos>,
     report: RecoveryReport,
+    cache: BlockCache,
     metrics: Metrics,
 }
 
@@ -253,21 +406,27 @@ impl SegmentLog {
     ) -> Result<(SegmentLog, Vec<(LogPos, Record)>, RecoveryReport), DurableError> {
         let sw = Stopwatch::start();
         fs::create_dir_all(&config.dir)?;
-
-        let mut numbers = existing_segment_numbers(&config.dir)?;
-        if numbers.is_empty() {
-            numbers.push(1);
-            create_segment(&config.dir, 1)?;
-        }
+        remove_tmp_files(&config.dir)?;
 
         let mut report = RecoveryReport::default();
+        let mut refs = list_segment_refs(&config.dir)?;
+        resolve_shadows(&mut refs, &mut report)?;
+        if refs.is_empty() {
+            let path = create_segment(&config.dir, 1)?;
+            refs.push(SegRef {
+                first: 1,
+                last: 1,
+                generation: 0,
+                path,
+            });
+        }
+
         let mut records = Vec::new();
         let mut segments = Vec::new();
         let mut corrupted_at: Option<usize> = None;
 
-        for (i, &number) in numbers.iter().enumerate() {
-            let path = segment_path(&config.dir, number);
-            let (seg, recs, clean) = recover_segment(number, &path, &config, &mut report)?;
+        for (i, r) in refs.iter().enumerate() {
+            let (seg, recs, clean) = recover_segment(r, &config, &mut report)?;
             for rec in recs {
                 match &rec.1 {
                     Record::Event(_) => report.events += 1,
@@ -287,13 +446,21 @@ impl SegmentLog {
         // segments were written after the damage and cannot be trusted to
         // follow it. Delete them and account for every byte.
         if let Some(cut) = corrupted_at {
-            for &number in &numbers[cut + 1..] {
-                let path = segment_path(&config.dir, number);
-                let len = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            for r in &refs[cut + 1..] {
+                let len = fs::metadata(&r.path).map(|m| m.len()).unwrap_or(0);
                 report.truncated_bytes += len.saturating_sub(HEADER_LEN);
                 report.dropped_segments += 1;
-                fs::remove_file(&path)?;
+                remove_segment_files(&r.path)?;
             }
+        }
+
+        // A compacted segment is sealed forever: if it ended up last (its
+        // former followers were all merged into it, or dropped), appends
+        // need a fresh generation-0 segment after it.
+        if segments.last().is_some_and(|s| s.generation > 0) {
+            let number = segments.last().map_or(1, |s| s.last + 1);
+            let path = create_segment(&config.dir, number)?;
+            segments.push(Segment::fresh(number, path));
         }
 
         let mut metrics = Metrics::new();
@@ -321,8 +488,15 @@ impl SegmentLog {
         metrics
             .counter("recovery/dropped_segments")
             .add(report.dropped_segments);
+        metrics
+            .counter("recovery/superseded_segments")
+            .add(report.superseded_segments);
+        metrics
+            .counter("index/sidecars_rebuilt")
+            .add(report.sidecars_rebuilt);
         metrics.hist("recovery_us").record(report.duration_us);
 
+        let cache = BlockCache::new(config.cache_blocks);
         let log = SegmentLog {
             config,
             segments,
@@ -332,6 +506,7 @@ impl SegmentLog {
             synced_pos: last_pos,
             last_pos,
             report,
+            cache,
             metrics,
         };
         Ok((log, records, report))
@@ -362,6 +537,13 @@ impl SegmentLog {
         self.synced_pos
     }
 
+    /// Metadata of every sealed segment, in log order (what compaction
+    /// planning sees — the active segment is excluded).
+    pub fn sealed_metas(&self) -> Vec<SegmentMeta> {
+        let sealed = self.segments.len().saturating_sub(1);
+        self.segments[..sealed].iter().map(Segment::meta).collect()
+    }
+
     /// Append one record, rotating and fsyncing per policy. Returns the
     /// record's position.
     pub fn append(&mut self, rec: &Record) -> Result<LogPos, DurableError> {
@@ -381,12 +563,18 @@ impl SegmentLog {
         self.active.write_all(&framed)?;
         let index_every = self.config.index_every;
         let time = record_time(rec);
-        let seg = self.active_segment()?;
-        let pos = LogPos {
-            segment: seg.number,
-            frame: seg.frames,
+        let pos = {
+            let seg = self.active_segment()?;
+            let pos = LogPos {
+                segment: seg.number,
+                frame: seg.frames,
+            };
+            // The active segment is generation 0, so no theme filter is
+            // maintained here: summaries are computed at compaction time,
+            // off the append path.
+            seg.note_frame(framed.len() as u64, time, None, index_every);
+            pos
         };
-        seg.note_frame(framed.len() as u64, time, index_every);
         self.last_pos = Some(pos);
         self.metrics.counter("frames_appended").inc();
         self.metrics
@@ -429,7 +617,7 @@ impl SegmentLog {
         self.unsynced = 0;
         self.synced_pos = self.last_pos;
 
-        let next = self.active_segment()?.number + 1;
+        let next = self.active_segment()?.last + 1;
         let path = create_segment(&self.config.dir, next)?;
         self.active = OpenOptions::new().append(true).open(&path)?;
         self.segments.push(Segment::fresh(next, path));
@@ -449,7 +637,7 @@ impl SegmentLog {
     /// Scan the whole log, decoding every record in append order. This is
     /// the brute-force reference reader: no index, no pruning.
     pub fn scan(&mut self) -> Result<Vec<(LogPos, Record)>, DurableError> {
-        self.scan_overlapping(None)
+        self.scan_pruned(&Pruner::keep_all())
     }
 
     /// Scan only records that may be events overlapping `range`, using the
@@ -459,20 +647,183 @@ impl SegmentLog {
         &mut self,
         range: Option<&TimeInterval>,
     ) -> Result<Vec<(LogPos, Record)>, DurableError> {
+        self.scan_pruned(&Pruner {
+            time: range.cloned(),
+            theme: None,
+        })
+    }
+
+    /// Scan the log under `pruner`'s constraints: whole segments and index
+    /// blocks whose zone index proves they cannot hold a matching event are
+    /// skipped without touching the disk, and decoded blocks of sealed
+    /// segments are served from (and fill) the LRU block cache. The result
+    /// is a superset of the matching events, in append order — exactly the
+    /// records a full scan would return from the blocks that survived
+    /// pruning.
+    pub fn scan_pruned(&mut self, pruner: &Pruner) -> Result<Vec<(LogPos, Record)>, DurableError> {
         // Unsynced frames are in the OS page cache, readable by a fresh
         // handle, so no sync is needed for read-your-writes here.
         let mut out = Vec::new();
         let mut bytes_read = 0u64;
-        for seg in &self.segments {
-            if let Some(r) = range {
-                if seg.frames == 0 || !seg.may_overlap(r) {
-                    continue;
-                }
+        let mut scanned = 0u64;
+        let mut pruned = 0u64;
+        let constrained = pruner.time.is_some() || pruner.theme.is_some();
+        let active_idx = self.segments.len().saturating_sub(1);
+        let (hits0, misses0) = (self.cache.hits(), self.cache.misses());
+        for (i, seg) in self.segments.iter().enumerate() {
+            if seg.frames == 0 {
+                continue;
             }
-            bytes_read += scan_segment(seg, range, &mut out)?;
+            if constrained && !seg.may_match(pruner) {
+                pruned += 1;
+                continue;
+            }
+            bytes_read += scan_segment(seg, pruner, i != active_idx, &mut self.cache, &mut out)?;
+            scanned += 1;
         }
         self.metrics.counter("bytes_read").add(bytes_read);
+        if constrained {
+            self.metrics.counter("cold/segments_scanned").add(scanned);
+            self.metrics.counter("cold/segments_pruned").add(pruned);
+        }
+        self.metrics
+            .counter("cache/hits")
+            .add(self.cache.hits() - hits0);
+        self.metrics
+            .counter("cache/misses")
+            .add(self.cache.misses() - misses0);
+        self.metrics
+            .gauge("cache/hit_rate")
+            .set(self.cache.hit_rate_pct());
         Ok(out)
+    }
+
+    /// Decode every record of the segments covering numbers
+    /// `first..=last`, in append order (the read half of compaction).
+    pub(crate) fn read_range(
+        &mut self,
+        first: u32,
+        last: u32,
+    ) -> Result<Vec<(LogPos, Record)>, DurableError> {
+        let mut out = Vec::new();
+        let keep = Pruner::keep_all();
+        let active_idx = self.segments.len().saturating_sub(1);
+        for (i, seg) in self.segments.iter().enumerate() {
+            if seg.number >= first && seg.last <= last {
+                scan_segment(seg, &keep, i != active_idx, &mut self.cache, &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// On-disk bytes of the segments covering numbers `first..=last`.
+    pub(crate) fn bytes_in_range(&self, first: u32, last: u32) -> u64 {
+        self.segments
+            .iter()
+            .filter(|s| s.number >= first && s.last <= last)
+            .map(|s| s.bytes)
+            .sum()
+    }
+
+    /// Atomically replace the sealed segments covering `first..=last` with
+    /// one generation-`generation` segment holding `records` (renumbered
+    /// `0..n`). Crash-safe: the product and its zone-index sidecar are
+    /// written under temporary names, fsynced, renamed into place, and only
+    /// then are the inputs deleted — [`SegmentLog::open`] finishes either
+    /// half of an interrupted replacement. Returns the product's size in
+    /// bytes.
+    pub(crate) fn replace_segments(
+        &mut self,
+        first: u32,
+        last: u32,
+        generation: u32,
+        records: &[Record],
+    ) -> Result<u64, DurableError> {
+        let start = self
+            .segments
+            .iter()
+            .position(|s| s.number == first)
+            .ok_or_else(|| {
+                DurableError::corrupt(format!("replace: no segment starts at {first}"))
+            })?;
+        let end = self
+            .segments
+            .iter()
+            .position(|s| s.last == last)
+            .ok_or_else(|| DurableError::corrupt(format!("replace: no segment ends at {last}")))?;
+        if end < start || end + 1 >= self.segments.len() {
+            return Err(DurableError::corrupt(
+                "replace: range must cover sealed segments only",
+            ));
+        }
+
+        // Encode the product and build its index in one pass.
+        let path = gen_segment_path(&self.config.dir, first, last, generation);
+        let mut seg = Segment::fresh_span(first, last, generation, path.clone());
+        let mut buf: Vec<u8> = header_bytes().to_vec();
+        for rec in records {
+            let framed = frame(&rec.encode());
+            seg.note_frame(
+                framed.len() as u64,
+                record_time(rec),
+                record_theme(rec),
+                self.config.index_every,
+            );
+            buf.extend_from_slice(&framed);
+        }
+
+        // 1. Write product + sidecar under temporary names, fsynced.
+        let product_tmp = tmp_path(&path);
+        write_file_synced(&product_tmp, &buf)?;
+        let scar = sidecar_path(&path);
+        let scar_tmp = tmp_path(&scar);
+        write_file_synced(&scar_tmp, &encode_sidecar(&seg.sidecar()))?;
+
+        // 2. Publish: rename into place, persist the directory entries.
+        fs::rename(&product_tmp, &path)?;
+        fs::rename(&scar_tmp, &scar)?;
+        sync_dir(&self.config.dir);
+
+        // 3. Retire the inputs (recovery resolves the overlap if we crash
+        // between these deletions).
+        for old in &self.segments[start..=end] {
+            remove_segment_files(&old.path)?;
+        }
+        sync_dir(&self.config.dir);
+
+        let bytes_after = seg.bytes;
+        self.segments.splice(start..=end, std::iter::once(seg));
+        self.metrics
+            .gauge("segments")
+            .set(self.segments.len() as i64);
+
+        // Positions in the replaced range no longer exist; if the log's
+        // newest (or newest-synced) record lived there, recompute it from
+        // the surviving segments. Everything sealed is on stable storage.
+        let in_range = |p: &LogPos| p.segment >= first && p.segment <= last;
+        if self.last_pos.as_ref().is_some_and(in_range) {
+            self.last_pos = self
+                .segments
+                .iter()
+                .rev()
+                .find(|s| s.frames > 0)
+                .map(|s| LogPos {
+                    segment: s.number,
+                    frame: s.frames - 1,
+                });
+        }
+        if self.synced_pos.as_ref().is_some_and(in_range) {
+            let sealed = self.segments.len().saturating_sub(1);
+            self.synced_pos = self.segments[..sealed]
+                .iter()
+                .rev()
+                .find(|s| s.frames > 0)
+                .map(|s| LogPos {
+                    segment: s.number,
+                    frame: s.frames - 1,
+                });
+        }
+        Ok(bytes_after)
     }
 
     /// Freeze the log's instruments into a snapshot.
@@ -486,43 +837,68 @@ impl SegmentLog {
     }
 }
 
-/// Read one segment, skipping index blocks that cannot contain events
-/// overlapping `range`. Returns how many bytes were read from disk.
+/// Read one segment, skipping index blocks that cannot match `pruner` and
+/// serving sealed blocks from the cache. Returns how many bytes were read
+/// from disk.
 fn scan_segment(
     seg: &Segment,
-    range: Option<&TimeInterval>,
+    pruner: &Pruner,
+    sealed: bool,
+    cache: &mut BlockCache,
     out: &mut Vec<(LogPos, Record)>,
 ) -> Result<u64, DurableError> {
     if seg.frames == 0 {
         return Ok(0);
     }
-    let mut file = File::open(&seg.path)?;
+    let constrained = pruner.time.is_some() || pruner.theme.is_some();
+    let mut file: Option<File> = None;
     let mut frame_idx: u32 = 0;
     let mut bytes_read = 0u64;
     for (bi, block) in seg.blocks.iter().enumerate() {
-        if range.is_some_and(|r| !block.may_overlap(r)) {
+        if constrained && !block.may_match(pruner) {
             frame_idx += block.frames;
             continue;
         }
+        let key = BlockKey {
+            segment: seg.number,
+            generation: seg.generation,
+            offset: block.offset,
+        };
+        if sealed {
+            if let Some(cached) = cache.get(key) {
+                for (fi, rec) in cached {
+                    out.push((
+                        LogPos {
+                            segment: seg.number,
+                            frame: *fi,
+                        },
+                        rec.clone(),
+                    ));
+                }
+                frame_idx += block.frames;
+                continue;
+            }
+        }
         let end_offset = seg.blocks.get(bi + 1).map_or(seg.bytes, |next| next.offset);
         let len = (end_offset - block.offset) as usize;
-        file.seek(SeekFrom::Start(block.offset))?;
+        if file.is_none() {
+            file = Some(File::open(&seg.path)?);
+        }
+        let f = file
+            .as_mut()
+            .ok_or_else(|| DurableError::corrupt("segment file just opened is gone"))?;
+        f.seek(SeekFrom::Start(block.offset))?;
         let mut buf = vec![0u8; len];
-        file.read_exact(&mut buf)?;
+        f.read_exact(&mut buf)?;
         bytes_read += len as u64;
         let mut at = 0usize;
+        let mut decoded: Vec<(u32, Record)> = Vec::with_capacity(block.frames as usize);
         for _ in 0..block.frames {
             match read_frame(&buf[at..]) {
                 FrameRead::Ok { payload, consumed } => {
                     at += consumed;
                     let rec = Record::decode(&payload)?;
-                    out.push((
-                        LogPos {
-                            segment: seg.number,
-                            frame: frame_idx,
-                        },
-                        rec,
-                    ));
+                    decoded.push((frame_idx, rec));
                     frame_idx += 1;
                 }
                 // The in-memory index said a frame is here; the disk
@@ -542,27 +918,202 @@ fn scan_segment(
                 }
             }
         }
+        for (fi, rec) in &decoded {
+            out.push((
+                LogPos {
+                    segment: seg.number,
+                    frame: *fi,
+                },
+                rec.clone(),
+            ));
+        }
+        if sealed {
+            cache.put(key, decoded);
+        }
     }
     Ok(bytes_read)
 }
 
-/// Numerically-sorted segment numbers present in `dir`.
-fn existing_segment_numbers(dir: &Path) -> Result<Vec<u32>, DurableError> {
-    let mut numbers = Vec::new();
+/// One segment file present in the directory, as named.
+#[derive(Debug, Clone)]
+struct SegRef {
+    first: u32,
+    last: u32,
+    generation: u32,
+    path: PathBuf,
+}
+
+/// Parse `seg-NNNNNN.slg` or `seg-AAAAAA-BBBBBB-gG.slg`.
+fn parse_segment_name(name: &str) -> Option<(u32, u32, u32)> {
+    let stem = name.strip_prefix("seg-")?.strip_suffix(".slg")?;
+    if let Ok(n) = stem.parse::<u32>() {
+        return Some((n, n, 0));
+    }
+    let mut parts = stem.split('-');
+    let first: u32 = parts.next()?.parse().ok()?;
+    let last: u32 = parts.next()?.parse().ok()?;
+    let generation: u32 = parts.next()?.strip_prefix('g')?.parse().ok()?;
+    if parts.next().is_some() || last < first || generation == 0 {
+        return None;
+    }
+    Some((first, last, generation))
+}
+
+/// Segment files present in `dir`, sorted by covered range then generation.
+fn list_segment_refs(dir: &Path) -> Result<Vec<SegRef>, DurableError> {
+    let mut refs = Vec::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if let Some(num) = name
-            .strip_prefix("seg-")
-            .and_then(|s| s.strip_suffix(".slg"))
-            .and_then(|s| s.parse::<u32>().ok())
-        {
-            numbers.push(num);
+        if let Some((first, last, generation)) = parse_segment_name(&name.to_string_lossy()) {
+            refs.push(SegRef {
+                first,
+                last,
+                generation,
+                path: entry.path(),
+            });
         }
     }
-    numbers.sort_unstable();
-    Ok(numbers)
+    refs.sort_by_key(|r| (r.first, r.generation));
+    Ok(refs)
+}
+
+/// Delete every `*.tmp` file in `dir` (half-written compaction products).
+fn remove_tmp_files(dir: &Path) -> Result<(), DurableError> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_name().to_string_lossy().ends_with(".tmp") {
+            fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+/// Delete a segment file and its sidecar, if any.
+fn remove_segment_files(segment: &Path) -> Result<(), DurableError> {
+    fs::remove_file(segment)?;
+    match fs::remove_file(sidecar_path(segment)) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Persist the directory entry (best-effort: not all platforms allow fsync
+/// on directories).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Write `bytes` to a fresh file at `path`, fsynced.
+fn write_file_synced(path: &Path, bytes: &[u8]) -> Result<(), DurableError> {
+    let mut f = File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// Resolve overlaps left by an interrupted compaction: when a generation-N
+/// product and (some of) its inputs are both on disk, the crash hit between
+/// the publishing rename and the input deletion. The product wins if it
+/// verifies end-to-end; otherwise the inputs win if they still fully cover
+/// its range. Either way the losers are deleted, so the remaining refs
+/// cover disjoint ranges.
+fn resolve_shadows(
+    refs: &mut Vec<SegRef>,
+    report: &mut RecoveryReport,
+) -> Result<(), DurableError> {
+    let mut order: Vec<usize> = (0..refs.len()).collect();
+    order.sort_by(|&a, &b| refs[b].generation.cmp(&refs[a].generation));
+    let mut removed = vec![false; refs.len()];
+    for &ti in &order {
+        if removed[ti] || refs[ti].generation == 0 {
+            continue;
+        }
+        let (first, last, generation) = (refs[ti].first, refs[ti].last, refs[ti].generation);
+        let shadowed: Vec<usize> = (0..refs.len())
+            .filter(|&si| {
+                si != ti
+                    && !removed[si]
+                    && refs[si].generation < generation
+                    && first <= refs[si].first
+                    && refs[si].last <= last
+            })
+            .collect();
+        if shadowed.is_empty() {
+            continue;
+        }
+        let product_clean = verify_segment(&refs[ti].path)?;
+        let span = (last - first) as u64 + 1;
+        let inputs_cover = span <= (1 << 20) && {
+            let mut covered = vec![false; span as usize];
+            for &si in &shadowed {
+                for n in refs[si].first..=refs[si].last {
+                    covered[(n - first) as usize] = true;
+                }
+            }
+            covered.iter().all(|&c| c)
+        };
+        if product_clean || !inputs_cover {
+            for &si in &shadowed {
+                remove_segment_files(&refs[si].path)?;
+                removed[si] = true;
+                report.superseded_segments += 1;
+            }
+        } else {
+            remove_segment_files(&refs[ti].path)?;
+            removed[ti] = true;
+            report.superseded_segments += 1;
+        }
+    }
+    let mut kept = Vec::with_capacity(refs.len());
+    for (i, r) in refs.drain(..).enumerate() {
+        if !removed[i] {
+            kept.push(r);
+        }
+    }
+    for pair in kept.windows(2) {
+        if pair[1].first <= pair[0].last {
+            return Err(DurableError::corrupt(format!(
+                "overlapping segments {} and {}",
+                pair[0].path.display(),
+                pair[1].path.display()
+            )));
+        }
+    }
+    *refs = kept;
+    Ok(())
+}
+
+/// Read-only integrity walk: true iff the header is valid and every byte of
+/// the file belongs to a well-formed, checksummed, decodable frame.
+fn verify_segment(path: &Path) -> Result<bool, DurableError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(_) => return Ok(false),
+    };
+    if bytes.len() < HEADER_LEN as usize
+        || &bytes[..MAGIC.len()] != MAGIC
+        || bytes[MAGIC.len()] != CODEC_VERSION
+    {
+        return Ok(false);
+    }
+    let mut offset = HEADER_LEN as usize;
+    while offset < bytes.len() {
+        match read_frame(&bytes[offset..]) {
+            FrameRead::Ok { payload, consumed } => {
+                if Record::decode(&payload).is_err() {
+                    return Ok(false);
+                }
+                offset += consumed;
+            }
+            FrameRead::Torn { .. } => return Ok(false),
+            FrameRead::End => break,
+        }
+    }
+    Ok(offset == bytes.len())
 }
 
 /// Create a fresh segment file with a valid header, fsynced, and fsync the
@@ -572,11 +1123,7 @@ fn create_segment(dir: &Path, number: u32) -> Result<PathBuf, DurableError> {
     let mut f = File::create(&path)?;
     f.write_all(&header_bytes())?;
     f.sync_all()?;
-    // Persist the directory entry (best-effort: not all platforms allow
-    // fsync on directories).
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
+    sync_dir(dir);
     Ok(path)
 }
 
@@ -585,13 +1132,14 @@ fn create_segment(dir: &Path, number: u32) -> Result<PathBuf, DurableError> {
 type RecoveredSegment = (Segment, Vec<(LogPos, Record)>, bool);
 
 /// Scan one segment file, truncating at the first torn or corrupt frame.
+/// For compacted segments the zone-index sidecar is verified against the
+/// rebuilt index and rewritten if missing or stale.
 fn recover_segment(
-    number: u32,
-    path: &Path,
+    r: &SegRef,
     config: &DurableConfig,
     report: &mut RecoveryReport,
 ) -> Result<RecoveredSegment, DurableError> {
-    let bytes = fs::read(path)?;
+    let bytes = fs::read(&r.path)?;
 
     // Header check: a torn or alien header means nothing in the file can be
     // trusted; reset it to an empty, valid segment.
@@ -600,17 +1148,15 @@ fn recover_segment(
         && bytes[MAGIC.len()] == CODEC_VERSION;
     if !header_ok {
         report.truncated_bytes += bytes.len() as u64;
-        let mut f = File::create(path)?;
+        let mut f = File::create(&r.path)?;
         f.write_all(&header_bytes())?;
         f.sync_all()?;
-        return Ok((
-            Segment::fresh(number, path.to_path_buf()),
-            Vec::new(),
-            false,
-        ));
+        let seg = Segment::fresh_span(r.first, r.last, r.generation, r.path.clone());
+        heal_sidecar(&seg, report)?;
+        return Ok((seg, Vec::new(), false));
     }
 
-    let mut seg = Segment::fresh(number, path.to_path_buf());
+    let mut seg = Segment::fresh_span(r.first, r.last, r.generation, r.path.clone());
     let mut records = Vec::new();
     let mut offset = HEADER_LEN as usize;
     let mut clean = true;
@@ -621,10 +1167,15 @@ fn recover_segment(
                 match Record::decode(&payload) {
                     Ok(rec) => {
                         let pos = LogPos {
-                            segment: number,
+                            segment: r.first,
                             frame: seg.frames,
                         };
-                        seg.note_frame(consumed as u64, record_time(&rec), config.index_every);
+                        seg.note_frame(
+                            consumed as u64,
+                            record_time(&rec),
+                            record_theme(&rec),
+                            config.index_every,
+                        );
                         records.push((pos, rec));
                         offset += consumed;
                     }
@@ -647,11 +1198,32 @@ fn recover_segment(
     if !clean || offset < bytes.len() {
         report.truncated_bytes += (bytes.len() - offset) as u64;
         clean = false;
-        let f = OpenOptions::new().write(true).open(path)?;
+        let f = OpenOptions::new().write(true).open(&r.path)?;
         f.set_len(offset as u64)?;
         f.sync_all()?;
     }
+    heal_sidecar(&seg, report)?;
     Ok((seg, records, clean))
+}
+
+/// Verify a compacted segment's `.szi` sidecar against the index just
+/// rebuilt from the recovery scan, rewriting it when missing or stale
+/// (e.g. after a truncation). Generation-0 segments carry no sidecar.
+fn heal_sidecar(seg: &Segment, report: &mut RecoveryReport) -> Result<(), DurableError> {
+    if seg.generation == 0 {
+        return Ok(());
+    }
+    let expected = seg.sidecar();
+    let scar = sidecar_path(&seg.path);
+    let current = fs::read(&scar).ok().and_then(|b| decode_sidecar(&b).ok());
+    if current.as_ref() == Some(&expected) {
+        return Ok(());
+    }
+    let tmp = tmp_path(&scar);
+    write_file_synced(&tmp, &encode_sidecar(&expected))?;
+    fs::rename(&tmp, &scar)?;
+    report.sidecars_rebuilt += 1;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -663,12 +1235,16 @@ mod tests {
     use sl_stt::{Event, SpatialGranule, TemporalGranularity, Theme, Timestamp, Value};
 
     fn event(minute: i64) -> Record {
+        themed_event(minute, "weather")
+    }
+
+    fn themed_event(minute: i64, theme: &str) -> Record {
         Record::Event(Event::new(
             Value::Int(minute),
             TemporalGranularity::Minute,
             minute,
             SpatialGranule::World,
-            Theme::new("weather").unwrap(),
+            Theme::new(theme).unwrap(),
         ))
     }
 
@@ -827,5 +1403,191 @@ mod tests {
         let snap = log.metrics_snapshot();
         assert!(snap.counters["fsyncs"] >= 2);
         assert!(snap.counters["bytes_written"] > 0);
+    }
+
+    #[test]
+    fn segment_names_parse_both_forms() {
+        assert_eq!(parse_segment_name("seg-000042.slg"), Some((42, 42, 0)));
+        assert_eq!(
+            parse_segment_name("seg-000003-000009-g2.slg"),
+            Some((3, 9, 2))
+        );
+        assert_eq!(parse_segment_name("seg-000009-000003-g2.slg"), None);
+        assert_eq!(parse_segment_name("seg-000003-000009-g0.slg"), None);
+        assert_eq!(parse_segment_name("seg-xyz.slg"), None);
+        assert_eq!(parse_segment_name("other.slg"), None);
+        assert_eq!(parse_segment_name("seg-000001.slg.tmp"), None);
+    }
+
+    #[test]
+    fn replace_segments_round_trips_and_prunes_by_theme() {
+        let dir = TempDir::new("log-replace").unwrap();
+        let config = DurableConfig {
+            index_every: 4,
+            ..cfg(&dir).with_segment_max_bytes(400)
+        };
+        let (mut log, _, _) = SegmentLog::open(config.clone()).unwrap();
+        for m in 0..60 {
+            let theme = if m % 2 == 0 {
+                "weather/rain"
+            } else {
+                "social/tweet"
+            };
+            log.append(&themed_event(m, theme)).unwrap();
+        }
+        let sealed = log.sealed_metas();
+        assert!(sealed.len() >= 2);
+        let before: Vec<String> = log
+            .scan()
+            .unwrap()
+            .iter()
+            .map(|(_, r)| format!("{r:?}"))
+            .collect();
+
+        // Merge all sealed segments, keeping every record.
+        let (first, last) = (sealed[0].first, sealed[sealed.len() - 1].last);
+        let merged: Vec<Record> = log
+            .read_range(first, last)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        log.replace_segments(first, last, 1, &merged).unwrap();
+
+        let after: Vec<String> = log
+            .scan()
+            .unwrap()
+            .iter()
+            .map(|(_, r)| format!("{r:?}"))
+            .collect();
+        assert_eq!(before, after, "record sequence survives the merge");
+
+        // Theme pruning: a scan for an absent theme skips every block of
+        // the compacted segment. The generation-0 active segment carries no
+        // filter, so its events still come back (pruning is a superset).
+        let absent = Pruner {
+            time: None,
+            theme: Some(Theme::new("traffic").unwrap()),
+        };
+        let pruned = log.scan_pruned(&absent).unwrap();
+        assert!(
+            pruned
+                .iter()
+                .all(|(pos, r)| !matches!(r, Record::Event(_)) || pos.segment > last),
+            "bloom filter excludes the absent subtree from the compacted range"
+        );
+        let present = Pruner {
+            time: None,
+            theme: Some(Theme::new("weather").unwrap()),
+        };
+        let kept_events = log
+            .scan_pruned(&present)
+            .unwrap()
+            .into_iter()
+            .filter(|(pos, r)| matches!(r, Record::Event(_)) && pos.segment <= last)
+            .count();
+        assert!(kept_events > 0, "present theme survives pruning");
+
+        // Reopen: the compacted segment and its sidecar survive verbatim.
+        drop(log);
+        let (mut log, recs, report) = SegmentLog::open(config).unwrap();
+        assert!(!report.lossy());
+        assert_eq!(report.sidecars_rebuilt, 0, "sidecar verified as-is");
+        assert_eq!(recs.len(), 60);
+        let reopened: Vec<String> = log
+            .scan()
+            .unwrap()
+            .iter()
+            .map(|(_, r)| format!("{r:?}"))
+            .collect();
+        assert_eq!(before, reopened);
+    }
+
+    #[test]
+    fn missing_sidecar_is_rebuilt_on_open() {
+        let dir = TempDir::new("log-sidecar").unwrap();
+        let config = cfg(&dir).with_segment_max_bytes(300);
+        let (mut log, _, _) = SegmentLog::open(config.clone()).unwrap();
+        for m in 0..30 {
+            log.append(&event(m)).unwrap();
+        }
+        let sealed = log.sealed_metas();
+        let (first, last) = (sealed[0].first, sealed[sealed.len() - 1].last);
+        let merged: Vec<Record> = log
+            .read_range(first, last)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        log.replace_segments(first, last, 1, &merged).unwrap();
+        drop(log);
+
+        let scar = sidecar_path(&gen_segment_path(dir.path(), first, last, 1));
+        assert!(scar.exists());
+        fs::remove_file(&scar).unwrap();
+
+        let (_, recs, report) = SegmentLog::open(config.clone()).unwrap();
+        assert_eq!(recs.len(), 30);
+        assert_eq!(report.sidecars_rebuilt, 1);
+        assert!(scar.exists(), "sidecar self-healed");
+
+        // A corrupted sidecar is also healed.
+        let mut bytes = fs::read(&scar).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        fs::write(&scar, &bytes).unwrap();
+        let (_, _, report) = SegmentLog::open(config).unwrap();
+        assert_eq!(report.sidecars_rebuilt, 1);
+    }
+
+    #[test]
+    fn interrupted_compaction_resolves_to_product_or_inputs() {
+        let dir = TempDir::new("log-shadow").unwrap();
+        let config = cfg(&dir).with_segment_max_bytes(300);
+        let (mut log, _, _) = SegmentLog::open(config.clone()).unwrap();
+        for m in 0..30 {
+            log.append(&event(m)).unwrap();
+        }
+        let sealed = log.sealed_metas();
+        let (first, last) = (sealed[0].first, sealed[sealed.len() - 1].last);
+
+        // Back the inputs up, compact, then restore them: both the product
+        // and its inputs are now on disk, as after a crash between the
+        // publishing rename and the input deletion.
+        let mut backups = Vec::new();
+        for meta in &sealed {
+            let p = segment_path(dir.path(), meta.first);
+            backups.push((p.clone(), fs::read(&p).unwrap()));
+        }
+        let merged: Vec<Record> = log
+            .read_range(first, last)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        log.replace_segments(first, last, 1, &merged).unwrap();
+        drop(log);
+        for (p, bytes) in &backups {
+            fs::write(p, bytes).unwrap();
+        }
+
+        // Clean product: it wins, the restored inputs are superseded.
+        let (_, recs, report) = SegmentLog::open(config.clone()).unwrap();
+        assert_eq!(recs.len(), 30);
+        assert_eq!(report.superseded_segments, backups.len() as u64);
+        assert!(!report.lossy());
+
+        // Damaged product alongside full inputs: the inputs win.
+        for (p, bytes) in &backups {
+            fs::write(p, bytes).unwrap();
+        }
+        let product = gen_segment_path(dir.path(), first, last, 1);
+        let mut bytes = fs::read(&product).unwrap();
+        bytes[HEADER_LEN as usize + 3] ^= 0xFF;
+        fs::write(&product, &bytes).unwrap();
+        let (_, recs, report) = SegmentLog::open(config).unwrap();
+        assert_eq!(recs.len(), 30, "no acknowledged record lost");
+        assert_eq!(report.superseded_segments, 1, "the damaged product");
+        assert!(!product.exists());
     }
 }

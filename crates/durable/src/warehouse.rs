@@ -25,7 +25,9 @@
 //! caches from one directory.
 
 use crate::codec::Record;
+use crate::compact::{self, CompactionPolicy, CompactionStats, MergeRun};
 use crate::error::DurableError;
+use crate::index::Pruner;
 use crate::log::{DurableConfig, LogPos, RecoveryReport, SegmentLog};
 use sl_obs::{Metrics, MetricsSnapshot, Stopwatch};
 use sl_ops::OpCheckpoint;
@@ -201,6 +203,177 @@ impl DurableWarehouse {
         Ok(evicted)
     }
 
+    /// True when the configured [`CompactionPolicy`] is enabled (the engine
+    /// drives [`DurableWarehouse::maybe_compact`] from its monitor tick
+    /// only then, and lint SL092 checks the flag on durable deployments).
+    pub fn compaction_enabled(&self) -> bool {
+        self.log.config().compaction.enabled
+    }
+
+    /// Run one policy-gated compaction step: if a run of small sealed
+    /// segments qualifies under the configured [`CompactionPolicy`], merge
+    /// it and return the stats. `Ok(None)` when the policy is disabled or
+    /// nothing qualifies (steady state). `now` anchors the
+    /// `cold_retention` age-out cutoff.
+    pub fn maybe_compact(
+        &mut self,
+        now: Timestamp,
+    ) -> Result<Option<CompactionStats>, DurableError> {
+        let policy = self.log.config().compaction.clone();
+        if !policy.enabled {
+            return Ok(None);
+        }
+        match compact::plan(&self.log.sealed_metas(), &policy) {
+            Some(run) => self.run_compaction(run, &policy, now).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Force-merge every sealed segment into one, regardless of policy
+    /// thresholds (the policy's `cold_retention` still applies). `Ok(None)`
+    /// with fewer than two sealed segments.
+    pub fn compact_now(&mut self, now: Timestamp) -> Result<Option<CompactionStats>, DurableError> {
+        let policy = self.log.config().compaction.clone();
+        match compact::plan_forced(&self.log.sealed_metas()) {
+            Some(run) => self.run_compaction(run, &policy, now).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Execute one merge: read the inputs, drop what the policy allows
+    /// (order among survivors is preserved exactly — see [`crate::compact`]
+    /// for why events are never reordered or deduplicated), atomically
+    /// replace the input segments, and splice the renumbered horizon
+    /// markers back into the in-memory marker list.
+    fn run_compaction(
+        &mut self,
+        run: MergeRun,
+        policy: &CompactionPolicy,
+        now: Timestamp,
+    ) -> Result<CompactionStats, DurableError> {
+        let sw = Stopwatch::start();
+        let input = self.log.read_range(run.first, run.last)?;
+        let bytes_before = self.log.bytes_in_range(run.first, run.last);
+        let cutoff = policy
+            .cold_retention
+            .map(|w| now.saturating_sub(w).as_millis());
+
+        // Last checkpoint per key within the merged range: recovery is
+        // last-write-wins, so earlier snapshots of the same key are dead.
+        let mut last_ckpt: HashMap<(&str, &str), usize> = HashMap::new();
+        for (i, (_, rec)) in input.iter().enumerate() {
+            if let Record::Checkpoint {
+                deployment,
+                service,
+                ..
+            } = rec
+            {
+                last_ckpt.insert((deployment.as_str(), service.as_str()), i);
+            }
+        }
+
+        let mut kept: Vec<Record> = Vec::with_capacity(input.len());
+        let mut events_dropped = 0u64;
+        let mut markers_dropped = 0u64;
+        let mut checkpoints_dropped = 0u64;
+        for (i, (pos, rec)) in input.iter().enumerate() {
+            match rec {
+                Record::Event(e) => {
+                    // Only *cold* events can be aged out: a hot event (late
+                    // arrival no marker covers) must survive so the hot
+                    // store can be rebuilt from the log on reopen.
+                    let expired = cutoff.is_some_and(|c| e.time_interval().end.as_millis() <= c);
+                    if expired && is_cold(&self.markers, &self.suffix_max, *pos, e) {
+                        events_dropped += 1;
+                    } else {
+                        kept.push(rec.clone());
+                    }
+                }
+                Record::Horizon(h) => {
+                    // Redundant iff a strictly later marker (anywhere in
+                    // the log) carries an equal or higher horizon: removing
+                    // it leaves the suffix maximum at every log position —
+                    // and therefore every coldness verdict — unchanged.
+                    let after = self.markers.partition_point(|(mpos, _)| *mpos <= *pos);
+                    let later_max = self.suffix_max.get(after).copied().unwrap_or(i64::MIN);
+                    if later_max >= h.as_millis() {
+                        markers_dropped += 1;
+                    } else {
+                        kept.push(rec.clone());
+                    }
+                }
+                Record::Checkpoint {
+                    deployment,
+                    service,
+                    ..
+                } => {
+                    if last_ckpt.get(&(deployment.as_str(), service.as_str())) == Some(&i) {
+                        kept.push(rec.clone());
+                    } else {
+                        checkpoints_dropped += 1;
+                    }
+                }
+            }
+        }
+
+        let bytes_after = self
+            .log
+            .replace_segments(run.first, run.last, run.generation, &kept)?;
+
+        // Markers inside the merged range now live at renumbered positions
+        // (segment = run.first, frame = index among survivors); markers
+        // outside it are untouched.
+        let lo = self.markers.partition_point(|(p, _)| p.segment < run.first);
+        let hi = self.markers.partition_point(|(p, _)| p.segment <= run.last);
+        let renumbered: Vec<(LogPos, Timestamp)> = kept
+            .iter()
+            .enumerate()
+            .filter_map(|(i, rec)| match rec {
+                Record::Horizon(h) => Some((
+                    LogPos {
+                        segment: run.first,
+                        frame: i as u32,
+                    },
+                    *h,
+                )),
+                _ => None,
+            })
+            .collect();
+        self.markers.splice(lo..hi, renumbered);
+        self.suffix_max = suffix_maxima(&self.markers);
+
+        let stats = CompactionStats {
+            segments_in: run.inputs,
+            generation: run.generation,
+            bytes_before,
+            bytes_after,
+            events_dropped,
+            markers_dropped,
+            checkpoints_dropped,
+            duration_us: sw.elapsed_us(),
+        };
+        self.metrics.counter("compaction/runs").inc();
+        self.metrics
+            .counter("compaction/segments_in")
+            .add(run.inputs as u64);
+        self.metrics
+            .counter("compaction/events_dropped")
+            .add(events_dropped);
+        self.metrics
+            .counter("compaction/markers_dropped")
+            .add(markers_dropped);
+        self.metrics
+            .counter("compaction/checkpoints_dropped")
+            .add(checkpoints_dropped);
+        self.metrics
+            .counter("compaction/bytes_reclaimed")
+            .add(stats.bytes_reclaimed());
+        self.metrics
+            .hist("compaction/pause_us")
+            .record(stats.duration_us);
+        Ok(stats)
+    }
+
     /// Answer a query across both tiers: a block-skipping scan over cold
     /// segment events merged with the hot index path. Cold results come
     /// first (they are older in log order), each tier in its own storage
@@ -229,15 +402,23 @@ impl DurableWarehouse {
         Ok(out)
     }
 
-    /// Cold-tier matches for `q`. With `pruned`, the sparse time index
-    /// skips blocks/segments that cannot overlap `q.time`.
+    /// Cold-tier matches for `q`. With `pruned`, the zone indexes skip
+    /// blocks/segments that cannot overlap `q.time` or (for compacted
+    /// segments, via their theme filters) cannot contain `q.theme`.
     fn cold_matches(&mut self, q: &EventQuery, pruned: bool) -> Result<Vec<Event>, DurableError> {
         if self.markers.is_empty() {
             return Ok(Vec::new()); // nothing has ever been evicted
         }
-        let range = if pruned { q.time.as_ref() } else { None };
+        let pruner = if pruned {
+            Pruner {
+                time: q.time,
+                theme: q.theme.clone(),
+            }
+        } else {
+            Pruner::keep_all()
+        };
         let mut out = Vec::new();
-        let records = self.log.scan_overlapping(range)?;
+        let records = self.log.scan_pruned(&pruner)?;
         for (pos, rec) in records {
             if let Record::Event(event) = rec {
                 if is_cold(&self.markers, &self.suffix_max, pos, &event) && q.matches(&event) {
@@ -457,5 +638,133 @@ mod tests {
         let ck = &cks[&("agg".to_string(), "mean".to_string())];
         assert_eq!(ck.tuples.len(), 2, "last write wins");
         assert!(dw.take_checkpoints().is_empty(), "drained");
+    }
+
+    #[test]
+    fn compaction_preserves_queries_exactly() {
+        let dir = TempDir::new("dw-compact").unwrap();
+        let config = DurableConfig::at(dir.path()).with_segment_max_bytes(400);
+        let mut dw = DurableWarehouse::open(config.clone()).unwrap();
+        for m in 0..80 {
+            let theme = if m % 2 == 0 {
+                "weather/rain"
+            } else {
+                "social/tweet"
+            };
+            dw.insert(event(m, theme)).unwrap();
+            if m % 20 == 19 {
+                dw.evict_before(minutes(m - 10)).unwrap();
+            }
+        }
+        let segments_before = dw.segment_count();
+        assert!(segments_before >= 3, "small segments must have rotated");
+        let queries = [
+            EventQuery::all(),
+            EventQuery::all().in_time(TimeInterval::new(minutes(10), minutes(40))),
+            EventQuery::all().with_theme(Theme::new("weather").unwrap()),
+            EventQuery::all()
+                .in_time(TimeInterval::new(minutes(0), minutes(55)))
+                .with_theme(Theme::new("social").unwrap()),
+        ];
+        let before: Vec<Vec<String>> = queries
+            .iter()
+            .map(|q| dw.query(q).unwrap().iter().map(|e| e.to_string()).collect())
+            .collect();
+
+        // No cold_retention configured: nothing the queries can see drops.
+        let stats = dw.compact_now(minutes(10_000)).unwrap().unwrap();
+        assert!(stats.segments_in >= 2);
+        assert_eq!(stats.events_dropped, 0);
+        assert!(stats.markers_dropped >= 1, "superseded horizons drop");
+        assert!(dw.segment_count() < segments_before);
+
+        for (q, want) in queries.iter().zip(&before) {
+            let got: Vec<String> = dw.query(q).unwrap().iter().map(|e| e.to_string()).collect();
+            assert_eq!(&got, want, "byte-identical across compaction: {q:?}");
+        }
+
+        // And across a reopen of the compacted log.
+        drop(dw);
+        let mut dw = DurableWarehouse::open(config).unwrap();
+        assert!(!dw.recovery_report().lossy());
+        for (q, want) in queries.iter().zip(&before) {
+            let got: Vec<String> = dw.query(q).unwrap().iter().map(|e| e.to_string()).collect();
+            assert_eq!(&got, want, "byte-identical after reopen: {q:?}");
+            assert_eq!(
+                sorted(dw.query(q).unwrap()),
+                sorted(dw.query_scan(q).unwrap()),
+                "reference scan agrees: {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cold_retention_ages_out_only_expired_cold_events() {
+        use sl_stt::Duration;
+        let dir = TempDir::new("dw-retire").unwrap();
+        let config = DurableConfig::at(dir.path())
+            .with_segment_max_bytes(300)
+            .with_compaction(
+                CompactionPolicy::enabled().with_cold_retention(Duration::from_mins(10)),
+            );
+        let mut dw = DurableWarehouse::open(config.clone()).unwrap();
+        for m in 0..40 {
+            dw.insert(event(m, "weather")).unwrap();
+        }
+        dw.evict_before(minutes(30)).unwrap();
+        // A late-arriving *old* event: hot (no later marker covers it), so
+        // compaction must keep it even though its interval is ancient.
+        dw.insert(event(2, "weather")).unwrap();
+
+        let stats = dw.compact_now(minutes(100)).unwrap().unwrap();
+        assert_eq!(stats.events_dropped, 30, "all expired cold events age out");
+        let all = dw.query(&EventQuery::all()).unwrap();
+        assert_eq!(all.len(), 11, "10 hot tail + 1 late arrival survive");
+
+        drop(dw);
+        let mut dw = DurableWarehouse::open(config).unwrap();
+        assert_eq!(dw.hot().len(), 11, "hot store rebuilds from survivors");
+        assert_eq!(dw.query(&EventQuery::all()).unwrap().len(), 11);
+        let snap = dw.metrics_snapshot();
+        assert!(snap.counters.contains_key("log/recovered_records"));
+    }
+
+    #[test]
+    fn maybe_compact_respects_policy() {
+        let dir = TempDir::new("dw-policy").unwrap();
+        // Disabled (the default): maybe_compact is a no-op.
+        let mut dw =
+            DurableWarehouse::open(DurableConfig::at(dir.path()).with_segment_max_bytes(300))
+                .unwrap();
+        assert!(!dw.compaction_enabled());
+        for m in 0..40 {
+            dw.insert(event(m, "weather")).unwrap();
+        }
+        assert!(dw.maybe_compact(minutes(100)).unwrap().is_none());
+        drop(dw);
+
+        // Enabled with a 2-segment minimum: the next tick merges.
+        let config = DurableConfig::at(dir.path())
+            .with_segment_max_bytes(300)
+            .with_compaction(CompactionPolicy::enabled().with_inputs(2, 8));
+        let mut dw = DurableWarehouse::open(config).unwrap();
+        assert!(dw.compaction_enabled());
+        let segments = dw.segment_count();
+        assert!(segments >= 3);
+        let stats = dw.maybe_compact(minutes(100)).unwrap().unwrap();
+        assert!(stats.segments_in >= 2);
+        assert_eq!(stats.generation, 1);
+        assert!(dw.segment_count() < segments);
+        let snap = dw.metrics_snapshot();
+        assert_eq!(snap.counters["compaction/runs"], 1);
+        // Steady state eventually: repeated ticks stop finding work.
+        for _ in 0..10 {
+            dw.maybe_compact(minutes(100)).unwrap();
+        }
+        assert!(dw.maybe_compact(minutes(100)).unwrap().is_none());
+        assert_eq!(
+            sorted(dw.query(&EventQuery::all()).unwrap()),
+            sorted(dw.query_scan(&EventQuery::all()).unwrap())
+        );
     }
 }

@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 use sl_cq::{CqHub, CqPoll, QueuePolicy, SubscriberId, ViewId};
 use sl_dataflow::{to_dsn, validate, Dataflow};
 use sl_dsn::{compile, print_document, ScnCommand, SinkKind};
-use sl_durable::{DurableConfig, DurableWarehouse};
+use sl_durable::{CompactionStats, DurableConfig, DurableWarehouse};
 use sl_faults::{
     BreakerDecision, BreakerState, CircuitBreaker, DeadLetterQueue, DropReason, FaultAction,
     FaultPlan, ShedPolicy,
@@ -354,6 +354,40 @@ impl Engine {
         match &mut self.warehouse {
             WarehouseTier::Memory(_) => Ok(()),
             WarehouseTier::Durable(d) => Ok(d.sync()?),
+        }
+    }
+
+    /// True when the durable backend's compaction policy is enabled (always
+    /// false for the in-memory backend). Drives the monitor-tick
+    /// maintenance step and lint SL092's deployment model.
+    pub fn compaction_enabled(&self) -> bool {
+        match &self.warehouse {
+            WarehouseTier::Memory(_) => false,
+            WarehouseTier::Durable(d) => d.compaction_enabled(),
+        }
+    }
+
+    /// Force-merge every sealed cold segment now, regardless of policy
+    /// thresholds (`Ok(None)` for the in-memory backend or when fewer than
+    /// two sealed segments exist). The background equivalent runs from the
+    /// monitor tick when the policy is enabled.
+    pub fn compact_warehouse(&mut self) -> Result<Option<CompactionStats>, EngineError> {
+        let now = self.now();
+        match &mut self.warehouse {
+            WarehouseTier::Memory(_) => Ok(None),
+            WarehouseTier::Durable(d) => {
+                let stats = d.compact_now(now)?;
+                if let Some(s) = &stats {
+                    self.metrics.counter("maintenance/compactions").inc();
+                    self.monitor.durability.push(format!(
+                        "[{now}] compaction (explicit): {} segments -> 1 (gen {}), {} bytes reclaimed",
+                        s.segments_in,
+                        s.generation,
+                        s.bytes_reclaimed()
+                    ));
+                }
+                Ok(stats)
+            }
         }
     }
 
@@ -2677,6 +2711,31 @@ impl Engine {
                     self.monitor
                         .console
                         .push(format!("[{now}] error: retention eviction: {e}"));
+                }
+            }
+        }
+
+        // Storage maintenance: one policy-gated compaction step per tick,
+        // like retention eviction. The policy lives on the durable config
+        // (DurableConfig::compaction), so a memory-backed engine and a
+        // durable one with compaction disabled both skip this for free.
+        if let WarehouseTier::Durable(d) = &mut self.warehouse {
+            match d.maybe_compact(now) {
+                Ok(Some(stats)) => {
+                    self.metrics.counter("maintenance/compactions").inc();
+                    self.monitor.durability.push(format!(
+                        "[{now}] compaction: {} segments -> 1 (gen {}), {} bytes reclaimed, {} records dropped",
+                        stats.segments_in,
+                        stats.generation,
+                        stats.bytes_reclaimed(),
+                        stats.records_dropped()
+                    ));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    self.monitor
+                        .console
+                        .push(format!("[{now}] error: compaction: {e}"));
                 }
             }
         }

@@ -15,7 +15,7 @@
 use proptest::prelude::*;
 use sl_dataflow::DataflowBuilder;
 use sl_dsn::SinkKind;
-use sl_durable::{DurableConfig, FsyncPolicy, TempDir};
+use sl_durable::{CompactionPolicy, DurableConfig, FsyncPolicy, TempDir};
 use sl_engine::{Engine, EngineConfig, OverflowPolicy, ViewId};
 use sl_faults::FaultPlan;
 use sl_netsim::{NodeSpec, Topology};
@@ -471,4 +471,82 @@ fn views_survive_chaos_and_durable_restart() {
         e
     };
     drop(e2);
+}
+
+/// Storage maintenance is invisible to serving: compacting the cold tier
+/// changes no view cells, and after a kill the re-registered view seeds
+/// byte-identically from the log the compactor rewrote.
+#[test]
+fn views_reseed_identically_across_compaction() {
+    let dir = TempDir::new("cq-compact").unwrap();
+    let durable = || {
+        DurableConfig::at(dir.path())
+            .with_fsync(FsyncPolicy::Always)
+            .with_segment_max_bytes(1024)
+            .with_compaction(CompactionPolicy::enabled())
+    };
+    let build = |durable: DurableConfig| {
+        let mut t = Topology::new();
+        let a = t.add_node(NodeSpec::edge("sensor-host", 50.0));
+        let b = t.add_node(NodeSpec::edge("host-b", 1000.0));
+        t.add_link(a, b, Duration::from_millis(1), 10_000_000)
+            .unwrap();
+        let mut e = Engine::open_durable(t, quiet_config(), start(), durable).unwrap();
+        e.add_sensor(Box::new(TemperatureSensor::new(
+            SensorId(1),
+            "t1",
+            GeoPoint::new_unchecked(34.7, 135.5),
+            a,
+            Duration::from_secs(2),
+            false,
+            false,
+            1,
+        )))
+        .unwrap();
+        e.deploy(edw_flow("w")).unwrap();
+        e
+    };
+    let q = CubeQuery {
+        select: EventQuery::all(),
+        tgran: TemporalGranularity::Hour,
+        sgran: SpatialGranularity::grid(2),
+        theme_depth: 1,
+    };
+
+    // Incarnation 1: ingest, spill to cold twice, force a compaction of
+    // the fragmented segments, and assert the live view never flinches.
+    let cells_at_kill = {
+        let mut e = build(durable());
+        let v = e.register_view("dash", q.clone());
+        e.run_for(Duration::from_secs(120));
+        e.evict_warehouse_before(start() + Duration::from_secs(60))
+            .unwrap();
+        e.run_for(Duration::from_secs(60));
+        e.evict_warehouse_before(start() + Duration::from_secs(120))
+            .unwrap();
+        let before = e.view_cells(v).unwrap();
+        assert_cells_identical(&before, &e.warehouse().rollup_scan(&q));
+
+        let stats = e
+            .compact_warehouse()
+            .unwrap()
+            .expect("fragmented cold tier should merge");
+        assert!(stats.segments_in >= 2, "nothing merged: {stats:?}");
+        assert_eq!(stats.events_dropped, 0, "no retention, no event drops");
+
+        let after = e.view_cells(v).unwrap();
+        assert_cells_identical(&after, &before);
+        assert_cells_identical(&after, &e.warehouse().rollup_scan(&q));
+        e.sync_warehouse().unwrap();
+        after
+    };
+    assert!(!cells_at_kill.is_empty());
+
+    // Incarnation 2: the hot store rebuilds from the compacted log; the
+    // re-registered view seeds byte-identically to the pre-kill state.
+    let mut e = build(durable());
+    let v = e.register_view("dash", q.clone());
+    let recovered = e.view_cells(v).unwrap();
+    assert_cells_identical(&recovered, &e.warehouse().rollup_scan(&q));
+    assert_cells_identical(&recovered, &cells_at_kill);
 }

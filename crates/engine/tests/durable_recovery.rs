@@ -13,7 +13,7 @@
 
 use sl_dataflow::DataflowBuilder;
 use sl_dsn::SinkKind;
-use sl_durable::{DurableConfig, FsyncPolicy, Record, TempDir};
+use sl_durable::{CompactionPolicy, DurableConfig, FsyncPolicy, Record, TempDir};
 use sl_engine::{Engine, EngineConfig};
 use sl_faults::DropReason;
 use sl_netsim::{NodeSpec, Topology};
@@ -249,4 +249,81 @@ fn torn_tail_is_truncated_and_accounted() {
         .recovery
         .iter()
         .any(|l| l.contains("torn tail truncated")));
+}
+
+#[test]
+fn compaction_survives_restart_without_losing_acknowledged_state() {
+    let dir = TempDir::new("engine-compact").unwrap();
+    let durable = || {
+        DurableConfig::at(dir.path())
+            .with_fsync(FsyncPolicy::Always)
+            .with_segment_max_bytes(1024)
+            .with_compaction(CompactionPolicy::enabled())
+    };
+
+    // Incarnation 1: fragment the cold tier with two evictions, merge it,
+    // and record exactly what the process acknowledged before dying.
+    let (merged_at_kill, hot_at_kill, ckpt_at_kill) = {
+        let mut e = durable_engine(durable());
+        e.run_for(Duration::from_secs(120));
+        e.evict_warehouse_before(start() + Duration::from_secs(60))
+            .unwrap();
+        e.run_for(Duration::from_secs(120));
+        e.evict_warehouse_before(start() + Duration::from_secs(120))
+            .unwrap();
+
+        let stats = e
+            .compact_warehouse()
+            .unwrap()
+            .expect("1 KiB segments leave plenty to merge");
+        assert!(stats.segments_in >= 2, "{stats:?}");
+        assert_eq!(stats.events_dropped, 0, "no retention configured");
+        assert!(
+            e.metrics_snapshot().counters["durable/compaction/segments_in"] >= 2,
+            "compaction is visible in the metrics"
+        );
+
+        let mut merged = e.query_warehouse(&EventQuery::all()).unwrap();
+        merged.sort_by_key(|ev| ev.to_string());
+        let hot: Vec<Event> = e.warehouse().iter().cloned().collect();
+        let ckpt = e
+            .checkpoint_of("w", "sum")
+            .cloned()
+            .expect("blocking operator must have checkpointed");
+        (merged, hot, ckpt)
+    };
+    assert!(!merged_at_kill.is_empty());
+    assert!(
+        merged_at_kill.len() > hot_at_kill.len(),
+        "cold tier is live"
+    );
+
+    // The compactor replaced inputs with generation-1 products on disk.
+    let products = fs::read_dir(dir.path())
+        .unwrap()
+        .filter(|f| {
+            f.as_ref()
+                .unwrap()
+                .file_name()
+                .to_string_lossy()
+                .contains("-g")
+        })
+        .count();
+    assert!(products >= 1, "compacted segments present on disk");
+
+    // Incarnation 2: recovery replays the rewritten log. Hot store, merged
+    // query answer, and the operator checkpoint all come back byte-exact.
+    let mut e = durable_engine(durable());
+    let dw = e.durable_warehouse().expect("durable backend");
+    assert!(!dw.recovery_report().lossy(), "clean open after compaction");
+    let recovered_hot: Vec<Event> = e.warehouse().iter().cloned().collect();
+    assert_eq!(recovered_hot, hot_at_kill);
+    let mut recovered = e.query_warehouse(&EventQuery::all()).unwrap();
+    recovered.sort_by_key(|ev| ev.to_string());
+    assert_eq!(recovered, merged_at_kill);
+    let restored = e
+        .checkpoint_of("w", "sum")
+        .expect("checkpoint survives compaction (last write wins)");
+    assert_eq!(ckpt_bytes(restored), ckpt_bytes(&ckpt_at_kill));
+    assert!(e.dlq().is_empty(), "clean shutdown: nothing torn");
 }

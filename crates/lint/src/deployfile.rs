@@ -13,6 +13,8 @@
 //! shard_key = space            # space | sensor | round_robin
 //! checkpoint = on
 //! durable = on
+//! retention_ms = 600000        # or `none`
+//! compaction = on
 //! ```
 //!
 //! ```text
@@ -37,6 +39,8 @@ pub struct DeploySpec {
     pub config: EngineConfig,
     /// The engine persists checkpoints and the warehouse durably.
     pub durable: bool,
+    /// The durable warehouse runs cold-tier compaction.
+    pub compaction: bool,
 }
 
 /// Parse a `key = value` deployment-config file. Unknown keys are errors —
@@ -92,6 +96,13 @@ pub fn parse_deploy_config(text: &str) -> Result<DeploySpec, String> {
             }
             "checkpoint" => cfg.checkpoint_enabled = parse_bool(i, key, value)?,
             "durable" => spec.durable = parse_bool(i, key, value)?,
+            "compaction" => spec.compaction = parse_bool(i, key, value)?,
+            "retention_ms" => {
+                cfg.retention = match value {
+                    "none" => None,
+                    n => Some(Duration::from_millis(parse_num(i, key, n)?)),
+                }
+            }
             "retry" => cfg.retry_enabled = parse_bool(i, key, value)?,
             "retry_attempts" => cfg.retry.max_attempts = parse_num(i, key, value)?,
             "breaker" => cfg.overload.breaker_enabled = parse_bool(i, key, value)?,
@@ -235,6 +246,8 @@ mod tests {
              shard_key = sensor\n\
              checkpoint = on\n\
              durable = on\n\
+             retention_ms = 600000\n\
+             compaction = on\n\
              breaker = on\n\
              breaker_threshold = 2\n\
              breaker_cooldown_ms = 750\n\
@@ -248,6 +261,15 @@ mod tests {
         assert_eq!(spec.config.parallelism, 4);
         assert_eq!(spec.config.shard_key, sl_engine::ShardKey::Sensor);
         assert!(spec.config.checkpoint_enabled && spec.durable);
+        assert!(spec.compaction);
+        assert_eq!(spec.config.retention, Some(Duration::from_millis(600_000)));
+        assert_eq!(
+            parse_deploy_config("retention_ms = none")
+                .unwrap()
+                .config
+                .retention,
+            None
+        );
         assert!(spec.config.overload.breaker_enabled);
         assert_eq!(spec.config.overload.breaker_threshold, 2);
         assert_eq!(

@@ -129,6 +129,7 @@ lint_codes! {
     // against the session's engine configuration).
     UnboundedViewGrowth = ("SL090", Warning, "materialized view with unbounded time range and no retention horizon"),
     UnboundedSubscriberQueue = ("SL091", Warning, "unbounded subscriber queue while ingress admission control is on"),
+    CompactionDisabled = ("SL092", Warning, "retention configured but cold-tier compaction disabled on a durable deployment"),
 }
 
 impl fmt::Display for LintCode {

@@ -27,6 +27,9 @@ pub struct DeployModel<'a> {
     /// Whether the engine persists checkpoints and the warehouse to a
     /// write-ahead log (`Engine::open_durable`).
     pub durable: bool,
+    /// Whether the durable warehouse runs cold-tier compaction (segment
+    /// merging plus retention-driven age-out of cold events).
+    pub compaction: bool,
 }
 
 /// One burst window extracted from the fault plan.
@@ -312,6 +315,7 @@ mod tests {
             config: &cfg,
             fault_plan: Some(&plan),
             durable: false,
+            compaction: false,
         };
         assert_eq!(
             model.burst_windows(),
@@ -333,6 +337,7 @@ mod tests {
             config: &cfg,
             fault_plan: None,
             durable: true,
+            compaction: false,
         };
         assert!(!model.crash_bearing());
         assert!(!model.flap_bearing());

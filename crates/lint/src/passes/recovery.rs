@@ -1,9 +1,12 @@
-//! Recovery-coverage pass (`SL070`–`SL072`): will the configured
+//! Recovery-coverage pass (`SL070`–`SL072`, `SL092`): will the configured
 //! checkpoint/retry/breaker machinery actually survive the faults the
-//! attached plan schedules?
+//! attached plan schedules, and will the durable store it recovers from
+//! stay bounded?
 //!
-//! All checks need a [`DeployModel`] with a `FaultPlan`: absent a plan the
-//! deployment faces no modelled faults and silence is correct.
+//! The fault checks need a [`DeployModel`] with a `FaultPlan`: absent a
+//! plan the deployment faces no modelled faults and silence is correct.
+//! `SL092` is the exception — it inspects only the durability half of the
+//! model (retention without compaction), so it runs with or without a plan.
 //!
 //! [`DeployModel`]: crate::model::DeployModel
 
@@ -15,6 +18,24 @@ pub(crate) fn run(cx: &PassCx<'_>, out: &mut Vec<Diagnostic>) {
     let Some(model) = cx.model else {
         return;
     };
+
+    // SL092: retention evicts hot events onto the cold tier, but nothing
+    // ever rewrites the sealed segments — the log only grows, and expired
+    // cold events are never dropped. Retention without compaction is a
+    // slow-motion disk leak on any long-running durable deployment.
+    if model.durable && model.config.retention.is_some() && !model.compaction {
+        out.push(Diagnostic::global(
+            LintCode::CompactionDisabled,
+            "the engine is durable with a retention window, but cold-tier \
+             compaction is disabled: eviction spills hot events into sealed \
+             segments that are never merged or aged out, so the log grows \
+             without bound — enable `DurableConfig::compaction` (with \
+             `cold_retention` matching the intent of the retention window) \
+             or drop the retention setting"
+                .to_string(),
+        ));
+    }
+
     if model.fault_plan.is_none() {
         return;
     }

@@ -630,6 +630,7 @@ fn model(config: &EngineConfig) -> DeployModel<'_> {
         config,
         fault_plan: None,
         durable: false,
+        compaction: false,
     }
 }
 
@@ -893,6 +894,7 @@ fn sl070_uncheckpointed_state() {
         config: &cfg,
         fault_plan: Some(&plan),
         durable: false,
+        compaction: false,
     };
     let report = lint_deploy(&windowed, &LintContext::bare(), &m);
     assert!(
@@ -906,6 +908,7 @@ fn sl070_uncheckpointed_state() {
         config: &cfg,
         fault_plan: Some(&plan),
         durable: false,
+        compaction: false,
     };
     let report = lint_deploy(&windowed, &LintContext::bare(), &m);
     assert!(!report.has(LintCode::UncheckpointedState));
@@ -926,6 +929,7 @@ fn sl071_volatile_checkpoints() {
         config: &cfg,
         fault_plan: Some(&plan),
         durable: false,
+        compaction: false,
     };
     let report = lint_deploy(&windowed, &LintContext::bare(), &volatile);
     assert!(
@@ -937,6 +941,7 @@ fn sl071_volatile_checkpoints() {
         config: &cfg,
         fault_plan: Some(&plan),
         durable: true,
+        compaction: false,
     };
     let report = lint_deploy(&windowed, &LintContext::bare(), &durable);
     assert!(!report.has(LintCode::VolatileCheckpoints));
@@ -959,6 +964,7 @@ fn sl072_breaker_retry_conflict() {
         config: &cfg,
         fault_plan: Some(&plan),
         durable: false,
+        compaction: false,
     };
     let report = lint_deploy(&plain, &LintContext::bare(), &m);
     assert!(
@@ -973,9 +979,63 @@ fn sl072_breaker_retry_conflict() {
         config: &cfg,
         fault_plan: Some(&plan),
         durable: false,
+        compaction: false,
     };
     let report = lint_deploy(&plain, &LintContext::bare(), &m);
     assert!(!report.has(LintCode::BreakerRetryConflict));
+}
+
+#[test]
+fn sl092_compaction_disabled() {
+    let plain = doc(&format!(
+        "{TEMP_SOURCE}
+  sink out {{ kind: console; inputs: temp; }}"
+    ));
+    // Durable with a retention window but no compaction: eviction spills
+    // onto a cold tier that only ever grows.
+    let mut cfg = EngineConfig::default();
+    cfg.retention = Some(Duration::from_secs(600));
+    let m = DeployModel {
+        config: &cfg,
+        fault_plan: None,
+        durable: true,
+        compaction: false,
+    };
+    let report = lint_deploy(&plain, &LintContext::bare(), &m);
+    assert!(
+        report.has(LintCode::CompactionDisabled),
+        "{:?}",
+        report.codes()
+    );
+    // Near miss 1: compaction on — the cold tier is maintained.
+    let m = DeployModel {
+        config: &cfg,
+        fault_plan: None,
+        durable: true,
+        compaction: true,
+    };
+    let report = lint_deploy(&plain, &LintContext::bare(), &m);
+    assert!(!report.has(LintCode::CompactionDisabled));
+    // Near miss 2: not durable — eviction discards, nothing accumulates.
+    let m = DeployModel {
+        config: &cfg,
+        fault_plan: None,
+        durable: false,
+        compaction: false,
+    };
+    let report = lint_deploy(&plain, &LintContext::bare(), &m);
+    assert!(!report.has(LintCode::CompactionDisabled));
+    // Near miss 3: durable but no retention — nothing is ever evicted to
+    // the cold tier, so an unmaintained log is a choice, not a leak.
+    let cfg = EngineConfig::default();
+    let m = DeployModel {
+        config: &cfg,
+        fault_plan: None,
+        durable: true,
+        compaction: false,
+    };
+    let report = lint_deploy(&plain, &LintContext::bare(), &m);
+    assert!(!report.has(LintCode::CompactionDisabled));
 }
 
 // ------------------------------------------------------------ SL08x resource
@@ -1089,6 +1149,7 @@ fn sl083_dlq_undershoot() {
         config: &cfg,
         fault_plan: Some(&plan),
         durable: false,
+        compaction: false,
     };
     let report = lint_deploy(&dsn, &ctx, &m);
     assert!(report.has(LintCode::DlqUndershoot), "{:?}", report.codes());
@@ -1099,6 +1160,7 @@ fn sl083_dlq_undershoot() {
         config: &cfg,
         fault_plan: Some(&plan),
         durable: false,
+        compaction: false,
     };
     let report = lint_deploy(&dsn, &ctx, &m);
     assert!(!report.has(LintCode::DlqUndershoot));
@@ -1154,6 +1216,7 @@ fn every_code_has_golden_coverage() {
         LintCode::DlqUndershoot,
         LintCode::UnboundedViewGrowth,
         LintCode::UnboundedSubscriberQueue,
+        LintCode::CompactionDisabled,
     ];
     for code in LintCode::ALL {
         assert!(covered.contains(code), "{code:?} has no golden test");

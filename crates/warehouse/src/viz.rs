@@ -13,7 +13,7 @@ const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
 /// inside `area` (events outside the area, or at world granularity, are
 /// skipped). North is up. Cells are scaled to the maximum cell count.
 pub fn render_heatmap(
-    warehouse: &mut EventWarehouse,
+    warehouse: &EventWarehouse,
     query: &EventQuery,
     area: BoundingBox,
     cols: usize,
@@ -92,7 +92,7 @@ mod tests {
             w.insert(event_at(34.1, 135.1));
         }
         w.insert(event_at(34.9, 135.9));
-        let map = render_heatmap(&mut w, &EventQuery::all(), osaka_box(), 10, 6);
+        let map = render_heatmap(&w, &EventQuery::all(), osaka_box(), 10, 6);
         let lines: Vec<&str> = map.lines().collect();
         // Frame + 6 rows + footer.
         assert_eq!(lines.len(), 9);
@@ -107,8 +107,8 @@ mod tests {
 
     #[test]
     fn empty_warehouse_renders_blank() {
-        let mut w = EventWarehouse::with_defaults();
-        let map = render_heatmap(&mut w, &EventQuery::all(), osaka_box(), 8, 4);
+        let w = EventWarehouse::with_defaults();
+        let map = render_heatmap(&w, &EventQuery::all(), osaka_box(), 8, 4);
         assert!(map.contains("max cell: 0"));
         for line in map.lines().skip(1).take(4) {
             assert!(line.chars().all(|c| c == ' ' || c == '│'), "{line:?}");
@@ -126,7 +126,7 @@ mod tests {
             sl_stt::SpatialGranule::World,
             Theme::new("weather").unwrap(),
         ));
-        let map = render_heatmap(&mut w, &EventQuery::all(), osaka_box(), 8, 4);
+        let map = render_heatmap(&w, &EventQuery::all(), osaka_box(), 8, 4);
         assert!(map.contains("max cell: 0"));
     }
 
@@ -134,7 +134,7 @@ mod tests {
     fn degenerate_dimensions_clamped() {
         let mut w = EventWarehouse::with_defaults();
         w.insert(event_at(34.5, 135.5));
-        let map = render_heatmap(&mut w, &EventQuery::all(), osaka_box(), 0, 0);
+        let map = render_heatmap(&w, &EventQuery::all(), osaka_box(), 0, 0);
         assert!(map.contains("max cell: 1"));
     }
 }

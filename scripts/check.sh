@@ -1,26 +1,50 @@
 #!/usr/bin/env bash
-# Full local gate: release build, all tests, and docs.
-# Doc warnings are promoted to errors so the public API stays documented.
+# Local CI gate, tiered to match .github/workflows/ci.yml:
+#
+#   scripts/check.sh --fast   # the PR fast loop: build, tests, fmt,
+#                             # clippy -D warnings, doc -D warnings
+#   scripts/check.sh          # everything: fast tier + the chaos/durable/
+#                             # parallel/overload/cq gates, the lint and
+#                             # example gates, the bench smokes, and the
+#                             # bench-compare regression diff
+#
 # The build is offline by construction (crates.io is unreachable; all
 # third-party deps are vendored shims under vendor/) — see README "Building".
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+FAST=0
+for arg in "$@"; do
+    case "$arg" in
+        --fast) FAST=1 ;;
+        *) echo "usage: scripts/check.sh [--fast]" >&2; exit 2 ;;
+    esac
+done
+
+# ---------------------------------------------------------------- fast tier
 cargo build --release
 cargo test -q
-cargo test -p sl-engine --test chaos
-# Crash-recovery gate: the durable codec/log/warehouse property suite plus
-# the engine-level kill-and-reopen tests must hold on every commit.
-cargo test -p sl-durable -q
-cargo test -p sl-engine --test durable_recovery
-# Parallel-execution gate: sequential-vs-parallel output equivalence
-# (fault-free, under chaos, every shard key, mid-run switch).
-cargo test -p sl-engine --test parallel_equivalence
 # Doctest gate: the documented crates' crate-root examples must run.
 cargo test --doc -q -p sl-stt -p sl-ops -p sl-engine -p sl-obs -p sl-durable
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+if [ "$FAST" = 1 ]; then
+    echo "check.sh: fast tier green"
+    exit 0
+fi
+
+# ---------------------------------------------------------------- full tier
+cargo test -p sl-engine --test chaos
+# Crash-recovery gate: the durable codec/log/warehouse property suite
+# (including the compaction-equivalence and torn-tail suites) plus the
+# engine-level kill-and-reopen tests must hold on every commit.
+cargo test -p sl-durable -q
+cargo test -p sl-engine --test durable_recovery
+# Parallel-execution gate: sequential-vs-parallel output equivalence
+# (fault-free, under chaos, every shard key, mid-run switch).
+cargo test -p sl-engine --test parallel_equivalence
 
 # The durable tests create scratch dirs under $TMPDIR; a leftover one means
 # a TempDir leaked (Drop did not run or failed to clean up).
@@ -32,7 +56,7 @@ fi
 
 # Static analysis gate: every example DSN document must lint clean
 # (infos allowed, warnings and errors are not) — first standalone, then
-# as a full deployment (SL050-SL083) against the CI engine config and
+# as a full deployment (SL050-SL092) against the CI engine config and
 # chaos schedule, and once through the machine-readable JSON output.
 cargo run --release -q --bin sl-lint -- --deny-warnings examples/dsn/*.dsn
 cargo run --release -q --bin sl-lint -- --deny-warnings --nict \
@@ -46,24 +70,45 @@ cargo run --release -q --bin sl-lint -- --deny-warnings --format json \
 # backpressure, breakers, and backlog-driven re-placement.
 cargo test -p sl-engine --test overload
 
+# Bench smokes. Each asserts its experiment's headline claim at reduced
+# scale and, with BENCH_JSON_DIR set, writes its JSON rows to a scratch
+# dir so bench-compare can diff them against the committed baselines.
+BENCH_SMOKE_DIR="target/bench-smoke"
+rm -rf "$BENCH_SMOKE_DIR"
+
 # Parallel-scaling smoke (E9): asserts identical outputs across worker
 # counts and that `with_parallelism(1)` is never slower than the
 # sequential loop beyond noise.
-cargo run --release -q -p sl-bench --bin exp_e9_parallel -- --test
+BENCH_JSON_DIR="$BENCH_SMOKE_DIR" \
+    cargo run --release -q -p sl-bench --bin exp_e9_parallel -- --test
 
 # Overload saturation smoke (E10): every bounded policy holds its queue
 # bound under a 3x burst; Block sheds nothing; shed shortfalls are
 # DLQ-accounted to the tuple.
-cargo run --release -q -p sl-bench --bin exp_e10_overload -- --test
+BENCH_JSON_DIR="$BENCH_SMOKE_DIR" \
+    cargo run --release -q -p sl-bench --bin exp_e10_overload -- --test
 
 # Continuous-query gate: the sl-cq unit suite, then the engine-level
 # equivalence suite (views byte-identical to rescans under arbitrary
-# interleavings, eviction, chaos, and durable restart; unused hub
-# byte-invisible), the live-dashboard example, and the E11 smoke
+# interleavings, eviction, chaos, compaction, and durable restart; unused
+# hub byte-invisible), the live-dashboard example, and the E11 smoke
 # (incremental maintenance >=10x over rescans at 100 subscribers).
 cargo test -p sl-cq -q
 cargo test -p sl-engine --test cq_equivalence
 cargo run --release -q --example continuous_dashboard >/dev/null
-cargo run --release -q -p sl-bench --bin exp_e11_cq -- --test
+BENCH_JSON_DIR="$BENCH_SMOKE_DIR" \
+    cargo run --release -q -p sl-bench --bin exp_e11_cq -- --test
+
+# Storage-maintenance smoke (E12): cold queries over a compacted,
+# zone-indexed log answer exactly like the fragmented log and are
+# measurably faster at 100+ segments.
+BENCH_JSON_DIR="$BENCH_SMOKE_DIR" \
+    cargo run --release -q -p sl-bench --bin exp_e12_compaction -- --test
+
+# Bench regression diff: fresh smoke ratios vs. the committed BENCH_*.json
+# baselines. Only scale-invariant metrics are compared; tolerance is loose
+# (0.5) and overridable via BENCH_COMPARE_TOLERANCE. To accept a genuine
+# perf change, regenerate the baseline with the full experiment binary.
+cargo run --release -q -p sl-bench --bin bench-compare -- . "$BENCH_SMOKE_DIR"
 
 echo "check.sh: all green"

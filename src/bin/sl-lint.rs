@@ -39,9 +39,10 @@ options:
   --format text|json  report format (default text)
   --config FILE       engine deployment description (`key = value` lines:
                       queue_capacity, policy, global_capacity, parallelism,
-                      shard_key, checkpoint, durable, retry, retry_attempts,
-                      breaker, breaker_threshold, breaker_cooldown_ms,
-                      dlq_capacity); enables the deployment tier SL050-SL083
+                      shard_key, checkpoint, durable, retention_ms,
+                      compaction, retry, retry_attempts, breaker,
+                      breaker_threshold, breaker_cooldown_ms,
+                      dlq_capacity); enables the deployment tier SL050-SL092
   --fault-plan FILE   chaos schedule (one verb per line: crash, restart,
                       flap, stall, burst); enables recovery/burst checks
 
@@ -163,6 +164,7 @@ fn main() -> ExitCode {
         config: &spec.config,
         fault_plan: plan.as_ref(),
         durable: spec.durable,
+        compaction: spec.compaction,
     });
 
     let mut failed = false;

@@ -149,6 +149,7 @@ impl StreamLoader {
             config: self.engine.config(),
             fault_plan,
             durable: self.engine.durable_warehouse().is_some(),
+            compaction: self.engine.compaction_enabled(),
         };
         sl_lint::lint_deployment(dataflow, &ctx, &model)
     }
@@ -171,6 +172,7 @@ impl StreamLoader {
             config: self.engine.config(),
             fault_plan,
             durable: self.engine.durable_warehouse().is_some(),
+            compaction: self.engine.compaction_enabled(),
         };
         sl_lint::predicted_peak_depths(dataflow, &ctx, &model)
     }
@@ -227,13 +229,13 @@ impl StreamLoader {
     /// Render a density heat-map of warehouse events inside `area` — the
     /// stand-in for the Sticker visualisation sink (demo P2).
     pub fn heatmap(
-        &mut self,
+        &self,
         query: &EventQuery,
         area: sl_stt::BoundingBox,
         cols: usize,
         rows: usize,
     ) -> String {
-        sl_warehouse::render_heatmap(self.engine.warehouse_mut(), query, area, cols, rows)
+        sl_warehouse::render_heatmap(self.engine.warehouse(), query, area, cols, rows)
     }
 
     /// Advance virtual time.
@@ -298,6 +300,19 @@ impl StreamLoader {
     /// cold segments (durable backend) all events older than `horizon`.
     pub fn evict_warehouse_before(&mut self, horizon: Timestamp) -> Result<usize, EngineError> {
         self.engine.evict_warehouse_before(horizon)
+    }
+
+    /// Force cold-tier storage maintenance now: merge every sealed segment
+    /// into one compacted generation, dropping redundant markers,
+    /// superseded checkpoints, and (under the policy's `cold_retention`)
+    /// expired cold events. Returns `Ok(None)` for the in-memory backend or
+    /// when there is nothing to merge. With
+    /// [`CompactionPolicy::enabled`](sl_durable::CompactionPolicy) the same
+    /// maintenance also runs incrementally from the monitor tick.
+    pub fn compact_warehouse(
+        &mut self,
+    ) -> Result<Option<sl_durable::CompactionStats>, EngineError> {
+        self.engine.compact_warehouse()
     }
 
     /// Roll up the warehouse.
